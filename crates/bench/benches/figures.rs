@@ -1,0 +1,16 @@
+//! `cargo bench` entry point that regenerates every table and figure at
+//! reduced scale (full-scale runs: the per-figure binaries).
+
+fn main() {
+    println!("{}", dumbnet_bench::fig07::run(true));
+    println!("{}", dumbnet_bench::table1::run(true));
+    println!("{}", dumbnet_bench::fig08::run_a(true));
+    println!("{}", dumbnet_bench::fig08::run_b(true));
+    println!("{}", dumbnet_bench::fig09::run(true));
+    println!("{}", dumbnet_bench::fig10::run(true));
+    println!("{}", dumbnet_bench::table2::measure(true));
+    println!("{}", dumbnet_bench::fig11::run_a(true));
+    println!("{}", dumbnet_bench::fig11::run_b(true));
+    println!("{}", dumbnet_bench::fig12::run(true));
+    println!("{}", dumbnet_bench::fig13::run(true));
+}

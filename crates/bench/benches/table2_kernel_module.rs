@@ -1,0 +1,30 @@
+//! Criterion microbenchmarks for Table 2: PathTable lookup, path verify
+//! (16 tags), and find-path on the cached subgraph, at the paper's
+//! fat-tree scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dumbnet_bench::table2;
+
+fn bench_table2(c: &mut Criterion) {
+    // Full scale (k=64: 5 120 switches, 131 072 links) unless the quick
+    // env toggle is set.
+    let quick = std::env::var("DUMBNET_BENCH_QUICK").is_ok();
+    let mut fx = table2::fixtures(quick);
+    let mut group = c.benchmark_group("table2_kernel_module");
+    let mut i = 0u64;
+    group.bench_function("pathtable_lookup", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            table2::lookup_once(&mut fx, i);
+        })
+    });
+    group.bench_function("path_verify_16_tags", |b| b.iter(|| table2::verify_once(&fx)));
+    group.bench_function("find_path_in_pathgraph", |b| {
+        b.iter(|| table2::find_path_once(&mut fx))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

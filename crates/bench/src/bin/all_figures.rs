@@ -1,0 +1,16 @@
+//! Regenerates every table and figure in sequence (full scale).
+//! Pass `--quick` for a fast reduced-scale sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", dumbnet_bench::fig07::run(quick));
+    println!("{}", dumbnet_bench::table1::run(quick));
+    println!("{}", dumbnet_bench::fig08::run_a(quick));
+    println!("{}", dumbnet_bench::fig08::run_b(quick));
+    println!("{}", dumbnet_bench::fig09::run(quick));
+    println!("{}", dumbnet_bench::fig10::run(quick));
+    println!("{}", dumbnet_bench::table2::measure(quick));
+    println!("{}", dumbnet_bench::fig11::run_a(quick));
+    println!("{}", dumbnet_bench::fig11::run_b(quick));
+    println!("{}", dumbnet_bench::fig12::run(quick));
+    println!("{}", dumbnet_bench::fig13::run(quick));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 7 (FPGA resources) and the §7.1 latency numbers.
+fn main() {
+    println!("{}", dumbnet_bench::fig07::run(false));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8(b) (discovery time vs. port density).
+//! Pass `--quick` for a reduced-scale run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", dumbnet_bench::fig08::run_b(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (single-host throughput) and the §7.2.2
+//! aggregate leaf-to-leaf throughput.
+fn main() {
+    println!("{}", dumbnet_bench::fig09::run(false));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 10 (all-pairs RTT CDF).
+//! Pass `--quick` for a reduced-scale run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", dumbnet_bench::fig10::run(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 11(a) (failure-notification delay CDF).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", dumbnet_bench::fig11::run_a(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 11(b) (DumbNet vs. STP failure recovery).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", dumbnet_bench::fig11::run_b(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 12 (path-graph size vs. ε).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", dumbnet_bench::fig12::run(quick));
+}

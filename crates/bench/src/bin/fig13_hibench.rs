@@ -1,0 +1,5 @@
+//! Regenerates Figure 13 (HiBench task durations).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", dumbnet_bench::fig13::run(quick));
+}

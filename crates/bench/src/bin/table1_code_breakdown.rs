@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (code-size breakdown).
+fn main() {
+    println!("{}", dumbnet_bench::table1::run(false));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 2 (kernel-module function latency) with a direct
+//! wall-clock measurement. The Criterion benchmark of the same name
+//! provides the statistically rigorous version.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", dumbnet_bench::table2::measure(quick));
+}

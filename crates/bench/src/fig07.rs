@@ -1,0 +1,78 @@
+//! Figure 7: FPGA resource utilization vs. number of ports, plus the
+//! §7.1 FPGA forwarding-latency numbers.
+
+use dumbnet_fpga::{FpgaLatencyModel, OpenFlowSwitchModel, PopLabelSwitchModel};
+
+use crate::report::{f, Report};
+
+/// Paper-reported 4-port calibration points.
+pub const PAPER_DUMBNET_4PORT: (u64, u64) = (1_713, 1_504);
+/// Paper-reported OpenFlow 4-port point.
+pub const PAPER_OPENFLOW_4PORT: (u64, u64) = (16_070, 17_193);
+
+/// Runs the Figure 7 reproduction.
+#[must_use]
+pub fn run(_quick: bool) -> Report {
+    let mut r = Report::new("Figure 7 — FPGA resource utilization vs. #ports");
+    r.note("DumbNet pop-label switch vs. NetFPGA OpenFlow switch (model,");
+    r.note("calibrated at the paper's 4-port measurements).");
+    r.header([
+        "ports",
+        "dumbnet LUTs",
+        "dumbnet regs",
+        "openflow LUTs",
+        "openflow regs",
+        "LUT reduction",
+    ]);
+    for ports in [2u8, 4, 8, 12, 16, 20, 24, 28, 32] {
+        let d = PopLabelSwitchModel.resources(ports);
+        let o = OpenFlowSwitchModel.resources(ports);
+        let red = 100.0 * (1.0 - d.luts as f64 / o.luts as f64);
+        r.row([
+            ports.to_string(),
+            d.luts.to_string(),
+            d.registers.to_string(),
+            o.luts.to_string(),
+            o.registers.to_string(),
+            format!("{red:.1}%"),
+        ]);
+    }
+    r.rule();
+    r.row([
+        "paper@4".to_owned(),
+        PAPER_DUMBNET_4PORT.0.to_string(),
+        PAPER_DUMBNET_4PORT.1.to_string(),
+        PAPER_OPENFLOW_4PORT.0.to_string(),
+        PAPER_OPENFLOW_4PORT.1.to_string(),
+        "~89%".to_owned(),
+    ]);
+
+    let lat = FpgaLatencyModel::default();
+    let avg = lat.path_latency(3, 1_500).as_micros_f64();
+    let worst = lat.worst_case(3, 1_500).as_micros_f64();
+    r.note(String::new());
+    r.note("§7.1 FPGA forwarding latency (3 hops, 1 GE, 1500 B frames):");
+    r.note(format!(
+        "  average {} µs (paper 100.6), max {} µs (paper 152)",
+        f(avg, 1),
+        f(worst, 1)
+    ));
+    r.note(format!(
+        "  switch implementation size: {} lines of Verilog (paper)",
+        PopLabelSwitchModel::VERILOG_LINES
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_calibration_rows() {
+        let s = run(true).render();
+        assert!(s.contains("1713"));
+        assert!(s.contains("16070"));
+        assert!(s.contains("100.6"));
+    }
+}

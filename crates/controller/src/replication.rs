@@ -1,0 +1,255 @@
+//! Controller state replication — the ZooKeeper substitute.
+//!
+//! §4.1/§4.2: "We have multiple controllers in the network for fault
+//! tolerance … We keep the replicas consistent using Apache ZooKeeper to
+//! store the topology changes." The property actually used is narrow: a
+//! totally ordered log of topology deltas, acknowledged by a majority,
+//! with a standby able to take over. This module implements exactly
+//! that: a leader-sequenced log with majority commit, as pure data logic
+//! (the [`Controller`](crate::node::Controller) node moves the messages).
+
+use std::collections::{BTreeMap, HashSet};
+
+use dumbnet_packet::control::TopoDelta;
+use dumbnet_types::MacAddr;
+
+/// Role of this replica in the controller group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Sequences entries and serves clients.
+    Leader,
+    /// Applies replicated entries; candidate for takeover.
+    Follower,
+}
+
+/// One log entry: a topology delta and the version it produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Log position (1-based, dense).
+    pub index: u64,
+    /// Topology version after applying.
+    pub version: u64,
+    /// The change.
+    pub delta: TopoDelta,
+}
+
+/// The replicated topology log.
+#[derive(Debug, Clone)]
+pub struct ReplicatedLog {
+    role: ReplicaRole,
+    /// All controller members (self included).
+    members: Vec<MacAddr>,
+    me: MacAddr,
+    entries: BTreeMap<u64, LogEntry>,
+    /// Leader side: acks per index (self-ack included).
+    acks: BTreeMap<u64, HashSet<MacAddr>>,
+    committed: u64,
+    next_index: u64,
+}
+
+impl ReplicatedLog {
+    /// Creates a log for member `me` of `members` (must contain `me`).
+    #[must_use]
+    pub fn new(me: MacAddr, members: Vec<MacAddr>, role: ReplicaRole) -> ReplicatedLog {
+        ReplicatedLog {
+            role,
+            members,
+            me,
+            entries: BTreeMap::new(),
+            acks: BTreeMap::new(),
+            committed: 0,
+            next_index: 1,
+        }
+    }
+
+    /// This replica's role.
+    #[must_use]
+    pub fn role(&self) -> ReplicaRole {
+        self.role
+    }
+
+    /// Promotes a follower to leader (takeover). Sequencing resumes
+    /// after the highest entry it has seen.
+    pub fn promote(&mut self) {
+        self.role = ReplicaRole::Leader;
+        self.next_index = self.entries.keys().max().map_or(1, |m| m + 1);
+    }
+
+    /// Majority size for the member count.
+    #[must_use]
+    pub fn quorum(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// Highest committed index.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Number of entries stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The other members (targets for `ReplAppend`).
+    pub fn peers(&self) -> impl Iterator<Item = MacAddr> + '_ {
+        let me = self.me;
+        self.members.iter().copied().filter(move |&m| m != me)
+    }
+
+    /// Leader: sequences a new entry. Returns it (the node sends it to
+    /// every peer). Single-member groups commit immediately.
+    pub fn append(&mut self, version: u64, delta: TopoDelta) -> LogEntry {
+        debug_assert_eq!(self.role, ReplicaRole::Leader);
+        let entry = LogEntry {
+            index: self.next_index,
+            version,
+            delta,
+        };
+        self.next_index += 1;
+        self.entries.insert(entry.index, entry.clone());
+        let acks = self.acks.entry(entry.index).or_default();
+        acks.insert(self.me);
+        self.advance_commit();
+        entry
+    }
+
+    /// Follower: stores a replicated entry. Returns `true` if it was new
+    /// (and should be acked).
+    pub fn store(&mut self, entry: LogEntry) -> bool {
+        let new = !self.entries.contains_key(&entry.index);
+        self.entries.insert(entry.index, entry);
+        new
+    }
+
+    /// Leader: records an ack. Returns the new committed index if the
+    /// quorum advanced.
+    pub fn ack(&mut self, index: u64, from: MacAddr) -> Option<u64> {
+        if !self.members.contains(&from) {
+            return None;
+        }
+        self.acks.entry(index).or_default().insert(from);
+        let before = self.committed;
+        self.advance_commit();
+        (self.committed > before).then_some(self.committed)
+    }
+
+    /// Entries in `(after, to]` for catch-up.
+    pub fn entries_after(&self, after: u64) -> impl Iterator<Item = &LogEntry> {
+        self.entries.range(after + 1..).map(|(_, e)| e)
+    }
+
+    fn advance_commit(&mut self) {
+        let q = self.quorum();
+        while let Some(acks) = self.acks.get(&(self.committed + 1)) {
+            if acks.len() >= q && self.entries.contains_key(&(self.committed + 1)) {
+                self.committed += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(n: u64) -> MacAddr {
+        MacAddr::for_host(n)
+    }
+
+    fn delta() -> TopoDelta {
+        TopoDelta::default()
+    }
+
+    #[test]
+    fn single_member_commits_immediately() {
+        let mut log = ReplicatedLog::new(mac(0), vec![mac(0)], ReplicaRole::Leader);
+        assert_eq!(log.quorum(), 1);
+        let e = log.append(1, delta());
+        assert_eq!(e.index, 1);
+        assert_eq!(log.committed(), 1);
+    }
+
+    #[test]
+    fn three_member_majority_commit() {
+        let mut log = ReplicatedLog::new(mac(0), vec![mac(0), mac(1), mac(2)], ReplicaRole::Leader);
+        assert_eq!(log.quorum(), 2);
+        let e = log.append(1, delta());
+        assert_eq!(log.committed(), 0, "self-ack alone is not a majority");
+        assert_eq!(log.ack(e.index, mac(1)), Some(1));
+        // Third ack changes nothing.
+        assert_eq!(log.ack(e.index, mac(2)), None);
+    }
+
+    #[test]
+    fn commit_is_in_order() {
+        let mut log = ReplicatedLog::new(mac(0), vec![mac(0), mac(1), mac(2)], ReplicaRole::Leader);
+        let e1 = log.append(1, delta());
+        let e2 = log.append(2, delta());
+        // Ack entry 2 first: nothing commits until 1 is acked.
+        assert_eq!(log.ack(e2.index, mac(1)), None);
+        assert_eq!(log.committed(), 0);
+        assert_eq!(log.ack(e1.index, mac(1)), Some(2));
+        assert_eq!(log.committed(), 2);
+    }
+
+    #[test]
+    fn foreign_acks_rejected() {
+        let mut log = ReplicatedLog::new(mac(0), vec![mac(0), mac(1)], ReplicaRole::Leader);
+        let e = log.append(1, delta());
+        assert_eq!(log.ack(e.index, mac(99)), None);
+        assert_eq!(log.committed(), 0);
+    }
+
+    #[test]
+    fn follower_stores_and_dedups() {
+        let mut log = ReplicatedLog::new(mac(1), vec![mac(0), mac(1)], ReplicaRole::Follower);
+        let e = LogEntry {
+            index: 1,
+            version: 1,
+            delta: delta(),
+        };
+        assert!(log.store(e.clone()));
+        assert!(!log.store(e));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn promotion_resumes_sequencing() {
+        let mut log = ReplicatedLog::new(mac(1), vec![mac(0), mac(1), mac(2)], ReplicaRole::Follower);
+        log.store(LogEntry {
+            index: 1,
+            version: 1,
+            delta: delta(),
+        });
+        log.store(LogEntry {
+            index: 2,
+            version: 2,
+            delta: delta(),
+        });
+        log.promote();
+        assert_eq!(log.role(), ReplicaRole::Leader);
+        let e = log.append(3, delta());
+        assert_eq!(e.index, 3);
+    }
+
+    #[test]
+    fn catch_up_range() {
+        let mut log = ReplicatedLog::new(mac(0), vec![mac(0)], ReplicaRole::Leader);
+        for v in 1..=5 {
+            log.append(v, delta());
+        }
+        let idx: Vec<u64> = log.entries_after(2).map(|e| e.index).collect();
+        assert_eq!(idx, vec![3, 4, 5]);
+    }
+}

@@ -1,0 +1,454 @@
+//! Building and driving emulated DumbNet fabrics.
+
+use std::collections::HashSet;
+
+use dumbnet_controller::{Controller, ControllerConfig};
+use dumbnet_host::{HostAgent, HostAgentConfig};
+use dumbnet_sim::{LinkParams, NodeAddr, World};
+use dumbnet_switch::{DumbSwitch, DumbSwitchConfig};
+use dumbnet_topology::Topology;
+use dumbnet_types::{
+    DumbNetError, HostId, MacAddr, PortNo, Result, SimTime, SwitchId,
+};
+
+/// The host agent's NIC port inside the engine.
+const NIC: PortNo = match PortNo::new(1) {
+    Some(p) => p,
+    None => panic!("port 1 is valid"),
+};
+
+/// Fabric-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Engine seed (controls all randomized tie-breaking).
+    pub seed: u64,
+    /// Switch-to-switch link characteristics.
+    pub trunk: LinkParams,
+    /// Host-to-switch link characteristics.
+    pub access: LinkParams,
+    /// Switch hardware parameters.
+    pub switch: DumbSwitchConfig,
+    /// Template agent configuration applied to every ordinary host.
+    pub host: HostAgentConfig,
+    /// Which hosts run controllers.
+    pub controllers: Vec<HostId>,
+    /// Template controller configuration. Unless `run_discovery` is set,
+    /// each controller is preloaded with the ground-truth topology
+    /// (experiments that start converged).
+    pub controller: ControllerConfig,
+}
+
+impl Default for FabricConfig {
+    fn default() -> FabricConfig {
+        FabricConfig {
+            seed: 0,
+            trunk: LinkParams::ten_gig(),
+            access: LinkParams::ten_gig(),
+            switch: DumbSwitchConfig::default(),
+            host: HostAgentConfig::default(),
+            controllers: vec![HostId(0)],
+            controller: ControllerConfig::default(),
+        }
+    }
+}
+
+/// A fully wired emulated deployment.
+pub struct Fabric {
+    /// The discrete-event world. Exposed for advanced experiments.
+    pub world: World,
+    /// The ground-truth topology the fabric was built from.
+    pub topology: Topology,
+    switch_addr: Vec<NodeAddr>,
+    host_addr: Vec<NodeAddr>,
+    controllers: HashSet<HostId>,
+}
+
+impl Fabric {
+    /// Builds a fabric with default per-host agents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wiring failures (which indicate an inconsistent input
+    /// topology).
+    pub fn build(topology: Topology, config: FabricConfig) -> Result<Fabric> {
+        Fabric::build_with(topology, config, HostAgent::new)
+    }
+
+    /// Builds a fabric, constructing each ordinary host agent through
+    /// `mk_host` (the hook for custom routing functions, §6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates wiring failures.
+    pub fn build_with<F>(topology: Topology, config: FabricConfig, mk_host: F) -> Result<Fabric>
+    where
+        F: FnMut(HostId, HostAgentConfig) -> HostAgent,
+    {
+        Fabric::build_full(topology, config, mk_host, Controller::new)
+    }
+
+    /// Builds a fabric with full control over both host agents and
+    /// controllers (e.g. leader/follower replica groups).
+    ///
+    /// # Errors
+    ///
+    /// Propagates wiring failures.
+    pub fn build_full<F, G>(
+        topology: Topology,
+        config: FabricConfig,
+        mut mk_host: F,
+        mut mk_controller: G,
+    ) -> Result<Fabric>
+    where
+        F: FnMut(HostId, HostAgentConfig) -> HostAgent,
+        G: FnMut(HostId, ControllerConfig) -> Controller,
+    {
+        let mut world = World::new(config.seed);
+        let controllers: HashSet<HostId> = config.controllers.iter().copied().collect();
+
+        // Switches.
+        let mut switch_addr = Vec::with_capacity(topology.switch_count());
+        for sw in topology.switches() {
+            let node = DumbSwitch::new(sw.id, sw.ports, config.switch);
+            switch_addr.push(world.add_node(Box::new(node)));
+        }
+        // Hosts (agents or controllers).
+        let mut host_addr = Vec::with_capacity(topology.host_count());
+        for h in topology.hosts() {
+            let addr = if controllers.contains(&h.id) {
+                let mut ccfg = config.controller.clone();
+                if !ccfg.run_discovery && ccfg.preload.is_none() {
+                    ccfg.preload = Some(topology.clone());
+                }
+                world.add_node(Box::new(mk_controller(h.id, ccfg)))
+            } else {
+                world.add_node(Box::new(mk_host(h.id, config.host.clone())))
+            };
+            host_addr.push(addr);
+        }
+        // Trunk links.
+        for link in topology.links() {
+            world.wire(
+                switch_addr[link.a.switch.get() as usize],
+                link.a.port,
+                switch_addr[link.b.switch.get() as usize],
+                link.b.port,
+                config.trunk,
+            )?;
+        }
+        // Access links.
+        for h in topology.hosts() {
+            world.wire(
+                host_addr[h.id.get() as usize],
+                NIC,
+                switch_addr[h.attached.switch.get() as usize],
+                h.attached.port,
+                config.access,
+            )?;
+        }
+        Ok(Fabric {
+            world,
+            topology,
+            switch_addr,
+            host_addr,
+            controllers,
+        })
+    }
+
+    /// MAC address of host `id`.
+    #[must_use]
+    pub fn mac(&self, id: HostId) -> MacAddr {
+        MacAddr::for_host(id.get())
+    }
+
+    /// Engine address of a host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::UnknownHost`] for out-of-range IDs.
+    pub fn host_addr(&self, id: HostId) -> Result<NodeAddr> {
+        self.host_addr
+            .get(id.get() as usize)
+            .copied()
+            .ok_or(DumbNetError::UnknownHost(id.get()))
+    }
+
+    /// Engine address of a switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::UnknownSwitch`] for out-of-range IDs.
+    pub fn switch_addr(&self, id: SwitchId) -> Result<NodeAddr> {
+        self.switch_addr
+            .get(id.get() as usize)
+            .copied()
+            .ok_or(DumbNetError::UnknownSwitch(id.get()))
+    }
+
+    /// Immutable access to a host agent.
+    #[must_use]
+    pub fn host(&self, id: HostId) -> Option<&HostAgent> {
+        let addr = *self.host_addr.get(id.get() as usize)?;
+        self.world.node::<HostAgent>(addr)
+    }
+
+    /// Mutable access to a host agent.
+    #[must_use]
+    pub fn host_mut(&mut self, id: HostId) -> Option<&mut HostAgent> {
+        let addr = *self.host_addr.get(id.get() as usize)?;
+        self.world.node_mut::<HostAgent>(addr)
+    }
+
+    /// Immutable access to a controller.
+    #[must_use]
+    pub fn controller(&self, id: HostId) -> Option<&Controller> {
+        let addr = *self.host_addr.get(id.get() as usize)?;
+        self.world.node::<Controller>(addr)
+    }
+
+    /// Immutable access to a switch.
+    #[must_use]
+    pub fn switch(&self, id: SwitchId) -> Option<&DumbSwitch> {
+        let addr = *self.switch_addr.get(id.get() as usize)?;
+        self.world.node::<DumbSwitch>(addr)
+    }
+
+    /// IDs of the controller hosts.
+    pub fn controller_ids(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.controllers.iter().copied()
+    }
+
+    /// Schedules a physical failure of the link between switches `a`
+    /// and `b` at virtual time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::UnknownLink`] when no such link exists.
+    pub fn schedule_link_failure(&mut self, at: SimTime, a: SwitchId, b: SwitchId) -> Result<()> {
+        self.set_link_state_at(at, a, b, false)
+    }
+
+    /// Schedules the link between `a` and `b` to come back up at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::UnknownLink`] when no such link exists.
+    pub fn schedule_link_recovery(&mut self, at: SimTime, a: SwitchId, b: SwitchId) -> Result<()> {
+        self.set_link_state_at(at, a, b, true)
+    }
+
+    fn set_link_state_at(&mut self, at: SimTime, a: SwitchId, b: SwitchId, up: bool) -> Result<()> {
+        let link = self
+            .topology
+            .link_between(a, b)
+            .ok_or(DumbNetError::UnknownLink(u32::MAX))?;
+        let wire = self
+            .world
+            .wire_at(self.switch_addr[link.a.switch.get() as usize], link.a.port)
+            .ok_or(DumbNetError::UnknownLink(link.id.get()))?;
+        self.world.schedule_link_state(at, wire, up);
+        Ok(())
+    }
+
+    /// Runs the world until `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// Runs the world until idle or `max_events`.
+    pub fn run_to_idle(&mut self, max_events: u64) {
+        self.world.run_to_idle(max_events);
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dumbnet_host::agent::AppAction;
+    use dumbnet_topology::generators;
+    use dumbnet_types::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn builds_testbed_fabric() {
+        let g = generators::testbed();
+        let fabric = Fabric::build(g.topology, FabricConfig::default()).unwrap();
+        assert_eq!(fabric.world.node_count(), 7 + 27);
+        assert!(fabric.controller(HostId(0)).is_some());
+        assert!(fabric.host(HostId(0)).is_none(), "host 0 is the controller");
+        assert!(fabric.host(HostId(1)).is_some());
+        assert!(fabric.switch(SwitchId(0)).is_some());
+    }
+
+    #[test]
+    fn bootstrap_distributes_controller_hello() {
+        let g = generators::testbed();
+        let fabric_cfg = FabricConfig::default();
+        let mut fabric = Fabric::build(g.topology, fabric_cfg).unwrap();
+        fabric.run_until(t(10));
+        let ctrl_mac = fabric.mac(HostId(0));
+        for h in 1..27 {
+            let agent = fabric.host(HostId(h)).unwrap();
+            assert_eq!(
+                agent.controller(),
+                Some(ctrl_mac),
+                "host {h} missing hello"
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_ping_with_cold_caches() {
+        let g = generators::testbed();
+        let mut cfg = FabricConfig::default();
+        // Host 1 pings host 26 five times starting at 20 ms.
+        cfg.host.actions = Vec::new();
+        let mut fabric = Fabric::build_with(g.topology, cfg, |id, mut hc| {
+            if id == HostId(1) {
+                hc.actions = vec![AppAction::PingSeries {
+                    at: SimDuration::from_millis(20),
+                    dst: MacAddr::for_host(26),
+                    count: 5,
+                    interval: SimDuration::from_millis(1),
+                }];
+            }
+            HostAgent::new(id, hc)
+        })
+        .unwrap();
+        fabric.run_until(t(200));
+        let pinger = fabric.host(HostId(1)).unwrap();
+        assert_eq!(pinger.stats.rtts.len(), 5, "all pings answered");
+        // First ping pays the controller round trip; later ones are
+        // cache hits and must be faster.
+        let first = pinger.stats.rtts[0].2;
+        let later = pinger.stats.rtts[2].2;
+        assert!(
+            later < first,
+            "cache hit RTT {later} not below cold RTT {first}"
+        );
+        assert!(pinger.stats.path_requests >= 1);
+    }
+
+    #[test]
+    fn discovery_over_the_wire_matches_ground_truth() {
+        let g = generators::testbed();
+        let truth = g.topology.clone();
+        let mut cfg = FabricConfig::default();
+        cfg.controller.run_discovery = true;
+        cfg.controller.discovery.max_ports = 12;
+        cfg.controller.discovery.timeout = SimDuration::from_millis(5);
+        cfg.controller.probe_interval = SimDuration::from_micros(10);
+        let mut fabric = Fabric::build(g.topology, cfg).unwrap();
+        fabric.run_until(t(5_000));
+        let ctrl = fabric.controller(HostId(0)).unwrap();
+        assert!(ctrl.ready(), "discovery incomplete");
+        let found = ctrl.topology.as_ref().unwrap();
+        assert_eq!(found.switch_count(), truth.switch_count());
+        assert_eq!(found.host_count(), truth.host_count());
+        assert_eq!(found.link_count(), truth.link_count());
+        // Every discovered link exists in the ground truth, port-exact.
+        for l in found.links() {
+            let real = truth.link_between(l.a.switch, l.b.switch).unwrap();
+            let found_ends = if l.a <= l.b { (l.a, l.b) } else { (l.b, l.a) };
+            let real_ends = if real.a <= real.b {
+                (real.a, real.b)
+            } else {
+                (real.b, real.a)
+            };
+            assert_eq!(found_ends, real_ends);
+        }
+        let d = ctrl.stats.discovery_time.unwrap();
+        assert!(d.as_secs_f64() > 0.0);
+        // Hosts got hellos after discovery.
+        fabric.run_until(t(5_100));
+        assert!(fabric.host(HostId(1)).unwrap().controller().is_some());
+    }
+
+    #[test]
+    fn failure_triggers_notifications_and_failover() {
+        let g = generators::testbed();
+        let spines = g.group("spine").to_vec();
+        let leaves = g.group("leaf").to_vec();
+        let mut cfg = FabricConfig::default();
+        let mut fabric = Fabric::build_with(g.topology, cfg.clone(), |id, mut hc| {
+            if id == HostId(1) {
+                // Continuous stream from host 1 (leaf 0) to host 26
+                // (last leaf) across the failure window.
+                hc.actions = vec![AppAction::DataStream {
+                    at: SimDuration::from_millis(10),
+                    dst: MacAddr::for_host(26),
+                    flow: 7,
+                    packets: 400,
+                    bytes: 1000,
+                    interval: SimDuration::from_micros(500),
+                }];
+            }
+            HostAgent::new(id, hc)
+        })
+        .unwrap();
+        cfg.host.actions.clear();
+        // Fail one spine-leaf link on the sender's side mid-stream. The
+        // stream runs 10ms..210ms; fail at 100ms.
+        let (a, b) = (leaves[0], spines[0]);
+        fabric.schedule_link_failure(t(100), a, b).unwrap();
+        fabric.run_until(t(400));
+        let receiver = fabric.host(HostId(26)).unwrap();
+        let &(pkts, _bytes) = receiver.stats.delivered.get(&7).unwrap();
+        // Some packets are lost in the failover gap, but the vast
+        // majority must arrive.
+        assert!(pkts >= 360, "only {pkts}/400 delivered");
+        // The sender learned about the failure.
+        let sender = fabric.host(HostId(1)).unwrap();
+        assert!(
+            !sender.stats.notification_arrivals.is_empty(),
+            "no stage-1 notification reached the sender"
+        );
+        // Stage 2: controller flooded a patch.
+        let patches = sender.stats.patch_arrivals.len();
+        assert!(patches >= 1, "no topology patch received");
+        // Other hosts learned too (flooding + broadcast).
+        let bystander = fabric.host(HostId(20)).unwrap();
+        assert!(!bystander.stats.notification_arrivals.is_empty());
+    }
+
+    #[test]
+    fn deterministic_fabric_runs() {
+        let run = || {
+            let g = generators::testbed();
+            let mut fabric = Fabric::build_with(
+                g.topology,
+                FabricConfig::default(),
+                |id, mut hc| {
+                    if id.get() % 3 == 1 {
+                        hc.actions = vec![AppAction::PingSeries {
+                            at: SimDuration::from_millis(15),
+                            dst: MacAddr::for_host((id.get() + 5) % 27),
+                            count: 3,
+                            interval: SimDuration::from_millis(2),
+                        }];
+                    }
+                    HostAgent::new(id, hc)
+                },
+            )
+            .unwrap();
+            fabric.run_until(t(300));
+            let mut rtts = Vec::new();
+            for h in 0..27 {
+                if let Some(agent) = fabric.host(HostId(h)) {
+                    rtts.extend(agent.stats.rtts.iter().map(|r| (h, r.0, r.2)));
+                }
+            }
+            (fabric.world.stats(), rtts)
+        };
+        assert_eq!(run(), run());
+    }
+}

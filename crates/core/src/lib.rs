@@ -1,0 +1,21 @@
+//! DumbNet fabric orchestration.
+//!
+//! This crate assembles complete emulated DumbNet deployments: it takes a
+//! [`Topology`](dumbnet_topology::Topology), instantiates a
+//! [`DumbSwitch`](dumbnet_switch::DumbSwitch) per switch, a
+//! [`HostAgent`](dumbnet_host::HostAgent) per server and a
+//! [`Controller`](dumbnet_controller::Controller) per controller host,
+//! wires them through the discrete-event engine, and exposes the handles
+//! experiments need (failure injection, per-node stats, virtual-time
+//! control).
+//!
+//! [`Fabric`] is the highest-level entry point of the workspace — the
+//! examples and every packet-level experiment in the benchmark harness
+//! are built on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fabric;
+
+pub use fabric::{Fabric, FabricConfig};

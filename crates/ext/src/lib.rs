@@ -1,0 +1,34 @@
+//! DumbNet software extensions (§6).
+//!
+//! The paper's thesis is that putting all network state on hosts makes
+//! extensions trivial; §6 demonstrates three, and this crate implements
+//! all of them:
+//!
+//! * [`flowlet`] — flowlet-based traffic engineering (§6.2): the routing
+//!   function keys on (destination, port, flowlet epoch) instead of the
+//!   destination alone, and a flowlet's epoch bumps whenever the
+//!   inter-packet gap exceeds the flowlet timeout, spreading consecutive
+//!   bursts of one flow over the k cached paths. Table 1 prices this at
+//!   "+100 lines"; it is about that here too.
+//! * [`router`] — the software layer-3 router (§6.3): "a number of host
+//!   agents running on the same node, one for each subnet", plus the
+//!   optional cross-subnet source-routing shortcut that concatenates
+//!   per-subnet tag paths.
+//! * [`vnet`] — network virtualization (§6.1): per-tenant topology views
+//!   and the path verifier that keeps application-generated routes
+//!   inside their tenant's slice.
+//! * [`ecn`] — the §8 future-work item built out: ECN-driven
+//!   congestion-avoiding rerouting on top of flowlet switching.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecn;
+pub mod flowlet;
+pub mod router;
+pub mod vnet;
+
+pub use ecn::EcnFlowletRouting;
+pub use flowlet::{FlowletRouting, FlowletState};
+pub use router::{L3Router, RouterConfig, Subnet};
+pub use vnet::{TenantId, VirtualNetworks};

@@ -1,0 +1,214 @@
+//! Network virtualization (§6.1).
+//!
+//! "With the above two mechanisms, we can trivially implement network
+//! virtualization: we only need to provide different topologies for
+//! applications on different virtual network. Of course, we need to
+//! verify the paths to prevent malicious applications from violating the
+//! separation."
+//!
+//! [`VirtualNetworks`] is that mechanism: a registry of per-tenant
+//! [`TopologyView`]s plus the verification entry point applications'
+//! routes must pass before entering the PathTable.
+
+use std::collections::HashMap;
+
+use dumbnet_topology::views::{PathTrace, TopologyView};
+use dumbnet_topology::Topology;
+use dumbnet_types::{DumbNetError, HostId, Path, Result, SwitchId};
+
+/// Tenant identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+/// The per-tenant view registry and path verifier.
+#[derive(Debug, Default)]
+pub struct VirtualNetworks {
+    tenants: HashMap<TenantId, TopologyView>,
+    /// Verification outcomes, for auditing: `(tenant, accepted)`.
+    pub verifications: Vec<(TenantId, bool)>,
+}
+
+impl VirtualNetworks {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> VirtualNetworks {
+        VirtualNetworks::default()
+    }
+
+    /// Registers (or replaces) a tenant's view.
+    pub fn register(&mut self, tenant: TenantId, view: TopologyView) {
+        self.tenants.insert(tenant, view);
+    }
+
+    /// Removes a tenant.
+    pub fn remove(&mut self, tenant: TenantId) -> bool {
+        self.tenants.remove(&tenant).is_some()
+    }
+
+    /// Number of registered tenants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether no tenants are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The view of a tenant, if registered.
+    #[must_use]
+    pub fn view(&self, tenant: TenantId) -> Option<&TopologyView> {
+        self.tenants.get(&tenant)
+    }
+
+    /// Builds a tenant view that slices the topology to the given
+    /// switches plus every host attached to them.
+    #[must_use]
+    pub fn slice_by_switches<I>(topo: &Topology, switches: I) -> TopologyView
+    where
+        I: IntoIterator<Item = SwitchId>,
+    {
+        let switches: std::collections::HashSet<SwitchId> = switches.into_iter().collect();
+        let hosts: Vec<HostId> = topo
+            .hosts()
+            .filter(|h| switches.contains(&h.attached.switch))
+            .map(|h| h.id)
+            .collect();
+        TopologyView::restricted(switches, hosts)
+    }
+
+    /// The §6.1 path verifier: checks an application-supplied tag path
+    /// for `tenant` before it may enter the PathTable. Records the
+    /// outcome for auditing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::PathRejected`] for unknown tenants or
+    /// paths escaping the tenant's slice.
+    pub fn verify(
+        &mut self,
+        tenant: TenantId,
+        topo: &Topology,
+        src: HostId,
+        path: &Path,
+    ) -> Result<PathTrace> {
+        let Some(view) = self.tenants.get(&tenant) else {
+            self.verifications.push((tenant, false));
+            return Err(DumbNetError::PathRejected(format!(
+                "unknown tenant {}",
+                tenant.0
+            )));
+        };
+        let outcome = view.verify_tag_path(topo, src, path);
+        self.verifications.push((tenant, outcome.is_ok()));
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dumbnet_topology::{generators, spath};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two tenants on the testbed: tenant 1 owns leaves 0–1 + spine 0,
+    /// tenant 2 owns leaves 3–4 + spine 1.
+    fn setup() -> (Topology, VirtualNetworks) {
+        let g = generators::testbed();
+        let spines = g.group("spine").to_vec();
+        let leaves = g.group("leaf").to_vec();
+        let mut v = VirtualNetworks::new();
+        v.register(
+            TenantId(1),
+            VirtualNetworks::slice_by_switches(
+                &g.topology,
+                [spines[0], leaves[0], leaves[1]],
+            ),
+        );
+        v.register(
+            TenantId(2),
+            VirtualNetworks::slice_by_switches(
+                &g.topology,
+                [spines[1], leaves[3], leaves[4]],
+            ),
+        );
+        (g.topology, v)
+    }
+
+    fn path_between(topo: &Topology, src: HostId, dst: HostId, via: SwitchId) -> Path {
+        // Source-routed path forced through `via`.
+        let s = topo.host(src).unwrap().attached.switch;
+        let d = topo.host(dst).unwrap().attached.switch;
+        let mut rng = StdRng::seed_from_u64(1);
+        let r1 = spath::shortest_route(topo, s, via, &mut rng).unwrap();
+        let r2 = spath::shortest_route(topo, via, d, &mut rng).unwrap();
+        let mut switches = r1.switches().to_vec();
+        switches.extend_from_slice(&r2.switches()[1..]);
+        dumbnet_topology::Route::new(switches)
+            .unwrap()
+            .to_tag_path(topo, src, dst)
+            .unwrap()
+    }
+
+    #[test]
+    fn tenant_path_inside_slice_accepted() {
+        let (topo, mut v) = setup();
+        let spine0 = topo.switches().next().unwrap().id;
+        // Hosts 0..5 are on leaf 0; 6..11 on leaf 1.
+        let path = path_between(&topo, HostId(0), HostId(7), spine0);
+        let trace = v.verify(TenantId(1), &topo, HostId(0), &path).unwrap();
+        assert_eq!(trace.delivered_to, Some(HostId(7)));
+        assert_eq!(v.verifications, vec![(TenantId(1), true)]);
+    }
+
+    #[test]
+    fn tenant_path_via_foreign_spine_rejected() {
+        let (topo, mut v) = setup();
+        let spine1 = SwitchId(1); // Tenant 2's spine.
+        let path = path_between(&topo, HostId(0), HostId(7), spine1);
+        assert!(v.verify(TenantId(1), &topo, HostId(0), &path).is_err());
+        assert_eq!(v.verifications, vec![(TenantId(1), false)]);
+    }
+
+    #[test]
+    fn tenant_cannot_reach_foreign_host() {
+        let (topo, mut v) = setup();
+        let spine0 = SwitchId(0);
+        // Host 20 lives on leaf 3 (tenant 2's slice).
+        let path = path_between(&topo, HostId(0), HostId(20), spine0);
+        assert!(v.verify(TenantId(1), &topo, HostId(0), &path).is_err());
+    }
+
+    #[test]
+    fn unknown_tenant_rejected() {
+        let (topo, mut v) = setup();
+        let path = Path::from_ports([1]).unwrap();
+        assert!(v.verify(TenantId(99), &topo, HostId(0), &path).is_err());
+    }
+
+    #[test]
+    fn registry_management() {
+        let (_, mut v) = setup();
+        assert_eq!(v.len(), 2);
+        assert!(v.view(TenantId(1)).is_some());
+        assert!(v.remove(TenantId(1)));
+        assert!(!v.remove(TenantId(1)));
+        assert_eq!(v.len(), 1);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn slice_includes_attached_hosts_only() {
+        let g = generators::testbed();
+        let leaves = g.group("leaf").to_vec();
+        let view = VirtualNetworks::slice_by_switches(&g.topology, [leaves[0]]);
+        // Leaf 0 hosts: 0..=5.
+        for h in 0..6 {
+            assert!(view.permits_host(HostId(h)));
+        }
+        assert!(!view.permits_host(HostId(6)));
+    }
+}

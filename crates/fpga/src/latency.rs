@@ -1,0 +1,147 @@
+//! FPGA switch forwarding-latency model (§7.1).
+//!
+//! The prototype is a store-and-forward 1 GE switch with an unoptimized
+//! two-stage pipeline: each hop costs one full frame reception, the
+//! pop-label + demux pipeline, one full frame transmission, and any
+//! queueing behind a frame already leaving the output port. The paper
+//! measures 3 hops at 100.6 µs average, 152 µs max; the model below
+//! reproduces both from structure:
+//!
+//! * 1 500 B at 1 Gbps serializes in 12 µs; store-and-forward pays it
+//!   twice per hop (receive fully, then transmit fully);
+//! * the unoptimized pipeline adds ≈9.5 µs;
+//! * the worst case additionally waits out one maximum-size frame
+//!   (≈12.1 µs) at the output queue.
+
+use rand::Rng;
+
+use dumbnet_types::{Bandwidth, SimDuration};
+
+/// One simulated latency measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySample {
+    /// End-to-end latency over the measured hops.
+    pub total: SimDuration,
+    /// Number of switch hops traversed.
+    pub hops: u32,
+}
+
+/// The calibrated latency model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaLatencyModel {
+    /// Port line rate (1 GE on the ONetSwitch45).
+    pub line_rate: Bandwidth,
+    /// Fixed pipeline traversal cost per hop.
+    pub pipeline: SimDuration,
+    /// Worst-case extra pipeline stall (output arbitration against the
+    /// other ports of the unoptimized demux stage).
+    pub arbitration_max: SimDuration,
+    /// Maximum frame size used for worst-case queueing.
+    pub max_frame: usize,
+}
+
+impl Default for FpgaLatencyModel {
+    fn default() -> FpgaLatencyModel {
+        FpgaLatencyModel {
+            line_rate: Bandwidth::gbps(1),
+            pipeline: SimDuration::from_nanos(9_500),
+            arbitration_max: SimDuration::from_nanos(5_080),
+            max_frame: 1_518,
+        }
+    }
+}
+
+impl FpgaLatencyModel {
+    /// Latency of one hop for a frame of `bytes`, with `queued_frames`
+    /// maximum-size frames ahead of it at the output port.
+    #[must_use]
+    pub fn hop_latency(&self, bytes: usize, queued_frames: u32) -> SimDuration {
+        let ser = self.line_rate.serialization_delay(bytes);
+        let queue = self
+            .line_rate
+            .serialization_delay(self.max_frame)
+            .saturating_mul(u64::from(queued_frames));
+        // Receive fully + pipeline + queue + transmit fully.
+        ser + self.pipeline + queue + ser
+    }
+
+    /// Uncontended latency over `hops` hops (the Figure/§7.1 average).
+    #[must_use]
+    pub fn path_latency(&self, hops: u32, bytes: usize) -> SimDuration {
+        self.hop_latency(bytes, 0)
+            .saturating_mul(u64::from(hops))
+    }
+
+    /// Worst-case latency over `hops` hops: one full frame queued ahead
+    /// and maximal arbitration stall at every hop.
+    #[must_use]
+    pub fn worst_case(&self, hops: u32, bytes: usize) -> SimDuration {
+        (self.hop_latency(bytes, 1) + self.arbitration_max)
+            .saturating_mul(u64::from(hops))
+    }
+
+    /// Draws a randomized sample: each hop independently queues behind a
+    /// partial frame with probability `load` (uniform residual) and
+    /// suffers a uniform arbitration stall.
+    pub fn sample<R: Rng>(&self, hops: u32, bytes: usize, load: f64, rng: &mut R) -> LatencySample {
+        let mut total = SimDuration::ZERO;
+        let max_queue = self.line_rate.serialization_delay(self.max_frame);
+        for _ in 0..hops {
+            let mut hop = self.hop_latency(bytes, 0);
+            hop = hop + SimDuration::from_nanos(rng.gen_range(0..=self.arbitration_max.nanos()));
+            if rng.gen_bool(load.clamp(0.0, 1.0)) {
+                let residual = rng.gen_range(0..=max_queue.nanos());
+                hop = hop + SimDuration::from_nanos(residual);
+            }
+            total = total + hop;
+        }
+        LatencySample { total, hops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn three_hop_average_matches_paper() {
+        let m = FpgaLatencyModel::default();
+        let avg = m.path_latency(3, 1_500).as_micros_f64();
+        assert!(
+            (avg - 100.6).abs() < 1.0,
+            "3-hop average {avg:.1} µs vs paper 100.6 µs"
+        );
+    }
+
+    #[test]
+    fn three_hop_worst_case_matches_paper() {
+        let m = FpgaLatencyModel::default();
+        let worst = m.worst_case(3, 1_500).as_micros_f64();
+        assert!(
+            (worst - 152.0).abs() < 3.0,
+            "3-hop worst case {worst:.1} µs vs paper 152 µs"
+        );
+    }
+
+    #[test]
+    fn samples_bounded_by_extremes() {
+        let m = FpgaLatencyModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let lo = m.path_latency(3, 1_500);
+        let hi = m.worst_case(3, 1_500);
+        for _ in 0..1_000 {
+            let s = m.sample(3, 1_500, 0.3, &mut rng);
+            assert!(s.total >= lo && s.total <= hi);
+            assert_eq!(s.hops, 3);
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_hops_and_size() {
+        let m = FpgaLatencyModel::default();
+        assert!(m.path_latency(6, 1_500) > m.path_latency(3, 1_500));
+        assert!(m.path_latency(3, 1_500) > m.path_latency(3, 64));
+    }
+}

@@ -1,0 +1,30 @@
+//! The DumbNet host agent.
+//!
+//! "The host agent handles most logics of DumbNet" (§5.2). This crate
+//! contains:
+//!
+//! * [`pathtable`] — the PathTable: the per-destination cache of k tag
+//!   paths plus a backup path, with per-flow path binding. The hot-path
+//!   structure of Table 2's "PathTable Lookup".
+//! * [`topocache`] — the TopoCache: merged path graphs received from the
+//!   controller, the down-edge set, and k-shortest-path extraction.
+//! * [`agent`] — the [`agent::HostAgent`] simulation node: the
+//!   kernel-module analog (tag insertion/removal, EtherType filtering),
+//!   path-cache queries with controller fallback, failure flooding and
+//!   local failover, ping measurement, and a pluggable routing function
+//!   (the extension point flowlet TE uses, §6.2).
+//! * [`datapath`] — the per-packet CPU cost model calibrated against the
+//!   paper's DPDK measurements, used by the Figure 9/10 reproductions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod datapath;
+pub mod pathtable;
+pub mod topocache;
+
+pub use agent::{AgentStats, HostAgent, HostAgentConfig, RoutingFn};
+pub use datapath::{DatapathModel, DatapathVariant};
+pub use pathtable::{FlowKey, PathTable, PathTableEntry};
+pub use topocache::TopoCache;

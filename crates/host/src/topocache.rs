@@ -1,0 +1,253 @@
+//! The TopoCache: merged path graphs and down-edge bookkeeping.
+//!
+//! §5.2: "TopoCache interacts with the controller and aggregates all path
+//! graphs from the controller. To find a path between a (src, dst) pair,
+//! the TopoCache first checks if it has the location of dst locally. If
+//! not found, it queries the controller and integrates the returned path
+//! graph into its cache. Otherwise, it computes the k shortest paths from
+//! src to dst and randomly chooses one as the path."
+
+use std::collections::{HashMap, HashSet};
+
+use dumbnet_topology::{PathGraph, Route};
+use dumbnet_types::{MacAddr, Path, SwitchId};
+
+use crate::pathtable::CachedPath;
+
+/// The TopoCache for one host.
+#[derive(Debug, Clone, Default)]
+pub struct TopoCache {
+    /// Path graphs keyed by destination MAC.
+    graphs: HashMap<MacAddr, PathGraph>,
+    /// Edges the host currently believes are down (from failure
+    /// notifications not yet superseded by a topology patch).
+    down: HashSet<(SwitchId, SwitchId)>,
+    /// Latest topology version seen from the controller.
+    pub topo_version: u64,
+}
+
+impl TopoCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> TopoCache {
+        TopoCache::default()
+    }
+
+    /// Integrates a path graph received from the controller.
+    pub fn integrate(&mut self, dst: MacAddr, graph: PathGraph, version: u64) {
+        if version > self.topo_version {
+            self.topo_version = version;
+        }
+        // A fresh graph reflects the controller's current view; forget
+        // down-markings it already accounts for (edges absent from it
+        // stay marked for other cached graphs).
+        self.graphs.insert(dst, graph);
+    }
+
+    /// Whether the cache knows the location of `dst`.
+    #[must_use]
+    pub fn knows(&self, dst: MacAddr) -> bool {
+        self.graphs.contains_key(&dst)
+    }
+
+    /// The cached graph for `dst`.
+    #[must_use]
+    pub fn graph(&self, dst: MacAddr) -> Option<&PathGraph> {
+        self.graphs.get(&dst)
+    }
+
+    /// Number of destinations with cached graphs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Returns `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Total switches cached across all graphs (the storage-overhead
+    /// metric of §7.3).
+    #[must_use]
+    pub fn cached_switches(&self) -> usize {
+        self.graphs.values().map(PathGraph::switch_count).sum()
+    }
+
+    /// Marks an edge down (failure notification). Returns `true` if this
+    /// was new information.
+    pub fn mark_down(&mut self, a: SwitchId, b: SwitchId) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.down.insert(key)
+    }
+
+    /// Marks an edge back up (topology patch).
+    pub fn mark_up(&mut self, a: SwitchId, b: SwitchId) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.down.remove(&key);
+    }
+
+    /// The down-edge set.
+    #[must_use]
+    pub fn down_edges(&self) -> &HashSet<(SwitchId, SwitchId)> {
+        &self.down
+    }
+
+    /// Resolves the switch pair of a `(switch, port)` failure from the
+    /// cached graphs (the notification names a port; routing needs the
+    /// edge). Returns `None` when no cached graph contains that port —
+    /// then the failure cannot affect any cached path either.
+    #[must_use]
+    pub fn edge_of_port(&self, sw: SwitchId, port: dumbnet_types::PortNo) -> Option<(SwitchId, SwitchId)> {
+        for g in self.graphs.values() {
+            for e in &g.edges {
+                if (e.a.switch == sw && e.a.port == port) || (e.b.switch == sw && e.b.port == port)
+                {
+                    return Some(e.key());
+                }
+            }
+        }
+        None
+    }
+
+    /// Computes up to `k` routes (with their tag paths) for `dst` within
+    /// the cached graph, avoiding down edges. Returns pairs ordered
+    /// shortest-first, plus the backup path if it survives.
+    #[must_use]
+    pub fn k_paths(&self, dst: MacAddr, k: usize) -> Option<(Vec<CachedPath>, Option<CachedPath>)> {
+        let graph = self.graphs.get(&dst)?;
+        let routes = graph.k_shortest_within(k, &self.down);
+        let mut cached = Vec::with_capacity(routes.len());
+        for r in routes {
+            if let Ok(tags) = graph.tag_path(&r) {
+                cached.push(CachedPath { tags, route: r });
+            }
+        }
+        let backup = graph.backup.as_ref().and_then(|b| {
+            if self.route_alive(b) && cached.iter().all(|c| &c.route != b) {
+                graph
+                    .tag_path(b)
+                    .ok()
+                    .map(|tags| CachedPath {
+                        tags,
+                        route: b.clone(),
+                    })
+            } else {
+                None
+            }
+        });
+        Some((cached, backup))
+    }
+
+    /// The single best live route and tag path for `dst`.
+    #[must_use]
+    pub fn best_path(&self, dst: MacAddr) -> Option<(Route, Path)> {
+        let graph = self.graphs.get(&dst)?;
+        let route = graph.shortest_within(&self.down)?;
+        let tags = graph.tag_path(&route).ok()?;
+        Some((route, tags))
+    }
+
+    fn route_alive(&self, route: &Route) -> bool {
+        route.switches().windows(2).all(|w| {
+            let key = if w[0] <= w[1] {
+                (w[0], w[1])
+            } else {
+                (w[1], w[0])
+            };
+            !self.down.contains(&key)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dumbnet_topology::{generators, pathgraph, PathGraphParams};
+    use dumbnet_types::HostId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn testbed_graph(src: u64, dst: u64) -> (PathGraph, MacAddr) {
+        let g = generators::testbed();
+        let mut rng = StdRng::seed_from_u64(7);
+        let pg = pathgraph::build(
+            &g.topology,
+            HostId(src),
+            HostId(dst),
+            &PathGraphParams::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let mac = g.topology.host(HostId(dst)).unwrap().mac;
+        (pg, mac)
+    }
+
+    #[test]
+    fn integrate_then_query() {
+        let (pg, dst) = testbed_graph(0, 26);
+        let mut tc = TopoCache::new();
+        assert!(!tc.knows(dst));
+        tc.integrate(dst, pg, 3);
+        assert!(tc.knows(dst));
+        assert_eq!(tc.topo_version, 3);
+        let (paths, backup) = tc.k_paths(dst, 4).unwrap();
+        assert!(paths.len() >= 2, "testbed has 2 spines: {}", paths.len());
+        assert!(backup.is_some() || paths.len() >= 2);
+        let (_, best) = tc.best_path(dst).unwrap();
+        assert_eq!(best.len(), 3); // leaf→spine→leaf→host port.
+    }
+
+    #[test]
+    fn down_edges_excluded_from_paths() {
+        let (pg, dst) = testbed_graph(0, 26);
+        let primary = pg.primary.clone();
+        let mut tc = TopoCache::new();
+        tc.integrate(dst, pg, 1);
+        let p = primary.switches();
+        assert!(tc.mark_down(p[0], p[1]));
+        assert!(!tc.mark_down(p[1], p[0]), "idempotent marking");
+        let (route, _) = tc.best_path(dst).unwrap();
+        assert!(route
+            .switches()
+            .windows(2)
+            .all(|w| !(w[0] == p[0] && w[1] == p[1]) && !(w[0] == p[1] && w[1] == p[0])));
+        tc.mark_up(p[0], p[1]);
+        assert!(tc.down_edges().is_empty());
+    }
+
+    #[test]
+    fn edge_of_port_resolution() {
+        let (pg, dst) = testbed_graph(0, 26);
+        let edge = pg.edges[0];
+        let mut tc = TopoCache::new();
+        tc.integrate(dst, pg, 1);
+        let key = tc.edge_of_port(edge.a.switch, edge.a.port).unwrap();
+        assert_eq!(key, edge.key());
+        // A port no cached graph knows about.
+        assert_eq!(
+            tc.edge_of_port(SwitchId(999), dumbnet_types::PortNo::new(1).unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn cached_switch_accounting() {
+        let (pg1, d1) = testbed_graph(0, 26);
+        let (pg2, d2) = testbed_graph(1, 20);
+        let mut tc = TopoCache::new();
+        let total = pg1.switch_count() + pg2.switch_count();
+        tc.integrate(d1, pg1, 1);
+        tc.integrate(d2, pg2, 2);
+        assert_eq!(tc.cached_switches(), total);
+        assert_eq!(tc.len(), 2);
+    }
+
+    #[test]
+    fn unknown_destination_returns_none() {
+        let tc = TopoCache::new();
+        assert!(tc.k_paths(MacAddr::for_host(5), 4).is_none());
+        assert!(tc.best_path(MacAddr::for_host(5)).is_none());
+    }
+}

@@ -1,0 +1,323 @@
+//! Typed control-plane messages.
+//!
+//! Control traffic rides inside ordinary DumbNet packets (probes *are*
+//! data-plane packets — that is the whole point of the design). The
+//! emulator keeps the payloads structured rather than serialized; the
+//! wire codecs in this crate demonstrate byte-level framing separately.
+//!
+//! Message inventory:
+//!
+//! * Discovery (§4.1): [`ControlMessage::Probe`],
+//!   [`ControlMessage::ProbeReply`], [`ControlMessage::SwitchIdReply`].
+//! * Failure handling (§4.2): [`ControlMessage::LinkNotification`]
+//!   (switch-originated, hop-limited broadcast),
+//!   [`ControlMessage::HostFlood`] (host-to-host flooding),
+//!   [`ControlMessage::TopologyPatch`] (controller stage-2 flood).
+//! * Path service (§4.3, §5.2): [`ControlMessage::PathRequest`] /
+//!   [`ControlMessage::PathReply`].
+//! * Controller replication: [`ControlMessage::ReplAppend`] /
+//!   [`ControlMessage::ReplAck`].
+//! * Measurement: [`ControlMessage::Ping`] / [`ControlMessage::Pong`].
+
+use serde::{Deserialize, Serialize};
+
+use dumbnet_topology::PathGraph;
+use dumbnet_types::{MacAddr, Path, PortId, PortNo, SimTime, SwitchId};
+
+/// A link state change, as carried by notifications and patches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkEvent {
+    /// The switch reporting the event.
+    pub switch: SwitchId,
+    /// The port whose state changed.
+    pub port: PortNo,
+    /// New state.
+    pub up: bool,
+    /// Per-port sequence number used for duplicate suppression.
+    pub seq: u64,
+}
+
+/// A batch of topology changes the controller floods in stage 2.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TopoDelta {
+    /// Switch pairs whose connecting link went down.
+    pub down: Vec<(SwitchId, SwitchId)>,
+    /// Newly verified links (with port detail so hosts can route over
+    /// them immediately).
+    pub up: Vec<(PortId, PortId)>,
+}
+
+impl TopoDelta {
+    /// Returns `true` when the delta carries no changes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.down.is_empty() && self.up.is_empty()
+    }
+}
+
+/// Per-port transmit counters carried by a statistics reply (§8: soft
+/// state only — counters, no forwarding state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortStat {
+    /// The port.
+    pub port: PortNo,
+    /// Packets transmitted out of this port.
+    pub tx_packets: u64,
+    /// Bytes transmitted out of this port.
+    pub tx_bytes: u64,
+}
+
+/// All control-plane message types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlMessage {
+    /// A topology-discovery probing message (§4.1). "Its payload contains
+    /// (i) a marker identifying it is a probing message, (ii) the source
+    /// of the message, and (iii) the entire path to the destination."
+    Probe {
+        /// The probing host.
+        origin: MacAddr,
+        /// The full forward path the probe was launched with (the header
+        /// path shrinks hop by hop; this copy lets receivers reply).
+        forward_path: Path,
+        /// Correlation ID chosen by the prober.
+        probe_id: u64,
+    },
+    /// A host's answer to a probe, sent along the reversed path.
+    ProbeReply {
+        /// The replying host.
+        responder: MacAddr,
+        /// Whether the responder is a controller ("possibly the
+        /// controller if the new host knows").
+        is_controller: bool,
+        /// Echo of the probe's correlation ID.
+        probe_id: u64,
+        /// Echo of the probe's forward path.
+        forward_path: Path,
+    },
+    /// A switch's answer to an ID-query tag. The switch echoes the
+    /// triggering payload so the prober can correlate replies.
+    SwitchIdReply {
+        /// The replying switch's factory-unique ID.
+        switch: SwitchId,
+        /// The payload of the packet that carried the ID-query tag.
+        echo: Option<Box<ControlMessage>>,
+    },
+    /// Switch-originated port state notification, flooded with a hop
+    /// limit ("a max of 5 hops is often enough").
+    LinkNotification {
+        /// The event.
+        event: LinkEvent,
+        /// Remaining hops; switches decrement and drop at zero.
+        ttl: u8,
+    },
+    /// Host-to-host flood relaying a link event (stage 1 of failure
+    /// handling, §4.2).
+    HostFlood {
+        /// The event being relayed.
+        event: LinkEvent,
+        /// The relaying host.
+        from: MacAddr,
+    },
+    /// A host asks the controller for paths to a destination.
+    PathRequest {
+        /// Requesting host.
+        src: MacAddr,
+        /// Destination host (by MAC, the PathTable key).
+        dst: MacAddr,
+        /// Correlation ID.
+        request_id: u64,
+    },
+    /// The controller's answer: a path graph, or `None` when the
+    /// destination is unknown.
+    PathReply {
+        /// Echo of the request's correlation ID.
+        request_id: u64,
+        /// The cached subgraph (§4.3), if the destination exists.
+        graph: Option<Box<PathGraph>>,
+        /// Topology version the graph was computed against.
+        topo_version: u64,
+    },
+    /// Controller stage-2 flood: authoritative topology changes.
+    TopologyPatch {
+        /// Monotonic topology version after applying the delta.
+        version: u64,
+        /// The changes.
+        delta: TopoDelta,
+    },
+    /// Bootstrap message from the controller to a host: "you exist, here
+    /// is how to reach me".
+    ControllerHello {
+        /// Controller identity.
+        controller: MacAddr,
+        /// Tag path from the host back to the controller.
+        path_to_controller: Path,
+        /// Current topology version.
+        topo_version: u64,
+        /// Whether the sender is a standby replica. Hosts send new path
+        /// queries to every live controller round-robin (§4: "we use
+        /// multiple controllers wherever possible … handling topology
+        /// queries from clients"), but only a non-standby hello changes
+        /// the primary.
+        standby: bool,
+    },
+    /// Leader→replica topology-log append (the ZooKeeper-substitute
+    /// replication protocol).
+    ReplAppend {
+        /// Log index of this entry.
+        index: u64,
+        /// Topology version after this entry.
+        version: u64,
+        /// The change being replicated.
+        delta: TopoDelta,
+        /// The leader's identity.
+        leader: MacAddr,
+    },
+    /// Replica→leader acknowledgement.
+    ReplAck {
+        /// Index being acknowledged.
+        index: u64,
+        /// The acknowledging replica.
+        replica: MacAddr,
+    },
+    /// In-band switch statistics query (§8 future work: "mechanisms for
+    /// packet statistics … either require no state, or only soft
+    /// state"). Carried under an ID-query tag; the switch replies with
+    /// [`ControlMessage::StatsReply`] along the remaining path.
+    StatsQuery {
+        /// Correlation ID chosen by the querier.
+        probe_id: u64,
+    },
+    /// A switch's statistics reply.
+    StatsReply {
+        /// The replying switch.
+        switch: SwitchId,
+        /// Echo of the query's correlation ID.
+        probe_id: u64,
+        /// Per-port transmit counters (wired ports only).
+        ports: Vec<PortStat>,
+    },
+    /// Receiver → sender congestion echo (§8 ECN support): the receiver
+    /// saw an ECN-marked packet of this flow and tells the sender so its
+    /// routing function can move the flow at the next flowlet boundary.
+    EcnEcho {
+        /// The congested flow.
+        flow: u64,
+    },
+    /// Spanning-tree bridge PDU, used only by the conventional-network
+    /// baseline switch (Figure 11(b)'s comparison).
+    Bpdu {
+        /// Bridge ID the sender believes is the root.
+        root: u64,
+        /// Sender's cost to that root.
+        cost: u32,
+        /// Sender's own bridge ID.
+        sender: u64,
+    },
+    /// Measurement echo request.
+    Ping {
+        /// Sender-chosen sequence number.
+        seq: u64,
+        /// Virtual send timestamp.
+        sent_at: SimTime,
+    },
+    /// Measurement echo reply.
+    Pong {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Echoed send timestamp of the ping.
+        echo_sent_at: SimTime,
+    },
+}
+
+impl ControlMessage {
+    /// Approximate serialized size in bytes, used by the emulator for
+    /// link-time accounting. Sizes mirror a compact binary encoding: a
+    /// one-byte discriminant plus fixed-size fields, with paths at one
+    /// byte per tag and path graphs at ~12 bytes per edge.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        match self {
+            ControlMessage::Probe { forward_path, .. } => 1 + 6 + 8 + forward_path.len() + 1,
+            ControlMessage::ProbeReply { forward_path, .. } => {
+                1 + 6 + 1 + 8 + forward_path.len() + 1
+            }
+            ControlMessage::SwitchIdReply { echo, .. } => {
+                1 + 8 + echo.as_ref().map_or(0, |e| e.wire_size())
+            }
+            ControlMessage::LinkNotification { .. } => 1 + 8 + 1 + 1 + 8 + 1,
+            ControlMessage::HostFlood { .. } => 1 + 8 + 1 + 1 + 8 + 6,
+            ControlMessage::PathRequest { .. } => 1 + 6 + 6 + 8,
+            ControlMessage::PathReply { graph, .. } => {
+                1 + 8
+                    + 8
+                    + graph
+                        .as_ref()
+                        .map_or(0, |g| 32 + g.edge_count() * 12 + g.switch_count() * 8)
+            }
+            ControlMessage::TopologyPatch { delta, .. } => {
+                1 + 8 + delta.down.len() * 16 + delta.up.len() * 18
+            }
+            ControlMessage::ControllerHello {
+                path_to_controller, ..
+            } => 1 + 6 + path_to_controller.len() + 1 + 8,
+            ControlMessage::ReplAppend { delta, .. } => {
+                1 + 8 + 8 + 6 + delta.down.len() * 16 + delta.up.len() * 18
+            }
+            ControlMessage::ReplAck { .. } => 1 + 8 + 6,
+            ControlMessage::StatsQuery { .. } => 1 + 8,
+            ControlMessage::StatsReply { ports, .. } => 1 + 8 + 8 + ports.len() * 17,
+            ControlMessage::EcnEcho { .. } => 1 + 8,
+            // The real 802.1D configuration BPDU is 35 bytes.
+            ControlMessage::Bpdu { .. } => 35,
+            ControlMessage::Ping { .. } | ControlMessage::Pong { .. } => 1 + 8 + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let short = ControlMessage::Probe {
+            origin: MacAddr::for_host(1),
+            forward_path: Path::from_ports([1]).unwrap(),
+            probe_id: 1,
+        };
+        let long = ControlMessage::Probe {
+            origin: MacAddr::for_host(1),
+            forward_path: Path::from_ports([1, 2, 3, 4, 5]).unwrap(),
+            probe_id: 1,
+        };
+        assert_eq!(long.wire_size() - short.wire_size(), 4);
+    }
+
+    #[test]
+    fn switch_id_reply_includes_echo_size() {
+        let probe = ControlMessage::Probe {
+            origin: MacAddr::for_host(1),
+            forward_path: Path::from_ports([1, 2]).unwrap(),
+            probe_id: 9,
+        };
+        let bare = ControlMessage::SwitchIdReply {
+            switch: SwitchId(3),
+            echo: None,
+        };
+        let with_echo = ControlMessage::SwitchIdReply {
+            switch: SwitchId(3),
+            echo: Some(Box::new(probe.clone())),
+        };
+        assert_eq!(with_echo.wire_size(), bare.wire_size() + probe.wire_size());
+    }
+
+    #[test]
+    fn empty_delta_detected() {
+        assert!(TopoDelta::default().is_empty());
+        let d = TopoDelta {
+            down: vec![(SwitchId(1), SwitchId(2))],
+            up: vec![],
+        };
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Ethernet II framing.
+//!
+//! DumbNet "keep\[s\] the original Ethernet header intact and insert\[s\] our
+//! path tags between the Ethernet and the IP header" (§5.1). This module
+//! provides the outer framing, the relevant EtherType constants, and the
+//! CRC-32 frame check sequence that the host agent regenerates after
+//! removing the ø tag ("Note that we regenerate the Ethernet checksum
+//! once we remove the tag").
+
+use serde::{Deserialize, Serialize};
+
+use dumbnet_types::{DumbNetError, MacAddr, Result};
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// EtherType DumbNet claims for tag-routed frames (§5.1).
+pub const ETHERTYPE_DUMBNET: u16 = 0x9800;
+
+/// EtherType for MPLS unicast, used by the commodity-switch deployment.
+pub const ETHERTYPE_MPLS: u16 = 0x8847;
+
+/// Computes the IEEE 802.3 CRC-32 over `data` (reflected, polynomial
+/// `0xEDB88320`, final XOR).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// An Ethernet II frame: header, payload and FCS.
+///
+/// # Examples
+///
+/// ```
+/// use dumbnet_packet::EthernetFrame;
+/// use dumbnet_types::MacAddr;
+///
+/// let f = EthernetFrame::new(
+///     MacAddr::for_host(2),
+///     MacAddr::for_host(1),
+///     0x0800,
+///     b"hello".to_vec(),
+/// );
+/// let wire = f.to_wire();
+/// let parsed = EthernetFrame::from_wire(&wire).unwrap();
+/// assert_eq!(parsed, f);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthernetFrame {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType of the payload.
+    pub ethertype: u16,
+    /// The payload bytes (not padded; the emulator accounts minimum frame
+    /// sizes at the link layer instead).
+    pub payload: Vec<u8>,
+}
+
+impl EthernetFrame {
+    /// Header length: two MACs plus the EtherType.
+    pub const HEADER_LEN: usize = 14;
+
+    /// FCS length.
+    pub const FCS_LEN: usize = 4;
+
+    /// Creates a frame.
+    #[must_use]
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: u16, payload: Vec<u8>) -> EthernetFrame {
+        EthernetFrame {
+            dst,
+            src,
+            ethertype,
+            payload,
+        }
+    }
+
+    /// Serializes header, payload and freshly computed FCS.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::HEADER_LEN + self.payload.len() + Self::FCS_LEN);
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let fcs = crc32(&out);
+        out.extend_from_slice(&fcs.to_be_bytes());
+        out
+    }
+
+    /// Parses a frame and verifies its FCS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::MalformedFrame`] for truncated frames or a
+    /// bad checksum.
+    pub fn from_wire(bytes: &[u8]) -> Result<EthernetFrame> {
+        if bytes.len() < Self::HEADER_LEN + Self::FCS_LEN {
+            return Err(DumbNetError::MalformedFrame(format!(
+                "{} bytes is below the minimum frame size",
+                bytes.len()
+            )));
+        }
+        let body_len = bytes.len() - Self::FCS_LEN;
+        let expect = crc32(&bytes[..body_len]);
+        let got = u32::from_be_bytes(
+            bytes[body_len..]
+                .try_into()
+                .expect("slice is FCS_LEN bytes"),
+        );
+        if expect != got {
+            return Err(DumbNetError::MalformedFrame(format!(
+                "FCS mismatch: computed {expect:#010x}, frame carries {got:#010x}"
+            )));
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&bytes[0..6]);
+        src.copy_from_slice(&bytes[6..12]);
+        let ethertype = u16::from_be_bytes([bytes[12], bytes[13]]);
+        Ok(EthernetFrame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+            payload: bytes[Self::HEADER_LEN..body_len].to_vec(),
+        })
+    }
+
+    /// Total on-wire length including FCS.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        Self::HEADER_LEN + self.payload.len() + Self::FCS_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+    }
+
+    #[test]
+    fn round_trip_preserves_fields() {
+        let f = EthernetFrame::new(
+            MacAddr::for_host(7),
+            MacAddr::for_host(3),
+            ETHERTYPE_DUMBNET,
+            vec![1, 2, 3, 0xFF, 0x08, 0x00],
+        );
+        let parsed = EthernetFrame::from_wire(&f.to_wire()).unwrap();
+        assert_eq!(parsed, f);
+        assert_eq!(parsed.wire_len(), 14 + 6 + 4);
+    }
+
+    #[test]
+    fn corrupted_frame_rejected() {
+        let f = EthernetFrame::new(
+            MacAddr::for_host(1),
+            MacAddr::for_host(2),
+            ETHERTYPE_IPV4,
+            b"payload".to_vec(),
+        );
+        let mut wire = f.to_wire();
+        wire[20] ^= 0x01;
+        assert!(matches!(
+            EthernetFrame::from_wire(&wire),
+            Err(DumbNetError::MalformedFrame(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        assert!(EthernetFrame::from_wire(&[0u8; 10]).is_err());
+        assert!(EthernetFrame::from_wire(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_payload_allowed() {
+        let f = EthernetFrame::new(
+            MacAddr::for_host(1),
+            MacAddr::for_host(2),
+            ETHERTYPE_IPV4,
+            Vec::new(),
+        );
+        let parsed = EthernetFrame::from_wire(&f.to_wire()).unwrap();
+        assert!(parsed.payload.is_empty());
+    }
+}

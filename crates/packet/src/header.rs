@@ -1,0 +1,267 @@
+//! The DumbNet tag header (§5.1, Figure 3).
+//!
+//! ```text
+//! | Ethernet dst/src | EtherType 0x9800 | T1 T2 … Tn ø | inner payload |
+//! ```
+//!
+//! A [`DumbNetFrame`] is an Ethernet frame whose payload opens with the
+//! routing tags. Switch and host operations:
+//!
+//! * [`DumbNetFrame::pop_tag`] — what a switch does: examine the first
+//!   tag, remove it, forward (the caller routes on the returned tag).
+//! * [`DumbNetFrame::strip_delivery`] — what the destination host agent's
+//!   kernel module does: verify exactly ø remains, remove it, and return
+//!   the inner frame re-typed to the inner EtherType with a regenerated
+//!   checksum.
+
+use serde::{Deserialize, Serialize};
+
+use dumbnet_types::{DumbNetError, MacAddr, Path, Result, Tag};
+
+use crate::ethernet::{EthernetFrame, ETHERTYPE_DUMBNET};
+
+/// A parsed DumbNet frame: Ethernet header + tag path + inner payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DumbNetFrame {
+    /// Destination MAC (the final host; preserved end-to-end).
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Remaining routing tags (ø excluded; it is re-added on the wire).
+    pub path: Path,
+    /// EtherType of the inner payload (what the frame becomes after
+    /// delivery, usually IPv4).
+    pub inner_ethertype: u16,
+    /// The inner payload bytes.
+    pub inner_payload: Vec<u8>,
+}
+
+impl DumbNetFrame {
+    /// Wraps an inner payload in a DumbNet header carrying `path`.
+    #[must_use]
+    pub fn encapsulate(
+        dst: MacAddr,
+        src: MacAddr,
+        path: Path,
+        inner_ethertype: u16,
+        inner_payload: Vec<u8>,
+    ) -> DumbNetFrame {
+        DumbNetFrame {
+            dst,
+            src,
+            path,
+            inner_ethertype,
+            inner_payload,
+        }
+    }
+
+    /// Serializes to a complete Ethernet frame (EtherType `0x9800`).
+    #[must_use]
+    pub fn to_ethernet(&self) -> EthernetFrame {
+        let mut payload = self.path.to_wire();
+        payload.extend_from_slice(&self.inner_ethertype.to_be_bytes());
+        payload.extend_from_slice(&self.inner_payload);
+        EthernetFrame::new(self.dst, self.src, ETHERTYPE_DUMBNET, payload)
+    }
+
+    /// Serializes directly to wire bytes.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        self.to_ethernet().to_wire()
+    }
+
+    /// Parses a DumbNet frame out of an Ethernet frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::WrongEtherType`] if the outer frame is not
+    /// `0x9800` (the host kernel module uses this to filter DumbNet
+    /// traffic from ordinary Ethernet), and
+    /// [`DumbNetError::MalformedFrame`] for truncated tag sequences.
+    pub fn from_ethernet(frame: &EthernetFrame) -> Result<DumbNetFrame> {
+        if frame.ethertype != ETHERTYPE_DUMBNET {
+            return Err(DumbNetError::WrongEtherType(frame.ethertype));
+        }
+        let (path, used) = Path::from_wire(&frame.payload)?;
+        if frame.payload.len() < used + 2 {
+            return Err(DumbNetError::MalformedFrame(
+                "missing inner EtherType after tag list".into(),
+            ));
+        }
+        let inner_ethertype = u16::from_be_bytes([frame.payload[used], frame.payload[used + 1]]);
+        Ok(DumbNetFrame {
+            dst: frame.dst,
+            src: frame.src,
+            path,
+            inner_ethertype,
+            inner_payload: frame.payload[used + 2..].to_vec(),
+        })
+    }
+
+    /// Parses wire bytes (verifying the FCS).
+    ///
+    /// # Errors
+    ///
+    /// Propagates Ethernet and tag-sequence parse failures.
+    pub fn from_wire(bytes: &[u8]) -> Result<DumbNetFrame> {
+        DumbNetFrame::from_ethernet(&EthernetFrame::from_wire(bytes)?)
+    }
+
+    /// The switch data-plane operation: pop the first tag.
+    ///
+    /// Returns the popped tag; the frame now carries the remaining path.
+    /// Returns `None` when no tags remain (the switch drops such frames —
+    /// only a host should ever see an exhausted path).
+    pub fn pop_tag(&mut self) -> Option<Tag> {
+        let (head, rest) = self.path.split_first()?;
+        self.path = rest;
+        Some(head)
+    }
+
+    /// The destination host operation: validate that the path is fully
+    /// consumed and unwrap the inner frame.
+    ///
+    /// Mirrors §5.1: "the destination host agent needs to check if the
+    /// remaining tag is ø. If so, it removes the tag and passes the packet
+    /// up the normal network stack … Otherwise, the agent drops the
+    /// packet." The returned frame is a plain Ethernet frame of the inner
+    /// EtherType with a freshly computed FCS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::MalformedFrame`] when tags remain.
+    pub fn strip_delivery(self) -> Result<EthernetFrame> {
+        if !self.path.is_empty() {
+            return Err(DumbNetError::MalformedFrame(format!(
+                "{} tag(s) remain before ø — not addressed to this host",
+                self.path.len()
+            )));
+        }
+        Ok(EthernetFrame::new(
+            self.dst,
+            self.src,
+            self.inner_ethertype,
+            self.inner_payload,
+        ))
+    }
+
+    /// On-wire size in bytes, including Ethernet header, tags, ø and FCS.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        EthernetFrame::HEADER_LEN
+            + self.path.len()
+            + 1 // ø
+            + 2 // inner EtherType
+            + self.inner_payload.len()
+            + EthernetFrame::FCS_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::ETHERTYPE_IPV4;
+
+    fn sample() -> DumbNetFrame {
+        DumbNetFrame::encapsulate(
+            MacAddr::for_host(5),
+            MacAddr::for_host(4),
+            Path::from_ports([2, 3, 5]).unwrap(),
+            ETHERTYPE_IPV4,
+            b"ip packet bytes".to_vec(),
+        )
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let f = sample();
+        let parsed = DumbNetFrame::from_wire(&f.to_wire()).unwrap();
+        assert_eq!(parsed, f);
+        assert_eq!(f.to_wire().len(), f.wire_len());
+    }
+
+    #[test]
+    fn switch_pops_in_order() {
+        // The §3.2 example: 2-3-5-ø consumed hop by hop.
+        let mut f = sample();
+        assert_eq!(f.pop_tag(), Some(Tag(2)));
+        assert_eq!(f.path.to_string(), "3-5-ø");
+        assert_eq!(f.pop_tag(), Some(Tag(3)));
+        assert_eq!(f.pop_tag(), Some(Tag(5)));
+        assert_eq!(f.pop_tag(), None);
+    }
+
+    #[test]
+    fn delivery_strips_to_inner_frame() {
+        let mut f = sample();
+        while f.pop_tag().is_some() {}
+        let inner = f.clone().strip_delivery().unwrap();
+        assert_eq!(inner.ethertype, ETHERTYPE_IPV4);
+        assert_eq!(inner.payload, b"ip packet bytes");
+        // The stripped frame is a valid plain Ethernet frame.
+        let reparsed = EthernetFrame::from_wire(&inner.to_wire()).unwrap();
+        assert_eq!(reparsed, inner);
+    }
+
+    #[test]
+    fn delivery_with_remaining_tags_rejected() {
+        let f = sample();
+        assert!(matches!(
+            f.strip_delivery(),
+            Err(DumbNetError::MalformedFrame(_))
+        ));
+    }
+
+    #[test]
+    fn non_dumbnet_frames_filtered() {
+        let plain = EthernetFrame::new(
+            MacAddr::for_host(1),
+            MacAddr::for_host(2),
+            ETHERTYPE_IPV4,
+            b"x".to_vec(),
+        );
+        assert!(matches!(
+            DumbNetFrame::from_ethernet(&plain),
+            Err(DumbNetError::WrongEtherType(ETHERTYPE_IPV4))
+        ));
+    }
+
+    #[test]
+    fn truncated_after_tags_rejected() {
+        let f = sample();
+        let eth = f.to_ethernet();
+        // Keep only the tag list: chop the inner EtherType and payload.
+        let truncated = EthernetFrame::new(eth.dst, eth.src, eth.ethertype, eth.payload[..4].to_vec());
+        assert!(DumbNetFrame::from_ethernet(&truncated).is_err());
+    }
+
+    #[test]
+    fn empty_path_frame_round_trips() {
+        let f = DumbNetFrame::encapsulate(
+            MacAddr::for_host(1),
+            MacAddr::for_host(2),
+            Path::empty(),
+            ETHERTYPE_IPV4,
+            vec![0xAB],
+        );
+        let parsed = DumbNetFrame::from_wire(&f.to_wire()).unwrap();
+        assert!(parsed.path.is_empty());
+        assert!(parsed.strip_delivery().is_ok());
+    }
+
+    #[test]
+    fn wire_end_to_end_hop_simulation() {
+        // Serialize → parse at each "switch", pop, re-serialize — the way
+        // real hardware would see it. Confirms framing stays valid at
+        // every hop.
+        let mut wire = sample().to_wire();
+        for expect in [2u8, 3, 5] {
+            let mut f = DumbNetFrame::from_wire(&wire).unwrap();
+            let t = f.pop_tag().unwrap();
+            assert_eq!(t.byte(), expect);
+            wire = f.to_wire();
+        }
+        let f = DumbNetFrame::from_wire(&wire).unwrap();
+        assert!(f.path.is_empty());
+    }
+}

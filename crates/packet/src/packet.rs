@@ -1,0 +1,215 @@
+//! The structured packet the emulator moves around.
+//!
+//! A [`Packet`] is structurally the same thing as a
+//! [`DumbNetFrame`](crate::header::DumbNetFrame): Ethernet identity, a
+//! shrinking tag path, and a payload. The emulator keeps the payload
+//! *parsed* — control messages stay typed and bulk data carries only its
+//! length — because serializing millions of probe payloads to bytes and
+//! back would dominate experiment runtime without changing any result.
+//! Byte-level conformance is proven separately by the codec tests in
+//! [`header`](crate::header) and [`mpls`](crate::mpls).
+
+use serde::{Deserialize, Serialize};
+
+use dumbnet_types::{MacAddr, Path, Tag};
+
+use crate::control::ControlMessage;
+use crate::ethernet::EthernetFrame;
+
+/// Packet payload: typed control traffic or sized bulk data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// A control-plane message.
+    Control(ControlMessage),
+    /// Application data; only the size matters to the fabric.
+    Data {
+        /// Flow identifier (assigned by the workload generator).
+        flow: u64,
+        /// Sequence number within the flow.
+        seq: u64,
+        /// Application bytes carried.
+        bytes: usize,
+    },
+    /// Routed (layer-3) application data: carries IP endpoints so the
+    /// software router extension (§6.3) can forward between subnets.
+    Ip {
+        /// Source IPv4 address (host byte order).
+        src_ip: u32,
+        /// Destination IPv4 address (host byte order).
+        dst_ip: u32,
+        /// Flow identifier.
+        flow: u64,
+        /// Sequence number within the flow.
+        seq: u64,
+        /// Application bytes carried.
+        bytes: usize,
+    },
+}
+
+impl Payload {
+    /// Payload size in bytes for link-time accounting.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Payload::Control(m) => m.wire_size(),
+            // Flow id + seq + the data itself (IP/TCP headers folded into
+            // the data size by the workload generator).
+            Payload::Data { bytes, .. } => 16 + bytes,
+            // A 20-byte IP header plus flow id, seq and the data.
+            Payload::Ip { bytes, .. } => 20 + 16 + bytes,
+        }
+    }
+}
+
+/// A packet in flight through the emulated fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Final destination host (preserved end to end, §5.1).
+    pub dst: MacAddr,
+    /// Originating host.
+    pub src: MacAddr,
+    /// Remaining routing tags. Switches pop from the front.
+    pub path: Path,
+    /// The payload.
+    pub payload: Payload,
+    /// Congestion-experienced mark (§8 ECN): set by the fabric when the
+    /// packet queued past a link's marking threshold.
+    pub ecn: bool,
+}
+
+impl Packet {
+    /// Builds a data packet.
+    #[must_use]
+    pub fn data(dst: MacAddr, src: MacAddr, path: Path, flow: u64, seq: u64, bytes: usize) -> Packet {
+        Packet {
+            dst,
+            src,
+            path,
+            payload: Payload::Data { flow, seq, bytes },
+            ecn: false,
+        }
+    }
+
+    /// Builds a control packet.
+    #[must_use]
+    pub fn control(dst: MacAddr, src: MacAddr, path: Path, msg: ControlMessage) -> Packet {
+        Packet {
+            dst,
+            src,
+            path,
+            payload: Payload::Control(msg),
+            ecn: false,
+        }
+    }
+
+    /// Pops the head tag (the switch data-plane operation).
+    pub fn pop_tag(&mut self) -> Option<Tag> {
+        let (head, rest) = self.path.split_first()?;
+        self.path = rest;
+        Some(head)
+    }
+
+    /// On-wire size in bytes: Ethernet header, remaining tags + ø, inner
+    /// EtherType, payload, FCS. Matches
+    /// [`DumbNetFrame::wire_len`](crate::header::DumbNetFrame::wire_len)
+    /// for byte payloads of the same size.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        EthernetFrame::HEADER_LEN
+            + self.path.len()
+            + 1
+            + 2
+            + self.payload.wire_size()
+            + EthernetFrame::FCS_LEN
+    }
+
+    /// Returns the control message, if this is a control packet.
+    #[must_use]
+    pub fn as_control(&self) -> Option<&ControlMessage> {
+        match &self.payload {
+            Payload::Control(m) => Some(m),
+            Payload::Data { .. } | Payload::Ip { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::DumbNetFrame;
+    use dumbnet_types::Path;
+
+    #[test]
+    fn pop_tag_mirrors_frame_behaviour() {
+        let path = Path::from_ports([2, 3, 5]).unwrap();
+        let mut pkt = Packet::data(
+            MacAddr::for_host(5),
+            MacAddr::for_host(4),
+            path.clone(),
+            1,
+            0,
+            100,
+        );
+        let mut frame = DumbNetFrame::encapsulate(
+            MacAddr::for_host(5),
+            MacAddr::for_host(4),
+            path,
+            0x0800,
+            vec![0; 100],
+        );
+        loop {
+            let a = pkt.pop_tag();
+            let b = frame.pop_tag();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn wire_len_matches_frame_for_equal_payload() {
+        let path = Path::from_ports([1, 2]).unwrap();
+        let payload_bytes = 116; // Equals Payload::Data wire size for bytes=100.
+        let pkt = Packet::data(
+            MacAddr::for_host(9),
+            MacAddr::for_host(8),
+            path.clone(),
+            7,
+            0,
+            100,
+        );
+        let frame = DumbNetFrame::encapsulate(
+            MacAddr::for_host(9),
+            MacAddr::for_host(8),
+            path,
+            0x0800,
+            vec![0; payload_bytes],
+        );
+        assert_eq!(pkt.wire_len(), frame.wire_len());
+    }
+
+    #[test]
+    fn control_accessor() {
+        let msg = ControlMessage::Ping {
+            seq: 1,
+            sent_at: dumbnet_types::SimTime::ZERO,
+        };
+        let pkt = Packet::control(
+            MacAddr::for_host(1),
+            MacAddr::for_host(2),
+            Path::empty(),
+            msg.clone(),
+        );
+        assert_eq!(pkt.as_control(), Some(&msg));
+        let d = Packet::data(
+            MacAddr::for_host(1),
+            MacAddr::for_host(2),
+            Path::empty(),
+            0,
+            0,
+            10,
+        );
+        assert!(d.as_control().is_none());
+    }
+}

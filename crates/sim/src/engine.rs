@@ -1,0 +1,813 @@
+//! The packet-level discrete-event engine.
+//!
+//! A [`World`] holds nodes (anything implementing [`Node`]) and the wires
+//! between their ports. Wires model propagation latency, store-and-forward
+//! serialization at the sender, and a bounded FIFO output queue per
+//! direction (tail-drop once the queueing delay would exceed the bound).
+//!
+//! Handlers receive a [`Ctx`] through which they read the clock, send
+//! packets, arm timers, inspect their own wiring, and draw deterministic
+//! randomness. Sends and timers are buffered and applied by the engine
+//! after the handler returns, which keeps the core loop free of aliasing
+//! and the execution order well-defined.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dumbnet_packet::Packet;
+use dumbnet_types::{
+    Bandwidth, DumbNetError, PortNo, Result, SimDuration, SimTime,
+};
+
+use crate::event::EventQueue;
+
+/// Address of a node inside a [`World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeAddr(pub usize);
+
+impl std::fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Physical characteristics of a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Serialization bandwidth (each direction independently).
+    pub bandwidth: Bandwidth,
+    /// Maximum tolerated queueing delay before tail-drop.
+    pub max_queue: SimDuration,
+    /// ECN marking threshold: packets that queue longer than this get
+    /// their congestion-experienced bit set (§8 ECN support; marking is
+    /// stateless — a comparison against the instantaneous queue depth).
+    /// `None` disables marking.
+    pub ecn_threshold: Option<SimDuration>,
+}
+
+impl LinkParams {
+    /// A typical data-center 10 GbE cable: 1 µs propagation, 10 Gbps,
+    /// 200 µs of buffering.
+    #[must_use]
+    pub fn ten_gig() -> LinkParams {
+        LinkParams {
+            latency: SimDuration::from_micros(1),
+            bandwidth: Bandwidth::gbps(10),
+            max_queue: SimDuration::from_micros(200),
+            ecn_threshold: Some(SimDuration::from_micros(50)),
+        }
+    }
+
+    /// A 1 GbE link (the FPGA prototype's ports).
+    #[must_use]
+    pub fn one_gig() -> LinkParams {
+        LinkParams {
+            latency: SimDuration::from_micros(1),
+            bandwidth: Bandwidth::gbps(1),
+            max_queue: SimDuration::from_millis(2),
+            ecn_threshold: Some(SimDuration::from_micros(500)),
+        }
+    }
+}
+
+/// Behaviour plugged into the engine: a switch, host, or controller.
+pub trait Node {
+    /// Called once when the world starts running.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A packet arrived on `in_port`.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: PortNo, pkt: Packet);
+
+    /// A timer armed via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// The wire on `port` changed state (carrier detect).
+    fn on_link_change(&mut self, _ctx: &mut Ctx<'_>, _port: PortNo, _up: bool) {}
+
+    /// Downcast support so experiments can read node-internal state after
+    /// a run.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Identity of a wire inside a [`World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WireId(usize);
+
+#[derive(Debug)]
+struct Wire {
+    a: (NodeAddr, PortNo),
+    b: (NodeAddr, PortNo),
+    params: LinkParams,
+    up: bool,
+    /// Sender-side busy horizon per direction (a→b, b→a).
+    busy: [SimTime; 2],
+}
+
+#[derive(Debug, Default)]
+struct Wiring {
+    wires: Vec<Wire>,
+    port_map: HashMap<(usize, u8), WireId>,
+}
+
+impl Wiring {
+    fn at(&self, node: NodeAddr, port: PortNo) -> Option<WireId> {
+        self.port_map.get(&(node.0, port.get())).copied()
+    }
+}
+
+enum Event {
+    Start(NodeAddr),
+    Arrive {
+        node: NodeAddr,
+        port: PortNo,
+        pkt: Packet,
+    },
+    /// A deferred transmission reaching the wire (models host-stack
+    /// latency before the NIC).
+    Egress {
+        node: NodeAddr,
+        port: PortNo,
+        pkt: Packet,
+    },
+    Timer {
+        node: NodeAddr,
+        token: u64,
+    },
+    AdminLink {
+        wire: WireId,
+        up: bool,
+    },
+}
+
+enum Action {
+    Send {
+        port: PortNo,
+        pkt: Packet,
+        delay: SimDuration,
+    },
+    Timer {
+        delay: SimDuration,
+        token: u64,
+    },
+}
+
+/// Counters the engine keeps while running.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Events dispatched.
+    pub events: u64,
+    /// Packets accepted onto a wire.
+    pub packets_sent: u64,
+    /// Packets handed to a node.
+    pub packets_delivered: u64,
+    /// Packets dropped because the wire was down or the port unwired.
+    pub drops_down: u64,
+    /// Packets dropped by queue overflow.
+    pub drops_queue: u64,
+    /// Packets ECN-marked for queueing past a link's threshold.
+    pub ecn_marked: u64,
+}
+
+/// The handler-side view of the world.
+pub struct Ctx<'a> {
+    now: SimTime,
+    addr: NodeAddr,
+    wiring: &'a Wiring,
+    rng: &'a mut StdRng,
+    actions: Vec<Action>,
+}
+
+impl Ctx<'_> {
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's own address.
+    #[must_use]
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// Queues `pkt` for transmission out of `port`. Dropped silently (and
+    /// counted) if the port is unwired or its wire is down — exactly like
+    /// pushing bytes into a dead NIC.
+    pub fn send(&mut self, port: PortNo, pkt: Packet) {
+        self.actions.push(Action::Send {
+            port,
+            pkt,
+            delay: SimDuration::ZERO,
+        });
+    }
+
+    /// Like [`Ctx::send`], but the packet reaches the wire only after
+    /// `delay` — used to model host-stack traversal time before the NIC.
+    pub fn send_after(&mut self, delay: SimDuration, port: PortNo, pkt: Packet) {
+        self.actions.push(Action::Send { port, pkt, delay });
+    }
+
+    /// Arms a one-shot timer; `token` comes back in
+    /// [`Node::on_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.actions.push(Action::Timer { delay, token });
+    }
+
+    /// The ports of this node that are wired, in ascending order.
+    #[must_use]
+    pub fn wired_ports(&self) -> Vec<PortNo> {
+        let mut ports: Vec<PortNo> = self
+            .wiring
+            .port_map
+            .keys()
+            .filter(|&&(n, _)| n == self.addr.0)
+            .filter_map(|&(_, p)| PortNo::new(p))
+            .collect();
+        ports.sort();
+        ports
+    }
+
+    /// Whether `port` currently has an up wire.
+    #[must_use]
+    pub fn link_up(&self, port: PortNo) -> bool {
+        self.wiring
+            .at(self.addr, port)
+            .map(|w| self.wiring.wires[w.0].up)
+            .unwrap_or(false)
+    }
+
+    /// Deterministic per-world randomness.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// The simulation world.
+pub struct World {
+    nodes: Vec<Option<Box<dyn Node>>>,
+    wiring: Wiring,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    rng: StdRng,
+    stats: WorldStats,
+    started: bool,
+}
+
+impl World {
+    /// Creates an empty world with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> World {
+        World {
+            nodes: Vec::new(),
+            wiring: Wiring::default(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            stats: WorldStats::default(),
+            started: false,
+        }
+    }
+
+    /// Adds a node and returns its address.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeAddr {
+        let addr = NodeAddr(self.nodes.len());
+        self.nodes.push(Some(node));
+        addr
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Wires `a:pa` to `b:pb`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::PortInUse`] if either port is already
+    /// wired, and [`DumbNetError::UnknownNode`] for bad addresses.
+    pub fn wire(
+        &mut self,
+        a: NodeAddr,
+        pa: PortNo,
+        b: NodeAddr,
+        pb: PortNo,
+        params: LinkParams,
+    ) -> Result<WireId> {
+        for n in [a, b] {
+            if n.0 >= self.nodes.len() {
+                return Err(DumbNetError::UnknownNode(n.to_string()));
+            }
+        }
+        for (n, p) in [(a, pa), (b, pb)] {
+            if self.wiring.at(n, p).is_some() {
+                return Err(DumbNetError::PortInUse(format!("{n}:{p}")));
+            }
+        }
+        let id = WireId(self.wiring.wires.len());
+        self.wiring.wires.push(Wire {
+            a: (a, pa),
+            b: (b, pb),
+            params,
+            up: true,
+            busy: [SimTime::ZERO; 2],
+        });
+        self.wiring.port_map.insert((a.0, pa.get()), id);
+        self.wiring.port_map.insert((b.0, pb.get()), id);
+        Ok(id)
+    }
+
+    /// The wire on `(node, port)`, if any.
+    #[must_use]
+    pub fn wire_at(&self, node: NodeAddr, port: PortNo) -> Option<WireId> {
+        self.wiring.at(node, port)
+    }
+
+    /// Schedules an administrative wire state change at `at` (both
+    /// endpoint nodes get carrier notifications when it happens).
+    pub fn schedule_link_state(&mut self, at: SimTime, wire: WireId, up: bool) {
+        self.queue.push(at, Event::AdminLink { wire, up });
+    }
+
+    /// Injects a packet arrival at `(node, port)` at time `at`, as if it
+    /// had come off a wire.
+    pub fn inject(&mut self, at: SimTime, node: NodeAddr, port: PortNo, pkt: Packet) {
+        self.queue.push(at, Event::Arrive { node, port, pkt });
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Engine counters.
+    #[must_use]
+    pub fn stats(&self) -> WorldStats {
+        self.stats
+    }
+
+    /// Immutable downcast access to a node's concrete type.
+    #[must_use]
+    pub fn node<T: 'static>(&self, addr: NodeAddr) -> Option<&T> {
+        self.nodes
+            .get(addr.0)?
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable downcast access to a node's concrete type.
+    #[must_use]
+    pub fn node_mut<T: 'static>(&mut self, addr: NodeAddr) -> Option<&mut T> {
+        self.nodes
+            .get_mut(addr.0)?
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Runs until the event queue drains or `max_events` fire, whichever
+    /// comes first. Returns the stats snapshot.
+    pub fn run_to_idle(&mut self, max_events: u64) -> WorldStats {
+        self.ensure_started();
+        let mut fired = 0;
+        while fired < max_events {
+            let Some((t, ev)) = self.queue.pop() else { break };
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatch(ev);
+            fired += 1;
+        }
+        self.stats
+    }
+
+    /// Runs all events with timestamps ≤ `until`, then sets the clock to
+    /// `until`.
+    pub fn run_until(&mut self, until: SimTime) -> WorldStats {
+        self.ensure_started();
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            self.now = t;
+            self.dispatch(ev);
+        }
+        self.now = until;
+        self.stats
+    }
+
+    /// Timestamp of the next pending event.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.started = true;
+            for ix in 0..self.nodes.len() {
+                self.queue.push(self.now, Event::Start(NodeAddr(ix)));
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        self.stats.events += 1;
+        match ev {
+            Event::Start(addr) => {
+                self.with_node(addr, |node, ctx| node.on_start(ctx));
+            }
+            Event::Arrive { node, port, pkt } => {
+                self.stats.packets_delivered += 1;
+                self.with_node(node, |n, ctx| n.on_packet(ctx, port, pkt));
+            }
+            Event::Egress { node, port, pkt } => {
+                self.transmit(node, port, pkt);
+            }
+            Event::Timer { node, token } => {
+                self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            Event::AdminLink { wire, up } => {
+                let (a, b, changed) = {
+                    let w = &mut self.wiring.wires[wire.0];
+                    let changed = w.up != up;
+                    w.up = up;
+                    (w.a, w.b, changed)
+                };
+                if changed {
+                    self.with_node(a.0, |n, ctx| n.on_link_change(ctx, a.1, up));
+                    self.with_node(b.0, |n, ctx| n.on_link_change(ctx, b.1, up));
+                }
+            }
+        }
+    }
+
+    fn with_node<F: FnOnce(&mut Box<dyn Node>, &mut Ctx<'_>)>(&mut self, addr: NodeAddr, f: F) {
+        let Some(slot) = self.nodes.get_mut(addr.0) else {
+            return;
+        };
+        let Some(mut node) = slot.take() else {
+            return;
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            addr,
+            wiring: &self.wiring,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
+        f(&mut node, &mut ctx);
+        let actions = ctx.actions;
+        self.nodes[addr.0] = Some(node);
+        for action in actions {
+            self.apply(addr, action);
+        }
+    }
+
+    fn apply(&mut self, from: NodeAddr, action: Action) {
+        match action {
+            Action::Timer { delay, token } => {
+                self.queue
+                    .push(self.now + delay, Event::Timer { node: from, token });
+            }
+            Action::Send { port, pkt, delay } => {
+                if delay == SimDuration::ZERO {
+                    self.transmit(from, port, pkt);
+                } else {
+                    self.queue.push(
+                        self.now + delay,
+                        Event::Egress {
+                            node: from,
+                            port,
+                            pkt,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Puts a packet onto the wire at `(from, port)` at the current time.
+    fn transmit(&mut self, from: NodeAddr, port: PortNo, mut pkt: Packet) {
+        let Some(wid) = self.wiring.at(from, port) else {
+            self.stats.drops_down += 1;
+            return;
+        };
+        let wire = &mut self.wiring.wires[wid.0];
+        if !wire.up {
+            self.stats.drops_down += 1;
+            return;
+        }
+        let (dir, dest) = if wire.a == (from, port) {
+            (0, wire.b)
+        } else {
+            (1, wire.a)
+        };
+        let depart_start = wire.busy[dir].max(self.now);
+        let queue_delay = depart_start - self.now;
+        if queue_delay > wire.params.max_queue {
+            self.stats.drops_queue += 1;
+            return;
+        }
+        if let Some(threshold) = wire.params.ecn_threshold {
+            if queue_delay > threshold {
+                pkt.ecn = true;
+                self.stats.ecn_marked += 1;
+            }
+        }
+        let ser = wire.params.bandwidth.serialization_delay(pkt.wire_len());
+        let departed = depart_start + ser;
+        wire.busy[dir] = departed;
+        let arrival = departed + wire.params.latency;
+        self.stats.packets_sent += 1;
+        self.queue.push(
+            arrival,
+            Event::Arrive {
+                node: dest.0,
+                port: dest.1,
+                pkt,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dumbnet_packet::Payload;
+    use dumbnet_types::{MacAddr, Path};
+
+    /// Test node: counts arrivals; optionally echoes every packet back
+    /// out the port it came in on.
+    struct Echo {
+        echo: bool,
+        received: Vec<(SimTime, u64)>,
+    }
+
+    impl Echo {
+        fn new(echo: bool) -> Echo {
+            Echo {
+                echo,
+                received: Vec::new(),
+            }
+        }
+    }
+
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: PortNo, pkt: Packet) {
+            if let Payload::Data { seq, .. } = pkt.payload {
+                self.received.push((ctx.now(), seq));
+            }
+            if self.echo {
+                ctx.send(in_port, pkt);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn data(seq: u64, bytes: usize) -> Packet {
+        Packet::data(
+            MacAddr::for_host(1),
+            MacAddr::for_host(0),
+            Path::empty(),
+            0,
+            seq,
+            bytes,
+        )
+    }
+
+    const P1: PortNo = match PortNo::new(1) {
+        Some(p) => p,
+        None => unreachable!(),
+    };
+
+    #[test]
+    fn packet_takes_latency_plus_serialization() {
+        let mut w = World::new(0);
+        let a = w.add_node(Box::new(Echo::new(false)));
+        let b = w.add_node(Box::new(Echo::new(false)));
+        let params = LinkParams {
+            latency: SimDuration::from_micros(5),
+            bandwidth: Bandwidth::gbps(1),
+            max_queue: SimDuration::from_millis(1),
+            ecn_threshold: None,
+        };
+        w.wire(a, P1, b, P1, params).unwrap();
+        let pkt = data(0, 100);
+        let wire_len = pkt.wire_len();
+        w.inject(SimTime::ZERO, a, P1, pkt);
+        w.run_to_idle(100);
+        // a echoes nothing; but we injected *at* a. Re-inject towards b:
+        let mut w = World::new(0);
+        let a = w.add_node(Box::new(Echo::new(false)));
+        let b = w.add_node(Box::new(Echo::new(true)));
+        w.wire(a, P1, b, P1, params).unwrap();
+        // Make a send by injecting into an echoing node b? Instead use a
+        // node that echoes: inject at b, it echoes to a.
+        w.inject(SimTime::ZERO, b, P1, data(7, 100));
+        w.run_to_idle(100);
+        let recv = &w.node::<Echo>(a).unwrap().received;
+        assert_eq!(recv.len(), 1);
+        let expect = SimDuration::from_micros(5)
+            + Bandwidth::gbps(1).serialization_delay(wire_len);
+        assert_eq!(recv[0].0, SimTime::ZERO + expect);
+        assert_eq!(recv[0].1, 7);
+    }
+
+    #[test]
+    fn serialization_queues_back_to_back_sends() {
+        let mut w = World::new(0);
+        let a = w.add_node(Box::new(Echo::new(true)));
+        let sink = w.add_node(Box::new(Echo::new(false)));
+        let params = LinkParams {
+            latency: SimDuration::ZERO,
+            bandwidth: Bandwidth::mbps(8), // 1 byte/µs.
+            max_queue: SimDuration::from_secs(1),
+            ecn_threshold: None,
+        };
+        w.wire(a, P1, sink, P1, params).unwrap();
+        // Two packets arrive at a at t=0 and echo to sink; the second
+        // must wait for the first's serialization.
+        w.inject(SimTime::ZERO, a, P1, data(1, 100));
+        w.inject(SimTime::ZERO, a, P1, data(2, 100));
+        w.run_to_idle(100);
+        let recv = &w.node::<Echo>(sink).unwrap().received;
+        assert_eq!(recv.len(), 2);
+        let ser = params.bandwidth.serialization_delay(data(1, 100).wire_len());
+        assert_eq!(recv[0].0, SimTime::ZERO + ser);
+        assert_eq!(recv[1].0, SimTime::ZERO + ser + ser);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut w = World::new(0);
+        let a = w.add_node(Box::new(Echo::new(true)));
+        let sink = w.add_node(Box::new(Echo::new(false)));
+        let params = LinkParams {
+            latency: SimDuration::ZERO,
+            bandwidth: Bandwidth::mbps(8),
+            max_queue: SimDuration::from_micros(100), // Fits <1 extra pkt.
+            ecn_threshold: None,
+        };
+        w.wire(a, P1, sink, P1, params).unwrap();
+        for i in 0..10 {
+            w.inject(SimTime::ZERO, a, P1, data(i, 100));
+        }
+        w.run_to_idle(1000);
+        let recv = &w.node::<Echo>(sink).unwrap().received;
+        assert!(recv.len() < 10, "expected drops, all {} arrived", recv.len());
+        assert!(w.stats().drops_queue > 0);
+    }
+
+    #[test]
+    fn down_wire_drops_and_notifies() {
+        struct Watch {
+            changes: Vec<(SimTime, bool)>,
+        }
+        impl Node for Watch {
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortNo, _: Packet) {}
+            fn on_link_change(&mut self, ctx: &mut Ctx<'_>, _p: PortNo, up: bool) {
+                self.changes.push((ctx.now(), up));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(0);
+        let a = w.add_node(Box::new(Echo::new(true)));
+        let b = w.add_node(Box::new(Watch { changes: vec![] }));
+        let wid = w.wire(a, P1, b, P1, LinkParams::ten_gig()).unwrap();
+        let t_fail = SimTime::ZERO + SimDuration::from_millis(1);
+        w.schedule_link_state(t_fail, wid, false);
+        // Packet sent after failure must be dropped.
+        w.inject(t_fail + SimDuration::from_millis(1), a, P1, data(0, 50));
+        w.run_to_idle(100);
+        assert_eq!(w.stats().drops_down, 1);
+        let watch = w.node::<Watch>(b).unwrap();
+        assert_eq!(watch.changes, vec![(t_fail, false)]);
+    }
+
+    #[test]
+    fn double_wire_rejected() {
+        let mut w = World::new(0);
+        let a = w.add_node(Box::new(Echo::new(false)));
+        let b = w.add_node(Box::new(Echo::new(false)));
+        let c = w.add_node(Box::new(Echo::new(false)));
+        w.wire(a, P1, b, P1, LinkParams::ten_gig()).unwrap();
+        assert!(w.wire(a, P1, c, P1, LinkParams::ten_gig()).is_err());
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Timed {
+            fired: Vec<(SimTime, u64)>,
+        }
+        impl Node for Timed {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_micros(30), 3);
+                ctx.set_timer(SimDuration::from_micros(10), 1);
+                ctx.set_timer(SimDuration::from_micros(20), 2);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortNo, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.push((ctx.now(), token));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(0);
+        let t = w.add_node(Box::new(Timed { fired: vec![] }));
+        w.run_to_idle(100);
+        let fired: Vec<u64> = w.node::<Timed>(t).unwrap().fired.iter().map(|x| x.1).collect();
+        assert_eq!(fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut w = World::new(0);
+        let _ = w.add_node(Box::new(Echo::new(false)));
+        let t = SimTime::ZERO + SimDuration::from_secs(5);
+        w.run_until(t);
+        assert_eq!(w.now(), t);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut w = World::new(42);
+            let a = w.add_node(Box::new(Echo::new(true)));
+            let b = w.add_node(Box::new(Echo::new(true)));
+            let params = LinkParams {
+                latency: SimDuration::from_micros(1),
+                bandwidth: Bandwidth::gbps(1),
+                max_queue: SimDuration::from_micros(3),
+                ecn_threshold: None,
+            };
+            w.wire(a, P1, b, P1, params).unwrap();
+            // Echo storm with queue drops: sensitive to ordering.
+            for i in 0..5 {
+                w.inject(SimTime::ZERO, a, P1, data(i, 500));
+            }
+            w.run_to_idle(10_000);
+            (w.stats(), w.now())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wired_ports_and_link_up_visible_to_node() {
+        struct Introspect {
+            seen: Vec<PortNo>,
+            up: bool,
+        }
+        impl Node for Introspect {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.seen = ctx.wired_ports();
+                self.up = ctx.link_up(P1);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortNo, _: Packet) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(0);
+        let i = w.add_node(Box::new(Introspect {
+            seen: vec![],
+            up: false,
+        }));
+        let peer = w.add_node(Box::new(Echo::new(false)));
+        let p3 = PortNo::new(3).unwrap();
+        w.wire(i, P1, peer, P1, LinkParams::ten_gig()).unwrap();
+        w.wire(i, p3, peer, p3, LinkParams::ten_gig()).unwrap();
+        w.run_to_idle(10);
+        let node = w.node::<Introspect>(i).unwrap();
+        assert_eq!(node.seen, vec![P1, p3]);
+        assert!(node.up);
+    }
+}

@@ -1,0 +1,29 @@
+//! Deterministic discrete-event network emulator and flow-level solver.
+//!
+//! The paper evaluates DumbNet beyond its 7-switch testbed on a software
+//! emulator "similar to the architecture of Mininet" (§7). This crate is
+//! our equivalent substrate, in two complementary engines:
+//!
+//! * [`engine`] — a packet-level discrete-event simulator. Nodes
+//!   (switches, hosts, controllers — implemented in the `dumbnet-switch`,
+//!   `dumbnet-host` and `dumbnet-controller` crates against the [`Node`]
+//!   trait) exchange [`Packet`](dumbnet_packet::Packet)s over links with
+//!   propagation latency, store-and-forward serialization and FIFO
+//!   output queueing. Virtual time is nanoseconds; execution is fully
+//!   deterministic for a given seed.
+//! * [`flowsim`] — a flow-level max-min fair bandwidth solver for
+//!   long-running throughput experiments (aggregate throughput, HiBench
+//!   jobs) where packet-level simulation would be needlessly slow.
+//!
+//! Both engines are generic: they know nothing about DumbNet semantics,
+//! only about moving bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod flowsim;
+
+pub use engine::{Ctx, LinkParams, Node, NodeAddr, World, WorldStats};
+pub use flowsim::{EdgeId, FlowEvent, FlowId, FlowSim};

@@ -1,0 +1,390 @@
+//! Topology generators for the paper's evaluation settings.
+//!
+//! * [`leaf_spine`] — the testbed (§7): 2 spine + 5 leaf switches,
+//!   hosts on leaves, one uplink from every leaf to every spine.
+//! * [`fat_tree`] — the canonical k-ary fat-tree used in Figure 8(a).
+//! * [`cube`] — n-dimensional mesh ("cube" in §7.2.1); Figure 8 uses an
+//!   8×8×8 cube and controller placements at a corner or the center.
+//! * [`random_regular`] — jellyfish-style random r-regular switch graph
+//!   for irregular-topology experiments.
+//!
+//! All generators return a [`Generated`] bundle: the [`Topology`] plus
+//! named switch groups ("spine", "leaf", "core", …) so experiments can
+//! address layers without re-deriving them.
+
+use std::collections::BTreeMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use dumbnet_types::SwitchId;
+
+use crate::graph::Topology;
+
+/// A generated topology plus named switch groups.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The topology itself.
+    pub topology: Topology,
+    /// Named switch groups, e.g. `"spine"`, `"leaf"`, `"core"`, `"agg"`,
+    /// `"edge"`.
+    pub groups: BTreeMap<String, Vec<SwitchId>>,
+}
+
+impl Generated {
+    /// The switches in a named group (empty slice if absent).
+    #[must_use]
+    pub fn group(&self, name: &str) -> &[SwitchId] {
+        self.groups.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Builds a leaf-spine fabric.
+///
+/// Every leaf has one uplink to every spine; `hosts_per_leaf` hosts hang
+/// off each leaf. `ports` is the switch radix (the paper's testbed used
+/// 64-port switches; experiments that sweep radix pass other values).
+///
+/// # Panics
+///
+/// Panics if the radix cannot accommodate the requested wiring — that is
+/// a programming error in experiment setup, not a runtime condition.
+#[must_use]
+pub fn leaf_spine(spines: usize, leaves: usize, hosts_per_leaf: usize, ports: u8) -> Generated {
+    let mut topo = Topology::new();
+    let spine_ids: Vec<SwitchId> = (0..spines).map(|_| topo.add_switch(ports)).collect();
+    let leaf_ids: Vec<SwitchId> = (0..leaves).map(|_| topo.add_switch(ports)).collect();
+    for &leaf in &leaf_ids {
+        for &spine in &spine_ids {
+            topo.connect_auto(leaf, spine)
+                .expect("leaf-spine radix too small for uplinks");
+        }
+        for _ in 0..hosts_per_leaf {
+            topo.add_host_auto(leaf)
+                .expect("leaf-spine radix too small for hosts");
+        }
+    }
+    let mut groups = BTreeMap::new();
+    groups.insert("spine".to_owned(), spine_ids);
+    groups.insert("leaf".to_owned(), leaf_ids);
+    Generated {
+        topology: topo,
+        groups,
+    }
+}
+
+/// Builds the paper's testbed: 2 spines, 5 leaves, 27 hosts spread over
+/// the leaves (5-6-6-5-5), 64-port switches, as described in §7.
+#[must_use]
+pub fn testbed() -> Generated {
+    let mut g = leaf_spine(2, 5, 0, 64);
+    let leaves: Vec<SwitchId> = g.group("leaf").to_vec();
+    // 27 hosts over 5 leaves.
+    let spread = [6usize, 6, 5, 5, 5];
+    for (leaf, &n) in leaves.iter().zip(spread.iter()) {
+        for _ in 0..n {
+            g.topology.add_host_auto(*leaf).expect("testbed radix");
+        }
+    }
+    g
+}
+
+/// Builds a k-ary fat-tree (k even): `k` pods of `k/2` edge and `k/2`
+/// aggregation switches, `(k/2)²` cores, and `hosts_per_edge` hosts per
+/// edge switch (pass `k/2` for the canonical full fat-tree).
+///
+/// Total switches: `5k²/4`. All switches have radix `k` unless `ports`
+/// overrides it with a larger value (extra ports stay unwired — used by
+/// discovery-cost experiments, which probe *all* ports).
+///
+/// # Panics
+///
+/// Panics if `k` is odd or zero.
+#[must_use]
+pub fn fat_tree(k: usize, hosts_per_edge: usize, ports: Option<u8>) -> Generated {
+    assert!(k > 0 && k.is_multiple_of(2), "fat-tree arity must be even");
+    let radix = ports.unwrap_or_else(|| u8::try_from(k).expect("k fits in a port byte"));
+    assert!(
+        usize::from(radix) >= k,
+        "radix must be at least k to wire a k-ary fat-tree"
+    );
+    let half = k / 2;
+    let mut topo = Topology::new();
+    let cores: Vec<SwitchId> = (0..half * half).map(|_| topo.add_switch(radix)).collect();
+    let mut aggs = Vec::with_capacity(k * half);
+    let mut edges = Vec::with_capacity(k * half);
+    for _pod in 0..k {
+        let pod_aggs: Vec<SwitchId> = (0..half).map(|_| topo.add_switch(radix)).collect();
+        let pod_edges: Vec<SwitchId> = (0..half).map(|_| topo.add_switch(radix)).collect();
+        // Edge ↔ agg full bipartite within the pod.
+        for &e in &pod_edges {
+            for &a in &pod_aggs {
+                topo.connect_auto(e, a).expect("fat-tree pod wiring");
+            }
+        }
+        // Agg i connects to cores [i*half, (i+1)*half).
+        for (i, &a) in pod_aggs.iter().enumerate() {
+            for &c in &cores[i * half..(i + 1) * half] {
+                topo.connect_auto(a, c).expect("fat-tree core wiring");
+            }
+        }
+        // Hosts on edges.
+        for &e in &pod_edges {
+            for _ in 0..hosts_per_edge {
+                topo.add_host_auto(e).expect("fat-tree host wiring");
+            }
+        }
+        aggs.extend(pod_aggs);
+        edges.extend(pod_edges);
+    }
+    let mut groups = BTreeMap::new();
+    groups.insert("core".to_owned(), cores);
+    groups.insert("agg".to_owned(), aggs);
+    groups.insert("edge".to_owned(), edges);
+    Generated {
+        topology: topo,
+        groups,
+    }
+}
+
+/// Builds an n-dimensional mesh ("cube"). `dims` gives the side length in
+/// each dimension; switches sit at every lattice point and connect to
+/// their immediate neighbors (no wraparound, so corners exist — Figure 8
+/// distinguishes corner vs. center controller placement).
+///
+/// `hosts_per_switch` hosts are attached to every switch. `ports` is the
+/// radix; Figure 8(b) sweeps it while holding the link structure fixed.
+///
+/// # Panics
+///
+/// Panics if `dims` is empty, any dimension is zero, or the radix cannot
+/// fit `2·dims.len() + hosts_per_switch` attachments.
+#[must_use]
+pub fn cube(dims: &[usize], hosts_per_switch: usize, ports: u8) -> Generated {
+    assert!(!dims.is_empty() && dims.iter().all(|&d| d > 0), "bad dims");
+    let n: usize = dims.iter().product();
+    let needed = 2 * dims.len() + hosts_per_switch;
+    assert!(
+        usize::from(ports) >= needed,
+        "radix {ports} cannot fit {needed} attachments"
+    );
+    let mut topo = Topology::new();
+    let ids: Vec<SwitchId> = (0..n).map(|_| topo.add_switch(ports)).collect();
+    // Strides for mixed-radix coordinates.
+    let mut strides = vec![1usize; dims.len()];
+    for i in 1..dims.len() {
+        strides[i] = strides[i - 1] * dims[i - 1];
+    }
+    let coord = |ix: usize, d: usize| (ix / strides[d]) % dims[d];
+    for ix in 0..n {
+        for (d, &stride) in strides.iter().enumerate() {
+            if coord(ix, d) + 1 < dims[d] {
+                let nb = ix + stride;
+                topo.connect_auto(ids[ix], ids[nb]).expect("cube wiring");
+            }
+        }
+    }
+    for &id in &ids {
+        for _ in 0..hosts_per_switch {
+            topo.add_host_auto(id).expect("cube host wiring");
+        }
+    }
+    let corner = vec![ids[0]];
+    let center_ix: usize = dims
+        .iter()
+        .enumerate()
+        .map(|(d, &len)| (len / 2) * strides[d])
+        .sum();
+    let center = vec![ids[center_ix]];
+    let mut groups = BTreeMap::new();
+    groups.insert("all".to_owned(), ids);
+    groups.insert("corner".to_owned(), corner);
+    groups.insert("center".to_owned(), center);
+    Generated {
+        topology: topo,
+        groups,
+    }
+}
+
+/// Builds a random `r`-regular switch graph of `n` switches (jellyfish
+/// style) with `hosts_per_switch` hosts each, using pairing with retries.
+///
+/// The result may occasionally be slightly irregular (a few switches one
+/// short of `r`) when the random pairing gets stuck; this mirrors real
+/// jellyfish construction and is fine for the experiments that use it.
+///
+/// # Panics
+///
+/// Panics if `n·r` is odd or the radix is too small.
+#[must_use]
+pub fn random_regular<R: Rng>(
+    n: usize,
+    r: usize,
+    hosts_per_switch: usize,
+    ports: u8,
+    rng: &mut R,
+) -> Generated {
+    assert!((n * r).is_multiple_of(2), "n*r must be even");
+    assert!(usize::from(ports) >= r + hosts_per_switch, "radix too small");
+    let mut topo = Topology::new();
+    let ids: Vec<SwitchId> = (0..n).map(|_| topo.add_switch(ports)).collect();
+    // Stub matching: each switch contributes r stubs; repeatedly shuffle
+    // and pair, rejecting self-loops and duplicate edges.
+    let mut degree = vec![0usize; n];
+    let mut edges = std::collections::HashSet::new();
+    for _attempt in 0..200 {
+        let mut stubs: Vec<usize> = Vec::new();
+        for (ix, &d) in degree.iter().enumerate() {
+            for _ in 0..r.saturating_sub(d) {
+                stubs.push(ix);
+            }
+        }
+        if stubs.is_empty() {
+            break;
+        }
+        stubs.shuffle(rng);
+        let mut progressed = false;
+        let mut i = 0;
+        while i + 1 < stubs.len() {
+            let (a, b) = (stubs[i], stubs[i + 1]);
+            let key = (a.min(b), a.max(b));
+            if a != b && !edges.contains(&key) && degree[a] < r && degree[b] < r {
+                edges.insert(key);
+                degree[a] += 1;
+                degree[b] += 1;
+                topo.connect_auto(ids[a], ids[b]).expect("regular wiring");
+                progressed = true;
+            }
+            i += 2;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for &id in &ids {
+        for _ in 0..hosts_per_switch {
+            topo.add_host_auto(id).expect("regular host wiring");
+        }
+    }
+    let mut groups = BTreeMap::new();
+    groups.insert("all".to_owned(), ids);
+    Generated {
+        topology: topo,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spath;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn testbed_matches_paper() {
+        let g = testbed();
+        let t = &g.topology;
+        assert_eq!(t.switch_count(), 7);
+        assert_eq!(t.host_count(), 27);
+        assert_eq!(t.link_count(), 10); // 5 leaves × 2 spines.
+        t.check_invariants().unwrap();
+        // Every leaf reaches every other leaf in 2 hops.
+        let leaves = g.group("leaf");
+        for &a in leaves {
+            for &b in leaves {
+                if a != b {
+                    assert_eq!(spath::hop_distance(t, a, b), Some(2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_k4_structure() {
+        let g = fat_tree(4, 2, None);
+        let t = &g.topology;
+        assert_eq!(g.group("core").len(), 4);
+        assert_eq!(g.group("agg").len(), 8);
+        assert_eq!(g.group("edge").len(), 8);
+        assert_eq!(t.switch_count(), 20); // 5k²/4 for k=4.
+        assert_eq!(t.host_count(), 16); // k³/4.
+        assert_eq!(t.link_count(), 32); // 16 edge-agg + 16 agg-core.
+        t.check_invariants().unwrap();
+        // Edge-to-edge across pods is 4 hops.
+        let e = g.group("edge");
+        assert_eq!(spath::hop_distance(t, e[0], e[7]), Some(4));
+        // Within a pod: 2 hops.
+        assert_eq!(spath::hop_distance(t, e[0], e[1]), Some(2));
+    }
+
+    #[test]
+    fn fat_tree_radix_override() {
+        let g = fat_tree(4, 0, Some(64));
+        assert!(g.topology.switches().all(|s| s.ports == 64));
+        // Cores and aggs are fully wired at degree k; edges carry only
+        // their k/2 uplinks when no hosts are attached.
+        for &c in g.group("core").iter().chain(g.group("agg")) {
+            assert_eq!(g.topology.switch(c).unwrap().degree(), 4);
+        }
+        for &e in g.group("edge") {
+            assert_eq!(g.topology.switch(e).unwrap().degree(), 2);
+        }
+    }
+
+    #[test]
+    fn cube_8x8x8_structure() {
+        let g = cube(&[8, 8, 8], 0, 64);
+        let t = &g.topology;
+        assert_eq!(t.switch_count(), 512);
+        // Mesh links: 3 * 8*8*7.
+        assert_eq!(t.link_count(), 3 * 8 * 8 * 7);
+        // Corner has degree 3, center degree 6.
+        let corner = g.group("corner")[0];
+        let center = g.group("center")[0];
+        assert_eq!(t.switch(corner).unwrap().degree(), 3);
+        assert_eq!(t.switch(center).unwrap().degree(), 6);
+        // Corner-to-opposite-corner distance is 21 hops.
+        let far = SwitchId::new(511);
+        assert_eq!(spath::hop_distance(t, corner, far), Some(21));
+    }
+
+    #[test]
+    fn cube_center_placement_shortens_eccentricity() {
+        let g = cube(&[5, 5, 5], 0, 16);
+        let t = &g.topology;
+        let ecc = |s: SwitchId| {
+            spath::distances(t, s)
+                .reachable()
+                .map(|(_, d)| d)
+                .max()
+                .unwrap()
+        };
+        assert!(ecc(g.group("center")[0]) < ecc(g.group("corner")[0]));
+    }
+
+    #[test]
+    fn random_regular_mostly_regular() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_regular(40, 4, 1, 8, &mut rng);
+        let t = &g.topology;
+        t.check_invariants().unwrap();
+        assert_eq!(t.switch_count(), 40);
+        assert_eq!(t.host_count(), 40);
+        let shortfall: usize = t
+            .switches()
+            .map(|s| 5usize.saturating_sub(s.degree()))
+            .sum();
+        assert!(shortfall <= 2, "too irregular: shortfall {shortfall}");
+    }
+
+    #[test]
+    fn one_dimensional_cube_is_a_line() {
+        let g = cube(&[4], 1, 4);
+        assert_eq!(g.topology.link_count(), 3);
+        assert_eq!(
+            spath::hop_distance(&g.topology, g.group("corner")[0], SwitchId::new(3)),
+            Some(3)
+        );
+    }
+}

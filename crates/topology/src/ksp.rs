@@ -1,0 +1,227 @@
+//! Yen's k-shortest loopless paths.
+//!
+//! The host agent's TopoCache computes "the k shortest paths from src to
+//! dst and randomly chooses one as the path" (§5.2). The PathTable caches
+//! all k for flowlet-based load balancing. This module provides that
+//! computation at switch granularity.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use dumbnet_types::SwitchId;
+
+use crate::graph::Topology;
+use crate::route::Route;
+
+/// Deterministic Dijkstra from `src` to `dst` that avoids banned edges
+/// and banned intermediate nodes. Ties break toward lower switch IDs so
+/// Yen's spur enumeration is stable.
+fn constrained_shortest(
+    topo: &Topology,
+    src: SwitchId,
+    dst: SwitchId,
+    banned_edges: &HashSet<(SwitchId, SwitchId)>,
+    banned_nodes: &HashSet<SwitchId>,
+) -> Option<Vec<SwitchId>> {
+    let n = topo.switch_count();
+    if src.get() as usize >= n || dst.get() as usize >= n {
+        return None;
+    }
+    if banned_nodes.contains(&src) || banned_nodes.contains(&dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut dist = vec![u64::MAX; n];
+    let mut prev: Vec<Option<SwitchId>> = vec![None; n];
+    dist[src.get() as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.get() as usize] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        let mut nexts: Vec<SwitchId> = topo.neighbors(u).map(|(_, v, _)| v).collect();
+        nexts.sort();
+        nexts.dedup();
+        for v in nexts {
+            if banned_nodes.contains(&v) || banned_edges.contains(&(u, v)) {
+                continue;
+            }
+            let nd = d + 1;
+            if nd < dist[v.get() as usize] {
+                dist[v.get() as usize] = nd;
+                prev[v.get() as usize] = Some(u);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    if dist[dst.get() as usize] == u64::MAX {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = prev[cur.get() as usize] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Computes up to `k` shortest loopless switch routes from `src` to
+/// `dst`, ordered by non-decreasing hop count (Yen's algorithm).
+///
+/// Returns fewer than `k` routes when the graph does not contain that
+/// many distinct simple paths, and an empty vector when `dst` is
+/// unreachable.
+///
+/// # Examples
+///
+/// ```
+/// use dumbnet_topology::{generators, k_shortest_routes};
+///
+/// let g = generators::leaf_spine(2, 2, 0, 8);
+/// let leaves = g.group("leaf");
+/// let routes = k_shortest_routes(&g.topology, leaves[0], leaves[1], 4);
+/// // Two spines give exactly two 2-hop paths.
+/// assert_eq!(routes.len(), 2);
+/// assert!(routes.iter().all(|r| r.link_hops() == 2));
+/// ```
+#[must_use]
+pub fn k_shortest_routes(topo: &Topology, src: SwitchId, dst: SwitchId, k: usize) -> Vec<Route> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let no_edges = HashSet::new();
+    let no_nodes = HashSet::new();
+    let Some(first) = constrained_shortest(topo, src, dst, &no_edges, &no_nodes) else {
+        return Vec::new();
+    };
+    let mut accepted: Vec<Vec<SwitchId>> = vec![first];
+    // Candidate set keyed by path to avoid duplicates; BinaryHeap of
+    // Reverse((len, path)) gives shortest-first extraction with stable
+    // lexicographic tie-breaking.
+    let mut candidates: BinaryHeap<Reverse<(usize, Vec<SwitchId>)>> = BinaryHeap::new();
+    let mut seen: HashSet<Vec<SwitchId>> = accepted.iter().cloned().collect();
+
+    while accepted.len() < k {
+        let last = accepted.last().expect("non-empty").clone();
+        // Spur from every node of the previous accepted path.
+        for spur_ix in 0..last.len() - 1 {
+            let spur_node = last[spur_ix];
+            let root = &last[..=spur_ix];
+            let mut banned_edges: HashSet<(SwitchId, SwitchId)> = HashSet::new();
+            for p in accepted.iter().chain(candidates.iter().map(|r| &r.0 .1)) {
+                if p.len() > spur_ix && p[..=spur_ix] == *root {
+                    if let (Some(&a), Some(&b)) = (p.get(spur_ix), p.get(spur_ix + 1)) {
+                        banned_edges.insert((a, b));
+                        banned_edges.insert((b, a));
+                    }
+                }
+            }
+            let banned_nodes: HashSet<SwitchId> = root[..spur_ix].iter().copied().collect();
+            if let Some(spur) =
+                constrained_shortest(topo, spur_node, dst, &banned_edges, &banned_nodes)
+            {
+                let mut total = root[..spur_ix].to_vec();
+                total.extend(spur);
+                if seen.insert(total.clone()) {
+                    candidates.push(Reverse((total.len(), total)));
+                }
+            }
+        }
+        match candidates.pop() {
+            Some(Reverse((_, next))) => accepted.push(next),
+            None => break,
+        }
+    }
+    accepted
+        .into_iter()
+        .filter_map(|p| Route::new(p).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Topology;
+
+    #[test]
+    fn single_path_graph_returns_one() {
+        let mut t = Topology::new();
+        let a = t.add_switch(4);
+        let b = t.add_switch(4);
+        let c = t.add_switch(4);
+        t.connect_auto(a, b).unwrap();
+        t.connect_auto(b, c).unwrap();
+        let routes = k_shortest_routes(&t, a, c, 5);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].switches(), &[a, b, c]);
+    }
+
+    #[test]
+    fn unreachable_returns_empty() {
+        let mut t = Topology::new();
+        let a = t.add_switch(4);
+        let b = t.add_switch(4);
+        assert!(k_shortest_routes(&t, a, b, 3).is_empty());
+        assert!(k_shortest_routes(&t, a, b, 0).is_empty());
+    }
+
+    #[test]
+    fn routes_are_sorted_simple_and_distinct() {
+        let g = generators::fat_tree(4, 0, None);
+        let e = g.group("edge");
+        let routes = k_shortest_routes(&g.topology, e[0], e[7], 8);
+        assert!(!routes.is_empty());
+        for w in routes.windows(2) {
+            assert!(w[0].link_hops() <= w[1].link_hops());
+        }
+        let set: std::collections::HashSet<_> =
+            routes.iter().map(|r| r.switches().to_vec()).collect();
+        assert_eq!(set.len(), routes.len(), "duplicates returned");
+        for r in &routes {
+            assert!(r.is_simple(), "{r} has a loop");
+            assert!(r.is_valid_in(&g.topology));
+        }
+    }
+
+    #[test]
+    fn cross_pod_fat_tree_has_four_ecmp_paths() {
+        // k=4: between edges in different pods there are 4 shortest
+        // (4-hop) paths, one per core.
+        let g = generators::fat_tree(4, 0, None);
+        let e = g.group("edge");
+        let routes = k_shortest_routes(&g.topology, e[0], e[7], 4);
+        assert_eq!(routes.len(), 4);
+        assert!(routes.iter().all(|r| r.link_hops() == 4));
+    }
+
+    #[test]
+    fn longer_detours_found_after_ecmp_exhausted() {
+        let g = generators::leaf_spine(2, 3, 0, 8);
+        let leaves = g.group("leaf");
+        let routes = k_shortest_routes(&g.topology, leaves[0], leaves[1], 6);
+        // 2 two-hop paths (via each spine), then 4 four-hop detours
+        // (via the other leaf and both spines in either order).
+        assert!(routes.len() >= 4, "got {}", routes.len());
+        assert_eq!(routes[0].link_hops(), 2);
+        assert_eq!(routes[1].link_hops(), 2);
+        assert!(routes[2].link_hops() >= 4);
+    }
+
+    #[test]
+    fn src_equals_dst() {
+        let mut t = Topology::new();
+        let a = t.add_switch(4);
+        let routes = k_shortest_routes(&t, a, a, 3);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].switches(), &[a]);
+    }
+}

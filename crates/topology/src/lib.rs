@@ -1,0 +1,41 @@
+//! Topology model, generators and routing algorithms for DumbNet.
+//!
+//! This crate provides the graph substrate everything else stands on:
+//!
+//! * [`Topology`] — a mutable model of switches, hosts and links, with the
+//!   port-level detail DumbNet needs (source routes are sequences of
+//!   *output ports*, so the graph must know which port faces which
+//!   neighbor).
+//! * [`generators`] — constructors for the topologies used in the paper's
+//!   evaluation: the 2×5 leaf-spine testbed, fat-trees, k-ary n-cube
+//!   meshes (the "cube" of §7.2.1), and random regular graphs for
+//!   irregular-topology experiments.
+//! * [`spath`] — BFS/Dijkstra shortest paths with randomized equal-cost
+//!   tie-breaking (§4.3: "randomizes the choice for equal cost links").
+//! * [`ksp`] — Yen's k-shortest loopless paths, used by the host
+//!   TopoCache to extract the `k` paths the PathTable caches.
+//! * [`pathgraph`] — the paper's Algorithm 1: primary path, `s`-step
+//!   ε-good local detours, and a backup path computed with inflated
+//!   primary-link costs.
+//! * [`route`] — switch-level routes and their conversion to port-tag
+//!   [`Path`](dumbnet_types::Path)s.
+//! * [`views`] — filtered per-tenant topology views for the network
+//!   virtualization extension (§6.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod graph;
+pub mod ksp;
+pub mod pathgraph;
+pub mod route;
+pub mod spath;
+pub mod views;
+
+pub use graph::{Attachment, HostInfo, Link, SwitchInfo, Topology};
+pub use ksp::k_shortest_routes;
+pub use pathgraph::{PathGraph, PathGraphParams};
+pub use route::Route;
+pub use spath::{shortest_route, shortest_route_weighted, DistanceMap};
+pub use views::TopologyView;

@@ -1,0 +1,684 @@
+//! Path graphs — the paper's Algorithm 1 (§4.3).
+//!
+//! A path graph is the unit of caching between controller and host: a
+//! subgraph of the topology containing (i) a primary shortest path,
+//! (ii) *s-step, ε-good* local detours around every window of the primary
+//! path, and (iii) a backup path sharing as few links with the primary as
+//! possible. Hosts route within their cached path graphs and only go back
+//! to the controller when the subgraph no longer connects the endpoints.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashSet};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dumbnet_types::{
+    DumbNetError, HostId, MacAddr, Path, PortId, PortNo, Result, SwitchId,
+};
+
+use crate::graph::Topology;
+use crate::route::Route;
+use crate::spath;
+
+/// Tunables for path-graph construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathGraphParams {
+    /// How many alternative paths the host's PathTable extracts and
+    /// caches from the subgraph.
+    pub k: usize,
+    /// Detour window length in hops (`s` in Algorithm 1). The paper's
+    /// evaluation fixes `s = 2`.
+    pub s: usize,
+    /// Detour slack in hops (`ε` in Algorithm 1): a detour for a window
+    /// of length `s` may be up to `s + ε` hops long.
+    pub epsilon: u64,
+}
+
+impl Default for PathGraphParams {
+    fn default() -> PathGraphParams {
+        PathGraphParams {
+            k: 4,
+            s: 2,
+            epsilon: 2,
+        }
+    }
+}
+
+/// A host endpoint of a path graph: identity plus attachment point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Host identity.
+    pub host: HostId,
+    /// Host MAC address.
+    pub mac: MacAddr,
+    /// Switch port the host hangs off.
+    pub attach: PortId,
+}
+
+/// One switch-to-switch edge of the cached subgraph, with port detail so
+/// hosts can emit tag paths without consulting the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubEdge {
+    /// One endpoint.
+    pub a: PortId,
+    /// The other endpoint.
+    pub b: PortId,
+}
+
+impl SubEdge {
+    /// Normalized switch pair (lower ID first) for set keys.
+    #[must_use]
+    pub fn key(&self) -> (SwitchId, SwitchId) {
+        let (x, y) = (self.a.switch, self.b.switch);
+        if x <= y {
+            (x, y)
+        } else {
+            (y, x)
+        }
+    }
+}
+
+/// The cached subgraph for one (src, dst) host pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathGraph {
+    /// Source endpoint.
+    pub src: Endpoint,
+    /// Destination endpoint.
+    pub dst: Endpoint,
+    /// The primary (shortest) route, switch-level.
+    pub primary: Route,
+    /// The backup route (may be `None` in graphs with no redundancy).
+    pub backup: Option<Route>,
+    /// All switches in the subgraph.
+    pub switches: BTreeSet<SwitchId>,
+    /// All edges among subgraph switches (with port numbers).
+    pub edges: Vec<SubEdge>,
+}
+
+/// Builds the path graph for `src → dst` per Algorithm 1.
+///
+/// # Errors
+///
+/// Returns [`DumbNetError::NoRoute`] when the hosts are disconnected and
+/// propagates host lookup failures.
+pub fn build<R: Rng>(
+    topo: &Topology,
+    src: HostId,
+    dst: HostId,
+    params: &PathGraphParams,
+    rng: &mut R,
+) -> Result<PathGraph> {
+    let src_info = *topo.host(src)?;
+    let dst_info = *topo.host(dst)?;
+    let s_src = src_info.attached.switch;
+    let s_dst = dst_info.attached.switch;
+
+    // (1) Primary path: randomized shortest path.
+    let primary = spath::shortest_route(topo, s_src, s_dst, rng).ok_or(DumbNetError::NoRoute {
+        src: src.get(),
+        dst: dst.get(),
+    })?;
+
+    // (2) Backup path: re-run with primary links inflated so they are
+    // reused only when unavoidable.
+    let primary_links: HashSet<(SwitchId, SwitchId)> = primary
+        .switches()
+        .windows(2)
+        .flat_map(|w| [(w[0], w[1]), (w[1], w[0])])
+        .collect();
+    let penalty = topo.switch_count() as u64 + 2;
+    let backup = spath::shortest_route_weighted(
+        topo,
+        s_src,
+        s_dst,
+        |e| if primary_links.contains(&e) { penalty } else { 1 },
+        rng,
+    )
+    // A backup identical to the primary adds nothing; drop it.
+    .filter(|b| b.switches() != primary.switches());
+
+    // (3) Local detours, Algorithm 1. For each window (a, b) of up to s
+    // consecutive hops along the primary, admit every switch x with
+    // dist(a, x) + dist(x, b) ≤ s + ε.
+    let p = primary.switches();
+    let l = p.len() - 1; // Number of hops.
+    let s_win = params.s.max(1);
+    let mut detour: BTreeSet<SwitchId> = p.iter().copied().collect();
+    let step = (s_win / 2).max(1);
+    let mut i = 0usize;
+    while i < l {
+        let a = p[i];
+        let b = p[(i + s_win).min(l)];
+        let window_len = (i + s_win).min(l) - i;
+        let da = spath::distances(topo, a);
+        let db = spath::distances(topo, b);
+        let budget = window_len as u64 + params.epsilon;
+        for (x, dax) in da.reachable() {
+            if let Some(dxb) = db.dist(x) {
+                if dax + dxb <= budget {
+                    detour.insert(x);
+                }
+            }
+        }
+        i += step;
+    }
+    if let Some(b) = &backup {
+        detour.extend(b.switches().iter().copied());
+    }
+
+    // (4) Materialize the induced subgraph with port detail.
+    let mut edges = Vec::new();
+    let mut seen: BTreeSet<(PortId, PortId)> = BTreeSet::new();
+    for &sw in &detour {
+        for (port, nb, lid) in topo.neighbors(sw) {
+            if !detour.contains(&nb) {
+                continue;
+            }
+            let link = topo.link(lid)?;
+            let (a, b) = if link.a <= link.b {
+                (link.a, link.b)
+            } else {
+                (link.b, link.a)
+            };
+            if seen.insert((a, b)) {
+                edges.push(SubEdge { a, b });
+            }
+            let _ = port;
+        }
+    }
+
+    Ok(PathGraph {
+        src: Endpoint {
+            host: src,
+            mac: src_info.mac,
+            attach: src_info.attached,
+        },
+        dst: Endpoint {
+            host: dst,
+            mac: dst_info.mac,
+            attach: dst_info.attached,
+        },
+        primary,
+        backup,
+        switches: detour,
+        edges,
+    })
+}
+
+impl PathGraph {
+    /// Number of switches cached (the Figure 12 metric).
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of subgraph edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adjacency restricted to the subgraph, excluding `down` edges
+    /// (normalized switch pairs).
+    #[must_use]
+    pub fn adjacency(
+        &self,
+        down: &HashSet<(SwitchId, SwitchId)>,
+    ) -> BTreeMap<SwitchId, Vec<(PortNo, SwitchId)>> {
+        let mut adj: BTreeMap<SwitchId, Vec<(PortNo, SwitchId)>> = BTreeMap::new();
+        for e in &self.edges {
+            if down.contains(&e.key()) {
+                continue;
+            }
+            adj.entry(e.a.switch)
+                .or_default()
+                .push((e.a.port, e.b.switch));
+            adj.entry(e.b.switch)
+                .or_default()
+                .push((e.b.port, e.a.switch));
+        }
+        adj
+    }
+
+    /// Shortest route from the source's switch to the destination's
+    /// switch *within the subgraph*, avoiding `down` edges.
+    ///
+    /// This is what lets a host fail over locally, without contacting the
+    /// controller, when a primary link dies.
+    #[must_use]
+    pub fn shortest_within(&self, down: &HashSet<(SwitchId, SwitchId)>) -> Option<Route> {
+        let adj = self.adjacency(down);
+        let src = self.src.attach.switch;
+        let dst = self.dst.attach.switch;
+        if src == dst {
+            return Route::new(vec![src]).ok();
+        }
+        let mut dist: BTreeMap<SwitchId, u64> = BTreeMap::new();
+        let mut prev: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(src, 0);
+        heap.push(Reverse((0u64, src)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > *dist.get(&u).unwrap_or(&u64::MAX) {
+                continue;
+            }
+            if u == dst {
+                break;
+            }
+            if let Some(nexts) = adj.get(&u) {
+                for &(_, v) in nexts {
+                    let nd = d + 1;
+                    if nd < *dist.get(&v).unwrap_or(&u64::MAX) {
+                        dist.insert(v, nd);
+                        prev.insert(v, u);
+                        heap.push(Reverse((nd, v)));
+                    }
+                }
+            }
+        }
+        dist.get(&dst)?;
+        let mut route = vec![dst];
+        let mut cur = dst;
+        while let Some(&p) = prev.get(&cur) {
+            route.push(p);
+            cur = p;
+        }
+        route.reverse();
+        Route::new(route).ok()
+    }
+
+    /// Up to `k` shortest loopless routes within the subgraph, avoiding
+    /// `down` edges (small-scale Yen over the cached adjacency).
+    #[must_use]
+    pub fn k_shortest_within(
+        &self,
+        k: usize,
+        down: &HashSet<(SwitchId, SwitchId)>,
+    ) -> Vec<Route> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut results: Vec<Route> = Vec::new();
+        let Some(first) = self.shortest_within(down) else {
+            return results;
+        };
+        results.push(first);
+        let mut candidates: BinaryHeap<Reverse<(usize, Vec<SwitchId>)>> = BinaryHeap::new();
+        let mut seen: HashSet<Vec<SwitchId>> =
+            results.iter().map(|r| r.switches().to_vec()).collect();
+        while results.len() < k {
+            let last = results.last().expect("non-empty").switches().to_vec();
+            for spur_ix in 0..last.len().saturating_sub(1) {
+                let root = &last[..=spur_ix];
+                // Ban edges used by already-found routes sharing this root,
+                // and nodes of the root prefix, then reroute.
+                let mut banned: HashSet<(SwitchId, SwitchId)> = down.clone();
+                for r in results.iter().map(Route::switches).chain(
+                    candidates.iter().map(|c| c.0 .1.as_slice()),
+                ) {
+                    if r.len() > spur_ix && r[..=spur_ix] == *root {
+                        let (a, b) = (r[spur_ix], r[spur_ix + 1]);
+                        let key = if a <= b { (a, b) } else { (b, a) };
+                        banned.insert(key);
+                    }
+                }
+                let root_nodes: HashSet<SwitchId> = root[..spur_ix].iter().copied().collect();
+                let sub = PathGraph {
+                    src: Endpoint {
+                        attach: PortId::new(root[spur_ix], self.src.attach.port),
+                        ..self.src
+                    },
+                    ..self.clone()
+                };
+                // Reuse shortest_within from the spur node by shadowing the
+                // source attach switch; filter root nodes via `banned` edges
+                // touching them.
+                let mut banned2 = banned;
+                for e in &self.edges {
+                    let (x, y) = e.key();
+                    if root_nodes.contains(&x) || root_nodes.contains(&y) {
+                        banned2.insert((x, y));
+                    }
+                }
+                if let Some(spur) = sub.shortest_within(&banned2) {
+                    let mut total = root[..spur_ix].to_vec();
+                    total.extend(spur.switches());
+                    if total.windows(2).all(|w| w[0] != w[1]) && seen.insert(total.clone()) {
+                        candidates.push(Reverse((total.len(), total)));
+                    }
+                }
+            }
+            match candidates.pop() {
+                Some(Reverse((_, next))) => {
+                    if let Ok(r) = Route::new(next) {
+                        if r.is_simple() {
+                            results.push(r);
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+        results
+    }
+
+    /// Converts a switch-level route from this graph into the tag path a
+    /// packet must carry, using the subgraph's own port map.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the route endpoints don't match the cached endpoints or
+    /// the route uses an edge absent from the subgraph.
+    pub fn tag_path(&self, route: &Route) -> Result<Path> {
+        if route.first() != self.src.attach.switch {
+            return Err(DumbNetError::PathRejected(format!(
+                "route starts at {}, source attaches to {}",
+                route.first(),
+                self.src.attach.switch
+            )));
+        }
+        if route.last() != self.dst.attach.switch {
+            return Err(DumbNetError::PathRejected(format!(
+                "route ends at {}, destination attaches to {}",
+                route.last(),
+                self.dst.attach.switch
+            )));
+        }
+        let mut path = Path::empty();
+        for w in route.switches().windows(2) {
+            let port = self
+                .edges
+                .iter()
+                .find_map(|e| {
+                    if e.a.switch == w[0] && e.b.switch == w[1] {
+                        Some(e.a.port)
+                    } else if e.b.switch == w[0] && e.a.switch == w[1] {
+                        Some(e.b.port)
+                    } else {
+                        None
+                    }
+                })
+                .ok_or_else(|| {
+                    DumbNetError::PathRejected(format!("edge {} → {} not cached", w[0], w[1]))
+                })?;
+            path = path.push(port.into())?;
+        }
+        path.push(self.dst.attach.port.into())
+    }
+
+    /// Returns `true` if the subgraph contains an (up) edge between the
+    /// two switches.
+    #[must_use]
+    pub fn contains_edge(&self, a: SwitchId, b: SwitchId) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.edges.iter().any(|e| e.key() == key)
+    }
+
+    /// Removes an edge (both directions) from the cache — the host-side
+    /// reaction to a link-failure notification. Returns `true` if the
+    /// edge was present.
+    pub fn remove_edge(&mut self, a: SwitchId, b: SwitchId) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let before = self.edges.len();
+        self.edges.retain(|e| e.key() != key);
+        self.edges.len() != before
+    }
+
+    /// Materializes a reusable router over this subgraph — the form the
+    /// host agent keeps hot, with dense indices and preallocated scratch
+    /// space so repeated find-path calls avoid rebuilding adjacency
+    /// (Table 2's "Find Path" operation).
+    #[must_use]
+    pub fn router(&self) -> PathGraphRouter {
+        let mut nodes: Vec<SwitchId> = self.switches.iter().copied().collect();
+        nodes.sort();
+        let index = |s: SwitchId| nodes.binary_search(&s).ok();
+        let mut adj: Vec<Vec<(PortNo, u32)>> = vec![Vec::new(); nodes.len()];
+        for e in &self.edges {
+            if let (Some(a), Some(b)) = (index(e.a.switch), index(e.b.switch)) {
+                adj[a].push((e.a.port, b as u32));
+                adj[b].push((e.b.port, a as u32));
+            }
+        }
+        let n = nodes.len();
+        PathGraphRouter {
+            nodes,
+            adj,
+            src: self.src.attach.switch,
+            dst: self.dst.attach.switch,
+            dist: vec![u32::MAX; n],
+            prev: vec![u32::MAX; n],
+            queue: std::collections::VecDeque::with_capacity(n),
+        }
+    }
+}
+
+/// A reusable, allocation-free find-path engine over one cached path
+/// graph (see [`PathGraph::router`]).
+#[derive(Debug, Clone)]
+pub struct PathGraphRouter {
+    nodes: Vec<SwitchId>,
+    adj: Vec<Vec<(PortNo, u32)>>,
+    src: SwitchId,
+    dst: SwitchId,
+    dist: Vec<u32>,
+    prev: Vec<u32>,
+    queue: std::collections::VecDeque<u32>,
+}
+
+impl PathGraphRouter {
+    /// Finds the shortest route from the cached source switch to the
+    /// cached destination switch, avoiding `down` edges. Hop costs are
+    /// uniform, so a BFS over the dense adjacency suffices.
+    #[must_use]
+    pub fn shortest(&mut self, down: &HashSet<(SwitchId, SwitchId)>) -> Option<Route> {
+        let src = self.nodes.binary_search(&self.src).ok()? as u32;
+        let dst = self.nodes.binary_search(&self.dst).ok()? as u32;
+        if src == dst {
+            return Route::new(vec![self.src]).ok();
+        }
+        self.dist.fill(u32::MAX);
+        self.queue.clear();
+        self.dist[src as usize] = 0;
+        self.queue.push_back(src);
+        while let Some(u) = self.queue.pop_front() {
+            if u == dst {
+                break;
+            }
+            let du = self.dist[u as usize];
+            for k in 0..self.adj[u as usize].len() {
+                let (_, v) = self.adj[u as usize][k];
+                if self.dist[v as usize] != u32::MAX {
+                    continue;
+                }
+                if !down.is_empty() {
+                    let (a, b) = (self.nodes[u as usize], self.nodes[v as usize]);
+                    let key = if a <= b { (a, b) } else { (b, a) };
+                    if down.contains(&key) {
+                        continue;
+                    }
+                }
+                self.dist[v as usize] = du + 1;
+                self.prev[v as usize] = u;
+                self.queue.push_back(v);
+            }
+        }
+        if self.dist[dst as usize] == u32::MAX {
+            return None;
+        }
+        let mut route = vec![self.nodes[dst as usize]];
+        let mut cur = dst;
+        while cur != src {
+            cur = self.prev[cur as usize];
+            route.push(self.nodes[cur as usize]);
+        }
+        route.reverse();
+        Route::new(route).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(s: usize, epsilon: u64) -> PathGraphParams {
+        PathGraphParams { k: 4, s, epsilon }
+    }
+
+    #[test]
+    fn testbed_pathgraph_has_detours_and_backup() {
+        let g = generators::testbed();
+        let t = &g.topology;
+        let mut rng = StdRng::seed_from_u64(11);
+        // Hosts 0 and 26 are on different leaves.
+        let pg = build(t, HostId(0), HostId(26), &params(2, 2), &mut rng).unwrap();
+        assert_eq!(pg.primary.link_hops(), 2);
+        let backup = pg.backup.as_ref().expect("testbed has redundancy");
+        // Backup must not share the middle (spine) switch with primary.
+        assert_ne!(backup.switches()[1], pg.primary.switches()[1]);
+        // With ε=2 both spines and several leaves are cached.
+        assert!(pg.switch_count() >= 4, "only {} cached", pg.switch_count());
+    }
+
+    #[test]
+    fn primary_always_in_subgraph() {
+        let g = generators::fat_tree(4, 2, None);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pg = build(&g.topology, HostId(0), HostId(15), &params(2, 1), &mut rng).unwrap();
+        for s in pg.primary.switches() {
+            assert!(pg.switches.contains(s));
+        }
+        for w in pg.primary.switches().windows(2) {
+            assert!(pg.contains_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn subgraph_grows_with_epsilon() {
+        let g = generators::cube(&[5, 5, 5], 1, 16);
+        let mut last = 0;
+        for eps in [0u64, 1, 2, 3] {
+            // Fresh identically-seeded RNG per build so the primary path
+            // is the same and only ε varies.
+            let mut rng = StdRng::seed_from_u64(9);
+            let pg = build(&g.topology, HostId(0), HostId(124), &params(2, eps), &mut rng)
+                .unwrap();
+            assert!(
+                pg.switch_count() >= last,
+                "ε={eps}: {} < {last}",
+                pg.switch_count()
+            );
+            last = pg.switch_count();
+        }
+    }
+
+    #[test]
+    fn failover_within_subgraph() {
+        let g = generators::testbed();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pg = build(&g.topology, HostId(0), HostId(26), &params(2, 2), &mut rng).unwrap();
+        // Kill the primary's first link; a route must still exist inside
+        // the cached subgraph.
+        let p = pg.primary.switches();
+        let mut down = HashSet::new();
+        let key = if p[0] <= p[1] {
+            (p[0], p[1])
+        } else {
+            (p[1], p[0])
+        };
+        down.insert(key);
+        let alt = pg.shortest_within(&down).expect("detour exists");
+        assert!(alt
+            .switches()
+            .windows(2)
+            .all(|w| (w[0], w[1]) != (p[0], p[1]) && (w[1], w[0]) != (p[0], p[1])));
+    }
+
+    #[test]
+    fn tag_path_round_trips_through_real_topology() {
+        let g = generators::testbed();
+        let t = &g.topology;
+        let mut rng = StdRng::seed_from_u64(17);
+        let pg = build(t, HostId(2), HostId(20), &params(2, 2), &mut rng).unwrap();
+        let tags = pg.tag_path(&pg.primary).unwrap();
+        // Independently derive via the full topology; they must agree.
+        let expect = pg.primary.to_tag_path(t, HostId(2), HostId(20)).unwrap();
+        assert_eq!(tags, expect);
+    }
+
+    #[test]
+    fn k_shortest_within_uses_detours() {
+        let g = generators::testbed();
+        let mut rng = StdRng::seed_from_u64(23);
+        let pg = build(&g.topology, HostId(0), HostId(26), &params(2, 2), &mut rng).unwrap();
+        let routes = pg.k_shortest_within(4, &HashSet::new());
+        assert!(routes.len() >= 2, "got {}", routes.len());
+        assert_eq!(routes[0].link_hops(), 2);
+        assert_eq!(routes[1].link_hops(), 2);
+        let set: HashSet<_> = routes.iter().map(|r| r.switches().to_vec()).collect();
+        assert_eq!(set.len(), routes.len());
+    }
+
+    #[test]
+    fn same_leaf_pair_single_switch_graph() {
+        let g = generators::testbed();
+        let mut rng = StdRng::seed_from_u64(29);
+        // Hosts 0 and 1 share leaf 0.
+        let pg = build(&g.topology, HostId(0), HostId(1), &params(2, 2), &mut rng).unwrap();
+        assert_eq!(pg.primary.link_hops(), 0);
+        let tags = pg.tag_path(&pg.primary).unwrap();
+        assert_eq!(tags.len(), 1);
+    }
+
+    #[test]
+    fn no_route_between_disconnected_hosts() {
+        let mut t = Topology::new();
+        let a = t.add_switch(4);
+        let b = t.add_switch(4);
+        let ha = t.add_host_auto(a).unwrap();
+        let hb = t.add_host_auto(b).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            build(&t, ha, hb, &PathGraphParams::default(), &mut rng),
+            Err(DumbNetError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn router_agrees_with_shortest_within() {
+        let g = generators::testbed();
+        let mut rng = StdRng::seed_from_u64(31);
+        let pg = build(&g.topology, HostId(0), HostId(26), &params(2, 2), &mut rng).unwrap();
+        let mut router = pg.router();
+        let none = HashSet::new();
+        let a = pg.shortest_within(&none).unwrap();
+        let b = router.shortest(&none).unwrap();
+        assert_eq!(a.link_hops(), b.link_hops());
+        // With the primary's first edge down, both engines detour.
+        let p = pg.primary.switches();
+        let key = if p[0] <= p[1] { (p[0], p[1]) } else { (p[1], p[0]) };
+        let down: HashSet<_> = [key].into_iter().collect();
+        let a = pg.shortest_within(&down).unwrap();
+        let b = router.shortest(&down).unwrap();
+        assert_eq!(a.link_hops(), b.link_hops());
+        assert!(b.is_valid_in(&g.topology));
+        // Reusable: a second query still works.
+        assert!(router.shortest(&none).is_some());
+    }
+
+    #[test]
+    fn removed_edge_disappears() {
+        let g = generators::testbed();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut pg = build(&g.topology, HostId(0), HostId(26), &params(2, 2), &mut rng).unwrap();
+        let p = pg.primary.switches().to_vec();
+        assert!(pg.contains_edge(p[0], p[1]));
+        assert!(pg.remove_edge(p[0], p[1]));
+        assert!(!pg.contains_edge(p[0], p[1]));
+        assert!(!pg.remove_edge(p[0], p[1]));
+    }
+}

@@ -1,0 +1,304 @@
+//! Tag-sequence paths.
+//!
+//! A [`Path`] is the host-chosen route of a packet: one output-port tag per
+//! switch hop, *not* including the trailing ø marker (the codec appends it
+//! on the wire). The paper writes a path like `2-3-5-ø`; here that is
+//! `Path::from_ports([2, 3, 5])` and the ø appears only in the serialized
+//! header.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DumbNetError;
+use crate::ids::PortNo;
+use crate::tag::Tag;
+
+/// An ordered sequence of routing tags describing a route through the
+/// fabric.
+///
+/// Besides plain port tags, a path may contain [`Tag::ID_QUERY`] entries —
+/// topology-discovery probes insert them to ask a mid-path switch for its
+/// identity (§4.1).
+///
+/// # Examples
+///
+/// ```
+/// use dumbnet_types::{Path, Tag};
+///
+/// // The H4→H5 example from §3.2 of the paper: ports 2, 3, 5.
+/// let path = Path::from_ports([2, 3, 5]).unwrap();
+/// assert_eq!(path.len(), 3);
+/// assert_eq!(path.to_string(), "2-3-5-ø");
+///
+/// let (head, rest) = path.split_first().unwrap();
+/// assert_eq!(head, Tag(2));
+/// assert_eq!(rest.to_string(), "3-5-ø");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Path {
+    tags: Vec<Tag>,
+}
+
+impl Path {
+    /// Maximum number of tags a path may carry.
+    ///
+    /// The Ethernet-compatible header leaves room for 64 one-byte tags
+    /// (more than four times the diameter of any practical DCN topology);
+    /// the MPLS encoding is the binding constraint in practice and also
+    /// fits 64 labels within a 1450-byte MTU reservation.
+    pub const MAX_LEN: usize = 64;
+
+    /// The empty path (source and destination on the same switch port —
+    /// only meaningful for loopback probes).
+    #[must_use]
+    pub fn empty() -> Path {
+        Path { tags: Vec::new() }
+    }
+
+    /// Builds a path from raw tag values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::PathTooLong`] if more than
+    /// [`Path::MAX_LEN`] tags are supplied, and
+    /// [`DumbNetError::InvalidTagInPath`] if any value is the ø marker
+    /// (ø is a framing detail, not a routable tag).
+    pub fn from_tags<I: IntoIterator<Item = Tag>>(tags: I) -> Result<Path, DumbNetError> {
+        let tags: Vec<Tag> = tags.into_iter().collect();
+        if tags.len() > Path::MAX_LEN {
+            return Err(DumbNetError::PathTooLong(tags.len()));
+        }
+        if let Some(bad) = tags.iter().find(|t| t.is_end()) {
+            return Err(DumbNetError::InvalidTagInPath(bad.byte()));
+        }
+        Ok(Path { tags })
+    }
+
+    /// Builds a path of plain output-port tags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::InvalidPort`] for port values `0` or `255`,
+    /// or [`DumbNetError::PathTooLong`] for oversized paths.
+    pub fn from_ports<I: IntoIterator<Item = u8>>(ports: I) -> Result<Path, DumbNetError> {
+        let tags = ports
+            .into_iter()
+            .map(Tag::port)
+            .collect::<Result<Vec<_>, _>>()?;
+        Path::from_tags(tags)
+    }
+
+    /// Builds a path from validated port numbers (infallible except for
+    /// length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::PathTooLong`] for oversized paths.
+    pub fn from_port_nos<I: IntoIterator<Item = PortNo>>(ports: I) -> Result<Path, DumbNetError> {
+        Path::from_tags(ports.into_iter().map(Tag::from_port))
+    }
+
+    /// Number of tags in the path.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Returns `true` for the empty path.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Number of *forwarding* hops, i.e. port tags (ID-query tags consume
+    /// a switch visit but not a link traversal).
+    #[must_use]
+    pub fn hop_count(&self) -> usize {
+        self.tags.iter().filter(|t| t.is_port()).count()
+    }
+
+    /// The tags, in forwarding order.
+    #[must_use]
+    pub fn tags(&self) -> &[Tag] {
+        &self.tags
+    }
+
+    /// First tag plus the remainder of the path, as a switch sees it.
+    #[must_use]
+    pub fn split_first(&self) -> Option<(Tag, Path)> {
+        let (&head, rest) = self.tags.split_first()?;
+        Some((
+            head,
+            Path {
+                tags: rest.to_vec(),
+            },
+        ))
+    }
+
+    /// Appends a tag, consuming and returning the path (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Path::from_tags`].
+    pub fn push(mut self, tag: Tag) -> Result<Path, DumbNetError> {
+        if tag.is_end() {
+            return Err(DumbNetError::InvalidTagInPath(tag.byte()));
+        }
+        if self.tags.len() >= Path::MAX_LEN {
+            return Err(DumbNetError::PathTooLong(self.tags.len() + 1));
+        }
+        self.tags.push(tag);
+        Ok(self)
+    }
+
+    /// Concatenates two paths (used by the L3 router's cross-subnet
+    /// shortcut, §6.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::PathTooLong`] if the combined path exceeds
+    /// [`Path::MAX_LEN`].
+    pub fn concat(&self, other: &Path) -> Result<Path, DumbNetError> {
+        let total = self.tags.len() + other.tags.len();
+        if total > Path::MAX_LEN {
+            return Err(DumbNetError::PathTooLong(total));
+        }
+        let mut tags = Vec::with_capacity(total);
+        tags.extend_from_slice(&self.tags);
+        tags.extend_from_slice(&other.tags);
+        Ok(Path { tags })
+    }
+
+    /// The paper's probe construction: the reverse of a port-tag path.
+    ///
+    /// When a host sends a probe out along `p1-p2-…-pn`, a reply can be
+    /// delivered back by reversing the *ingress* ports, which the prober
+    /// tracks separately; this helper merely reverses a tag list and is
+    /// used when the forward and reverse port numbers are known to match
+    /// (e.g. loopback bounce probes).
+    #[must_use]
+    pub fn reversed(&self) -> Path {
+        Path {
+            tags: self.tags.iter().rev().copied().collect(),
+        }
+    }
+
+    /// Serializes the path for the wire: the tags followed by ø.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.tags.len() + 1);
+        bytes.extend(self.tags.iter().map(|t| t.byte()));
+        bytes.push(Tag::END.byte());
+        bytes
+    }
+
+    /// Parses a wire tag sequence (tags terminated by ø).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::MissingEndMarker`] if no ø terminator is
+    /// found within [`Path::MAX_LEN`]` + 1` bytes, or
+    /// [`DumbNetError::PathTooLong`] when the tag list is oversized.
+    pub fn from_wire(bytes: &[u8]) -> Result<(Path, usize), DumbNetError> {
+        let end = bytes
+            .iter()
+            .position(|&b| b == Tag::END.byte())
+            .ok_or(DumbNetError::MissingEndMarker)?;
+        if end > Path::MAX_LEN {
+            return Err(DumbNetError::PathTooLong(end));
+        }
+        let tags = bytes[..end].iter().map(|&b| Tag(b)).collect();
+        Ok((Path { tags }, end + 1))
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for t in &self.tags {
+            write!(f, "{t}-")?;
+        }
+        write!(f, "ø")
+    }
+}
+
+impl std::ops::Index<usize> for Path {
+    type Output = Tag;
+
+    fn index(&self, ix: usize) -> &Tag {
+        &self.tags[ix]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        let p = Path::from_ports([2, 3, 5]).unwrap();
+        let wire = p.to_wire();
+        assert_eq!(wire, vec![2, 3, 5, 0xFF]);
+        let (parsed, used) = Path::from_wire(&wire).unwrap();
+        assert_eq!(parsed, p);
+        assert_eq!(used, 4);
+    }
+
+    #[test]
+    fn wire_parse_with_trailing_payload() {
+        let mut wire = Path::from_ports([9]).unwrap().to_wire();
+        wire.extend_from_slice(&[0xAA, 0xBB]);
+        let (parsed, used) = Path::from_wire(&wire).unwrap();
+        assert_eq!(parsed.to_string(), "9-ø");
+        assert_eq!(used, 2);
+    }
+
+    #[test]
+    fn missing_end_marker_detected() {
+        assert!(matches!(
+            Path::from_wire(&[1, 2, 3]),
+            Err(DumbNetError::MissingEndMarker)
+        ));
+    }
+
+    #[test]
+    fn id_query_tags_allowed_in_paths() {
+        // The discovery probe 0-9-ø from §4.1.
+        let p = Path::from_tags([Tag::ID_QUERY, Tag(9)]).unwrap();
+        assert_eq!(p.to_string(), "0-9-ø");
+        assert_eq!(p.hop_count(), 1);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn end_marker_rejected_inside_path() {
+        assert!(Path::from_tags([Tag(1), Tag::END]).is_err());
+        assert!(Path::empty().push(Tag::END).is_err());
+    }
+
+    #[test]
+    fn length_limit_enforced() {
+        let long: Vec<u8> = std::iter::repeat_n(1, Path::MAX_LEN).collect();
+        let p = Path::from_ports(long.clone()).unwrap();
+        assert_eq!(p.len(), Path::MAX_LEN);
+        let too_long: Vec<u8> = std::iter::repeat_n(1, Path::MAX_LEN + 1).collect();
+        assert!(Path::from_ports(too_long).is_err());
+        assert!(p.push(Tag(1)).is_err());
+    }
+
+    #[test]
+    fn concat_and_reverse() {
+        let a = Path::from_ports([1, 2]).unwrap();
+        let b = Path::from_ports([3]).unwrap();
+        assert_eq!(a.concat(&b).unwrap().to_string(), "1-2-3-ø");
+        assert_eq!(a.reversed().to_string(), "2-1-ø");
+    }
+
+    #[test]
+    fn split_first_consumes_head() {
+        let p = Path::from_ports([4, 7]).unwrap();
+        let (head, rest) = p.split_first().unwrap();
+        assert_eq!(head, Tag(4));
+        let (head2, rest2) = rest.split_first().unwrap();
+        assert_eq!(head2, Tag(7));
+        assert!(rest2.split_first().is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! Mapping a [`Topology`] onto the flow-level simulator.
+//!
+//! The flow-level engine ([`FlowSim`]) knows only capacitated edges; this
+//! module materializes one directed edge per trunk-link direction and per
+//! host access-link direction, and converts switch-level [`Route`]s into
+//! the edge paths flows follow. Used by the throughput experiments
+//! (aggregate leaf throughput, Figure 11(b), Figure 13).
+
+use std::collections::HashMap;
+
+use dumbnet_sim::{EdgeId, FlowSim};
+use dumbnet_topology::{Route, Topology};
+use dumbnet_types::{Bandwidth, HostId, SwitchId};
+
+/// The topology ↔ flow-simulator mapping.
+///
+/// Parallel links between the same switch pair are merged into one edge
+/// (their capacities could be summed by the caller if a topology with
+/// parallel trunks is ever used; the evaluation topologies have none).
+#[derive(Debug, Clone)]
+pub struct FlowMap {
+    /// Directed trunk edges: (from, to) → edge.
+    trunk: HashMap<(SwitchId, SwitchId), EdgeId>,
+    /// Host → uplink (host→switch) edge.
+    host_up: HashMap<HostId, EdgeId>,
+    /// Host → downlink (switch→host) edge.
+    host_down: HashMap<HostId, EdgeId>,
+}
+
+impl FlowMap {
+    /// Materializes edges for every up link and host attachment of
+    /// `topo` into `fs`.
+    #[must_use]
+    pub fn build(
+        fs: &mut FlowSim,
+        topo: &Topology,
+        trunk_capacity: Bandwidth,
+        access_capacity: Bandwidth,
+    ) -> FlowMap {
+        let mut trunk = HashMap::new();
+        for link in topo.links().filter(|l| l.up) {
+            let (a, b) = (link.a.switch, link.b.switch);
+            trunk
+                .entry((a, b))
+                .or_insert_with(|| fs.add_edge(trunk_capacity));
+            trunk
+                .entry((b, a))
+                .or_insert_with(|| fs.add_edge(trunk_capacity));
+        }
+        let mut host_up = HashMap::new();
+        let mut host_down = HashMap::new();
+        for h in topo.hosts() {
+            host_up.insert(h.id, fs.add_edge(access_capacity));
+            host_down.insert(h.id, fs.add_edge(access_capacity));
+        }
+        FlowMap {
+            trunk,
+            host_up,
+            host_down,
+        }
+    }
+
+    /// The directed trunk edge `a → b`, if those switches are adjacent.
+    #[must_use]
+    pub fn trunk_edge(&self, a: SwitchId, b: SwitchId) -> Option<EdgeId> {
+        self.trunk.get(&(a, b)).copied()
+    }
+
+    /// The edge path a flow from `src` to `dst` takes along `route`
+    /// (access uplink, trunk hops, access downlink).
+    ///
+    /// Returns `None` when the route uses a switch pair with no edge
+    /// (e.g. a failed link whose capacity the caller zeroed is still
+    /// returned — capacity handles the failure; a missing *edge* means
+    /// the route predates the map).
+    #[must_use]
+    pub fn path(&self, src: HostId, dst: HostId, route: &Route) -> Option<Vec<EdgeId>> {
+        let mut edges = Vec::with_capacity(route.link_hops() + 2);
+        edges.push(*self.host_up.get(&src)?);
+        for w in route.switches().windows(2) {
+            edges.push(self.trunk_edge(w[0], w[1])?);
+        }
+        edges.push(*self.host_down.get(&dst)?);
+        Some(edges)
+    }
+
+    /// Zeroes both directions of the `a`–`b` trunk (failure injection).
+    pub fn fail_link(&self, fs: &mut FlowSim, a: SwitchId, b: SwitchId) {
+        for key in [(a, b), (b, a)] {
+            if let Some(&e) = self.trunk.get(&key) {
+                fs.set_capacity(e, Bandwidth::ZERO);
+            }
+        }
+    }
+
+    /// Restores both directions of the `a`–`b` trunk to `capacity`.
+    pub fn restore_link(&self, fs: &mut FlowSim, a: SwitchId, b: SwitchId, capacity: Bandwidth) {
+        for key in [(a, b), (b, a)] {
+            if let Some(&e) = self.trunk.get(&key) {
+                fs.set_capacity(e, capacity);
+            }
+        }
+    }
+
+    /// Caps both directions of every trunk touching switch `s` (the
+    /// Figure 13 setup limits the *spine switch ports* to 500 Mbps).
+    pub fn cap_switch_ports(&self, fs: &mut FlowSim, s: SwitchId, capacity: Bandwidth) {
+        for (&(a, b), &e) in &self.trunk {
+            if a == s || b == s {
+                fs.set_capacity(e, capacity);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dumbnet_topology::{generators, spath};
+    use dumbnet_types::SimTime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (FlowSim, FlowMap, Topology) {
+        let g = generators::testbed();
+        let mut fs = FlowSim::new();
+        let map = FlowMap::build(&mut fs, &g.topology, Bandwidth::gbps(10), Bandwidth::gbps(10));
+        (fs, map, g.topology)
+    }
+
+    fn route(topo: &Topology, src: HostId, dst: HostId, seed: u64) -> Route {
+        let mut rng = StdRng::seed_from_u64(seed);
+        spath::shortest_route(
+            topo,
+            topo.host(src).unwrap().attached.switch,
+            topo.host(dst).unwrap().attached.switch,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn edge_counts() {
+        let (_, map, topo) = setup();
+        // 10 links × 2 directions.
+        assert_eq!(map.trunk.len(), 20);
+        assert_eq!(map.host_up.len(), topo.host_count());
+    }
+
+    #[test]
+    fn cross_leaf_path_has_four_edges() {
+        let (mut fs, map, topo) = setup();
+        let r = route(&topo, HostId(0), HostId(26), 1);
+        let path = map.path(HostId(0), HostId(26), &r).unwrap();
+        assert_eq!(path.len(), 4); // up, leaf→spine, spine→leaf, down.
+        let f = fs.start_flow(path, u64::MAX / 16);
+        assert_eq!(fs.flow_rate(f).bits_per_sec(), 10_000_000_000);
+    }
+
+    #[test]
+    fn same_leaf_path_skips_trunks() {
+        let (_, map, topo) = setup();
+        let r = route(&topo, HostId(0), HostId(1), 1);
+        let path = map.path(HostId(0), HostId(1), &r).unwrap();
+        assert_eq!(path.len(), 2); // Access up + down only.
+    }
+
+    #[test]
+    fn failed_link_starves_flows() {
+        let (mut fs, map, topo) = setup();
+        let r = route(&topo, HostId(0), HostId(26), 1);
+        let sw = r.switches().to_vec();
+        let path = map.path(HostId(0), HostId(26), &r).unwrap();
+        let f = fs.start_flow(path, u64::MAX / 16);
+        map.fail_link(&mut fs, sw[0], sw[1]);
+        assert_eq!(fs.flow_rate(f).bits_per_sec(), 0);
+        map.restore_link(&mut fs, sw[0], sw[1], Bandwidth::gbps(10));
+        assert!(fs.flow_rate(f).bits_per_sec() > 0);
+    }
+
+    #[test]
+    fn spine_port_capping() {
+        let (mut fs, map, topo) = setup();
+        let spine = SwitchId(0);
+        map.cap_switch_ports(&mut fs, spine, Bandwidth::mbps(500));
+        // A flow forced through spine 0 is capped.
+        let rng = StdRng::seed_from_u64(2);
+        let _ = rng;
+        let leaf_a = topo.host(HostId(0)).unwrap().attached.switch;
+        let leaf_b = topo.host(HostId(26)).unwrap().attached.switch;
+        let r = Route::new(vec![leaf_a, spine, leaf_b]).unwrap();
+        let path = map.path(HostId(0), HostId(26), &r).unwrap();
+        let f = fs.start_flow(path, u64::MAX / 16);
+        assert_eq!(fs.flow_rate(f).bits_per_sec(), 500_000_000);
+        let _ = SimTime::ZERO;
+    }
+}

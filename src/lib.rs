@@ -1,0 +1,78 @@
+//! # DumbNet — a smart data center network fabric with dumb switches
+//!
+//! A from-scratch Rust reproduction of *DumbNet* (Li et al., EuroSys
+//! 2018): a data-center network architecture in which switches keep **no
+//! forwarding state** — no tables, no configuration. Hosts compute the
+//! entire path of every packet and write it into the header as a list of
+//! one-byte output-port tags; each switch pops the head tag and forwards
+//! blindly. All control-plane functions — topology discovery, routing,
+//! failure handling, traffic engineering — run as ordinary host software.
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`types`] | Tags, paths, identifiers, virtual-time units |
+//! | [`packet`] | Wire formats (EtherType 0x9800 tag header, MPLS encoding) and control messages |
+//! | [`topology`] | Graph model, generators, shortest paths, k-shortest paths, path graphs (Algorithm 1) |
+//! | [`sim`] | Deterministic discrete-event emulator + flow-level max-min solver |
+//! | [`switch`] | The dumb switch, and the spanning-tree baseline |
+//! | [`host`] | Host agent: TopoCache, PathTable, datapath model |
+//! | [`controller`] | Discovery, path-graph service, replication, failure patching |
+//! | [`fabric`] | Whole-deployment orchestration ([`Fabric`]) |
+//! | [`ext`] | Extensions: flowlet TE, L3 router, network virtualization |
+//! | [`fpga`] | FPGA resource/latency models (Figure 7) |
+//! | [`workload`] | iperf-style and HiBench-style workload generators, CDF helpers |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dumbnet::fabric::{Fabric, FabricConfig};
+//! use dumbnet::host::agent::AppAction;
+//! use dumbnet::host::HostAgent;
+//! use dumbnet::topology::generators;
+//! use dumbnet::types::{HostId, MacAddr, SimDuration, SimTime};
+//!
+//! // The paper's testbed: 2 spines, 5 leaves, 27 hosts. Host 0 is the
+//! // controller; host 1 pings host 26.
+//! let g = generators::testbed();
+//! let mut fabric = Fabric::build_with(g.topology, FabricConfig::default(), |id, mut cfg| {
+//!     if id == HostId(1) {
+//!         cfg.actions = vec![AppAction::PingSeries {
+//!             at: SimDuration::from_millis(20),
+//!             dst: MacAddr::for_host(26),
+//!             count: 3,
+//!             interval: SimDuration::from_millis(1),
+//!         }];
+//!     }
+//!     HostAgent::new(id, cfg)
+//! })
+//! .unwrap();
+//! fabric.run_until(SimTime::ZERO + SimDuration::from_millis(100));
+//! assert_eq!(fabric.host(HostId(1)).unwrap().stats.rtts.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dumbnet_controller as controller;
+pub use dumbnet_core as fabric;
+pub use dumbnet_ext as ext;
+pub use dumbnet_fpga as fpga;
+pub use dumbnet_host as host;
+pub use dumbnet_packet as packet;
+pub use dumbnet_sim as sim;
+pub use dumbnet_switch as switch;
+pub use dumbnet_topology as topology;
+pub use dumbnet_types as types;
+pub use dumbnet_workload as workload;
+
+pub use dumbnet_core::{Fabric, FabricConfig};
+
+/// Re-exports of the most commonly used items.
+pub mod prelude {
+    pub use dumbnet_core::{Fabric, FabricConfig};
+    pub use dumbnet_host::{HostAgent, HostAgentConfig};
+    pub use dumbnet_topology::{generators, Topology};
+    pub use dumbnet_types::prelude::*;
+}

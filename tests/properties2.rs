@@ -1,0 +1,175 @@
+//! Second property-test suite: discovery correctness on random
+//! topologies, max-min fairness invariants, and PathTable consistency
+//! under failure churn.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use dumbnet::controller::DiscoveryConfig;
+use dumbnet::fabric::{Fabric, FabricConfig};
+use dumbnet::host::pathtable::{CachedPath, FlowKey, PathTable};
+use dumbnet::sim::FlowSim;
+use dumbnet::topology::{generators, Route};
+use dumbnet::types::{Bandwidth, HostId, MacAddr, Path, SimDuration, SimTime, SwitchId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Discovery over the live fabric reconstructs random regular
+    /// topologies exactly: switches, links (port-exact) and hosts.
+    #[test]
+    fn discovery_is_exact_on_random_topologies(seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_regular(8, 3, 1, 8, &mut rng);
+        let truth = g.topology.clone();
+        let mut cfg = FabricConfig::default();
+        cfg.controller.run_discovery = true;
+        cfg.controller.discovery = DiscoveryConfig {
+            max_ports: 8,
+            timeout: SimDuration::from_millis(5),
+            hint: None,
+        };
+        cfg.controller.probe_interval = SimDuration::from_micros(10);
+        let mut fabric = Fabric::build(g.topology, cfg).expect("builds");
+        fabric.run_until(SimTime::ZERO + SimDuration::from_secs(20));
+        let ctrl = fabric.controller(HostId(0)).expect("controller");
+        prop_assert!(ctrl.ready(), "discovery incomplete");
+        let found = ctrl.topology.as_ref().expect("topology");
+        prop_assert_eq!(found.switch_count(), truth.switch_count());
+        prop_assert_eq!(found.link_count(), truth.link_count());
+        prop_assert_eq!(found.host_count(), truth.host_count());
+        for l in found.links() {
+            let real = truth.link_between(l.a.switch, l.b.switch);
+            prop_assert!(real.is_some(), "phantom link {} - {}", l.a, l.b);
+        }
+        for h in truth.hosts() {
+            let f = found.host_by_mac(h.mac);
+            prop_assert!(
+                f.is_some_and(|x| x.attached == h.attached),
+                "host {} misplaced",
+                h.mac
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Max-min fairness invariants on random flow sets over random
+    /// capacities: no edge is oversubscribed, and every active flow is
+    /// bottlenecked (some edge on its path is ~fully utilized).
+    #[test]
+    fn maxmin_rates_are_feasible_and_bottlenecked(
+        caps in proptest::collection::vec(1u64..=40, 2..6),
+        flows in proptest::collection::vec(
+            (proptest::collection::vec(0usize..6, 1..4), 1u64..100),
+            1..10,
+        ),
+    ) {
+        let mut fs = FlowSim::new();
+        let edges: Vec<_> = caps
+            .iter()
+            .map(|&c| fs.add_edge(Bandwidth::mbps(c * 100)))
+            .collect();
+        // Global (not just consecutive) dedup: the fluid model charges a
+        // flow once per edge *occurrence*, so the test uses simple paths.
+        let simple_path = |ixs: &Vec<usize>| -> Vec<dumbnet::sim::EdgeId> {
+            let mut seen = HashSet::new();
+            ixs.iter()
+                .map(|&i| edges[i % edges.len()])
+                .filter(|e| seen.insert(*e))
+                .collect()
+        };
+        let mut handles = Vec::new();
+        for (path_ix, _mb) in &flows {
+            handles.push(fs.start_flow(simple_path(path_ix), u64::MAX / 64));
+        }
+        // Rates must be computed lazily; probe them all.
+        let rates: Vec<f64> = handles
+            .iter()
+            .map(|&h| fs.flow_rate(h).bits_per_sec() as f64)
+            .collect();
+        // (1) Feasibility: per-edge load ≤ capacity (+0.1 % slack).
+        for (eix, &cap) in caps.iter().enumerate() {
+            let cap_bps = cap as f64 * 100e6;
+            let mut load = 0.0;
+            for (h, (path_ix, _)) in handles.iter().zip(&flows) {
+                if simple_path(path_ix).contains(&edges[eix]) {
+                    load += fs.flow_rate(*h).bits_per_sec() as f64;
+                }
+            }
+            prop_assert!(
+                load <= cap_bps * 1.001,
+                "edge {eix} loaded {load} over {cap_bps}"
+            );
+        }
+        // (2) Every flow got a positive rate.
+        for (h, r) in handles.iter().zip(&rates) {
+            prop_assert!(*r > 0.0, "flow {h:?} starved");
+        }
+        // (3) Bottleneck property: each flow crosses at least one edge
+        // with ≥99 % utilization.
+        for (path_ix, _) in &flows {
+            let bottlenecked = simple_path(path_ix).iter().any(|e| {
+                let cap_bps = caps[e.0] as f64 * 100e6;
+                let mut load = 0.0;
+                for (h2, (p2, _)) in handles.iter().zip(&flows) {
+                    if simple_path(p2).contains(e) {
+                        load += fs.flow_rate(*h2).bits_per_sec() as f64;
+                    }
+                }
+                load >= 0.99 * cap_bps
+            });
+            prop_assert!(bottlenecked, "flow on {path_ix:?} is not bottlenecked");
+        }
+    }
+
+    /// PathTable: after invalidating an edge, no lookup ever returns a
+    /// path whose route crosses that edge, for any flow or preference.
+    #[test]
+    fn pathtable_never_serves_dead_edges(
+        routes in proptest::collection::vec(
+            proptest::collection::vec(0u64..6, 2..5),
+            1..5,
+        ),
+        dead in (0u64..6, 0u64..6),
+        flow in 0u64..100,
+        pref in proptest::option::of(0usize..8),
+    ) {
+        prop_assume!(dead.0 != dead.1);
+        let dst = MacAddr::for_host(9);
+        let mut table = PathTable::new();
+        let mut cached = Vec::new();
+        for r in &routes {
+            let mut switches: Vec<SwitchId> = r.iter().map(|&s| SwitchId(s)).collect();
+            switches.dedup();
+            prop_assume!(switches.len() >= 2);
+            let Ok(route) = Route::new(switches) else {
+                return Ok(());
+            };
+            let tags = Path::from_ports(
+                (0..route.link_hops() + 1).map(|i| (i % 200 + 1) as u8),
+            )
+            .expect("short path");
+            cached.push(CachedPath { tags, route });
+        }
+        table.install(dst, cached.clone(), None);
+        let _ = table.invalidate_edge(SwitchId(dead.0), SwitchId(dead.1));
+        if let Some(found) = table.lookup(dst, FlowKey(flow), pref) {
+            // The returned tag path must correspond to a surviving route.
+            let survivors: HashSet<Path> = cached
+                .iter()
+                .filter(|c| !c.uses_edge(SwitchId(dead.0), SwitchId(dead.1)))
+                .map(|c| c.tags.clone())
+                .collect();
+            prop_assert!(
+                survivors.contains(&found),
+                "lookup returned a dead or foreign path"
+            );
+        }
+    }
+}
