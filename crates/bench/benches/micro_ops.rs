@@ -115,9 +115,12 @@ fn bench_engine_forwarding(c: &mut Criterion) {
                     4,
                     DumbSwitchConfig::default(),
                 )));
-                w.wire(s[0], p2, s[1], p1, LinkParams::ten_gig()).expect("wire");
-                w.wire(s[1], p2, s[2], p1, LinkParams::ten_gig()).expect("wire");
-                w.wire(s[2], p2, sink, p1, LinkParams::ten_gig()).expect("wire");
+                w.wire(s[0], p2, s[1], p1, LinkParams::ten_gig())
+                    .expect("wire");
+                w.wire(s[1], p2, s[2], p1, LinkParams::ten_gig())
+                    .expect("wire");
+                w.wire(s[2], p2, sink, p1, LinkParams::ten_gig())
+                    .expect("wire");
                 let pkt = dumbnet_packet::Packet::data(
                     MacAddr::for_host(1),
                     MacAddr::for_host(0),

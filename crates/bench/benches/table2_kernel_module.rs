@@ -19,7 +19,9 @@ fn bench_table2(c: &mut Criterion) {
             table2::lookup_once(&mut fx, i);
         })
     });
-    group.bench_function("path_verify_16_tags", |b| b.iter(|| table2::verify_once(&fx)));
+    group.bench_function("path_verify_16_tags", |b| {
+        b.iter(|| table2::verify_once(&fx))
+    });
     group.bench_function("find_path_in_pathgraph", |b| {
         b.iter(|| table2::find_path_once(&mut fx))
     });

@@ -1,0 +1,6 @@
+//! Regenerates Figure 11(c) (failure recovery time vs. packet-loss
+//! rate) as a JSON document on stdout.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", dumbnet_bench::fig11c::run_c(quick));
+}

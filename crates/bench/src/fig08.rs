@@ -50,8 +50,10 @@ pub fn discover_with_hint(
     hint: Option<Topology>,
 ) -> DiscoveryPoint {
     let truth = topo.clone();
-    let mut cfg = FabricConfig::default();
-    cfg.controllers = vec![ctrl];
+    let mut cfg = FabricConfig {
+        controllers: vec![ctrl],
+        ..FabricConfig::default()
+    };
     cfg.controller.run_discovery = true;
     cfg.controller.discovery.max_ports = max_ports;
     cfg.controller.discovery.timeout = SimDuration::from_millis(50);
@@ -87,9 +89,11 @@ pub fn discover_with_hint(
                         f == r
                     })
             })
-            && truth
-                .hosts()
-                .all(|h| found.host_by_mac(h.mac).is_some_and(|x| x.attached == h.attached))
+            && truth.hosts().all(|h| {
+                found
+                    .host_by_mac(h.mac)
+                    .is_some_and(|x| x.attached == h.attached)
+            })
     });
     DiscoveryPoint {
         label: label.to_owned(),
@@ -215,7 +219,10 @@ pub fn run_b(quick: bool) -> Report {
             p.to_string(),
             point.probes.to_string(),
             f(point.time.as_secs_f64(), 2),
-            f(point.time.as_millis_f64() / f64::from(u32::from(p) * u32::from(p)), 2),
+            f(
+                point.time.as_millis_f64() / f64::from(u32::from(p) * u32::from(p)),
+                2,
+            ),
             if point.exact { "exact" } else { "MISMATCH" }.to_owned(),
         ]);
     }
@@ -230,12 +237,7 @@ mod tests {
 
     #[test]
     fn testbed_discovery_is_seconds_scale() {
-        let p = discover(
-            generators::testbed().topology,
-            HostId(0),
-            16,
-            "testbed",
-        );
+        let p = discover(generators::testbed().topology, HostId(0), 16, "testbed");
         assert!(p.exact, "testbed must map exactly");
         // 7 switches × 16² probes at 33 µs ≈ 0.06 s + timeout tails.
         assert!(p.time.as_secs_f64() < 5.0, "took {}", p.time);

@@ -11,11 +11,7 @@ use dumbnet_workload::{iperf, FlowMap};
 use crate::report::{f, Report};
 
 /// Paper-reported single-host numbers (Gbps).
-pub const PAPER: [(&str, f64); 3] = [
-    ("No-op DPDK", 5.41),
-    ("MPLS Only", 5.19),
-    ("DumbNet", 5.19),
-];
+pub const PAPER: [(&str, f64); 3] = [("No-op DPDK", 5.41), ("MPLS Only", 5.19), ("DumbNet", 5.19)];
 
 /// The deployment MTU ("We set the host MTU to 1450").
 pub const MTU: usize = 1_450;

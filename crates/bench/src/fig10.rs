@@ -67,9 +67,8 @@ pub fn ping_mesh(variant: DatapathVariant, pings_per_pair: u32) -> Cdf {
         HostAgent::new(id, cfg)
     })
     .expect("fabric builds");
-    let horizon = SimTime::ZERO
-        + T_MEASURE
-        + SimDuration::from_millis(u64::from(pings_per_pair) * 100 + 500);
+    let horizon =
+        SimTime::ZERO + T_MEASURE + SimDuration::from_millis(u64::from(pings_per_pair) * 100 + 500);
     fabric.run_until(horizon);
     let mut rtts = Vec::new();
     let measure_from = SimTime::ZERO + T_MEASURE;
@@ -90,11 +89,20 @@ pub fn ping_mesh(variant: DatapathVariant, pings_per_pair: u32) -> Cdf {
 pub fn run(quick: bool) -> Report {
     let pings = if quick { 5 } else { 100 };
     let mut r = Report::new("Figure 10 — all-pairs RTT CDF (testbed, 26 hosts)");
-    r.note(format!("{pings} pings per ordered pair, all pairs concurrent."));
+    r.note(format!(
+        "{pings} pings per ordered pair, all pairs concurrent."
+    ));
     r.note("Paper: DPDK ≫ native latency; DumbNet ≈ no-op DPDK; ~0.5 % tail");
     r.note("at 20–30 ms from the concurrent first-packet controller queries.");
     r.header([
-        "variant", "p10 (ms)", "p50", "p90", "p99", "p99.5", "max", "frac >20ms",
+        "variant",
+        "p10 (ms)",
+        "p50",
+        "p90",
+        "p99",
+        "p99.5",
+        "max",
+        "frac >20ms",
     ]);
     let variants = [
         DatapathVariant::NativeKernel,

@@ -14,9 +14,7 @@ use dumbnet_packet::{Packet, Payload};
 use dumbnet_sim::{Ctx, LinkParams, Node, World};
 use dumbnet_switch::{StpConfig, StpSwitch};
 use dumbnet_topology::generators;
-use dumbnet_types::{
-    Bandwidth, HostId, MacAddr, Path, PortNo, SimDuration, SimTime,
-};
+use dumbnet_types::{Bandwidth, HostId, MacAddr, Path, PortNo, SimDuration, SimTime};
 use dumbnet_workload::Cdf;
 
 use crate::report::{f, Report};
@@ -223,8 +221,14 @@ impl Node for PlainHost {
                 }
                 self.packets_left -= 1;
                 let dst = self.dst.expect("sender has a destination");
-                let pkt =
-                    Packet::data(dst, self.mac, Path::empty(), 1, self.packets_left, self.bytes);
+                let pkt = Packet::data(
+                    dst,
+                    self.mac,
+                    Path::empty(),
+                    1,
+                    self.packets_left,
+                    self.bytes,
+                );
                 ctx.send(PortNo::new(1).expect("valid"), pkt);
                 if self.packets_left > 0 {
                     ctx.set_timer(self.interval, T_SEND);
@@ -264,7 +268,7 @@ pub struct RecoveryRun {
     pub outage: Option<SimDuration>,
 }
 
-fn outage_from_bins(
+pub(crate) fn outage_from_bins(
     bins: &[f64],
     bin_width: SimDuration,
     t_fail: SimTime,
@@ -307,8 +311,10 @@ pub fn dumbnet_recovery(quick: bool) -> RecoveryRun {
         let g = generators::testbed();
         let spines = g.group("spine").to_vec();
         let leaves = g.group("leaf").to_vec();
-        let mut cfg = FabricConfig::default();
-        cfg.trunk = trunk;
+        let mut cfg = FabricConfig {
+            trunk,
+            ..FabricConfig::default()
+        };
         // The paper's testbed monitored ports with a switch-side script;
         // model that detection latency (§7.3: "These packets can be sent
         // even faster if it's done by hardware").
@@ -448,7 +454,11 @@ pub fn stp_recovery(quick: bool) -> RecoveryRun {
         .expect("wire");
     w.schedule_link_state(t_fail, wid, false);
     w.run_until(SimTime::ZERO + SimDuration::from_millis(2_400));
-    let bins_bytes = w.node::<PlainHost>(receiver).expect("receiver").bins.clone();
+    let bins_bytes = w
+        .node::<PlainHost>(receiver)
+        .expect("receiver")
+        .bins
+        .clone();
     let bins: Vec<f64> = bins_bytes
         .iter()
         .map(|&b| b as f64 * 8.0 / bin_width.as_secs_f64() / 1e6)
@@ -480,11 +490,7 @@ pub fn run_b(quick: bool) -> Report {
             .unwrap_or(0.0)
     };
     for off in (-40i64..=300).step_by(20) {
-        r.row([
-            off.to_string(),
-            f(show(&dn, off), 0),
-            f(show(&stp, off), 0),
-        ]);
+        r.row([off.to_string(), f(show(&dn, off), 0), f(show(&stp, off), 0)]);
     }
     r.note(String::new());
     let describe = |run: &RecoveryRun| match run.outage {
@@ -512,9 +518,6 @@ mod tests {
         let stp = stp_recovery(true);
         let a = dn.outage.expect("dumbnet recovers");
         let b = stp.outage.expect("stp recovers");
-        assert!(
-            b > a,
-            "STP outage {b} should exceed DumbNet outage {a}"
-        );
+        assert!(b > a, "STP outage {b} should exceed DumbNet outage {a}");
     }
 }

@@ -1,0 +1,201 @@
+//! Figure 11(c) (extension): failure recovery time vs. packet-loss
+//! rate.
+//!
+//! The paper's Figure 11(b) measures recovery from one clean link
+//! failure. This extension repeats that experiment on a *lossy* fabric:
+//! every wire drops packets with probability `p`, so failure
+//! notifications, host floods, topology patches, and path replies are
+//! all at risk. The loss-tolerant control plane (redundant flood
+//! rounds, path-request retries, replication re-sends) is what keeps
+//! the recovery time bounded as `p` grows.
+//!
+//! Output is JSON (one object, `series` keyed by loss rate) so plots
+//! can be regenerated without parsing tables.
+
+use dumbnet_core::{Fabric, FabricConfig};
+use dumbnet_host::agent::AppAction;
+use dumbnet_host::HostAgent;
+use dumbnet_sim::{ChaosPlan, FaultProfile, LinkParams, WireId};
+use dumbnet_topology::generators;
+use dumbnet_types::{Bandwidth, HostId, MacAddr, SimDuration, SimTime};
+
+use crate::fig11::outage_from_bins;
+
+/// One measured point of the loss sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosRecoveryPoint {
+    /// Per-wire drop probability.
+    pub loss: f64,
+    /// Failure → ≥80 % throughput, if recovered inside the window.
+    pub outage: Option<SimDuration>,
+    /// Fault-injected drops across the whole run.
+    pub drops_loss: u64,
+    /// Redundant host-flood rounds sent (the loss countermeasure).
+    pub floods_rebroadcast: u64,
+    /// Mean goodput before the failure, Mbps.
+    pub baseline_mbps: f64,
+}
+
+/// Runs the Figure 11(b) stream-through-failure experiment with uniform
+/// per-wire loss `p` injected on every wire. Deterministic per `p`.
+#[must_use]
+pub fn chaos_recovery_point(p: f64) -> ChaosRecoveryPoint {
+    let bin_width = SimDuration::from_millis(10);
+    let t_fail = SimTime::ZERO + SimDuration::from_millis(200);
+    let trunk = LinkParams {
+        latency: SimDuration::from_micros(1),
+        bandwidth: Bandwidth::mbps(500),
+        max_queue: SimDuration::from_millis(5),
+        ecn_threshold: None,
+    };
+    // Like fig11(b): the flow hashes onto one of the two spines; cut
+    // spine 0 first and fall back to spine 1 if the flow dodged it.
+    for spine_ix in 0..2 {
+        let g = generators::testbed();
+        let spines = g.group("spine").to_vec();
+        let leaves = g.group("leaf").to_vec();
+        let mut cfg = FabricConfig {
+            trunk,
+            ..FabricConfig::default()
+        };
+        cfg.switch.detection_delay = SimDuration::from_millis(30);
+        let mut fabric = Fabric::build_with(g.topology, cfg, |id, mut hc| {
+            if id == HostId(1) {
+                hc.actions = vec![AppAction::DataStream {
+                    at: SimDuration::from_millis(20),
+                    dst: MacAddr::for_host(26),
+                    flow: 7,
+                    packets: 30_000,
+                    bytes: 1_200,
+                    interval: SimDuration::from_micros(20),
+                }];
+            }
+            HostAgent::new(id, hc)
+        })
+        .expect("fabric builds");
+        // Uniform loss on every wire (trunk and access alike): data,
+        // notifications, and patches all face the same odds.
+        let mut plan = ChaosPlan::seeded(11);
+        for ix in 0..fabric.world.wire_count() {
+            plan = plan.with_link_fault(WireId::from_raw(ix), FaultProfile::lossy(p));
+        }
+        plan.apply(&mut fabric.world);
+        fabric
+            .schedule_link_failure(t_fail, leaves[0], spines[spine_ix])
+            .expect("link exists");
+        let horizon = SimTime::ZERO + SimDuration::from_millis(700);
+        let mut bins = Vec::new();
+        let mut last_bytes = 0u64;
+        let mut t = SimTime::ZERO;
+        while t < horizon {
+            t = t + bin_width;
+            fabric.run_until(t);
+            let total = fabric
+                .host(HostId(26))
+                .and_then(|a| a.stats.delivered.get(&7).copied())
+                .map_or(0, |(_, b)| b);
+            bins.push((total - last_bytes) as f64 * 8.0 / bin_width.as_secs_f64() / 1e6);
+            last_bytes = total;
+        }
+        let outage = outage_from_bins(&bins, bin_width, t_fail);
+        let fail_bin = (t_fail.nanos() / bin_width.nanos()) as usize;
+        let baseline: Vec<f64> = bins[..fail_bin].iter().rev().take(5).copied().collect();
+        let baseline_mbps = baseline.iter().sum::<f64>() / baseline.len().max(1) as f64;
+        let dipped = bins
+            .get(fail_bin + 1)
+            .is_some_and(|&b| b < 0.5 * bins[fail_bin - 1].max(1.0));
+        if dipped || spine_ix == 1 {
+            let floods_rebroadcast = (1..fabric.topology.host_count() as u64)
+                .filter_map(|h| fabric.host(HostId(h)))
+                .map(|a| a.stats.floods_rebroadcast)
+                .sum();
+            return ChaosRecoveryPoint {
+                loss: p,
+                outage,
+                drops_loss: fabric.world.stats().drops_loss,
+                floods_rebroadcast,
+                baseline_mbps,
+            };
+        }
+    }
+    unreachable!("one of the two spines carries the flow");
+}
+
+/// JSON for one point (no serializer dependency — the schema is flat).
+fn point_json(pt: &ChaosRecoveryPoint) -> String {
+    let outage_ms = pt.outage.map_or("null".to_string(), |o| {
+        format!("{:.3}", o.as_secs_f64() * 1e3)
+    });
+    format!(
+        concat!(
+            "{{\"loss\": {:.3}, \"recovery_ms\": {}, \"recovered\": {}, ",
+            "\"drops_loss\": {}, \"floods_rebroadcast\": {}, ",
+            "\"baseline_mbps\": {:.1}}}"
+        ),
+        pt.loss,
+        outage_ms,
+        pt.outage.is_some(),
+        pt.drops_loss,
+        pt.floods_rebroadcast,
+        pt.baseline_mbps,
+    )
+}
+
+/// Figure 11(c): the loss sweep, as a JSON document.
+#[must_use]
+pub fn run_c(quick: bool) -> String {
+    let rates: &[f64] = if quick {
+        &[0.0, 0.05]
+    } else {
+        &[0.0, 0.01, 0.02, 0.05, 0.08, 0.10]
+    };
+    let series: Vec<String> = rates
+        .iter()
+        .map(|&p| format!("    {}", point_json(&chaos_recovery_point(p))))
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"figure\": \"11c\",\n",
+            "  \"title\": \"failure recovery time vs packet-loss rate\",\n",
+            "  \"setup\": \"testbed, 480 Mbps stream, one spine-leaf cut at ",
+            "200 ms, uniform per-wire loss\",\n",
+            "  \"series\": [\n{}\n  ]\n",
+            "}}"
+        ),
+        series.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_point_recovers() {
+        let pt = chaos_recovery_point(0.0);
+        assert_eq!(pt.drops_loss, 0);
+        assert!(pt.outage.is_some(), "no-loss run must recover");
+        assert!(pt.baseline_mbps > 100.0);
+    }
+
+    #[test]
+    fn lossy_point_still_recovers_and_reports_drops() {
+        let pt = chaos_recovery_point(0.05);
+        assert!(pt.drops_loss > 0, "5% loss dropped nothing");
+        assert!(
+            pt.outage.is_some(),
+            "control plane did not recover under 5% loss"
+        );
+        assert!(pt.floods_rebroadcast > 0, "no redundant flood rounds ran");
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let doc = run_c(true);
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        assert!(doc.contains("\"figure\": \"11c\""));
+        assert!(doc.contains("\"loss\": 0.050"));
+        assert_eq!(doc.matches("recovery_ms").count(), 2);
+    }
+}

@@ -29,8 +29,7 @@ fn pairs_at_distance(
             .iter()
             .copied()
             .filter(|&d| {
-                d != src
-                    && dist.dist(topo.host(d).expect("host").attached.switch) == Some(len)
+                d != src && dist.dist(topo.host(d).expect("host").attached.switch) == Some(len)
             })
             .collect();
         dsts.shuffle(rng);

@@ -111,8 +111,10 @@ pub fn run_job(topo: &Topology, job: &Job, policy: Policy, seed: u64) -> SimDura
             continue;
         }
         let mut ctl: Vec<FlowCtl> = Vec::with_capacity(stage.flows.len());
-        let mut pending_by_dst: std::collections::HashMap<HostId, std::collections::VecDeque<usize>> =
-            std::collections::HashMap::new();
+        let mut pending_by_dst: std::collections::HashMap<
+            HostId,
+            std::collections::VecDeque<usize>,
+        > = std::collections::HashMap::new();
         let mut active_by_dst: std::collections::HashMap<HostId, usize> =
             std::collections::HashMap::new();
         for spec in &stage.flows {
@@ -133,20 +135,21 @@ pub fn run_job(topo: &Topology, job: &Job, policy: Policy, seed: u64) -> SimDura
         let mut unfinished = ctl.len();
 
         // Launches the next chunk of flow `ix`.
-        let launch = |ix: usize,
-                      ctl: &mut Vec<FlowCtl>,
-                      fs: &mut FlowSim,
-                      by_handle: &mut std::collections::HashMap<FlowId, usize>| {
-            let c = &mut ctl[ix];
-            let size = c.remaining.min(CHUNK);
-            c.remaining -= size;
-            let spine = pick_spine(policy, c.flow_key, c.dst, &spines);
-            let route = route_for(topo, c.src, c.dst, spine);
-            let path = map.path(c.src, c.dst, &route).expect("edges");
-            let h = fs.start_flow(path, size);
-            c.current = Some(h);
-            by_handle.insert(h, ix);
-        };
+        let launch =
+            |ix: usize,
+             ctl: &mut Vec<FlowCtl>,
+             fs: &mut FlowSim,
+             by_handle: &mut std::collections::HashMap<FlowId, usize>| {
+                let c = &mut ctl[ix];
+                let size = c.remaining.min(CHUNK);
+                c.remaining -= size;
+                let spine = pick_spine(policy, c.flow_key, c.dst, &spines);
+                let route = route_for(topo, c.src, c.dst, spine);
+                let path = map.path(c.src, c.dst, &route).expect("edges");
+                let h = fs.start_flow(path, size);
+                c.current = Some(h);
+                by_handle.insert(h, ix);
+            };
 
         // Fill every reducer's fetch window.
         for (&dst, queue) in &mut pending_by_dst {

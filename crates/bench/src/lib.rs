@@ -27,6 +27,7 @@ pub mod fig08;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;
+pub mod fig11c;
 pub mod fig12;
 pub mod fig13;
 pub mod report;

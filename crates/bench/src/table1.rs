@@ -64,10 +64,7 @@ fn count_path(p: &Path) -> u64 {
     let Ok(entries) = std::fs::read_dir(p) else {
         return 0;
     };
-    entries
-        .flatten()
-        .map(|e| count_path(&e.path()))
-        .sum()
+    entries.flatten().map(|e| count_path(&e.path())).sum()
 }
 
 /// Runs the Table 1 reproduction.
@@ -106,7 +103,12 @@ pub fn run(_quick: bool) -> Report {
         r.row([(*name).to_owned(), paper.to_string(), got.to_string()]);
     }
     // Whole-repository size for context.
-    let all = count_lines(&[crates.clone(), root.join("src"), root.join("tests"), root.join("examples")]);
+    let all = count_lines(&[
+        crates.clone(),
+        root.join("src"),
+        root.join("tests"),
+        root.join("examples"),
+    ]);
     r.note(String::new());
     r.note(format!("entire repository: {all} non-blank Rust lines"));
     r

@@ -15,8 +15,8 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use dumbnet_host::pathtable::{CachedPath, FlowKey, PathTable};
-use dumbnet_topology::views::trace_tag_path;
 use dumbnet_topology::pathgraph::PathGraphRouter;
+use dumbnet_topology::views::trace_tag_path;
 use dumbnet_topology::{generators, pathgraph, PathGraph, PathGraphParams, Route, Topology};
 use dumbnet_types::{HostId, MacAddr, Path, SwitchId, Tag};
 
@@ -66,20 +66,15 @@ pub fn fixtures(quick: bool) -> Fixtures {
         let a = SwitchId(rng.gen_range(0..topo.switch_count() as u64));
         let b = SwitchId(rng.gen_range(0..topo.switch_count() as u64));
         let c = SwitchId(rng.gen_range(0..topo.switch_count() as u64));
-        let route = Route::new(vec![a, b, c]).unwrap_or_else(|_| {
-            Route::new(vec![a]).expect("single switch route")
-        });
+        let route = Route::new(vec![a, b, c])
+            .unwrap_or_else(|_| Route::new(vec![a]).expect("single switch route"));
         let tags = Path::from_ports([
             rng.gen_range(1..=64u8),
             rng.gen_range(1..=64u8),
             rng.gen_range(1..=64u8),
         ])
         .expect("three tags");
-        table.install(
-            dst,
-            vec![CachedPath { tags, route }],
-            None,
-        );
+        table.install(dst, vec![CachedPath { tags, route }], None);
         dsts.push(dst);
     }
 
@@ -107,14 +102,8 @@ pub fn fixtures(quick: bool) -> Fixtures {
 
     // Path graph for find-path: a cross-pod pair.
     let dst_host = HostId(topo.host_count() as u64 - 1);
-    let graph = pathgraph::build(
-        &topo,
-        src,
-        dst_host,
-        &PathGraphParams::default(),
-        &mut rng,
-    )
-    .expect("fat-tree is connected");
+    let graph = pathgraph::build(&topo, src, dst_host, &PathGraphParams::default(), &mut rng)
+        .expect("fat-tree is connected");
 
     let router = graph.router();
     Fixtures {

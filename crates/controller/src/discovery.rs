@@ -37,6 +37,11 @@ pub struct DiscoveryConfig {
     pub max_ports: u8,
     /// How long to wait before declaring a probe lost.
     pub timeout: SimDuration,
+    /// How many times a lost probe is re-sent before being abandoned.
+    /// Each attempt waits `timeout · 2^attempt` (exponent capped at 6),
+    /// so transient loss slows discovery instead of corrupting it.
+    /// Zero restores fire-and-forget probing.
+    pub max_retries: u32,
     /// Optional prior topology for *verify mode* (§4.1): "with some
     /// prior knowledge about the topology, during bootstrapping the
     /// hosts can quickly verify (instead of discover) all links". Link
@@ -61,6 +66,7 @@ impl DiscoveryConfig {
         DiscoveryConfig {
             max_ports: 64,
             timeout: SimDuration::from_millis(50),
+            max_retries: 3,
             hint: None,
         }
     }
@@ -109,10 +115,22 @@ enum ProbeKind {
     },
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Outstanding {
     kind: ProbeKind,
     deadline: SimTime,
+    /// Retransmissions so far (0 for a first send).
+    attempts: u32,
+    /// The probe's path, kept so a timeout can re-send it verbatim.
+    path: Path,
+}
+
+/// A timed-out probe awaiting retransmission.
+#[derive(Debug, Clone)]
+struct Retry {
+    kind: ProbeKind,
+    path: Path,
+    attempts: u32,
 }
 
 /// Expansion progress for one discovered switch.
@@ -167,8 +185,12 @@ pub struct DiscoveryState {
     hinted_pairs: Option<HashMap<SwitchId, Vec<(PortNo, PortNo)>>>,
     jobs: VecDeque<ScanJob>,
     outstanding: HashMap<u64, Outstanding>,
+    /// Timed-out probes waiting to be re-sent (drained before jobs).
+    retries: VecDeque<Retry>,
     next_probe_id: u64,
     probes_sent: u64,
+    retries_sent: u64,
+    probes_abandoned: u64,
     started_at: Option<SimTime>,
     finished_at: Option<SimTime>,
 }
@@ -200,8 +222,11 @@ impl DiscoveryState {
             switches: HashMap::new(),
             jobs,
             outstanding: HashMap::new(),
+            retries: VecDeque::new(),
             next_probe_id: 1,
             probes_sent: 0,
+            retries_sent: 0,
+            probes_abandoned: 0,
             started_at: None,
             finished_at: None,
         }
@@ -213,10 +238,23 @@ impl DiscoveryState {
         self.mac
     }
 
-    /// Total probes transmitted so far (the Figure 8 cost metric).
+    /// Total probes transmitted so far (the Figure 8 cost metric),
+    /// retransmissions included.
     #[must_use]
     pub fn probes_sent(&self) -> u64 {
         self.probes_sent
+    }
+
+    /// Retransmissions among [`DiscoveryState::probes_sent`].
+    #[must_use]
+    pub fn retries_sent(&self) -> u64 {
+        self.retries_sent
+    }
+
+    /// Probes given up on after exhausting their retry budget.
+    #[must_use]
+    pub fn probes_abandoned(&self) -> u64 {
+        self.probes_abandoned
     }
 
     /// When discovery quiesced, if it has.
@@ -232,7 +270,14 @@ impl DiscoveryState {
     }
 
     /// Produces the next probe to transmit, if any is ready.
+    /// Retransmissions of timed-out probes take priority over fresh
+    /// scan jobs: finishing in-flight questions keeps the stage-1
+    /// ledger draining under loss.
     pub fn next_probe(&mut self, now: SimTime) -> Option<ProbeOut> {
+        if let Some(retry) = self.retries.pop_front() {
+            self.retries_sent += 1;
+            return Some(self.emit_attempt(now, retry.kind, retry.path, retry.attempts));
+        }
         loop {
             let job = self.jobs.front_mut()?;
             match job {
@@ -249,8 +294,8 @@ impl DiscoveryState {
                 ScanJob::OwnId => {
                     self.jobs.pop_front();
                     let own = self.own_port.expect("OwnId queued after bounce");
-                    let path = Path::from_tags([Tag::ID_QUERY, Tag::from_port(own)])
-                        .expect("two tags");
+                    let path =
+                        Path::from_tags([Tag::ID_QUERY, Tag::from_port(own)]).expect("two tags");
                     return Some(self.emit(now, ProbeKind::OwnSwitchId, path));
                 }
                 ScanJob::LinkScan { switch, p, q } => {
@@ -415,22 +460,42 @@ impl DiscoveryState {
             self.jobs
                 .push_back(ScanJob::LinkScanHinted { switch, ix: 0 });
         } else {
-            self.jobs.push_back(ScanJob::LinkScan { switch, p: 1, q: 1 });
+            self.jobs
+                .push_back(ScanJob::LinkScan { switch, p: 1, q: 1 });
         }
     }
 
     fn emit(&mut self, now: SimTime, kind: ProbeKind, path: Path) -> ProbeOut {
+        self.emit_attempt(now, kind, path, 0)
+    }
+
+    fn emit_attempt(
+        &mut self,
+        now: SimTime,
+        kind: ProbeKind,
+        path: Path,
+        attempts: u32,
+    ) -> ProbeOut {
         let probe_id = self.next_probe_id;
         self.next_probe_id += 1;
         self.probes_sent += 1;
         if self.started_at.is_none() {
             self.started_at = Some(now);
         }
+        // Exponential backoff: 1×, 2×, 4×, … the base timeout, capped.
+        let wait = SimDuration::from_nanos(
+            self.config
+                .timeout
+                .nanos()
+                .saturating_mul(1u64 << attempts.min(6)),
+        );
         self.outstanding.insert(
             probe_id,
             Outstanding {
                 kind,
-                deadline: now + self.config.timeout,
+                deadline: now + wait,
+                attempts,
+                path: path.clone(),
             },
         );
         ProbeOut { probe_id, path }
@@ -569,16 +634,46 @@ impl DiscoveryState {
         }
     }
 
-    /// Expires timed-out probes; returns how many were dropped.
+    /// Expires timed-out probes; returns how many were dropped. Probes
+    /// whose question is still open and whose retry budget is not
+    /// exhausted are queued for retransmission (picked up by the next
+    /// [`DiscoveryState::next_probe`] call) instead of being abandoned;
+    /// a retried stage-1 probe stays on its switch's ledger until the
+    /// final attempt dies, so host scans cannot start early.
     pub fn expire(&mut self, now: SimTime) -> usize {
-        let dead: Vec<u64> = self
+        let mut dead: Vec<u64> = self
             .outstanding
             .iter()
             .filter(|(_, r)| r.deadline <= now)
             .map(|(&id, _)| id)
             .collect();
+        // Retry in probe-ID order: the map's hash order would make the
+        // re-send sequence (and thus any fault-injection RNG draws)
+        // nondeterministic across runs.
+        dead.sort_unstable();
         for id in &dead {
             let rec = self.outstanding.remove(id).expect("listed");
+            // A probe whose answer arrived by other means is not worth
+            // re-sending: bounce ports after the bounce succeeded, the
+            // own-ID query once the root switch is known.
+            let still_useful = match rec.kind {
+                ProbeKind::SelfBounce { .. } => self.own_port.is_none(),
+                ProbeKind::OwnSwitchId => self.own_switch.is_none(),
+                ProbeKind::LinkScan { .. }
+                | ProbeKind::LinkVerify { .. }
+                | ProbeKind::HostScan { .. } => true,
+            };
+            if still_useful && rec.attempts < self.config.max_retries {
+                self.retries.push_back(Retry {
+                    kind: rec.kind,
+                    path: rec.path,
+                    attempts: rec.attempts + 1,
+                });
+                continue;
+            }
+            if still_useful {
+                self.probes_abandoned += 1;
+            }
             match rec.kind {
                 ProbeKind::LinkScan { from, .. } | ProbeKind::LinkVerify { from, .. } => {
                     self.finish_stage1_probe(from);
@@ -624,13 +719,20 @@ impl DiscoveryState {
             return;
         }
         prog.hosts_scanned = true;
-        self.jobs.push_back(ScanJob::HostScan { switch: sw, next: 1 });
+        self.jobs.push_back(ScanJob::HostScan {
+            switch: sw,
+            next: 1,
+        });
     }
 
-    /// Whether every job and probe has resolved.
+    /// Whether every job, probe, and pending retransmission has
+    /// resolved.
     #[must_use]
     pub fn is_done(&self) -> bool {
-        self.jobs.is_empty() && self.outstanding.is_empty() && self.own_switch.is_some()
+        self.jobs.is_empty()
+            && self.outstanding.is_empty()
+            && self.retries.is_empty()
+            && self.own_switch.is_some()
     }
 
     /// Marks completion (the caller stamps quiescence time).
@@ -661,9 +763,12 @@ impl DiscoveryState {
         for _ in 0..n {
             topo.add_switch(self.config.max_ports);
         }
-        // Wire links once per unordered pair.
+        // Wire links once per unordered pair, in switch-ID order so the
+        // assembled topology's link indices are run-to-run stable
+        // (HashMap iteration order is not).
         let mut done = std::collections::HashSet::new();
-        for (&sw, prog) in &self.switches {
+        for &sw in &ids {
+            let prog = &self.switches[&sw];
             for (&port, &(nb, nport)) in &prog.link_ports {
                 let key = if (sw, port) <= (nb, nport) {
                     ((sw, port), (nb, nport))
@@ -724,6 +829,7 @@ mod tests {
             DiscoveryConfig {
                 max_ports: 4,
                 timeout: SimDuration::from_millis(10),
+                max_retries: 3,
                 hint: None,
             },
         );
@@ -749,13 +855,14 @@ mod tests {
     /// fabric does packet by packet (the end-to-end version runs in the
     /// core crate's integration tests).
     fn run_against(topo: &Topology, start_host: u64, max_ports: u8) -> DiscoveryState {
-                use dumbnet_types::HostId;
+        use dumbnet_types::HostId;
         let mac = topo.host(HostId(start_host)).unwrap().mac;
         let mut d = DiscoveryState::new(
             mac,
             DiscoveryConfig {
                 max_ports,
                 timeout: SimDuration::from_millis(10),
+                max_retries: 3,
                 hint: None,
             },
         );
@@ -848,12 +955,7 @@ mod tests {
 
     /// Whether a packet starting at `from` with `tags` reaches the host
     /// `target` exactly as its path is consumed.
-    fn walk_delivers_to(
-        topo: &Topology,
-        from: SwitchId,
-        tags: &[Tag],
-        target: MacAddr,
-    ) -> bool {
+    fn walk_delivers_to(topo: &Topology, from: SwitchId, tags: &[Tag], target: MacAddr) -> bool {
         use dumbnet_topology::graph::Attachment;
         let mut cur = from;
         for (ix, tag) in tags.iter().enumerate() {
@@ -914,6 +1016,103 @@ mod tests {
             let h = g.topology.host_by_mac(mac).unwrap();
             assert_eq!((h.attached.switch, h.attached.port), (sw, port));
         }
+    }
+
+    #[test]
+    fn lossy_network_discovers_exactly_with_retries() {
+        // 10% deterministic probe loss: every probe whose ID is ≡ 0
+        // mod 10 vanishes in flight. Capped, backed-off retries must
+        // still converge on the *exact* topology — timeouts may slow
+        // discovery but never corrupt it.
+        let g = dumbnet_topology::generators::testbed();
+        let topo = &g.topology;
+        let mac = topo.host(dumbnet_types::HostId(0)).unwrap().mac;
+        let mut d = DiscoveryState::new(
+            mac,
+            DiscoveryConfig {
+                max_ports: 12,
+                timeout: SimDuration::from_millis(10),
+                max_retries: 3,
+                hint: None,
+            },
+        );
+        let mut now = SimTime::ZERO;
+        let mut guard = 0u64;
+        loop {
+            guard += 1;
+            assert!(guard < 3_000_000, "lossy discovery did not converge");
+            if let Some(probe) = d.next_probe(now) {
+                if probe.probe_id % 10 != 0 {
+                    answer(topo, 0, &probe, &mut d, now);
+                }
+                now = now + SimDuration::from_micros(10);
+                continue;
+            }
+            let expired = d.expire(now + SimDuration::from_millis(90));
+            now = now + SimDuration::from_millis(90);
+            if expired == 0 && d.is_done() {
+                d.mark_finished(now);
+                break;
+            }
+            if expired == 0 && !d.is_done() && d.next_probe(now).is_none() {
+                if let Some(dl) = d.next_deadline() {
+                    now = dl;
+                }
+            }
+        }
+        assert!(d.retries_sent() > 0, "loss must have triggered retries");
+        let found = d.to_topology().unwrap();
+        assert_eq!(found.switch_count(), 7);
+        assert_eq!(found.host_count(), 27);
+        let links: std::collections::HashSet<_> = found
+            .links()
+            .map(|l| {
+                let (a, b) = if l.a <= l.b { (l.a, l.b) } else { (l.b, l.a) };
+                (a, b)
+            })
+            .collect();
+        let expect: std::collections::HashSet<_> = g
+            .topology
+            .links()
+            .map(|l| {
+                let (a, b) = if l.a <= l.b { (l.a, l.b) } else { (l.b, l.a) };
+                (a, b)
+            })
+            .collect();
+        assert_eq!(links, expect, "loss corrupted the discovered map");
+    }
+
+    #[test]
+    fn retry_budget_caps_total_probes() {
+        // With nothing answering, every probe times out; the machine
+        // must terminate after (1 + max_retries) attempts per question
+        // rather than retrying forever.
+        let mac = MacAddr::for_host(0);
+        let mut d = DiscoveryState::new(
+            mac,
+            DiscoveryConfig {
+                max_ports: 2,
+                timeout: SimDuration::from_millis(1),
+                max_retries: 2,
+                hint: None,
+            },
+        );
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 10_000, "retry loop did not terminate");
+            while d.next_probe(now).is_some() {}
+            now = now + SimDuration::from_secs(1);
+            if d.expire(now) == 0 {
+                break;
+            }
+        }
+        // 2 bounce ports × (1 first try + 2 retries) = 6 probes total.
+        assert_eq!(d.probes_sent(), 6);
+        assert_eq!(d.retries_sent(), 4);
+        assert_eq!(d.probes_abandoned(), 2);
+        assert!(!d.is_done(), "no bounce ever returned");
     }
 
     #[test]
@@ -985,6 +1184,7 @@ mod tests {
             DiscoveryConfig {
                 max_ports: 4,
                 timeout: SimDuration::from_millis(1),
+                max_retries: 3,
                 hint: None,
             },
         );
@@ -1006,6 +1206,7 @@ mod tests {
             DiscoveryConfig {
                 max_ports: 12,
                 timeout: SimDuration::from_millis(10),
+                max_retries: 3,
                 hint: Some(g.topology.clone()),
             },
         );

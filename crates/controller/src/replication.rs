@@ -147,6 +147,44 @@ impl ReplicatedLog {
         self.entries.range(after + 1..).map(|(_, e)| e)
     }
 
+    /// Highest index `N` such that every entry `1..=N` is present. A
+    /// follower whose log has holes (replication messages lost, or the
+    /// replica was down) reports this as its re-sync floor.
+    #[must_use]
+    pub fn highest_contiguous(&self) -> u64 {
+        let mut n = 0;
+        while self.entries.contains_key(&(n + 1)) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Whether the log is missing any entry below its highest index.
+    #[must_use]
+    pub fn has_gap(&self) -> bool {
+        self.entries
+            .keys()
+            .next_back()
+            .is_some_and(|&hi| self.highest_contiguous() < hi)
+    }
+
+    /// Leader: stored indices not yet acknowledged by `peer`, oldest
+    /// first — the retransmission worklist for the ack-less-retry loop.
+    #[must_use]
+    pub fn unacked_for(&self, peer: MacAddr) -> Vec<u64> {
+        self.entries
+            .keys()
+            .copied()
+            .filter(|ix| !self.acks.get(ix).is_some_and(|acked| acked.contains(&peer)))
+            .collect()
+    }
+
+    /// The entry at `index`, if stored.
+    #[must_use]
+    pub fn entry(&self, index: u64) -> Option<&LogEntry> {
+        self.entries.get(&index)
+    }
+
     fn advance_commit(&mut self) {
         let q = self.quorum();
         while let Some(acks) = self.acks.get(&(self.committed + 1)) {
@@ -226,7 +264,8 @@ mod tests {
 
     #[test]
     fn promotion_resumes_sequencing() {
-        let mut log = ReplicatedLog::new(mac(1), vec![mac(0), mac(1), mac(2)], ReplicaRole::Follower);
+        let mut log =
+            ReplicatedLog::new(mac(1), vec![mac(0), mac(1), mac(2)], ReplicaRole::Follower);
         log.store(LogEntry {
             index: 1,
             version: 1,
@@ -251,5 +290,48 @@ mod tests {
         }
         let idx: Vec<u64> = log.entries_after(2).map(|e| e.index).collect();
         assert_eq!(idx, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn gap_detection_tracks_contiguity() {
+        let mut log = ReplicatedLog::new(mac(1), vec![mac(0), mac(1)], ReplicaRole::Follower);
+        assert_eq!(log.highest_contiguous(), 0);
+        assert!(!log.has_gap());
+        log.store(LogEntry {
+            index: 1,
+            version: 1,
+            delta: delta(),
+        });
+        // Entry 2 was lost in flight; 3 arrives.
+        log.store(LogEntry {
+            index: 3,
+            version: 3,
+            delta: delta(),
+        });
+        assert_eq!(log.highest_contiguous(), 1);
+        assert!(log.has_gap());
+        // Re-sync fills the hole.
+        log.store(LogEntry {
+            index: 2,
+            version: 2,
+            delta: delta(),
+        });
+        assert_eq!(log.highest_contiguous(), 3);
+        assert!(!log.has_gap());
+    }
+
+    #[test]
+    fn unacked_worklist_shrinks_with_acks() {
+        let mut log = ReplicatedLog::new(mac(0), vec![mac(0), mac(1), mac(2)], ReplicaRole::Leader);
+        let e1 = log.append(1, delta());
+        let e2 = log.append(2, delta());
+        assert_eq!(log.unacked_for(mac(1)), vec![1, 2]);
+        log.ack(e1.index, mac(1));
+        assert_eq!(log.unacked_for(mac(1)), vec![2]);
+        assert_eq!(log.unacked_for(mac(2)), vec![1, 2]);
+        log.ack(e2.index, mac(1));
+        assert!(log.unacked_for(mac(1)).is_empty());
+        assert!(log.entry(1).is_some());
+        assert!(log.entry(9).is_none());
     }
 }

@@ -1,0 +1,315 @@
+//! DumbNet-specific chaos invariants.
+//!
+//! The protocol-agnostic scenario harness lives in `dumbnet_sim::chaos`
+//! (apply a [`ChaosPlan`](dumbnet_sim::ChaosPlan), advance time, poll a
+//! predicate). This module layers the DumbNet semantics on top: after a
+//! disrupted run settles, [`check_invariants`] audits the whole fabric
+//! for the properties a self-healing deployment must restore —
+//!
+//! 1. **Discovery terminated**: every controller holds a topology.
+//! 2. **No divergent controller view**: each controller's link states
+//!    agree with the emulator's ground truth.
+//! 3. **No stale PathTable entries**: no host caches a path crossing a
+//!    link that is currently down (or that no longer exists).
+//! 4. **All-pairs reachability**: every host pair is connected over the
+//!    up-links of the ground-truth topology.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dumbnet_types::{HostId, MacAddr, SwitchId};
+
+use crate::Fabric;
+
+/// Normalizes an undirected switch pair.
+fn edge(a: SwitchId, b: SwitchId) -> (SwitchId, SwitchId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Outcome of a fabric-wide invariant audit.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantReport {
+    /// Every controller has a topology (discovery finished or preload).
+    pub controllers_ready: bool,
+    /// Ground-truth links whose up/down state a controller disagrees
+    /// with (or does not know at all).
+    pub divergent_links: Vec<(SwitchId, SwitchId)>,
+    /// `(host, destination)` pairs whose cached path crosses a down or
+    /// nonexistent link.
+    pub stale_paths: Vec<(HostId, MacAddr)>,
+    /// Host pairs with no up-path between their attach switches.
+    pub unreachable_pairs: Vec<(HostId, HostId)>,
+    /// Unordered host pairs examined for reachability.
+    pub pairs_checked: usize,
+}
+
+impl InvariantReport {
+    /// Whether every invariant holds.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.controllers_ready
+            && self.divergent_links.is_empty()
+            && self.stale_paths.is_empty()
+            && self.unreachable_pairs.is_empty()
+    }
+}
+
+/// Audits `fabric` against the post-chaos invariants. Call this after
+/// the plan's faults have ended and the fabric has had time to settle
+/// (notifications flooded, patches applied) — mid-disruption the
+/// invariants are *expected* to be violated.
+#[must_use]
+pub fn check_invariants(fabric: &Fabric) -> InvariantReport {
+    let truth = &fabric.topology;
+    // Physical ground truth is the *engine's* wire state — scheduled
+    // failures and chaos flaps act on wires, not on the (static)
+    // topology the fabric was built from.
+    let up_edges: HashSet<(SwitchId, SwitchId)> = truth
+        .links()
+        .filter(|l| {
+            fabric
+                .trunk_wire(l.a.switch, l.b.switch)
+                .is_some_and(|w| fabric.world.wire_up(w))
+        })
+        .map(|l| edge(l.a.switch, l.b.switch))
+        .collect();
+
+    let mut report = InvariantReport {
+        controllers_ready: true,
+        ..InvariantReport::default()
+    };
+
+    // 1 + 2: controller readiness and view agreement.
+    for cid in fabric.controller_ids() {
+        let Some(ctrl) = fabric.controller(cid) else {
+            report.controllers_ready = false;
+            continue;
+        };
+        let Some(view) = ctrl.topology.as_ref() else {
+            report.controllers_ready = false;
+            continue;
+        };
+        for l in truth.links() {
+            let physically_up = up_edges.contains(&edge(l.a.switch, l.b.switch));
+            let agrees = view
+                .link_between(l.a.switch, l.b.switch)
+                .is_some_and(|v| v.up == physically_up);
+            if !agrees {
+                report.divergent_links.push(edge(l.a.switch, l.b.switch));
+            }
+        }
+    }
+    report.divergent_links.sort_unstable();
+    report.divergent_links.dedup();
+
+    // 3: stale cached paths.
+    for h in truth.hosts() {
+        let Some(agent) = fabric.host(h.id) else {
+            continue; // Controller slot.
+        };
+        for dst in agent.pathtable.destinations() {
+            let Some(entry) = agent.pathtable.entry(dst) else {
+                continue;
+            };
+            let stale = entry.all_paths().any(|p| {
+                p.route
+                    .switches()
+                    .windows(2)
+                    .any(|w| !up_edges.contains(&edge(w[0], w[1])))
+            });
+            if stale {
+                report.stale_paths.push((h.id, dst));
+            }
+        }
+    }
+
+    // 4: all-pairs reachability over up links (connected components of
+    // the up-graph, then hosts bucketed by attach-switch component).
+    let mut adj: HashMap<SwitchId, Vec<SwitchId>> = HashMap::new();
+    for &(a, b) in &up_edges {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default().push(a);
+    }
+    let mut component: HashMap<SwitchId, usize> = HashMap::new();
+    let mut next_comp = 0;
+    for sw in truth.switches() {
+        if component.contains_key(&sw.id) {
+            continue;
+        }
+        let mut queue = VecDeque::from([sw.id]);
+        component.insert(sw.id, next_comp);
+        while let Some(s) = queue.pop_front() {
+            for &n in adj.get(&s).into_iter().flatten() {
+                if let std::collections::hash_map::Entry::Vacant(e) = component.entry(n) {
+                    e.insert(next_comp);
+                    queue.push_back(n);
+                }
+            }
+        }
+        next_comp += 1;
+    }
+    let hosts: Vec<(HostId, SwitchId)> = truth.hosts().map(|h| (h.id, h.attached.switch)).collect();
+    for (i, &(ha, sa)) in hosts.iter().enumerate() {
+        for &(hb, sb) in &hosts[i + 1..] {
+            report.pairs_checked += 1;
+            if component.get(&sa) != component.get(&sb) {
+                report.unreachable_pairs.push((ha, hb));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dumbnet_sim::{ChaosPlan, ChaosRunner, FaultProfile, FlapSchedule};
+    use dumbnet_topology::generators;
+    use dumbnet_types::{SimDuration, SimTime};
+
+    use crate::FabricConfig;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn clean_fabric_passes_invariants() {
+        let g = generators::testbed();
+        let mut fabric = Fabric::build(g.topology, FabricConfig::default()).unwrap();
+        fabric.run_until(t(50));
+        let report = check_invariants(&fabric);
+        assert!(report.ok(), "clean fabric violated invariants: {report:?}");
+        assert!(report.pairs_checked > 0);
+    }
+
+    #[test]
+    fn severed_fabric_fails_reachability() {
+        // The testbed's edge switches hang off the leaf layer; cutting
+        // every trunk of one leaf strands its subtree.
+        let g = generators::testbed();
+        let leaf = g.group("leaf")[0];
+        let cut: Vec<(SwitchId, SwitchId)> = g
+            .topology
+            .links()
+            .filter(|l| l.a.switch == leaf || l.b.switch == leaf)
+            .map(|l| (l.a.switch, l.b.switch))
+            .collect();
+        let mut fabric = Fabric::build(g.topology, FabricConfig::default()).unwrap();
+        fabric.run_until(t(10));
+        for (a, b) in cut {
+            fabric.schedule_link_failure(fabric.now(), a, b).unwrap();
+        }
+        fabric.run_until(t(200));
+        let report = check_invariants(&fabric);
+        assert!(!report.unreachable_pairs.is_empty(), "partition undetected");
+        assert!(!report.ok());
+    }
+
+    /// Redundant flood rounds are the loss countermeasure; the epoch
+    /// dedup is what keeps them from amplifying into alarm storms. Cut
+    /// one trunk on a fabric with the default `flood_repeats = 2` and
+    /// verify every host records each distinct link event exactly once,
+    /// even though extra flood rounds demonstrably went out.
+    #[test]
+    fn flood_rebroadcast_deduped_by_receivers() {
+        let g = generators::testbed();
+        let spine = g.group("spine")[0];
+        let leaf = g.group("leaf")[0];
+        let mut fabric = Fabric::build(g.topology, FabricConfig::default()).unwrap();
+        fabric.run_until(t(100));
+        fabric.schedule_link_failure(t(100), leaf, spine).unwrap();
+        fabric.run_until(t(400));
+
+        let hosts = fabric.topology.host_count() as u64;
+        let rebroadcasts: u64 = (0..hosts)
+            .filter_map(|h| fabric.host(dumbnet_types::HostId(h)))
+            .map(|a| a.stats.floods_rebroadcast)
+            .sum();
+        assert!(rebroadcasts > 0, "no redundant flood rounds were sent");
+
+        for h in 0..hosts {
+            let Some(agent) = fabric.host(dumbnet_types::HostId(h)) else {
+                continue;
+            };
+            let mut seen = std::collections::HashSet::new();
+            for (ev, _) in &agent.stats.notification_arrivals {
+                assert!(
+                    seen.insert((ev.switch, ev.port, ev.up, ev.seq)),
+                    "host {h} recorded duplicate event {ev:?} despite dedup"
+                );
+            }
+        }
+    }
+
+    /// The ISSUE acceptance scenario: discovery under 5% uniform packet
+    /// loss with one spine trunk flapping still converges, and after the
+    /// faults end the fabric restores every invariant. Fully
+    /// deterministic: engine seed, fault seed, and schedules are fixed.
+    #[test]
+    fn discovery_survives_loss_and_flapping_spine() {
+        let g = generators::testbed();
+        let spine = g.group("spine")[0];
+        let leaf = g.group("leaf")[0];
+        let mut cfg = FabricConfig {
+            seed: 7,
+            ..FabricConfig::default()
+        };
+        cfg.controller.run_discovery = true;
+        cfg.controller.discovery.max_ports = 12;
+        cfg.controller.discovery.timeout = SimDuration::from_millis(5);
+        cfg.controller.discovery.max_retries = 5;
+        cfg.controller.probe_interval = SimDuration::from_micros(10);
+        let mut fabric = Fabric::build(g.topology, cfg).unwrap();
+
+        // 5% loss on every wire, plus a spine-leaf trunk flapping three
+        // times (2 ms down / 8 ms up) early in the discovery window.
+        let mut plan = ChaosPlan::seeded(42);
+        for ix in 0..fabric.world.wire_count() {
+            plan =
+                plan.with_link_fault(dumbnet_sim::WireId::from_raw(ix), FaultProfile::lossy(0.05));
+        }
+        let flapped = fabric.trunk_wire(spine, leaf).expect("spine-leaf trunk");
+        plan = plan.with_flap(FlapSchedule {
+            wire: flapped,
+            first_down: t(5),
+            down_for: SimDuration::from_millis(2),
+            period: SimDuration::from_millis(10),
+            cycles: 3,
+        });
+
+        let ctrl_addr = fabric.host_addr(dumbnet_types::HostId(0)).unwrap();
+        let report = ChaosRunner::new(plan, t(10_000)).run(&mut fabric.world, |w| {
+            // Convergence: the controller finished discovery.
+            w.node::<dumbnet_controller::Controller>(ctrl_addr)
+                .is_some_and(dumbnet_controller::Controller::ready)
+        });
+        assert!(report.converged(), "discovery never finished under chaos");
+        assert!(report.stats.drops_loss > 0, "loss profile injected nothing");
+
+        let ctrl = fabric.controller(dumbnet_types::HostId(0)).unwrap();
+        assert!(
+            ctrl.stats.probes_sent > 0,
+            "discovery ran without sending probes"
+        );
+
+        // Let hellos, notifications, and patches settle, then audit.
+        let settle = fabric.now() + SimDuration::from_millis(500);
+        fabric.run_until(settle);
+        let audit = check_invariants(&fabric);
+        assert!(audit.ok(), "post-chaos invariants violated: {audit:?}");
+
+        // The discovered topology is link-exact despite the chaos.
+        let found = fabric
+            .controller(dumbnet_types::HostId(0))
+            .unwrap()
+            .topology
+            .as_ref()
+            .unwrap();
+        assert_eq!(found.link_count(), fabric.topology.link_count());
+        assert_eq!(found.host_count(), fabric.topology.host_count());
+    }
+}

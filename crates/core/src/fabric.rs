@@ -4,12 +4,10 @@ use std::collections::HashSet;
 
 use dumbnet_controller::{Controller, ControllerConfig};
 use dumbnet_host::{HostAgent, HostAgentConfig};
-use dumbnet_sim::{LinkParams, NodeAddr, World};
+use dumbnet_sim::{LinkParams, NodeAddr, WireId, World};
 use dumbnet_switch::{DumbSwitch, DumbSwitchConfig};
 use dumbnet_topology::Topology;
-use dumbnet_types::{
-    DumbNetError, HostId, MacAddr, PortNo, Result, SimTime, SwitchId,
-};
+use dumbnet_types::{DumbNetError, HostId, MacAddr, PortNo, Result, SimTime, SwitchId};
 
 /// The host agent's NIC port inside the engine.
 const NIC: PortNo = match PortNo::new(1) {
@@ -250,6 +248,22 @@ impl Fabric {
         Ok(())
     }
 
+    /// Engine wire of the trunk link between switches `a` and `b`, for
+    /// targeting fault profiles and flap schedules.
+    #[must_use]
+    pub fn trunk_wire(&self, a: SwitchId, b: SwitchId) -> Option<WireId> {
+        let link = self.topology.link_between(a, b)?;
+        self.world
+            .wire_at(self.switch_addr[link.a.switch.get() as usize], link.a.port)
+    }
+
+    /// Engine wire of host `h`'s access link.
+    #[must_use]
+    pub fn access_wire(&self, h: HostId) -> Option<WireId> {
+        let addr = *self.host_addr.get(h.get() as usize)?;
+        self.world.wire_at(addr, NIC)
+    }
+
     /// Runs the world until `t`.
     pub fn run_until(&mut self, t: SimTime) {
         self.world.run_until(t);
@@ -298,11 +312,7 @@ mod tests {
         let ctrl_mac = fabric.mac(HostId(0));
         for h in 1..27 {
             let agent = fabric.host(HostId(h)).unwrap();
-            assert_eq!(
-                agent.controller(),
-                Some(ctrl_mac),
-                "host {h} missing hello"
-            );
+            assert_eq!(agent.controller(), Some(ctrl_mac), "host {h} missing hello");
         }
     }
 
@@ -424,10 +434,8 @@ mod tests {
     fn deterministic_fabric_runs() {
         let run = || {
             let g = generators::testbed();
-            let mut fabric = Fabric::build_with(
-                g.topology,
-                FabricConfig::default(),
-                |id, mut hc| {
+            let mut fabric =
+                Fabric::build_with(g.topology, FabricConfig::default(), |id, mut hc| {
                     if id.get() % 3 == 1 {
                         hc.actions = vec![AppAction::PingSeries {
                             at: SimDuration::from_millis(15),
@@ -437,9 +445,8 @@ mod tests {
                         }];
                     }
                     HostAgent::new(id, hc)
-                },
-            )
-            .unwrap();
+                })
+                .unwrap();
             fabric.run_until(t(300));
             let mut rtts = Vec::new();
             for h in 0..27 {

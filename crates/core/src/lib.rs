@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod fabric;
 
+pub use chaos::{check_invariants, InvariantReport};
 pub use fabric::{Fabric, FabricConfig};

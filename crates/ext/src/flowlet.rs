@@ -85,11 +85,9 @@ impl RoutingFn for FlowletRouting {
         if available_paths == 0 {
             return None;
         }
-        let state = self.flows.entry(flow).or_insert_with(|| {
-            FlowletState {
-                last_packet: now,
-                epoch: 0,
-            }
+        let state = self.flows.entry(flow).or_insert_with(|| FlowletState {
+            last_packet: now,
+            epoch: 0,
         });
         if now - state.last_packet > self.timeout {
             state.epoch += 1;
@@ -145,10 +143,7 @@ mod tests {
             counts[FlowletRouting::path_index(FlowKey(42), epoch, k)] += 1;
         }
         for &c in &counts {
-            assert!(
-                (800..=1200).contains(&c),
-                "unbalanced spread: {counts:?}"
-            );
+            assert!((800..=1200).contains(&c), "unbalanced spread: {counts:?}");
         }
     }
 

@@ -96,9 +96,10 @@ impl Node for L3Router {
         let Payload::Ip { dst_ip, .. } = pkt.payload else {
             return; // The router only forwards routed traffic.
         };
-        match self.route(dst_ip).and_then(|s| {
-            s.paths.get(&dst_ip).map(|p| (s.port, p.clone()))
-        }) {
+        match self
+            .route(dst_ip)
+            .and_then(|s| s.paths.get(&dst_ip).map(|p| (s.port, p.clone())))
+        {
             Some((port, path)) => {
                 self.forwarded += 1;
                 let out = Packet {
@@ -212,10 +213,12 @@ mod tests {
             },
         );
         let r = w.add_node(Box::new(router));
-        w.wire(host_a, p(1), sw_a, p(1), LinkParams::ten_gig()).unwrap();
+        w.wire(host_a, p(1), sw_a, p(1), LinkParams::ten_gig())
+            .unwrap();
         w.wire(r, p(1), sw_a, p(2), LinkParams::ten_gig()).unwrap();
         w.wire(r, p(2), sw_b, p(2), LinkParams::ten_gig()).unwrap();
-        w.wire(host_b, p(1), sw_b, p(1), LinkParams::ten_gig()).unwrap();
+        w.wire(host_b, p(1), sw_b, p(1), LinkParams::ten_gig())
+            .unwrap();
         (w, host_a, host_b, r)
     }
 

@@ -123,17 +123,11 @@ mod tests {
         let mut v = VirtualNetworks::new();
         v.register(
             TenantId(1),
-            VirtualNetworks::slice_by_switches(
-                &g.topology,
-                [spines[0], leaves[0], leaves[1]],
-            ),
+            VirtualNetworks::slice_by_switches(&g.topology, [spines[0], leaves[0], leaves[1]]),
         );
         v.register(
             TenantId(2),
-            VirtualNetworks::slice_by_switches(
-                &g.topology,
-                [spines[1], leaves[3], leaves[4]],
-            ),
+            VirtualNetworks::slice_by_switches(&g.topology, [spines[1], leaves[3], leaves[4]]),
         );
         (g.topology, v)
     }

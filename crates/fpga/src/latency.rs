@@ -68,16 +68,14 @@ impl FpgaLatencyModel {
     /// Uncontended latency over `hops` hops (the Figure/§7.1 average).
     #[must_use]
     pub fn path_latency(&self, hops: u32, bytes: usize) -> SimDuration {
-        self.hop_latency(bytes, 0)
-            .saturating_mul(u64::from(hops))
+        self.hop_latency(bytes, 0).saturating_mul(u64::from(hops))
     }
 
     /// Worst-case latency over `hops` hops: one full frame queued ahead
     /// and maximal arbitration stall at every hop.
     #[must_use]
     pub fn worst_case(&self, hops: u32, bytes: usize) -> SimDuration {
-        (self.hop_latency(bytes, 1) + self.arbitration_max)
-            .saturating_mul(u64::from(hops))
+        (self.hop_latency(bytes, 1) + self.arbitration_max).saturating_mul(u64::from(hops))
     }
 
     /// Draws a randomized sample: each hop independently queues behind a

@@ -130,7 +130,10 @@ mod tests {
         let lut_reduction = 1.0 - d.luts as f64 / o.luts as f64;
         let reg_reduction = 1.0 - d.registers as f64 / o.registers as f64;
         assert!(lut_reduction > 0.88, "LUT reduction {lut_reduction:.3}");
-        assert!(reg_reduction > 0.88, "register reduction {reg_reduction:.3}");
+        assert!(
+            reg_reduction > 0.88,
+            "register reduction {reg_reduction:.3}"
+        );
     }
 
     #[test]

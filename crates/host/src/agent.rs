@@ -16,9 +16,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use dumbnet_packet::control::LinkEvent;
 use dumbnet_packet::{ControlMessage, Packet, Payload};
 use dumbnet_sim::{Ctx, Node};
-use dumbnet_types::{
-    HostId, MacAddr, Path, PortNo, SimDuration, SimTime, SwitchId,
-};
+use dumbnet_types::{HostId, MacAddr, Path, PortNo, SimDuration, SimTime, SwitchId};
 
 use crate::pathtable::{FlowKey, PathTable};
 use crate::topocache::TopoCache;
@@ -101,6 +99,13 @@ pub struct HostAgentConfig {
     /// How long to wait for a PathReply before re-asking the controller
     /// (replies can be lost during partitions).
     pub path_request_retry: SimDuration,
+    /// Extra host-flood rounds per link event. Floods are ack-less, so
+    /// redundancy is the only defence against loss; receivers dedup on
+    /// the event's `(switch, port, up, seq)` epoch. Zero restores
+    /// single-shot flooding.
+    pub flood_repeats: u32,
+    /// Spacing between redundant flood rounds.
+    pub flood_gap: SimDuration,
     /// Scheduled application actions.
     pub actions: Vec<AppAction>,
 }
@@ -111,6 +116,8 @@ impl Default for HostAgentConfig {
             k_paths: 4,
             stack_delay: SimDuration::ZERO,
             path_request_retry: SimDuration::from_millis(50),
+            flood_repeats: 2,
+            flood_gap: SimDuration::from_millis(1),
             actions: Vec::new(),
         }
     }
@@ -135,6 +142,8 @@ pub struct AgentStats {
     pub ingress_drops: u64,
     /// Host-flood messages sent.
     pub floods_sent: u64,
+    /// Redundant (repeat-round) host-flood messages sent.
+    pub floods_rebroadcast: u64,
     /// ECN-marked data packets received, per flow.
     pub ecn_marked: HashMap<u64, u64>,
     /// ECN echoes received back from receivers (sender side).
@@ -170,6 +179,10 @@ pub struct HostAgent {
     action_state: Vec<ActionProgress>,
     /// Whether the pending-queue retry sweep is armed.
     retry_armed: bool,
+    /// Link events still owed redundant flood rounds.
+    flood_backlog: Vec<(LinkEvent, u32)>,
+    /// Whether the flood-repeat timer is armed.
+    flood_armed: bool,
     /// Measurement output.
     pub stats: AgentStats,
 }
@@ -221,6 +234,8 @@ impl HostAgent {
             seen_events: HashSet::new(),
             action_state,
             retry_armed: false,
+            flood_backlog: Vec::new(),
+            flood_armed: false,
             stats: AgentStats::default(),
         }
     }
@@ -260,12 +275,7 @@ impl HostAgent {
     /// Resolves a path for `(dst, flow)` through the two-level cache,
     /// falling back to a controller query. Returns `None` if the packet
     /// had to be queued (or dropped for lack of a controller).
-    fn resolve_path(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        dst: MacAddr,
-        flow: FlowKey,
-    ) -> Option<Path> {
+    fn resolve_path(&mut self, ctx: &mut Ctx<'_>, dst: MacAddr, flow: FlowKey) -> Option<Path> {
         let width = self.pathtable.entry(dst).map_or(0, |e| e.paths.len());
         let preferred = if width > 0 {
             self.routing.choose(dst, flow, ctx.now(), width)
@@ -432,14 +442,48 @@ impl HostAgent {
             }
         }
         if relay {
-            // Make sure the controller learns (stage 2 trigger): "the
-            // controller will eventually learn about the failure during
-            // the flooding".
-            if let Some((ctrl_mac, ctrl_path)) = self.controller.clone() {
+            self.broadcast_flood(ctx, event);
+            // Floods are ack-less; schedule redundant rounds so a lossy
+            // fabric still gets the word out. Receivers (and we) dedup
+            // on the event's sequence epoch.
+            if self.config.flood_repeats > 0 {
+                self.flood_backlog.push((event, self.config.flood_repeats));
+                self.arm_flood(ctx);
+            }
+        }
+    }
+
+    /// One round of stage-1 flooding: controller first, then every peer
+    /// we have a path to.
+    fn broadcast_flood(&mut self, ctx: &mut Ctx<'_>, event: LinkEvent) {
+        // Make sure the controller learns (stage 2 trigger): "the
+        // controller will eventually learn about the failure during
+        // the flooding".
+        if let Some((ctrl_mac, ctrl_path)) = self.controller.clone() {
+            let pkt = Packet::control(
+                ctrl_mac,
+                self.mac,
+                ctrl_path,
+                ControlMessage::HostFlood {
+                    event,
+                    from: self.mac,
+                },
+            );
+            self.transmit(ctx, pkt);
+        }
+        // Host-to-host flooding: tell every peer we have a path to.
+        let peers: Vec<MacAddr> = self
+            .pathtable
+            .destinations()
+            .filter(|&m| m != self.mac)
+            .collect();
+        for peer in peers {
+            if let Some(path) = self.pathtable.lookup(peer, FlowKey(event.seq), None) {
+                self.stats.floods_sent += 1;
                 let pkt = Packet::control(
-                    ctrl_mac,
+                    peer,
                     self.mac,
-                    ctrl_path,
+                    path,
                     ControlMessage::HostFlood {
                         event,
                         from: self.mac,
@@ -447,27 +491,16 @@ impl HostAgent {
                 );
                 self.transmit(ctx, pkt);
             }
-            // Host-to-host flooding: tell every peer we have a path to.
-            let peers: Vec<MacAddr> = self
-                .pathtable
-                .destinations()
-                .filter(|&m| m != self.mac)
-                .collect();
-            for peer in peers {
-                if let Some(path) = self.pathtable.lookup(peer, FlowKey(event.seq), None) {
-                    self.stats.floods_sent += 1;
-                    let pkt = Packet::control(
-                        peer,
-                        self.mac,
-                        path,
-                        ControlMessage::HostFlood {
-                            event,
-                            from: self.mac,
-                        },
-                    );
-                    self.transmit(ctx, pkt);
-                }
-            }
+        }
+    }
+
+    /// Flood-repeat timer token (distinct from retry and action tokens).
+    const FLOOD_TOKEN: u64 = u64::MAX - 1;
+
+    fn arm_flood(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.flood_armed && !self.flood_backlog.is_empty() {
+            self.flood_armed = true;
+            ctx.set_timer(self.config.flood_gap, Self::FLOOD_TOKEN);
         }
     }
 
@@ -475,7 +508,13 @@ impl HostAgent {
         self.pathtable.destinations().collect()
     }
 
-    fn handle_control(&mut self, ctx: &mut Ctx<'_>, src: MacAddr, msg: ControlMessage, remaining: Path) {
+    fn handle_control(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: MacAddr,
+        msg: ControlMessage,
+        remaining: Path,
+    ) {
         match msg {
             ControlMessage::Probe {
                 origin,
@@ -504,8 +543,7 @@ impl HostAgent {
                 };
                 if let Some(graph) = graph {
                     self.topocache.integrate(dst, *graph, topo_version);
-                    if let Some((paths, backup)) =
-                        self.topocache.k_paths(dst, self.config.k_paths)
+                    if let Some((paths, backup)) = self.topocache.k_paths(dst, self.config.k_paths)
                     {
                         self.pathtable.install(dst, paths, backup);
                     }
@@ -549,7 +587,8 @@ impl HostAgent {
                     self.topocache.topo_version = topo_version;
                 }
                 // A controller (re)appeared: retry anything parked.
-                let parked: Vec<MacAddr> = self.pending.keys().copied().collect();
+                let mut parked: Vec<MacAddr> = self.pending.keys().copied().collect();
+                parked.sort_unstable(); // Hash order would be nondeterministic.
                 for dst in parked {
                     self.request_path(ctx, dst);
                 }
@@ -585,6 +624,7 @@ impl HostAgent {
             | ControlMessage::PathRequest { .. }
             | ControlMessage::ReplAppend { .. }
             | ControlMessage::ReplAck { .. }
+            | ControlMessage::ReplSyncRequest { .. }
             | ControlMessage::Bpdu { .. } => {}
         }
     }
@@ -651,10 +691,7 @@ impl Node for HostAgent {
         if !is_broadcast && !pkt.path.is_empty() {
             // Probes are the deliberate exception: their remaining tags
             // *are* the reply path (§4.1).
-            if !matches!(
-                pkt.payload,
-                Payload::Control(ControlMessage::Probe { .. })
-            ) {
+            if !matches!(pkt.payload, Payload::Control(ControlMessage::Probe { .. })) {
                 self.stats.ingress_drops += 1;
                 return;
             }
@@ -688,9 +725,23 @@ impl Node for HostAgent {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == Self::FLOOD_TOKEN {
+            self.flood_armed = false;
+            let mut backlog = std::mem::take(&mut self.flood_backlog);
+            for (event, remaining) in &mut backlog {
+                self.stats.floods_rebroadcast += 1;
+                self.broadcast_flood(ctx, *event);
+                *remaining -= 1;
+            }
+            backlog.retain(|&(_, remaining)| remaining > 0);
+            self.flood_backlog = backlog;
+            self.arm_flood(ctx);
+            return;
+        }
         if token == Self::RETRY_TOKEN {
             self.retry_armed = false;
-            let dsts: Vec<MacAddr> = self.pending.keys().copied().collect();
+            let mut dsts: Vec<MacAddr> = self.pending.keys().copied().collect();
+            dsts.sort_unstable(); // Deterministic retry order.
             for dst in dsts {
                 // Re-resolve locally first (a topology patch may have
                 // revived cached paths); otherwise re-ask the controller.
@@ -745,10 +796,7 @@ mod tests {
         let (paths, _backup) = agent.topocache.k_paths(dst, 4).unwrap();
         assert!(!paths.is_empty());
         agent.pathtable.install(dst, paths, None);
-        assert!(agent
-            .pathtable
-            .lookup(dst, FlowKey(1), None)
-            .is_some());
+        assert!(agent.pathtable.lookup(dst, FlowKey(1), None).is_some());
     }
 
     #[test]

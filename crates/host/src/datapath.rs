@@ -191,9 +191,11 @@ mod tests {
 
     #[test]
     fn line_rate_caps_small_costs() {
-        let mut m = DatapathModel::default();
-        m.native_fixed_ns = 1.0;
-        m.native_per_byte_ns = 0.0;
+        let m = DatapathModel {
+            native_fixed_ns: 1.0,
+            native_per_byte_ns: 0.0,
+            ..DatapathModel::default()
+        };
         assert_eq!(
             m.throughput(DatapathVariant::NativeKernel, MTU),
             m.line_rate

@@ -190,10 +190,7 @@ impl PathTable {
         for (&dst, entry) in &mut self.entries {
             let before = entry.paths.len();
             entry.paths.retain(|p| !p.uses_edge(a, b));
-            let backup_dead = entry
-                .backup
-                .as_ref()
-                .is_some_and(|p| p.uses_edge(a, b));
+            let backup_dead = entry.backup.as_ref().is_some_and(|p| p.uses_edge(a, b));
             if backup_dead {
                 entry.backup = None;
             }
@@ -253,7 +250,10 @@ mod tests {
         let mut t = PathTable::new();
         t.install(
             dst(),
-            vec![cached(&[0, 1, 2], &[1, 1, 5]), cached(&[0, 3, 2], &[2, 1, 5])],
+            vec![
+                cached(&[0, 1, 2], &[1, 1, 5]),
+                cached(&[0, 3, 2], &[2, 1, 5]),
+            ],
             None,
         );
         let first = t.lookup(dst(), FlowKey(42), None).unwrap();
@@ -267,7 +267,10 @@ mod tests {
         let mut t = PathTable::new();
         t.install(
             dst(),
-            vec![cached(&[0, 1, 2], &[1, 1, 5]), cached(&[0, 3, 2], &[2, 1, 5])],
+            vec![
+                cached(&[0, 1, 2], &[1, 1, 5]),
+                cached(&[0, 3, 2], &[2, 1, 5]),
+            ],
             None,
         );
         let mut seen = std::collections::HashSet::new();
@@ -282,7 +285,10 @@ mod tests {
         let mut t = PathTable::new();
         t.install(
             dst(),
-            vec![cached(&[0, 1, 2], &[1, 1, 5]), cached(&[0, 3, 2], &[2, 1, 5])],
+            vec![
+                cached(&[0, 1, 2], &[1, 1, 5]),
+                cached(&[0, 3, 2], &[2, 1, 5]),
+            ],
             None,
         );
         let p0 = t.lookup(dst(), FlowKey(1), Some(0)).unwrap();
@@ -298,7 +304,10 @@ mod tests {
         let mut t = PathTable::new();
         t.install(
             dst(),
-            vec![cached(&[0, 1, 2], &[1, 1, 5]), cached(&[0, 3, 2], &[2, 1, 5])],
+            vec![
+                cached(&[0, 1, 2], &[1, 1, 5]),
+                cached(&[0, 3, 2], &[2, 1, 5]),
+            ],
             Some(cached(&[0, 4, 2], &[3, 1, 5])),
         );
         // Bind a flow to path 0 (via switch 1).
@@ -332,7 +341,10 @@ mod tests {
     #[test]
     fn install_refresh_keeps_valid_bindings() {
         let mut t = PathTable::new();
-        let paths = vec![cached(&[0, 1, 2], &[1, 1, 5]), cached(&[0, 3, 2], &[2, 1, 5])];
+        let paths = vec![
+            cached(&[0, 1, 2], &[1, 1, 5]),
+            cached(&[0, 3, 2], &[2, 1, 5]),
+        ];
         t.install(dst(), paths.clone(), None);
         let before = t.lookup(dst(), FlowKey(3), None).unwrap();
         t.install(dst(), paths, None);

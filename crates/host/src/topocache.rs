@@ -99,7 +99,11 @@ impl TopoCache {
     /// edge). Returns `None` when no cached graph contains that port —
     /// then the failure cannot affect any cached path either.
     #[must_use]
-    pub fn edge_of_port(&self, sw: SwitchId, port: dumbnet_types::PortNo) -> Option<(SwitchId, SwitchId)> {
+    pub fn edge_of_port(
+        &self,
+        sw: SwitchId,
+        port: dumbnet_types::PortNo,
+    ) -> Option<(SwitchId, SwitchId)> {
         for g in self.graphs.values() {
             for e in &g.edges {
                 if (e.a.switch == sw && e.a.port == port) || (e.b.switch == sw && e.b.port == port)
@@ -126,13 +130,10 @@ impl TopoCache {
         }
         let backup = graph.backup.as_ref().and_then(|b| {
             if self.route_alive(b) && cached.iter().all(|c| &c.route != b) {
-                graph
-                    .tag_path(b)
-                    .ok()
-                    .map(|tags| CachedPath {
-                        tags,
-                        route: b.clone(),
-                    })
+                graph.tag_path(b).ok().map(|tags| CachedPath {
+                    tags,
+                    route: b.clone(),
+                })
             } else {
                 None
             }
@@ -212,7 +213,7 @@ mod tests {
         assert!(route
             .switches()
             .windows(2)
-            .all(|w| !(w[0] == p[0] && w[1] == p[1]) && !(w[0] == p[1] && w[1] == p[0])));
+            .all(|w| (w[0] != p[0] || w[1] != p[1]) && (w[0] != p[1] || w[1] != p[0])));
         tc.mark_up(p[0], p[1]);
         assert!(tc.down_edges().is_empty());
     }

@@ -179,6 +179,16 @@ pub enum ControlMessage {
         /// The acknowledging replica.
         replica: MacAddr,
     },
+    /// Replica→leader log re-sync request: "send me everything after
+    /// `after`". Sent when a follower detects a hole in its log (lost
+    /// `ReplAppend`s) or comes back from a crash behind the leader's
+    /// version. The leader answers with ordinary `ReplAppend`s.
+    ReplSyncRequest {
+        /// Highest contiguous index the replica holds.
+        after: u64,
+        /// The requesting replica.
+        replica: MacAddr,
+    },
     /// In-band switch statistics query (§8 future work: "mechanisms for
     /// packet statistics … either require no state, or only soft
     /// state"). Carried under an ID-query tag; the switch replies with
@@ -264,6 +274,7 @@ impl ControlMessage {
                 1 + 8 + 8 + 6 + delta.down.len() * 16 + delta.up.len() * 18
             }
             ControlMessage::ReplAck { .. } => 1 + 8 + 6,
+            ControlMessage::ReplSyncRequest { .. } => 1 + 8 + 6,
             ControlMessage::StatsQuery { .. } => 1 + 8,
             ControlMessage::StatsReply { ports, .. } => 1 + 8 + 8 + ports.len() * 17,
             ControlMessage::EcnEcho { .. } => 1 + 8,

@@ -231,7 +231,8 @@ mod tests {
         let f = sample();
         let eth = f.to_ethernet();
         // Keep only the tag list: chop the inner EtherType and payload.
-        let truncated = EthernetFrame::new(eth.dst, eth.src, eth.ethertype, eth.payload[..4].to_vec());
+        let truncated =
+            EthernetFrame::new(eth.dst, eth.src, eth.ethertype, eth.payload[..4].to_vec());
         assert!(DumbNetFrame::from_ethernet(&truncated).is_err());
     }
 

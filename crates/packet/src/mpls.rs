@@ -123,9 +123,9 @@ impl LabelStack {
         let tags = init
             .iter()
             .map(|l| {
-                u8::try_from(l.label)
-                    .map(Tag)
-                    .map_err(|_| DumbNetError::MalformedFrame(format!("label {:#x} too large", l.label)))
+                u8::try_from(l.label).map(Tag).map_err(|_| {
+                    DumbNetError::MalformedFrame(format!("label {:#x} too large", l.label))
+                })
             })
             .collect::<Result<Vec<_>>>()?;
         Path::from_tags(tags)
@@ -134,10 +134,7 @@ impl LabelStack {
     /// Serializes the stack to wire bytes.
     #[must_use]
     pub fn to_wire(&self) -> Vec<u8> {
-        self.labels
-            .iter()
-            .flat_map(|l| l.to_be_bytes())
-            .collect()
+        self.labels.iter().flat_map(|l| l.to_be_bytes()).collect()
     }
 
     /// Parses a stack from wire bytes, stopping after the bottom entry.

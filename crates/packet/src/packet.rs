@@ -80,7 +80,14 @@ pub struct Packet {
 impl Packet {
     /// Builds a data packet.
     #[must_use]
-    pub fn data(dst: MacAddr, src: MacAddr, path: Path, flow: u64, seq: u64, bytes: usize) -> Packet {
+    pub fn data(
+        dst: MacAddr,
+        src: MacAddr,
+        path: Path,
+        flow: u64,
+        seq: u64,
+        bytes: usize,
+    ) -> Packet {
         Packet {
             dst,
             src,

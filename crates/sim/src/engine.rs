@@ -15,14 +15,13 @@ use std::any::Any;
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use dumbnet_packet::Packet;
-use dumbnet_types::{
-    Bandwidth, DumbNetError, PortNo, Result, SimDuration, SimTime,
-};
+use dumbnet_types::{Bandwidth, DumbNetError, PortNo, Result, SimDuration, SimTime};
 
 use crate::event::EventQueue;
+use crate::faults::FaultProfile;
 
 /// Address of a node inside a [`World`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -89,6 +88,12 @@ pub trait Node {
     /// The wire on `port` changed state (carrier detect).
     fn on_link_change(&mut self, _ctx: &mut Ctx<'_>, _port: PortNo, _up: bool) {}
 
+    /// The node came back after a crash scheduled via
+    /// [`World::schedule_restart`]. All timers armed before the crash
+    /// are gone; persistent state (fields) survives, volatile progress
+    /// does not. The default does nothing — stateless nodes just resume.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {}
+
     /// Downcast support so experiments can read node-internal state after
     /// a run.
     fn as_any(&self) -> &dyn Any;
@@ -98,8 +103,23 @@ pub trait Node {
 }
 
 /// Identity of a wire inside a [`World`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WireId(usize);
+
+impl WireId {
+    /// Builds a wire ID from its raw index (wires are numbered in
+    /// creation order, starting at zero).
+    #[must_use]
+    pub fn from_raw(ix: usize) -> WireId {
+        WireId(ix)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub fn raw(self) -> usize {
+        self.0
+    }
+}
 
 #[derive(Debug)]
 struct Wire {
@@ -129,6 +149,8 @@ enum Event {
         node: NodeAddr,
         port: PortNo,
         pkt: Packet,
+        /// The wire that carried the packet (`None` for injections).
+        via: Option<WireId>,
     },
     /// A deferred transmission reaching the wire (models host-stack
     /// latency before the NIC).
@@ -140,11 +162,20 @@ enum Event {
     Timer {
         node: NodeAddr,
         token: u64,
+        /// Crash epoch the timer was armed in; a stale epoch means the
+        /// node crashed after arming and the timer must not fire.
+        epoch: u32,
     },
     AdminLink {
         wire: WireId,
         up: bool,
     },
+    /// The node dies: arrivals and timers are discarded until restart,
+    /// and every incident wire goes down (neighbours see carrier loss).
+    Crash(NodeAddr),
+    /// The node comes back: incident wires return to service and the
+    /// node's [`Node::on_restart`] hook runs.
+    Restart(NodeAddr),
 }
 
 enum Action {
@@ -172,8 +203,45 @@ pub struct WorldStats {
     pub drops_down: u64,
     /// Packets dropped by queue overflow.
     pub drops_queue: u64,
+    /// Packets lost to injected faults (probabilistic loss and burst
+    /// windows; see [`FaultProfile`]).
+    pub drops_loss: u64,
+    /// Packets bit-corrupted in flight and rejected before delivery.
+    pub drops_corrupt: u64,
+    /// Packets discarded because the destination node was crashed.
+    pub drops_crashed: u64,
     /// Packets ECN-marked for queueing past a link's threshold.
     pub ecn_marked: u64,
+}
+
+/// Per-wire counters, queryable after a run via [`World::link_stats`].
+///
+/// A packet that the wire *accepts* increments `sent`; every accepted
+/// packet ends in exactly one of `delivered`, `drops_loss`,
+/// `drops_corrupt`, `drops_burst`, or `drops_crashed`. Refusals before
+/// acceptance land in `drops_down` / `drops_queue`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets accepted onto this wire.
+    pub sent: u64,
+    /// Packets handed to the far-end node.
+    pub delivered: u64,
+    /// Packets refused because the wire was administratively down.
+    pub drops_down: u64,
+    /// Packets refused by queue overflow.
+    pub drops_queue: u64,
+    /// Packets lost to probabilistic loss.
+    pub drops_loss: u64,
+    /// Packets corrupted in flight (dropped before delivery).
+    pub drops_corrupt: u64,
+    /// Packets swallowed by a burst-drop window.
+    pub drops_burst: u64,
+    /// Packets discarded on arrival because the far end was crashed.
+    pub drops_crashed: u64,
+    /// Packets ECN-marked on this wire.
+    pub ecn_marked: u64,
+    /// Packets whose delivery was delayed by jitter.
+    pub jittered: u64,
 }
 
 /// The handler-side view of the world.
@@ -253,13 +321,24 @@ impl Ctx<'_> {
 /// The simulation world.
 pub struct World {
     nodes: Vec<Option<Box<dyn Node>>>,
+    crashed: Vec<bool>,
+    /// Bumped on every crash; invalidates timers armed before it.
+    epoch: Vec<u32>,
     wiring: Wiring,
+    faults: Vec<Option<FaultProfile>>,
+    link_stats: Vec<LinkStats>,
     queue: EventQueue<Event>,
     now: SimTime,
     rng: StdRng,
+    /// Fault coin flips draw from their own stream so a chaos plan
+    /// never perturbs application-visible randomness.
+    fault_rng: StdRng,
     stats: WorldStats,
     started: bool,
 }
+
+/// Default fault-RNG domain separator (XORed with the world seed).
+const FAULT_SEED_SALT: u64 = 0xC4A0_5F00_D15E_A5ED;
 
 impl World {
     /// Creates an empty world with a deterministic seed.
@@ -267,10 +346,15 @@ impl World {
     pub fn new(seed: u64) -> World {
         World {
             nodes: Vec::new(),
+            crashed: Vec::new(),
+            epoch: Vec::new(),
             wiring: Wiring::default(),
+            faults: Vec::new(),
+            link_stats: Vec::new(),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(seed),
+            fault_rng: StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
             stats: WorldStats::default(),
             started: false,
         }
@@ -280,6 +364,8 @@ impl World {
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeAddr {
         let addr = NodeAddr(self.nodes.len());
         self.nodes.push(Some(node));
+        self.crashed.push(false);
+        self.epoch.push(0);
         addr
     }
 
@@ -321,9 +407,83 @@ impl World {
             up: true,
             busy: [SimTime::ZERO; 2],
         });
+        self.faults.push(None);
+        self.link_stats.push(LinkStats::default());
         self.wiring.port_map.insert((a.0, pa.get()), id);
         self.wiring.port_map.insert((b.0, pb.get()), id);
         Ok(id)
+    }
+
+    /// Number of wires.
+    #[must_use]
+    pub fn wire_count(&self) -> usize {
+        self.wiring.wires.len()
+    }
+
+    /// The two `(node, port)` endpoints of a wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range wire ID.
+    #[must_use]
+    pub fn wire_endpoints(&self, wire: WireId) -> ((NodeAddr, PortNo), (NodeAddr, PortNo)) {
+        let w = &self.wiring.wires[wire.0];
+        (w.a, w.b)
+    }
+
+    /// Whether a wire is currently up.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range wire ID.
+    #[must_use]
+    pub fn wire_up(&self, wire: WireId) -> bool {
+        self.wiring.wires[wire.0].up
+    }
+
+    /// Installs (or replaces) the fault profile of a wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range wire ID.
+    pub fn set_fault_profile(&mut self, wire: WireId, profile: FaultProfile) {
+        self.faults[wire.0] = if profile.is_benign() {
+            None
+        } else {
+            Some(profile)
+        };
+    }
+
+    /// Reseeds the fault RNG (normally done through
+    /// [`ChaosPlan::apply`](crate::faults::ChaosPlan::apply)).
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.fault_rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Per-wire counters accumulated so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range wire ID.
+    #[must_use]
+    pub fn link_stats(&self, wire: WireId) -> LinkStats {
+        self.link_stats[wire.0]
+    }
+
+    /// Schedules `node` to crash at `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeAddr) {
+        self.queue.push(at, Event::Crash(node));
+    }
+
+    /// Schedules `node` to come back at `at` (no-op unless crashed).
+    pub fn schedule_restart(&mut self, at: SimTime, node: NodeAddr) {
+        self.queue.push(at, Event::Restart(node));
+    }
+
+    /// Whether `node` is currently crashed.
+    #[must_use]
+    pub fn is_crashed(&self, node: NodeAddr) -> bool {
+        self.crashed.get(node.0).copied().unwrap_or(false)
     }
 
     /// The wire on `(node, port)`, if any.
@@ -341,7 +501,15 @@ impl World {
     /// Injects a packet arrival at `(node, port)` at time `at`, as if it
     /// had come off a wire.
     pub fn inject(&mut self, at: SimTime, node: NodeAddr, port: PortNo, pkt: Packet) {
-        self.queue.push(at, Event::Arrive { node, port, pkt });
+        self.queue.push(
+            at,
+            Event::Arrive {
+                node,
+                port,
+                pkt,
+                via: None,
+            },
+        );
     }
 
     /// Current virtual time.
@@ -382,7 +550,9 @@ impl World {
         self.ensure_started();
         let mut fired = 0;
         while fired < max_events {
-            let Some((t, ev)) = self.queue.pop() else { break };
+            let Some((t, ev)) = self.queue.pop() else {
+                break;
+            };
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.dispatch(ev);
@@ -428,14 +598,39 @@ impl World {
             Event::Start(addr) => {
                 self.with_node(addr, |node, ctx| node.on_start(ctx));
             }
-            Event::Arrive { node, port, pkt } => {
+            Event::Arrive {
+                node,
+                port,
+                pkt,
+                via,
+            } => {
+                if self.crashed.get(node.0).copied().unwrap_or(false) {
+                    self.stats.drops_crashed += 1;
+                    if let Some(w) = via {
+                        self.link_stats[w.0].drops_crashed += 1;
+                    }
+                    return;
+                }
                 self.stats.packets_delivered += 1;
+                if let Some(w) = via {
+                    self.link_stats[w.0].delivered += 1;
+                }
                 self.with_node(node, |n, ctx| n.on_packet(ctx, port, pkt));
             }
             Event::Egress { node, port, pkt } => {
+                if self.crashed.get(node.0).copied().unwrap_or(false) {
+                    self.stats.drops_crashed += 1;
+                    return;
+                }
                 self.transmit(node, port, pkt);
             }
-            Event::Timer { node, token } => {
+            Event::Timer { node, token, epoch } => {
+                // Timers are volatile: a crash bumps the node's epoch,
+                // so anything armed before the crash is stale and must
+                // not fire — not while dead, and not after restart.
+                if self.epoch.get(node.0).copied().unwrap_or(0) != epoch {
+                    return;
+                }
                 self.with_node(node, |n, ctx| n.on_timer(ctx, token));
             }
             Event::AdminLink { wire, up } => {
@@ -450,10 +645,53 @@ impl World {
                     self.with_node(b.0, |n, ctx| n.on_link_change(ctx, b.1, up));
                 }
             }
+            Event::Crash(addr) => {
+                if self.crashed.get(addr.0).copied().unwrap_or(true) {
+                    return;
+                }
+                self.crashed[addr.0] = true;
+                self.epoch[addr.0] = self.epoch[addr.0].wrapping_add(1);
+                self.set_incident_wires(addr, false);
+            }
+            Event::Restart(addr) => {
+                if !self.crashed.get(addr.0).copied().unwrap_or(false) {
+                    return;
+                }
+                self.crashed[addr.0] = false;
+                self.set_incident_wires(addr, true);
+                self.with_node(addr, |n, ctx| n.on_restart(ctx));
+            }
+        }
+    }
+
+    /// Forces every wire touching `addr` to `up`, notifying the nodes
+    /// whose carrier actually changed (the crashed endpoint itself is
+    /// deaf and skipped by `with_node`).
+    ///
+    /// Restart brings *all* incident wires back up; a concurrent
+    /// administrative down (flap schedule) overlapping a crash window is
+    /// resolved in favour of the restart.
+    fn set_incident_wires(&mut self, addr: NodeAddr, up: bool) {
+        let mut notify = Vec::new();
+        for w in &mut self.wiring.wires {
+            if w.a.0 != addr && w.b.0 != addr {
+                continue;
+            }
+            if w.up != up {
+                w.up = up;
+                notify.push(w.a);
+                notify.push(w.b);
+            }
+        }
+        for (node, port) in notify {
+            self.with_node(node, |n, ctx| n.on_link_change(ctx, port, up));
         }
     }
 
     fn with_node<F: FnOnce(&mut Box<dyn Node>, &mut Ctx<'_>)>(&mut self, addr: NodeAddr, f: F) {
+        if self.crashed.get(addr.0).copied().unwrap_or(false) {
+            return;
+        }
         let Some(slot) = self.nodes.get_mut(addr.0) else {
             return;
         };
@@ -478,8 +716,15 @@ impl World {
     fn apply(&mut self, from: NodeAddr, action: Action) {
         match action {
             Action::Timer { delay, token } => {
-                self.queue
-                    .push(self.now + delay, Event::Timer { node: from, token });
+                let epoch = self.epoch.get(from.0).copied().unwrap_or(0);
+                self.queue.push(
+                    self.now + delay,
+                    Event::Timer {
+                        node: from,
+                        token,
+                        epoch,
+                    },
+                );
             }
             Action::Send { port, pkt, delay } => {
                 if delay == SimDuration::ZERO {
@@ -507,6 +752,7 @@ impl World {
         let wire = &mut self.wiring.wires[wid.0];
         if !wire.up {
             self.stats.drops_down += 1;
+            self.link_stats[wid.0].drops_down += 1;
             return;
         }
         let (dir, dest) = if wire.a == (from, port) {
@@ -518,25 +764,57 @@ impl World {
         let queue_delay = depart_start - self.now;
         if queue_delay > wire.params.max_queue {
             self.stats.drops_queue += 1;
+            self.link_stats[wid.0].drops_queue += 1;
             return;
         }
         if let Some(threshold) = wire.params.ecn_threshold {
             if queue_delay > threshold {
                 pkt.ecn = true;
                 self.stats.ecn_marked += 1;
+                self.link_stats[wid.0].ecn_marked += 1;
             }
         }
         let ser = wire.params.bandwidth.serialization_delay(pkt.wire_len());
         let departed = depart_start + ser;
         wire.busy[dir] = departed;
-        let arrival = departed + wire.params.latency;
+        let mut arrival = departed + wire.params.latency;
+        // The wire accepted the packet: bandwidth is consumed even when
+        // an injected fault then eats the bits mid-flight.
         self.stats.packets_sent += 1;
+        self.link_stats[wid.0].sent += 1;
+        if let Some(profile) = &self.faults[wid.0] {
+            // Evaluated against departure time: the instant the bits
+            // actually hit the wire.
+            if profile.in_burst(departed) {
+                self.stats.drops_loss += 1;
+                self.link_stats[wid.0].drops_burst += 1;
+                return;
+            }
+            if profile.loss > 0.0 && self.fault_rng.gen_bool(profile.loss) {
+                self.stats.drops_loss += 1;
+                self.link_stats[wid.0].drops_loss += 1;
+                return;
+            }
+            if profile.corrupt > 0.0 && self.fault_rng.gen_bool(profile.corrupt) {
+                self.stats.drops_corrupt += 1;
+                self.link_stats[wid.0].drops_corrupt += 1;
+                return;
+            }
+            if profile.jitter > SimDuration::ZERO {
+                let extra = self.fault_rng.gen_range(0..=profile.jitter.nanos());
+                if extra > 0 {
+                    arrival = arrival + SimDuration::from_nanos(extra);
+                    self.link_stats[wid.0].jittered += 1;
+                }
+            }
+        }
         self.queue.push(
             arrival,
             Event::Arrive {
                 node: dest.0,
                 port: dest.1,
                 pkt,
+                via: Some(wid),
             },
         );
     }
@@ -624,8 +902,7 @@ mod tests {
         w.run_to_idle(100);
         let recv = &w.node::<Echo>(a).unwrap().received;
         assert_eq!(recv.len(), 1);
-        let expect = SimDuration::from_micros(5)
-            + Bandwidth::gbps(1).serialization_delay(wire_len);
+        let expect = SimDuration::from_micros(5) + Bandwidth::gbps(1).serialization_delay(wire_len);
         assert_eq!(recv[0].0, SimTime::ZERO + expect);
         assert_eq!(recv[0].1, 7);
     }
@@ -649,7 +926,9 @@ mod tests {
         w.run_to_idle(100);
         let recv = &w.node::<Echo>(sink).unwrap().received;
         assert_eq!(recv.len(), 2);
-        let ser = params.bandwidth.serialization_delay(data(1, 100).wire_len());
+        let ser = params
+            .bandwidth
+            .serialization_delay(data(1, 100).wire_len());
         assert_eq!(recv[0].0, SimTime::ZERO + ser);
         assert_eq!(recv[1].0, SimTime::ZERO + ser + ser);
     }
@@ -671,7 +950,11 @@ mod tests {
         }
         w.run_to_idle(1000);
         let recv = &w.node::<Echo>(sink).unwrap().received;
-        assert!(recv.len() < 10, "expected drops, all {} arrived", recv.len());
+        assert!(
+            recv.len() < 10,
+            "expected drops, all {} arrived",
+            recv.len()
+        );
         assert!(w.stats().drops_queue > 0);
     }
 
@@ -741,7 +1024,13 @@ mod tests {
         let mut w = World::new(0);
         let t = w.add_node(Box::new(Timed { fired: vec![] }));
         w.run_to_idle(100);
-        let fired: Vec<u64> = w.node::<Timed>(t).unwrap().fired.iter().map(|x| x.1).collect();
+        let fired: Vec<u64> = w
+            .node::<Timed>(t)
+            .unwrap()
+            .fired
+            .iter()
+            .map(|x| x.1)
+            .collect();
         assert_eq!(fired, vec![1, 2, 3]);
     }
 

@@ -1,0 +1,291 @@
+//! Fault injection: per-link fault profiles and deterministic chaos
+//! plans.
+//!
+//! The engine models a *healthy* fabric by default: wires deliver every
+//! packet they accept, switches never die. Real data centers misbehave —
+//! §7 of the paper evaluates failure handling by killing links, and any
+//! loss-tolerant control plane needs an adversarial substrate to be
+//! tested against. This module supplies that substrate:
+//!
+//! * [`FaultProfile`] — per-wire probabilistic packet loss, bit
+//!   corruption (dropped at delivery: the receiver's FCS check would
+//!   reject the mangled frame anyway), uniform delivery jitter (which
+//!   reorders packets), and bounded-burst drop windows during which the
+//!   wire blackholes everything.
+//! * [`FlapSchedule`] — periodic administrative link down/up cycles.
+//! * [`CrashSchedule`] — switch (or host) crash and optional restart.
+//! * [`ChaosPlan`] — a seeded, fully deterministic bundle of all of the
+//!   above, applied to a [`World`](crate::World) in one call.
+//!
+//! Fault randomness draws from a dedicated RNG seeded from
+//! [`ChaosPlan::seed`], *separate* from the world's own RNG: the same
+//! workload under two different chaos seeds sees identical application
+//! behaviour, and replaying a plan reproduces the exact same drops.
+
+use dumbnet_types::{SimDuration, SimTime};
+
+use crate::engine::{NodeAddr, WireId, World};
+
+/// Per-wire fault behaviour. The default profile is fault-free.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultProfile {
+    /// Probability in `[0, 1]` that a packet accepted onto the wire is
+    /// lost in flight.
+    pub loss: f64,
+    /// Probability in `[0, 1]` that a packet is bit-corrupted in
+    /// flight. Corrupted packets are counted separately from plain
+    /// losses and dropped before delivery (the FCS would not verify).
+    pub corrupt: f64,
+    /// Maximum extra delivery delay, drawn uniformly from
+    /// `[0, jitter]` per packet. Because arrival order follows the
+    /// event queue, jitter larger than a packet gap reorders packets.
+    pub jitter: SimDuration,
+    /// Absolute time windows during which the wire drops everything
+    /// (models a flaky transceiver browning out in bursts).
+    pub bursts: Vec<BurstWindow>,
+}
+
+impl FaultProfile {
+    /// A profile that only loses packets, with probability `p`.
+    #[must_use]
+    pub fn lossy(p: f64) -> FaultProfile {
+        FaultProfile {
+            loss: p,
+            ..FaultProfile::default()
+        }
+    }
+
+    /// Whether this profile can ever affect a packet.
+    #[must_use]
+    pub fn is_benign(&self) -> bool {
+        self.loss <= 0.0
+            && self.corrupt <= 0.0
+            && self.jitter == SimDuration::ZERO
+            && self.bursts.is_empty()
+    }
+
+    /// Whether `t` falls inside any burst-drop window.
+    #[must_use]
+    pub fn in_burst(&self, t: SimTime) -> bool {
+        self.bursts
+            .iter()
+            .any(|b| t >= b.start && t < b.start.after(b.duration))
+    }
+}
+
+/// A bounded window of total packet loss on one wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstWindow {
+    /// When the burst begins.
+    pub start: SimTime,
+    /// How long it lasts.
+    pub duration: SimDuration,
+}
+
+/// A periodic administrative down/up cycle for one wire.
+///
+/// Cycle `i` takes the wire down at `first_down + i·period` and back up
+/// `down_for` later. Both endpoints get carrier notifications, exactly
+/// as with [`World::schedule_link_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlapSchedule {
+    /// The wire to flap.
+    pub wire: WireId,
+    /// Start of the first down phase.
+    pub first_down: SimTime,
+    /// Length of each down phase. Must be shorter than `period`.
+    pub down_for: SimDuration,
+    /// Distance between successive down phases.
+    pub period: SimDuration,
+    /// Number of down/up cycles.
+    pub cycles: u32,
+}
+
+/// A node crash, with an optional later restart.
+///
+/// A crashed node is deaf: arrivals addressed to it are discarded (and
+/// counted), its pending timers are suppressed, and every incident wire
+/// is taken down so neighbours observe carrier loss. On restart the
+/// wires come back up and the node's
+/// [`Node::on_restart`](crate::Node::on_restart) hook runs with all
+/// volatile progress (outstanding timers) gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// The node to crash.
+    pub node: NodeAddr,
+    /// When it crashes.
+    pub at: SimTime,
+    /// How long it stays dead; `None` means forever.
+    pub restart_after: Option<SimDuration>,
+}
+
+/// A complete, deterministic chaos scenario.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    /// Seed for the fault RNG (loss/corrupt coin flips, jitter draws).
+    pub seed: u64,
+    /// Per-wire fault profiles.
+    pub link_faults: Vec<(WireId, FaultProfile)>,
+    /// Link flap schedules.
+    pub flaps: Vec<FlapSchedule>,
+    /// Node crash schedules.
+    pub crashes: Vec<CrashSchedule>,
+}
+
+impl ChaosPlan {
+    /// A plan with the given fault seed and nothing scheduled.
+    #[must_use]
+    pub fn seeded(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            ..ChaosPlan::default()
+        }
+    }
+
+    /// Adds a fault profile for `wire` (replacing any previous one).
+    pub fn with_link_fault(mut self, wire: WireId, profile: FaultProfile) -> ChaosPlan {
+        self.link_faults.retain(|(w, _)| *w != wire);
+        self.link_faults.push((wire, profile));
+        self
+    }
+
+    /// Adds a flap schedule.
+    pub fn with_flap(mut self, flap: FlapSchedule) -> ChaosPlan {
+        self.flaps.push(flap);
+        self
+    }
+
+    /// Adds a crash schedule.
+    pub fn with_crash(mut self, crash: CrashSchedule) -> ChaosPlan {
+        self.crashes.push(crash);
+        self
+    }
+
+    /// Installs the whole plan into `world`: seeds the fault RNG, sets
+    /// the per-wire profiles, and schedules every flap transition and
+    /// crash/restart event.
+    pub fn apply(&self, world: &mut World) {
+        world.set_fault_seed(self.seed);
+        for (wire, profile) in &self.link_faults {
+            world.set_fault_profile(*wire, profile.clone());
+        }
+        for flap in &self.flaps {
+            for cycle in 0..flap.cycles {
+                let down_at = flap.first_down.after(SimDuration::from_nanos(
+                    flap.period.nanos().saturating_mul(u64::from(cycle)),
+                ));
+                world.schedule_link_state(down_at, flap.wire, false);
+                world.schedule_link_state(down_at.after(flap.down_for), flap.wire, true);
+            }
+        }
+        for crash in &self.crashes {
+            world.schedule_crash(crash.at, crash.node);
+            if let Some(after) = crash.restart_after {
+                world.schedule_restart(crash.at.after(after), crash.node);
+            }
+        }
+    }
+
+    /// The time of the last scheduled (non-probabilistic) fault event:
+    /// final flap recovery or final crash/restart. Probabilistic loss
+    /// has no end; this marks when the *deterministic* disruptions stop.
+    #[must_use]
+    pub fn last_scheduled_event(&self) -> Option<SimTime> {
+        let mut last: Option<SimTime> = None;
+        let mut update = |t: SimTime| {
+            last = Some(match last {
+                Some(cur) if cur >= t => cur,
+                _ => t,
+            });
+        };
+        for flap in &self.flaps {
+            if flap.cycles == 0 {
+                continue;
+            }
+            let last_down = flap.first_down.after(SimDuration::from_nanos(
+                flap.period
+                    .nanos()
+                    .saturating_mul(u64::from(flap.cycles - 1)),
+            ));
+            update(last_down.after(flap.down_for));
+        }
+        for crash in &self.crashes {
+            match crash.restart_after {
+                Some(after) => update(crash.at.after(after)),
+                None => update(crash.at),
+            }
+        }
+        for (_, profile) in &self.link_faults {
+            for b in &profile.bursts {
+                update(b.start.after(b.duration));
+            }
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO.after(SimDuration::from_millis(ms))
+    }
+
+    #[test]
+    fn burst_windows_are_half_open() {
+        let p = FaultProfile {
+            bursts: vec![BurstWindow {
+                start: t(10),
+                duration: SimDuration::from_millis(5),
+            }],
+            ..FaultProfile::default()
+        };
+        assert!(!p.in_burst(t(9)));
+        assert!(p.in_burst(t(10)));
+        assert!(p.in_burst(t(14)));
+        assert!(!p.in_burst(t(15)));
+    }
+
+    #[test]
+    fn benign_detection() {
+        assert!(FaultProfile::default().is_benign());
+        assert!(!FaultProfile::lossy(0.01).is_benign());
+        let jitter_only = FaultProfile {
+            jitter: SimDuration::from_micros(1),
+            ..FaultProfile::default()
+        };
+        assert!(!jitter_only.is_benign());
+    }
+
+    #[test]
+    fn last_scheduled_event_covers_flaps_crashes_bursts() {
+        let plan = ChaosPlan::seeded(1)
+            .with_flap(FlapSchedule {
+                wire: WireId::from_raw(0),
+                first_down: t(100),
+                down_for: SimDuration::from_millis(10),
+                period: SimDuration::from_millis(50),
+                cycles: 3,
+            })
+            .with_crash(CrashSchedule {
+                node: NodeAddr(0),
+                at: t(120),
+                restart_after: Some(SimDuration::from_millis(200)),
+            });
+        // Last flap recovery: 100 + 2*50 + 10 = 210 ms; crash restart at
+        // 320 ms wins.
+        assert_eq!(plan.last_scheduled_event(), Some(t(320)));
+        assert_eq!(ChaosPlan::default().last_scheduled_event(), None);
+    }
+
+    #[test]
+    fn with_link_fault_replaces_previous_profile() {
+        let w = WireId::from_raw(3);
+        let plan = ChaosPlan::seeded(0)
+            .with_link_fault(w, FaultProfile::lossy(0.5))
+            .with_link_fault(w, FaultProfile::lossy(0.1));
+        assert_eq!(plan.link_faults.len(), 1);
+        assert!((plan.link_faults[0].1.loss - 0.1).abs() < f64::EPSILON);
+    }
+}

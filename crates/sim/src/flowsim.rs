@@ -176,8 +176,8 @@ impl FlowSim {
                 // Round the completion horizon *up* to a whole nanosecond
                 // so virtual time always advances (sub-ns remainders are
                 // swept up by the completion epsilon below).
-                let step = SimDuration::from_secs_f64(next)
-                    .saturating_add(SimDuration::from_nanos(1));
+                let step =
+                    SimDuration::from_secs_f64(next).saturating_add(SimDuration::from_nanos(1));
                 let tc = self.now + step;
                 if tc <= until {
                     tc
@@ -313,7 +313,9 @@ impl FlowSim {
                     }
                 }
             }
-            let Some((fair, bottleneck)) = best else { break };
+            let Some((fair, bottleneck)) = best else {
+                break;
+            };
             // Freeze every unfixed flow crossing the bottleneck at the
             // fair share; charge their rate to all their edges.
             for &ix in &active {
@@ -466,7 +468,7 @@ mod tests {
         let slow = s.add_edge(Bandwidth::mbps(500));
         let fast = s.add_edge(Bandwidth::gbps(1));
         let f = s.start_flow(vec![slow], 125_000_000); // 1 Gbit total.
-        // 1 s at 500 Mbps moves half the bits.
+                                                       // 1 s at 500 Mbps moves half the bits.
         s.advance_to(t(1.0));
         s.reroute(f, vec![fast]);
         s.run_until_idle();
@@ -509,9 +511,6 @@ mod tests {
         let e2 = s.add_edge(Bandwidth::gbps(1));
         let f1 = s.start_flow(vec![e1], u64::MAX / 16);
         let f2 = s.start_flow(vec![e2], u64::MAX / 16);
-        assert_eq!(
-            s.aggregate_rate(&[f1, f2]).bits_per_sec(),
-            2_000_000_000
-        );
+        assert_eq!(s.aggregate_rate(&[f1, f2]).bits_per_sec(), 2_000_000_000);
     }
 }

@@ -21,9 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod flowsim;
 
-pub use engine::{Ctx, LinkParams, Node, NodeAddr, World, WorldStats};
+pub use chaos::{ChaosReport, ChaosRunner};
+pub use engine::{Ctx, LinkParams, LinkStats, Node, NodeAddr, WireId, World, WorldStats};
+pub use faults::{BurstWindow, ChaosPlan, CrashSchedule, FaultProfile, FlapSchedule};
 pub use flowsim::{EdgeId, FlowEvent, FlowId, FlowSim};

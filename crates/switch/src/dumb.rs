@@ -16,8 +16,8 @@
 
 use std::any::Any;
 
-use dumbnet_packet::{ControlMessage, Packet, Payload};
 use dumbnet_packet::control::{LinkEvent, PortStat};
+use dumbnet_packet::{ControlMessage, Packet, Payload};
 use dumbnet_sim::{Ctx, Node};
 use dumbnet_types::{MacAddr, PortNo, SimDuration, SimTime, SwitchId};
 
@@ -401,7 +401,10 @@ mod tests {
         w.run_to_idle(100);
         assert!(w.node::<Sink>(h1).unwrap().got.is_empty());
         assert!(w.node::<Sink>(h2).unwrap().got.is_empty());
-        assert_eq!(w.node::<DumbSwitch>(sw).unwrap().stats().dropped_exhausted, 1);
+        assert_eq!(
+            w.node::<DumbSwitch>(sw).unwrap().stats().dropped_exhausted,
+            1
+        );
     }
 
     #[test]
@@ -462,6 +465,95 @@ mod tests {
         }
         // h2's wire is down; nothing could reach it.
         assert!(w.node::<Sink>(h2).unwrap().got.is_empty());
+    }
+
+    #[test]
+    fn flap_settling_changed_reannounced_once_at_window_end() {
+        // Down (alarm), up 100 ms later (suppressed), stays up: the
+        // single re-check at the window's end announces the new state —
+        // exactly one extra alarm, at `last_alarm + alarm_interval`.
+        let (mut w, sw, h1, _h2) = one_switch_world();
+        let wid = w.wire_at(sw, p(2)).unwrap();
+        let t0 = SimTime::ZERO + SimDuration::from_millis(10);
+        w.schedule_link_state(t0, wid, false);
+        w.schedule_link_state(t0 + SimDuration::from_millis(100), wid, true);
+        w.run_to_idle(2000);
+        let stats = w.node::<DumbSwitch>(sw).unwrap().stats();
+        assert_eq!(stats.alarms_sent, 2, "initial alarm + one re-announce");
+        assert_eq!(stats.alarms_suppressed, 1);
+        let got = &w.node::<Sink>(h1).unwrap().got;
+        let events: Vec<_> = got
+            .iter()
+            .filter_map(|(at, _, pkt)| match pkt.as_control() {
+                Some(ControlMessage::LinkNotification { event, .. }) => Some((*at, *event)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert!(!events[0].1.up, "first alarm reports the down");
+        assert!(events[1].1.up, "re-check reports the settled up state");
+        assert_eq!(events[1].1.seq, events[0].1.seq + 1);
+        // The re-announce waits out the full window from the first alarm.
+        assert!(events[1].0 >= t0 + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn change_at_exact_window_boundary_not_suppressed() {
+        // `elapsed == alarm_interval` is outside the suppression window
+        // ("one alarm per second per port" permits the next second's).
+        let (mut w, sw, _h1, _h2) = one_switch_world();
+        let wid = w.wire_at(sw, p(2)).unwrap();
+        let t0 = SimTime::ZERO + SimDuration::from_millis(10);
+        w.schedule_link_state(t0, wid, false);
+        w.schedule_link_state(t0 + SimDuration::from_secs(1), wid, true);
+        w.run_to_idle(2000);
+        let stats = w.node::<DumbSwitch>(sw).unwrap().stats();
+        assert_eq!(stats.alarms_sent, 2);
+        assert_eq!(stats.alarms_suppressed, 0);
+    }
+
+    #[test]
+    fn sustained_flapping_stays_rate_limited() {
+        // A port flapping every 100 ms for 3 s: however wild the flap,
+        // the port never exceeds one alarm per second (plus the initial
+        // one), and the last announcement matches the settled state.
+        let (mut w, sw, h1, _h2) = one_switch_world();
+        let wid = w.wire_at(sw, p(2)).unwrap();
+        let t0 = SimTime::ZERO + SimDuration::from_millis(10);
+        for i in 0..30u64 {
+            let up = i % 2 == 1; // i = 0 ⇒ down, …, i = 29 ⇒ settles up.
+            w.schedule_link_state(t0 + SimDuration::from_millis(100 * i), wid, up);
+        }
+        w.run_to_idle(5000);
+        let stats = w.node::<DumbSwitch>(sw).unwrap().stats();
+        assert!(
+            stats.alarms_sent <= 4,
+            "rate limit breached: {} alarms for a 3 s flap burst",
+            stats.alarms_sent
+        );
+        assert!(stats.alarms_suppressed >= 26);
+        let got = &w.node::<Sink>(h1).unwrap().got;
+        let last = got
+            .iter()
+            .rev()
+            .find_map(|(_, _, pkt)| match pkt.as_control() {
+                Some(ControlMessage::LinkNotification { event, .. }) => Some(*event),
+                _ => None,
+            })
+            .expect("at least one alarm escapes");
+        assert!(last.up, "final announcement must reflect the settled state");
+        // Alarm sequence numbers stay strictly increasing across the run.
+        let seqs: Vec<u64> = got
+            .iter()
+            .filter_map(|(_, _, pkt)| match pkt.as_control() {
+                Some(ControlMessage::LinkNotification { event, .. }) => Some(event.seq),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            seqs.windows(2).all(|w| w[1] > w[0]),
+            "seq not monotonic: {seqs:?}"
+        );
     }
 
     #[test]

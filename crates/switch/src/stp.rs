@@ -124,13 +124,11 @@ impl StpSwitch {
     /// Whether `port` is currently in a forwarding role *and* past its
     /// forward delay.
     fn may_forward(&self, port: PortNo, now: SimTime) -> bool {
-        matches!(
-            self.roles.get(&port),
-            Some(Role::Root | Role::Designated)
-        ) && self
-            .forwarding_since
-            .get(&port)
-            .is_some_and(|&since| now - since >= self.config.forward_delay)
+        matches!(self.roles.get(&port), Some(Role::Root | Role::Designated))
+            && self
+                .forwarding_since
+                .get(&port)
+                .is_some_and(|&since| now - since >= self.config.forward_delay)
     }
 
     fn recompute(&mut self, ctx: &mut Ctx<'_>) {
@@ -181,10 +179,8 @@ impl StpSwitch {
                     }
                 }
             };
-            let was_forwarding = matches!(
-                self.roles.get(&port),
-                Some(Role::Root | Role::Designated)
-            );
+            let was_forwarding =
+                matches!(self.roles.get(&port), Some(Role::Root | Role::Designated));
             let is_forwarding = matches!(role, Role::Root | Role::Designated);
             if is_forwarding && !was_forwarding {
                 self.forwarding_since.insert(port, now);
@@ -342,9 +338,12 @@ mod tests {
             .collect();
         let ha = w.add_node(Box::new(Sink { got: vec![] }));
         let hb = w.add_node(Box::new(Sink { got: vec![] }));
-        w.wire(s[0], p(1), s[1], p(1), LinkParams::ten_gig()).unwrap();
-        w.wire(s[1], p(2), s[2], p(1), LinkParams::ten_gig()).unwrap();
-        w.wire(s[0], p(2), s[2], p(2), LinkParams::ten_gig()).unwrap();
+        w.wire(s[0], p(1), s[1], p(1), LinkParams::ten_gig())
+            .unwrap();
+        w.wire(s[1], p(2), s[2], p(1), LinkParams::ten_gig())
+            .unwrap();
+        w.wire(s[0], p(2), s[2], p(2), LinkParams::ten_gig())
+            .unwrap();
         w.wire(s[1], p(3), ha, p(1), LinkParams::ten_gig()).unwrap();
         w.wire(s[2], p(3), hb, p(1), LinkParams::ten_gig()).unwrap();
         (w, s, ha, hb)
@@ -473,7 +472,11 @@ mod tests {
         );
         w.run_until(t_send + SimDuration::from_millis(50));
         assert!(
-            w.node::<Sink>(hb).unwrap().got.iter().any(|(_, seq)| *seq == 9),
+            w.node::<Sink>(hb)
+                .unwrap()
+                .got
+                .iter()
+                .any(|(_, seq)| *seq == 9),
             "post-election delivery failed"
         );
     }

@@ -212,6 +212,10 @@ pub fn cube(dims: &[usize], hosts_per_switch: usize, ports: u8) -> Generated {
 /// The result may occasionally be slightly irregular (a few switches one
 /// short of `r`) when the random pairing gets stuck; this mirrors real
 /// jellyfish construction and is fine for the experiments that use it.
+/// The graph is always **connected**: stub matching can strand islands
+/// (which would make the fabric unusable — discovery, for one, can only
+/// map the controller's component), so a repair pass reconnects
+/// components with degree-preserving edge rewires.
 ///
 /// # Panics
 ///
@@ -225,13 +229,17 @@ pub fn random_regular<R: Rng>(
     rng: &mut R,
 ) -> Generated {
     assert!((n * r).is_multiple_of(2), "n*r must be even");
-    assert!(usize::from(ports) >= r + hosts_per_switch, "radix too small");
-    let mut topo = Topology::new();
-    let ids: Vec<SwitchId> = (0..n).map(|_| topo.add_switch(ports)).collect();
-    // Stub matching: each switch contributes r stubs; repeatedly shuffle
-    // and pair, rejecting self-loops and duplicate edges.
+    assert!(
+        usize::from(ports) >= r + hosts_per_switch,
+        "radix too small"
+    );
+    // Stub matching over an abstract edge list: each switch contributes
+    // r stubs; repeatedly shuffle and pair, rejecting self-loops and
+    // duplicate edges. Materialization happens only after the repair
+    // pass, because repair needs to *remove* edges.
     let mut degree = vec![0usize; n];
-    let mut edges = std::collections::HashSet::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
     for _attempt in 0..200 {
         let mut stubs: Vec<usize> = Vec::new();
         for (ix, &d) in degree.iter().enumerate() {
@@ -248,11 +256,11 @@ pub fn random_regular<R: Rng>(
         while i + 1 < stubs.len() {
             let (a, b) = (stubs[i], stubs[i + 1]);
             let key = (a.min(b), a.max(b));
-            if a != b && !edges.contains(&key) && degree[a] < r && degree[b] < r {
-                edges.insert(key);
+            if a != b && !seen.contains(&key) && degree[a] < r && degree[b] < r {
+                seen.insert(key);
+                edges.push(key);
                 degree[a] += 1;
                 degree[b] += 1;
-                topo.connect_auto(ids[a], ids[b]).expect("regular wiring");
                 progressed = true;
             }
             i += 2;
@@ -260,6 +268,12 @@ pub fn random_regular<R: Rng>(
         if !progressed {
             break;
         }
+    }
+    reconnect_components(n, r, &mut degree, &mut edges);
+    let mut topo = Topology::new();
+    let ids: Vec<SwitchId> = (0..n).map(|_| topo.add_switch(ports)).collect();
+    for &(a, b) in &edges {
+        topo.connect_auto(ids[a], ids[b]).expect("regular wiring");
     }
     for &id in &ids {
         for _ in 0..hosts_per_switch {
@@ -271,6 +285,91 @@ pub fn random_regular<R: Rng>(
     Generated {
         topology: topo,
         groups,
+    }
+}
+
+/// Merges disconnected components left behind by stalled stub matching.
+///
+/// Deterministic (no randomness): components are merged smallest-index
+/// first, preferring a plain edge between two under-degree switches and
+/// falling back to a degree-preserving 2-edge rewire — remove an edge
+/// inside each component, cross-connect the endpoints — when both sides
+/// are saturated.
+fn reconnect_components(n: usize, r: usize, degree: &mut [usize], edges: &mut Vec<(usize, usize)>) {
+    loop {
+        // Label components by union-find.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for &(a, b) in edges.iter() {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra.max(rb)] = ra.min(rb);
+            }
+        }
+        let comp: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+        let root = comp[0];
+        let Some(outsider) = (0..n).find(|&i| comp[i] != root) else {
+            return; // Single component: done.
+        };
+        let other = comp[outsider];
+        let spare_in = |c: usize| (0..n).find(|&i| comp[i] == c && degree[i] < r);
+        if let (Some(a), Some(b)) = (spare_in(root), spare_in(other)) {
+            // Both sides have spare stubs: a direct cross edge (cannot
+            // duplicate — the endpoints were in different components).
+            edges.push((a.min(b), a.max(b)));
+            degree[a] += 1;
+            degree[b] += 1;
+            continue;
+        }
+        let edge_in = |edges: &[(usize, usize)], c: usize| {
+            edges
+                .iter()
+                .position(|&(a, b)| comp[a] == c && comp[b] == c)
+        };
+        match (edge_in(edges, root), edge_in(edges, other)) {
+            (Some(ix), Some(iy)) => {
+                // Degree-preserving rewire: (x,y) + (u,v) → (x,u) + (y,v).
+                let (x, y) = edges[ix];
+                let (u, v) = edges[iy];
+                let (hi, lo) = (ix.max(iy), ix.min(iy));
+                edges.swap_remove(hi);
+                edges.swap_remove(lo);
+                edges.push((x.min(u), x.max(u)));
+                edges.push((y.min(v), y.max(v)));
+            }
+            (Some(ix), None) => {
+                // `other` is edgeless (isolated switches): splice the
+                // first one into a root-component edge.
+                let (x, y) = edges.swap_remove(ix);
+                edges.push((x.min(outsider), x.max(outsider)));
+                edges.push((y.min(outsider), y.max(outsider)));
+                degree[outsider] += 2;
+            }
+            (None, Some(iy)) => {
+                // Root component is edgeless instead: splice node 0 in.
+                let (u, v) = edges.swap_remove(iy);
+                edges.push((0, u));
+                edges.push((0, v));
+                degree[0] += 2;
+            }
+            (None, None) => {
+                // Two edgeless components: both under-degree, so the
+                // spare-stub branch above must have handled them.
+                unreachable!("edgeless components always have spare stubs");
+            }
+        }
     }
 }
 

@@ -9,9 +9,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use dumbnet_types::{
-    DumbNetError, HostId, LinkId, MacAddr, PortId, PortNo, Result, SwitchId,
-};
+use dumbnet_types::{DumbNetError, HostId, LinkId, MacAddr, PortId, PortNo, Result, SwitchId};
 
 /// What a switch port is wired to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -359,9 +357,9 @@ impl Topology {
     /// multi-link pairs).
     #[must_use]
     pub fn link_between(&self, a: SwitchId, b: SwitchId) -> Option<&Link> {
-        self.links.iter().find(|l| {
-            (l.a.switch == a && l.b.switch == b) || (l.a.switch == b && l.b.switch == a)
-        })
+        self.links
+            .iter()
+            .find(|l| (l.a.switch == a && l.b.switch == b) || (l.a.switch == b && l.b.switch == a))
     }
 
     /// The link attached to `(switch, port)`, if that port is a trunk.
@@ -472,9 +470,7 @@ impl Topology {
     /// Used to validate that discovery reconstructed the real topology.
     #[must_use]
     pub fn same_structure(&self, other: &Topology) -> bool {
-        if self.switches.len() != other.switches.len()
-            || self.hosts.len() != other.hosts.len()
-        {
+        if self.switches.len() != other.switches.len() || self.hosts.len() != other.hosts.len() {
             return false;
         }
         let key = |t: &Topology| {
@@ -529,13 +525,14 @@ mod tests {
         t.connect(s[1], 2, s[3], 3).unwrap();
         t.connect(s[1], 3, s[4], 1).unwrap();
         t.connect(s[3], 2, s[4], 2).unwrap();
-        let mut hosts = Vec::new();
-        hosts.push(t.add_host(s[2], PortNo::new(9).unwrap()).unwrap()); // C3
-        hosts.push(t.add_host(s[0], PortNo::new(5).unwrap()).unwrap()); // H1
-        hosts.push(t.add_host(s[1], PortNo::new(5).unwrap()).unwrap()); // H2
-        hosts.push(t.add_host(s[2], PortNo::new(5).unwrap()).unwrap()); // H3
-        hosts.push(t.add_host(s[3], PortNo::new(5).unwrap()).unwrap()); // H4
-        hosts.push(t.add_host(s[4], PortNo::new(5).unwrap()).unwrap()); // H5
+        let hosts = vec![
+            t.add_host(s[2], PortNo::new(9).unwrap()).unwrap(), // C3
+            t.add_host(s[0], PortNo::new(5).unwrap()).unwrap(), // H1
+            t.add_host(s[1], PortNo::new(5).unwrap()).unwrap(), // H2
+            t.add_host(s[2], PortNo::new(5).unwrap()).unwrap(), // H3
+            t.add_host(s[3], PortNo::new(5).unwrap()).unwrap(), // H4
+            t.add_host(s[4], PortNo::new(5).unwrap()).unwrap(), // H5
+        ];
         (t, s, hosts)
     }
 

@@ -13,9 +13,7 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashSet};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use dumbnet_types::{
-    DumbNetError, HostId, MacAddr, Path, PortId, PortNo, Result, SwitchId,
-};
+use dumbnet_types::{DumbNetError, HostId, MacAddr, Path, PortId, PortNo, Result, SwitchId};
 
 use crate::graph::Topology;
 use crate::route::Route;
@@ -132,7 +130,13 @@ pub fn build<R: Rng>(
         topo,
         s_src,
         s_dst,
-        |e| if primary_links.contains(&e) { penalty } else { 1 },
+        |e| {
+            if primary_links.contains(&e) {
+                penalty
+            } else {
+                1
+            }
+        },
         rng,
     )
     // A backup identical to the primary adds nothing; drop it.
@@ -291,11 +295,7 @@ impl PathGraph {
     /// Up to `k` shortest loopless routes within the subgraph, avoiding
     /// `down` edges (small-scale Yen over the cached adjacency).
     #[must_use]
-    pub fn k_shortest_within(
-        &self,
-        k: usize,
-        down: &HashSet<(SwitchId, SwitchId)>,
-    ) -> Vec<Route> {
+    pub fn k_shortest_within(&self, k: usize, down: &HashSet<(SwitchId, SwitchId)>) -> Vec<Route> {
         if k == 0 {
             return Vec::new();
         }
@@ -314,9 +314,11 @@ impl PathGraph {
                 // Ban edges used by already-found routes sharing this root,
                 // and nodes of the root prefix, then reroute.
                 let mut banned: HashSet<(SwitchId, SwitchId)> = down.clone();
-                for r in results.iter().map(Route::switches).chain(
-                    candidates.iter().map(|c| c.0 .1.as_slice()),
-                ) {
+                for r in results
+                    .iter()
+                    .map(Route::switches)
+                    .chain(candidates.iter().map(|c| c.0 .1.as_slice()))
+                {
                     if r.len() > spur_ix && r[..=spur_ix] == *root {
                         let (a, b) = (r[spur_ix], r[spur_ix + 1]);
                         let key = if a <= b { (a, b) } else { (b, a) };
@@ -565,8 +567,14 @@ mod tests {
             // Fresh identically-seeded RNG per build so the primary path
             // is the same and only ε varies.
             let mut rng = StdRng::seed_from_u64(9);
-            let pg = build(&g.topology, HostId(0), HostId(124), &params(2, eps), &mut rng)
-                .unwrap();
+            let pg = build(
+                &g.topology,
+                HostId(0),
+                HostId(124),
+                &params(2, eps),
+                &mut rng,
+            )
+            .unwrap();
             assert!(
                 pg.switch_count() >= last,
                 "ε={eps}: {} < {last}",
@@ -660,7 +668,11 @@ mod tests {
         assert_eq!(a.link_hops(), b.link_hops());
         // With the primary's first edge down, both engines detour.
         let p = pg.primary.switches();
-        let key = if p[0] <= p[1] { (p[0], p[1]) } else { (p[1], p[0]) };
+        let key = if p[0] <= p[1] {
+            (p[0], p[1])
+        } else {
+            (p[1], p[0])
+        };
         let down: HashSet<_> = [key].into_iter().collect();
         let a = pg.shortest_within(&down).unwrap();
         let b = router.shortest(&down).unwrap();

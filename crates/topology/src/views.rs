@@ -48,9 +48,9 @@ pub fn trace_tag_path(topo: &Topology, src: HostId, path: &Path) -> Result<PathT
             // The switch answers and consumes the tag without moving.
             continue;
         }
-        let port = tag.as_port().ok_or_else(|| {
-            DumbNetError::PathRejected(format!("tag #{ix} is not a port tag"))
-        })?;
+        let port = tag
+            .as_port()
+            .ok_or_else(|| DumbNetError::PathRejected(format!("tag #{ix} is not a port tag")))?;
         let info = topo.switch(cur)?;
         match info.attachment(port) {
             Some(Attachment::Link(lid)) => {
@@ -144,12 +144,7 @@ impl TopologyView {
     ///
     /// Returns [`DumbNetError::PathRejected`] when the path escapes the
     /// view, does not terminate at a permitted host, or fails tracing.
-    pub fn verify_tag_path(
-        &self,
-        topo: &Topology,
-        src: HostId,
-        path: &Path,
-    ) -> Result<PathTrace> {
+    pub fn verify_tag_path(&self, topo: &Topology, src: HostId, path: &Path) -> Result<PathTrace> {
         if !self.permits_host(src) {
             return Err(DumbNetError::PathRejected(format!(
                 "source {src} outside tenant view"
@@ -220,7 +215,7 @@ mod tests {
     #[test]
     fn trace_rejects_early_host_delivery() {
         let (t, path) = testbed_path(0, 1); // Same-leaf pair: 1 tag.
-        // Append a junk tag after the delivering tag.
+                                            // Append a junk tag after the delivering tag.
         let longer = path.push(Tag(1)).unwrap();
         assert!(trace_tag_path(&t, HostId(0), &longer).is_err());
     }

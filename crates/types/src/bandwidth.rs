@@ -96,20 +96,14 @@ mod tests {
     #[test]
     fn serialization_delay_matches_hand_math() {
         // 1500 B at 1 Gbps = 12 µs.
-        assert_eq!(
-            Bandwidth::gbps(1).serialization_delay(1500).nanos(),
-            12_000
-        );
+        assert_eq!(Bandwidth::gbps(1).serialization_delay(1500).nanos(), 12_000);
         // 64 B at 10 Gbps = 51.2 ns.
         assert_eq!(Bandwidth::gbps(10).serialization_delay(64).nanos(), 51);
     }
 
     #[test]
     fn zero_bandwidth_never_delivers() {
-        assert_eq!(
-            Bandwidth::ZERO.serialization_delay(1).nanos(),
-            u64::MAX
-        );
+        assert_eq!(Bandwidth::ZERO.serialization_delay(1).nanos(), u64::MAX);
         assert_eq!(Bandwidth::ZERO.bytes_in(SimDuration::from_secs(1)), 0);
     }
 

@@ -124,7 +124,12 @@ mod tests {
     fn setup() -> (FlowSim, FlowMap, Topology) {
         let g = generators::testbed();
         let mut fs = FlowSim::new();
-        let map = FlowMap::build(&mut fs, &g.topology, Bandwidth::gbps(10), Bandwidth::gbps(10));
+        let map = FlowMap::build(
+            &mut fs,
+            &g.topology,
+            Bandwidth::gbps(10),
+            Bandwidth::gbps(10),
+        );
         (fs, map, g.topology)
     }
 

@@ -235,8 +235,7 @@ mod tests {
     fn generation_is_seed_deterministic() {
         let job = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            Job::generate(HiBenchKind::Terasort, &hosts(), 5_000_000_000, &mut rng)
-                .network_bytes()
+            Job::generate(HiBenchKind::Terasort, &hosts(), 5_000_000_000, &mut rng).network_bytes()
         };
         assert_eq!(job(9), job(9));
         assert_ne!(job(9), job(10));

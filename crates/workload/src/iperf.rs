@@ -28,9 +28,9 @@ pub fn bipartite(senders: &[HostId], receivers: &[HostId], bytes: u64) -> Vec<Fl
     senders
         .iter()
         .flat_map(|&src| {
-            receivers.iter().filter_map(move |&dst| {
-                (src != dst).then_some(FlowSpec { src, dst, bytes })
-            })
+            receivers
+                .iter()
+                .filter_map(move |&dst| (src != dst).then_some(FlowSpec { src, dst, bytes }))
         })
         .collect()
 }

@@ -14,10 +14,7 @@ use dumbnet::workload::{iperf, FlowMap};
 
 /// Drives a flow set with per-flow path selection and reports the time
 /// to drain all bytes (higher aggregate throughput ⇒ earlier drain).
-fn run_policy(
-    name: &str,
-    choose: &mut dyn FnMut(usize, &[Route]) -> usize,
-) -> f64 {
+fn run_policy(name: &str, choose: &mut dyn FnMut(usize, &[Route]) -> usize) -> f64 {
     let g = generators::testbed();
     let topo = &g.topology;
     let leaves = g.group("leaf").to_vec();

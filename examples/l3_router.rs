@@ -88,11 +88,16 @@ fn main() {
         },
     )));
 
-    w.wire(host_a, p(1), sw_a, p(1), LinkParams::ten_gig()).unwrap();
-    w.wire(router, p(1), sw_a, p(2), LinkParams::ten_gig()).unwrap();
-    w.wire(router, p(2), sw_b, p(2), LinkParams::ten_gig()).unwrap();
-    w.wire(host_b, p(1), sw_b, p(1), LinkParams::ten_gig()).unwrap();
-    w.wire(sw_a, p(3), sw_b, p(3), LinkParams::ten_gig()).unwrap();
+    w.wire(host_a, p(1), sw_a, p(1), LinkParams::ten_gig())
+        .unwrap();
+    w.wire(router, p(1), sw_a, p(2), LinkParams::ten_gig())
+        .unwrap();
+    w.wire(router, p(2), sw_b, p(2), LinkParams::ten_gig())
+        .unwrap();
+    w.wire(host_b, p(1), sw_b, p(1), LinkParams::ten_gig())
+        .unwrap();
+    w.wire(sw_a, p(3), sw_b, p(3), LinkParams::ten_gig())
+        .unwrap();
 
     // 1) Via the router: host A → 10.1.0.1, L2 path to the router.
     println!("via router:");

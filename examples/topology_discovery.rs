@@ -61,7 +61,11 @@ fn main() {
         match found.host_by_mac(h.mac) {
             Some(f) if f.attached == h.attached => {}
             other => {
-                println!("host {} misdiscovered: {:?}", h.mac, other.map(|x| x.attached));
+                println!(
+                    "host {} misdiscovered: {:?}",
+                    h.mac,
+                    other.map(|x| x.attached)
+                );
                 exact = false;
             }
         }

@@ -100,9 +100,15 @@ fn failover_survives_double_failure() {
     })
     .unwrap();
     // Stream runs 10–410 ms.
-    fabric.schedule_link_failure(at_ms(100), leaves[0], spines[0]).unwrap();
-    fabric.schedule_link_failure(at_ms(150), leaves[0], spines[1]).unwrap();
-    fabric.schedule_link_recovery(at_ms(250), leaves[0], spines[0]).unwrap();
+    fabric
+        .schedule_link_failure(at_ms(100), leaves[0], spines[0])
+        .unwrap();
+    fabric
+        .schedule_link_failure(at_ms(150), leaves[0], spines[1])
+        .unwrap();
+    fabric
+        .schedule_link_recovery(at_ms(250), leaves[0], spines[0])
+        .unwrap();
     // The switch's flap suppression delays the recovery announcement to
     // the end of its 1 s alarm window, so run well past that.
     fabric.run_until(at_ms(2_000));
@@ -124,23 +130,20 @@ fn controller_replication_and_takeover() {
     let g = generators::testbed();
     let spines = g.group("spine").to_vec();
     let leaves = g.group("leaf").to_vec();
-    let mut cfg = FabricConfig::default();
-    cfg.controllers = vec![HostId(0), HostId(13)];
-    cfg.controller = ControllerConfig {
-        peers: vec![MacAddr::for_host(0), MacAddr::for_host(13)],
-        heartbeat: SimDuration::from_millis(20),
-        takeover_timeout: SimDuration::from_millis(100),
-        ..ControllerConfig::default()
-    };
-    let mut fabric = Fabric::build_full(
-        g.topology,
-        cfg,
-        HostAgent::new,
-        |id, mut ccfg| {
-            ccfg.is_leader = id == HostId(0);
-            Controller::new(id, ccfg)
+    let cfg = FabricConfig {
+        controllers: vec![HostId(0), HostId(13)],
+        controller: ControllerConfig {
+            peers: vec![MacAddr::for_host(0), MacAddr::for_host(13)],
+            heartbeat: SimDuration::from_millis(20),
+            takeover_timeout: SimDuration::from_millis(100),
+            ..ControllerConfig::default()
         },
-    )
+        ..FabricConfig::default()
+    };
+    let mut fabric = Fabric::build_full(g.topology, cfg, HostAgent::new, |id, mut ccfg| {
+        ccfg.is_leader = id == HostId(0);
+        Controller::new(id, ccfg)
+    })
     .unwrap();
     // Let the leader bootstrap and heartbeats flow.
     fabric.run_until(at_ms(60));
@@ -151,8 +154,12 @@ fn controller_replication_and_takeover() {
         Some(MacAddr::for_host(0))
     );
     // Isolate the leader's leaf entirely.
-    fabric.schedule_link_failure(at_ms(80), leaves[0], spines[0]).unwrap();
-    fabric.schedule_link_failure(at_ms(80), leaves[0], spines[1]).unwrap();
+    fabric
+        .schedule_link_failure(at_ms(80), leaves[0], spines[0])
+        .unwrap();
+    fabric
+        .schedule_link_failure(at_ms(80), leaves[0], spines[1])
+        .unwrap();
     fabric.run_until(at_ms(500));
     let follower = fabric.controller(HostId(13)).unwrap();
     assert!(follower.stats.is_leader, "follower must take over");
@@ -205,6 +212,7 @@ fn verify_mode_discovery_is_exact_and_cheap() {
         cfg.controller.discovery = DiscoveryConfig {
             max_ports: 8,
             timeout: SimDuration::from_millis(5),
+            max_retries: 3,
             hint,
         };
         cfg.controller.probe_interval = SimDuration::from_micros(10);
@@ -248,6 +256,7 @@ fn verify_mode_tolerates_wrong_hints() {
     cfg.controller.discovery = DiscoveryConfig {
         max_ports: 12,
         timeout: SimDuration::from_millis(5),
+        max_retries: 3,
         hint: Some(wrong),
     };
     cfg.controller.probe_interval = SimDuration::from_micros(10);
@@ -303,11 +312,16 @@ fn misrouted_packet_dropped_at_ingress() {
         0,
         100,
     );
-    fabric.world.inject(at_ms(5), leaf, dumbnet::types::PortNo::new(40).unwrap(), pkt);
+    fabric.world.inject(
+        at_ms(5),
+        leaf,
+        dumbnet::types::PortNo::new(40).unwrap(),
+        pkt,
+    );
     fabric.run_until(at_ms(10));
     let agent = fabric.host(HostId(1)).unwrap();
     assert_eq!(agent.stats.ingress_drops, 1);
-    assert!(agent.stats.delivered.get(&77).is_none());
+    assert!(!agent.stats.delivered.contains_key(&77));
 }
 
 #[test]
@@ -317,12 +331,14 @@ fn engine_marks_ecn_under_queue_pressure() {
     // Saturate a slow trunk: the engine must set the CE bit on packets
     // that queue past the threshold, and receivers must see it.
     let g = generators::testbed();
-    let mut cfg = FabricConfig::default();
-    cfg.trunk = LinkParams {
-        latency: SimDuration::from_micros(1),
-        bandwidth: Bandwidth::mbps(100),
-        max_queue: SimDuration::from_millis(10),
-        ecn_threshold: Some(SimDuration::from_micros(200)),
+    let cfg = FabricConfig {
+        trunk: LinkParams {
+            latency: SimDuration::from_micros(1),
+            bandwidth: Bandwidth::mbps(100),
+            max_queue: SimDuration::from_millis(10),
+            ecn_threshold: Some(SimDuration::from_micros(200)),
+        },
+        ..FabricConfig::default()
     };
     let mut fabric = Fabric::build_with(g.topology, cfg, |id, mut hc| {
         if id == HostId(1) {
@@ -351,11 +367,13 @@ fn path_queries_spread_over_controller_group() {
     // Two controllers (leader host 0, standby host 13): hosts learn both
     // and round-robin their path queries, so both replicas serve some.
     let g = generators::testbed();
-    let mut cfg = FabricConfig::default();
-    cfg.controllers = vec![HostId(0), HostId(13)];
-    cfg.controller = ControllerConfig {
-        peers: vec![MacAddr::for_host(0), MacAddr::for_host(13)],
-        ..ControllerConfig::default()
+    let cfg = FabricConfig {
+        controllers: vec![HostId(0), HostId(13)],
+        controller: ControllerConfig {
+            peers: vec![MacAddr::for_host(0), MacAddr::for_host(13)],
+            ..ControllerConfig::default()
+        },
+        ..FabricConfig::default()
     };
     let mut fabric = Fabric::build_full(
         g.topology,

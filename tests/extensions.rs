@@ -10,9 +10,7 @@ use dumbnet::packet::control::PortStat;
 use dumbnet::packet::{ControlMessage, Packet};
 use dumbnet::sim::LinkParams;
 use dumbnet::topology::generators;
-use dumbnet::types::{
-    Bandwidth, HostId, MacAddr, Path, SimDuration, SimTime, Tag,
-};
+use dumbnet::types::{Bandwidth, HostId, MacAddr, Path, SimDuration, SimTime, Tag};
 
 fn at_ms(ms: u64) -> SimTime {
     SimTime::ZERO + SimDuration::from_millis(ms)
@@ -72,12 +70,14 @@ fn ecn_marks_are_echoed_and_flows_reroute() {
     // the full §8 pipeline fired: marks at the fabric, echoes at the
     // senders, at least one congestion-triggered reroute, and delivery.
     let g = generators::testbed();
-    let mut cfg = FabricConfig::default();
-    cfg.trunk = LinkParams {
-        latency: SimDuration::from_micros(1),
-        bandwidth: Bandwidth::mbps(500),
-        max_queue: SimDuration::from_millis(4),
-        ecn_threshold: Some(SimDuration::from_micros(300)),
+    let cfg = FabricConfig {
+        trunk: LinkParams {
+            latency: SimDuration::from_micros(1),
+            bandwidth: Bandwidth::mbps(500),
+            max_queue: SimDuration::from_millis(4),
+            ecn_threshold: Some(SimDuration::from_micros(300)),
+        },
+        ..FabricConfig::default()
     };
     let senders = [HostId(1), HostId(2)];
     let mut fabric = Fabric::build_with(g.topology, cfg, |id, mut hc| {

@@ -107,6 +107,73 @@ proptest! {
         );
         prop_assert_eq!(pkt.wire_len(), frame.wire_len());
     }
+
+    /// Fault-model property: any single corrupted byte in a tag-routed
+    /// frame is caught by the FCS — the justification for the emulator
+    /// counting corruption as a drop at the receiving NIC.
+    #[test]
+    fn dumbnet_frame_one_byte_flip_rejected(
+        path in arb_path(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        pos in any::<u16>(),
+        xor in 1u8..=255,
+    ) {
+        let f = DumbNetFrame::encapsulate(
+            MacAddr::for_host(3),
+            MacAddr::for_host(9),
+            path,
+            0x0800,
+            payload,
+        );
+        let mut wire = f.to_wire();
+        let pos = usize::from(pos) % wire.len();
+        wire[pos] ^= xor; // xor ≥ 1 ⇒ the byte really changed.
+        prop_assert!(
+            DumbNetFrame::from_wire(&wire).is_err(),
+            "byte {} corrupted undetected", pos
+        );
+    }
+
+    /// The MPLS encoding has no checksum, so the property is weaker but
+    /// still sharp: a one-byte flip either fails to decode, or decodes
+    /// to a *different* path, unless it only touched the non-semantic
+    /// TC/TTL bits (which the port mapping ignores by design).
+    #[test]
+    fn mpls_one_byte_flip_rejected_or_visible(
+        path in arb_path(),
+        pos in any::<u16>(),
+        xor in 1u8..=255,
+    ) {
+        let stack = LabelStack::from_path(&path);
+        let mut wire = stack.to_wire();
+        let pos = usize::from(pos) % wire.len();
+        wire[pos] ^= xor;
+        // Entry layout: byte 0-1 label high, byte 2 = label low nibble |
+        // TC | S bit, byte 3 = TTL. TTL and TC carry no routing meaning.
+        let non_semantic = match pos % 4 {
+            3 => true,                  // TTL byte.
+            2 => xor & 0xF1 == 0,       // Only TC bits (3..=1) changed.
+            _ => false,
+        };
+        let decoded = LabelStack::from_wire(&wire)
+            .and_then(|(s, _)| s.to_path());
+        match decoded {
+            Err(_) => {}
+            Ok(p) => prop_assert!(
+                p != path || non_semantic,
+                "semantic corruption at byte {} went unnoticed", pos
+            ),
+        }
+    }
+
+    /// A tag sequence with no ø terminator never parses: the kernel
+    /// module cannot mistake a runaway header for a path.
+    #[test]
+    fn tag_wire_without_end_marker_rejected(
+        body in proptest::collection::vec(0u8..=254, 0..80),
+    ) {
+        prop_assert!(Path::from_wire(&body).is_err());
+    }
 }
 
 proptest! {

@@ -30,6 +30,7 @@ proptest! {
         cfg.controller.discovery = DiscoveryConfig {
             max_ports: 8,
             timeout: SimDuration::from_millis(5),
+            max_retries: 3,
             hint: None,
         };
         cfg.controller.probe_interval = SimDuration::from_micros(10);

@@ -1,0 +1,170 @@
+//! Vendored offline stand-in for the slice of `criterion` this
+//! workspace's benches use: `Criterion::bench_function`, `Bencher::iter`
+//! / `iter_batched`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build container cannot fetch crates. This harness measures with
+//! a fixed warm-up + timed-batch scheme and prints median ns/iter — no
+//! statistical analysis, HTML reports, or baselines. Numbers are
+//! indicative, not criterion-grade.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of [`std::hint::black_box`]).
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. All variants behave the
+/// same here: setup runs once per measured invocation, untimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+const WARMUP_ITERS: u32 = 3;
+const SAMPLE_ITERS: u32 = 15;
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        for _ in 0..SAMPLE_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        for _ in 0..SAMPLE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns(&mut self) -> u128 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2].as_nanos()
+    }
+}
+
+/// Benchmark registry/driver (vastly simplified).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let ns = bencher.median_ns();
+        println!("bench {name:<40} {ns:>12} ns/iter (median of {SAMPLE_ITERS})");
+        self
+    }
+
+    /// Opens a named group; member benchmarks print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (prefixes member names).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op beyond dropping the borrow).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function running the listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut runs = 0u32;
+        Criterion::default().bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, WARMUP_ITERS + SAMPLE_ITERS);
+    }
+
+    #[test]
+    fn iter_batched_pairs_setup_with_routine() {
+        let mut setups = 0u32;
+        let mut calls = 0u32;
+        Criterion::default().bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    7u64
+                },
+                |x| {
+                    calls += 1;
+                    x * 2
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, calls);
+        assert_eq!(calls, WARMUP_ITERS + SAMPLE_ITERS);
+    }
+}

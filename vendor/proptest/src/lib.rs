@@ -1,0 +1,248 @@
+//! Vendored offline mini `proptest`.
+//!
+//! The build container cannot fetch crates, so this crate re-implements
+//! the slice of the proptest API the workspace's property tests use:
+//! [`strategy::Strategy`] with `prop_map`, integer/float range and tuple
+//! strategies, [`collection::vec`], [`option::of`], [`arbitrary::any`],
+//! `Just`, weighted [`prop_oneof!`], and the [`proptest!`] test macro
+//! with `prop_assert!`-family assertions and `prop_assume!` rejections.
+//!
+//! Divergences from real proptest, by design:
+//! * **No shrinking.** A failing case reports its generated inputs via
+//!   the assertion message and the deterministic case seed instead of a
+//!   minimized counterexample.
+//! * **Deterministic seeds.** Cases derive from an FNV-1a hash of the
+//!   test name and the case index, so every run explores the identical
+//!   sequence — reproducibility over coverage variety.
+//! * Default case count is 64 (not 256) to keep suite runtime modest.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Single-glob import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a test running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($pname:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let __seed_base = $crate::test_runner::fnv1a(stringify!($name));
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::case_rng(__seed_base, __case);
+                    $(let $pname =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match __result {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            ::std::panic!(
+                                "proptest {} case {}/{}: {}",
+                                stringify!($name),
+                                __case,
+                                __config.cases,
+                                __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted choice between strategies producing the same value type:
+/// `prop_oneof![3 => strat_a, 1 => strat_b]` (unweighted arms default
+/// to weight 1).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(::std::vec![
+            $(($weight as u32, $crate::strategy::boxed_gen($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($a),
+                            stringify!($b),
+                            __l,
+                            __r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($a),
+                            stringify!($b),
+                            __l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case (counted as neither pass nor fail) unless
+/// the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_generate_in_bounds(
+            x in 1u8..=10,
+            (v, w) in (crate::collection::vec(0usize..5, 1..4), 1u64..100),
+            o in crate::option::of(0i32..3),
+            m in crate::prelude::any::<u16>().prop_map(|n| u32::from(n) * 2),
+        ) {
+            prop_assert!((1..=10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!((1..100).contains(&w));
+            if let Some(i) = o {
+                prop_assert!((0..3).contains(&i));
+            }
+            prop_assert_eq!(m % 2, 0);
+        }
+
+        #[test]
+        fn oneof_respects_arms(t in prop_oneof![3 => 0u8..=9, 1 => Just(255u8)]) {
+            prop_assert!(t <= 9 || t == 255);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u32..4, b in 0u32..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut first = Vec::new();
+        for run in 0..2 {
+            let base = crate::test_runner::fnv1a("some_test");
+            let vals: Vec<u64> = (0..8)
+                .map(|case| {
+                    let mut rng = crate::test_runner::case_rng(base, case);
+                    crate::strategy::Strategy::generate(&(0u64..1000), &mut rng)
+                })
+                .collect();
+            if run == 0 {
+                first = vals;
+            } else {
+                assert_eq!(first, vals);
+            }
+        }
+    }
+}

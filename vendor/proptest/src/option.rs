@@ -1,0 +1,29 @@
+//! Option strategies (`proptest::option::of`).
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+
+use crate::strategy::Strategy;
+
+/// Strategy producing `Option<S::Value>`.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `of(strategy)`: `Some` three times out of four, else `None`.
+#[must_use]
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The [`Strategy`] trait and the built-in combinators.
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: `generate` draws one
+/// value from the case RNG and that is the whole story.
+pub trait Strategy {
+    /// Type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Type-erased generator arm used by [`WeightedUnion`].
+pub type BoxedGen<T> = Box<dyn Fn(&mut StdRng) -> T>;
+
+/// Erases a strategy into a boxed generator closure (for `prop_oneof!`).
+pub fn boxed_gen<S: Strategy + 'static>(strategy: S) -> BoxedGen<S::Value> {
+    Box::new(move |rng| strategy.generate(rng))
+}
+
+/// Weighted choice among same-typed strategies (`prop_oneof!`).
+pub struct WeightedUnion<T> {
+    arms: Vec<(u32, BoxedGen<T>)>,
+    total: u32,
+}
+
+impl<T> WeightedUnion<T> {
+    /// Builds a union; weights must sum to a positive value.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, BoxedGen<T>)>) -> WeightedUnion<T> {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! requires positive total weight");
+        WeightedUnion { arms, total }
+    }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, gen) in &self.arms {
+            if pick < *weight {
+                return gen(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick exceeds total weight")
+    }
+}

@@ -1,0 +1,69 @@
+//! Test-case plumbing: configuration, case outcomes, deterministic
+//! per-case RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Non-success outcome of one generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Precondition unmet (`prop_assume!`) — skip the case.
+    Reject(String),
+    /// Assertion failed — the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing outcome.
+    #[must_use]
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError::Fail(msg)
+    }
+
+    /// A rejected (skipped) outcome.
+    #[must_use]
+    pub fn reject(msg: String) -> TestCaseError {
+        TestCaseError::Reject(msg)
+    }
+}
+
+/// The RNG type driving generation.
+pub type TestRng = StdRng;
+
+/// FNV-1a hash of a test name — the per-test seed base.
+#[must_use]
+pub fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}
+
+/// Deterministic RNG for case `case` of the test hashed to `base`.
+#[must_use]
+pub fn case_rng(base: u64, case: u32) -> TestRng {
+    StdRng::seed_from_u64(base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1))
+}

@@ -1,0 +1,35 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build container cannot fetch crates, and nothing in this
+//! workspace actually serializes through serde (no serde_json or other
+//! format crate is used) — the derives only exist so types stay
+//! forward-compatible with external tooling. This stub keeps every
+//! `#[derive(Serialize, Deserialize)]` and `T: Serialize` /
+//! `T: DeserializeOwned` bound compiling by making the traits
+//! universal markers and the derives no-ops.
+
+/// Marker matching `serde::Serialize` bounds; implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker matching `serde::Deserialize<'de>` bounds; implemented for
+/// all types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    //! Deserialization marker traits.
+
+    /// Marker matching `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Serialization marker traits.
+
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros for the vendored `serde` stand-in.
+//!
+//! The companion `serde` crate blanket-implements its marker traits, so
+//! the derives have nothing to generate; they only need to exist (and
+//! swallow `#[serde(...)]` attributes) for `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` to compile.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
