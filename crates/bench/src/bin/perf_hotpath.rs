@@ -1,0 +1,43 @@
+//! Hot-path wall-clock benchmark runner.
+//!
+//! ```text
+//! perf_hotpath [--quick] [--label NAME] [--before FILE] [--out FILE]
+//! ```
+//!
+//! Without `--before`, emits a single labelled run. With `--before`, the
+//! given baseline document is merged with the fresh run into the
+//! before/after/speedup schema of `BENCH_perf.json`.
+
+use dumbnet_bench::perf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|ix| args.get(ix + 1))
+            .cloned()
+    };
+    let label = flag_value("--label").unwrap_or_else(|| "before".to_owned());
+    let points = perf::run(quick);
+    for p in &points {
+        eprintln!(
+            "{:<24} {:>9.3} s  checksum {}",
+            p.name, p.wall_secs, p.checksum
+        );
+    }
+    let doc = match flag_value("--before") {
+        Some(path) => {
+            let before = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+            perf::merged_json(&before, &points)
+        }
+        None => perf::to_json(&label, &points),
+    };
+    match flag_value("--out") {
+        Some(path) => std::fs::write(&path, format!("{doc}\n"))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}")),
+        None => println!("{doc}"),
+    }
+}

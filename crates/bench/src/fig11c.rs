@@ -191,6 +191,60 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_chaos_runs_are_identical() {
+        // Determinism regression for the hot-path overhaul: the calendar
+        // event queue, the zero-copy path cursor and the route/graph
+        // caches must not make results depend on anything but the seed.
+        // Two full chaos runs must agree on every world counter and every
+        // per-wire counter.
+        use dumbnet_sim::{LinkStats, WorldStats};
+
+        fn run_once(p: f64) -> (WorldStats, Vec<LinkStats>) {
+            let g = generators::testbed();
+            let spines = g.group("spine").to_vec();
+            let leaves = g.group("leaf").to_vec();
+            let mut fabric =
+                Fabric::build_with(g.topology, FabricConfig::default(), |id, mut hc| {
+                    if id == HostId(1) {
+                        hc.actions = vec![AppAction::DataStream {
+                            at: SimDuration::from_millis(20),
+                            dst: MacAddr::for_host(26),
+                            flow: 7,
+                            packets: 5_000,
+                            bytes: 1_200,
+                            interval: SimDuration::from_micros(20),
+                        }];
+                    }
+                    HostAgent::new(id, hc)
+                })
+                .expect("fabric builds");
+            let mut plan = ChaosPlan::seeded(11);
+            for ix in 0..fabric.world.wire_count() {
+                plan = plan.with_link_fault(WireId::from_raw(ix), FaultProfile::lossy(p));
+            }
+            plan.apply(&mut fabric.world);
+            fabric
+                .schedule_link_failure(
+                    SimTime::ZERO + SimDuration::from_millis(200),
+                    leaves[0],
+                    spines[0],
+                )
+                .expect("link exists");
+            fabric.run_until(SimTime::ZERO + SimDuration::from_millis(500));
+            let links = (0..fabric.world.wire_count())
+                .map(|ix| fabric.world.link_stats(WireId::from_raw(ix)))
+                .collect();
+            (fabric.world.stats(), links)
+        }
+
+        let (world_a, links_a) = run_once(0.05);
+        let (world_b, links_b) = run_once(0.05);
+        assert_eq!(world_a, world_b, "WorldStats diverged between runs");
+        assert_eq!(links_a, links_b, "LinkStats diverged between runs");
+        assert!(world_a.drops_loss > 0, "chaos plan injected no loss");
+    }
+
+    #[test]
     fn json_document_is_well_formed_enough() {
         let doc = run_c(true);
         assert!(doc.starts_with('{') && doc.ends_with('}'));

@@ -30,6 +30,7 @@ pub mod fig11;
 pub mod fig11c;
 pub mod fig12;
 pub mod fig13;
+pub mod perf;
 pub mod report;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,242 @@
+//! Emulator hot-path wall-clock benchmark (`BENCH_perf.json`).
+//!
+//! Unlike the figure harnesses, which report *virtual-time* results from
+//! the paper's experiments, this module measures how much *real* time the
+//! emulator burns producing them — the metric the ROADMAP north star
+//! ("as fast as the hardware allows") cares about. Each point is a
+//! deterministic scenario dominated by one of the engine's hot paths:
+//!
+//! * `fig08a_fat_tree_k20` — full-scale topology discovery (millions of
+//!   probe packets through the event queue and switch forwarding).
+//! * `engine_forward_storm` — a raw packet storm down a switch chain:
+//!   pure event scheduling + per-hop tag popping, no control plane.
+//! * `fig10_path_service` — the all-pairs ping mesh with cold caches:
+//!   path-graph construction and path queries on the controller.
+//! * `fig11c_chaos_p05` — the lossy-fabric recovery run: fault-RNG
+//!   draws, retries and failover on top of the data stream.
+//!
+//! The `perf_hotpath` binary times the points and emits/merges the JSON.
+
+use std::time::Instant;
+
+use dumbnet_host::DatapathVariant;
+use dumbnet_sim::{Ctx, LinkParams, Node, World};
+use dumbnet_switch::{DumbSwitch, DumbSwitchConfig};
+use dumbnet_topology::generators;
+use dumbnet_types::{HostId, MacAddr, Path, PortNo, SimTime, SwitchId};
+
+use crate::fig08;
+use crate::fig10;
+use crate::fig11c;
+
+/// One measured hot-path scenario.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// Scenario key (stable across PRs; `BENCH_perf.json` joins on it).
+    pub name: String,
+    /// Real time the scenario took, seconds.
+    pub wall_secs: f64,
+    /// Simulator events dispatched, where the scenario exposes a world.
+    pub events: Option<u64>,
+    /// Scenario-specific sanity metric proving the run did the same work
+    /// (probe count, delivery count, …).
+    pub checksum: u64,
+}
+
+fn time<F: FnOnce() -> (Option<u64>, u64)>(name: &str, f: F) -> PerfPoint {
+    let start = Instant::now();
+    let (events, checksum) = f();
+    PerfPoint {
+        name: name.to_owned(),
+        wall_secs: start.elapsed().as_secs_f64(),
+        events,
+        checksum,
+    }
+}
+
+/// Pure engine storm: a chain of dumb switches, packets injected with
+/// full tag paths, no hosts or controller. Stresses event scheduling,
+/// wire lookup and per-hop tag consumption only.
+fn forward_storm(packets: u64) -> (Option<u64>, u64) {
+    const CHAIN: u8 = 8;
+    struct Sink {
+        got: u64,
+    }
+    impl Node for Sink {
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortNo, _: dumbnet_packet::Packet) {
+            self.got += 1;
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+    let mut w = World::new(7);
+    let p = |n: u8| PortNo::new(n).expect("valid port");
+    let switches: Vec<_> = (0..CHAIN)
+        .map(|i| {
+            w.add_node(Box::new(DumbSwitch::new(
+                SwitchId(u64::from(i)),
+                8,
+                DumbSwitchConfig::default(),
+            )))
+        })
+        .collect();
+    let sink = w.add_node(Box::new(Sink { got: 0 }));
+    for pair in switches.windows(2) {
+        w.wire(pair[0], p(2), pair[1], p(1), LinkParams::ten_gig())
+            .expect("wires");
+    }
+    w.wire(
+        switches[CHAIN as usize - 1],
+        p(2),
+        sink,
+        p(1),
+        LinkParams::ten_gig(),
+    )
+    .expect("wires");
+    let path = Path::from_ports(std::iter::repeat_n(2, usize::from(CHAIN))).expect("short path");
+    // Pace injections at 1 µs so the first wire's queue never overflows
+    // (900 B at 10 Gbps serializes in 720 ns) — the point is forwarding
+    // throughput, not drop accounting.
+    for i in 0..packets {
+        let pkt = dumbnet_packet::Packet::data(
+            MacAddr::for_host(1),
+            MacAddr::for_host(0),
+            path.clone(),
+            i % 16,
+            i,
+            900,
+        );
+        let at = SimTime::ZERO + dumbnet_types::SimDuration::from_micros(i);
+        w.inject(at, switches[0], p(1), pkt);
+    }
+    w.run_to_idle(u64::MAX);
+    let delivered = w.node::<Sink>(sink).expect("sink").got;
+    assert_eq!(delivered, packets, "storm must be drop-free");
+    (Some(w.stats().events), delivered)
+}
+
+/// Runs every hot-path scenario. `quick` trims the discovery point to
+/// fat-tree k=8 and shrinks the storm so CI can smoke-run it.
+#[must_use]
+pub fn run(quick: bool) -> Vec<PerfPoint> {
+    let mut points = Vec::new();
+
+    let storm_packets: u64 = if quick { 20_000 } else { 200_000 };
+    points.push(time("engine_forward_storm", || {
+        forward_storm(storm_packets)
+    }));
+
+    let k: usize = if quick { 8 } else { 20 };
+    let max_ports: u8 = if quick { 16 } else { 64 };
+    points.push(time(&format!("fig08a_fat_tree_k{k}"), || {
+        let g = generators::fat_tree(k, 1, Some(max_ports.max(k as u8)));
+        let pt = fig08::discover(g.topology, HostId(0), max_ports, "perf");
+        assert!(pt.exact, "discovery must still map exactly");
+        (None, pt.probes)
+    }));
+
+    points.push(time("fig10_path_service", || {
+        let cdf = fig10::ping_mesh(DatapathVariant::DumbNet, 2);
+        (None, cdf.len() as u64)
+    }));
+
+    points.push(time("fig11c_chaos_p05", || {
+        let pt = fig11c::chaos_recovery_point(0.05);
+        (None, pt.drops_loss)
+    }));
+
+    points
+}
+
+/// Serializes one run (hand-rolled JSON; the schema is flat).
+#[must_use]
+pub fn to_json(label: &str, points: &[PerfPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            let events = p.events.map_or("null".to_owned(), |e| e.to_string());
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"wall_secs\": {:.3}, ",
+                    "\"events\": {}, \"checksum\": {}}}"
+                ),
+                p.name, p.wall_secs, events, p.checksum
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"label\": \"{}\",\n  \"points\": [\n{}\n  ]\n}}",
+        label,
+        rows.join(",\n")
+    )
+}
+
+/// Merges a baseline document (verbatim) with a fresh run into the
+/// `BENCH_perf.json` schema, computing per-point speedups by name.
+#[must_use]
+pub fn merged_json(before_doc: &str, after: &[PerfPoint]) -> String {
+    let speedups: Vec<String> = after
+        .iter()
+        .filter_map(|p| {
+            // Minimal extraction: find the matching name in the baseline
+            // document and read its wall_secs field.
+            let needle = format!("\"name\": \"{}\", \"wall_secs\": ", p.name);
+            let at = before_doc.find(&needle)? + needle.len();
+            let rest = &before_doc[at..];
+            let end = rest.find(',')?;
+            let before_secs: f64 = rest[..end].trim().parse().ok()?;
+            if p.wall_secs > 0.0 {
+                Some(format!(
+                    "    \"{}\": {:.2}",
+                    p.name,
+                    before_secs / p.wall_secs
+                ))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let indent = |doc: &str| doc.replace('\n', "\n  ");
+    format!(
+        "{{\n  \"before\": {},\n  \"after\": {},\n  \"speedup\": {{\n{}\n  }}\n}}",
+        indent(before_doc.trim()),
+        indent(to_json("after", after).trim()),
+        speedups.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_delivers_everything() {
+        let (events, delivered) = forward_storm(500);
+        assert_eq!(delivered, 500);
+        assert!(events.unwrap() > 500 * 8);
+    }
+
+    #[test]
+    fn json_round_trip_merges_speedup() {
+        let before = vec![PerfPoint {
+            name: "x".into(),
+            wall_secs: 2.0,
+            events: Some(10),
+            checksum: 3,
+        }];
+        let after = vec![PerfPoint {
+            name: "x".into(),
+            wall_secs: 1.0,
+            events: Some(10),
+            checksum: 3,
+        }];
+        let doc = merged_json(&to_json("before", &before), &after);
+        assert!(doc.contains("\"x\": 2.00"), "{doc}");
+        assert!(doc.contains("\"label\": \"before\""));
+        assert!(doc.contains("\"label\": \"after\""));
+    }
+}

@@ -118,12 +118,15 @@ enum ProbeKind {
 #[derive(Debug, Clone)]
 struct Outstanding {
     kind: ProbeKind,
-    deadline: SimTime,
     /// Retransmissions so far (0 for a first send).
     attempts: u32,
     /// The probe's path, kept so a timeout can re-send it verbatim.
     path: Path,
 }
+
+/// Number of distinct retry-backoff classes (attempts are capped at 6
+/// when computing the timeout multiplier, so 0..=6).
+const BACKOFF_CLASSES: usize = 7;
 
 /// A timed-out probe awaiting retransmission.
 #[derive(Debug, Clone)]
@@ -185,6 +188,13 @@ pub struct DiscoveryState {
     hinted_pairs: Option<HashMap<SwitchId, Vec<(PortNo, PortNo)>>>,
     jobs: VecDeque<ScanJob>,
     outstanding: HashMap<u64, Outstanding>,
+    /// Probe deadlines, bucketed by backoff class. Emission times are
+    /// monotone and every probe in a class shares the same timeout, so
+    /// each queue is sorted by construction; replied probes are skipped
+    /// lazily. Keeps [`DiscoveryState::expire`] and
+    /// [`DiscoveryState::next_deadline`] amortized O(1) per probe
+    /// instead of O(outstanding) per call.
+    deadlines: [VecDeque<(SimTime, u64)>; BACKOFF_CLASSES],
     /// Timed-out probes waiting to be re-sent (drained before jobs).
     retries: VecDeque<Retry>,
     next_probe_id: u64,
@@ -222,6 +232,7 @@ impl DiscoveryState {
             switches: HashMap::new(),
             jobs,
             outstanding: HashMap::new(),
+            deadlines: Default::default(),
             retries: VecDeque::new(),
             next_probe_id: 1,
             probes_sent: 0,
@@ -489,11 +500,11 @@ impl DiscoveryState {
                 .nanos()
                 .saturating_mul(1u64 << attempts.min(6)),
         );
+        self.deadlines[attempts.min(6) as usize].push_back((now + wait, probe_id));
         self.outstanding.insert(
             probe_id,
             Outstanding {
                 kind,
-                deadline: now + wait,
                 attempts,
                 path: path.clone(),
             },
@@ -641,12 +652,20 @@ impl DiscoveryState {
     /// a retried stage-1 probe stays on its switch's ledger until the
     /// final attempt dies, so host scans cannot start early.
     pub fn expire(&mut self, now: SimTime) -> usize {
-        let mut dead: Vec<u64> = self
-            .outstanding
-            .iter()
-            .filter(|(_, r)| r.deadline <= now)
-            .map(|(&id, _)| id)
-            .collect();
+        let mut dead: Vec<u64> = Vec::new();
+        for q in &mut self.deadlines {
+            while let Some(&(dl, id)) = q.front() {
+                if dl > now {
+                    break;
+                }
+                q.pop_front();
+                // Probes answered in the meantime were already removed
+                // from `outstanding`; their queue entries are stale.
+                if self.outstanding.contains_key(&id) {
+                    dead.push(id);
+                }
+            }
+        }
         // Retry in probe-ID order: the map's hash order would make the
         // re-send sequence (and thus any fault-injection RNG draws)
         // nondeterministic across runs.
@@ -687,9 +706,22 @@ impl DiscoveryState {
     }
 
     /// Earliest outstanding deadline (for the caller's expiry timer).
-    #[must_use]
-    pub fn next_deadline(&self) -> Option<SimTime> {
-        self.outstanding.values().map(|r| r.deadline).min()
+    /// Drops already-answered probes off the queue fronts as a side
+    /// effect, hence `&mut self`.
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        let mut min: Option<SimTime> = None;
+        for q in &mut self.deadlines {
+            while let Some(&(_, id)) = q.front() {
+                if self.outstanding.contains_key(&id) {
+                    break;
+                }
+                q.pop_front();
+            }
+            if let Some(&(dl, _)) = q.front() {
+                min = Some(min.map_or(dl, |m| m.min(dl)));
+            }
+        }
+        min
     }
 
     fn finish_stage1_probe(&mut self, sw: SwitchId) {

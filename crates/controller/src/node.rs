@@ -7,12 +7,15 @@
 //! changes to standby controllers with heartbeat-based takeover.
 
 use std::any::Any;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use dumbnet_packet::control::{LinkEvent, TopoDelta};
 use dumbnet_packet::{ControlMessage, Packet, Payload};
 use dumbnet_sim::{Ctx, Node};
-use dumbnet_topology::{pathgraph, spath, PathGraphParams, Topology};
+use dumbnet_topology::{pathgraph, PathGraph, PathGraphParams, RouteCache, Topology};
 use dumbnet_types::{HostId, MacAddr, Path, PortId, PortNo, SimDuration, SimTime, SwitchId};
 
 use crate::discovery::{DiscoveryConfig, DiscoveryState};
@@ -28,6 +31,30 @@ const NIC: PortNo = match PortNo::new(1) {
 const T_PUMP: u64 = 1;
 const T_HEARTBEAT: u64 = 2;
 const T_TAKEOVER: u64 = 3;
+
+/// Domain separator for the route cache's ECMP tie-break stream (mixed
+/// with the controller's host ID so replicas draw distinct spreads).
+const ROUTE_CACHE_SALT: u64 = 0x0C0A_11E5_0D1D_C0DE;
+
+/// Domain separator for cached path-graph construction randomness.
+const GRAPH_CACHE_SALT: u64 = 0x6A21_B01D_FACE_0FF5;
+
+/// Derives the seed a path graph for `(src, dst)` is built with at a
+/// given topology version. A pure function of the key — not of query
+/// arrival order — so cache hits and fresh builds are indistinguishable.
+fn graph_build_seed(salt: u64, version: u64, src: MacAddr, dst: MacAddr) -> u64 {
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+    fn mac64(m: MacAddr) -> u64 {
+        let o = m.octets();
+        u64::from_be_bytes([0, 0, o[0], o[1], o[2], o[3], o[4], o[5]])
+    }
+    mix(salt ^ mix(version) ^ mix(mac64(src) << 1 | 1) ^ mix(mac64(dst) << 1))
+}
 
 /// Controller configuration.
 #[derive(Debug, Clone)]
@@ -104,6 +131,10 @@ pub struct ControllerStats {
     pub is_leader: bool,
 }
 
+/// One memoized path-graph build: the topology version it was built at
+/// and the result (`None` caches "no graph constructible").
+type CachedGraph = (u64, Option<Box<PathGraph>>);
+
 /// The controller node.
 pub struct Controller {
     /// This controller's host identity on the fabric.
@@ -120,6 +151,12 @@ pub struct Controller {
     seen_events: HashSet<(SwitchId, PortNo, bool, u64)>,
     last_leader_seen: SimTime,
     hello_sent: bool,
+    /// Memoized shortest routes for hellos, heartbeats, patch floods and
+    /// reply paths. Invalidation: see [`Controller::invalidate_caches`].
+    route_cache: RouteCache,
+    /// Memoized path graphs for the query service, validated per entry
+    /// against the topology version they were built at.
+    graph_cache: HashMap<(MacAddr, MacAddr), CachedGraph>,
     /// Experiment output.
     pub stats: ControllerStats,
 }
@@ -159,6 +196,8 @@ impl Controller {
             seen_events: HashSet::new(),
             last_leader_seen: SimTime::ZERO,
             hello_sent: false,
+            route_cache: RouteCache::new(ROUTE_CACHE_SALT ^ id.get()),
+            graph_cache: HashMap::new(),
             stats,
             config,
         }
@@ -189,22 +228,71 @@ impl Controller {
     }
 
     /// Tag path from this controller to `dst_mac`, over the current
-    /// topology view.
-    fn path_to(&self, ctx: &mut Ctx<'_>, dst_mac: MacAddr) -> Option<Path> {
-        let topo = self.topology.as_ref()?;
+    /// topology view. Routes come from the seeded [`RouteCache`]: stable
+    /// per `(pair, epoch)`, ECMP-spread across pairs and epochs.
+    fn path_to(&mut self, _ctx: &mut Ctx<'_>, dst_mac: MacAddr) -> Option<Path> {
         let (my_id, my_sw) = self.my_attach()?;
+        let topo = self.topology.as_ref()?;
         let dst = topo.host_by_mac(dst_mac)?;
-        let route = spath::shortest_route(topo, my_sw, dst.attached.switch, ctx.rng())?;
-        route.to_tag_path(topo, my_id, dst.id).ok()
+        let (dst_id, dst_sw) = (dst.id, dst.attached.switch);
+        let route = self.route_cache.route(topo, my_sw, dst_sw)?;
+        route.to_tag_path(topo, my_id, dst_id).ok()
     }
 
     /// Tag path from `src_mac` back to this controller.
-    fn path_from(&self, ctx: &mut Ctx<'_>, src_mac: MacAddr) -> Option<Path> {
-        let topo = self.topology.as_ref()?;
+    fn path_from(&mut self, _ctx: &mut Ctx<'_>, src_mac: MacAddr) -> Option<Path> {
         let (my_id, my_sw) = self.my_attach()?;
+        let topo = self.topology.as_ref()?;
         let src = topo.host_by_mac(src_mac)?;
-        let route = spath::shortest_route(topo, src.attached.switch, my_sw, ctx.rng())?;
-        route.to_tag_path(topo, src.id, my_id).ok()
+        let (src_id, src_sw) = (src.id, src.attached.switch);
+        let route = self.route_cache.route(topo, src_sw, my_sw)?;
+        route.to_tag_path(topo, src_id, my_id).ok()
+    }
+
+    /// Applies the cache invalidation rules for a topology delta:
+    /// link-down evicts exactly the routes crossing the dead edge;
+    /// link-up bumps the epoch (restored capacity can improve anything).
+    /// Path graphs are validated against `topo_version` per entry, so
+    /// the version bump the caller performs retires them lazily.
+    fn invalidate_caches(&mut self, delta: &TopoDelta) {
+        if delta.up.is_empty() {
+            for &(a, b) in &delta.down {
+                self.route_cache.invalidate_edge(a, b);
+            }
+        } else {
+            self.route_cache.bump_epoch();
+        }
+    }
+
+    /// Route-cache effectiveness counters `(hits, misses)`.
+    #[must_use]
+    pub fn route_cache_stats(&self) -> (u64, u64) {
+        (self.route_cache.hits, self.route_cache.misses)
+    }
+
+    /// Warms the route cache with every host-facing pair this controller
+    /// will route to (hellos, heartbeats, patch floods, reply paths),
+    /// fanned out over the [`RouteCache::precompute`] worker pool.
+    /// Per-pair seeding makes the result byte-identical to on-demand
+    /// computation for any worker count.
+    fn precompute_routes(&mut self) {
+        let Some((_, my_sw)) = self.my_attach() else {
+            return;
+        };
+        let Some(topo) = self.topology.as_ref() else {
+            return;
+        };
+        let mut seen = HashSet::new();
+        let mut pairs = Vec::new();
+        for h in topo.hosts() {
+            let s = h.attached.switch;
+            if s != my_sw && seen.insert(s) {
+                pairs.push((my_sw, s));
+                pairs.push((s, my_sw));
+            }
+        }
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get().min(4));
+        self.route_cache.precompute(topo, &pairs, workers);
     }
 
     fn send_to(&self, ctx: &mut Ctx<'_>, dst: MacAddr, path: Path, msg: ControlMessage) {
@@ -238,6 +326,7 @@ impl Controller {
             .map(|h| h.mac)
             .filter(|&m| m != self.mac)
             .collect();
+        self.precompute_routes();
         for mac in hosts {
             let Some(fwd) = self.path_to(ctx, mac) else {
                 continue;
@@ -264,6 +353,11 @@ impl Controller {
             return;
         };
         loop {
+            // Expire eagerly: with the bucketed deadline queues this is
+            // amortized O(1) per probe, and it keeps `outstanding`
+            // bounded by the timeout window (instead of accumulating
+            // millions of stale entries until the pump next idles).
+            let expired = disc.expire(now);
             if let Some(probe) = disc.next_probe(now) {
                 let msg = ControlMessage::Probe {
                     origin: self.mac,
@@ -277,9 +371,10 @@ impl Controller {
                 ctx.set_timer(self.config.probe_interval, T_PUMP);
                 return;
             }
-            // Nothing ready: expire stale probes; expiry can unlock new
-            // jobs (host scans), so loop back and retry.
-            if disc.expire(now) == 0 {
+            // Nothing ready and nothing expired: the pump is idle until
+            // a reply or deadline. (A nonzero expiry can unlock new jobs
+            // — host scans — so loop back and retry in that case.)
+            if expired == 0 {
                 break;
             }
         }
@@ -306,6 +401,9 @@ impl Controller {
             Ok(topo) => {
                 self.topology = Some(topo);
                 self.topo_version = 1;
+                // A whole-new topology invalidates everything derived.
+                self.route_cache.bump_epoch();
+                self.graph_cache.clear();
                 self.send_hellos(ctx);
             }
             Err(_) => {
@@ -348,6 +446,7 @@ impl Controller {
         let Some(delta) = self.apply_event(event) else {
             return;
         };
+        self.invalidate_caches(&delta);
         self.topo_version += 1;
         if self.log.role() == ReplicaRole::Leader {
             let entry = self.log.append(self.topo_version, delta.clone());
@@ -407,14 +506,29 @@ impl Controller {
         let done = start + self.config.query_service_time;
         self.busy_until = done;
         let delay = done - now;
-        let graph = (|| {
-            let topo = self.topology.as_ref()?;
-            let s = topo.host_by_mac(src)?.id;
-            let d = topo.host_by_mac(dst)?.id;
-            pathgraph::build(topo, s, d, &self.config.pathgraph, ctx.rng())
-                .ok()
-                .map(Box::new)
-        })();
+        let version = self.topo_version;
+        let graph = match self.graph_cache.get(&(src, dst)) {
+            Some((v, g)) if *v == version => g.clone(),
+            _ => {
+                // Miss or stale entry. Build with an RNG derived from the
+                // (version, pair) key — never `ctx.rng()` — so the graph a
+                // requester receives does not depend on which queries the
+                // controller happened to serve earlier.
+                let seed = graph_build_seed(GRAPH_CACHE_SALT ^ self.id.get(), version, src, dst);
+                let built = (|| {
+                    let topo = self.topology.as_ref()?;
+                    let s = topo.host_by_mac(src)?.id;
+                    let d = topo.host_by_mac(dst)?.id;
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    pathgraph::build(topo, s, d, &self.config.pathgraph, &mut rng)
+                        .ok()
+                        .map(Box::new)
+                })();
+                self.graph_cache
+                    .insert((src, dst), (version, built.clone()));
+                built
+            }
+        };
         let reply = ControlMessage::PathReply {
             request_id,
             graph,
@@ -523,6 +637,7 @@ impl Controller {
                                 }
                             }
                         }
+                        self.invalidate_caches(&delta);
                         if version > self.topo_version {
                             self.topo_version = version;
                         }

@@ -24,6 +24,9 @@ pub struct TopoCache {
     down: HashSet<(SwitchId, SwitchId)>,
     /// Latest topology version seen from the controller.
     pub topo_version: u64,
+    /// Memoized [`TopoCache::k_paths`] results, valid for the current
+    /// `(graphs, down)` state; cleared on integrate/mark_down/mark_up.
+    k_memo: HashMap<(MacAddr, usize), (Vec<CachedPath>, Option<CachedPath>)>,
 }
 
 impl TopoCache {
@@ -42,6 +45,7 @@ impl TopoCache {
         // down-markings it already accounts for (edges absent from it
         // stay marked for other cached graphs).
         self.graphs.insert(dst, graph);
+        self.k_memo.clear();
     }
 
     /// Whether the cache knows the location of `dst`.
@@ -79,13 +83,19 @@ impl TopoCache {
     /// was new information.
     pub fn mark_down(&mut self, a: SwitchId, b: SwitchId) -> bool {
         let key = if a <= b { (a, b) } else { (b, a) };
-        self.down.insert(key)
+        let new = self.down.insert(key);
+        if new {
+            self.k_memo.clear();
+        }
+        new
     }
 
     /// Marks an edge back up (topology patch).
     pub fn mark_up(&mut self, a: SwitchId, b: SwitchId) {
         let key = if a <= b { (a, b) } else { (b, a) };
-        self.down.remove(&key);
+        if self.down.remove(&key) {
+            self.k_memo.clear();
+        }
     }
 
     /// The down-edge set.
@@ -117,9 +127,17 @@ impl TopoCache {
 
     /// Computes up to `k` routes (with their tag paths) for `dst` within
     /// the cached graph, avoiding down edges. Returns pairs ordered
-    /// shortest-first, plus the backup path if it survives.
+    /// shortest-first, plus the backup path if it survives. Results are
+    /// memoized until the next graph integration or edge-state change.
     #[must_use]
-    pub fn k_paths(&self, dst: MacAddr, k: usize) -> Option<(Vec<CachedPath>, Option<CachedPath>)> {
+    pub fn k_paths(
+        &mut self,
+        dst: MacAddr,
+        k: usize,
+    ) -> Option<(Vec<CachedPath>, Option<CachedPath>)> {
+        if let Some(hit) = self.k_memo.get(&(dst, k)) {
+            return Some(hit.clone());
+        }
         let graph = self.graphs.get(&dst)?;
         let routes = graph.k_shortest_within(k, &self.down);
         let mut cached = Vec::with_capacity(routes.len());
@@ -138,6 +156,8 @@ impl TopoCache {
                 None
             }
         });
+        self.k_memo
+            .insert((dst, k), (cached.clone(), backup.clone()));
         Some((cached, backup))
     }
 
@@ -247,7 +267,7 @@ mod tests {
 
     #[test]
     fn unknown_destination_returns_none() {
-        let tc = TopoCache::new();
+        let mut tc = TopoCache::new();
         assert!(tc.k_paths(MacAddr::for_host(5), 4).is_none());
         assert!(tc.best_path(MacAddr::for_host(5)).is_none());
     }

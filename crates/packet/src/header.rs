@@ -111,11 +111,10 @@ impl DumbNetFrame {
     ///
     /// Returns the popped tag; the frame now carries the remaining path.
     /// Returns `None` when no tags remain (the switch drops such frames —
-    /// only a host should ever see an exhausted path).
+    /// only a host should ever see an exhausted path). O(1): the path's
+    /// head cursor advances in place, no reallocation.
     pub fn pop_tag(&mut self) -> Option<Tag> {
-        let (head, rest) = self.path.split_first()?;
-        self.path = rest;
-        Some(head)
+        self.path.pop_front()
     }
 
     /// The destination host operation: validate that the path is fully
@@ -248,6 +247,51 @@ mod tests {
         let parsed = DumbNetFrame::from_wire(&f.to_wire()).unwrap();
         assert!(parsed.path.is_empty());
         assert!(parsed.strip_delivery().is_ok());
+    }
+
+    #[test]
+    fn strip_regenerates_fcs_over_post_strip_bytes() {
+        use crate::ethernet::crc32;
+        let mut f = sample();
+        while f.pop_tag().is_some() {}
+        let pre_strip = f.to_wire();
+        let inner = f.strip_delivery().unwrap().to_wire();
+        // The delivered frame's FCS is a fresh CRC-32 over its own
+        // (tag-free) body — not the pre-strip frame's trailer carried
+        // over.
+        let body = &inner[..inner.len() - EthernetFrame::FCS_LEN];
+        let fcs = u32::from_be_bytes(
+            inner[inner.len() - EthernetFrame::FCS_LEN..]
+                .try_into()
+                .unwrap(),
+        );
+        assert_eq!(fcs, crc32(body));
+        let old_fcs = u32::from_be_bytes(
+            pre_strip[pre_strip.len() - EthernetFrame::FCS_LEN..]
+                .try_into()
+                .unwrap(),
+        );
+        assert_ne!(
+            fcs, old_fcs,
+            "stripping must not reuse the tagged frame's FCS"
+        );
+        assert!(EthernetFrame::from_wire(&inner).is_ok());
+    }
+
+    #[test]
+    fn flipped_tag_on_wire_fails_fcs_check() {
+        let f = sample();
+        let mut wire = f.to_wire();
+        // The first routing tag sits right after the 14-byte Ethernet
+        // header. Corrupt it in flight: the FCS (computed over the tags
+        // too) must catch the flip at the next parse.
+        let tag_offset = EthernetFrame::HEADER_LEN;
+        assert_eq!(wire[tag_offset], 2, "first tag of 2-3-5-ø");
+        wire[tag_offset] ^= 0x04;
+        assert!(matches!(
+            DumbNetFrame::from_wire(&wire),
+            Err(DumbNetError::MalformedFrame(_))
+        ));
     }
 
     #[test]

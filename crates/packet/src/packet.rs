@@ -109,11 +109,10 @@ impl Packet {
         }
     }
 
-    /// Pops the head tag (the switch data-plane operation).
+    /// Pops the head tag (the switch data-plane operation). O(1): the
+    /// path's head cursor advances in place, no reallocation.
     pub fn pop_tag(&mut self) -> Option<Tag> {
-        let (head, rest) = self.path.split_first()?;
-        self.path = rest;
-        Some(head)
+        self.path.pop_front()
     }
 
     /// On-wire size in bytes: Ethernet header, remaining tags + ø, inner

@@ -1,0 +1,162 @@
+//! Boundary-value audit of the tag space across every codec.
+//!
+//! The tag byte has three special values: `0x00` (ID query), `0xFE`
+//! (the largest physical port) and `0xFF` (the ø end-of-path marker).
+//! These tests pin the contract at each boundary for the native tag-list
+//! framing ([`DumbNetFrame`]) and the MPLS label-stack encoding
+//! ([`LabelStack`]): `0xFE` must survive every round trip, and the
+//! reserved values must be rejected at *encode* time — never silently
+//! emitted and caught (or worse, misrouted) by a decoder later.
+
+use proptest::prelude::*;
+
+use dumbnet_packet::ethernet::ETHERTYPE_IPV4;
+use dumbnet_packet::header::DumbNetFrame;
+use dumbnet_packet::mpls::{LabelStack, MplsLabel};
+use dumbnet_types::{DumbNetError, MacAddr, Path, Tag};
+
+/// Every byte value, partitioned exactly as the spec partitions it.
+#[test]
+fn exhaustive_tag_byte_classification() {
+    for b in 0..=255u8 {
+        let port_ok = (1..=Tag::MAX_PORT).contains(&b);
+        // Tag::port: strictly ports — 0x00 and 0xFF both refused.
+        match Tag::port(b) {
+            Ok(t) => {
+                assert!(port_ok, "Tag::port accepted reserved byte {b:#04x}");
+                assert_eq!(t.byte(), b);
+            }
+            Err(DumbNetError::InvalidPort(p)) => {
+                assert!(!port_ok, "Tag::port rejected valid port {b:#04x}");
+                assert_eq!(p, b);
+            }
+            Err(e) => panic!("Tag::port({b:#04x}): unexpected error {e}"),
+        }
+        // Path::from_ports inherits exactly Tag::port's domain.
+        assert_eq!(Path::from_ports([b]).is_ok(), port_ok, "byte {b:#04x}");
+        // Path::from_tags additionally admits ID_QUERY (0x00); only the
+        // framing marker ø may never appear inside a path.
+        let tags_ok = b != Tag::END.byte();
+        match Path::from_tags([Tag(b)]) {
+            Ok(p) => {
+                assert!(tags_ok, "from_tags accepted ø");
+                assert_eq!(p.tags(), &[Tag(b)]);
+            }
+            Err(DumbNetError::InvalidTagInPath(t)) => {
+                assert!(!tags_ok, "from_tags rejected {b:#04x}");
+                assert_eq!(t, b);
+            }
+            Err(e) => panic!("from_tags({b:#04x}): unexpected error {e}"),
+        }
+        // Incremental construction enforces the same rule.
+        assert_eq!(Path::empty().push(Tag(b)).is_ok(), tags_ok, "{b:#04x}");
+    }
+}
+
+/// 0xFE is a legal port and must round-trip the native framing intact,
+/// including at the maximum path length.
+#[test]
+fn max_port_round_trips_native_codec() {
+    let full = Path::from_ports(std::iter::repeat_n(Tag::MAX_PORT, Path::MAX_LEN)).unwrap();
+    for path in [Path::from_ports([Tag::MAX_PORT]).unwrap(), full] {
+        let (decoded, used) = Path::from_wire(&path.to_wire()).unwrap();
+        assert_eq!(decoded, path);
+        assert_eq!(used, path.len() + 1);
+        let frame = DumbNetFrame::encapsulate(
+            MacAddr::for_host(1),
+            MacAddr::for_host(2),
+            path.clone(),
+            ETHERTYPE_IPV4,
+            vec![0xAA; 16],
+        );
+        let reparsed = DumbNetFrame::from_wire(&frame.to_wire()).unwrap();
+        assert_eq!(reparsed.path, path);
+    }
+}
+
+/// 0xFE as an MPLS label is an ordinary port label; only the bottom
+/// sentinel carries 0xFF.
+#[test]
+fn max_port_round_trips_mpls_stack() {
+    let path = Path::from_tags([Tag(Tag::MAX_PORT), Tag::ID_QUERY, Tag(1)]).unwrap();
+    let stack = LabelStack::from_path(&path);
+    assert_eq!(stack.labels[0].label, u32::from(Tag::MAX_PORT));
+    assert!(stack.labels.iter().rev().skip(1).all(|l| !l.bottom));
+    let (parsed, used) = LabelStack::from_wire(&stack.to_wire()).unwrap();
+    assert_eq!(used, stack.wire_len());
+    assert_eq!(parsed.to_path().unwrap(), path);
+}
+
+/// A label stack carrying ø (0xFF) above the bottom entry decodes to an
+/// error, not to a path containing the marker.
+#[test]
+fn mpls_end_marker_mid_stack_rejected() {
+    let stack = LabelStack {
+        labels: vec![
+            MplsLabel {
+                label: u32::from(Tag::END.byte()),
+                tc: 0,
+                bottom: false,
+                ttl: MplsLabel::DEFAULT_TTL,
+            },
+            MplsLabel {
+                label: u32::from(Tag::END.byte()),
+                tc: 0,
+                bottom: true,
+                ttl: MplsLabel::DEFAULT_TTL,
+            },
+        ],
+    };
+    assert!(matches!(
+        stack.to_path(),
+        Err(DumbNetError::InvalidTagInPath(0xFF))
+    ));
+}
+
+proptest! {
+    /// Any sequence of in-range tag bytes survives both codecs and both
+    /// decoders agree with each other.
+    #[test]
+    fn valid_tag_sequences_round_trip_both_codecs(
+        bytes in proptest::collection::vec(0u8..=0xFE, 0..Path::MAX_LEN + 1),
+    ) {
+        let path = Path::from_tags(bytes.iter().map(|&b| Tag(b))).unwrap();
+
+        // Native framing.
+        let (native, used) = Path::from_wire(&path.to_wire()).unwrap();
+        prop_assert_eq!(&native, &path);
+        prop_assert_eq!(used, bytes.len() + 1);
+
+        // MPLS label stack.
+        let stack = LabelStack::from_path(&path);
+        prop_assert_eq!(stack.wire_len(), (bytes.len() + 1) * 4);
+        let (parsed, _) = LabelStack::from_wire(&stack.to_wire()).unwrap();
+        prop_assert_eq!(parsed.to_path().unwrap(), path);
+    }
+
+    /// Popping tags hop by hop preserves wire validity at every step in
+    /// both encodings — the frame a mid-path switch emits is always
+    /// decodable by the next one.
+    #[test]
+    fn per_hop_views_stay_wire_valid(
+        bytes in proptest::collection::vec(1u8..=0xFE, 1..9),
+    ) {
+        let path = Path::from_tags(bytes.iter().map(|&b| Tag(b))).unwrap();
+        let mut frame = DumbNetFrame::encapsulate(
+            MacAddr::for_host(3),
+            MacAddr::for_host(4),
+            path,
+            ETHERTYPE_IPV4,
+            vec![1, 2, 3],
+        );
+        for &expect in &bytes {
+            let reparsed = DumbNetFrame::from_wire(&frame.to_wire()).unwrap();
+            prop_assert_eq!(&reparsed, &frame);
+            let mpls = LabelStack::from_path(&frame.path);
+            prop_assert_eq!(mpls.to_path().unwrap(), frame.path.clone());
+            prop_assert_eq!(frame.pop_tag(), Some(Tag(expect)));
+        }
+        prop_assert!(frame.path.is_empty());
+        prop_assert!(frame.strip_delivery().is_ok());
+    }
+}

@@ -12,7 +12,6 @@
 //! and the execution order well-defined.
 
 use std::any::Any;
-use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -134,12 +133,31 @@ struct Wire {
 #[derive(Debug, Default)]
 struct Wiring {
     wires: Vec<Wire>,
-    port_map: HashMap<(usize, u8), WireId>,
+    /// Dense per-node port table, indexed `[node][port]` (ports are
+    /// 1..=254, so slot 0 is always empty). Replaces a hash map on the
+    /// transmit hot path: wire lookup is two array indexes.
+    port_map: Vec<Vec<Option<WireId>>>,
 }
 
 impl Wiring {
     fn at(&self, node: NodeAddr, port: PortNo) -> Option<WireId> {
-        self.port_map.get(&(node.0, port.get())).copied()
+        *self
+            .port_map
+            .get(node.0)?
+            .get(usize::from(port.get()))
+            .unwrap_or(&None)
+    }
+
+    fn map_port(&mut self, node: NodeAddr, port: PortNo, id: WireId) {
+        if self.port_map.len() <= node.0 {
+            self.port_map.resize_with(node.0 + 1, Vec::new);
+        }
+        let ports = &mut self.port_map[node.0];
+        let ix = usize::from(port.get());
+        if ports.len() <= ix {
+            ports.resize(ix + 1, None);
+        }
+        ports[ix] = Some(id);
     }
 }
 
@@ -292,15 +310,18 @@ impl Ctx<'_> {
     /// The ports of this node that are wired, in ascending order.
     #[must_use]
     pub fn wired_ports(&self) -> Vec<PortNo> {
-        let mut ports: Vec<PortNo> = self
-            .wiring
+        self.wiring
             .port_map
-            .keys()
-            .filter(|&&(n, _)| n == self.addr.0)
-            .filter_map(|&(_, p)| PortNo::new(p))
-            .collect();
-        ports.sort();
-        ports
+            .get(self.addr.0)
+            .map(|ports| {
+                ports
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.is_some())
+                    .filter_map(|(ix, _)| PortNo::new(u8::try_from(ix).ok()?))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Whether `port` currently has an up wire.
@@ -335,6 +356,9 @@ pub struct World {
     fault_rng: StdRng,
     stats: WorldStats,
     started: bool,
+    /// Reusable action buffer for [`World::with_node`], so dispatching
+    /// an event does not allocate when the handler emits few actions.
+    scratch: Vec<Action>,
 }
 
 /// Default fault-RNG domain separator (XORed with the world seed).
@@ -357,6 +381,7 @@ impl World {
             fault_rng: StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
             stats: WorldStats::default(),
             started: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -409,8 +434,8 @@ impl World {
         });
         self.faults.push(None);
         self.link_stats.push(LinkStats::default());
-        self.wiring.port_map.insert((a.0, pa.get()), id);
-        self.wiring.port_map.insert((b.0, pb.get()), id);
+        self.wiring.map_port(a, pa, id);
+        self.wiring.map_port(b, pb, id);
         Ok(id)
     }
 
@@ -565,11 +590,7 @@ impl World {
     /// `until`.
     pub fn run_until(&mut self, until: SimTime) -> WorldStats {
         self.ensure_started();
-        while let Some(t) = self.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            let (t, ev) = self.queue.pop().expect("peeked");
+        while let Some((t, ev)) = self.queue.pop_before(until) {
             self.now = t;
             self.dispatch(ev);
         }
@@ -698,18 +719,26 @@ impl World {
         let Some(mut node) = slot.take() else {
             return;
         };
+        // The scratch buffer keeps its allocation across events; taking
+        // it leaves an empty Vec behind for re-entrant dispatches (a
+        // handler's actions can trigger further handlers via `apply`).
         let mut ctx = Ctx {
             now: self.now,
             addr,
             wiring: &self.wiring,
             rng: &mut self.rng,
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.scratch),
         };
         f(&mut node, &mut ctx);
-        let actions = ctx.actions;
+        let mut actions = ctx.actions;
         self.nodes[addr.0] = Some(node);
-        for action in actions {
+        for action in actions.drain(..) {
             self.apply(addr, action);
+        }
+        // Hand the (now empty) buffer back unless a nested dispatch
+        // already replaced it with a bigger one.
+        if actions.capacity() > self.scratch.capacity() {
+            self.scratch = actions;
         }
     }
 

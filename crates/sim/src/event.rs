@@ -1,18 +1,61 @@
 //! The deterministic event queue.
 //!
-//! A binary heap ordered by `(time, seq)`, where `seq` is a monotonically
-//! increasing insertion counter: events at the same virtual instant fire
-//! in insertion order, making runs bit-for-bit reproducible.
+//! A calendar queue (bucketed time-wheel) with a binary-heap overflow,
+//! ordered by `(time, seq)`, where `seq` is a monotonically increasing
+//! insertion counter: events at the same virtual instant fire in
+//! insertion order, making runs bit-for-bit reproducible.
+//!
+//! Near-future events — the overwhelming majority in a packet-level
+//! simulation, where wire latencies and serialization delays are
+//! microseconds — land in a fixed ring of buckets indexed by
+//! `time >> BUCKET_SHIFT`. Pushing is an append onto a small vector;
+//! popping sorts the active bucket lazily (once, when the cursor
+//! reaches it) and then pops from its tail. Events beyond the wheel
+//! horizon, or behind the cursor after it advanced past their bucket,
+//! go to the overflow heap; `pop` compares the wheel head against the
+//! overflow head by `(time, seq)`, so the total order is exactly the
+//! one the old pure-heap implementation produced.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use dumbnet_types::SimTime;
 
+/// log2 of the bucket width in nanoseconds (4.096 µs per bucket).
+const BUCKET_SHIFT: u32 = 12;
+/// log2 of the wheel size. 1024 buckets × 4.096 µs ≈ 4.2 ms horizon —
+/// comfortably covers packet flight times; long timers take the
+/// overflow heap, which is no worse than the old implementation.
+const WHEEL_BITS: u32 = 10;
+const WHEEL: usize = 1 << WHEEL_BITS;
+
+/// One wheel slot. `sorted` buckets hold items in *descending*
+/// `(time, seq)` order so the earliest event pops off the tail in O(1).
+#[derive(Debug)]
+struct Bucket<E> {
+    items: Vec<(SimTime, u64, E)>,
+    sorted: bool,
+}
+
+impl<E> Default for Bucket<E> {
+    fn default() -> Bucket<E> {
+        Bucket {
+            items: Vec::new(),
+            sorted: false,
+        }
+    }
+}
+
 /// A time-ordered, insertion-stable event queue.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(SimTime, u64, OrdIgnored<E>)>>,
+    wheel: Vec<Bucket<E>>,
+    /// Virtual index (`nanos >> BUCKET_SHIFT`, unwrapped) of the bucket
+    /// the cursor is on; the wheel window is `[base_vb, base_vb+WHEEL)`.
+    base_vb: u64,
+    /// Events pending inside the wheel window.
+    wheel_len: usize,
+    overflow: BinaryHeap<Reverse<(SimTime, u64, OrdIgnored<E>)>>,
     seq: u64,
 }
 
@@ -41,10 +84,21 @@ impl<E> Ord for OrdIgnored<E> {
 impl<E> Default for EventQueue<E> {
     fn default() -> EventQueue<E> {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: (0..WHEEL).map(|_| Bucket::default()).collect(),
+            base_vb: 0,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
             seq: 0,
         }
     }
+}
+
+fn vb_of(at: SimTime) -> u64 {
+    at.nanos() >> BUCKET_SHIFT
+}
+
+const fn slot_of(vb: u64) -> usize {
+    (vb as usize) & (WHEEL - 1)
 }
 
 impl<E> EventQueue<E> {
@@ -58,30 +112,144 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse((at, seq, OrdIgnored(event))));
+        let vb = vb_of(at);
+        if self.wheel_len == 0 {
+            // Empty wheel: the window can be repositioned freely (pop
+            // compares against the overflow head, so order still holds).
+            self.base_vb = vb;
+        }
+        if vb >= self.base_vb && vb - self.base_vb < WHEEL as u64 {
+            let bucket = &mut self.wheel[slot_of(vb)];
+            if bucket.sorted && !bucket.items.is_empty() {
+                // The cursor already sorted this bucket (descending);
+                // keep the invariant so its tail stays the minimum.
+                let pos = bucket.items.partition_point(|e| (e.0, e.1) > (at, seq));
+                bucket.items.insert(pos, (at, seq, event));
+            } else {
+                bucket.sorted = false;
+                bucket.items.push((at, seq, event));
+            }
+            self.wheel_len += 1;
+        } else {
+            // Beyond the horizon, or behind a cursor that advanced past
+            // this bucket while an earlier overflow event was popping.
+            self.overflow.push(Reverse((at, seq, OrdIgnored(event))));
+        }
+    }
+
+    /// Advances the cursor to the first non-empty bucket and returns the
+    /// `(time, seq)` of its earliest event. Caller guarantees
+    /// `wheel_len > 0`.
+    fn wheel_head(&mut self) -> (SimTime, u64) {
+        while self.wheel[slot_of(self.base_vb)].items.is_empty() {
+            self.base_vb += 1;
+        }
+        let bucket = &mut self.wheel[slot_of(self.base_vb)];
+        if !bucket.sorted {
+            bucket
+                .items
+                .sort_unstable_by_key(|x| std::cmp::Reverse((x.0, x.1)));
+            bucket.sorted = true;
+        }
+        let head = bucket.items.last().expect("non-empty bucket");
+        (head.0, head.1)
+    }
+
+    fn pop_wheel(&mut self) -> (SimTime, E) {
+        let bucket = &mut self.wheel[slot_of(self.base_vb)];
+        let (t, _, e) = bucket.items.pop().expect("non-empty bucket");
+        self.wheel_len -= 1;
+        (t, e)
+    }
+
+    fn pop_overflow(&mut self) -> (SimTime, E) {
+        let Reverse((t, _, e)) = self.overflow.pop().expect("non-empty overflow");
+        (t, e.0)
     }
 
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+        match (self.wheel_len > 0, self.overflow.peek().is_some()) {
+            (false, false) => None,
+            (true, false) => {
+                self.wheel_head();
+                Some(self.pop_wheel())
+            }
+            (false, true) => Some(self.pop_overflow()),
+            (true, true) => {
+                let w = self.wheel_head();
+                let Reverse((t, s, _)) = self.overflow.peek().expect("peeked");
+                if w <= (*t, *s) {
+                    Some(self.pop_wheel())
+                } else {
+                    Some(self.pop_overflow())
+                }
+            }
+        }
+    }
+
+    /// Pops the earliest event only if its timestamp is ≤ `until`.
+    /// Equivalent to a `peek_time` check followed by `pop`, but does the
+    /// cursor advance and bucket sort once instead of twice.
+    pub fn pop_before(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        let wheel = if self.wheel_len > 0 {
+            Some(self.wheel_head())
+        } else {
+            None
+        };
+        let over = self.overflow.peek().map(|Reverse((t, s, _))| (*t, *s));
+        let head = match (wheel, over) {
+            (None, None) => return None,
+            (Some(w), None) => w,
+            (None, Some(o)) => o,
+            (Some(w), Some(o)) => w.min(o),
+        };
+        if head.0 > until {
+            return None;
+        }
+        if wheel == Some(head) {
+            Some(self.pop_wheel())
+        } else {
+            Some(self.pop_overflow())
+        }
     }
 
     /// The timestamp of the next event without removing it.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse((t, _, _))| *t)
+        let wheel_t = if self.wheel_len > 0 {
+            let mut vb = self.base_vb;
+            loop {
+                let bucket = &self.wheel[slot_of(vb)];
+                if !bucket.items.is_empty() {
+                    break Some(if bucket.sorted {
+                        bucket.items.last().expect("non-empty").0
+                    } else {
+                        bucket.items.iter().map(|e| e.0).min().expect("non-empty")
+                    });
+                }
+                vb += 1;
+            }
+        } else {
+            None
+        };
+        let over_t = self.overflow.peek().map(|Reverse((t, _, _))| *t);
+        match (wheel_t, over_t) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (t, None) | (None, t) => t,
+        }
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.overflow.len()
     }
 
     /// Returns `true` when no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -122,6 +290,91 @@ mod tests {
         q.push(SimTime::ZERO, 1);
         assert_eq!(q.len(), 1);
         q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_takes_overflow_and_comes_back_ordered() {
+        let mut q = EventQueue::new();
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        // Anchor the window near zero, then push past the ~4 ms horizon.
+        q.push(t(3), "early");
+        q.push(t(50_000), "late");
+        q.push(t(20_000), "mid");
+        assert!(!q.overflow.is_empty(), "horizon overflow expected");
+        assert_eq!(q.pop(), Some((t(3), "early")));
+        assert_eq!(q.pop(), Some((t(20_000), "mid")));
+        assert_eq!(q.pop(), Some((t(50_000), "late")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_split_across_wheel_and_overflow_stay_stable() {
+        let mut q = EventQueue::new();
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        // Window anchored near zero; t=10 ms exceeds the horizon.
+        q.push(t(1), 100u32);
+        q.push(t(10_000), 0);
+        assert!(!q.overflow.is_empty(), "horizon overflow expected");
+        assert_eq!(q.pop(), Some((t(1), 100)));
+        // Wheel now empty: this push reseats the window, so the same
+        // instant lives in the wheel AND the overflow. The overflow
+        // event was pushed first and must still come out first.
+        q.push(t(10_000), 1);
+        assert_eq!(q.wheel_len, 1, "reseated push should take the wheel");
+        assert_eq!(q.pop(), Some((t(10_000), 0)));
+        assert_eq!(q.pop(), Some((t(10_000), 1)));
+    }
+
+    #[test]
+    fn push_behind_cursor_still_delivered_in_order() {
+        let mut q = EventQueue::new();
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        q.push(t(0), "first");
+        q.push(t(6_000), "ovf"); // Past the horizon → overflow.
+        assert_eq!(q.pop(), Some((t(0), "first")));
+        // Wheel empty: this reseats the window at ~7 ms…
+        q.push(t(7_000), "wheel");
+        // …so the overflow event at 6 ms pops with the cursor already
+        // parked *ahead* of it, on the 7 ms bucket.
+        assert_eq!(q.pop(), Some((t(6_000), "ovf")));
+        // A push between now (6 ms) and the cursor (7 ms) is perfectly
+        // legal and must detour via overflow, not be lost or reordered.
+        q.push(t(6_500), "behind");
+        assert_eq!(q.pop(), Some((t(6_500), "behind")));
+        assert_eq!(q.pop(), Some((t(7_000), "wheel")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_before_respects_bound() {
+        let mut q = EventQueue::new();
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        q.push(t(10), "a");
+        q.push(t(30), "b");
+        assert_eq!(q.pop_before(t(20)), Some((t(10), "a")));
+        assert_eq!(q.pop_before(t(20)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(t(30)), Some((t(30), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_horizons() {
+        let mut q = EventQueue::new();
+        let t = |us: u64| SimTime::ZERO + SimDuration::from_micros(us);
+        // Scatter pushes over ~100 ms (≈ 25 horizons) and check the
+        // drain order against a sorted reference.
+        let mut expect = Vec::new();
+        for i in 0..1000u64 {
+            let at = t(i * 97 % 100_000);
+            q.push(at, i);
+            expect.push((at, i));
+        }
+        expect.sort();
+        for (at, i) in expect {
+            assert_eq!(q.pop(), Some((at, i)));
+        }
         assert!(q.is_empty());
     }
 }

@@ -111,8 +111,11 @@ pub fn k_shortest_routes(topo: &Topology, src: SwitchId, dst: SwitchId, k: usize
 
     while accepted.len() < k {
         let last = accepted.last().expect("non-empty").clone();
-        // Spur from every node of the previous accepted path.
-        for spur_ix in 0..last.len() - 1 {
+        // Spur from every node of the previous accepted path. A
+        // single-node path (src == dst: same-leaf hosts, single-switch
+        // fabrics) has no spur edges; `saturating_sub` keeps the range
+        // empty instead of underflowing.
+        for spur_ix in 0..last.len().saturating_sub(1) {
             let spur_node = last[spur_ix];
             let root = &last[..=spur_ix];
             let mut banned_edges: HashSet<(SwitchId, SwitchId)> = HashSet::new();
@@ -223,5 +226,33 @@ mod tests {
         let routes = k_shortest_routes(&t, a, a, 3);
         assert_eq!(routes.len(), 1);
         assert_eq!(routes[0].switches(), &[a]);
+    }
+
+    #[test]
+    fn single_switch_fabric_with_k_greater_than_one() {
+        // Regression: the spur loop once computed `0..last.len() - 1`
+        // with unsigned arithmetic; asking for k > 1 routes between
+        // hosts on the same (single) switch reaches the spur loop with a
+        // one-node path and must not underflow.
+        let mut t = Topology::new();
+        let s = t.add_switch(8);
+        t.add_host_auto(s).unwrap();
+        t.add_host_auto(s).unwrap();
+        for k in 1..=8 {
+            let routes = k_shortest_routes(&t, s, s, k);
+            assert_eq!(routes.len(), 1, "k={k}");
+            assert_eq!(routes[0].switches(), &[s]);
+        }
+    }
+
+    #[test]
+    fn same_leaf_pair_in_leaf_spine() {
+        // Same-leaf src/dst in a real generator topology: the only
+        // simple switch-route is the leaf itself, for any k.
+        let g = generators::leaf_spine(2, 2, 4, 8);
+        let leaves = g.group("leaf");
+        let routes = k_shortest_routes(&g.topology, leaves[0], leaves[0], 4);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].switches(), &[leaves[0]]);
     }
 }

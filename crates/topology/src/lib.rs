@@ -28,6 +28,7 @@
 pub mod generators;
 pub mod graph;
 pub mod ksp;
+pub mod pathcache;
 pub mod pathgraph;
 pub mod route;
 pub mod spath;
@@ -35,6 +36,7 @@ pub mod views;
 
 pub use graph::{Attachment, HostInfo, Link, SwitchInfo, Topology};
 pub use ksp::k_shortest_routes;
+pub use pathcache::RouteCache;
 pub use pathgraph::{PathGraph, PathGraphParams};
 pub use route::Route;
 pub use spath::{shortest_route, shortest_route_weighted, DistanceMap};

@@ -1,0 +1,361 @@
+//! Seeded, deterministic path caches with explicit invalidation.
+//!
+//! The controller recomputes a shortest route (Dijkstra over the whole
+//! fabric) for every hello, heartbeat, patch flood, and path reply — at
+//! fat-tree k=20 scale that dominates emulator wall-clock. The caches
+//! here memoize those computations per topology *epoch*, with two
+//! invalidation rules:
+//!
+//! * **Link down** — surgical: only cached routes that traverse the dead
+//!   edge are evicted ([`RouteCache::invalidate_edge`]). Routes avoiding
+//!   the edge stay valid; cached *unreachable* verdicts also stay valid,
+//!   because removing capacity cannot create connectivity.
+//! * **Link up** — global: the epoch is bumped and the cache cleared
+//!   ([`RouteCache::bump_epoch`]), because restored capacity can shorten
+//!   any route and revive unreachable pairs.
+//!
+//! Determinism is the design constraint. The paper's load-balancing
+//! trick randomizes equal-cost choices, so a naive cache that consumed
+//! the caller's RNG on miss would make results depend on *which calls
+//! miss* — i.e. on call order. Instead every `(src, dst)` pair derives a
+//! private RNG seed by mixing the cache seed, the epoch, and the pair
+//! ([`RouteCache::pair_seed`]): the cached route equals the on-demand
+//! route no matter when, in what order, or on which worker thread it
+//! was computed. ECMP spreading across *pairs* (and across epochs) is
+//! preserved; repeated queries of one pair within an epoch are stable —
+//! which is exactly what a cache means.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dumbnet_types::SwitchId;
+
+use crate::graph::Topology;
+use crate::route::Route;
+use crate::spath;
+
+/// Splitmix64 finalizer: decorrelates structured (seed, epoch, pair)
+/// inputs into independent RNG seeds.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A memo of shortest routes keyed `(src, dst)` within one topology
+/// epoch. `None` values cache unreachability.
+#[derive(Debug, Clone)]
+pub struct RouteCache {
+    seed: u64,
+    epoch: u64,
+    routes: HashMap<(SwitchId, SwitchId), Option<Route>>,
+    /// Cache effectiveness counters (hits, misses) for experiments.
+    pub hits: u64,
+    /// Misses (each one Dijkstra run).
+    pub misses: u64,
+}
+
+impl RouteCache {
+    /// Creates an empty cache. `seed` fixes the ECMP tie-break stream;
+    /// two caches with the same seed agree on every route.
+    #[must_use]
+    pub fn new(seed: u64) -> RouteCache {
+        RouteCache {
+            seed,
+            epoch: 0,
+            routes: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The current topology epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of cached entries (including cached unreachability).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The derived RNG seed for one pair in the current epoch — the
+    /// reason cached and on-demand answers coincide (see module docs).
+    #[must_use]
+    pub fn pair_seed(&self, src: SwitchId, dst: SwitchId) -> u64 {
+        splitmix(
+            self.seed
+                ^ splitmix(self.epoch)
+                ^ splitmix(src.get().wrapping_mul(2) ^ 1)
+                ^ splitmix(dst.get().wrapping_mul(2)),
+        )
+    }
+
+    fn compute(&self, topo: &Topology, src: SwitchId, dst: SwitchId) -> Option<Route> {
+        let mut rng = StdRng::seed_from_u64(self.pair_seed(src, dst));
+        spath::shortest_route(topo, src, dst, &mut rng)
+    }
+
+    /// The shortest route from `src` to `dst`, memoized. `None` means
+    /// unreachable (also memoized).
+    pub fn route(&mut self, topo: &Topology, src: SwitchId, dst: SwitchId) -> Option<Route> {
+        if let Some(cached) = self.routes.get(&(src, dst)) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let route = self.compute(topo, src, dst);
+        self.routes.insert((src, dst), route.clone());
+        route
+    }
+
+    /// Link-recovery invalidation: restored capacity can improve any
+    /// route, so the epoch advances and everything is dropped (including
+    /// cached-unreachable verdicts, which may now be stale).
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.routes.clear();
+    }
+
+    /// Link-failure invalidation: evicts exactly the routes that
+    /// traverse the `a`–`b` edge (either direction). Cached routes that
+    /// avoid the edge — and cached unreachability — remain valid.
+    /// Returns the number of entries evicted.
+    pub fn invalidate_edge(&mut self, a: SwitchId, b: SwitchId) -> usize {
+        let before = self.routes.len();
+        self.routes.retain(|_, route| {
+            !route.as_ref().is_some_and(|r| {
+                r.switches()
+                    .windows(2)
+                    .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+            })
+        });
+        before - self.routes.len()
+    }
+
+    /// Precomputes routes for `pairs` on a `std::thread` worker pool.
+    ///
+    /// Because every pair's tie-break RNG is derived from
+    /// [`RouteCache::pair_seed`], the result is identical for any thread
+    /// count (including 1) and any chunk assignment; threads only change
+    /// wall-clock, never answers. Pairs already cached are skipped.
+    pub fn precompute(&mut self, topo: &Topology, pairs: &[(SwitchId, SwitchId)], threads: usize) {
+        let todo: Vec<(SwitchId, SwitchId)> = pairs
+            .iter()
+            .copied()
+            .filter(|p| !self.routes.contains_key(p))
+            .collect();
+        if todo.is_empty() {
+            return;
+        }
+        self.misses += todo.len() as u64;
+        let workers = threads.max(1).min(todo.len());
+        if workers == 1 {
+            for (src, dst) in todo {
+                let route = self.compute(topo, src, dst);
+                self.routes.insert((src, dst), route);
+            }
+            return;
+        }
+        let chunk = todo.len().div_ceil(workers);
+        type Computed = Vec<((SwitchId, SwitchId), Option<Route>)>;
+        let computed: Vec<Computed> = std::thread::scope(|scope| {
+            let cache = &*self;
+            let handles: Vec<_> = todo
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|&(src, dst)| ((src, dst), cache.compute(topo, src, dst)))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("route worker panicked"))
+                .collect()
+        });
+        for part in computed {
+            self.routes.extend(part);
+        }
+    }
+
+    /// Precomputes all ordered pairs over `switches` (all-pairs warm-up
+    /// for small fabrics; quadratic, so callers gate it by size).
+    pub fn precompute_all_pairs(&mut self, topo: &Topology, switches: &[SwitchId], threads: usize) {
+        let pairs: Vec<(SwitchId, SwitchId)> = switches
+            .iter()
+            .flat_map(|&a| switches.iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        self.precompute(topo, &pairs, threads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn testbed() -> (Topology, Vec<SwitchId>) {
+        let g = generators::testbed();
+        let switches: Vec<SwitchId> = g.topology.switches().map(|s| s.id).collect();
+        (g.topology, switches)
+    }
+
+    #[test]
+    fn cached_equals_on_demand_regardless_of_order() {
+        let (topo, sw) = testbed();
+        // Two caches, same seed, queried in opposite orders: every
+        // answer must agree.
+        let mut fwd = RouteCache::new(42);
+        let mut rev = RouteCache::new(42);
+        let mut pairs: Vec<(SwitchId, SwitchId)> = Vec::new();
+        for &a in &sw {
+            for &b in &sw {
+                if a != b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        let forward: Vec<_> = pairs.iter().map(|&(a, b)| fwd.route(&topo, a, b)).collect();
+        let backward: Vec<_> = {
+            let mut rp: Vec<_> = pairs
+                .iter()
+                .rev()
+                .map(|&(a, b)| ((a, b), rev.route(&topo, a, b)))
+                .collect();
+            rp.reverse();
+            rp.into_iter().map(|(_, r)| r).collect()
+        };
+        assert_eq!(forward, backward);
+        // And a repeat query hits the cache with the same answer.
+        let (a, b) = pairs[0];
+        assert_eq!(fwd.route(&topo, a, b), forward[0]);
+        assert!(fwd.hits > 0);
+    }
+
+    #[test]
+    fn precompute_matches_on_demand_for_any_thread_count() {
+        let (topo, sw) = testbed();
+        let mut on_demand = RouteCache::new(7);
+        let mut pooled1 = RouteCache::new(7);
+        let mut pooled4 = RouteCache::new(7);
+        pooled1.precompute_all_pairs(&topo, &sw, 1);
+        pooled4.precompute_all_pairs(&topo, &sw, 4);
+        for &a in &sw {
+            for &b in &sw {
+                if a == b {
+                    continue;
+                }
+                let want = on_demand.route(&topo, a, b);
+                assert_eq!(pooled1.route(&topo, a, b), want);
+                assert_eq!(pooled4.route(&topo, a, b), want);
+            }
+        }
+        // Precomputed entries must be hits, not recomputations.
+        assert_eq!(pooled1.hits, pooled4.hits);
+        assert!(pooled1.hits >= (sw.len() * (sw.len() - 1)) as u64);
+    }
+
+    #[test]
+    fn link_down_evicts_only_crossing_routes() {
+        let (mut topo, sw) = testbed();
+        let mut cache = RouteCache::new(3);
+        cache.precompute_all_pairs(&topo, &sw, 1);
+        let filled = cache.len();
+        // Pick an edge some cached route actually uses.
+        let used_edge = (0..sw.len())
+            .flat_map(|i| (0..sw.len()).map(move |j| (i, j)))
+            .filter(|(i, j)| i != j)
+            .find_map(|(i, j)| {
+                let r = cache.route(&topo, sw[i], sw[j])?;
+                r.switches().windows(2).next().map(|w| (w[0], w[1]))
+            })
+            .expect("some multi-hop route");
+        let evicted = cache.invalidate_edge(used_edge.0, used_edge.1);
+        assert!(evicted > 0, "the route using the edge must go");
+        assert!(
+            cache.len() < filled,
+            "eviction must shrink the cache, not clear it"
+        );
+        assert!(!cache.is_empty(), "surgical eviction, not a full clear");
+        // Recomputed routes against the degraded topology avoid the
+        // edge.
+        let link = topo
+            .link_between(used_edge.0, used_edge.1)
+            .map(|l| l.id)
+            .expect("edge exists");
+        topo.set_link_state(link, false).expect("link flips");
+        let epoch_before = cache.epoch();
+        for &a in &sw {
+            for &b in &sw {
+                if a == b {
+                    continue;
+                }
+                if let Some(r) = cache.route(&topo, a, b) {
+                    assert!(
+                        !r.switches()
+                            .windows(2)
+                            .any(|w| (w[0] == used_edge.0 && w[1] == used_edge.1)
+                                || (w[0] == used_edge.1 && w[1] == used_edge.0)),
+                        "recomputed route must avoid the dead edge"
+                    );
+                }
+            }
+        }
+        assert_eq!(cache.epoch(), epoch_before, "link down must not bump epoch");
+    }
+
+    #[test]
+    fn link_up_bumps_epoch_and_clears() {
+        let (topo, sw) = testbed();
+        let mut cache = RouteCache::new(5);
+        cache.precompute_all_pairs(&topo, &sw, 1);
+        assert!(!cache.is_empty());
+        let seed_before = cache.pair_seed(sw[0], sw[1]);
+        cache.bump_epoch();
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch(), 1);
+        assert_ne!(
+            cache.pair_seed(sw[0], sw[1]),
+            seed_before,
+            "new epoch must rotate the ECMP tie-break stream"
+        );
+        // Still answers after the clear.
+        assert!(cache.route(&topo, sw[0], sw[1]).is_some());
+    }
+
+    #[test]
+    fn unreachable_is_cached_too() {
+        let g = generators::testbed();
+        let mut topo = g.topology;
+        let switches: Vec<SwitchId> = topo.switches().map(|s| s.id).collect();
+        // Cut every link touching the first leaf to isolate it.
+        let cut: Vec<_> = topo
+            .links()
+            .filter(|l| l.a.switch == switches[0] || l.b.switch == switches[0])
+            .map(|l| l.id)
+            .collect();
+        for l in cut {
+            topo.set_link_state(l, false).unwrap();
+        }
+        let mut cache = RouteCache::new(9);
+        assert!(cache.route(&topo, switches[0], switches[1]).is_none());
+        assert!(cache.route(&topo, switches[0], switches[1]).is_none());
+        assert_eq!(cache.misses, 1, "second lookup must hit the None entry");
+        assert_eq!(cache.hits, 1);
+    }
+}

@@ -19,23 +19,31 @@ use crate::tag::Tag;
 /// topology-discovery probes insert them to ask a mid-path switch for its
 /// identity (§4.1).
 ///
+/// Internally the tags live in one buffer with a head cursor:
+/// [`Path::pop_front`] (the per-hop operation every switch performs)
+/// advances the cursor instead of reallocating the remainder, so a packet
+/// crosses the whole fabric on the single tag buffer it was sent with.
+/// Every observable view — length, equality, hashing, display, iteration,
+/// the wire encoding — covers only the remaining tags.
+///
 /// # Examples
 ///
 /// ```
 /// use dumbnet_types::{Path, Tag};
 ///
 /// // The H4→H5 example from §3.2 of the paper: ports 2, 3, 5.
-/// let path = Path::from_ports([2, 3, 5]).unwrap();
+/// let mut path = Path::from_ports([2, 3, 5]).unwrap();
 /// assert_eq!(path.len(), 3);
 /// assert_eq!(path.to_string(), "2-3-5-ø");
 ///
-/// let (head, rest) = path.split_first().unwrap();
-/// assert_eq!(head, Tag(2));
-/// assert_eq!(rest.to_string(), "3-5-ø");
+/// assert_eq!(path.pop_front(), Some(Tag(2)));
+/// assert_eq!(path.to_string(), "3-5-ø");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Path {
     tags: Vec<Tag>,
+    /// Index of the first not-yet-consumed tag.
+    head: usize,
 }
 
 impl Path {
@@ -51,7 +59,10 @@ impl Path {
     /// only meaningful for loopback probes).
     #[must_use]
     pub fn empty() -> Path {
-        Path { tags: Vec::new() }
+        Path {
+            tags: Vec::new(),
+            head: 0,
+        }
     }
 
     /// Builds a path from raw tag values.
@@ -70,7 +81,7 @@ impl Path {
         if let Some(bad) = tags.iter().find(|t| t.is_end()) {
             return Err(DumbNetError::InvalidTagInPath(bad.byte()));
         }
-        Ok(Path { tags })
+        Ok(Path { tags, head: 0 })
     }
 
     /// Builds a path of plain output-port tags.
@@ -97,39 +108,51 @@ impl Path {
         Path::from_tags(ports.into_iter().map(Tag::from_port))
     }
 
-    /// Number of tags in the path.
+    /// Number of (remaining) tags in the path.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.tags.len()
+        self.tags.len() - self.head
     }
 
-    /// Returns `true` for the empty path.
+    /// Returns `true` when no tags remain.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.tags.is_empty()
+        self.head >= self.tags.len()
     }
 
     /// Number of *forwarding* hops, i.e. port tags (ID-query tags consume
     /// a switch visit but not a link traversal).
     #[must_use]
     pub fn hop_count(&self) -> usize {
-        self.tags.iter().filter(|t| t.is_port()).count()
+        self.tags().iter().filter(|t| t.is_port()).count()
     }
 
-    /// The tags, in forwarding order.
+    /// The remaining tags, in forwarding order.
     #[must_use]
     pub fn tags(&self) -> &[Tag] {
-        &self.tags
+        &self.tags[self.head..]
+    }
+
+    /// Consumes and returns the first tag, advancing the head cursor —
+    /// the per-hop operation of a dumb switch. O(1), no reallocation.
+    pub fn pop_front(&mut self) -> Option<Tag> {
+        let &tag = self.tags.get(self.head)?;
+        self.head += 1;
+        Some(tag)
     }
 
     /// First tag plus the remainder of the path, as a switch sees it.
+    ///
+    /// Prefer [`Path::pop_front`] on owned paths; this clones the
+    /// remainder for callers that must keep the original intact.
     #[must_use]
     pub fn split_first(&self) -> Option<(Tag, Path)> {
-        let (&head, rest) = self.tags.split_first()?;
+        let (&head, rest) = self.tags().split_first()?;
         Some((
             head,
             Path {
                 tags: rest.to_vec(),
+                head: 0,
             },
         ))
     }
@@ -143,8 +166,8 @@ impl Path {
         if tag.is_end() {
             return Err(DumbNetError::InvalidTagInPath(tag.byte()));
         }
-        if self.tags.len() >= Path::MAX_LEN {
-            return Err(DumbNetError::PathTooLong(self.tags.len() + 1));
+        if self.len() >= Path::MAX_LEN {
+            return Err(DumbNetError::PathTooLong(self.len() + 1));
         }
         self.tags.push(tag);
         Ok(self)
@@ -158,14 +181,14 @@ impl Path {
     /// Returns [`DumbNetError::PathTooLong`] if the combined path exceeds
     /// [`Path::MAX_LEN`].
     pub fn concat(&self, other: &Path) -> Result<Path, DumbNetError> {
-        let total = self.tags.len() + other.tags.len();
+        let total = self.len() + other.len();
         if total > Path::MAX_LEN {
             return Err(DumbNetError::PathTooLong(total));
         }
         let mut tags = Vec::with_capacity(total);
-        tags.extend_from_slice(&self.tags);
-        tags.extend_from_slice(&other.tags);
-        Ok(Path { tags })
+        tags.extend_from_slice(self.tags());
+        tags.extend_from_slice(other.tags());
+        Ok(Path { tags, head: 0 })
     }
 
     /// The paper's probe construction: the reverse of a port-tag path.
@@ -178,42 +201,65 @@ impl Path {
     #[must_use]
     pub fn reversed(&self) -> Path {
         Path {
-            tags: self.tags.iter().rev().copied().collect(),
+            tags: self.tags().iter().rev().copied().collect(),
+            head: 0,
         }
     }
 
-    /// Serializes the path for the wire: the tags followed by ø.
+    /// Serializes the (remaining) path for the wire: the tags followed
+    /// by ø.
     #[must_use]
     pub fn to_wire(&self) -> Vec<u8> {
-        let mut bytes = Vec::with_capacity(self.tags.len() + 1);
-        bytes.extend(self.tags.iter().map(|t| t.byte()));
+        let mut bytes = Vec::with_capacity(self.len() + 1);
+        bytes.extend(self.tags().iter().map(|t| t.byte()));
         bytes.push(Tag::END.byte());
         bytes
     }
 
     /// Parses a wire tag sequence (tags terminated by ø).
     ///
+    /// The scan is bounded: a terminator that does not appear within the
+    /// first [`Path::MAX_LEN`]` + 1` bytes is treated as missing, so a
+    /// corrupted length field cannot make the parser walk an entire
+    /// jumbo payload.
+    ///
     /// # Errors
     ///
     /// Returns [`DumbNetError::MissingEndMarker`] if no ø terminator is
-    /// found within [`Path::MAX_LEN`]` + 1` bytes, or
-    /// [`DumbNetError::PathTooLong`] when the tag list is oversized.
+    /// found within [`Path::MAX_LEN`]` + 1` bytes,
+    /// [`DumbNetError::PathTooLong`] when the tag list is oversized, and
+    /// [`DumbNetError::InvalidTagInPath`] is unreachable here because
+    /// every pre-terminator byte is by construction not ø.
     pub fn from_wire(bytes: &[u8]) -> Result<(Path, usize), DumbNetError> {
-        let end = bytes
+        let window = &bytes[..bytes.len().min(Path::MAX_LEN + 1)];
+        let end = window
             .iter()
             .position(|&b| b == Tag::END.byte())
             .ok_or(DumbNetError::MissingEndMarker)?;
-        if end > Path::MAX_LEN {
-            return Err(DumbNetError::PathTooLong(end));
-        }
-        let tags = bytes[..end].iter().map(|&b| Tag(b)).collect();
-        Ok((Path { tags }, end + 1))
+        let path = Path::from_tags(bytes[..end].iter().map(|&b| Tag(b)))?;
+        Ok((path, end + 1))
+    }
+}
+
+/// Equality covers the remaining view only: a path that was popped twice
+/// equals a freshly built path of the same remaining tags.
+impl PartialEq for Path {
+    fn eq(&self, other: &Path) -> bool {
+        self.tags() == other.tags()
+    }
+}
+
+impl Eq for Path {}
+
+impl std::hash::Hash for Path {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.tags().hash(state);
     }
 }
 
 impl std::fmt::Display for Path {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        for t in &self.tags {
+        for t in self.tags() {
             write!(f, "{t}-")?;
         }
         write!(f, "ø")
@@ -224,7 +270,7 @@ impl std::ops::Index<usize> for Path {
     type Output = Tag;
 
     fn index(&self, ix: usize) -> &Tag {
-        &self.tags[ix]
+        &self.tags()[ix]
     }
 }
 
@@ -257,6 +303,24 @@ mod tests {
             Path::from_wire(&[1, 2, 3]),
             Err(DumbNetError::MissingEndMarker)
         ));
+    }
+
+    #[test]
+    fn from_wire_scan_is_bounded() {
+        // Terminator present but past the legal window: the parser must
+        // give up after MAX_LEN + 1 bytes, not walk the whole buffer.
+        let mut wire = vec![1u8; Path::MAX_LEN + 10];
+        wire.push(0xFF);
+        assert!(matches!(
+            Path::from_wire(&wire),
+            Err(DumbNetError::MissingEndMarker)
+        ));
+        // Exactly MAX_LEN tags + terminator still parses.
+        let mut max = vec![1u8; Path::MAX_LEN];
+        max.push(0xFF);
+        let (p, used) = Path::from_wire(&max).unwrap();
+        assert_eq!(p.len(), Path::MAX_LEN);
+        assert_eq!(used, Path::MAX_LEN + 1);
     }
 
     #[test]
@@ -300,5 +364,43 @@ mod tests {
         let (head2, rest2) = rest.split_first().unwrap();
         assert_eq!(head2, Tag(7));
         assert!(rest2.split_first().is_none());
+    }
+
+    #[test]
+    fn pop_front_view_matches_fresh_path() {
+        let mut p = Path::from_ports([2, 3, 5]).unwrap();
+        assert_eq!(p.pop_front(), Some(Tag(2)));
+        let fresh = Path::from_ports([3, 5]).unwrap();
+        // Every observable view must agree with a freshly built path.
+        assert_eq!(p, fresh);
+        assert_eq!(p.len(), fresh.len());
+        assert_eq!(p.to_string(), fresh.to_string());
+        assert_eq!(p.to_wire(), fresh.to_wire());
+        assert_eq!(p.tags(), fresh.tags());
+        assert_eq!(p[0], fresh[0]);
+        assert_eq!(p.hop_count(), 2);
+        let hash = |path: &Path| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            path.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&p), hash(&fresh));
+        assert_eq!(p.pop_front(), Some(Tag(3)));
+        assert_eq!(p.pop_front(), Some(Tag(5)));
+        assert_eq!(p.pop_front(), None);
+        assert!(p.is_empty());
+        assert_eq!(p, Path::empty());
+    }
+
+    #[test]
+    fn push_and_concat_after_pop_respect_view() {
+        let mut p = Path::from_ports([1, 2, 3]).unwrap();
+        p.pop_front();
+        let extended = p.clone().push(Tag(9)).unwrap();
+        assert_eq!(extended.to_string(), "2-3-9-ø");
+        let joined = p.concat(&Path::from_ports([8]).unwrap()).unwrap();
+        assert_eq!(joined.to_string(), "2-3-8-ø");
+        assert_eq!(p.reversed().to_string(), "3-2-ø");
     }
 }
