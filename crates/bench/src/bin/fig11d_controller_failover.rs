@@ -1,0 +1,7 @@
+//! Regenerates Figure 11(d) (controller failover time vs. takeover
+//! timeout, under leader crash and leader partition) as a JSON document
+//! on stdout.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", dumbnet_bench::fig11d::run_d(quick));
+}

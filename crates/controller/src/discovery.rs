@@ -520,8 +520,13 @@ impl DiscoveryState {
         };
         match rec.kind {
             ProbeKind::OwnSwitchId => {
+                // The bounce normally completes before the ID query is
+                // queued; a reply surviving a crash window (or a forged
+                // echo) could arrive without it. Drop rather than abort.
+                let Some(own) = self.own_port else {
+                    return;
+                };
                 self.own_switch = Some(switch);
-                let own = self.own_port.expect("bounce finished first");
                 self.switches.insert(
                     switch,
                     SwitchProgress {
@@ -670,8 +675,11 @@ impl DiscoveryState {
         // re-send sequence (and thus any fault-injection RNG draws)
         // nondeterministic across runs.
         dead.sort_unstable();
+        dead.dedup(); // An id listed in two deadline queues dies once.
         for id in &dead {
-            let rec = self.outstanding.remove(id).expect("listed");
+            let Some(rec) = self.outstanding.remove(id) else {
+                continue;
+            };
             // A probe whose answer arrived by other means is not worth
             // re-sending: bounce ports after the bounce succeeded, the
             // own-ID query once the root switch is known.

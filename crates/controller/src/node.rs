@@ -31,6 +31,12 @@ const NIC: PortNo = match PortNo::new(1) {
 const T_PUMP: u64 = 1;
 const T_HEARTBEAT: u64 = 2;
 const T_TAKEOVER: u64 = 3;
+const T_ELECTION: u64 = 4;
+
+/// Flood budget for election traffic sent before any topology is known
+/// (switches relay it hop-limited, like link notifications). Covers the
+/// diameter of every generated fabric with margin.
+const ELECTION_TTL: u8 = 8;
 
 /// Domain separator for the route cache's ECMP tie-break stream (mixed
 /// with the controller's host ID so replicas draw distinct spreads).
@@ -129,6 +135,25 @@ pub struct ControllerStats {
     pub event_learned_at: Vec<(LinkEvent, SimTime)>,
     /// Whether this replica currently leads.
     pub is_leader: bool,
+    /// Every term this replica has ever led (split-brain audit: no term
+    /// may appear in two different controllers' lists).
+    pub terms_led: Vec<u64>,
+    /// Leadership campaigns started.
+    pub elections_started: u64,
+    /// Times this replica stepped down after observing a higher term.
+    pub step_downs: u64,
+    /// Control messages dropped as malformed or fenced (stale term,
+    /// unknown member, inconsistent payload) instead of being processed.
+    pub dropped_malformed: u64,
+}
+
+/// An in-flight leadership campaign.
+#[derive(Debug, Clone)]
+struct Election {
+    /// The proposed term.
+    term: u64,
+    /// Members whose vote we hold (self included).
+    votes: HashSet<MacAddr>,
 }
 
 /// One memoized path-graph build: the topology version it was built at
@@ -150,6 +175,10 @@ pub struct Controller {
     busy_until: SimTime,
     seen_events: HashSet<(SwitchId, PortNo, bool, u64)>,
     last_leader_seen: SimTime,
+    election: Option<Election>,
+    /// Campaigns already answered, keyed by `(candidate, term)` —
+    /// flooded queries arrive many times and must draw one reply.
+    answered_queries: HashSet<(MacAddr, u64)>,
     hello_sent: bool,
     /// Memoized shortest routes for hellos, heartbeats, patch floods and
     /// reply paths. Invalidation: see [`Controller::invalidate_caches`].
@@ -183,6 +212,12 @@ impl Controller {
         };
         let stats = ControllerStats {
             is_leader: config.is_leader,
+            // The configured leader leads term 1 from birth.
+            terms_led: if config.is_leader {
+                vec![1]
+            } else {
+                Vec::new()
+            },
             ..ControllerStats::default()
         };
         Controller {
@@ -195,6 +230,8 @@ impl Controller {
             busy_until: SimTime::ZERO,
             seen_events: HashSet::new(),
             last_leader_seen: SimTime::ZERO,
+            election: None,
+            answered_queries: HashSet::new(),
             hello_sent: false,
             route_cache: RouteCache::new(ROUTE_CACHE_SALT ^ id.get()),
             graph_cache: HashMap::new(),
@@ -219,6 +256,133 @@ impl Controller {
     #[must_use]
     pub fn ready(&self) -> bool {
         self.topology.is_some()
+    }
+
+    /// Read access to the replicated log (invariant audits).
+    #[must_use]
+    pub fn replication(&self) -> &ReplicatedLog {
+        &self.log
+    }
+
+    /// This member's rank among the group, ordered by MAC. Takeover
+    /// timers are staggered by rank so the lowest-MAC *live* follower
+    /// campaigns (and therefore promotes) first, deterministically.
+    fn member_rank(&self) -> u64 {
+        let mut macs: Vec<MacAddr> = self.log.members().to_vec();
+        macs.sort_unstable();
+        macs.iter().position(|&m| m == self.mac).unwrap_or(0) as u64
+    }
+
+    /// Arms the takeover timer with the rank stagger.
+    fn arm_takeover(&mut self, ctx: &mut Ctx<'_>) {
+        let stagger = self.config.heartbeat.saturating_mul(self.member_rank());
+        ctx.set_timer(self.config.takeover_timeout + stagger, T_TAKEOVER);
+    }
+
+    /// Records a term observed on the wire; a leader seeing a higher
+    /// term steps down and rejoins as a follower.
+    fn note_term(&mut self, ctx: &mut Ctx<'_>, term: u64) {
+        if self.log.observe_term(term) {
+            self.stats.is_leader = false;
+            self.stats.step_downs += 1;
+            self.election = None;
+            self.last_leader_seen = ctx.now();
+            self.arm_takeover(ctx);
+        }
+    }
+
+    /// Sends an election message to `dst`: source-routed when the
+    /// topology is known, otherwise a hop-limited broadcast flood that
+    /// the switches relay (the candidate may predate the first
+    /// replicated topology). `mk` receives the flood TTL to embed.
+    fn send_election(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: MacAddr,
+        mk: impl Fn(u8) -> ControlMessage,
+    ) {
+        if let Some(path) = self.path_to(ctx, dst) {
+            self.send_to(ctx, dst, path, mk(0));
+        } else {
+            let pkt = Packet::control(
+                MacAddr::BROADCAST,
+                self.mac,
+                Path::empty(),
+                mk(ELECTION_TTL),
+            );
+            ctx.send(NIC, pkt);
+        }
+    }
+
+    /// Starts a leadership campaign for the next term: vote for
+    /// ourselves, ask every member for theirs, and give up (to retry
+    /// later) if no quorum materializes within a takeover window.
+    fn begin_election(&mut self, ctx: &mut Ctx<'_>) {
+        // Past the current term AND past every vote already cast, so a
+        // losing candidate's retry targets a genuinely fresh term.
+        let term = self.log.term().max(self.log.voted_in()) + 1;
+        let floor = self.log.highest_contiguous();
+        if !self.log.grant_vote(term, floor) {
+            self.arm_takeover(ctx);
+            return;
+        }
+        self.stats.elections_started += 1;
+        let mut votes = HashSet::new();
+        votes.insert(self.mac);
+        self.election = Some(Election { term, votes });
+        let candidate = self.mac;
+        let mk = |ttl: u8| ControlMessage::LeaderQuery {
+            candidate,
+            term,
+            log_floor: floor,
+            ttl,
+        };
+        if self.topology.is_some() {
+            let peers: Vec<MacAddr> = self.log.peers().collect();
+            for peer in peers {
+                self.send_election(ctx, peer, mk);
+            }
+        } else {
+            // One flood reaches every member at once.
+            let pkt = Packet::control(
+                MacAddr::BROADCAST,
+                self.mac,
+                Path::empty(),
+                mk(ELECTION_TTL),
+            );
+            ctx.send(NIC, pkt);
+        }
+        self.try_win_election(ctx);
+        if self.election.is_some() {
+            ctx.set_timer(self.config.takeover_timeout, T_ELECTION);
+        }
+    }
+
+    /// Promotes if the current campaign holds an election quorum.
+    fn try_win_election(&mut self, ctx: &mut Ctx<'_>) {
+        let won = self
+            .election
+            .as_ref()
+            .is_some_and(|el| el.votes.len() >= self.log.election_quorum());
+        if !won {
+            return;
+        }
+        let term = self.election.take().map_or(0, |el| el.term);
+        self.log.promote_to(term);
+        self.stats.is_leader = true;
+        self.stats.terms_led.push(term);
+        if self.topology.is_some() {
+            self.send_hellos(ctx);
+        } else if self.discovery.is_none() {
+            // The old leader died before the first topology replicated
+            // to us: run discovery ourselves instead of re-arming the
+            // takeover timer forever behind the missing-topology guard.
+            self.discovery = Some(DiscoveryState::new(self.mac, self.config.discovery.clone()));
+            ctx.set_timer(self.config.probe_interval, T_PUMP);
+        }
+        if self.log.peers().next().is_some() {
+            ctx.set_timer(self.config.heartbeat, T_HEARTBEAT);
+        }
     }
 
     fn my_attach(&self) -> Option<(HostId, SwitchId)> {
@@ -311,6 +475,7 @@ impl Controller {
                 ControlMessage::ReplSyncRequest {
                     after: self.log.highest_contiguous(),
                     replica: self.mac,
+                    term: self.log.term(),
                 },
             );
         }
@@ -339,6 +504,7 @@ impl Controller {
                 path_to_controller: back,
                 topo_version: self.topo_version,
                 standby: self.log.role() == ReplicaRole::Follower,
+                term: self.log.term(),
             };
             self.send_to(ctx, mac, fwd, msg);
         }
@@ -462,6 +628,7 @@ impl Controller {
                             version: entry.version,
                             delta: entry.delta.clone(),
                             leader: self.mac,
+                            term: self.log.term(),
                         },
                     );
                 }
@@ -469,6 +636,7 @@ impl Controller {
         }
         // Patch flood after the stage-2 processing delay.
         let version = self.topo_version;
+        let term = self.log.term();
         let hosts: Vec<MacAddr> = self
             .topology
             .as_ref()
@@ -485,6 +653,7 @@ impl Controller {
                 let msg = ControlMessage::TopologyPatch {
                     version,
                     delta: delta.clone(),
+                    term,
                 };
                 let pkt = Packet::control(mac, self.mac, path, msg);
                 ctx.send_after(self.config.patch_delay, NIC, pkt);
@@ -604,7 +773,22 @@ impl Controller {
                 version,
                 delta,
                 leader,
+                term,
             } => {
+                if term < self.log.term() {
+                    // A fenced stale leader (pre-partition, or restarted
+                    // without noticing the election it slept through).
+                    self.stats.dropped_malformed += 1;
+                    return;
+                }
+                self.note_term(ctx, term);
+                if self.log.role() == ReplicaRole::Leader {
+                    // Equal-term append from another claimed leader —
+                    // impossible with exclusive votes; drop defensively.
+                    self.stats.dropped_malformed += 1;
+                    return;
+                }
+                self.election = None;
                 self.last_leader_seen = ctx.now();
                 if index == 0 {
                     // Pure heartbeat. A version ahead of ours means we
@@ -619,6 +803,7 @@ impl Controller {
                     let new = self.log.store(LogEntry {
                         index,
                         version,
+                        term,
                         delta: delta.clone(),
                     });
                     if new {
@@ -650,6 +835,7 @@ impl Controller {
                             ControlMessage::ReplAck {
                                 index,
                                 replica: self.mac,
+                                term: self.log.term(),
                             },
                         );
                     }
@@ -661,15 +847,41 @@ impl Controller {
                     }
                 }
             }
-            ControlMessage::ReplAck { index, replica } => {
+            ControlMessage::ReplAck {
+                index,
+                replica,
+                term,
+            } => {
+                if term > self.log.term() {
+                    // The replica knows a newer leadership than ours.
+                    self.note_term(ctx, term);
+                    return;
+                }
+                if term < self.log.term() || self.log.role() != ReplicaRole::Leader {
+                    // An ack echoing a fenced term, or one addressed to
+                    // a leadership we no longer hold.
+                    self.stats.dropped_malformed += 1;
+                    return;
+                }
                 let _ = self.log.ack(index, replica);
             }
             // Leader side: replay the requested suffix as ordinary
             // appends (bounded per request; the follower re-asks if it
-            // is still behind afterwards).
-            ControlMessage::ReplSyncRequest { after, replica }
-                if self.log.role() == ReplicaRole::Leader =>
-            {
+            // is still behind afterwards). A request from a replica
+            // behind on terms is still served — the replayed appends
+            // carry our term and bring it forward.
+            ControlMessage::ReplSyncRequest {
+                after,
+                replica,
+                term,
+            } => {
+                if term > self.log.term() {
+                    self.note_term(ctx, term);
+                    return;
+                }
+                if self.log.role() != ReplicaRole::Leader {
+                    return;
+                }
                 let entries: Vec<LogEntry> = self
                     .log
                     .entries_after(after)
@@ -688,11 +900,103 @@ impl Controller {
                                 version: e.version,
                                 delta: e.delta,
                                 leader: self.mac,
+                                term: self.log.term(),
                             },
                         );
                     }
                 }
             }
+            ControlMessage::LeaderQuery {
+                candidate,
+                term,
+                log_floor,
+                ttl: _,
+            } => {
+                if candidate == self.mac {
+                    return; // Our own flooded campaign echoed back.
+                }
+                if !self.answered_queries.insert((candidate, term)) {
+                    return; // Duplicate flood copy; already answered.
+                }
+                let me = self.mac;
+                let (granted, leading) =
+                    if self.log.role() == ReplicaRole::Leader && term <= self.log.term() {
+                        // Still alive and unfenced: tell the candidate
+                        // to stand down.
+                        (false, true)
+                    } else {
+                        let granted = self.log.grant_vote(term, log_floor);
+                        if granted {
+                            // Give the candidate a full takeover window
+                            // to win before we campaign ourselves.
+                            self.last_leader_seen = ctx.now();
+                            self.election = None;
+                        }
+                        // Adopt the campaign term (steps us down if we
+                        // were a fenced leader).
+                        self.note_term(ctx, term);
+                        (granted, false)
+                    };
+                let reply_term = self.log.term();
+                self.send_election(ctx, candidate, |ttl| ControlMessage::LeaderQueryReply {
+                    candidate,
+                    responder: me,
+                    term: reply_term,
+                    granted,
+                    leader: leading,
+                    ttl,
+                });
+            }
+            ControlMessage::LeaderQueryReply {
+                candidate,
+                responder,
+                term,
+                granted,
+                leader,
+                ttl: _,
+            } => {
+                if candidate != self.mac || responder == self.mac {
+                    return; // Flood copy addressed to someone else.
+                }
+                if leader {
+                    // An unfenced leader answered: abandon the campaign
+                    // and treat the reply as a liveness signal.
+                    self.election = None;
+                    self.last_leader_seen = ctx.now();
+                    self.note_term(ctx, term);
+                    return;
+                }
+                if granted {
+                    let counted = match self.election.as_mut() {
+                        Some(el) if el.term == term => {
+                            el.votes.insert(responder);
+                            true
+                        }
+                        _ => false,
+                    };
+                    if counted {
+                        self.try_win_election(ctx);
+                    }
+                } else {
+                    // A refusal carrying a higher term fences us.
+                    self.note_term(ctx, term);
+                }
+            }
+            // Members also hear the leader's host-directed hellos: an
+            // unfenced active leader resets takeover patience.
+            ControlMessage::ControllerHello {
+                controller,
+                standby,
+                term,
+                ..
+            } if controller != self.mac && !standby => {
+                if term >= self.log.term() {
+                    self.last_leader_seen = ctx.now();
+                    self.election = None;
+                }
+                self.note_term(ctx, term);
+            }
+            ControlMessage::ControllerHello { .. } => {}
             ControlMessage::Ping { seq, sent_at } => {
                 if let Some(path) = self.path_to(ctx, src) {
                     self.send_to(
@@ -729,7 +1033,7 @@ impl Node for Controller {
             ctx.set_timer(self.config.heartbeat, T_HEARTBEAT);
         }
         if !self.config.is_leader {
-            ctx.set_timer(self.config.takeover_timeout, T_TAKEOVER);
+            self.arm_takeover(ctx);
             // Standby replicas announce themselves too so hosts can
             // spread path queries over the whole controller group.
             if self.topology.is_some() {
@@ -767,6 +1071,7 @@ impl Node for Controller {
                 }
             }
             T_HEARTBEAT if self.log.role() == ReplicaRole::Leader => {
+                let term = self.log.term();
                 let peers: Vec<MacAddr> = self.log.peers().collect();
                 for peer in peers {
                     let Some(path) = self.path_to(ctx, peer) else {
@@ -781,6 +1086,7 @@ impl Node for Controller {
                             version: self.topo_version,
                             delta: TopoDelta::default(),
                             leader: self.mac,
+                            term,
                         },
                     );
                     // Ack-less retry: replay entries this peer has
@@ -801,6 +1107,7 @@ impl Node for Controller {
                                 version: e.version,
                                 delta: e.delta,
                                 leader: self.mac,
+                                term,
                             },
                         );
                     }
@@ -808,18 +1115,28 @@ impl Node for Controller {
                 ctx.set_timer(self.config.heartbeat, T_HEARTBEAT);
             }
             T_TAKEOVER if self.log.role() == ReplicaRole::Follower => {
+                if self.election.is_some() {
+                    // A campaign is in flight; T_ELECTION owns re-arming.
+                    return;
+                }
                 let silent = ctx.now() - self.last_leader_seen;
-                if silent >= self.config.takeover_timeout && self.topology.is_some() {
-                    // Lowest-MAC live follower takes over. Without
-                    // failure detection between followers we use the
-                    // static rule: the first follower in the member
-                    // list (after the dead leader) promotes.
-                    self.log.promote();
-                    self.stats.is_leader = true;
-                    self.send_hellos(ctx);
-                    ctx.set_timer(self.config.heartbeat, T_HEARTBEAT);
+                if silent >= self.config.takeover_timeout {
+                    // The rank stagger on this timer makes the lowest-MAC
+                    // live follower campaign (and so promote) first; the
+                    // vote quorum makes a second same-term leader
+                    // impossible even when the stagger ties.
+                    self.begin_election(ctx);
                 } else {
-                    ctx.set_timer(self.config.takeover_timeout, T_TAKEOVER);
+                    self.arm_takeover(ctx);
+                }
+            }
+            T_ELECTION => {
+                // The campaign window closed without a quorum (dead
+                // peers, a partition, or a lost race). Fall back to the
+                // takeover clock and retry at a fresh term later.
+                self.election = None;
+                if self.log.role() == ReplicaRole::Follower {
+                    self.arm_takeover(ctx);
                 }
             }
             _ => {}
@@ -832,19 +1149,31 @@ impl Node for Controller {
         self.stats.restarts += 1;
         self.last_leader_seen = ctx.now();
         self.busy_until = ctx.now();
+        self.election = None;
         if self.discovery.as_ref().is_some_and(|d| !d.is_done()) {
             // Resume the probe pump; outstanding probes will expire and
             // retry through the normal backoff path.
             ctx.set_timer(self.config.probe_interval, T_PUMP);
         }
         match self.log.role() {
+            ReplicaRole::Leader if self.log.peers().next().is_none() => {
+                // Solo controller: nobody could have been elected.
+            }
             ReplicaRole::Leader => {
-                if self.log.peers().next().is_some() {
-                    ctx.set_timer(self.config.heartbeat, T_HEARTBEAT);
+                // A follower may have won an election while we were
+                // down. Rejoin as a follower (keeping our term — a
+                // successor's term is strictly higher) and campaign only
+                // after a silent takeover window proves nobody leads.
+                self.log.demote();
+                self.stats.is_leader = false;
+                self.arm_takeover(ctx);
+                let peers: Vec<MacAddr> = self.log.peers().collect();
+                for peer in peers {
+                    self.request_resync(ctx, peer);
                 }
             }
             ReplicaRole::Follower => {
-                ctx.set_timer(self.config.takeover_timeout, T_TAKEOVER);
+                self.arm_takeover(ctx);
                 // We may have missed appends while down; ask every peer
                 // for the suffix — only the current leader will answer.
                 let peers: Vec<MacAddr> = self.log.peers().collect();

@@ -7,6 +7,13 @@
 //! with a standby able to take over. This module implements exactly
 //! that: a leader-sequenced log with majority commit, as pure data logic
 //! (the [`Controller`](crate::node::Controller) node moves the messages).
+//!
+//! Leadership is **fenced by terms** (the ZooKeeper epoch / Raft term
+//! analog): every promotion bumps a monotonically increasing term that
+//! is stamped into each appended entry and into every replication
+//! message on the wire. Replicas reject lower-term messages, and any
+//! node that observes a higher term — including a crashed-and-restarted
+//! ex-leader — steps down to [`ReplicaRole::Follower`] and re-syncs.
 
 use std::collections::{BTreeMap, HashSet};
 
@@ -29,6 +36,8 @@ pub struct LogEntry {
     pub index: u64,
     /// Topology version after applying.
     pub version: u64,
+    /// Leadership term the entry was sequenced under.
+    pub term: u64,
     /// The change.
     pub delta: TopoDelta,
 }
@@ -45,6 +54,15 @@ pub struct ReplicatedLog {
     acks: BTreeMap<u64, HashSet<MacAddr>>,
     committed: u64,
     next_index: u64,
+    /// Current leadership term (fencing token). Every member starts at
+    /// 1 — the configured bootstrap leader's term — so the first
+    /// campaign a follower can mount targets term 2 and can never
+    /// collide with the term the bootstrap leader already holds.
+    term: u64,
+    /// Highest term this replica granted a leadership vote in. Votes
+    /// are exclusive per term — the property that makes "at most one
+    /// leader per term" a theorem instead of a hope.
+    voted_in: u64,
 }
 
 impl ReplicatedLog {
@@ -59,6 +77,8 @@ impl ReplicatedLog {
             acks: BTreeMap::new(),
             committed: 0,
             next_index: 1,
+            term: 1,
+            voted_in: 1,
         }
     }
 
@@ -68,17 +88,94 @@ impl ReplicatedLog {
         self.role
     }
 
-    /// Promotes a follower to leader (takeover). Sequencing resumes
-    /// after the highest entry it has seen.
+    /// Current leadership term.
+    #[must_use]
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Highest term this replica has voted in (campaign bookkeeping:
+    /// a losing candidate's next attempt must exceed both its current
+    /// term and every vote it has already cast).
+    #[must_use]
+    pub fn voted_in(&self) -> u64 {
+        self.voted_in
+    }
+
+    /// Promotes a follower to leader (takeover) at the next term.
+    /// Sequencing resumes after the highest entry it has seen.
     pub fn promote(&mut self) {
+        let next = self.term + 1;
+        self.promote_to(next);
+    }
+
+    /// Promotes this replica to leader of `term` (an election win).
+    /// Every entry already stored is self-acked so the commit index can
+    /// advance once peers re-acknowledge the prefix under the new
+    /// leadership (the old leader's ack bookkeeping died with it).
+    pub fn promote_to(&mut self, term: u64) {
+        debug_assert!(term > self.term, "promotion must advance the term");
         self.role = ReplicaRole::Leader;
+        self.term = self.term.max(term);
         self.next_index = self.entries.keys().max().map_or(1, |m| m + 1);
+        for &ix in self.entries.keys() {
+            self.acks.entry(ix).or_default().insert(self.me);
+        }
+        self.advance_commit();
+    }
+
+    /// Steps down to follower without touching the term (a restarted
+    /// ex-leader rejoining the group until it learns who leads now).
+    pub fn demote(&mut self) {
+        self.role = ReplicaRole::Follower;
+    }
+
+    /// Records a term observed on the wire. Adopting a higher term
+    /// forces a leader to step down; returns `true` in that case so the
+    /// node can re-arm its takeover machinery.
+    pub fn observe_term(&mut self, term: u64) -> bool {
+        if term <= self.term {
+            return false;
+        }
+        self.term = term;
+        if self.role == ReplicaRole::Leader {
+            self.role = ReplicaRole::Follower;
+            return true;
+        }
+        false
+    }
+
+    /// Whether a campaign for `term` by a candidate whose contiguous
+    /// log reaches `candidate_floor` gets this replica's vote. Granting
+    /// records the vote — at most one candidate can win any term, and a
+    /// candidate missing entries this replica knows are committed is
+    /// rejected (the elected leader must hold every committed entry).
+    pub fn grant_vote(&mut self, term: u64, candidate_floor: u64) -> bool {
+        if term <= self.term || term <= self.voted_in || candidate_floor < self.committed {
+            return false;
+        }
+        self.voted_in = term;
+        true
     }
 
     /// Majority size for the member count.
     #[must_use]
     pub fn quorum(&self) -> usize {
         self.members.len() / 2 + 1
+    }
+
+    /// Votes needed to win an election. A strict member majority —
+    /// except the two-member group, where the surviving follower could
+    /// never reach 2 with its leader dead; there the deployment trades
+    /// split-brain safety for availability (documented in DESIGN.md §6)
+    /// and a lone follower may promote itself.
+    #[must_use]
+    pub fn election_quorum(&self) -> usize {
+        if self.members.len() == 2 {
+            1
+        } else {
+            self.quorum()
+        }
     }
 
     /// Highest committed index.
@@ -99,6 +196,12 @@ impl ReplicatedLog {
         self.entries.is_empty()
     }
 
+    /// All group members, self included.
+    #[must_use]
+    pub fn members(&self) -> &[MacAddr] {
+        &self.members
+    }
+
     /// The other members (targets for `ReplAppend`).
     pub fn peers(&self) -> impl Iterator<Item = MacAddr> + '_ {
         let me = self.me;
@@ -112,6 +215,7 @@ impl ReplicatedLog {
         let entry = LogEntry {
             index: self.next_index,
             version,
+            term: self.term,
             delta,
         };
         self.next_index += 1;
@@ -123,11 +227,23 @@ impl ReplicatedLog {
     }
 
     /// Follower: stores a replicated entry. Returns `true` if it was new
-    /// (and should be acked).
+    /// (and should be acked). An entry already held at the same index is
+    /// replaced only when the incoming one carries a higher term — the
+    /// authoritative leader's copy overwrites a fenced stale leader's
+    /// divergent suffix.
     pub fn store(&mut self, entry: LogEntry) -> bool {
-        let new = !self.entries.contains_key(&entry.index);
-        self.entries.insert(entry.index, entry);
-        new
+        match self.entries.get(&entry.index) {
+            None => {
+                self.entries.insert(entry.index, entry);
+                true
+            }
+            Some(existing) if existing.term < entry.term => {
+                self.acks.remove(&entry.index);
+                self.entries.insert(entry.index, entry);
+                true
+            }
+            Some(_) => false,
+        }
     }
 
     /// Leader: records an ack. Returns the new committed index if the
@@ -183,6 +299,12 @@ impl ReplicatedLog {
     #[must_use]
     pub fn entry(&self, index: u64) -> Option<&LogEntry> {
         self.entries.get(&index)
+    }
+
+    /// All stored entries in index order (invariant audits: term
+    /// monotonicity, cross-replica convergence).
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.values()
     }
 
     fn advance_commit(&mut self) {
@@ -249,37 +371,119 @@ mod tests {
         assert_eq!(log.committed(), 0);
     }
 
+    fn entry_at(index: u64, term: u64) -> LogEntry {
+        LogEntry {
+            index,
+            version: index,
+            term,
+            delta: delta(),
+        }
+    }
+
     #[test]
     fn follower_stores_and_dedups() {
         let mut log = ReplicatedLog::new(mac(1), vec![mac(0), mac(1)], ReplicaRole::Follower);
-        let e = LogEntry {
-            index: 1,
-            version: 1,
-            delta: delta(),
-        };
+        let e = entry_at(1, 1);
         assert!(log.store(e.clone()));
         assert!(!log.store(e));
         assert_eq!(log.len(), 1);
     }
 
     #[test]
-    fn promotion_resumes_sequencing() {
+    fn promotion_resumes_sequencing_and_bumps_term() {
         let mut log =
             ReplicatedLog::new(mac(1), vec![mac(0), mac(1), mac(2)], ReplicaRole::Follower);
-        log.store(LogEntry {
-            index: 1,
-            version: 1,
-            delta: delta(),
-        });
-        log.store(LogEntry {
-            index: 2,
-            version: 2,
-            delta: delta(),
-        });
+        log.observe_term(1);
+        log.store(entry_at(1, 1));
+        log.store(entry_at(2, 1));
         log.promote();
         assert_eq!(log.role(), ReplicaRole::Leader);
+        assert_eq!(log.term(), 2, "promotion must advance the term");
         let e = log.append(3, delta());
         assert_eq!(e.index, 3);
+        assert_eq!(e.term, 2);
+    }
+
+    #[test]
+    fn higher_term_steps_a_leader_down() {
+        let mut log = ReplicatedLog::new(mac(0), vec![mac(0), mac(1), mac(2)], ReplicaRole::Leader);
+        assert_eq!(log.term(), 1);
+        assert!(!log.observe_term(1), "equal term is not a step-down");
+        assert!(log.observe_term(3));
+        assert_eq!(log.role(), ReplicaRole::Follower);
+        assert_eq!(log.term(), 3);
+        // Idempotent: observing the same term again changes nothing.
+        assert!(!log.observe_term(3));
+    }
+
+    #[test]
+    fn votes_are_exclusive_per_term() {
+        let mut log =
+            ReplicatedLog::new(mac(2), vec![mac(0), mac(1), mac(2)], ReplicaRole::Follower);
+        assert!(!log.grant_vote(1, 0), "the bootstrap term is taken");
+        assert!(log.grant_vote(2, 0));
+        assert!(!log.grant_vote(2, 0), "second candidate of term 2 loses");
+        assert!(log.grant_vote(3, 0), "next term is a fresh vote");
+        // A stale term (≤ current) never gets a vote.
+        log.observe_term(5);
+        assert!(!log.grant_vote(5, 0));
+        assert!(log.grant_vote(6, 0));
+    }
+
+    #[test]
+    fn vote_rejects_candidate_behind_committed() {
+        // Voter committed up to 2; a candidate whose contiguous log ends
+        // at 1 would lose committed data, so it is rejected.
+        let mut log = ReplicatedLog::new(mac(0), vec![mac(0), mac(1), mac(2)], ReplicaRole::Leader);
+        let e1 = log.append(1, delta());
+        let e2 = log.append(2, delta());
+        log.ack(e1.index, mac(1));
+        log.ack(e2.index, mac(1));
+        assert_eq!(log.committed(), 2);
+        log.demote();
+        assert!(!log.grant_vote(7, 1));
+        assert!(log.grant_vote(7, 2));
+    }
+
+    #[test]
+    fn two_member_group_elects_on_a_single_vote() {
+        let log = ReplicatedLog::new(mac(1), vec![mac(0), mac(1)], ReplicaRole::Follower);
+        assert_eq!(log.election_quorum(), 1);
+        let three = ReplicatedLog::new(mac(1), vec![mac(0), mac(1), mac(2)], ReplicaRole::Follower);
+        assert_eq!(three.election_quorum(), 2);
+    }
+
+    #[test]
+    fn store_replaces_stale_term_entry() {
+        let mut log = ReplicatedLog::new(mac(1), vec![mac(0), mac(1)], ReplicaRole::Follower);
+        assert!(log.store(entry_at(3, 1)));
+        // The fenced stale leader's copy does not displace a newer term.
+        let stale = LogEntry {
+            version: 99,
+            ..entry_at(3, 1)
+        };
+        assert!(!log.store(stale));
+        // The new leader's higher-term copy overwrites.
+        let fresh = LogEntry {
+            version: 7,
+            ..entry_at(3, 2)
+        };
+        assert!(log.store(fresh));
+        assert_eq!(log.entry(3).unwrap().version, 7);
+    }
+
+    #[test]
+    fn promotion_self_acks_stored_prefix_so_commit_can_advance() {
+        let mut log =
+            ReplicatedLog::new(mac(1), vec![mac(0), mac(1), mac(2)], ReplicaRole::Follower);
+        log.observe_term(1);
+        log.store(entry_at(1, 1));
+        log.store(entry_at(2, 1));
+        log.promote();
+        // Peer re-acks the prefix under the new leadership.
+        assert_eq!(log.ack(1, mac(2)), Some(1));
+        assert_eq!(log.ack(2, mac(2)), Some(2));
+        assert_eq!(log.committed(), 2);
     }
 
     #[test]
@@ -297,25 +501,13 @@ mod tests {
         let mut log = ReplicatedLog::new(mac(1), vec![mac(0), mac(1)], ReplicaRole::Follower);
         assert_eq!(log.highest_contiguous(), 0);
         assert!(!log.has_gap());
-        log.store(LogEntry {
-            index: 1,
-            version: 1,
-            delta: delta(),
-        });
+        log.store(entry_at(1, 1));
         // Entry 2 was lost in flight; 3 arrives.
-        log.store(LogEntry {
-            index: 3,
-            version: 3,
-            delta: delta(),
-        });
+        log.store(entry_at(3, 1));
         assert_eq!(log.highest_contiguous(), 1);
         assert!(log.has_gap());
         // Re-sync fills the hole.
-        log.store(LogEntry {
-            index: 2,
-            version: 2,
-            delta: delta(),
-        });
+        log.store(entry_at(2, 1));
         assert_eq!(log.highest_contiguous(), 3);
         assert!(!log.has_gap());
     }

@@ -13,6 +13,14 @@
 //!    link that is currently down (or that no longer exists).
 //! 4. **All-pairs reachability**: every host pair is connected over the
 //!    up-links of the ground-truth topology.
+//! 5. **At most one leader per term**: no leadership term appears in
+//!    two different controllers' `terms_led` histories — the split-brain
+//!    safety property, checked over *all* controllers including crashed
+//!    ones (a safety violation in the past does not heal).
+//! 6. **Term-monotone logs**: within each replica's log, entry terms
+//!    never decrease with the index.
+//! 7. **Post-heal log convergence**: every pair of live replicas agrees
+//!    entry-for-entry up to the shorter contiguous prefix.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -44,6 +52,15 @@ pub struct InvariantReport {
     pub unreachable_pairs: Vec<(HostId, HostId)>,
     /// Unordered host pairs examined for reachability.
     pub pairs_checked: usize,
+    /// Leadership terms claimed by two different controllers —
+    /// split-brain evidence: `(term, controller, controller)`.
+    pub duplicate_term_leaders: Vec<(u64, HostId, HostId)>,
+    /// Controllers whose replicated log holds an entry whose term is
+    /// lower than an earlier entry's (terms must rise with the index).
+    pub nonmonotone_logs: Vec<HostId>,
+    /// Live controller pairs whose logs disagree on some entry within
+    /// the contiguous prefix both hold.
+    pub divergent_log_pairs: Vec<(HostId, HostId)>,
 }
 
 impl InvariantReport {
@@ -54,6 +71,17 @@ impl InvariantReport {
             && self.divergent_links.is_empty()
             && self.stale_paths.is_empty()
             && self.unreachable_pairs.is_empty()
+            && self.leadership_ok()
+    }
+
+    /// Whether the leadership-safety invariants (5–7) hold. Usable
+    /// mid-disruption too: unlike readiness or reachability, these may
+    /// never be violated even while a partition is open.
+    #[must_use]
+    pub fn leadership_ok(&self) -> bool {
+        self.duplicate_term_leaders.is_empty()
+            && self.nonmonotone_logs.is_empty()
+            && self.divergent_log_pairs.is_empty()
     }
 }
 
@@ -104,6 +132,64 @@ pub fn check_invariants(fabric: &Fabric) -> InvariantReport {
     }
     report.divergent_links.sort_unstable();
     report.divergent_links.dedup();
+
+    // 5 + 6 + 7: leadership safety.
+    let mut term_holders: HashMap<u64, Vec<HostId>> = HashMap::new();
+    let mut live: Vec<HostId> = Vec::new();
+    for cid in fabric.controller_ids() {
+        let Some(ctrl) = fabric.controller(cid) else {
+            continue;
+        };
+        for &term in &ctrl.stats.terms_led {
+            let holders = term_holders.entry(term).or_default();
+            if !holders.contains(&cid) {
+                holders.push(cid);
+            }
+        }
+        let log = ctrl.replication();
+        let mut prev_term = 0;
+        for entry in log.entries() {
+            if entry.term < prev_term {
+                report.nonmonotone_logs.push(cid);
+                break;
+            }
+            prev_term = entry.term;
+        }
+        let crashed = fabric
+            .host_addr(cid)
+            .is_ok_and(|addr| fabric.world.is_crashed(addr));
+        if !crashed {
+            live.push(cid);
+        }
+    }
+    let mut terms: Vec<u64> = term_holders.keys().copied().collect();
+    terms.sort_unstable();
+    for term in terms {
+        let holders = &term_holders[&term];
+        for (i, &a) in holders.iter().enumerate() {
+            for &b in &holders[i + 1..] {
+                report.duplicate_term_leaders.push((term, a, b));
+            }
+        }
+    }
+    for (i, &a) in live.iter().enumerate() {
+        for &b in &live[i + 1..] {
+            let (la, lb) = match (fabric.controller(a), fabric.controller(b)) {
+                (Some(ca), Some(cb)) => (ca.replication(), cb.replication()),
+                _ => continue,
+            };
+            let floor = la.highest_contiguous().min(lb.highest_contiguous());
+            let diverged = (1..=floor).any(|ix| match (la.entry(ix), lb.entry(ix)) {
+                (Some(ea), Some(eb)) => {
+                    ea.term != eb.term || ea.version != eb.version || ea.delta != eb.delta
+                }
+                _ => true,
+            });
+            if diverged {
+                report.divergent_log_pairs.push((a, b));
+            }
+        }
+    }
 
     // 3: stale cached paths.
     for h in truth.hosts() {

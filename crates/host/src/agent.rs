@@ -150,6 +150,10 @@ pub struct AgentStats {
     pub ecn_echoes: u64,
     /// Switch statistics replies received: `(switch, per-port counters)`.
     pub stats_replies: Vec<(SwitchId, Vec<dumbnet_packet::control::PortStat>)>,
+    /// Controller updates discarded because they carried a leadership
+    /// term below the highest this host has seen (a fenced stale leader
+    /// still flooding from its side of a partition).
+    pub stale_ctrl_updates: u64,
 }
 
 /// The host agent node.
@@ -163,6 +167,10 @@ pub struct HostAgent {
     /// The PathTable.
     pub pathtable: PathTable,
     controller: Option<(MacAddr, Path)>,
+    /// Highest leadership term heard from any controller. Updates
+    /// stamped with a lower term are from a fenced stale leader and are
+    /// discarded (counted in [`AgentStats::stale_ctrl_updates`]).
+    leader_term: u64,
     /// All live controllers (primary + standbys) for query spreading.
     controller_group: Vec<(MacAddr, Path)>,
     next_controller: usize,
@@ -225,6 +233,7 @@ impl HostAgent {
             topocache: TopoCache::new(),
             pathtable: PathTable::new(),
             controller: None,
+            leader_term: 0,
             controller_group: Vec::new(),
             next_controller: 0,
             pending: HashMap::new(),
@@ -556,7 +565,19 @@ impl HostAgent {
             ControlMessage::HostFlood { event, .. } => {
                 self.handle_link_event(ctx, event, true);
             }
-            ControlMessage::TopologyPatch { version, delta } => {
+            ControlMessage::TopologyPatch {
+                version,
+                delta,
+                term,
+            } => {
+                if term < self.leader_term {
+                    // A fenced stale leader is still flooding patches
+                    // from its side of a partition; its topology view
+                    // no longer sequences ours.
+                    self.stats.stale_ctrl_updates += 1;
+                    return;
+                }
+                self.leader_term = term;
                 self.stats
                     .patch_arrivals
                     .push((version, ctx.now() + self.config.stack_delay));
@@ -576,8 +597,15 @@ impl HostAgent {
                 path_to_controller,
                 topo_version,
                 standby,
+                term,
             } => {
                 if !standby {
+                    if term < self.leader_term {
+                        // Leadership claim from a fenced stale leader.
+                        self.stats.stale_ctrl_updates += 1;
+                        return;
+                    }
+                    self.leader_term = term;
                     self.controller = Some((controller, path_to_controller.clone()));
                 }
                 // Maintain the query-spreading group (replace same MAC).
@@ -625,6 +653,8 @@ impl HostAgent {
             | ControlMessage::ReplAppend { .. }
             | ControlMessage::ReplAck { .. }
             | ControlMessage::ReplSyncRequest { .. }
+            | ControlMessage::LeaderQuery { .. }
+            | ControlMessage::LeaderQueryReply { .. }
             | ControlMessage::Bpdu { .. } => {}
         }
     }

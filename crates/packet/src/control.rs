@@ -143,6 +143,10 @@ pub enum ControlMessage {
         version: u64,
         /// The changes.
         delta: TopoDelta,
+        /// Leadership term of the flooding controller. Hosts discard
+        /// patches from a fenced stale leader (lower term than the
+        /// highest they have seen).
+        term: u64,
     },
     /// Bootstrap message from the controller to a host: "you exist, here
     /// is how to reach me".
@@ -159,6 +163,8 @@ pub enum ControlMessage {
         /// queries from clients"), but only a non-standby hello changes
         /// the primary.
         standby: bool,
+        /// Leadership term of the sender's replica group.
+        term: u64,
     },
     /// Leader→replica topology-log append (the ZooKeeper-substitute
     /// replication protocol).
@@ -171,6 +177,9 @@ pub enum ControlMessage {
         delta: TopoDelta,
         /// The leader's identity.
         leader: MacAddr,
+        /// The leader's term. Replicas reject lower-term appends; a
+        /// higher term steps a stale leader down.
+        term: u64,
     },
     /// Replica→leader acknowledgement.
     ReplAck {
@@ -178,6 +187,9 @@ pub enum ControlMessage {
         index: u64,
         /// The acknowledging replica.
         replica: MacAddr,
+        /// Term the replica acknowledged under (stale-term acks are
+        /// ignored by the leader).
+        term: u64,
     },
     /// Replica→leader log re-sync request: "send me everything after
     /// `after`". Sent when a follower detects a hole in its log (lost
@@ -188,6 +200,47 @@ pub enum ControlMessage {
         after: u64,
         /// The requesting replica.
         replica: MacAddr,
+        /// The replica's current term.
+        term: u64,
+    },
+    /// Follower→members leadership campaign: "I propose to lead `term`;
+    /// my contiguous log reaches `log_floor`". Sent after the takeover
+    /// timeout expires, staggered so the lowest-MAC live follower
+    /// campaigns first.
+    LeaderQuery {
+        /// The campaigning follower.
+        candidate: MacAddr,
+        /// The proposed (next) term.
+        term: u64,
+        /// Highest contiguous log index the candidate holds — voters
+        /// reject candidates behind their own committed index.
+        log_floor: u64,
+        /// Flood budget. Zero for source-routed unicast; positive when
+        /// the candidate has no topology yet and the campaign travels as
+        /// a hop-limited broadcast relayed by switches (like
+        /// [`ControlMessage::LinkNotification`]).
+        ttl: u8,
+    },
+    /// A member's answer to a [`ControlMessage::LeaderQuery`]: a vote
+    /// (exclusive per term), or a liveness signal from a leader that is
+    /// still alive.
+    LeaderQueryReply {
+        /// The candidate this answer is addressed to — flooded replies
+        /// reach every member, and a vote must never count for a
+        /// campaign it was not cast in.
+        candidate: MacAddr,
+        /// The responding member.
+        responder: MacAddr,
+        /// Echo of the campaign term (or the responder's own, higher
+        /// term when rejecting).
+        term: u64,
+        /// Whether the responder granted its vote for this term.
+        granted: bool,
+        /// Whether the responder currently leads — tells the candidate
+        /// to stand down and treat this as a heartbeat.
+        leader: bool,
+        /// Flood budget (see [`ControlMessage::LeaderQuery::ttl`]).
+        ttl: u8,
     },
     /// In-band switch statistics query (§8 future work: "mechanisms for
     /// packet statistics … either require no state, or only soft
@@ -265,16 +318,18 @@ impl ControlMessage {
                         .map_or(0, |g| 32 + g.edge_count() * 12 + g.switch_count() * 8)
             }
             ControlMessage::TopologyPatch { delta, .. } => {
-                1 + 8 + delta.down.len() * 16 + delta.up.len() * 18
+                1 + 8 + 8 + delta.down.len() * 16 + delta.up.len() * 18
             }
             ControlMessage::ControllerHello {
                 path_to_controller, ..
-            } => 1 + 6 + path_to_controller.len() + 1 + 8,
+            } => 1 + 6 + path_to_controller.len() + 1 + 8 + 8,
             ControlMessage::ReplAppend { delta, .. } => {
-                1 + 8 + 8 + 6 + delta.down.len() * 16 + delta.up.len() * 18
+                1 + 8 + 8 + 8 + 6 + delta.down.len() * 16 + delta.up.len() * 18
             }
-            ControlMessage::ReplAck { .. } => 1 + 8 + 6,
-            ControlMessage::ReplSyncRequest { .. } => 1 + 8 + 6,
+            ControlMessage::ReplAck { .. } => 1 + 8 + 6 + 8,
+            ControlMessage::ReplSyncRequest { .. } => 1 + 8 + 6 + 8,
+            ControlMessage::LeaderQuery { .. } => 1 + 6 + 8 + 8 + 1,
+            ControlMessage::LeaderQueryReply { .. } => 1 + 6 + 6 + 8 + 1 + 1 + 1,
             ControlMessage::StatsQuery { .. } => 1 + 8,
             ControlMessage::StatsReply { ports, .. } => 1 + 8 + 8 + ports.len() * 17,
             ControlMessage::EcnEcho { .. } => 1 + 8,

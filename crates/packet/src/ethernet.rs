@@ -112,11 +112,10 @@ impl EthernetFrame {
         }
         let body_len = bytes.len() - Self::FCS_LEN;
         let expect = crc32(&bytes[..body_len]);
-        let got = u32::from_be_bytes(
-            bytes[body_len..]
-                .try_into()
-                .expect("slice is FCS_LEN bytes"),
-        );
+        let Ok(fcs_bytes) = <[u8; Self::FCS_LEN]>::try_from(&bytes[body_len..]) else {
+            return Err(DumbNetError::MalformedFrame("truncated FCS trailer".into()));
+        };
+        let got = u32::from_be_bytes(fcs_bytes);
         if expect != got {
             return Err(DumbNetError::MalformedFrame(format!(
                 "FCS mismatch: computed {expect:#010x}, frame carries {got:#010x}"

@@ -158,7 +158,12 @@ impl LabelStack {
                     ))
                 };
             };
-            let label = MplsLabel::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+            let Ok(word) = <[u8; 4]>::try_from(chunk) else {
+                return Err(DumbNetError::MalformedFrame(
+                    "label stack length not a multiple of 4".into(),
+                ));
+            };
+            let label = MplsLabel::from_be_bytes(word);
             let bottom = label.bottom;
             labels.push(label);
             offset += 4;

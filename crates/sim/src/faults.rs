@@ -14,6 +14,8 @@
 //!   wire blackholes everything.
 //! * [`FlapSchedule`] — periodic administrative link down/up cycles.
 //! * [`CrashSchedule`] — switch (or host) crash and optional restart.
+//! * [`PartitionSchedule`] — a network partition: named cells whose
+//!   cross-cell wires all go down for a window, then heal.
 //! * [`ChaosPlan`] — a seeded, fully deterministic bundle of all of the
 //!   above, applied to a [`World`](crate::World) in one call.
 //!
@@ -119,6 +121,52 @@ pub struct CrashSchedule {
     pub restart_after: Option<SimDuration>,
 }
 
+/// A network partition: the fabric is cut into named cells for a
+/// window, then healed.
+///
+/// Every wire whose two endpoints sit in *different* cells goes
+/// administratively down at `start` and comes back at
+/// `start + heal_after`. Cuts are physical: a wire is severed only if
+/// both endpoints are listed and in different cells, so nodes left out
+/// of every cell keep all their wires. Endpoint membership is resolved
+/// against the world when the plan is applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSchedule {
+    /// Named cells: `(label, member nodes)`. Labels are for reports
+    /// and debugging only.
+    pub cells: Vec<(String, Vec<NodeAddr>)>,
+    /// When the cut happens.
+    pub start: SimTime,
+    /// How long the cut lasts before every severed wire heals.
+    pub heal_after: SimDuration,
+}
+
+impl PartitionSchedule {
+    /// Cell index of `node`, if it is listed in any cell.
+    fn cell_of(&self, node: NodeAddr) -> Option<usize> {
+        self.cells
+            .iter()
+            .position(|(_, members)| members.contains(&node))
+    }
+
+    /// The wires this partition severs: every wire whose endpoints
+    /// resolve to two different cells.
+    #[must_use]
+    pub fn severed_wires(&self, world: &World) -> Vec<WireId> {
+        let mut cut = Vec::new();
+        for ix in 0..world.wire_count() {
+            let wire = WireId::from_raw(ix);
+            let ((a, _), (b, _)) = world.wire_endpoints(wire);
+            if let (Some(ca), Some(cb)) = (self.cell_of(a), self.cell_of(b)) {
+                if ca != cb {
+                    cut.push(wire);
+                }
+            }
+        }
+        cut
+    }
+}
+
 /// A complete, deterministic chaos scenario.
 #[derive(Debug, Clone, Default)]
 pub struct ChaosPlan {
@@ -130,6 +178,8 @@ pub struct ChaosPlan {
     pub flaps: Vec<FlapSchedule>,
     /// Node crash schedules.
     pub crashes: Vec<CrashSchedule>,
+    /// Partition windows.
+    pub partitions: Vec<PartitionSchedule>,
 }
 
 impl ChaosPlan {
@@ -161,6 +211,12 @@ impl ChaosPlan {
         self
     }
 
+    /// Adds a partition window.
+    pub fn with_partition(mut self, partition: PartitionSchedule) -> ChaosPlan {
+        self.partitions.push(partition);
+        self
+    }
+
     /// Installs the whole plan into `world`: seeds the fault RNG, sets
     /// the per-wire profiles, and schedules every flap transition and
     /// crash/restart event.
@@ -182,6 +238,12 @@ impl ChaosPlan {
             world.schedule_crash(crash.at, crash.node);
             if let Some(after) = crash.restart_after {
                 world.schedule_restart(crash.at.after(after), crash.node);
+            }
+        }
+        for partition in &self.partitions {
+            for wire in partition.severed_wires(world) {
+                world.schedule_link_state(partition.start, wire, false);
+                world.schedule_link_state(partition.start.after(partition.heal_after), wire, true);
             }
         }
     }
@@ -219,6 +281,9 @@ impl ChaosPlan {
             for b in &profile.bursts {
                 update(b.start.after(b.duration));
             }
+        }
+        for partition in &self.partitions {
+            update(partition.start.after(partition.heal_after));
         }
         last
     }
@@ -277,6 +342,100 @@ mod tests {
         // 320 ms wins.
         assert_eq!(plan.last_scheduled_event(), Some(t(320)));
         assert_eq!(ChaosPlan::default().last_scheduled_event(), None);
+    }
+
+    /// A deaf two-port node for wiring test worlds.
+    struct Mute;
+    impl crate::engine::Node for Mute {
+        fn on_packet(
+            &mut self,
+            _ctx: &mut crate::engine::Ctx<'_>,
+            _in_port: dumbnet_types::PortNo,
+            _pkt: dumbnet_packet::Packet,
+        ) {
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// A 4-node line a—b—c—d; returns the world and its three wires.
+    fn line_world() -> (World, [WireId; 3], [NodeAddr; 4]) {
+        use crate::engine::LinkParams;
+        let p1 = dumbnet_types::PortNo::new(1).unwrap();
+        let p2 = dumbnet_types::PortNo::new(2).unwrap();
+        let mut w = World::new(0);
+        let nodes = [
+            w.add_node(Box::new(Mute)),
+            w.add_node(Box::new(Mute)),
+            w.add_node(Box::new(Mute)),
+            w.add_node(Box::new(Mute)),
+        ];
+        let wires = [
+            w.wire(nodes[0], p1, nodes[1], p1, LinkParams::ten_gig())
+                .unwrap(),
+            w.wire(nodes[1], p2, nodes[2], p1, LinkParams::ten_gig())
+                .unwrap(),
+            w.wire(nodes[2], p2, nodes[3], p1, LinkParams::ten_gig())
+                .unwrap(),
+        ];
+        (w, wires, nodes)
+    }
+
+    #[test]
+    fn partition_severs_exactly_cross_cell_wires() {
+        let (w, wires, nodes) = line_world();
+        let cut = PartitionSchedule {
+            cells: vec![
+                ("left".into(), vec![nodes[0], nodes[1]]),
+                ("right".into(), vec![nodes[2], nodes[3]]),
+            ],
+            start: t(10),
+            heal_after: SimDuration::from_millis(20),
+        };
+        // Only the b—c wire crosses the cut; intra-cell wires survive.
+        assert_eq!(cut.severed_wires(&w), vec![wires[1]]);
+    }
+
+    #[test]
+    fn unlisted_nodes_keep_all_wires() {
+        let (w, _, nodes) = line_world();
+        // Node d is in no cell: its wire to c must not be severed even
+        // though c is listed.
+        let cut = PartitionSchedule {
+            cells: vec![
+                ("left".into(), vec![nodes[0]]),
+                ("right".into(), vec![nodes[1], nodes[2]]),
+            ],
+            start: t(0),
+            heal_after: SimDuration::from_millis(1),
+        };
+        let severed = cut.severed_wires(&w);
+        assert_eq!(severed.len(), 1, "only a—b crosses cells: {severed:?}");
+    }
+
+    #[test]
+    fn applied_partition_cuts_then_heals() {
+        let (mut w, wires, nodes) = line_world();
+        let plan = ChaosPlan::seeded(7).with_partition(PartitionSchedule {
+            cells: vec![
+                ("left".into(), vec![nodes[0], nodes[1]]),
+                ("right".into(), vec![nodes[2], nodes[3]]),
+            ],
+            start: t(10),
+            heal_after: SimDuration::from_millis(20),
+        });
+        assert_eq!(plan.last_scheduled_event(), Some(t(30)));
+        plan.apply(&mut w);
+        w.run_until(t(15));
+        assert!(!w.wire_up(wires[1]), "cross-cell wire still up mid-window");
+        assert!(w.wire_up(wires[0]), "intra-cell wire went down");
+        assert!(w.wire_up(wires[2]), "intra-cell wire went down");
+        w.run_until(t(31));
+        assert!(w.wire_up(wires[1]), "cross-cell wire never healed");
     }
 
     #[test]

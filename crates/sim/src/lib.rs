@@ -29,5 +29,7 @@ pub mod flowsim;
 
 pub use chaos::{ChaosReport, ChaosRunner};
 pub use engine::{Ctx, LinkParams, LinkStats, Node, NodeAddr, WireId, World, WorldStats};
-pub use faults::{BurstWindow, ChaosPlan, CrashSchedule, FaultProfile, FlapSchedule};
+pub use faults::{
+    BurstWindow, ChaosPlan, CrashSchedule, FaultProfile, FlapSchedule, PartitionSchedule,
+};
 pub use flowsim::{EdgeId, FlowEvent, FlowId, FlowSim};

@@ -258,6 +258,60 @@ impl Node for DumbSwitch {
             }
             return;
         }
+        // Controller election traffic sent before any topology exists
+        // travels the same way: a hop-limited broadcast relay. Unicast
+        // (path-carrying) election packets fall through to `forward`.
+        if pkt.dst == MacAddr::BROADCAST {
+            match &pkt.payload {
+                Payload::Control(ControlMessage::LeaderQuery {
+                    candidate,
+                    term,
+                    log_floor,
+                    ttl,
+                }) => {
+                    if *ttl > 0 {
+                        self.stats.notifications_relayed += 1;
+                        self.broadcast(
+                            ctx,
+                            Some(in_port),
+                            ControlMessage::LeaderQuery {
+                                candidate: *candidate,
+                                term: *term,
+                                log_floor: *log_floor,
+                                ttl: ttl - 1,
+                            },
+                        );
+                    }
+                    return;
+                }
+                Payload::Control(ControlMessage::LeaderQueryReply {
+                    candidate,
+                    responder,
+                    term,
+                    granted,
+                    leader,
+                    ttl,
+                }) => {
+                    if *ttl > 0 {
+                        self.stats.notifications_relayed += 1;
+                        self.broadcast(
+                            ctx,
+                            Some(in_port),
+                            ControlMessage::LeaderQueryReply {
+                                candidate: *candidate,
+                                responder: *responder,
+                                term: *term,
+                                granted: *granted,
+                                leader: *leader,
+                                ttl: ttl - 1,
+                            },
+                        );
+                    }
+                    return;
+                }
+                _ => {}
+            }
+        }
         self.forward(ctx, pkt);
     }
 

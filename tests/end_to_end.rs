@@ -462,3 +462,72 @@ fn fat_tree_k8_full_mesh_sample_traffic() {
     // 64 hosts, 8 pingers × 6 pings.
     assert!(total >= 40, "only {total} pings completed overall");
 }
+
+#[test]
+fn restarted_ex_leader_does_not_split_brain() {
+    // The split-brain regression: crash the leader, let a follower win
+    // an election, then restart the ex-leader. The restarted node must
+    // come back as a follower (it demotes itself when peers exist),
+    // observe the successor's higher term, and re-sync — never a second
+    // leader, and the replicated logs must converge.
+    use dumbnet::controller::Controller;
+    use dumbnet::fabric::chaos::check_invariants;
+
+    let controllers = [0u64, 13, 25];
+    let g = generators::testbed();
+    let cfg = FabricConfig {
+        controllers: controllers.iter().map(|&h| HostId(h)).collect(),
+        controller: ControllerConfig {
+            peers: controllers.iter().map(|&h| MacAddr::for_host(h)).collect(),
+            heartbeat: SimDuration::from_millis(20),
+            takeover_timeout: SimDuration::from_millis(100),
+            ..ControllerConfig::default()
+        },
+        ..FabricConfig::default()
+    };
+    let mut fabric = Fabric::build_full(g.topology, cfg, HostAgent::new, |id, mut ccfg| {
+        ccfg.is_leader = id == HostId(0);
+        Controller::new(id, ccfg)
+    })
+    .unwrap();
+    let leader_addr = fabric.host_addr(HostId(0)).unwrap();
+    fabric.world.schedule_crash(at_ms(100), leader_addr);
+    fabric.world.schedule_restart(at_ms(500), leader_addr);
+    fabric.run_until(at_ms(1200));
+
+    // Exactly one live leader, and it is the lowest-MAC survivor-era
+    // winner (host 13), not the restarted ex-leader.
+    let leaders: Vec<u64> = controllers
+        .iter()
+        .copied()
+        .filter(|&h| fabric.controller(HostId(h)).unwrap().stats.is_leader)
+        .collect();
+    assert_eq!(leaders, vec![13], "expected exactly host 13 leading");
+    let ex_leader = fabric.controller(HostId(0)).unwrap();
+    assert!(
+        ex_leader.stats.step_downs >= 1 || !ex_leader.stats.is_leader,
+        "restarted ex-leader must have yielded"
+    );
+    // The new leader's term outranks the crashed leader's bootstrap
+    // term, and the restarted node has adopted it.
+    let new_term = fabric.controller(HostId(13)).unwrap().replication().term();
+    assert!(new_term >= 2, "successor never bumped the term: {new_term}");
+    assert_eq!(
+        ex_leader.replication().term(),
+        new_term,
+        "restarted ex-leader did not adopt the successor's term"
+    );
+    // Leadership invariants: one leader per term across *history*,
+    // monotone terms, convergent logs between live controllers.
+    let report = check_invariants(&fabric);
+    assert!(
+        report.leadership_ok(),
+        "leadership invariants violated: dup={:?} nonmono={:?} diverged={:?}",
+        report.duplicate_term_leaders,
+        report.nonmonotone_logs,
+        report.divergent_log_pairs,
+    );
+    // Hosts followed the new leader's fenced hellos.
+    let agent = fabric.host(HostId(20)).unwrap();
+    assert_eq!(agent.controller(), Some(MacAddr::for_host(13)));
+}
