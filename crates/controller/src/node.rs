@@ -280,9 +280,24 @@ impl Controller {
     }
 
     /// Records a term observed on the wire; a leader seeing a higher
-    /// term steps down and rejoins as a follower.
+    /// term steps down and rejoins as a follower. Adopting a higher term
+    /// also fences any in-flight campaign at or below it — a delayed
+    /// vote for the dead campaign must never promote us into a term the
+    /// group has already moved past — and prunes the answered-queries
+    /// dedup set of terms that can no longer receive a vote (unbounded
+    /// growth over long chaos soaks otherwise).
     fn note_term(&mut self, ctx: &mut Ctx<'_>, term: u64) {
-        if self.log.observe_term(term) {
+        let before = self.log.term();
+        let stepped_down = self.log.observe_term(term);
+        let now = self.log.term();
+        if now > before {
+            if self.election.as_ref().is_some_and(|el| el.term <= now) {
+                // T_ELECTION (already armed) re-arms the takeover clock.
+                self.election = None;
+            }
+            self.answered_queries.retain(|&(_, t)| t >= now);
+        }
+        if stepped_down {
             self.stats.is_leader = false;
             self.stats.step_downs += 1;
             self.election = None;
@@ -358,13 +373,21 @@ impl Controller {
         }
     }
 
-    /// Promotes if the current campaign holds an election quorum.
+    /// Promotes if the current campaign holds an election quorum. A
+    /// campaign whose term the log has already caught up to (a refusal
+    /// or append raised it mid-flight) is abandoned instead: promoting
+    /// into a term the group has moved past would mint a second leader
+    /// for a term someone else may already hold.
     fn try_win_election(&mut self, ctx: &mut Ctx<'_>) {
-        let won = self
-            .election
-            .as_ref()
-            .is_some_and(|el| el.votes.len() >= self.log.election_quorum());
-        if !won {
+        let Some(el) = self.election.as_ref() else {
+            return;
+        };
+        if el.term <= self.log.term() {
+            // T_ELECTION (armed by begin_election) re-arms takeover.
+            self.election = None;
+            return;
+        }
+        if el.votes.len() < self.log.election_quorum() {
             return;
         }
         let term = self.election.take().map_or(0, |el| el.term);
@@ -629,6 +652,7 @@ impl Controller {
                             delta: entry.delta.clone(),
                             leader: self.mac,
                             term: self.log.term(),
+                            commit: self.log.committed(),
                         },
                     );
                 }
@@ -774,6 +798,7 @@ impl Controller {
                 delta,
                 leader,
                 term,
+                commit,
             } => {
                 if term < self.log.term() {
                     // A fenced stale leader (pre-partition, or restarted
@@ -791,6 +816,7 @@ impl Controller {
                 self.election = None;
                 self.last_leader_seen = ctx.now();
                 if index == 0 {
+                    self.log.note_commit(commit);
                     // Pure heartbeat. A version ahead of ours means we
                     // missed appends (lost packets or a crash window):
                     // ask the leader to re-send from our contiguous
@@ -806,6 +832,9 @@ impl Controller {
                         term,
                         delta: delta.clone(),
                     });
+                    // After storing: the entry itself may complete the
+                    // contiguous prefix the leader's commit index covers.
+                    self.log.note_commit(commit);
                     if new {
                         // Apply to the local topology view.
                         if let Some(topo) = self.topology.as_mut() {
@@ -901,6 +930,7 @@ impl Controller {
                                 delta: e.delta,
                                 leader: self.mac,
                                 term: self.log.term(),
+                                commit: self.log.committed(),
                             },
                         );
                     }
@@ -1072,6 +1102,7 @@ impl Node for Controller {
             }
             T_HEARTBEAT if self.log.role() == ReplicaRole::Leader => {
                 let term = self.log.term();
+                let commit = self.log.committed();
                 let peers: Vec<MacAddr> = self.log.peers().collect();
                 for peer in peers {
                     let Some(path) = self.path_to(ctx, peer) else {
@@ -1087,6 +1118,7 @@ impl Node for Controller {
                             delta: TopoDelta::default(),
                             leader: self.mac,
                             term,
+                            commit,
                         },
                     );
                     // Ack-less retry: replay entries this peer has
@@ -1108,6 +1140,7 @@ impl Node for Controller {
                                 delta: e.delta,
                                 leader: self.mac,
                                 term,
+                                commit,
                             },
                         );
                     }

@@ -168,7 +168,10 @@ impl ReplicatedLog {
     /// except the two-member group, where the surviving follower could
     /// never reach 2 with its leader dead; there the deployment trades
     /// split-brain safety for availability (documented in DESIGN.md §6)
-    /// and a lone follower may promote itself.
+    /// and a lone follower may promote itself. Because both sides of a
+    /// partitioned two-member group can therefore self-elect the same
+    /// term, the chaos leadership invariants exclude two-member groups
+    /// (see `dumbnet_core::chaos::check_invariants`).
     #[must_use]
     pub fn election_quorum(&self) -> usize {
         if self.members.len() == 2 {
@@ -230,20 +233,33 @@ impl ReplicatedLog {
     /// (and should be acked). An entry already held at the same index is
     /// replaced only when the incoming one carries a higher term — the
     /// authoritative leader's copy overwrites a fenced stale leader's
-    /// divergent suffix.
+    /// divergent suffix — and never at or below the committed watermark:
+    /// the committed prefix is immutable regardless of terms (defense in
+    /// depth on top of the vote log-floor condition).
     pub fn store(&mut self, entry: LogEntry) -> bool {
         match self.entries.get(&entry.index) {
             None => {
                 self.entries.insert(entry.index, entry);
                 true
             }
-            Some(existing) if existing.term < entry.term => {
+            Some(existing) if existing.term < entry.term && entry.index > self.committed => {
                 self.acks.remove(&entry.index);
                 self.entries.insert(entry.index, entry);
                 true
             }
             Some(_) => false,
         }
+    }
+
+    /// Follower: adopts the leader's commit index as carried by a
+    /// `ReplAppend`/heartbeat, clamped to our contiguous prefix (an
+    /// entry we do not hold cannot be considered committed here). This
+    /// is what makes the vote log-floor condition meaningful on
+    /// replicas that never led: without it `committed` stays 0 forever
+    /// and any candidate passes the floor check.
+    pub fn note_commit(&mut self, leader_commit: u64) {
+        let cap = self.highest_contiguous();
+        self.committed = self.committed.max(leader_commit.min(cap));
     }
 
     /// Leader: records an ack. Returns the new committed index if the
@@ -484,6 +500,63 @@ mod tests {
         assert_eq!(log.ack(1, mac(2)), Some(1));
         assert_eq!(log.ack(2, mac(2)), Some(2));
         assert_eq!(log.committed(), 2);
+    }
+
+    #[test]
+    fn note_commit_clamps_to_contiguous_prefix() {
+        let mut log = ReplicatedLog::new(mac(1), vec![mac(0), mac(1)], ReplicaRole::Follower);
+        log.store(entry_at(1, 1));
+        // Entry 2 lost in flight; 3 held.
+        log.store(entry_at(3, 1));
+        // The leader claims 3 committed, but our contiguous prefix ends
+        // at 1: only that much may be considered committed locally.
+        log.note_commit(3);
+        assert_eq!(log.committed(), 1);
+        // Commit never regresses.
+        log.note_commit(0);
+        assert_eq!(log.committed(), 1);
+        // The hole fills; the next heartbeat's commit index lands fully.
+        log.store(entry_at(2, 1));
+        log.note_commit(3);
+        assert_eq!(log.committed(), 3);
+    }
+
+    #[test]
+    fn learned_commit_fences_votes_for_behind_candidates() {
+        // A follower that never led learns the commit index from the
+        // leader's appends and then refuses a candidate whose log ends
+        // below it — the scenario where a vacuous floor check would have
+        // let committed entries be overwritten.
+        let mut log =
+            ReplicatedLog::new(mac(2), vec![mac(0), mac(1), mac(2)], ReplicaRole::Follower);
+        log.store(entry_at(1, 1));
+        log.store(entry_at(2, 1));
+        log.note_commit(2);
+        assert!(!log.grant_vote(5, 1), "candidate misses committed entry 2");
+        assert!(log.grant_vote(5, 2));
+    }
+
+    #[test]
+    fn store_never_overwrites_committed_prefix() {
+        let mut log = ReplicatedLog::new(mac(1), vec![mac(0), mac(1)], ReplicaRole::Follower);
+        log.store(entry_at(1, 1));
+        log.store(entry_at(2, 1));
+        log.note_commit(2);
+        // A higher-term copy may not displace a committed entry.
+        let usurper = LogEntry {
+            version: 99,
+            ..entry_at(2, 4)
+        };
+        assert!(!log.store(usurper));
+        assert_eq!(log.entry(2).unwrap().version, 2);
+        // Above the watermark the higher-term overwrite still applies.
+        log.store(entry_at(3, 1));
+        let fresh = LogEntry {
+            version: 7,
+            ..entry_at(3, 4)
+        };
+        assert!(log.store(fresh));
+        assert_eq!(log.entry(3).unwrap().version, 7);
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!    never decrease with the index.
 //! 7. **Post-heal log convergence**: every pair of live replicas agrees
 //!    entry-for-entry up to the shorter contiguous prefix.
+//!
+//! Invariants 5 and 7 are skipped for **two-member** controller groups:
+//! a lone surviving follower there may self-elect on its own vote (the
+//! documented availability-over-safety trade, DESIGN.md §6), so both
+//! sides of a partitioned pair can legitimately claim the same term and
+//! diverge until heal. Groups of three or more always hold them.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -140,13 +146,19 @@ pub fn check_invariants(fabric: &Fabric) -> InvariantReport {
         let Some(ctrl) = fabric.controller(cid) else {
             continue;
         };
-        for &term in &ctrl.stats.terms_led {
-            let holders = term_holders.entry(term).or_default();
-            if !holders.contains(&cid) {
-                holders.push(cid);
+        let log = ctrl.replication();
+        // Two-member groups may legitimately split-brain (self-election
+        // on a single vote, DESIGN.md §6): exempt them from the
+        // duplicate-term and convergence checks.
+        let quorum_safe = log.members().len() != 2;
+        if quorum_safe {
+            for &term in &ctrl.stats.terms_led {
+                let holders = term_holders.entry(term).or_default();
+                if !holders.contains(&cid) {
+                    holders.push(cid);
+                }
             }
         }
-        let log = ctrl.replication();
         let mut prev_term = 0;
         for entry in log.entries() {
             if entry.term < prev_term {
@@ -158,7 +170,7 @@ pub fn check_invariants(fabric: &Fabric) -> InvariantReport {
         let crashed = fabric
             .host_addr(cid)
             .is_ok_and(|addr| fabric.world.is_crashed(addr));
-        if !crashed {
+        if quorum_safe && !crashed {
             live.push(cid);
         }
     }

@@ -180,6 +180,10 @@ pub enum ControlMessage {
         /// The leader's term. Replicas reject lower-term appends; a
         /// higher term steps a stale leader down.
         term: u64,
+        /// The leader's commit index. Followers adopt it (clamped to
+        /// their contiguous prefix) so their vote log-floor condition
+        /// reflects real quorum commits rather than staying at zero.
+        commit: u64,
     },
     /// Replica→leader acknowledgement.
     ReplAck {
@@ -324,7 +328,7 @@ impl ControlMessage {
                 path_to_controller, ..
             } => 1 + 6 + path_to_controller.len() + 1 + 8 + 8,
             ControlMessage::ReplAppend { delta, .. } => {
-                1 + 8 + 8 + 8 + 6 + delta.down.len() * 16 + delta.up.len() * 18
+                1 + 8 + 8 + 8 + 8 + 6 + delta.down.len() * 16 + delta.up.len() * 18
             }
             ControlMessage::ReplAck { .. } => 1 + 8 + 6 + 8,
             ControlMessage::ReplSyncRequest { .. } => 1 + 8 + 6 + 8,
