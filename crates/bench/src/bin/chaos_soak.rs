@@ -6,7 +6,9 @@
 //! invariants (at most one leader per term, term-monotone logs,
 //! post-heal log convergence) and that the cluster settles on exactly
 //! one live leader. Exits non-zero on the first violation, so CI can
-//! gate on it.
+//! gate on it — and dumps the telemetry snapshot diff (baseline vs.
+//! post-run) plus the tail of the structured trace ring, so a red run
+//! carries its own forensics instead of a bare exit code.
 //!
 //! Usage: `chaos_soak [--seeds N]` (default 8).
 
@@ -43,9 +45,34 @@ fn build_fabric() -> Fabric {
     .expect("fabric builds")
 }
 
+/// Trace events printed with a violation dump.
+const TRACE_TAIL: usize = 32;
+
+/// Renders the post-violation forensics: what changed since the
+/// baseline snapshot, and the last events on the trace ring.
+fn violation_dump(fabric: &mut Fabric, baseline: &dumbnet_telemetry::TelemetrySnapshot) -> String {
+    use std::fmt::Write;
+    let after = fabric.telemetry_snapshot();
+    let diff = after.diff(baseline);
+    let (tail, older) = fabric.telemetry().trace_tail(TRACE_TAIL);
+    let mut out = String::new();
+    let _ = writeln!(out, "--- telemetry diff (baseline -> violation) ---");
+    let _ = write!(out, "{diff}");
+    let _ = writeln!(
+        out,
+        "--- trace ring tail ({} older events elided) ---",
+        older
+    );
+    for ev in tail {
+        let _ = writeln!(out, "{ev}");
+    }
+    out
+}
+
 /// Runs one seeded scenario; returns a violation description, if any.
 fn soak_one(seed: u64) -> Result<String, String> {
     let mut fabric = build_fabric();
+    let baseline = fabric.telemetry_snapshot();
 
     // Seed-derived interleaving: one controller crashes and restarts,
     // another (always a different one) is partitioned off and healed.
@@ -90,10 +117,11 @@ fn soak_one(seed: u64) -> Result<String, String> {
 
     let report = check_invariants(&fabric);
     if !report.leadership_ok() {
+        let dump = violation_dump(&mut fabric, &baseline);
         return Err(format!(
             "seed {seed}: leadership invariants violated: \
              duplicate_term_leaders={:?} nonmonotone_logs={:?} \
-             divergent_log_pairs={:?}",
+             divergent_log_pairs={:?}\n{dump}",
             report.duplicate_term_leaders, report.nonmonotone_logs, report.divergent_log_pairs,
         ));
     }
@@ -103,19 +131,20 @@ fn soak_one(seed: u64) -> Result<String, String> {
         .filter(|&h| {
             fabric
                 .controller(HostId(h))
-                .is_some_and(|c| c.stats.is_leader)
+                .is_some_and(|c| c.stats().is_leader)
         })
         .collect();
     if leaders.len() != 1 {
+        let dump = violation_dump(&mut fabric, &baseline);
         return Err(format!(
-            "seed {seed}: expected exactly one settled leader, got {leaders:?}"
+            "seed {seed}: expected exactly one settled leader, got {leaders:?}\n{dump}"
         ));
     }
     let (elections, step_downs): (u64, u64) = CONTROLLERS
         .iter()
         .filter_map(|&h| fabric.controller(HostId(h)))
         .fold((0, 0), |(e, s), c| {
-            (e + c.stats.elections_started, s + c.stats.step_downs)
+            (e + c.stats().elections_started, s + c.stats().step_downs)
         });
     Ok(format!(
         "seed {seed}: crash={crash_victim}@{crash_at}ms(+{restart_after}ms) \

@@ -7,12 +7,29 @@
 //! Without `--before`, emits a single labelled run. With `--before`, the
 //! given baseline document is merged with the fresh run into the
 //! before/after/speedup schema of `BENCH_perf.json`.
+//!
+//! `--check-telemetry` runs the telemetry determinism gate instead of
+//! the timing points: boots the testbed fabric twice with the same seed
+//! and exits non-zero unless the registry is populated and both runs
+//! serialize to byte-identical snapshot JSON.
 
 use dumbnet_bench::perf;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--check-telemetry") {
+        match perf::telemetry_determinism_check() {
+            Ok(len) => {
+                eprintln!("telemetry snapshot deterministic ({len} bytes of JSON)");
+                return;
+            }
+            Err(why) => {
+                eprintln!("telemetry determinism check failed: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
     let flag_value = |name: &str| {
         args.iter()
             .position(|a| a == name)

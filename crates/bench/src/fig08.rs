@@ -98,8 +98,11 @@ pub fn discover_with_hint(
     DiscoveryPoint {
         label: label.to_owned(),
         switches: truth.switch_count(),
-        probes: ctrl_node.stats.probes_sent,
-        time: ctrl_node.stats.discovery_time.unwrap_or(SimDuration::ZERO),
+        probes: ctrl_node.stats().probes_sent,
+        time: ctrl_node
+            .stats()
+            .discovery_time
+            .unwrap_or(SimDuration::ZERO),
         exact,
     }
 }

@@ -74,7 +74,7 @@ pub fn ping_mesh(variant: DatapathVariant, pings_per_pair: u32) -> Cdf {
     let measure_from = SimTime::ZERO + T_MEASURE;
     for h in 1..n {
         if let Some(agent) = fabric.host(HostId(h)) {
-            for &(_, sent, rtt) in &agent.stats.rtts {
+            for &(_, sent, rtt) in &agent.stats().rtts {
                 if sent >= measure_from {
                     rtts.push(rtt);
                 }

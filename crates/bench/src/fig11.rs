@@ -74,7 +74,7 @@ pub fn notification_delays(ttl: u8) -> NotificationCdfs {
             continue;
         };
         if let Some(at) = agent
-            .stats
+            .stats()
             .notification_arrivals
             .iter()
             .map(|&(_, at)| at)
@@ -82,7 +82,7 @@ pub fn notification_delays(ttl: u8) -> NotificationCdfs {
         {
             stage1.push(at - t_fail);
         }
-        if let Some(at) = agent.stats.patch_arrivals.iter().map(|&(_, at)| at).min() {
+        if let Some(at) = agent.stats().patch_arrivals.iter().map(|&(_, at)| at).min() {
             stage2.push(at - t_fail);
         }
     }
@@ -350,7 +350,7 @@ pub fn dumbnet_recovery(quick: bool) -> RecoveryRun {
             fabric.run_until(t);
             let total = fabric
                 .host(HostId(26))
-                .and_then(|a| a.stats.delivered.get(&7).copied())
+                .and_then(|a| a.stats().delivered.get(&7).copied())
                 .map_or(0, |(_, b)| b);
             bins.push((total - last_bytes) as f64 * 8.0 / bin_width.as_secs_f64() / 1e6);
             last_bytes = total;

@@ -16,6 +16,7 @@ use dumbnet_core::{Fabric, FabricConfig};
 use dumbnet_host::agent::AppAction;
 use dumbnet_host::HostAgent;
 use dumbnet_sim::{ChaosPlan, FaultProfile, LinkParams, WireId};
+use dumbnet_telemetry::NodeKind;
 use dumbnet_topology::generators;
 use dumbnet_types::{Bandwidth, HostId, MacAddr, SimDuration, SimTime};
 
@@ -92,7 +93,7 @@ pub fn chaos_recovery_point(p: f64) -> ChaosRecoveryPoint {
             fabric.run_until(t);
             let total = fabric
                 .host(HostId(26))
-                .and_then(|a| a.stats.delivered.get(&7).copied())
+                .and_then(|a| a.stats().delivered.get(&7).copied())
                 .map_or(0, |(_, b)| b);
             bins.push((total - last_bytes) as f64 * 8.0 / bin_width.as_secs_f64() / 1e6);
             last_bytes = total;
@@ -105,14 +106,21 @@ pub fn chaos_recovery_point(p: f64) -> ChaosRecoveryPoint {
             .get(fail_bin + 1)
             .is_some_and(|&b| b < 0.5 * bins[fail_bin - 1].max(1.0));
         if dipped || spine_ix == 1 {
-            let floods_rebroadcast = (1..fabric.topology.host_count() as u64)
-                .filter_map(|h| fabric.host(HostId(h)))
-                .map(|a| a.stats.floods_rebroadcast)
+            // Aggregate over the telemetry snapshot instead of poking
+            // each agent: every host publishes `floods_rebroadcast`
+            // under `NodeKind::Host` and the engine publishes the
+            // fault-injection drop counter under `NodeKind::World`.
+            let snap = fabric.telemetry_snapshot();
+            let floods_rebroadcast = snap
+                .counters_by_node(NodeKind::Host, "floods_rebroadcast")
+                .into_iter()
+                .filter(|&(node, _)| node != 0)
+                .map(|(_, v)| v)
                 .sum();
             return ChaosRecoveryPoint {
                 loss: p,
                 outage,
-                drops_loss: fabric.world.stats().drops_loss,
+                drops_loss: snap.counter(NodeKind::World, 0, "drops_loss"),
                 floods_rebroadcast,
                 baseline_mbps,
             };

@@ -98,7 +98,7 @@ fn successor_mac(fabric: &Fabric) -> Option<(u64, MacAddr)> {
     CONTROLLERS[1..].iter().find_map(|&h| {
         fabric
             .controller(HostId(h))
-            .filter(|c| c.stats.is_leader)
+            .filter(|c| c.stats().is_leader)
             .map(|_| (h, MacAddr::for_host(h)))
     })
 }
@@ -171,13 +171,13 @@ pub fn failover_point(mode: FailMode, takeover: SimDuration) -> FailoverPoint {
     let (mut elections, mut step_downs) = (0u64, 0u64);
     for &h in &CONTROLLERS {
         if let Some(c) = fabric.controller(HostId(h)) {
-            elections += c.stats.elections_started;
-            step_downs += c.stats.step_downs;
+            elections += c.stats().elections_started;
+            step_downs += c.stats().step_downs;
         }
     }
     let stale_updates = (0..fabric.topology.host_count() as u64)
         .filter_map(|h| fabric.host(HostId(h)))
-        .map(|a| a.stats.stale_ctrl_updates)
+        .map(|a| a.stats().stale_ctrl_updates)
         .sum();
     FailoverPoint {
         scenario: mode.label(),

@@ -19,6 +19,7 @@
 
 use std::time::Instant;
 
+use dumbnet_core::{Fabric, FabricConfig};
 use dumbnet_host::DatapathVariant;
 use dumbnet_sim::{Ctx, LinkParams, Node, World};
 use dumbnet_switch::{DumbSwitch, DumbSwitchConfig};
@@ -152,6 +153,41 @@ pub fn run(quick: bool) -> Vec<PerfPoint> {
     points
 }
 
+/// Builds the testbed fabric, runs the full boot + discovery sequence,
+/// and returns `(snapshot_is_empty, snapshot_json)`.
+fn telemetry_probe() -> (bool, String) {
+    let g = generators::testbed();
+    let mut fabric = Fabric::build(g.topology, FabricConfig::default()).expect("fabric builds");
+    fabric.run_until(SimTime::ZERO + dumbnet_types::SimDuration::from_millis(300));
+    let snap = fabric.telemetry_snapshot();
+    (snap.metrics.is_empty(), snap.to_json())
+}
+
+/// Telemetry determinism smoke (CI gate): the registry must be populated
+/// after a boot sequence, and two same-seed runs must serialize to
+/// byte-identical snapshot JSON. Returns the document length on success.
+///
+/// # Errors
+///
+/// Returns a description of the failure: an empty registry, or a byte
+/// difference between the two runs' snapshot documents.
+pub fn telemetry_determinism_check() -> Result<usize, String> {
+    let (empty, a) = telemetry_probe();
+    if empty {
+        return Err("telemetry snapshot is empty: no metrics registered".to_owned());
+    }
+    let (_, b) = telemetry_probe();
+    if a != b {
+        return Err(format!(
+            "telemetry snapshot JSON diverged between two same-seed runs \
+             ({} vs {} bytes)",
+            a.len(),
+            b.len()
+        ));
+    }
+    Ok(a.len())
+}
+
 /// Serializes one run (hand-rolled JSON; the schema is flat).
 #[must_use]
 pub fn to_json(label: &str, points: &[PerfPoint]) -> String {
@@ -218,6 +254,44 @@ mod tests {
         let (events, delivered) = forward_storm(500);
         assert_eq!(delivered, 500);
         assert!(events.unwrap() > 500 * 8);
+    }
+
+    #[test]
+    fn quick_mode_checksums_are_pinned() {
+        // Behavior-preservation regression gate: the telemetry refactor
+        // (and any future engine change) must not alter what the quick
+        // scenarios compute, only how fast they run.
+        let points = run(true);
+        let get = |name: &str| {
+            points
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap_or_else(|| panic!("missing perf point {name}"))
+        };
+        let storm = get("engine_forward_storm");
+        assert_eq!(storm.checksum, 20_000, "storm delivery count changed");
+        assert_eq!(storm.events, Some(180_009), "storm event count changed");
+        assert_eq!(
+            get("fig08a_fat_tree_k8").checksum,
+            78_854,
+            "discovery probe count changed"
+        );
+        assert_eq!(
+            get("fig10_path_service").checksum,
+            1_300,
+            "ping-mesh sample count changed"
+        );
+        assert_eq!(
+            get("fig11c_chaos_p05").checksum,
+            7_700,
+            "chaos drop count changed"
+        );
+    }
+
+    #[test]
+    fn telemetry_determinism_gate_passes() {
+        let len = telemetry_determinism_check().expect("snapshots must be deterministic");
+        assert!(len > 1_000, "suspiciously small snapshot: {len} bytes");
     }
 
     #[test]

@@ -15,7 +15,10 @@ use rand::SeedableRng;
 use dumbnet_packet::control::{LinkEvent, TopoDelta};
 use dumbnet_packet::{ControlMessage, Packet, Payload};
 use dumbnet_sim::{Ctx, Node};
-use dumbnet_topology::{pathgraph, PathGraph, PathGraphParams, RouteCache, Topology};
+use dumbnet_telemetry::{Counter, Gauge, NodeKind, Telemetry, TraceCategory};
+use dumbnet_topology::{
+    pathgraph, PathGraph, PathGraphParams, RouteCache, RouteCacheStats, Topology,
+};
 use dumbnet_types::{HostId, MacAddr, Path, PortId, PortNo, SimDuration, SimTime, SwitchId};
 
 use crate::discovery::{DiscoveryConfig, DiscoveryState};
@@ -113,6 +116,10 @@ impl Default for ControllerConfig {
 }
 
 /// Observable controller behaviour for experiments.
+///
+/// A view returned by [`Controller::stats`]: the series fields live in
+/// the node, the scalar counters are served by telemetry handles
+/// registered under `(NodeKind::Controller, host id, name)`.
 #[derive(Debug, Default, Clone)]
 pub struct ControllerStats {
     /// Wall-clock (virtual) discovery duration, once finished.
@@ -145,6 +152,55 @@ pub struct ControllerStats {
     /// Control messages dropped as malformed or fenced (stale term,
     /// unknown member, inconsistent payload) instead of being processed.
     pub dropped_malformed: u64,
+}
+
+/// Live telemetry handles backing the scalar half of
+/// [`ControllerStats`], plus leadership gauges.
+#[derive(Debug, Default, Clone)]
+struct ControllerCounters {
+    probes_sent: Counter,
+    path_requests: Counter,
+    patches_sent: Counter,
+    link_events: Counter,
+    repl_resends: Counter,
+    repl_sync_requests: Counter,
+    restarts: Counter,
+    elections_started: Counter,
+    step_downs: Counter,
+    dropped_malformed: Counter,
+    /// 1 while this replica leads, 0 otherwise (synced in
+    /// `publish_telemetry`).
+    is_leader: Gauge,
+    /// Current leadership term (synced in `publish_telemetry`).
+    term: Gauge,
+    /// Route-cache effectiveness, mirrored from [`RouteCacheStats`] in
+    /// `publish_telemetry`.
+    route_cache_hits: Counter,
+    route_cache_misses: Counter,
+}
+
+impl ControllerCounters {
+    fn register(&self, telemetry: &Telemetry, id: HostId) {
+        let node = id.get();
+        for (name, c) in [
+            ("probes_sent", &self.probes_sent),
+            ("path_requests", &self.path_requests),
+            ("patches_sent", &self.patches_sent),
+            ("link_events", &self.link_events),
+            ("repl_resends", &self.repl_resends),
+            ("repl_sync_requests", &self.repl_sync_requests),
+            ("restarts", &self.restarts),
+            ("elections_started", &self.elections_started),
+            ("step_downs", &self.step_downs),
+            ("dropped_malformed", &self.dropped_malformed),
+            ("route_cache_hits", &self.route_cache_hits),
+            ("route_cache_misses", &self.route_cache_misses),
+        ] {
+            telemetry.register_counter(NodeKind::Controller, node, name, c);
+        }
+        telemetry.register_gauge(NodeKind::Controller, node, "is_leader", &self.is_leader);
+        telemetry.register_gauge(NodeKind::Controller, node, "term", &self.term);
+    }
 }
 
 /// An in-flight leadership campaign.
@@ -186,8 +242,10 @@ pub struct Controller {
     /// Memoized path graphs for the query service, validated per entry
     /// against the topology version they were built at.
     graph_cache: HashMap<(MacAddr, MacAddr), CachedGraph>,
-    /// Experiment output.
-    pub stats: ControllerStats,
+    /// Measurement series (scalar counters live in `counters`).
+    stats: ControllerStats,
+    /// Telemetry handles for the scalar counters.
+    counters: ControllerCounters,
 }
 
 impl Controller {
@@ -236,8 +294,27 @@ impl Controller {
             route_cache: RouteCache::new(ROUTE_CACHE_SALT ^ id.get()),
             graph_cache: HashMap::new(),
             stats,
+            counters: ControllerCounters::default(),
             config,
         }
+    }
+
+    /// Experiment output: the stored series plus the current counter
+    /// values.
+    #[must_use]
+    pub fn stats(&self) -> ControllerStats {
+        let mut stats = self.stats.clone();
+        stats.probes_sent = self.counters.probes_sent.get();
+        stats.path_requests = self.counters.path_requests.get();
+        stats.patches_sent = self.counters.patches_sent.get();
+        stats.link_events = self.counters.link_events.get();
+        stats.repl_resends = self.counters.repl_resends.get();
+        stats.repl_sync_requests = self.counters.repl_sync_requests.get();
+        stats.restarts = self.counters.restarts.get();
+        stats.elections_started = self.counters.elections_started.get();
+        stats.step_downs = self.counters.step_downs.get();
+        stats.dropped_malformed = self.counters.dropped_malformed.get();
+        stats
     }
 
     /// The controller's MAC.
@@ -299,7 +376,13 @@ impl Controller {
         }
         if stepped_down {
             self.stats.is_leader = false;
-            self.stats.step_downs += 1;
+            self.counters.step_downs.inc();
+            ctx.trace(
+                TraceCategory::Election,
+                NodeKind::Controller,
+                self.id.get(),
+                || format!("controller {} stepped down at term {now}", self.id.get()),
+            );
             self.election = None;
             self.last_leader_seen = ctx.now();
             self.arm_takeover(ctx);
@@ -341,7 +424,13 @@ impl Controller {
             self.arm_takeover(ctx);
             return;
         }
-        self.stats.elections_started += 1;
+        self.counters.elections_started.inc();
+        ctx.trace(
+            TraceCategory::Election,
+            NodeKind::Controller,
+            self.id.get(),
+            || format!("controller {} campaigns for term {term}", self.id.get()),
+        );
         let mut votes = HashSet::new();
         votes.insert(self.mac);
         self.election = Some(Election { term, votes });
@@ -394,6 +483,12 @@ impl Controller {
         self.log.promote_to(term);
         self.stats.is_leader = true;
         self.stats.terms_led.push(term);
+        ctx.trace(
+            TraceCategory::Election,
+            NodeKind::Controller,
+            self.id.get(),
+            || format!("controller {} won election for term {term}", self.id.get()),
+        );
         if self.topology.is_some() {
             self.send_hellos(ctx);
         } else if self.discovery.is_none() {
@@ -451,10 +546,10 @@ impl Controller {
         }
     }
 
-    /// Route-cache effectiveness counters `(hits, misses)`.
+    /// Route-cache effectiveness counters as named fields.
     #[must_use]
-    pub fn route_cache_stats(&self) -> (u64, u64) {
-        (self.route_cache.hits, self.route_cache.misses)
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        self.route_cache.stats()
     }
 
     /// Warms the route cache with every host-facing pair this controller
@@ -489,7 +584,7 @@ impl Controller {
     /// Follower: asks `leader` to replay the log after our contiguous
     /// floor (lost appends or a crash window left us behind).
     fn request_resync(&mut self, ctx: &mut Ctx<'_>, leader: MacAddr) {
-        self.stats.repl_sync_requests += 1;
+        self.counters.repl_sync_requests.inc();
         if let Some(path) = self.path_to(ctx, leader) {
             self.send_to(
                 ctx,
@@ -585,7 +680,7 @@ impl Controller {
         disc.mark_finished(now);
         let started = disc.started_at().unwrap_or(SimTime::ZERO);
         self.stats.discovery_time = Some(now - started);
-        self.stats.probes_sent = disc.probes_sent();
+        self.counters.probes_sent.set(disc.probes_sent());
         match disc.to_topology() {
             Ok(topo) => {
                 self.topology = Some(topo);
@@ -630,7 +725,7 @@ impl Controller {
         {
             return;
         }
-        self.stats.link_events += 1;
+        self.counters.link_events.inc();
         self.stats.event_learned_at.push((event, ctx.now()));
         let Some(delta) = self.apply_event(event) else {
             return;
@@ -671,7 +766,19 @@ impl Controller {
                     .collect()
             })
             .unwrap_or_default();
-        self.stats.patches_sent += 1;
+        self.counters.patches_sent.inc();
+        ctx.trace(
+            TraceCategory::Route,
+            NodeKind::Controller,
+            self.id.get(),
+            || {
+                format!(
+                    "controller {} floods topology patch v{version} to {} hosts",
+                    self.id.get(),
+                    hosts.len()
+                )
+            },
+        );
         for mac in hosts {
             if let Some(path) = self.path_to(ctx, mac) {
                 let msg = ControlMessage::TopologyPatch {
@@ -692,7 +799,7 @@ impl Controller {
         dst: MacAddr,
         request_id: u64,
     ) {
-        self.stats.path_requests += 1;
+        self.counters.path_requests.inc();
         let now = ctx.now();
         // FIFO service queue: each query costs `query_service_time`.
         let start = self.busy_until.max(now);
@@ -803,14 +910,14 @@ impl Controller {
                 if term < self.log.term() {
                     // A fenced stale leader (pre-partition, or restarted
                     // without noticing the election it slept through).
-                    self.stats.dropped_malformed += 1;
+                    self.counters.dropped_malformed.inc();
                     return;
                 }
                 self.note_term(ctx, term);
                 if self.log.role() == ReplicaRole::Leader {
                     // Equal-term append from another claimed leader —
                     // impossible with exclusive votes; drop defensively.
-                    self.stats.dropped_malformed += 1;
+                    self.counters.dropped_malformed.inc();
                     return;
                 }
                 self.election = None;
@@ -889,7 +996,7 @@ impl Controller {
                 if term < self.log.term() || self.log.role() != ReplicaRole::Leader {
                     // An ack echoing a fenced term, or one addressed to
                     // a leadership we no longer hold.
-                    self.stats.dropped_malformed += 1;
+                    self.counters.dropped_malformed.inc();
                     return;
                 }
                 let _ = self.log.ack(index, replica);
@@ -919,7 +1026,7 @@ impl Controller {
                     .collect();
                 if let Some(path) = self.path_to(ctx, replica) {
                     for e in entries {
-                        self.stats.repl_resends += 1;
+                        self.counters.repl_resends.inc();
                         self.send_to(
                             ctx,
                             replica,
@@ -1047,6 +1154,7 @@ impl Controller {
 
 impl Node for Controller {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.counters.register(ctx.telemetry(), self.id);
         self.last_leader_seen = ctx.now();
         if self.config.run_discovery && self.config.is_leader {
             self.discovery = Some(DiscoveryState::new(self.mac, self.config.discovery.clone()));
@@ -1129,7 +1237,7 @@ impl Node for Controller {
                         let Some(e) = self.log.entry(ix).cloned() else {
                             continue;
                         };
-                        self.stats.repl_resends += 1;
+                        self.counters.repl_resends.inc();
                         self.send_to(
                             ctx,
                             peer,
@@ -1176,10 +1284,18 @@ impl Node for Controller {
         }
     }
 
+    fn publish_telemetry(&mut self) {
+        self.counters.is_leader.set(i64::from(self.stats.is_leader));
+        self.counters.term.set(self.log.term() as i64);
+        let rc = self.route_cache.stats();
+        self.counters.route_cache_hits.set(rc.hits);
+        self.counters.route_cache_misses.set(rc.misses);
+    }
+
     fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
         // All pre-crash timers are dead (the engine bumps our epoch), so
         // re-arm the periodic machinery from scratch.
-        self.stats.restarts += 1;
+        self.counters.restarts.inc();
         self.last_leader_seen = ctx.now();
         self.busy_until = ctx.now();
         self.election = None;

@@ -40,8 +40,8 @@ fn delayed_vote_for_fenced_campaign_is_not_counted() {
     world.run_until(at_ms(260));
     {
         let ctrl = world.node::<Controller>(addr).unwrap();
-        assert_eq!(ctrl.stats.elections_started, 1, "campaign never started");
-        assert!(!ctrl.stats.is_leader);
+        assert_eq!(ctrl.stats().elections_started, 1, "campaign never started");
+        assert!(!ctrl.stats().is_leader);
     }
 
     // t = 300 ms: peer 2 refuses, echoing its own higher term 5. The
@@ -84,14 +84,14 @@ fn delayed_vote_for_fenced_campaign_is_not_counted() {
     world.run_until(at_ms(400));
     let ctrl = world.node::<Controller>(addr).unwrap();
     assert!(
-        !ctrl.stats.is_leader,
+        !ctrl.stats().is_leader,
         "stale vote promoted a fenced candidate"
     );
     assert_eq!(ctrl.replication().role(), ReplicaRole::Follower);
     assert_eq!(ctrl.replication().term(), 5, "higher term not adopted");
     assert!(
-        ctrl.stats.terms_led.is_empty(),
+        ctrl.stats().terms_led.is_empty(),
         "led a term it never won: {:?}",
-        ctrl.stats.terms_led
+        ctrl.stats().terms_led
     );
 }

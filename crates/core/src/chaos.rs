@@ -152,7 +152,7 @@ pub fn check_invariants(fabric: &Fabric) -> InvariantReport {
         // duplicate-term and convergence checks.
         let quorum_safe = log.members().len() != 2;
         if quorum_safe {
-            for &term in &ctrl.stats.terms_led {
+            for &term in &ctrl.stats().terms_led {
                 let holders = term_holders.entry(term).or_default();
                 if !holders.contains(&cid) {
                     holders.push(cid);
@@ -323,10 +323,9 @@ mod tests {
         fabric.run_until(t(400));
 
         let hosts = fabric.topology.host_count() as u64;
-        let rebroadcasts: u64 = (0..hosts)
-            .filter_map(|h| fabric.host(dumbnet_types::HostId(h)))
-            .map(|a| a.stats.floods_rebroadcast)
-            .sum();
+        let rebroadcasts = fabric
+            .telemetry_snapshot()
+            .sum_counters(dumbnet_telemetry::NodeKind::Host, "floods_rebroadcast");
         assert!(rebroadcasts > 0, "no redundant flood rounds were sent");
 
         for h in 0..hosts {
@@ -334,7 +333,7 @@ mod tests {
                 continue;
             };
             let mut seen = std::collections::HashSet::new();
-            for (ev, _) in &agent.stats.notification_arrivals {
+            for (ev, _) in &agent.stats().notification_arrivals {
                 assert!(
                     seen.insert((ev.switch, ev.port, ev.up, ev.seq)),
                     "host {h} recorded duplicate event {ev:?} despite dedup"
@@ -390,7 +389,7 @@ mod tests {
 
         let ctrl = fabric.controller(dumbnet_types::HostId(0)).unwrap();
         assert!(
-            ctrl.stats.probes_sent > 0,
+            ctrl.stats().probes_sent > 0,
             "discovery ran without sending probes"
         );
 

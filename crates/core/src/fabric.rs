@@ -279,6 +279,18 @@ impl Fabric {
     pub fn now(&self) -> SimTime {
         self.world.now()
     }
+
+    /// The world's telemetry registry (trace ring access).
+    #[must_use]
+    pub fn telemetry(&self) -> &dumbnet_telemetry::Telemetry {
+        self.world.telemetry()
+    }
+
+    /// A deterministic snapshot of every registered metric in the
+    /// fabric, after a `publish_telemetry` sweep over all nodes.
+    pub fn telemetry_snapshot(&mut self) -> dumbnet_telemetry::TelemetrySnapshot {
+        self.world.telemetry_snapshot()
+    }
 }
 
 #[cfg(test)]
@@ -336,16 +348,16 @@ mod tests {
         .unwrap();
         fabric.run_until(t(200));
         let pinger = fabric.host(HostId(1)).unwrap();
-        assert_eq!(pinger.stats.rtts.len(), 5, "all pings answered");
+        assert_eq!(pinger.stats().rtts.len(), 5, "all pings answered");
         // First ping pays the controller round trip; later ones are
         // cache hits and must be faster.
-        let first = pinger.stats.rtts[0].2;
-        let later = pinger.stats.rtts[2].2;
+        let first = pinger.stats().rtts[0].2;
+        let later = pinger.stats().rtts[2].2;
         assert!(
             later < first,
             "cache hit RTT {later} not below cold RTT {first}"
         );
-        assert!(pinger.stats.path_requests >= 1);
+        assert!(pinger.stats().path_requests >= 1);
     }
 
     #[test]
@@ -376,7 +388,7 @@ mod tests {
             };
             assert_eq!(found_ends, real_ends);
         }
-        let d = ctrl.stats.discovery_time.unwrap();
+        let d = ctrl.stats().discovery_time.unwrap();
         assert!(d.as_secs_f64() > 0.0);
         // Hosts got hellos after discovery.
         fabric.run_until(t(5_100));
@@ -412,22 +424,22 @@ mod tests {
         fabric.schedule_link_failure(t(100), a, b).unwrap();
         fabric.run_until(t(400));
         let receiver = fabric.host(HostId(26)).unwrap();
-        let &(pkts, _bytes) = receiver.stats.delivered.get(&7).unwrap();
+        let &(pkts, _bytes) = receiver.stats().delivered.get(&7).unwrap();
         // Some packets are lost in the failover gap, but the vast
         // majority must arrive.
         assert!(pkts >= 360, "only {pkts}/400 delivered");
         // The sender learned about the failure.
         let sender = fabric.host(HostId(1)).unwrap();
         assert!(
-            !sender.stats.notification_arrivals.is_empty(),
+            !sender.stats().notification_arrivals.is_empty(),
             "no stage-1 notification reached the sender"
         );
         // Stage 2: controller flooded a patch.
-        let patches = sender.stats.patch_arrivals.len();
+        let patches = sender.stats().patch_arrivals.len();
         assert!(patches >= 1, "no topology patch received");
         // Other hosts learned too (flooding + broadcast).
         let bystander = fabric.host(HostId(20)).unwrap();
-        assert!(!bystander.stats.notification_arrivals.is_empty());
+        assert!(!bystander.stats().notification_arrivals.is_empty());
     }
 
     #[test]
@@ -451,7 +463,7 @@ mod tests {
             let mut rtts = Vec::new();
             for h in 0..27 {
                 if let Some(agent) = fabric.host(HostId(h)) {
-                    rtts.extend(agent.stats.rtts.iter().map(|r| (h, r.0, r.2)));
+                    rtts.extend(agent.stats().rtts.iter().map(|r| (h, r.0, r.2)));
                 }
             }
             (fabric.world.stats(), rtts)

@@ -16,6 +16,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use dumbnet_packet::control::LinkEvent;
 use dumbnet_packet::{ControlMessage, Packet, Payload};
 use dumbnet_sim::{Ctx, Node};
+use dumbnet_telemetry::{Counter, Histogram, NodeKind, Telemetry};
 use dumbnet_types::{HostId, MacAddr, Path, PortNo, SimDuration, SimTime, SwitchId};
 
 use crate::pathtable::{FlowKey, PathTable};
@@ -124,6 +125,11 @@ impl Default for HostAgentConfig {
 }
 
 /// Measurement output the experiments read after a run.
+///
+/// Obtained from [`HostAgent::stats`]: the series fields (RTT samples,
+/// arrival logs, per-flow maps) live in the agent, while the scalar
+/// counters are served by telemetry [`Counter`] handles registered under
+/// `(NodeKind::Host, host id, name)` and copied into the returned view.
 #[derive(Debug, Default, Clone)]
 pub struct AgentStats {
     /// Data packets delivered to this host: `flow → (packets, bytes)`.
@@ -154,6 +160,62 @@ pub struct AgentStats {
     /// term below the highest this host has seen (a fenced stale leader
     /// still flooding from its side of a partition).
     pub stale_ctrl_updates: u64,
+}
+
+/// Live telemetry handles backing the scalar half of [`AgentStats`].
+#[derive(Debug, Clone)]
+struct AgentCounters {
+    path_requests: Counter,
+    queued_on_miss: Counter,
+    ingress_drops: Counter,
+    floods_sent: Counter,
+    floods_rebroadcast: Counter,
+    ecn_echoes: Counter,
+    stale_ctrl_updates: Counter,
+    /// Totals over [`AgentStats::delivered`], synced in
+    /// `publish_telemetry` so workload aggregation can read snapshots.
+    delivered_packets: Counter,
+    delivered_bytes: Counter,
+    /// Completed RTT samples, in nanoseconds (1 µs first bucket,
+    /// doubling out to ~33 ms).
+    rtt_ns: Histogram,
+}
+
+impl Default for AgentCounters {
+    fn default() -> AgentCounters {
+        AgentCounters {
+            path_requests: Counter::new(),
+            queued_on_miss: Counter::new(),
+            ingress_drops: Counter::new(),
+            floods_sent: Counter::new(),
+            floods_rebroadcast: Counter::new(),
+            ecn_echoes: Counter::new(),
+            stale_ctrl_updates: Counter::new(),
+            delivered_packets: Counter::new(),
+            delivered_bytes: Counter::new(),
+            rtt_ns: Histogram::doubling(1_024, 16),
+        }
+    }
+}
+
+impl AgentCounters {
+    fn register(&self, telemetry: &Telemetry, id: HostId) {
+        let node = id.get();
+        for (name, c) in [
+            ("path_requests", &self.path_requests),
+            ("queued_on_miss", &self.queued_on_miss),
+            ("ingress_drops", &self.ingress_drops),
+            ("floods_sent", &self.floods_sent),
+            ("floods_rebroadcast", &self.floods_rebroadcast),
+            ("ecn_echoes", &self.ecn_echoes),
+            ("stale_ctrl_updates", &self.stale_ctrl_updates),
+            ("delivered_packets", &self.delivered_packets),
+            ("delivered_bytes", &self.delivered_bytes),
+        ] {
+            telemetry.register_counter(NodeKind::Host, node, name, c);
+        }
+        telemetry.register_histogram(NodeKind::Host, node, "rtt_ns", &self.rtt_ns);
+    }
 }
 
 /// The host agent node.
@@ -191,8 +253,10 @@ pub struct HostAgent {
     flood_backlog: Vec<(LinkEvent, u32)>,
     /// Whether the flood-repeat timer is armed.
     flood_armed: bool,
-    /// Measurement output.
-    pub stats: AgentStats,
+    /// Measurement series (scalar counters live in `counters`).
+    stats: AgentStats,
+    /// Telemetry handles for the scalar counters.
+    counters: AgentCounters,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -246,7 +310,23 @@ impl HostAgent {
             flood_backlog: Vec::new(),
             flood_armed: false,
             stats: AgentStats::default(),
+            counters: AgentCounters::default(),
         }
+    }
+
+    /// Measurement output: the stored series plus the current counter
+    /// values.
+    #[must_use]
+    pub fn stats(&self) -> AgentStats {
+        let mut stats = self.stats.clone();
+        stats.path_requests = self.counters.path_requests.get();
+        stats.queued_on_miss = self.counters.queued_on_miss.get();
+        stats.ingress_drops = self.counters.ingress_drops.get();
+        stats.floods_sent = self.counters.floods_sent.get();
+        stats.floods_rebroadcast = self.counters.floods_rebroadcast.get();
+        stats.ecn_echoes = self.counters.ecn_echoes.get();
+        stats.stale_ctrl_updates = self.counters.stale_ctrl_updates.get();
+        stats
     }
 
     /// The agent's MAC address.
@@ -320,7 +400,7 @@ impl HostAgent {
             return;
         }
         // Queue and ask the controller.
-        self.stats.queued_on_miss += 1;
+        self.counters.queued_on_miss.inc();
         self.pending.entry(dst).or_default().push_back(pkt);
         self.request_path(ctx, dst);
         self.arm_retry(ctx);
@@ -361,7 +441,7 @@ impl HostAgent {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
         self.outstanding.insert(request_id, (dst, now));
-        self.stats.path_requests += 1;
+        self.counters.path_requests.inc();
         let msg = ControlMessage::PathRequest {
             src: self.mac,
             dst,
@@ -484,11 +564,12 @@ impl HostAgent {
         let peers: Vec<MacAddr> = self
             .pathtable
             .destinations()
+            .into_iter()
             .filter(|&m| m != self.mac)
             .collect();
         for peer in peers {
             if let Some(path) = self.pathtable.lookup(peer, FlowKey(event.seq), None) {
-                self.stats.floods_sent += 1;
+                self.counters.floods_sent.inc();
                 let pkt = Packet::control(
                     peer,
                     self.mac,
@@ -514,7 +595,7 @@ impl HostAgent {
     }
 
     fn topocache_destinations(&self) -> Vec<MacAddr> {
-        self.pathtable.destinations().collect()
+        self.pathtable.destinations()
     }
 
     fn handle_control(
@@ -574,7 +655,7 @@ impl HostAgent {
                     // A fenced stale leader is still flooding patches
                     // from its side of a partition; its topology view
                     // no longer sequences ours.
-                    self.stats.stale_ctrl_updates += 1;
+                    self.counters.stale_ctrl_updates.inc();
                     return;
                 }
                 self.leader_term = term;
@@ -602,7 +683,7 @@ impl HostAgent {
                 if !standby {
                     if term < self.leader_term {
                         // Leadership claim from a fenced stale leader.
-                        self.stats.stale_ctrl_updates += 1;
+                        self.counters.stale_ctrl_updates.inc();
                         return;
                     }
                     self.leader_term = term;
@@ -636,10 +717,11 @@ impl HostAgent {
             }
             ControlMessage::Pong { seq, echo_sent_at } => {
                 let rtt = (ctx.now() - echo_sent_at) + self.config.stack_delay;
+                self.counters.rtt_ns.observe(rtt.nanos());
                 self.stats.rtts.push((seq, echo_sent_at, rtt));
             }
             ControlMessage::EcnEcho { flow } => {
-                self.stats.ecn_echoes += 1;
+                self.counters.ecn_echoes.inc();
                 self.routing.on_congestion(FlowKey(flow), ctx.now());
             }
             ControlMessage::StatsReply { switch, ports, .. } => {
@@ -704,6 +786,7 @@ impl HostAgent {
 
 impl Node for HostAgent {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.counters.register(ctx.telemetry(), self.id);
         for (ix, action) in self.config.actions.iter().enumerate() {
             let at = match action {
                 AppAction::PingSeries { at, .. } | AppAction::DataStream { at, .. } => *at,
@@ -722,7 +805,7 @@ impl Node for HostAgent {
             // Probes are the deliberate exception: their remaining tags
             // *are* the reply path (§4.1).
             if !matches!(pkt.payload, Payload::Control(ControlMessage::Probe { .. })) {
-                self.stats.ingress_drops += 1;
+                self.counters.ingress_drops.inc();
                 return;
             }
         }
@@ -754,12 +837,22 @@ impl Node for HostAgent {
         }
     }
 
+    fn publish_telemetry(&mut self) {
+        let (pkts, bytes) = self
+            .stats
+            .delivered
+            .values()
+            .fold((0u64, 0u64), |(p, b), &(dp, db)| (p + dp, b + db));
+        self.counters.delivered_packets.set(pkts);
+        self.counters.delivered_bytes.set(bytes);
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == Self::FLOOD_TOKEN {
             self.flood_armed = false;
             let mut backlog = std::mem::take(&mut self.flood_backlog);
             for (event, remaining) in &mut backlog {
-                self.stats.floods_rebroadcast += 1;
+                self.counters.floods_rebroadcast.inc();
                 self.broadcast_flood(ctx, *event);
                 *remaining -= 1;
             }

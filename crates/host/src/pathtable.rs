@@ -120,9 +120,14 @@ impl PathTable {
         self.entries.is_empty()
     }
 
-    /// Destinations currently cached.
-    pub fn destinations(&self) -> impl Iterator<Item = MacAddr> + '_ {
-        self.entries.keys().copied()
+    /// Destinations currently cached, in MAC order. Sorted at the
+    /// source: callers transmit in iteration order, and hash order
+    /// would leak into packet timing (nondeterministic fig11a CDFs).
+    #[must_use]
+    pub fn destinations(&self) -> Vec<MacAddr> {
+        let mut dsts: Vec<MacAddr> = self.entries.keys().copied().collect();
+        dsts.sort_unstable();
+        dsts
     }
 
     /// The hot-path lookup (Table 2): returns the tag path for
@@ -213,6 +218,9 @@ impl PathTable {
         for dst in &orphaned {
             self.entries.remove(dst);
         }
+        // Hash-map iteration filled `orphaned`; callers re-request paths
+        // in this order, so sort or the send order leaks hash state.
+        orphaned.sort_unstable();
         orphaned
     }
 }

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dumbnet_packet::Packet;
+use dumbnet_telemetry::{Counter, NodeKind, Telemetry, TelemetrySnapshot, TraceCategory};
 use dumbnet_types::{Bandwidth, DumbNetError, PortNo, Result, SimDuration, SimTime};
 
 use crate::event::EventQueue;
@@ -92,6 +93,12 @@ pub trait Node {
     /// are gone; persistent state (fields) survives, volatile progress
     /// does not. The default does nothing — stateless nodes just resume.
     fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Called by [`World::telemetry_snapshot`] immediately before the
+    /// registry is read, so nodes can sync derived values (cache
+    /// hit/miss totals, table sizes) into their registered handles.
+    /// Must not touch simulation state; the default does nothing.
+    fn publish_telemetry(&mut self) {}
 
     /// Downcast support so experiments can read node-internal state after
     /// a run.
@@ -262,12 +269,116 @@ pub struct LinkStats {
     pub jittered: u64,
 }
 
+/// Live engine counters: [`Counter`] handles registered with the
+/// world's [`Telemetry`] registry under `(NodeKind::World, 0, name)`.
+/// [`World::stats`] assembles the [`WorldStats`] view from these.
+#[derive(Debug, Default, Clone)]
+struct WorldCounters {
+    events: Counter,
+    packets_sent: Counter,
+    packets_delivered: Counter,
+    drops_down: Counter,
+    drops_queue: Counter,
+    drops_loss: Counter,
+    drops_corrupt: Counter,
+    drops_crashed: Counter,
+    ecn_marked: Counter,
+}
+
+impl WorldCounters {
+    fn registered(telemetry: &Telemetry) -> WorldCounters {
+        let c = WorldCounters::default();
+        for (name, counter) in [
+            ("events", &c.events),
+            ("packets_sent", &c.packets_sent),
+            ("packets_delivered", &c.packets_delivered),
+            ("drops_down", &c.drops_down),
+            ("drops_queue", &c.drops_queue),
+            ("drops_loss", &c.drops_loss),
+            ("drops_corrupt", &c.drops_corrupt),
+            ("drops_crashed", &c.drops_crashed),
+            ("ecn_marked", &c.ecn_marked),
+        ] {
+            telemetry.register_counter(NodeKind::World, 0, name, counter);
+        }
+        c
+    }
+
+    fn view(&self) -> WorldStats {
+        WorldStats {
+            events: self.events.get(),
+            packets_sent: self.packets_sent.get(),
+            packets_delivered: self.packets_delivered.get(),
+            drops_down: self.drops_down.get(),
+            drops_queue: self.drops_queue.get(),
+            drops_loss: self.drops_loss.get(),
+            drops_corrupt: self.drops_corrupt.get(),
+            drops_crashed: self.drops_crashed.get(),
+            ecn_marked: self.ecn_marked.get(),
+        }
+    }
+}
+
+/// Live per-wire counters, registered under
+/// `(NodeKind::Link, wire index, name)`; [`World::link_stats`]
+/// assembles the [`LinkStats`] view.
+#[derive(Debug, Default, Clone)]
+struct LinkCounters {
+    sent: Counter,
+    delivered: Counter,
+    drops_down: Counter,
+    drops_queue: Counter,
+    drops_loss: Counter,
+    drops_corrupt: Counter,
+    drops_burst: Counter,
+    drops_crashed: Counter,
+    ecn_marked: Counter,
+    jittered: Counter,
+}
+
+impl LinkCounters {
+    fn registered(telemetry: &Telemetry, wire: WireId) -> LinkCounters {
+        let c = LinkCounters::default();
+        for (name, counter) in [
+            ("sent", &c.sent),
+            ("delivered", &c.delivered),
+            ("drops_down", &c.drops_down),
+            ("drops_queue", &c.drops_queue),
+            ("drops_loss", &c.drops_loss),
+            ("drops_corrupt", &c.drops_corrupt),
+            ("drops_burst", &c.drops_burst),
+            ("drops_crashed", &c.drops_crashed),
+            ("ecn_marked", &c.ecn_marked),
+            ("jittered", &c.jittered),
+        ] {
+            telemetry.register_counter(NodeKind::Link, wire.0 as u64, name, counter);
+        }
+        c
+    }
+
+    fn view(&self) -> LinkStats {
+        LinkStats {
+            sent: self.sent.get(),
+            delivered: self.delivered.get(),
+            drops_down: self.drops_down.get(),
+            drops_queue: self.drops_queue.get(),
+            drops_loss: self.drops_loss.get(),
+            drops_corrupt: self.drops_corrupt.get(),
+            drops_burst: self.drops_burst.get(),
+            drops_crashed: self.drops_crashed.get(),
+            ecn_marked: self.ecn_marked.get(),
+            jittered: self.jittered.get(),
+        }
+    }
+}
+
 /// The handler-side view of the world.
 pub struct Ctx<'a> {
     now: SimTime,
     addr: NodeAddr,
     wiring: &'a Wiring,
     rng: &'a mut StdRng,
+    telemetry: &'a Telemetry,
     actions: Vec<Action>,
 }
 
@@ -337,6 +448,29 @@ impl Ctx<'_> {
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
+
+    /// The world's telemetry registry: nodes register metric handles
+    /// here (typically in [`Node::on_start`]) and emit trace events.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        self.telemetry
+    }
+
+    /// Convenience: appends a trace event stamped with the current sim
+    /// time, skipping the formatting closure entirely when tracing is
+    /// disabled.
+    pub fn trace(
+        &self,
+        category: TraceCategory,
+        kind: NodeKind,
+        node: u64,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.telemetry.trace_enabled() {
+            self.telemetry
+                .emit(self.now, category, kind, node, detail());
+        }
+    }
 }
 
 /// The simulation world.
@@ -347,14 +481,15 @@ pub struct World {
     epoch: Vec<u32>,
     wiring: Wiring,
     faults: Vec<Option<FaultProfile>>,
-    link_stats: Vec<LinkStats>,
+    link_stats: Vec<LinkCounters>,
     queue: EventQueue<Event>,
     now: SimTime,
     rng: StdRng,
     /// Fault coin flips draw from their own stream so a chaos plan
     /// never perturbs application-visible randomness.
     fault_rng: StdRng,
-    stats: WorldStats,
+    telemetry: Telemetry,
+    stats: WorldCounters,
     started: bool,
     /// Reusable action buffer for [`World::with_node`], so dispatching
     /// an event does not allocate when the handler emits few actions.
@@ -368,6 +503,8 @@ impl World {
     /// Creates an empty world with a deterministic seed.
     #[must_use]
     pub fn new(seed: u64) -> World {
+        let telemetry = Telemetry::default();
+        let stats = WorldCounters::registered(&telemetry);
         World {
             nodes: Vec::new(),
             crashed: Vec::new(),
@@ -379,10 +516,31 @@ impl World {
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(seed),
             fault_rng: StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
-            stats: WorldStats::default(),
+            telemetry,
+            stats,
             started: false,
             scratch: Vec::new(),
         }
+    }
+
+    /// The world's telemetry registry handle (cheap to clone; the same
+    /// registry every [`Ctx`] hands to node handlers).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Reads every registered metric into an ordered snapshot, after
+    /// giving each node a [`Node::publish_telemetry`] pass to sync
+    /// derived values. Deterministic: same seed, same event sequence ⇒
+    /// byte-identical [`TelemetrySnapshot::to_json`].
+    pub fn telemetry_snapshot(&mut self) -> TelemetrySnapshot {
+        for slot in &mut self.nodes {
+            if let Some(node) = slot.as_mut() {
+                node.publish_telemetry();
+            }
+        }
+        self.telemetry.snapshot()
     }
 
     /// Adds a node and returns its address.
@@ -433,7 +591,8 @@ impl World {
             busy: [SimTime::ZERO; 2],
         });
         self.faults.push(None);
-        self.link_stats.push(LinkStats::default());
+        self.link_stats
+            .push(LinkCounters::registered(&self.telemetry, id));
         self.wiring.map_port(a, pa, id);
         self.wiring.map_port(b, pb, id);
         Ok(id)
@@ -492,7 +651,7 @@ impl World {
     /// Panics on an out-of-range wire ID.
     #[must_use]
     pub fn link_stats(&self, wire: WireId) -> LinkStats {
-        self.link_stats[wire.0]
+        self.link_stats[wire.0].view()
     }
 
     /// Schedules `node` to crash at `at`.
@@ -543,10 +702,10 @@ impl World {
         self.now
     }
 
-    /// Engine counters.
+    /// Engine counters (a view assembled from the telemetry handles).
     #[must_use]
     pub fn stats(&self) -> WorldStats {
-        self.stats
+        self.stats.view()
     }
 
     /// Immutable downcast access to a node's concrete type.
@@ -583,7 +742,7 @@ impl World {
             self.dispatch(ev);
             fired += 1;
         }
-        self.stats
+        self.stats.view()
     }
 
     /// Runs all events with timestamps ≤ `until`, then sets the clock to
@@ -595,7 +754,7 @@ impl World {
             self.dispatch(ev);
         }
         self.now = until;
-        self.stats
+        self.stats.view()
     }
 
     /// Timestamp of the next pending event.
@@ -614,7 +773,7 @@ impl World {
     }
 
     fn dispatch(&mut self, ev: Event) {
-        self.stats.events += 1;
+        self.stats.events.inc();
         match ev {
             Event::Start(addr) => {
                 self.with_node(addr, |node, ctx| node.on_start(ctx));
@@ -626,21 +785,21 @@ impl World {
                 via,
             } => {
                 if self.crashed.get(node.0).copied().unwrap_or(false) {
-                    self.stats.drops_crashed += 1;
+                    self.stats.drops_crashed.inc();
                     if let Some(w) = via {
-                        self.link_stats[w.0].drops_crashed += 1;
+                        self.link_stats[w.0].drops_crashed.inc();
                     }
                     return;
                 }
-                self.stats.packets_delivered += 1;
+                self.stats.packets_delivered.inc();
                 if let Some(w) = via {
-                    self.link_stats[w.0].delivered += 1;
+                    self.link_stats[w.0].delivered.inc();
                 }
                 self.with_node(node, |n, ctx| n.on_packet(ctx, port, pkt));
             }
             Event::Egress { node, port, pkt } => {
                 if self.crashed.get(node.0).copied().unwrap_or(false) {
-                    self.stats.drops_crashed += 1;
+                    self.stats.drops_crashed.inc();
                     return;
                 }
                 self.transmit(node, port, pkt);
@@ -662,6 +821,15 @@ impl World {
                     (w.a, w.b, changed)
                 };
                 if changed {
+                    if self.telemetry.trace_enabled() {
+                        self.telemetry.emit(
+                            self.now,
+                            TraceCategory::Chaos,
+                            NodeKind::Link,
+                            wire.0 as u64,
+                            format!("admin link {}", if up { "up" } else { "down" }),
+                        );
+                    }
                     self.with_node(a.0, |n, ctx| n.on_link_change(ctx, a.1, up));
                     self.with_node(b.0, |n, ctx| n.on_link_change(ctx, b.1, up));
                 }
@@ -672,6 +840,15 @@ impl World {
                 }
                 self.crashed[addr.0] = true;
                 self.epoch[addr.0] = self.epoch[addr.0].wrapping_add(1);
+                if self.telemetry.trace_enabled() {
+                    self.telemetry.emit(
+                        self.now,
+                        TraceCategory::Chaos,
+                        NodeKind::World,
+                        addr.0 as u64,
+                        format!("node {addr} crashed"),
+                    );
+                }
                 self.set_incident_wires(addr, false);
             }
             Event::Restart(addr) => {
@@ -679,6 +856,15 @@ impl World {
                     return;
                 }
                 self.crashed[addr.0] = false;
+                if self.telemetry.trace_enabled() {
+                    self.telemetry.emit(
+                        self.now,
+                        TraceCategory::Chaos,
+                        NodeKind::World,
+                        addr.0 as u64,
+                        format!("node {addr} restarted"),
+                    );
+                }
                 self.set_incident_wires(addr, true);
                 self.with_node(addr, |n, ctx| n.on_restart(ctx));
             }
@@ -727,6 +913,7 @@ impl World {
             addr,
             wiring: &self.wiring,
             rng: &mut self.rng,
+            telemetry: &self.telemetry,
             actions: std::mem::take(&mut self.scratch),
         };
         f(&mut node, &mut ctx);
@@ -775,13 +962,13 @@ impl World {
     /// Puts a packet onto the wire at `(from, port)` at the current time.
     fn transmit(&mut self, from: NodeAddr, port: PortNo, mut pkt: Packet) {
         let Some(wid) = self.wiring.at(from, port) else {
-            self.stats.drops_down += 1;
+            self.stats.drops_down.inc();
             return;
         };
         let wire = &mut self.wiring.wires[wid.0];
         if !wire.up {
-            self.stats.drops_down += 1;
-            self.link_stats[wid.0].drops_down += 1;
+            self.stats.drops_down.inc();
+            self.link_stats[wid.0].drops_down.inc();
             return;
         }
         let (dir, dest) = if wire.a == (from, port) {
@@ -792,15 +979,15 @@ impl World {
         let depart_start = wire.busy[dir].max(self.now);
         let queue_delay = depart_start - self.now;
         if queue_delay > wire.params.max_queue {
-            self.stats.drops_queue += 1;
-            self.link_stats[wid.0].drops_queue += 1;
+            self.stats.drops_queue.inc();
+            self.link_stats[wid.0].drops_queue.inc();
             return;
         }
         if let Some(threshold) = wire.params.ecn_threshold {
             if queue_delay > threshold {
                 pkt.ecn = true;
-                self.stats.ecn_marked += 1;
-                self.link_stats[wid.0].ecn_marked += 1;
+                self.stats.ecn_marked.inc();
+                self.link_stats[wid.0].ecn_marked.inc();
             }
         }
         let ser = wire.params.bandwidth.serialization_delay(pkt.wire_len());
@@ -809,31 +996,64 @@ impl World {
         let mut arrival = departed + wire.params.latency;
         // The wire accepted the packet: bandwidth is consumed even when
         // an injected fault then eats the bits mid-flight.
-        self.stats.packets_sent += 1;
-        self.link_stats[wid.0].sent += 1;
+        //
+        // Fault-induced drops below also leave a packet-category trace:
+        // they are the data-plane evidence a chaos diagnosis needs.
+        // Congestion drops (queue/down) are counters only — during a
+        // partition they arrive in storms that would evict every useful
+        // event from the bounded ring.
+        self.stats.packets_sent.inc();
+        self.link_stats[wid.0].sent.inc();
         if let Some(profile) = &self.faults[wid.0] {
             // Evaluated against departure time: the instant the bits
             // actually hit the wire.
             if profile.in_burst(departed) {
-                self.stats.drops_loss += 1;
-                self.link_stats[wid.0].drops_burst += 1;
+                self.stats.drops_loss.inc();
+                self.link_stats[wid.0].drops_burst.inc();
+                if self.telemetry.trace_enabled() {
+                    self.telemetry.emit(
+                        self.now,
+                        TraceCategory::Packet,
+                        NodeKind::Link,
+                        wid.0 as u64,
+                        "burst-window drop",
+                    );
+                }
                 return;
             }
             if profile.loss > 0.0 && self.fault_rng.gen_bool(profile.loss) {
-                self.stats.drops_loss += 1;
-                self.link_stats[wid.0].drops_loss += 1;
+                self.stats.drops_loss.inc();
+                self.link_stats[wid.0].drops_loss.inc();
+                if self.telemetry.trace_enabled() {
+                    self.telemetry.emit(
+                        self.now,
+                        TraceCategory::Packet,
+                        NodeKind::Link,
+                        wid.0 as u64,
+                        "loss drop",
+                    );
+                }
                 return;
             }
             if profile.corrupt > 0.0 && self.fault_rng.gen_bool(profile.corrupt) {
-                self.stats.drops_corrupt += 1;
-                self.link_stats[wid.0].drops_corrupt += 1;
+                self.stats.drops_corrupt.inc();
+                self.link_stats[wid.0].drops_corrupt.inc();
+                if self.telemetry.trace_enabled() {
+                    self.telemetry.emit(
+                        self.now,
+                        TraceCategory::Packet,
+                        NodeKind::Link,
+                        wid.0 as u64,
+                        "corruption drop",
+                    );
+                }
                 return;
             }
             if profile.jitter > SimDuration::ZERO {
                 let extra = self.fault_rng.gen_range(0..=profile.jitter.nanos());
                 if extra > 0 {
                     arrival = arrival + SimDuration::from_nanos(extra);
-                    self.link_stats[wid.0].jittered += 1;
+                    self.link_stats[wid.0].jittered.inc();
                 }
             }
         }

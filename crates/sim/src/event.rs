@@ -17,7 +17,7 @@
 //! one the old pure-heap implementation produced.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use dumbnet_types::SimTime;
 
@@ -29,18 +29,24 @@ const BUCKET_SHIFT: u32 = 12;
 const WHEEL_BITS: u32 = 10;
 const WHEEL: usize = 1 << WHEEL_BITS;
 
-/// One wheel slot. `sorted` buckets hold items in *descending*
-/// `(time, seq)` order so the earliest event pops off the tail in O(1).
+/// One wheel slot. `sorted` buckets hold items in *ascending*
+/// `(time, seq)` order; the earliest event pops off the front in O(1).
+/// Ascending order makes the hot burst case — a handler scheduling
+/// follow-up events into the bucket the cursor is draining — an O(1)
+/// tail append, because a fresh push carries the largest `seq` seen so
+/// far and a time ≥ now. (A descending layout puts exactly those pushes
+/// at the *front*, an O(n) memmove that goes quadratic on same-instant
+/// bursts — the fig10 all-pairs ping pattern.)
 #[derive(Debug)]
 struct Bucket<E> {
-    items: Vec<(SimTime, u64, E)>,
+    items: VecDeque<(SimTime, u64, E)>,
     sorted: bool,
 }
 
 impl<E> Default for Bucket<E> {
     fn default() -> Bucket<E> {
         Bucket {
-            items: Vec::new(),
+            items: VecDeque::new(),
             sorted: false,
         }
     }
@@ -121,13 +127,20 @@ impl<E> EventQueue<E> {
         if vb >= self.base_vb && vb - self.base_vb < WHEEL as u64 {
             let bucket = &mut self.wheel[slot_of(vb)];
             if bucket.sorted && !bucket.items.is_empty() {
-                // The cursor already sorted this bucket (descending);
-                // keep the invariant so its tail stays the minimum.
-                let pos = bucket.items.partition_point(|e| (e.0, e.1) > (at, seq));
-                bucket.items.insert(pos, (at, seq, event));
+                // The cursor already sorted this bucket (ascending);
+                // keep the invariant. A fresh push carries the largest
+                // seq, so unless its time precedes a queued item this
+                // is a plain O(1) tail append.
+                let back = bucket.items.back().expect("non-empty sorted bucket");
+                if (at, seq) >= (back.0, back.1) {
+                    bucket.items.push_back((at, seq, event));
+                } else {
+                    let pos = bucket.items.partition_point(|e| (e.0, e.1) < (at, seq));
+                    bucket.items.insert(pos, (at, seq, event));
+                }
             } else {
                 bucket.sorted = false;
-                bucket.items.push((at, seq, event));
+                bucket.items.push_back((at, seq, event));
             }
             self.wheel_len += 1;
         } else {
@@ -148,16 +161,17 @@ impl<E> EventQueue<E> {
         if !bucket.sorted {
             bucket
                 .items
-                .sort_unstable_by_key(|x| std::cmp::Reverse((x.0, x.1)));
+                .make_contiguous()
+                .sort_unstable_by_key(|x| (x.0, x.1));
             bucket.sorted = true;
         }
-        let head = bucket.items.last().expect("non-empty bucket");
+        let head = bucket.items.front().expect("non-empty bucket");
         (head.0, head.1)
     }
 
     fn pop_wheel(&mut self) -> (SimTime, E) {
         let bucket = &mut self.wheel[slot_of(self.base_vb)];
-        let (t, _, e) = bucket.items.pop().expect("non-empty bucket");
+        let (t, _, e) = bucket.items.pop_front().expect("non-empty bucket");
         self.wheel_len -= 1;
         (t, e)
     }
@@ -223,7 +237,7 @@ impl<E> EventQueue<E> {
                 let bucket = &self.wheel[slot_of(vb)];
                 if !bucket.items.is_empty() {
                     break Some(if bucket.sorted {
-                        bucket.items.last().expect("non-empty").0
+                        bucket.items.front().expect("non-empty").0
                     } else {
                         bucket.items.iter().map(|e| e.0).min().expect("non-empty")
                     });

@@ -19,6 +19,7 @@ use std::any::Any;
 use dumbnet_packet::control::{LinkEvent, PortStat};
 use dumbnet_packet::{ControlMessage, Packet, Payload};
 use dumbnet_sim::{Ctx, Node};
+use dumbnet_telemetry::{Counter, NodeKind, Telemetry, TraceCategory};
 use dumbnet_types::{MacAddr, PortNo, SimDuration, SimTime, SwitchId};
 
 /// Tunables for the dumb switch. Everything here models a *hardware*
@@ -54,6 +55,10 @@ impl Default for DumbSwitchConfig {
 
 /// Counters exposed for experiments; real hardware would keep none of
 /// this (it exists so tests can observe behaviour).
+///
+/// A point-in-time view assembled by [`DumbSwitch::stats`] from the
+/// switch's telemetry [`Counter`] handles, which are registered with
+/// the world's registry under `(NodeKind::Switch, switch id, name)`.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct DumbSwitchStats {
     /// Packets forwarded by tag.
@@ -68,6 +73,49 @@ pub struct DumbSwitchStats {
     pub alarms_suppressed: u64,
     /// Foreign notifications re-broadcast.
     pub notifications_relayed: u64,
+}
+
+/// Live counter handles backing [`DumbSwitchStats`].
+#[derive(Debug, Default, Clone)]
+struct SwitchCounters {
+    forwarded: Counter,
+    dropped_exhausted: Counter,
+    id_replies: Counter,
+    alarms_sent: Counter,
+    alarms_suppressed: Counter,
+    notifications_relayed: Counter,
+    /// Sum of per-port tx counters, synced in `publish_telemetry`.
+    tx_packets: Counter,
+    tx_bytes: Counter,
+}
+
+impl SwitchCounters {
+    fn register(&self, telemetry: &Telemetry, id: SwitchId) {
+        let node = id.get();
+        for (name, c) in [
+            ("forwarded", &self.forwarded),
+            ("dropped_exhausted", &self.dropped_exhausted),
+            ("id_replies", &self.id_replies),
+            ("alarms_sent", &self.alarms_sent),
+            ("alarms_suppressed", &self.alarms_suppressed),
+            ("notifications_relayed", &self.notifications_relayed),
+            ("tx_packets", &self.tx_packets),
+            ("tx_bytes", &self.tx_bytes),
+        ] {
+            telemetry.register_counter(NodeKind::Switch, node, name, c);
+        }
+    }
+
+    fn view(&self) -> DumbSwitchStats {
+        DumbSwitchStats {
+            forwarded: self.forwarded.get(),
+            dropped_exhausted: self.dropped_exhausted.get(),
+            id_replies: self.id_replies.get(),
+            alarms_sent: self.alarms_sent.get(),
+            alarms_suppressed: self.alarms_suppressed.get(),
+            notifications_relayed: self.notifications_relayed.get(),
+        }
+    }
 }
 
 /// Per-port monitoring state: last alarm time and sequence counter.
@@ -98,7 +146,7 @@ pub struct DumbSwitch {
     /// Indexed by `PortNo::index()`; sized at construction from the port
     /// count (a hardware property).
     monitors: Vec<PortMonitor>,
-    stats: DumbSwitchStats,
+    counters: SwitchCounters,
 }
 
 impl DumbSwitch {
@@ -109,7 +157,7 @@ impl DumbSwitch {
             id,
             config,
             monitors: vec![PortMonitor::default(); usize::from(ports.min(0xFE))],
-            stats: DumbSwitchStats::default(),
+            counters: SwitchCounters::default(),
         }
     }
 
@@ -122,7 +170,7 @@ impl DumbSwitch {
     /// Experiment counters.
     #[must_use]
     pub fn stats(&self) -> DumbSwitchStats {
-        self.stats
+        self.counters.view()
     }
 
     /// Forwards a packet by its head tag, handling ID queries. Both the
@@ -131,10 +179,10 @@ impl DumbSwitch {
         match pkt.pop_tag() {
             None => {
                 // Path exhausted at a switch: only hosts consume ø.
-                self.stats.dropped_exhausted += 1;
+                self.counters.dropped_exhausted.inc();
             }
             Some(tag) if tag.is_id_query() => {
-                self.stats.id_replies += 1;
+                self.counters.id_replies.inc();
                 // A query tag carrying a statistics request returns the
                 // port counters instead of the switch ID (§8).
                 if let Payload::Control(ControlMessage::StatsQuery { probe_id }) = pkt.payload {
@@ -184,10 +232,10 @@ impl DumbSwitch {
                 let Some(port) = tag.as_port() else {
                     // ø can never be popped (paths exclude it), so every
                     // non-query tag is a port.
-                    self.stats.dropped_exhausted += 1;
+                    self.counters.dropped_exhausted.inc();
                     return;
                 };
-                self.stats.forwarded += 1;
+                self.counters.forwarded.inc();
                 if let Some(mon) = self.monitors.get_mut(port.index()) {
                     mon.tx_packets += 1;
                     mon.tx_bytes += pkt.wire_len() as u64;
@@ -211,7 +259,20 @@ impl DumbSwitch {
             up,
             seq: mon.seq,
         };
-        self.stats.alarms_sent += 1;
+        self.counters.alarms_sent.inc();
+        ctx.trace(
+            TraceCategory::Chaos,
+            NodeKind::Switch,
+            self.id.get(),
+            || {
+                format!(
+                    "switch {} port {} alarm: link {}",
+                    self.id.0,
+                    port.get(),
+                    if up { "up" } else { "down" }
+                )
+            },
+        );
         self.broadcast(
             ctx,
             None,
@@ -240,13 +301,26 @@ impl DumbSwitch {
 }
 
 impl Node for DumbSwitch {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.counters.register(ctx.telemetry(), self.id);
+    }
+
+    fn publish_telemetry(&mut self) {
+        let (pkts, bytes) = self
+            .monitors
+            .iter()
+            .fold((0u64, 0u64), |(p, b), m| (p + m.tx_packets, b + m.tx_bytes));
+        self.counters.tx_packets.set(pkts);
+        self.counters.tx_bytes.set(bytes);
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: PortNo, pkt: Packet) {
         // Hop-limited notification flood: the only packet type a switch
         // inspects beyond the head tag. Matching on the payload enum is
         // the structured equivalent of matching a fixed EtherType.
         if let Payload::Control(ControlMessage::LinkNotification { event, ttl }) = &pkt.payload {
             if *ttl > 0 {
-                self.stats.notifications_relayed += 1;
+                self.counters.notifications_relayed.inc();
                 self.broadcast(
                     ctx,
                     Some(in_port),
@@ -270,7 +344,7 @@ impl Node for DumbSwitch {
                     ttl,
                 }) => {
                     if *ttl > 0 {
-                        self.stats.notifications_relayed += 1;
+                        self.counters.notifications_relayed.inc();
                         self.broadcast(
                             ctx,
                             Some(in_port),
@@ -293,7 +367,7 @@ impl Node for DumbSwitch {
                     ttl,
                 }) => {
                     if *ttl > 0 {
-                        self.stats.notifications_relayed += 1;
+                        self.counters.notifications_relayed.inc();
                         self.broadcast(
                             ctx,
                             Some(in_port),
@@ -335,7 +409,7 @@ impl Node for DumbSwitch {
                 // Flap suppression — but schedule a single re-check at
                 // the window's end so a state that *stays* changed is
                 // eventually announced (still ≤ 1 alarm/s/port).
-                self.stats.alarms_suppressed += 1;
+                self.counters.alarms_suppressed.inc();
                 if !mon.recheck_pending {
                     mon.recheck_pending = true;
                     let wait = self.config.alarm_interval - elapsed;

@@ -1,0 +1,894 @@
+//! The telemetry spine: a deterministic metrics registry plus a bounded
+//! structured trace ring, shared by every node kind in the emulator.
+//!
+//! DumbNet's argument is made with measurements (§7 of the paper), so
+//! the reproduction needs observability that is *part of the
+//! determinism contract* rather than bolted on: two same-seed runs must
+//! produce byte-identical snapshots, and a snapshot must never perturb
+//! the run that produced it.
+//!
+//! # Model
+//!
+//! Metrics are cheap shared handles — [`Counter`], [`Gauge`],
+//! fixed-bucket [`Histogram`] — created by a node at construction time
+//! and *registered* into the world's [`Telemetry`] registry under a
+//! [`MetricKey`] of `(NodeKind, node id, metric name)`. The handle is
+//! the storage: the node increments through the handle on its hot path
+//! (one `Cell` write), and a [`TelemetrySnapshot`] reads the same cells
+//! through the registry. Registration is idempotent, so a node that is
+//! crash-restarted re-registers the same handles without losing counts.
+//!
+//! # Determinism rules
+//!
+//! * The registry is a `BTreeMap`; snapshots, JSON export and diffs
+//!   iterate in key order. No hash-map iteration order anywhere.
+//! * Metric values are integers (counts, nanoseconds, bytes). No
+//!   floats, so no formatting or accumulation-order variance.
+//! * Trace events are stamped with *sim time*, never wall clock.
+//! * Snapshots are pure reads; taking one cannot change any counter.
+//!
+//! # Trace ring
+//!
+//! [`TraceEvent`]s — categorized packet / election / chaos / route —
+//! go into a bounded ring ([`Telemetry::trace`]); when it wraps, the
+//! oldest events are dropped and counted. The soak harness dumps the
+//! tail on invariant violation, so a CI failure is diagnosable from
+//! its log alone.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use dumbnet_types::SimTime;
+
+/// Which layer of the emulator a metric or trace event belongs to.
+///
+/// Part of [`MetricKey`]; the ordering (world, link, switch, host,
+/// controller) is the snapshot iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeKind {
+    /// The simulation engine itself (event totals, drop totals).
+    World,
+    /// One wire, identified by its `WireId` index.
+    Link,
+    /// A dumb switch, identified by its `SwitchId`.
+    Switch,
+    /// A host agent, identified by its `HostId`.
+    Host,
+    /// A controller instance, identified by its `HostId`.
+    Controller,
+}
+
+impl NodeKind {
+    /// Stable lowercase name used in JSON and diff output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeKind::World => "world",
+            NodeKind::Link => "link",
+            NodeKind::Switch => "switch",
+            NodeKind::Host => "host",
+            NodeKind::Controller => "controller",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Registry key: `(kind, node id, metric name)`.
+///
+/// Names are `&'static str` by convention (metric names are code, not
+/// data) but stored as `String` so derived per-peer metrics can be
+/// built at runtime when needed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    /// Layer the metric belongs to.
+    pub kind: NodeKind,
+    /// Node identity within the layer (id value, wire index, 0 for world).
+    pub node: u64,
+    /// Metric name, `snake_case`.
+    pub name: String,
+}
+
+impl MetricKey {
+    /// Builds a key.
+    #[must_use]
+    pub fn new(kind: NodeKind, node: u64, name: impl Into<String>) -> MetricKey {
+        MetricKey {
+            kind,
+            node,
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.kind, self.node, self.name)
+    }
+}
+
+/// A monotonically increasing `u64` metric handle.
+///
+/// Cloning shares the underlying cell; the registry holds one clone and
+/// the owning node another, so hot-path increments are a single
+/// `Cell::set` with no registry lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Creates a detached counter at zero.
+    #[must_use]
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// Overwrites the value. For totals maintained elsewhere and
+    /// mirrored into the registry (e.g. synced in a publish hook);
+    /// prefer [`Counter::inc`] for live counters.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.set(v);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A signed, settable metric handle (levels: queue depths, leadership,
+/// version numbers).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Rc<Cell<i64>>);
+
+impl Gauge {
+    /// Creates a detached gauge at zero.
+    #[must_use]
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.set(v);
+    }
+
+    /// Adjusts the level by `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.set(self.0.get().wrapping_add(d));
+    }
+
+    /// Current level.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.get()
+    }
+}
+
+/// Fixed-bucket histogram state shared behind a [`Histogram`] handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, strictly increasing. A value `v` lands
+    /// in the first bucket with `v <= bounds[i]`; larger values land in
+    /// the overflow bucket.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; `counts.len() == bounds.len() + 1`
+    /// (the final slot is the overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The bucket index `observe(v)` would increment.
+    #[must_use]
+    pub fn bucket_for(&self, v: u64) -> usize {
+        self.bounds.partition_point(|&b| b < v)
+    }
+}
+
+/// A fixed-bucket histogram handle (see [`HistogramSnapshot`] for the
+/// bucket semantics). Cloning shares the underlying state.
+#[derive(Debug, Clone)]
+pub struct Histogram(Rc<RefCell<HistogramSnapshot>>);
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bounds` is strictly increasing (an empty bounds
+    /// list — a single overflow bucket — is allowed).
+    #[must_use]
+    pub fn new(bounds: Vec<u64>) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = vec![0; bounds.len() + 1];
+        Histogram(Rc::new(RefCell::new(HistogramSnapshot {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0,
+        })))
+    }
+
+    /// Doubling bounds: `first, first*2, …` for `buckets` bounds.
+    /// Convenient for latency-like values spanning orders of magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first` is zero (the bounds would not increase).
+    #[must_use]
+    pub fn doubling(first: u64, buckets: usize) -> Histogram {
+        assert!(first > 0, "doubling histogram needs a positive first bound");
+        let bounds = (0..buckets)
+            .scan(first, |b, _| {
+                let cur = *b;
+                *b = b.saturating_mul(2);
+                Some(cur)
+            })
+            .collect::<Vec<u64>>();
+        let mut dedup = bounds;
+        dedup.dedup(); // saturation can repeat u64::MAX
+        Histogram::new(dedup)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let mut h = self.0.borrow_mut();
+        let ix = h.bucket_for(v);
+        h.counts[ix] += 1;
+        h.count += 1;
+        h.sum = h.sum.wrapping_add(v);
+    }
+
+    /// A copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.borrow().clone()
+    }
+}
+
+/// The value of one metric at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::Counter(v) => write!(f, "{v}"),
+            MetricValue::Gauge(v) => write!(f, "{v}"),
+            MetricValue::Histogram(h) => {
+                write!(f, "histogram(count={}, sum={})", h.count, h.sum)
+            }
+        }
+    }
+}
+
+/// Registered live handle (internal).
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn read(&self) -> MetricValue {
+        match self {
+            Handle::Counter(c) => MetricValue::Counter(c.get()),
+            Handle::Gauge(g) => MetricValue::Gauge(g.get()),
+            Handle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+        }
+    }
+}
+
+/// Category of a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceCategory {
+    /// Data-plane happenings: drops, ECN marks, storms.
+    Packet,
+    /// Leadership: elections, takeovers, step-downs.
+    Election,
+    /// Injected faults and admin actions: crashes, restarts, link flips.
+    Chaos,
+    /// Path computation and dissemination: patches, cache invalidation.
+    Route,
+}
+
+impl TraceCategory {
+    /// Stable lowercase name used in dumps.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceCategory::Packet => "packet",
+            TraceCategory::Election => "election",
+            TraceCategory::Chaos => "chaos",
+            TraceCategory::Route => "route",
+        }
+    }
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured trace record, stamped with sim time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sim time the event was emitted.
+    pub at: SimTime,
+    /// Event category.
+    pub category: TraceCategory,
+    /// Layer of the emitting node.
+    pub kind: NodeKind,
+    /// Emitting node's id within the layer.
+    pub node: u64,
+    /// Human-readable detail line.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12} ns] {:<8} {}/{}: {}",
+            self.at.nanos(),
+            self.category,
+            self.kind,
+            self.node,
+            self.detail
+        )
+    }
+}
+
+/// Bounded trace ring (internal).
+#[derive(Debug)]
+struct TraceRing {
+    cap: usize,
+    buf: std::collections::VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    fn push(&mut self, ev: TraceEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}
+
+#[derive(Debug)]
+struct Registry {
+    metrics: BTreeMap<MetricKey, Handle>,
+    trace: TraceRing,
+}
+
+/// The shared telemetry registry handle.
+///
+/// One per [`World`](../dumbnet_sim/index.html); cloned into every
+/// `Ctx` so nodes register handles without manual plumbing. Cloning is
+/// cheap (an `Rc` bump) and all clones observe the same registry.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Rc<RefCell<Registry>>,
+}
+
+/// Default trace ring capacity.
+pub const DEFAULT_TRACE_CAP: usize = 512;
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new(DEFAULT_TRACE_CAP)
+    }
+}
+
+impl Telemetry {
+    /// Creates a registry whose trace ring keeps the most recent
+    /// `trace_cap` events (0 disables tracing entirely).
+    #[must_use]
+    pub fn new(trace_cap: usize) -> Telemetry {
+        Telemetry {
+            inner: Rc::new(RefCell::new(Registry {
+                metrics: BTreeMap::new(),
+                trace: TraceRing {
+                    cap: trace_cap,
+                    buf: std::collections::VecDeque::new(),
+                    dropped: 0,
+                },
+            })),
+        }
+    }
+
+    /// Registers (or re-registers) a counter handle under `key`.
+    /// Idempotent: registering the same handle again is a no-op, and a
+    /// restarted node re-registering a fresh handle simply replaces the
+    /// old one.
+    pub fn register_counter(&self, kind: NodeKind, node: u64, name: &'static str, c: &Counter) {
+        self.inner
+            .borrow_mut()
+            .metrics
+            .insert(MetricKey::new(kind, node, name), Handle::Counter(c.clone()));
+    }
+
+    /// Registers (or re-registers) a gauge handle under `key`.
+    pub fn register_gauge(&self, kind: NodeKind, node: u64, name: &'static str, g: &Gauge) {
+        self.inner
+            .borrow_mut()
+            .metrics
+            .insert(MetricKey::new(kind, node, name), Handle::Gauge(g.clone()));
+    }
+
+    /// Registers (or re-registers) a histogram handle under `key`.
+    pub fn register_histogram(&self, kind: NodeKind, node: u64, name: &'static str, h: &Histogram) {
+        self.inner.borrow_mut().metrics.insert(
+            MetricKey::new(kind, node, name),
+            Handle::Histogram(h.clone()),
+        );
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.borrow().metrics.len()
+    }
+
+    /// Whether no metrics are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().metrics.is_empty()
+    }
+
+    /// Whether trace events are being kept (capacity > 0). Callers can
+    /// skip formatting details when tracing is disabled.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.borrow().trace.cap > 0
+    }
+
+    /// Appends a trace event to the ring.
+    pub fn trace(&self, ev: TraceEvent) {
+        self.inner.borrow_mut().trace.push(ev);
+    }
+
+    /// Convenience: builds and appends a trace event.
+    pub fn emit(
+        &self,
+        at: SimTime,
+        category: TraceCategory,
+        kind: NodeKind,
+        node: u64,
+        detail: impl Into<String>,
+    ) {
+        self.trace(TraceEvent {
+            at,
+            category,
+            kind,
+            node,
+            detail: detail.into(),
+        });
+    }
+
+    /// The most recent `n` trace events, oldest first, plus the number
+    /// of older events the ring has already discarded.
+    #[must_use]
+    pub fn trace_tail(&self, n: usize) -> (Vec<TraceEvent>, u64) {
+        let reg = self.inner.borrow();
+        let skip = reg.trace.buf.len().saturating_sub(n);
+        let tail: Vec<TraceEvent> = reg.trace.buf.iter().skip(skip).cloned().collect();
+        (tail, reg.trace.dropped + skip as u64)
+    }
+
+    /// Reads every registered metric into an ordered snapshot. A pure
+    /// read: no counter is modified.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let reg = self.inner.borrow();
+        TelemetrySnapshot {
+            metrics: reg
+                .metrics
+                .iter()
+                .map(|(k, h)| (k.clone(), h.read()))
+                .collect(),
+        }
+    }
+}
+
+/// An ordered, point-in-time copy of every registered metric.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// Metric values in `BTreeMap` (deterministic) key order.
+    pub metrics: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl TelemetrySnapshot {
+    /// The value under `(kind, node, name)`, if registered.
+    #[must_use]
+    pub fn get(&self, kind: NodeKind, node: u64, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(&MetricKey::new(kind, node, name))
+    }
+
+    /// Counter value under the key, or 0 when absent / not a counter.
+    #[must_use]
+    pub fn counter(&self, kind: NodeKind, node: u64, name: &str) -> u64 {
+        match self.get(kind, node, name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge level under the key, or 0 when absent / not a gauge.
+    #[must_use]
+    pub fn gauge(&self, kind: NodeKind, node: u64, name: &str) -> i64 {
+        match self.get(kind, node, name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Sum of the counter `name` across every node of `kind`.
+    #[must_use]
+    pub fn sum_counters(&self, kind: NodeKind, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|(k, _)| k.kind == kind && k.name == name)
+            .map(|(_, v)| match v {
+                MetricValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// `(node, counter value)` for the counter `name` on every node of
+    /// `kind`, in ascending node order.
+    #[must_use]
+    pub fn counters_by_node(&self, kind: NodeKind, name: &str) -> Vec<(u64, u64)> {
+        self.metrics
+            .iter()
+            .filter(|(k, _)| k.kind == kind && k.name == name)
+            .filter_map(|(k, v)| match v {
+                MetricValue::Counter(c) => Some((k.node, *c)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Entries that changed (or appeared) relative to `before`, in key
+    /// order. Counters and gauges carry their numeric delta.
+    #[must_use]
+    pub fn diff<'a>(&'a self, before: &'a TelemetrySnapshot) -> TelemetryDiff {
+        let mut entries = Vec::new();
+        for (k, after) in &self.metrics {
+            let prev = before.metrics.get(k);
+            if prev != Some(after) {
+                entries.push(DiffEntry {
+                    key: k.clone(),
+                    before: prev.cloned(),
+                    after: after.clone(),
+                });
+            }
+        }
+        TelemetryDiff { entries }
+    }
+
+    /// Deterministic JSON export: one flat array of metric objects in
+    /// key order, integers only, no whitespace variance. Two snapshots
+    /// compare equal iff their JSON is byte-identical.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 * self.metrics.len() + 16);
+        out.push_str("{\"metrics\":[");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"kind\":\"");
+            out.push_str(k.kind.as_str());
+            out.push_str("\",\"node\":");
+            out.push_str(&k.node.to_string());
+            out.push_str(",\"name\":\"");
+            json_escape_into(&mut out, &k.name);
+            out.push_str("\",");
+            match v {
+                MetricValue::Counter(c) => {
+                    out.push_str("\"type\":\"counter\",\"value\":");
+                    out.push_str(&c.to_string());
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str("\"type\":\"gauge\",\"value\":");
+                    out.push_str(&g.to_string());
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str("\"type\":\"histogram\",\"bounds\":");
+                    json_u64_array_into(&mut out, &h.bounds);
+                    out.push_str(",\"counts\":");
+                    json_u64_array_into(&mut out, &h.counts);
+                    out.push_str(",\"count\":");
+                    out.push_str(&h.count.to_string());
+                    out.push_str(",\"sum\":");
+                    out.push_str(&h.sum.to_string());
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The changed entries between two snapshots (see
+/// [`TelemetrySnapshot::diff`]). `Display` prints one line per entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryDiff {
+    /// Changed / new entries in key order.
+    pub entries: Vec<DiffEntry>,
+}
+
+/// One changed metric in a [`TelemetryDiff`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffEntry {
+    /// The metric key.
+    pub key: MetricKey,
+    /// Value in the `before` snapshot (`None` = newly registered).
+    pub before: Option<MetricValue>,
+    /// Value in the `after` snapshot.
+    pub after: MetricValue,
+}
+
+impl TelemetryDiff {
+    /// Whether nothing changed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for TelemetryDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            match (&e.before, &e.after) {
+                (Some(MetricValue::Counter(b)), MetricValue::Counter(a)) => {
+                    writeln!(f, "{}: {b} -> {a} (+{})", e.key, a.wrapping_sub(*b))?;
+                }
+                (Some(MetricValue::Gauge(b)), MetricValue::Gauge(a)) => {
+                    writeln!(f, "{}: {b} -> {a} ({:+})", e.key, a.wrapping_sub(*b))?;
+                }
+                (Some(b), a) => writeln!(f, "{}: {b} -> {a}", e.key)?,
+                (None, a) => writeln!(f, "{}: (new) {a}", e.key)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_u64_array_into(out: &mut String, xs: &[u64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + dumbnet_types::SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn counter_handles_share_state() {
+        let tele = Telemetry::new(0);
+        let c = Counter::new();
+        tele.register_counter(NodeKind::Host, 3, "pings", &c);
+        c.inc();
+        c.add(4);
+        assert_eq!(tele.snapshot().counter(NodeKind::Host, 3, "pings"), 5);
+        // Re-registering (restart) keeps the count.
+        tele.register_counter(NodeKind::Host, 3, "pings", &c);
+        assert_eq!(tele.snapshot().counter(NodeKind::Host, 3, "pings"), 5);
+    }
+
+    #[test]
+    fn gauge_levels() {
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let h = Histogram::new(vec![10, 20, 40]);
+        for v in [0, 10] {
+            h.observe(v); // first bucket: v <= 10
+        }
+        h.observe(11); // second bucket
+        h.observe(20); // second bucket (inclusive)
+        h.observe(40); // third bucket (inclusive)
+        h.observe(41); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 1, 1]);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 122);
+    }
+
+    #[test]
+    fn doubling_bounds() {
+        let h = Histogram::doubling(1000, 4);
+        assert_eq!(h.snapshot().bounds, vec![1000, 2000, 4000, 8000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(vec![5, 5]);
+    }
+
+    #[test]
+    fn snapshot_iterates_in_key_order() {
+        let tele = Telemetry::new(0);
+        let c = Counter::new();
+        tele.register_counter(NodeKind::Controller, 0, "zeta", &c);
+        tele.register_counter(NodeKind::Host, 9, "alpha", &c);
+        tele.register_counter(NodeKind::Host, 1, "beta", &c);
+        tele.register_counter(NodeKind::World, 0, "events", &c);
+        let keys: Vec<String> = tele
+            .snapshot()
+            .metrics
+            .keys()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                "world/0/events",
+                "host/1/beta",
+                "host/9/alpha",
+                "controller/0/zeta",
+            ]
+        );
+    }
+
+    #[test]
+    fn json_is_deterministic_and_reflects_order() {
+        let tele = Telemetry::new(0);
+        let c = Counter::new();
+        c.add(2);
+        let g = Gauge::new();
+        g.set(-1);
+        tele.register_counter(NodeKind::World, 0, "events", &c);
+        tele.register_gauge(NodeKind::Controller, 5, "is_leader", &g);
+        let json = tele.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"metrics\":[\
+             {\"kind\":\"world\",\"node\":0,\"name\":\"events\",\"type\":\"counter\",\"value\":2},\
+             {\"kind\":\"controller\",\"node\":5,\"name\":\"is_leader\",\"type\":\"gauge\",\"value\":-1}\
+             ]}"
+        );
+        assert_eq!(json, tele.snapshot().to_json());
+    }
+
+    #[test]
+    fn diff_reports_deltas_and_new_entries() {
+        let tele = Telemetry::new(0);
+        let c = Counter::new();
+        tele.register_counter(NodeKind::Switch, 2, "forwarded", &c);
+        let before = tele.snapshot();
+        c.add(10);
+        let g = Gauge::new();
+        tele.register_gauge(NodeKind::Switch, 2, "depth", &g);
+        let after = tele.snapshot();
+        let diff = after.diff(&before);
+        assert_eq!(diff.entries.len(), 2);
+        let text = diff.to_string();
+        assert!(text.contains("switch/2/forwarded: 0 -> 10 (+10)"), "{text}");
+        assert!(text.contains("switch/2/depth: (new) 0"), "{text}");
+        assert!(after.diff(&after).is_empty());
+    }
+
+    #[test]
+    fn trace_ring_wraps_and_counts_drops() {
+        let tele = Telemetry::new(3);
+        for i in 0..5u64 {
+            tele.emit(
+                t(i),
+                TraceCategory::Chaos,
+                NodeKind::World,
+                0,
+                format!("e{i}"),
+            );
+        }
+        let (tail, older) = tele.trace_tail(2);
+        assert_eq!(older, 3); // 2 wrapped out of the ring + 1 skipped.
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].detail, "e3");
+        assert_eq!(tail[1].detail, "e4");
+    }
+
+    #[test]
+    fn trace_cap_zero_disables() {
+        let tele = Telemetry::new(0);
+        assert!(!tele.trace_enabled());
+        tele.emit(t(0), TraceCategory::Packet, NodeKind::Link, 1, "drop");
+        let (tail, dropped) = tele.trace_tail(10);
+        assert!(tail.is_empty());
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn aggregation_helpers() {
+        let tele = Telemetry::new(0);
+        let (a, b) = (Counter::new(), Counter::new());
+        a.add(3);
+        b.add(4);
+        tele.register_counter(NodeKind::Host, 1, "sent", &a);
+        tele.register_counter(NodeKind::Host, 2, "sent", &b);
+        let snap = tele.snapshot();
+        assert_eq!(snap.sum_counters(NodeKind::Host, "sent"), 7);
+        assert_eq!(
+            snap.counters_by_node(NodeKind::Host, "sent"),
+            vec![(1, 3), (2, 4)]
+        );
+    }
+}

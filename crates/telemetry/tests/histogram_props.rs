@@ -1,0 +1,71 @@
+//! Property tests for histogram bucket boundaries.
+//!
+//! The bucket rule is load-bearing for every latency figure: a value
+//! `v` lands in the first bucket whose inclusive upper bound is `>= v`,
+//! and anything beyond the last bound lands in the overflow slot. These
+//! tests pin that rule against arbitrary bound layouts and inputs, and
+//! pin the doubling-constructor geometry the RTT histograms rely on.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use dumbnet_telemetry::Histogram;
+
+/// Strictly increasing bounds, built from positive gaps so the
+/// constructor's monotonicity assertion always holds.
+fn bounds_strategy() -> impl Strategy<Value = Vec<u64>> {
+    vec(1u64..1_000, 1..8).prop_map(|gaps| {
+        gaps.iter()
+            .scan(0u64, |acc, &g| {
+                *acc += g;
+                Some(*acc)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn observations_land_in_the_defined_bucket(
+        bounds in bounds_strategy(),
+        values in vec(0u64..10_000, 1..64),
+    ) {
+        let h = Histogram::new(bounds.clone());
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.counts.iter().sum::<u64>(), snap.count);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        // Recompute every bucket straight from the definition.
+        let mut expect = vec![0u64; bounds.len() + 1];
+        for &v in &values {
+            let ix = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+            expect[ix] += 1;
+        }
+        prop_assert_eq!(snap.counts, expect);
+    }
+
+    #[test]
+    fn bounds_are_inclusive_upper_edges(bounds in bounds_strategy()) {
+        let snap = Histogram::new(bounds.clone()).snapshot();
+        prop_assert_eq!(snap.bucket_for(0), 0);
+        for (ix, &b) in bounds.iter().enumerate() {
+            // A value exactly on a bound belongs to that bucket…
+            prop_assert_eq!(snap.bucket_for(b), ix);
+            // …and one past it belongs to the next (possibly overflow).
+            prop_assert_eq!(snap.bucket_for(b + 1), ix + 1);
+        }
+    }
+
+    #[test]
+    fn doubling_constructor_doubles(first in 1u64..1_000, buckets in 1usize..12) {
+        let snap = Histogram::doubling(first, buckets).snapshot();
+        prop_assert_eq!(snap.bounds[0], first);
+        prop_assert!(snap.bounds.windows(2).all(|w| w[1] == w[0] * 2));
+        prop_assert_eq!(snap.bounds.len(), buckets);
+        prop_assert_eq!(snap.counts.len(), buckets + 1);
+        prop_assert_eq!(snap.count, 0);
+    }
+}

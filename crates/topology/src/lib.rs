@@ -36,7 +36,7 @@ pub mod views;
 
 pub use graph::{Attachment, HostInfo, Link, SwitchInfo, Topology};
 pub use ksp::k_shortest_routes;
-pub use pathcache::RouteCache;
+pub use pathcache::{RouteCache, RouteCacheStats};
 pub use pathgraph::{PathGraph, PathGraphParams};
 pub use route::Route;
 pub use spath::{shortest_route, shortest_route_weighted, DistanceMap};

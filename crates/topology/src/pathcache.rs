@@ -45,6 +45,16 @@ fn splitmix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Cache effectiveness counters, named so consumers can't transpose
+/// them the way an anonymous `(u64, u64)` invites.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that ran Dijkstra (including precomputed pairs).
+    pub misses: u64,
+}
+
 /// A memo of shortest routes keyed `(src, dst)` within one topology
 /// epoch. `None` values cache unreachability.
 #[derive(Debug, Clone)]
@@ -76,6 +86,15 @@ impl RouteCache {
     #[must_use]
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Effectiveness counters as named fields.
+    #[must_use]
+    pub fn stats(&self) -> RouteCacheStats {
+        RouteCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 
     /// Number of cached entries (including cached unreachability).

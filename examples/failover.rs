@@ -45,12 +45,12 @@ fn main() {
     fabric.run_until(at_ms(400));
 
     let rx = fabric.host(HostId(26)).expect("receiver");
-    let &(pkts, bytes) = rx.stats.delivered.get(&7).expect("flow delivered");
+    let &(pkts, bytes) = rx.stats().delivered.get(&7).expect("flow delivered");
     println!("\nreceiver H26: {pkts}/400 packets ({bytes} bytes) delivered");
 
     let tx = fabric.host(HostId(1)).expect("sender");
     println!("\nsender H1 failure timeline:");
-    for (ev, at) in &tx.stats.notification_arrivals {
+    for (ev, at) in &tx.stats().notification_arrivals {
         println!(
             "  stage 1: {}-{} {} notification at {} (+{} after failure)",
             ev.switch,
@@ -60,7 +60,7 @@ fn main() {
             *at - t_fail,
         );
     }
-    for (version, at) in &tx.stats.patch_arrivals {
+    for (version, at) in &tx.stats().patch_arrivals {
         println!(
             "  stage 2: topology patch v{version} at {} (+{} after failure)",
             at,
@@ -72,7 +72,7 @@ fn main() {
     let mut notified = 0;
     for h in 1..27 {
         if let Some(agent) = fabric.host(HostId(h)) {
-            if !agent.stats.notification_arrivals.is_empty() {
+            if !agent.stats().notification_arrivals.is_empty() {
                 notified += 1;
             }
         }

@@ -36,14 +36,16 @@ fn main() {
     fabric.run_until(SimTime::ZERO + SimDuration::from_millis(200));
 
     let pinger = fabric.host(HostId(1)).expect("host 1 is an agent");
-    println!("\nping H1 → H26 ({} replies):", pinger.stats.rtts.len());
-    for (seq, _sent, rtt) in &pinger.stats.rtts {
+    println!("\nping H1 → H26 ({} replies):", pinger.stats().rtts.len());
+    for (seq, _sent, rtt) in &pinger.stats().rtts {
         println!("  seq={seq:<3} rtt={rtt}");
     }
     println!(
         "\npath requests to controller: {} (first ping pays the lookup,\n\
          the rest hit the PathTable: {} hits / {} misses)",
-        pinger.stats.path_requests, pinger.pathtable.hits, pinger.pathtable.misses
+        pinger.stats().path_requests,
+        pinger.pathtable.hits,
+        pinger.pathtable.misses
     );
 
     // Show what the cached tag path actually looks like.

@@ -39,14 +39,14 @@ fn main() {
     );
     println!(
         "probes sent: {} (O(N·P²) = {}·{}² = {})",
-        ctrl.stats.probes_sent,
+        ctrl.stats().probes_sent,
         truth.switch_count(),
         8,
         truth.switch_count() * 64,
     );
     println!(
         "discovery time: {}",
-        ctrl.stats.discovery_time.expect("finished")
+        ctrl.stats().discovery_time.expect("finished")
     );
 
     // Verify the map is exact.

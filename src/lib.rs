@@ -16,6 +16,7 @@
 //! | [`packet`] | Wire formats (EtherType 0x9800 tag header, MPLS encoding) and control messages |
 //! | [`topology`] | Graph model, generators, shortest paths, k-shortest paths, path graphs (Algorithm 1) |
 //! | [`sim`] | Deterministic discrete-event emulator + flow-level max-min solver |
+//! | [`telemetry`] | Typed metrics registry (counters/gauges/histograms), snapshots, trace ring |
 //! | [`switch`] | The dumb switch, and the spanning-tree baseline |
 //! | [`host`] | Host agent: TopoCache, PathTable, datapath model |
 //! | [`controller`] | Discovery, path-graph service, replication, failure patching |
@@ -49,7 +50,7 @@
 //! })
 //! .unwrap();
 //! fabric.run_until(SimTime::ZERO + SimDuration::from_millis(100));
-//! assert_eq!(fabric.host(HostId(1)).unwrap().stats.rtts.len(), 3);
+//! assert_eq!(fabric.host(HostId(1)).unwrap().stats().rtts.len(), 3);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -63,6 +64,7 @@ pub use dumbnet_host as host;
 pub use dumbnet_packet as packet;
 pub use dumbnet_sim as sim;
 pub use dumbnet_switch as switch;
+pub use dumbnet_telemetry as telemetry;
 pub use dumbnet_topology as topology;
 pub use dumbnet_types as types;
 pub use dumbnet_workload as workload;

@@ -35,10 +35,10 @@ fn fat_tree_cross_pod_pings() {
     fabric.run_until(at_ms(200));
     for id in (0..n).filter(|i| i % 4 == 1) {
         let agent = fabric.host(HostId(id)).unwrap();
-        assert_eq!(agent.stats.rtts.len(), 4, "host {id} missing replies");
+        assert_eq!(agent.stats().rtts.len(), 4, "host {id} missing replies");
         // Cross-pod RTT crosses 4 switch hops each way but stays well
         // under a millisecond on idle 10G links.
-        for (_, _, rtt) in &agent.stats.rtts {
+        for (_, _, rtt) in &agent.stats().rtts {
             assert!(rtt.as_millis_f64() < 1.0, "rtt {rtt}");
         }
     }
@@ -113,7 +113,7 @@ fn failover_survives_double_failure() {
     // the end of its 1 s alarm window, so run well past that.
     fabric.run_until(at_ms(2_000));
     let rx = fabric.host(HostId(26)).unwrap();
-    let &(pkts, _) = rx.stats.delivered.get(&9).unwrap();
+    let &(pkts, _) = rx.stats().delivered.get(&9).unwrap();
     // 150–250 ms is a hard partition. Packets sent during it are queued
     // at the sender on PathTable misses and flushed once a path exists
     // again, so nearly everything must eventually arrive (a handful die
@@ -148,7 +148,10 @@ fn controller_replication_and_takeover() {
     // Let the leader bootstrap and heartbeats flow.
     fabric.run_until(at_ms(60));
     let follower = fabric.controller(HostId(13)).unwrap();
-    assert!(!follower.stats.is_leader, "follower must start as standby");
+    assert!(
+        !follower.stats().is_leader,
+        "follower must start as standby"
+    );
     assert_eq!(
         fabric.host(HostId(20)).unwrap().controller(),
         Some(MacAddr::for_host(0))
@@ -162,7 +165,7 @@ fn controller_replication_and_takeover() {
         .unwrap();
     fabric.run_until(at_ms(500));
     let follower = fabric.controller(HostId(13)).unwrap();
-    assert!(follower.stats.is_leader, "follower must take over");
+    assert!(follower.stats().is_leader, "follower must take over");
     // Surviving hosts learned the new controller via its hello.
     let agent = fabric.host(HostId(20)).unwrap();
     assert_eq!(agent.controller(), Some(MacAddr::for_host(13)));
@@ -194,7 +197,7 @@ fn random_topology_routes_everywhere() {
             continue;
         }
         let agent = fabric.host(HostId(id)).unwrap();
-        assert_eq!(agent.stats.rtts.len(), 3, "host {id} missing replies");
+        assert_eq!(agent.stats().rtts.len(), 3, "host {id} missing replies");
     }
 }
 
@@ -225,7 +228,7 @@ fn verify_mode_discovery_is_exact_and_cheap() {
             found.switch_count(),
             found.link_count(),
             found.host_count(),
-            ctrl.stats.probes_sent,
+            ctrl.stats().probes_sent,
         )
     };
     let (s1, l1, h1, blind_probes) = run(None);
@@ -288,8 +291,8 @@ fn ping_to_unknown_destination_is_harmless() {
     .unwrap();
     fabric.run_until(at_ms(300));
     let agent = fabric.host(HostId(1)).unwrap();
-    assert!(agent.stats.rtts.is_empty());
-    assert!(agent.stats.path_requests >= 1);
+    assert!(agent.stats().rtts.is_empty());
+    assert!(agent.stats().path_requests >= 1);
     // The rest of the fabric is unaffected: a later real ping works.
 }
 
@@ -320,8 +323,8 @@ fn misrouted_packet_dropped_at_ingress() {
     );
     fabric.run_until(at_ms(10));
     let agent = fabric.host(HostId(1)).unwrap();
-    assert_eq!(agent.stats.ingress_drops, 1);
-    assert!(!agent.stats.delivered.contains_key(&77));
+    assert_eq!(agent.stats().ingress_drops, 1);
+    assert!(!agent.stats().delivered.contains_key(&77));
 }
 
 #[test]
@@ -357,7 +360,7 @@ fn engine_marks_ecn_under_queue_pressure() {
     fabric.run_until(at_ms(300));
     assert!(fabric.world.stats().ecn_marked > 100);
     let rx = fabric.host(HostId(26)).unwrap();
-    let marked: u64 = rx.stats.ecn_marked.values().sum();
+    let marked: u64 = rx.stats().ecn_marked.values().sum();
     assert!(marked > 100, "receiver saw only {marked} marked packets");
 }
 
@@ -404,13 +407,13 @@ fn path_queries_spread_over_controller_group() {
     )
     .unwrap();
     fabric.run_until(at_ms(500));
-    let served_leader = fabric.controller(HostId(0)).unwrap().stats.path_requests;
-    let served_standby = fabric.controller(HostId(13)).unwrap().stats.path_requests;
+    let served_leader = fabric.controller(HostId(0)).unwrap().stats().path_requests;
+    let served_standby = fabric.controller(HostId(13)).unwrap().stats().path_requests;
     assert!(served_leader > 0, "leader served nothing");
     assert!(served_standby > 0, "standby served nothing");
     // And the answers worked: pings completed.
     let agent = fabric.host(HostId(1)).unwrap();
-    assert!(!agent.stats.rtts.is_empty());
+    assert!(!agent.stats().rtts.is_empty());
     // The primary is still the leader.
     assert_eq!(agent.controller(), Some(MacAddr::for_host(0)));
 }
@@ -452,11 +455,11 @@ fn fat_tree_k8_full_mesh_sample_traffic() {
             continue;
         }
         let agent = fabric.host(HostId(id)).unwrap();
-        total += agent.stats.rtts.len();
+        total += agent.stats().rtts.len();
         assert!(
-            agent.stats.rtts.len() >= 5,
+            agent.stats().rtts.len() >= 5,
             "host {id} completed only {} pings",
-            agent.stats.rtts.len()
+            agent.stats().rtts.len()
         );
     }
     // 64 hosts, 8 pingers × 6 pings.
@@ -500,12 +503,12 @@ fn restarted_ex_leader_does_not_split_brain() {
     let leaders: Vec<u64> = controllers
         .iter()
         .copied()
-        .filter(|&h| fabric.controller(HostId(h)).unwrap().stats.is_leader)
+        .filter(|&h| fabric.controller(HostId(h)).unwrap().stats().is_leader)
         .collect();
     assert_eq!(leaders, vec![13], "expected exactly host 13 leading");
     let ex_leader = fabric.controller(HostId(0)).unwrap();
     assert!(
-        ex_leader.stats.step_downs >= 1 || !ex_leader.stats.is_leader,
+        ex_leader.stats().step_downs >= 1 || !ex_leader.stats().is_leader,
         "restarted ex-leader must have yielded"
     );
     // The new leader's term outranks the crashed leader's bootstrap

@@ -54,8 +54,8 @@ fn in_band_stats_query_returns_port_counters() {
     fabric.world.inject(at_ms(110), leaf_addr, own_port, query);
     fabric.run_until(at_ms(120));
     let agent = fabric.host(HostId(1)).unwrap();
-    assert_eq!(agent.stats.stats_replies.len(), 1);
-    let (switch, ports) = &agent.stats.stats_replies[0];
+    assert_eq!(agent.stats().stats_replies.len(), 1);
+    let (switch, ports) = &agent.stats().stats_replies[0];
     assert_eq!(*switch, leaves[0]);
     // The stream crossed this leaf: its uplink ports carried packets.
     let total_tx: u64 = ports.iter().map(|p: &PortStat| p.tx_packets).sum();
@@ -113,9 +113,9 @@ fn ecn_marks_are_echoed_and_flows_reroute() {
     let mut delivered = 0u64;
     for h in 1..27u64 {
         if let Some(agent) = fabric.host(HostId(h)) {
-            echoes += agent.stats.ecn_echoes;
+            echoes += agent.stats().ecn_echoes;
             delivered += agent
-                .stats
+                .stats()
                 .delivered
                 .values()
                 .map(|&(pkts, _)| pkts)
@@ -157,7 +157,7 @@ fn flowlet_routing_spreads_a_live_flow() {
     .unwrap();
     fabric.run_until(at_ms(400));
     let rx = fabric.host(HostId(26)).unwrap();
-    let &(pkts, _) = rx.stats.delivered.get(&5).unwrap();
+    let &(pkts, _) = rx.stats().delivered.get(&5).unwrap();
     assert_eq!(pkts, 200);
     // Both spines forwarded pieces of the flow.
     for &s in &spines {

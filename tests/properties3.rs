@@ -140,7 +140,7 @@ proptest! {
             .filter(|&h| {
                 fabric
                     .controller(HostId(h))
-                    .is_some_and(|c| c.stats.is_leader)
+                    .is_some_and(|c| c.stats().is_leader)
             })
             .collect();
         prop_assert_eq!(leaders.len(), 1, "settled leaders: {:?}", leaders);
