@@ -16,6 +16,7 @@ use dumbnet_controller::{Controller, ControllerConfig};
 use dumbnet_core::{check_invariants, Fabric, FabricConfig};
 use dumbnet_host::HostAgent;
 use dumbnet_sim::{ChaosPlan, CrashSchedule, NodeAddr, PartitionSchedule};
+use dumbnet_switch::DumbSwitchConfig;
 use dumbnet_topology::generators;
 use dumbnet_types::{HostId, MacAddr, SimDuration, SimTime};
 
@@ -35,6 +36,13 @@ fn build_fabric() -> Fabric {
             heartbeat: SimDuration::from_millis(20),
             takeover_timeout: SimDuration::from_millis(100),
             ..ControllerConfig::default()
+        },
+        // Shadow-check every forward decision against the byte-level
+        // reference interpreter, so the soak cross-checks the data
+        // plane under fault injection too (invariant 8, DESIGN.md §8).
+        switch: DumbSwitchConfig {
+            shadow_check: true,
+            ..DumbSwitchConfig::default()
         },
         ..FabricConfig::default()
     };
@@ -116,6 +124,14 @@ fn soak_one(seed: u64) -> Result<String, String> {
     fabric.run_until(at_ms(last + 800));
 
     let report = check_invariants(&fabric);
+    if !report.dataplane_ok() {
+        let dump = violation_dump(&mut fabric, &baseline);
+        return Err(format!(
+            "seed {seed}: data-plane divergence from reference model: \
+             {:?} (switch id, divergence count)\n{dump}",
+            report.dataplane_divergence,
+        ));
+    }
     if !report.leadership_ok() {
         let dump = violation_dump(&mut fabric, &baseline);
         return Err(format!(

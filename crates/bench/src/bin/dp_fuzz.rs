@@ -1,0 +1,84 @@
+//! Differential data-plane fuzz gate (DESIGN.md §8).
+//!
+//! Drives seeded frames through three oracles — the production switch in
+//! a real world, the byte-level reference interpreter, and the
+//! production codecs — and exits non-zero on any divergence, printing a
+//! shrunk hex counterexample plus the exact `cc <seed> <case>` line to
+//! pin it in `crates/bench/dp_fuzz.regressions`.
+//!
+//! Usage:
+//!   `dp_fuzz --quick`                 fixed-seed CI gate (12k cases)
+//!   `dp_fuzz [--cases N] [--seed S]`  budgeted long mode
+//!   `dp_fuzz --check-determinism`     run twice, diff the reports
+//!
+//! Same seed → byte-identical report; CI relies on that to catch
+//! nondeterminism in the harness itself.
+
+use dumbnet_bench::dpfuzz::{run, FuzzConfig};
+
+fn main() {
+    let mut cfg = FuzzConfig::default();
+    let mut quick = false;
+    let mut check_determinism = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check-determinism" => check_determinism = true,
+            "--no-world" => cfg.world_oracle = false,
+            "--cases" => {
+                cfg.cases = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--cases needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| {
+                        v.strip_prefix("0x")
+                            .map_or_else(|| v.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+                    })
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs a number (decimal or 0x-hex)");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!(
+                    "unknown arg {other}; usage: dp_fuzz [--quick] [--cases N] \
+                     [--seed S] [--no-world] [--check-determinism]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if quick {
+        // The CI gate: fixed seed, fixed budget, fully deterministic.
+        cfg.seed = 0xD00D;
+        cfg.cases = 12_000;
+    }
+
+    let report = run(&cfg);
+    print!("{}", report.render());
+
+    if check_determinism {
+        let again = run(&cfg);
+        if again.render() != report.render() {
+            eprintln!(
+                "NONDETERMINISM: two runs of seed {:#x} rendered differently",
+                cfg.seed
+            );
+            std::process::exit(3);
+        }
+        println!("determinism check: two runs rendered byte-identically");
+    }
+
+    if !report.passed() {
+        eprintln!(
+            "dp_fuzz: {} divergence(s) — pin them in crates/bench/dp_fuzz.regressions",
+            report.divergences.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dpfuzz;
 pub mod fig07;
 pub mod fig08;
 pub mod fig09;

@@ -21,6 +21,13 @@
 //!    never decrease with the index.
 //! 7. **Post-heal log convergence**: every pair of live replicas agrees
 //!    entry-for-entry up to the shorter contiguous prefix.
+//! 8. **Data-plane fidelity**: on fabrics built with
+//!    [`DumbSwitchConfig::shadow_check`](dumbnet_switch::DumbSwitchConfig)
+//!    enabled, no switch's forward decision ever disagreed with the
+//!    byte-level reference interpreter (`dumbnet_fpga::refmodel`) — a
+//!    nonzero `ref_divergence` counter is a data-plane bug regardless
+//!    of how much chaos was in flight (DESIGN.md §8). Trivially holds
+//!    on fabrics that never enabled the shadow check.
 //!
 //! Invariants 5 and 7 are skipped for **two-member** controller groups:
 //! a lone surviving follower there may self-elect on its own vote (the
@@ -67,6 +74,10 @@ pub struct InvariantReport {
     /// Live controller pairs whose logs disagree on some entry within
     /// the contiguous prefix both hold.
     pub divergent_log_pairs: Vec<(HostId, HostId)>,
+    /// Switches whose shadow-checked forward decisions diverged from
+    /// the reference interpreter, with the divergence count. Only
+    /// populated on fabrics running with `shadow_check` enabled.
+    pub dataplane_divergence: Vec<(SwitchId, u64)>,
 }
 
 impl InvariantReport {
@@ -78,6 +89,16 @@ impl InvariantReport {
             && self.stale_paths.is_empty()
             && self.unreachable_pairs.is_empty()
             && self.leadership_ok()
+            && self.dataplane_ok()
+    }
+
+    /// Whether the data-plane fidelity invariant (8) holds. Like the
+    /// leadership invariants it is valid mid-disruption: fault
+    /// injection may drop or corrupt frames, but a *divergence between
+    /// the production path and the reference model* is never excused.
+    #[must_use]
+    pub fn dataplane_ok(&self) -> bool {
+        self.dataplane_divergence.is_empty()
     }
 
     /// Whether the leadership-safety invariants (5–7) hold. Usable
@@ -202,6 +223,18 @@ pub fn check_invariants(fabric: &Fabric) -> InvariantReport {
             }
         }
     }
+
+    // 8: data-plane fidelity (shadow-checked fabrics only; counters
+    // stay zero — and the invariant trivially true — otherwise).
+    for sw in truth.switches() {
+        if let Some(node) = fabric.switch(sw.id) {
+            let divergences = node.stats().ref_divergence;
+            if divergences > 0 {
+                report.dataplane_divergence.push((sw.id, divergences));
+            }
+        }
+    }
+    report.dataplane_divergence.sort_unstable();
 
     // 3: stale cached paths.
     for h in truth.hosts() {

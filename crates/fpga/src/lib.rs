@@ -15,12 +15,21 @@
 //! scaling term follows from the circuit it models (per-port demux logic,
 //! per-port queue bookkeeping, fixed parser), which is what makes the
 //! *shape* of Figure 7 reproducible rather than merely copied.
+//!
+//! A third model is behavioural rather than analytic:
+//!
+//! * [`refmodel`] — a clarity-first reference interpreter of the
+//!   two-stage pop/demux pipeline over literal bytes-on-wire, used as
+//!   the oracle in differential fuzzing of the production data plane
+//!   (see `dumbnet-bench`'s `dp_fuzz` and DESIGN.md §8).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod latency;
+pub mod refmodel;
 pub mod resource;
 
 pub use latency::{FpgaLatencyModel, LatencySample};
+pub use refmodel::{RefDrop, RefEncoding, RefVerdict};
 pub use resource::{FpgaResources, OpenFlowSwitchModel, PopLabelSwitchModel};

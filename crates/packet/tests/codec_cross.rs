@@ -1,0 +1,194 @@
+//! Cross-encoding properties (DESIGN.md §8): the same DumbNet path
+//! carried by the native `0x9800` tag list and by the MPLS label stack
+//! must decode to identical tag sequences, and the per-hop pop must
+//! behave identically on both encodings at every hop.
+
+use proptest::prelude::*;
+
+use dumbnet_packet::{
+    crc32, DumbNetFrame, EthernetFrame, LabelStack, ETHERTYPE_DUMBNET, ETHERTYPE_IPV4,
+    ETHERTYPE_MPLS,
+};
+use dumbnet_types::{MacAddr, Path, Tag};
+
+/// A valid tag path: port tags salted with occasional ID-query tags.
+fn arb_path() -> impl Strategy<Value = Path> {
+    proptest::collection::vec(prop_oneof![9 => 1u8..=254, 1 => Just(0u8)], 0..24).prop_map(
+        |bytes| Path::from_tags(bytes.into_iter().map(Tag)).expect("all values valid in paths"),
+    )
+}
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr::new)
+}
+
+/// Serializes `path` the MPLS way: Ethernet header, label stack with
+/// the explicit ø bottom entry, payload, FCS.
+fn mpls_wire(dst: MacAddr, src: MacAddr, path: &Path, payload: &[u8]) -> Vec<u8> {
+    let mut body = LabelStack::from_path(path).to_wire();
+    body.extend_from_slice(payload);
+    EthernetFrame::new(dst, src, ETHERTYPE_MPLS, body).to_wire()
+}
+
+proptest! {
+    /// Both encodings of one path decode back to the identical tag
+    /// sequence (and to each other).
+    #[test]
+    fn same_path_decodes_identically_from_both_encodings(
+        path in arb_path(),
+        dst in arb_mac(),
+        src in arb_mac(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let native = DumbNetFrame::encapsulate(
+            dst, src, path.clone(), ETHERTYPE_IPV4, payload.clone(),
+        );
+        let native_parsed = DumbNetFrame::from_wire(&native.to_wire())
+            .expect("native round trip");
+        prop_assert_eq!(&native_parsed.path, &path);
+
+        let mpls = mpls_wire(dst, src, &path, &payload);
+        let eth = EthernetFrame::from_wire(&mpls).expect("MPLS outer round trip");
+        prop_assert_eq!(eth.ethertype, ETHERTYPE_MPLS);
+        let (stack, used) = LabelStack::from_wire(&eth.payload).expect("stack parse");
+        let mpls_path = stack.to_path().expect("stack decodes to a path");
+        prop_assert_eq!(&mpls_path, &path);
+        prop_assert_eq!(&eth.payload[used..], &payload[..]);
+
+        // Tag-byte sequences, compared raw.
+        let native_tags: Vec<u8> = native_parsed.path.tags().iter().map(|t| t.byte()).collect();
+        let mpls_tags: Vec<u8> = mpls_path.tags().iter().map(|t| t.byte()).collect();
+        prop_assert_eq!(native_tags, mpls_tags);
+    }
+
+    /// Popping hop by hop pops the same tag at every hop on both
+    /// encodings, exhausts at the same hop, and keeps both wire images
+    /// decodable to the same remaining path throughout.
+    #[test]
+    fn pop_behavior_identical_at_every_hop(
+        path in arb_path(),
+        dst in arb_mac(),
+        src in arb_mac(),
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut native_w =
+            DumbNetFrame::encapsulate(dst, src, path.clone(), ETHERTYPE_IPV4, payload.clone())
+                .to_wire();
+        let mut mpls_w = mpls_wire(dst, src, &path, &payload);
+        let mut hops = 0usize;
+        loop {
+            // Native hop: parse, pop, re-serialize.
+            let mut nf = DumbNetFrame::from_wire(&native_w).expect("native parse at hop");
+            let native_popped = nf.pop_tag();
+
+            // MPLS hop: parse, pop the top label, re-serialize.
+            let eth = EthernetFrame::from_wire(&mpls_w).expect("MPLS parse at hop");
+            let (mut stack, used) = LabelStack::from_wire(&eth.payload).expect("stack at hop");
+            let rest = eth.payload[used..].to_vec();
+            prop_assert!(!stack.labels.is_empty(), "stack always holds ø");
+            let mpls_popped = if stack.labels.len() == 1 {
+                None // Only the ø sentinel remains: exhausted.
+            } else {
+                stack.pop()
+            };
+
+            match (native_popped, mpls_popped) {
+                (None, None) => break, // Exhausted together.
+                (Some(nt), Some(ml)) => {
+                    prop_assert_eq!(
+                        u32::from(nt.byte()), ml.label,
+                        "hop {} popped different tags", hops
+                    );
+                    native_w = nf.to_wire();
+                    let mut body = stack.to_wire();
+                    body.extend_from_slice(&rest);
+                    mpls_w = EthernetFrame::new(eth.dst, eth.src, ETHERTYPE_MPLS, body)
+                        .to_wire();
+                    // Remaining paths agree after every pop.
+                    let n_rest = DumbNetFrame::from_wire(&native_w).expect("native re-parse");
+                    let m_rest = LabelStack::from_wire(
+                        &EthernetFrame::from_wire(&mpls_w).expect("MPLS re-parse").payload,
+                    )
+                    .expect("stack re-parse")
+                    .0
+                    .to_path()
+                    .expect("stack re-decodes");
+                    prop_assert_eq!(&n_rest.path, &m_rest);
+                    hops += 1;
+                }
+                (n, m) => {
+                    return Err(TestCaseError::fail(format!(
+                        "hop {hops}: native popped {n:?}, MPLS popped {m:?}"
+                    )));
+                }
+            }
+        }
+        prop_assert_eq!(hops, path.len());
+    }
+
+    /// The FCS protects both encodings alike: any single-bit flip makes
+    /// the frame unparseable.
+    #[test]
+    fn single_bit_flip_rejected_on_both_encodings(
+        path in arb_path(),
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+        flip in any::<u32>(),
+    ) {
+        let dst = MacAddr::for_host(2);
+        let src = MacAddr::for_host(1);
+        let native =
+            DumbNetFrame::encapsulate(dst, src, path.clone(), ETHERTYPE_IPV4, payload.clone())
+                .to_wire();
+        let mpls = mpls_wire(dst, src, &path, &payload);
+        for wire in [native, mpls] {
+            let mut bad = wire.clone();
+            let bit = (flip as usize) % (bad.len() * 8);
+            bad[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(
+                EthernetFrame::from_wire(&bad).is_err(),
+                "bit {} flip escaped the FCS", bit
+            );
+        }
+    }
+
+    /// The native header is recognizable by EtherType alone; re-typing
+    /// the same bytes as MPLS (and vice versa) never cross-decodes into
+    /// a valid frame of the other encoding with a different path.
+    #[test]
+    fn ethertype_confusion_cannot_swap_decoders(
+        path in arb_path(),
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let dst = MacAddr::for_host(2);
+        let src = MacAddr::for_host(1);
+        let native =
+            DumbNetFrame::encapsulate(dst, src, path.clone(), ETHERTYPE_IPV4, payload)
+                .to_wire();
+        let eth = EthernetFrame::from_wire(&native).expect("native parses");
+        prop_assert_eq!(eth.ethertype, ETHERTYPE_DUMBNET);
+        // A DumbNet parse of an MPLS frame must refuse on EtherType.
+        let mpls = mpls_wire(dst, src, &path, &[]);
+        prop_assert!(DumbNetFrame::from_wire(&mpls).is_err());
+    }
+
+    /// Sanity anchor for the FCS the two encodings share: flipping the
+    /// carried trailer invalidates the frame even when the body is
+    /// untouched.
+    #[test]
+    fn fcs_trailer_is_load_bearing(
+        path in arb_path(),
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let dst = MacAddr::for_host(3);
+        let src = MacAddr::for_host(1);
+        let wire =
+            DumbNetFrame::encapsulate(dst, src, path, ETHERTYPE_IPV4, payload).to_wire();
+        let body = &wire[..wire.len() - 4];
+        let carried = u32::from_be_bytes(wire[wire.len() - 4..].try_into().unwrap());
+        prop_assert_eq!(carried, crc32(body));
+        let mut bad = wire.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        prop_assert!(EthernetFrame::from_wire(&bad).is_err());
+    }
+}

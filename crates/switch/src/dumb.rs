@@ -16,8 +16,9 @@
 
 use std::any::Any;
 
+use dumbnet_fpga::refmodel::{self, RefDrop, RefVerdict};
 use dumbnet_packet::control::{LinkEvent, PortStat};
-use dumbnet_packet::{ControlMessage, Packet, Payload};
+use dumbnet_packet::{ControlMessage, DumbNetFrame, Packet, Payload};
 use dumbnet_sim::{Ctx, Node};
 use dumbnet_telemetry::{Counter, NodeKind, Telemetry, TraceCategory};
 use dumbnet_types::{MacAddr, PortNo, SimDuration, SimTime, SwitchId};
@@ -41,6 +42,13 @@ pub struct DumbSwitchConfig {
     /// ("these packets can be sent even faster if it's done by
     /// hardware").
     pub detection_delay: SimDuration,
+    /// Runtime verification: when set, every `forward` decision is
+    /// replayed through the byte-level reference interpreter
+    /// ([`dumbnet_fpga::refmodel`]) and any disagreement — egress port,
+    /// post-pop bytes-on-wire, FCS, or drop/accept — bumps the
+    /// `ref_divergence` counter (DESIGN.md §8). Not a hardware
+    /// property; a differential-testing harness, off by default.
+    pub shadow_check: bool,
 }
 
 impl Default for DumbSwitchConfig {
@@ -49,6 +57,7 @@ impl Default for DumbSwitchConfig {
             notification_ttl: 5,
             alarm_interval: SimDuration::from_secs(1),
             detection_delay: SimDuration::ZERO,
+            shadow_check: false,
         }
     }
 }
@@ -65,6 +74,15 @@ pub struct DumbSwitchStats {
     pub forwarded: u64,
     /// Packets dropped because the path was exhausted (a switch saw ø).
     pub dropped_exhausted: u64,
+    /// Packets dropped because the popped tag was not interpretable —
+    /// the ø byte where a port tag belongs. Distinct from exhaustion:
+    /// an exhausted path is a routing mistake, a malformed tag is a
+    /// corrupted or forged frame.
+    pub dropped_malformed: u64,
+    /// Forward decisions that disagreed with the reference interpreter
+    /// (only counted when [`DumbSwitchConfig::shadow_check`] is set;
+    /// any nonzero value is a data-plane bug — see DESIGN.md §8).
+    pub ref_divergence: u64,
     /// ID queries answered.
     pub id_replies: u64,
     /// Self-originated link alarms sent (per-port batches count once).
@@ -80,6 +98,8 @@ pub struct DumbSwitchStats {
 struct SwitchCounters {
     forwarded: Counter,
     dropped_exhausted: Counter,
+    dropped_malformed: Counter,
+    ref_divergence: Counter,
     id_replies: Counter,
     alarms_sent: Counter,
     alarms_suppressed: Counter,
@@ -95,6 +115,8 @@ impl SwitchCounters {
         for (name, c) in [
             ("forwarded", &self.forwarded),
             ("dropped_exhausted", &self.dropped_exhausted),
+            ("dropped_malformed", &self.dropped_malformed),
+            ("ref_divergence", &self.ref_divergence),
             ("id_replies", &self.id_replies),
             ("alarms_sent", &self.alarms_sent),
             ("alarms_suppressed", &self.alarms_suppressed),
@@ -110,6 +132,8 @@ impl SwitchCounters {
         DumbSwitchStats {
             forwarded: self.forwarded.get(),
             dropped_exhausted: self.dropped_exhausted.get(),
+            dropped_malformed: self.dropped_malformed.get(),
+            ref_divergence: self.ref_divergence.get(),
             id_replies: self.id_replies.get(),
             alarms_sent: self.alarms_sent.get(),
             alarms_suppressed: self.alarms_suppressed.get(),
@@ -173,16 +197,85 @@ impl DumbSwitch {
         self.counters.view()
     }
 
+    /// Serializes the typed packet the way the wire would carry it, with
+    /// a payload synthesized deterministically from the typed payload's
+    /// accounting size (the pop/demux semantics never depend on payload
+    /// *content*, so a stand-in body suffices for the byte-level
+    /// comparison while keeping the shadow check cheap).
+    fn shadow_wire(pkt: &Packet) -> Vec<u8> {
+        let n = pkt.payload.wire_size();
+        let body = vec![(n as u8) ^ 0x5A; n.min(24)];
+        DumbNetFrame::encapsulate(pkt.dst, pkt.src, pkt.path.clone(), 0x0800, body).to_wire()
+    }
+
+    /// Compares the decision the production path just took against the
+    /// reference interpreter's verdict for the same bytes-on-wire.
+    /// `post` is the packet *after* the pop for decisions that keep it.
+    fn shadow_compare(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        pre_wire: &[u8],
+        decision: &str,
+        port: Option<PortNo>,
+        post: Option<&Packet>,
+    ) {
+        let verdict = refmodel::step(pre_wire);
+        let agrees = match (&verdict, decision) {
+            (RefVerdict::Drop(RefDrop::PathExhausted), "exhausted") => true,
+            (RefVerdict::Drop(RefDrop::MalformedTag), "malformed") => true,
+            (RefVerdict::IdQuery { .. }, "id_query") => true,
+            (
+                RefVerdict::Forward {
+                    port: rp, frame, ..
+                },
+                "forward",
+            ) => {
+                // Same egress, and the post-pop frame re-serializes to
+                // the exact bytes (tags shifted, FCS recomputed) the
+                // reference pipeline emitted.
+                port.is_some_and(|p| p.get() == *rp)
+                    && post.is_some_and(|pkt| Self::shadow_wire(pkt) == *frame)
+            }
+            _ => false,
+        };
+        if !agrees {
+            self.counters.ref_divergence.inc();
+            ctx.trace(
+                TraceCategory::Packet,
+                NodeKind::Switch,
+                self.id.get(),
+                || {
+                    format!(
+                        "switch {} DIVERGENCE: production decided {decision} \
+                         (port {:?}), reference model says {verdict:?}",
+                        self.id.0,
+                        port.map(PortNo::get),
+                    )
+                },
+            );
+        }
+    }
+
     /// Forwards a packet by its head tag, handling ID queries. Both the
     /// data path and the ID-reply path funnel through here.
     fn forward(&mut self, ctx: &mut Ctx<'_>, mut pkt: Packet) {
+        // Differential shadow execution: capture the bytes-on-wire view
+        // of the packet *before* the pop so the reference interpreter
+        // sees exactly what hardware would.
+        let shadow = self.config.shadow_check.then(|| Self::shadow_wire(&pkt));
         match pkt.pop_tag() {
             None => {
                 // Path exhausted at a switch: only hosts consume ø.
                 self.counters.dropped_exhausted.inc();
+                if let Some(wire) = shadow {
+                    self.shadow_compare(ctx, &wire, "exhausted", None, None);
+                }
             }
             Some(tag) if tag.is_id_query() => {
                 self.counters.id_replies.inc();
+                if let Some(wire) = shadow {
+                    self.shadow_compare(ctx, &wire, "id_query", None, None);
+                }
                 // A query tag carrying a statistics request returns the
                 // port counters instead of the switch ID (§8).
                 if let Payload::Control(ControlMessage::StatsQuery { probe_id }) = pkt.payload {
@@ -230,15 +323,23 @@ impl DumbSwitch {
             }
             Some(tag) => {
                 let Some(port) = tag.as_port() else {
-                    // ø can never be popped (paths exclude it), so every
-                    // non-query tag is a port.
-                    self.counters.dropped_exhausted.inc();
+                    // ø can never be popped (path constructors exclude
+                    // it), so every non-query tag is a port. If one
+                    // appears anyway the frame is corrupt or forged:
+                    // count it as malformed, never abort.
+                    self.counters.dropped_malformed.inc();
+                    if let Some(wire) = shadow {
+                        self.shadow_compare(ctx, &wire, "malformed", None, None);
+                    }
                     return;
                 };
                 self.counters.forwarded.inc();
                 if let Some(mon) = self.monitors.get_mut(port.index()) {
                     mon.tx_packets += 1;
                     mon.tx_bytes += pkt.wire_len() as u64;
+                }
+                if let Some(wire) = shadow {
+                    self.shadow_compare(ctx, &wire, "forward", Some(port), Some(&pkt));
                 }
                 ctx.send(port, pkt);
             }
@@ -760,6 +861,76 @@ mod tests {
         w.run_to_idle(100);
         assert!(w.node::<Sink>(h1).unwrap().got.is_empty());
         assert!(w.node::<Sink>(h2).unwrap().got.is_empty());
+    }
+
+    /// Three hosts on one shadow-checked switch: every decision the
+    /// production path takes is replayed through the byte-level
+    /// reference interpreter, and clean traffic must never diverge.
+    #[test]
+    fn shadow_check_clean_traffic_never_diverges() {
+        let mut w = World::new(0);
+        let cfg = DumbSwitchConfig {
+            shadow_check: true,
+            ..DumbSwitchConfig::default()
+        };
+        let sw = w.add_node(Box::new(DumbSwitch::new(SwitchId(1), 8, cfg)));
+        let h1 = w.add_node(Box::new(Sink::new()));
+        let h2 = w.add_node(Box::new(Sink::new()));
+        w.wire(sw, p(1), h1, p(1), LinkParams::ten_gig()).unwrap();
+        w.wire(sw, p(2), h2, p(1), LinkParams::ten_gig()).unwrap();
+        // A forward, an exhausted drop, and an ID query (whose reply is
+        // itself forwarded, shadow-checked again).
+        w.inject(
+            SimTime::ZERO,
+            sw,
+            p(1),
+            Packet::data(
+                MacAddr::for_host(2),
+                MacAddr::for_host(1),
+                Path::from_ports([2]).unwrap(),
+                0,
+                0,
+                64,
+            ),
+        );
+        w.inject(
+            SimTime::ZERO,
+            sw,
+            p(1),
+            Packet::data(
+                MacAddr::for_host(2),
+                MacAddr::for_host(1),
+                Path::empty(),
+                0,
+                1,
+                64,
+            ),
+        );
+        w.inject(
+            SimTime::ZERO,
+            sw,
+            p(1),
+            Packet::control(
+                MacAddr::BROADCAST,
+                MacAddr::for_host(1),
+                Path::from_tags([Tag::ID_QUERY, Tag(1)]).unwrap(),
+                ControlMessage::Probe {
+                    origin: MacAddr::for_host(1),
+                    forward_path: Path::from_tags([Tag::ID_QUERY, Tag(1)]).unwrap(),
+                    probe_id: 7,
+                },
+            ),
+        );
+        w.run_to_idle(1000);
+        let stats = w.node::<DumbSwitch>(sw).unwrap().stats();
+        assert_eq!(stats.forwarded, 2, "data forward + ID reply forward");
+        assert_eq!(stats.dropped_exhausted, 1);
+        assert_eq!(stats.id_replies, 1);
+        assert_eq!(
+            stats.ref_divergence, 0,
+            "reference model disagreed with the production path"
+        );
+        assert_eq!(stats.dropped_malformed, 0);
     }
 
     #[test]

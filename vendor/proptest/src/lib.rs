@@ -15,6 +15,12 @@
 //!   test name and the case index, so every run explores the identical
 //!   sequence — reproducibility over coverage variety.
 //! * Default case count is 64 (not 256) to keep suite runtime modest.
+//! * **Seed-based regression files.** A failing case prints a
+//!   `cc <test_name> <seed-hex>` line; committed next to the test
+//!   source as `<file>.proptest-regressions`, the seed replays before
+//!   every generated sweep (upstream's 64-hex-digest entries in the
+//!   same file are skipped — they encode an RNG this runner does not
+//!   have).
 
 pub mod arbitrary;
 pub mod collection;
@@ -58,28 +64,55 @@ macro_rules! __proptest_fns {
             fn $name() {
                 let __config = $cfg;
                 let __seed_base = $crate::test_runner::fnv1a(stringify!($name));
-                for __case in 0..__config.cases {
-                    let mut __rng = $crate::test_runner::case_rng(__seed_base, __case);
+                let __run_one = |__rng: &mut $crate::test_runner::TestRng|
+                    -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
                     $(let $pname =
-                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
-                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| {
-                            $body
-                            ::core::result::Result::Ok(())
-                        })();
-                    match __result {
-                        ::core::result::Result::Ok(()) => {}
-                        ::core::result::Result::Err(
+                        $crate::strategy::Strategy::generate(&($strat), &mut *__rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                // Pinned counterexample seeds replay before the sweep,
+                // so a once-found bug is re-checked on every run.
+                for __seed in
+                    $crate::test_runner::load_regressions(::core::file!(), stringify!($name))
+                {
+                    let mut __rng = $crate::test_runner::seeded_rng(__seed);
+                    match __run_one(&mut __rng) {
+                        ::core::result::Result::Ok(())
+                        | ::core::result::Result::Err(
                             $crate::test_runner::TestCaseError::Reject(_),
                         ) => {}
                         ::core::result::Result::Err(
                             $crate::test_runner::TestCaseError::Fail(__msg),
                         ) => {
                             ::std::panic!(
-                                "proptest {} case {}/{}: {}",
+                                "proptest {} pinned seed {:016x}: {}",
+                                stringify!($name),
+                                __seed,
+                                __msg
+                            );
+                        }
+                    }
+                }
+                for __case in 0..__config.cases {
+                    let __seed = $crate::test_runner::case_seed(__seed_base, __case);
+                    let mut __rng = $crate::test_runner::seeded_rng(__seed);
+                    match __run_one(&mut __rng) {
+                        ::core::result::Result::Ok(())
+                        | ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            ::std::panic!(
+                                "proptest {} case {}/{} (pin: `cc {} {:016x}` in {}.proptest-regressions): {}",
                                 stringify!($name),
                                 __case,
                                 __config.cases,
+                                stringify!($name),
+                                __seed,
+                                ::core::file!().strip_suffix(".rs").unwrap_or(::core::file!()),
                                 __msg
                             );
                         }
@@ -225,6 +258,41 @@ mod tests {
             prop_assume!(a != b);
             prop_assert_ne!(a, b);
         }
+    }
+
+    #[test]
+    fn regression_lines_parse_and_filter() {
+        let text = "# pinned\n\
+                    cc my_test 00000000deadbeef\n\
+                    cc other_test 0000000000000001\n\
+                    cc 8cba124e0d0f794a978d3712aa769f78edcbf0582e90b9cf24b71a72cfb0723d # legacy\n\
+                    cc my_test 0000000000000real\n\
+                    cc my_test 000000000000cafe\n";
+        assert_eq!(
+            crate::test_runner::parse_regressions(text, "my_test"),
+            vec![0xDEAD_BEEF, 0xCAFE]
+        );
+        assert!(crate::test_runner::parse_regressions(text, "absent").is_empty());
+    }
+
+    #[test]
+    fn pinned_seed_replays_the_exact_case() {
+        // The seed a failure message prints reproduces the same stream
+        // the sweep generated.
+        let base = crate::test_runner::fnv1a("pin_me");
+        for case in 0..8 {
+            let seed = crate::test_runner::case_seed(base, case);
+            let mut a = crate::test_runner::seeded_rng(seed);
+            let mut b = crate::test_runner::case_rng(base, case);
+            let x: u64 = crate::strategy::Strategy::generate(&(0u64..1_000_000), &mut a);
+            let y: u64 = crate::strategy::Strategy::generate(&(0u64..1_000_000), &mut b);
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn missing_regression_file_means_no_pins() {
+        assert!(crate::test_runner::load_regressions("no/such/dir/test.rs", "whatever").is_empty());
     }
 
     #[test]

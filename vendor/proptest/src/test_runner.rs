@@ -62,8 +62,73 @@ pub fn fnv1a(name: &str) -> u64 {
     hash
 }
 
+/// The raw 64-bit seed driving case `case` of the test hashed to
+/// `base`. Failure messages print this value so the exact case can be
+/// pinned in a `.proptest-regressions` file and replayed forever.
+#[must_use]
+pub fn case_seed(base: u64, case: u32) -> u64 {
+    base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1)
+}
+
+/// RNG from a raw case seed (the replay entry point for pinned seeds).
+#[must_use]
+pub fn seeded_rng(seed: u64) -> TestRng {
+    StdRng::seed_from_u64(seed)
+}
+
 /// Deterministic RNG for case `case` of the test hashed to `base`.
 #[must_use]
 pub fn case_rng(base: u64, case: u32) -> TestRng {
-    StdRng::seed_from_u64(base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1))
+    seeded_rng(case_seed(base, case))
+}
+
+/// Parses regression entries for `test_name` out of a
+/// `.proptest-regressions` file body.
+///
+/// The vendored format is `cc <test_name> <16-hex-seed>` per line with
+/// `#` comments; entries for other tests are ignored. Lines in real
+/// proptest's format (`cc <64-hex-digest> …`) are skipped — those
+/// digests encode upstream's RNG state, which this runner cannot
+/// reproduce — so a file inherited from upstream parses cleanly.
+#[must_use]
+pub fn parse_regressions(text: &str, test_name: &str) -> Vec<u64> {
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let mut parts = rest.split_whitespace();
+            let name = parts.next()?;
+            if name.len() == 64 && name.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return None; // Upstream-format digest: not replayable here.
+            }
+            let seed = u64::from_str_radix(parts.next()?, 16).ok()?;
+            (name == test_name).then_some(seed)
+        })
+        .collect()
+}
+
+/// Locates the `.proptest-regressions` sibling of `source_file`
+/// (a `file!()` path) and returns the pinned seeds for `test_name`.
+///
+/// `file!()` paths are workspace-relative while `cargo test` runs each
+/// test binary from its *package* directory, so the lookup retries with
+/// leading path components stripped until a candidate exists. A missing
+/// file simply means no pinned seeds.
+#[must_use]
+pub fn load_regressions(source_file: &str, test_name: &str) -> Vec<u64> {
+    let base = source_file.strip_suffix(".rs").unwrap_or(source_file);
+    let mut candidate = std::path::PathBuf::from(format!("{base}.proptest-regressions"));
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&candidate) {
+            return parse_regressions(&text, test_name);
+        }
+        let mut components = candidate.components();
+        if components.next().is_none() {
+            return Vec::new();
+        }
+        let rest = components.as_path();
+        if rest.as_os_str().is_empty() {
+            return Vec::new();
+        }
+        candidate = rest.to_path_buf();
+    }
 }
