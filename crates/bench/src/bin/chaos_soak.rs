@@ -35,6 +35,12 @@ fn build_fabric() -> Fabric {
             peers,
             heartbeat: SimDuration::from_millis(20),
             takeover_timeout: SimDuration::from_millis(100),
+            // Soak the batched control plane, not just the legacy
+            // per-entry path: pipelined discovery plus a deliberately
+            // tiny segment cap so every patch epoch is multi-segment
+            // and reassembly races the injected faults.
+            probe_window: 4,
+            patch_batch_max: 2,
             ..ControllerConfig::default()
         },
         // Shadow-check every forward decision against the byte-level

@@ -1,0 +1,35 @@
+//! Regenerates Figure 8(c) (batched, pipelined control plane).
+//!
+//! ```text
+//! fig08c_batch_convergence [--quick] [--json FILE] [--expect CHECKSUM]
+//! ```
+//!
+//! Prints the human-readable report; `--json` additionally writes the
+//! machine-readable document. With `--expect`, exits non-zero unless the
+//! run's checksum matches — the CI determinism gate.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|ix| args.get(ix + 1))
+            .cloned()
+    };
+    let fig = dumbnet_bench::fig08c::sweep(quick);
+    println!("{}", fig.report());
+    if let Some(path) = flag_value("--json") {
+        std::fs::write(&path, format!("{}\n", fig.to_json()))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+    if let Some(expect) = flag_value("--expect") {
+        let expect: u64 = expect.parse().expect("--expect takes a number");
+        let got = fig.checksum();
+        if got != expect {
+            eprintln!("fig08c checksum mismatch: expected {expect}, got {got}");
+            std::process::exit(1);
+        }
+        eprintln!("fig08c checksum ok ({got})");
+    }
+}

@@ -31,13 +31,14 @@
 use std::fmt;
 
 use dumbnet_fpga::refmodel::{self, RefDrop, RefVerdict};
+use dumbnet_packet::control::{PatchBatch, PatchEntry, TopoDelta};
 use dumbnet_packet::{
     crc32, DumbNetFrame, EthernetFrame, LabelStack, Packet, ETHERTYPE_DUMBNET, ETHERTYPE_IPV4,
     ETHERTYPE_MPLS,
 };
 use dumbnet_sim::{Ctx, LinkParams, Node, World};
 use dumbnet_switch::{DumbSwitch, DumbSwitchConfig};
-use dumbnet_types::{MacAddr, Path, PortNo, SimTime, SwitchId, Tag};
+use dumbnet_types::{MacAddr, Path, PortId, PortNo, SimTime, SwitchId, Tag};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -660,15 +661,55 @@ fn gen_payload(rng: &mut StdRng) -> Vec<u8> {
     p
 }
 
+/// Generates a random (seed-deterministic) patch batch: a plausible
+/// segment header plus a handful of entries with ascending versions and
+/// mixed down/up deltas.
+fn gen_patch_batch(rng: &mut StdRng) -> PatchBatch {
+    let segs = rng.gen_range(1..=3u16);
+    let seg = rng.gen_range(0..segs);
+    let n_entries = rng.gen_range(0..=4usize);
+    let mut version = rng.gen_range(1..=1_000u64);
+    let mut entries = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        let mut delta = TopoDelta::default();
+        for _ in 0..rng.gen_range(0..=3usize) {
+            delta.down.push((
+                SwitchId(rng.gen_range(0..64u64)),
+                SwitchId(rng.gen_range(0..64u64)),
+            ));
+        }
+        for _ in 0..rng.gen_range(0..=3usize) {
+            let mut ends = [PortId::new(SwitchId(0), PortNo::new(1).expect("valid")); 2];
+            for end in &mut ends {
+                *end = PortId::new(
+                    SwitchId(rng.gen_range(0..64u64)),
+                    PortNo::new(rng.gen_range(1..=254u8)).expect("in range"),
+                );
+            }
+            delta.up.push((ends[0], ends[1]));
+        }
+        version += rng.gen_range(1..=3u64);
+        entries.push(PatchEntry { version, delta });
+    }
+    PatchBatch {
+        epoch: version,
+        term: rng.gen_range(1..=9u64),
+        seg,
+        segs,
+        entries,
+    }
+}
+
 /// Scenario names, in census order.
-const SCENARIOS: [&str; 5] = ["clean", "bitflip", "fcsfix", "truncate", "edge"];
+const SCENARIOS: [&str; 6] = ["clean", "bitflip", "fcsfix", "truncate", "edge", "ctlbatch"];
 
 /// Runs one `(seed, case)` and appends any divergences found.
 #[allow(clippy::too_many_lines)]
 fn run_case(cfg: &FuzzConfig, case: u64, report: &mut FuzzReport) -> usize {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ GOLDEN.wrapping_mul(case + 1));
     let scenario_ix = match rng.gen_range(0..100u32) {
-        0..=54 => 0,  // clean
+        0..=49 => 0,  // clean
+        50..=54 => 5, // ctlbatch
         55..=69 => 1, // bitflip
         70..=84 => 2, // fcsfix
         85..=94 => 3, // truncate
@@ -796,7 +837,7 @@ fn run_case(cfg: &FuzzConfig, case: u64, report: &mut FuzzReport) -> usize {
                 record(report, kind, detail, wire);
             }
         }
-        _ => {
+        4 => {
             // Edge: hand-built native frames at the tag-window boundary
             // (the 64-tag limit and its off-by-one neighborhood), plus
             // foreign EtherTypes.
@@ -829,6 +870,65 @@ fn run_case(cfg: &FuzzConfig, case: u64, report: &mut FuzzReport) -> usize {
             }
             if let Some((kind, detail)) = byte_diff(&wire) {
                 record(report, kind, detail, wire);
+            }
+        }
+        _ => {
+            // Control-plane batch codec (DESIGN.md §9): the batched
+            // patch wire format must round-trip exactly, report its own
+            // length correctly, and — because the encoding is canonical
+            // (fixed-width fields, counts drive content) — any corrupted
+            // or truncated buffer the parser still accepts must
+            // re-serialize to the very same bytes. A parse that silently
+            // "repairs" the wire form means encoder and decoder disagree
+            // about it.
+            let batch = gen_patch_batch(&mut rng);
+            let wire = batch.to_wire();
+            if wire.len() != batch.wire_len() {
+                record(
+                    report,
+                    DivergenceKind::WireBytesMismatch,
+                    format!(
+                        "patch batch wire_len {} but to_wire emitted {} bytes",
+                        batch.wire_len(),
+                        wire.len()
+                    ),
+                    wire.clone(),
+                );
+            }
+            match PatchBatch::from_wire(&wire) {
+                Ok(back) if back == batch => {}
+                other => record(
+                    report,
+                    DivergenceKind::WireBytesMismatch,
+                    format!("patch batch round trip broke: {other:?} != {batch:?}"),
+                    wire.clone(),
+                ),
+            }
+            let mut hurt = wire;
+            if rng.gen_bool(0.5) {
+                let keep = rng.gen_range(0..hurt.len());
+                hurt.truncate(keep);
+            } else {
+                for _ in 0..rng.gen_range(1..=3u32) {
+                    let at = rng.gen_range(0..hurt.len());
+                    hurt[at] ^= rng.gen_range(1..=255u8);
+                }
+            }
+            if let Ok(parsed) = PatchBatch::from_wire(&hurt) {
+                let requoted = parsed.to_wire();
+                if requoted != hurt {
+                    record(
+                        report,
+                        DivergenceKind::WireBytesMismatch,
+                        format!(
+                            "damaged patch batch parsed non-canonically: \
+                             {} bytes in, {} bytes back out",
+                            hurt.len(),
+                            requoted.len()
+                        ),
+                        hurt,
+                    );
+                }
             }
         }
     }

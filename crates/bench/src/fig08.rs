@@ -34,10 +34,11 @@ pub struct DiscoveryPoint {
 }
 
 /// Runs one discovery experiment on `topo` with the controller at
-/// `ctrl`, probing up to `max_ports` ports per switch.
+/// `ctrl`, probing up to `max_ports` ports per switch in paper-exact
+/// lockstep (probe window 1).
 #[must_use]
 pub fn discover(topo: Topology, ctrl: HostId, max_ports: u8, label: &str) -> DiscoveryPoint {
-    discover_with_hint(topo, ctrl, max_ports, label, None)
+    discover_full(topo, ctrl, max_ports, label, None, 1)
 }
 
 /// Like [`discover`], optionally in verify mode against a prior map.
@@ -49,6 +50,31 @@ pub fn discover_with_hint(
     label: &str,
     hint: Option<Topology>,
 ) -> DiscoveryPoint {
+    discover_full(topo, ctrl, max_ports, label, hint, 1)
+}
+
+/// Like [`discover`] with a pipelined probe window: up to `window`
+/// probes in flight per pump tick (DESIGN.md §9). Window 1 is the
+/// paper's per-probe lockstep.
+#[must_use]
+pub fn discover_windowed(
+    topo: Topology,
+    ctrl: HostId,
+    max_ports: u8,
+    label: &str,
+    window: usize,
+) -> DiscoveryPoint {
+    discover_full(topo, ctrl, max_ports, label, None, window)
+}
+
+fn discover_full(
+    topo: Topology,
+    ctrl: HostId,
+    max_ports: u8,
+    label: &str,
+    hint: Option<Topology>,
+    window: usize,
+) -> DiscoveryPoint {
     let truth = topo.clone();
     let mut cfg = FabricConfig {
         controllers: vec![ctrl],
@@ -59,6 +85,7 @@ pub fn discover_with_hint(
     cfg.controller.discovery.timeout = SimDuration::from_millis(50);
     cfg.controller.discovery.hint = hint;
     cfg.controller.probe_interval = SimDuration::from_micros(33);
+    cfg.controller.probe_window = window;
     let mut fabric = Fabric::build(topo, cfg).expect("fabric builds");
     // Run in chunks until discovery quiesces (cap at 1 virtual hour).
     let mut horizon = SimTime::ZERO;

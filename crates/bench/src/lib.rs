@@ -11,6 +11,7 @@
 //! |--------|----------|
 //! | [`fig07`] | Figure 7 — FPGA resources vs. port count (+ §7.1 FPGA latency) |
 //! | [`fig08`] | Figure 8(a)/(b) — topology discovery time |
+//! | [`fig08c`] | Figure 8(c) ext. — batched, pipelined control plane |
 //! | [`fig09`] | Figure 9 — single-host throughput (+ §7.2.2 aggregate) |
 //! | [`fig10`] | Figure 10 — all-pairs RTT CDF |
 //! | [`fig11`] | Figure 11(a)/(b) — failure notification and recovery |
@@ -26,6 +27,7 @@
 pub mod dpfuzz;
 pub mod fig07;
 pub mod fig08;
+pub mod fig08c;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;

@@ -27,6 +27,7 @@ use dumbnet_topology::generators;
 use dumbnet_types::{HostId, MacAddr, Path, PortNo, SimTime, SwitchId};
 
 use crate::fig08;
+use crate::fig08c;
 use crate::fig10;
 use crate::fig11c;
 
@@ -131,13 +132,28 @@ pub fn run(quick: bool) -> Vec<PerfPoint> {
         forward_storm(storm_packets)
     }));
 
+    // The best point of the fig08c window sweep: pipelined discovery
+    // with 16 probes in flight per pump tick. Lockstep (window 1) is
+    // what fig08a *reports* for the paper's figure; the perf point
+    // tracks the fastest supported configuration because that is what
+    // an operator bootstrapping a real fabric would run.
+    const FIG08A_WINDOW: usize = 16;
     let k: usize = if quick { 8 } else { 20 };
     let max_ports: u8 = if quick { 16 } else { 64 };
     points.push(time(&format!("fig08a_fat_tree_k{k}"), || {
         let g = generators::fat_tree(k, 1, Some(max_ports.max(k as u8)));
-        let pt = fig08::discover(g.topology, HostId(0), max_ports, "perf");
+        let pt = fig08::discover_windowed(g.topology, HostId(0), max_ports, "perf", FIG08A_WINDOW);
         assert!(pt.exact, "discovery must still map exactly");
         (None, pt.probes)
+    }));
+
+    // Batched control plane: the fig08c quick sweep (windowed discovery
+    // on k=8 plus the coalesced-burst convergence scenario). Always the
+    // quick variant — the full sweep re-runs k=20 discovery per window
+    // and is a figure, not a perf point.
+    points.push(time("fig08c_batch_convergence", || {
+        let sweep = fig08c::sweep(true);
+        (None, sweep.checksum())
     }));
 
     points.push(time("fig10_path_service", || {
@@ -273,8 +289,13 @@ mod tests {
         assert_eq!(storm.events, Some(180_009), "storm event count changed");
         assert_eq!(
             get("fig08a_fat_tree_k8").checksum,
-            78_854,
+            78_865,
             "discovery probe count changed"
+        );
+        assert_eq!(
+            get("fig08c_batch_convergence").checksum,
+            236_734,
+            "batched control-plane sweep checksum changed"
         );
         assert_eq!(
             get("fig10_path_service").checksum,

@@ -21,10 +21,10 @@
 //! timeouts. Probe *paths* are generated lazily so memory stays O(window)
 //! even for the O(N·P²) probe volumes of Figure 8.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use dumbnet_types::{
-    DumbNetError, MacAddr, Path, PortNo, Result, SimDuration, SimTime, SwitchId, Tag,
+    DumbNetError, FastHashMap, MacAddr, Path, PortNo, Result, SimDuration, SimTime, SwitchId, Tag,
 };
 
 use dumbnet_topology::Topology;
@@ -124,6 +124,58 @@ struct Outstanding {
     path: Path,
 }
 
+/// Slot table for in-flight probes, keyed by their sequential probe ID.
+///
+/// Probe IDs come from a monotone counter, so the ledger's keys at any
+/// instant form a dense window. A deque of slots indexed by `id - base`
+/// replaces a hash map on the hottest discovery path (one insert and
+/// one removal per probe, millions of probes per figure run). Emptied
+/// head slots advance `base`, so the deque's span tracks the in-flight
+/// window — bounded by the retry timeout — not the run length.
+#[derive(Debug, Default)]
+struct OutstandingTable {
+    base: u64,
+    slots: VecDeque<Option<Outstanding>>,
+    live: usize,
+}
+
+impl OutstandingTable {
+    /// Inserts the next sequential probe. `id` must be exactly one past
+    /// the highest ID ever inserted (the caller's counter guarantees it).
+    fn insert(&mut self, id: u64, rec: Outstanding) {
+        if self.slots.is_empty() {
+            self.base = id;
+        }
+        debug_assert_eq!(id, self.base + self.slots.len() as u64);
+        self.slots.push_back(Some(rec));
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: u64) -> Option<Outstanding> {
+        let ix = usize::try_from(id.checked_sub(self.base)?).ok()?;
+        let rec = self.slots.get_mut(ix)?.take();
+        if rec.is_some() {
+            self.live -= 1;
+            while matches!(self.slots.front(), Some(None)) {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+        }
+        rec
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        id.checked_sub(self.base)
+            .and_then(|ix| usize::try_from(ix).ok())
+            .and_then(|ix| self.slots.get(ix))
+            .is_some_and(Option::is_some)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
 /// Number of distinct retry-backoff classes (attempts are capped at 6
 /// when computing the timeout multiplier, so 0..=6).
 const BACKOFF_CLASSES: usize = 7;
@@ -183,11 +235,11 @@ pub struct DiscoveryState {
     /// The port on the attach switch that leads to this host.
     own_port: Option<PortNo>,
     own_switch: Option<SwitchId>,
-    switches: HashMap<SwitchId, SwitchProgress>,
+    switches: FastHashMap<SwitchId, SwitchProgress>,
     /// Verify mode: per-switch hinted (out_port, far_port) candidates.
-    hinted_pairs: Option<HashMap<SwitchId, Vec<(PortNo, PortNo)>>>,
+    hinted_pairs: Option<FastHashMap<SwitchId, Vec<(PortNo, PortNo)>>>,
     jobs: VecDeque<ScanJob>,
-    outstanding: HashMap<u64, Outstanding>,
+    outstanding: OutstandingTable,
     /// Probe deadlines, bucketed by backoff class. Emission times are
     /// monotone and every probe in a class shares the same timeout, so
     /// each queue is sorted by construction; replied probes are skipped
@@ -212,7 +264,7 @@ impl DiscoveryState {
         let mut jobs = VecDeque::new();
         jobs.push_back(ScanJob::SelfBounce { next: 1 });
         let hinted_pairs = config.hint.as_ref().map(|hint| {
-            let mut map: HashMap<SwitchId, Vec<(PortNo, PortNo)>> = HashMap::new();
+            let mut map: FastHashMap<SwitchId, Vec<(PortNo, PortNo)>> = FastHashMap::default();
             for l in hint.links() {
                 map.entry(l.a.switch)
                     .or_default()
@@ -229,9 +281,9 @@ impl DiscoveryState {
             hinted_pairs,
             own_port: None,
             own_switch: None,
-            switches: HashMap::new(),
+            switches: FastHashMap::default(),
             jobs,
-            outstanding: HashMap::new(),
+            outstanding: OutstandingTable::default(),
             deadlines: Default::default(),
             retries: VecDeque::new(),
             next_probe_id: 1,
@@ -333,11 +385,15 @@ impl DiscoveryState {
                     // Skip the port we know leads back toward the
                     // controller only when scanning from the root switch
                     // (it hosts the prober, not a link).
-                    let mut tags: Vec<Tag> = prog.fwd.clone();
-                    tags.push(Tag::from_port(out_port));
-                    tags.push(Tag::ID_QUERY);
-                    tags.push(Tag::from_port(ret_guess));
-                    tags.extend(prog.ret.iter().copied());
+                    // Chained iterators feed the path's inline buffer
+                    // directly: no per-probe Vec in the hottest loop.
+                    let tags = (prog.fwd.iter().copied())
+                        .chain([
+                            Tag::from_port(out_port),
+                            Tag::ID_QUERY,
+                            Tag::from_port(ret_guess),
+                        ])
+                        .chain(prog.ret.iter().copied());
                     let Ok(path) = Path::from_tags(tags) else {
                         continue; // Too deep to probe; skip.
                     };
@@ -377,11 +433,13 @@ impl DiscoveryState {
                     let Some(prog) = self.switches.get(&sw) else {
                         continue;
                     };
-                    let mut tags: Vec<Tag> = prog.fwd.clone();
-                    tags.push(Tag::from_port(out_port));
-                    tags.push(Tag::ID_QUERY);
-                    tags.push(Tag::from_port(ret_guess));
-                    tags.extend(prog.ret.iter().copied());
+                    let tags = (prog.fwd.iter().copied())
+                        .chain([
+                            Tag::from_port(out_port),
+                            Tag::ID_QUERY,
+                            Tag::from_port(ret_guess),
+                        ])
+                        .chain(prog.ret.iter().copied());
                     let Ok(path) = Path::from_tags(tags) else {
                         continue;
                     };
@@ -412,11 +470,9 @@ impl DiscoveryState {
                         continue;
                     }
                     let prog = self.switches.get(&sw).expect("checked");
-                    let mut tags: Vec<Tag> = prog.fwd.clone();
-                    tags.push(Tag::from_port(op));
-                    tags.push(Tag::from_port(np));
-                    tags.push(Tag::ID_QUERY);
-                    tags.extend(prog.ret.iter().copied());
+                    let tags = (prog.fwd.iter().copied())
+                        .chain([Tag::from_port(op), Tag::from_port(np), Tag::ID_QUERY])
+                        .chain(prog.ret.iter().copied());
                     let Ok(path) = Path::from_tags(tags) else {
                         self.retire_stage1_job(sw);
                         continue;
@@ -452,9 +508,9 @@ impl DiscoveryState {
                     if prog.link_ports.contains_key(&port) {
                         continue;
                     }
-                    let mut tags: Vec<Tag> = prog.fwd.clone();
-                    tags.push(Tag::from_port(port));
-                    tags.extend(prog.ret.iter().copied());
+                    let tags = (prog.fwd.iter().copied())
+                        .chain([Tag::from_port(port)])
+                        .chain(prog.ret.iter().copied());
                     let Ok(path) = Path::from_tags(tags) else {
                         continue;
                     };
@@ -515,7 +571,7 @@ impl DiscoveryState {
     /// Feeds back a `SwitchIdReply` whose echoed probe carried
     /// `probe_id`.
     pub fn on_switch_id(&mut self, probe_id: u64, switch: SwitchId, _now: SimTime) {
-        let Some(rec) = self.outstanding.remove(&probe_id) else {
+        let Some(rec) = self.outstanding.remove(probe_id) else {
             return;
         };
         match rec.kind {
@@ -621,7 +677,7 @@ impl DiscoveryState {
     /// Feeds back a probe bounce to ourselves or a host's
     /// `ProbeReply`.
     pub fn on_probe_reply(&mut self, probe_id: u64, responder: MacAddr, _now: SimTime) {
-        let Some(rec) = self.outstanding.remove(&probe_id) else {
+        let Some(rec) = self.outstanding.remove(probe_id) else {
             return;
         };
         match rec.kind {
@@ -666,7 +722,7 @@ impl DiscoveryState {
                 q.pop_front();
                 // Probes answered in the meantime were already removed
                 // from `outstanding`; their queue entries are stale.
-                if self.outstanding.contains_key(&id) {
+                if self.outstanding.contains(id) {
                     dead.push(id);
                 }
             }
@@ -677,7 +733,7 @@ impl DiscoveryState {
         dead.sort_unstable();
         dead.dedup(); // An id listed in two deadline queues dies once.
         for id in &dead {
-            let Some(rec) = self.outstanding.remove(id) else {
+            let Some(rec) = self.outstanding.remove(*id) else {
                 continue;
             };
             // A probe whose answer arrived by other means is not worth
@@ -720,7 +776,7 @@ impl DiscoveryState {
         let mut min: Option<SimTime> = None;
         for q in &mut self.deadlines {
             while let Some(&(_, id)) = q.front() {
-                if self.outstanding.contains_key(&id) {
+                if self.outstanding.contains(id) {
                     break;
                 }
                 q.pop_front();

@@ -12,10 +12,10 @@ use std::collections::{HashMap, HashSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dumbnet_packet::control::{LinkEvent, TopoDelta};
+use dumbnet_packet::control::{LinkEvent, PatchBatch, PatchEntry, TopoDelta};
 use dumbnet_packet::{ControlMessage, Packet, Payload};
 use dumbnet_sim::{Ctx, Node};
-use dumbnet_telemetry::{Counter, Gauge, NodeKind, Telemetry, TraceCategory};
+use dumbnet_telemetry::{Counter, Gauge, Histogram, NodeKind, Telemetry, TraceCategory};
 use dumbnet_topology::{
     pathgraph, PathGraph, PathGraphParams, RouteCache, RouteCacheStats, Topology,
 };
@@ -35,6 +35,7 @@ const T_PUMP: u64 = 1;
 const T_HEARTBEAT: u64 = 2;
 const T_TAKEOVER: u64 = 3;
 const T_ELECTION: u64 = 4;
+const T_PATCH_FLUSH: u64 = 5;
 
 /// Flood budget for election traffic sent before any topology is known
 /// (switches relay it hop-limited, like link notifications). Covers the
@@ -93,7 +94,18 @@ pub struct ControllerConfig {
     /// Follower patience before taking over.
     pub takeover_timeout: SimDuration,
     /// Stage-2 processing delay before the topology patch floods (§4.2).
+    /// Charged once per patch *flush* — every event coalesced into the
+    /// same batch shares one delay, never one per recipient.
     pub patch_delay: SimDuration,
+    /// In-flight probe window: how many discovery probes one pump tick
+    /// emits as a burst. The pacing interval then covers the whole burst
+    /// (batch-amortized controller CPU), so the effective per-probe cost
+    /// is `probe_interval / probe_window`. `1` reproduces the paper's
+    /// per-probe lockstep.
+    pub probe_window: usize,
+    /// Max patch entries per flood frame; batches with more entries are
+    /// split into segment frames receivers reassemble.
+    pub patch_batch_max: usize,
 }
 
 impl Default for ControllerConfig {
@@ -111,6 +123,8 @@ impl Default for ControllerConfig {
             heartbeat: SimDuration::from_millis(50),
             takeover_timeout: SimDuration::from_millis(250),
             patch_delay: SimDuration::from_millis(1),
+            probe_window: 1,
+            patch_batch_max: 32,
         }
     }
 }
@@ -128,8 +142,12 @@ pub struct ControllerStats {
     pub probes_sent: u64,
     /// Path requests served.
     pub path_requests: u64,
-    /// Topology patches flooded.
+    /// Topology patch *frames* transmitted (per recipient, per segment —
+    /// the same per-frame semantics as the hello/heartbeat counters).
     pub patches_sent: u64,
+    /// Topology patch flood rounds (one per coalesced batch flush — the
+    /// meaning `patches_sent` had before the per-frame unification).
+    pub patch_floods: u64,
     /// Link events learned (after dedup).
     pub link_events: u64,
     /// Replication entries re-sent for lack of an ack.
@@ -156,11 +174,12 @@ pub struct ControllerStats {
 
 /// Live telemetry handles backing the scalar half of
 /// [`ControllerStats`], plus leadership gauges.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 struct ControllerCounters {
     probes_sent: Counter,
     path_requests: Counter,
     patches_sent: Counter,
+    patch_floods: Counter,
     link_events: Counter,
     repl_resends: Counter,
     repl_sync_requests: Counter,
@@ -177,6 +196,35 @@ struct ControllerCounters {
     /// `publish_telemetry`.
     route_cache_hits: Counter,
     route_cache_misses: Counter,
+    /// Probes emitted per pump tick (the in-flight window actually
+    /// achieved; capped by `probe_window`).
+    probe_burst_size: Histogram,
+    /// Patch entries coalesced per flood round.
+    patch_batch_entries: Histogram,
+}
+
+impl Default for ControllerCounters {
+    fn default() -> ControllerCounters {
+        ControllerCounters {
+            probes_sent: Counter::new(),
+            path_requests: Counter::new(),
+            patches_sent: Counter::new(),
+            patch_floods: Counter::new(),
+            link_events: Counter::new(),
+            repl_resends: Counter::new(),
+            repl_sync_requests: Counter::new(),
+            restarts: Counter::new(),
+            elections_started: Counter::new(),
+            step_downs: Counter::new(),
+            dropped_malformed: Counter::new(),
+            is_leader: Gauge::new(),
+            term: Gauge::new(),
+            route_cache_hits: Counter::new(),
+            route_cache_misses: Counter::new(),
+            probe_burst_size: Histogram::doubling(1, 8),
+            patch_batch_entries: Histogram::doubling(1, 8),
+        }
+    }
 }
 
 impl ControllerCounters {
@@ -186,6 +234,7 @@ impl ControllerCounters {
             ("probes_sent", &self.probes_sent),
             ("path_requests", &self.path_requests),
             ("patches_sent", &self.patches_sent),
+            ("patch_floods", &self.patch_floods),
             ("link_events", &self.link_events),
             ("repl_resends", &self.repl_resends),
             ("repl_sync_requests", &self.repl_sync_requests),
@@ -200,6 +249,18 @@ impl ControllerCounters {
         }
         telemetry.register_gauge(NodeKind::Controller, node, "is_leader", &self.is_leader);
         telemetry.register_gauge(NodeKind::Controller, node, "term", &self.term);
+        telemetry.register_histogram(
+            NodeKind::Controller,
+            node,
+            "probe_burst_size",
+            &self.probe_burst_size,
+        );
+        telemetry.register_histogram(
+            NodeKind::Controller,
+            node,
+            "patch_batch_entries",
+            &self.patch_batch_entries,
+        );
     }
 }
 
@@ -236,6 +297,12 @@ pub struct Controller {
     /// flooded queries arrive many times and must draw one reply.
     answered_queries: HashSet<(MacAddr, u64)>,
     hello_sent: bool,
+    /// Patch entries learned since the last flood flush, awaiting the
+    /// coalescing timer. Flushed as one [`PatchBatch`] per
+    /// `patch_delay` window.
+    pending_patch: Vec<PatchEntry>,
+    /// Whether the patch-flush timer is armed.
+    patch_flush_armed: bool,
     /// Memoized shortest routes for hellos, heartbeats, patch floods and
     /// reply paths. Invalidation: see [`Controller::invalidate_caches`].
     route_cache: RouteCache,
@@ -291,6 +358,8 @@ impl Controller {
             election: None,
             answered_queries: HashSet::new(),
             hello_sent: false,
+            pending_patch: Vec::new(),
+            patch_flush_armed: false,
             route_cache: RouteCache::new(ROUTE_CACHE_SALT ^ id.get()),
             graph_cache: HashMap::new(),
             stats,
@@ -307,6 +376,7 @@ impl Controller {
         stats.probes_sent = self.counters.probes_sent.get();
         stats.path_requests = self.counters.path_requests.get();
         stats.patches_sent = self.counters.patches_sent.get();
+        stats.patch_floods = self.counters.patch_floods.get();
         stats.link_events = self.counters.link_events.get();
         stats.repl_resends = self.counters.repl_resends.get();
         stats.repl_sync_requests = self.counters.repl_sync_requests.get();
@@ -629,20 +699,31 @@ impl Controller {
         self.hello_sent = true;
     }
 
-    /// Drives the discovery probe pump: one probe per tick, expiry when
-    /// idle, finalization at quiescence.
+    /// Drives the discovery probe pump: up to `probe_window` probes per
+    /// tick as one burst, expiry when idle, finalization at quiescence.
+    ///
+    /// The pacing interval is charged once per burst — batching the
+    /// controller's per-packet overhead the way RBFRT batches table
+    /// updates — so the effective per-probe cost is
+    /// `probe_interval / probe_window`. `probe_window = 1` reproduces
+    /// the paper's per-probe lockstep exactly.
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
+        let window = self.config.probe_window.max(1);
         let Some(disc) = self.discovery.as_mut() else {
             return;
         };
+        let mut sent = 0usize;
         loop {
             // Expire eagerly: with the bucketed deadline queues this is
             // amortized O(1) per probe, and it keeps `outstanding`
             // bounded by the timeout window (instead of accumulating
             // millions of stale entries until the pump next idles).
             let expired = disc.expire(now);
-            if let Some(probe) = disc.next_probe(now) {
+            while sent < window {
+                let Some(probe) = disc.next_probe(now) else {
+                    break;
+                };
                 let msg = ControlMessage::Probe {
                     origin: self.mac,
                     forward_path: probe.path.clone(),
@@ -652,16 +733,27 @@ impl Controller {
                     NIC,
                     Packet::control(MacAddr::BROADCAST, self.mac, probe.path, msg),
                 );
-                ctx.set_timer(self.config.probe_interval, T_PUMP);
-                return;
+                sent += 1;
             }
-            // Nothing ready and nothing expired: the pump is idle until
-            // a reply or deadline. (A nonzero expiry can unlock new jobs
-            // — host scans — so loop back and retry in that case.)
+            if sent >= window {
+                break;
+            }
+            // Window unfilled and nothing expired: the job queue is
+            // drained until a reply or deadline. (A nonzero expiry can
+            // unlock new jobs — host scans — so loop back and retry in
+            // that case.)
             if expired == 0 {
                 break;
             }
         }
+        if sent > 0 {
+            self.counters.probe_burst_size.observe(sent as u64);
+            ctx.set_timer(self.config.probe_interval, T_PUMP);
+            return;
+        }
+        let Some(disc) = self.discovery.as_mut() else {
+            return;
+        };
         if !disc.is_done() {
             // Probes still in flight: wake at the next deadline or the
             // pacing tick, whichever is later.
@@ -744,7 +836,7 @@ impl Controller {
                         ControlMessage::ReplAppend {
                             index: entry.index,
                             version: entry.version,
-                            delta: entry.delta.clone(),
+                            delta: Box::new(entry.delta.clone()),
                             leader: self.mac,
                             term: self.log.term(),
                             commit: self.log.committed(),
@@ -753,8 +845,30 @@ impl Controller {
                 }
             }
         }
-        // Patch flood after the stage-2 processing delay.
-        let version = self.topo_version;
+        // Coalesce into the pending batch; the flush timer charges the
+        // stage-2 processing delay once per batch, not once per event or
+        // recipient, and floods everything learned in the window as one
+        // epoch.
+        self.pending_patch.push(PatchEntry {
+            version: self.topo_version,
+            delta,
+        });
+        if !self.patch_flush_armed {
+            self.patch_flush_armed = true;
+            ctx.set_timer(self.config.patch_delay, T_PATCH_FLUSH);
+        }
+    }
+
+    /// Floods every patch entry coalesced since the last flush as one
+    /// [`PatchBatch`] epoch (split into `patch_batch_max`-entry segment
+    /// frames), to every known host.
+    fn flush_patches(&mut self, ctx: &mut Ctx<'_>) {
+        self.patch_flush_armed = false;
+        if self.pending_patch.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.pending_patch);
+        let epoch = entries.last().map_or(self.topo_version, |e| e.version);
         let term = self.log.term();
         let hosts: Vec<MacAddr> = self
             .topology
@@ -766,28 +880,42 @@ impl Controller {
                     .collect()
             })
             .unwrap_or_default();
-        self.counters.patches_sent.inc();
+        self.counters.patch_floods.inc();
+        self.counters
+            .patch_batch_entries
+            .observe(entries.len() as u64);
         ctx.trace(
             TraceCategory::Route,
             NodeKind::Controller,
             self.id.get(),
             || {
                 format!(
-                    "controller {} floods topology patch v{version} to {} hosts",
+                    "controller {} floods patch batch epoch {epoch} ({} entries) to {} hosts",
                     self.id.get(),
+                    entries.len(),
                     hosts.len()
                 )
             },
         );
+        let max = self.config.patch_batch_max.max(1);
+        let segs = entries.chunks(max).count();
+        let segs16 = u16::try_from(segs).unwrap_or(u16::MAX);
         for mac in hosts {
-            if let Some(path) = self.path_to(ctx, mac) {
-                let msg = ControlMessage::TopologyPatch {
-                    version,
-                    delta: delta.clone(),
+            let Some(path) = self.path_to(ctx, mac) else {
+                continue;
+            };
+            for (seg, chunk) in entries.chunks(max).enumerate() {
+                let msg = ControlMessage::TopologyPatchBatch(PatchBatch {
+                    epoch,
                     term,
-                };
-                let pkt = Packet::control(mac, self.mac, path, msg);
-                ctx.send_after(self.config.patch_delay, NIC, pkt);
+                    seg: u16::try_from(seg).unwrap_or(u16::MAX),
+                    segs: segs16,
+                    entries: chunk.to_vec(),
+                });
+                // The flush timer already charged `patch_delay`; frames
+                // leave back to back and serialize on the wire.
+                ctx.send(NIC, Packet::control(mac, self.mac, path.clone(), msg));
+                self.counters.patches_sent.inc();
             }
         }
     }
@@ -937,7 +1065,7 @@ impl Controller {
                         index,
                         version,
                         term,
-                        delta: delta.clone(),
+                        delta: (*delta).clone(),
                     });
                     // After storing: the entry itself may complete the
                     // contiguous prefix the leader's commit index covers.
@@ -1034,7 +1162,7 @@ impl Controller {
                             ControlMessage::ReplAppend {
                                 index: e.index,
                                 version: e.version,
-                                delta: e.delta,
+                                delta: Box::new(e.delta),
                                 leader: self.mac,
                                 term: self.log.term(),
                                 commit: self.log.committed(),
@@ -1208,6 +1336,9 @@ impl Node for Controller {
                     self.send_hellos(ctx);
                 }
             }
+            T_PATCH_FLUSH => {
+                self.flush_patches(ctx);
+            }
             T_HEARTBEAT if self.log.role() == ReplicaRole::Leader => {
                 let term = self.log.term();
                 let commit = self.log.committed();
@@ -1223,7 +1354,7 @@ impl Node for Controller {
                         ControlMessage::ReplAppend {
                             index: 0, // Pure heartbeat.
                             version: self.topo_version,
-                            delta: TopoDelta::default(),
+                            delta: Box::default(),
                             leader: self.mac,
                             term,
                             commit,
@@ -1245,7 +1376,7 @@ impl Node for Controller {
                             ControlMessage::ReplAppend {
                                 index: e.index,
                                 version: e.version,
-                                delta: e.delta,
+                                delta: Box::new(e.delta),
                                 leader: self.mac,
                                 term,
                                 commit,
@@ -1299,6 +1430,10 @@ impl Node for Controller {
         self.last_leader_seen = ctx.now();
         self.busy_until = ctx.now();
         self.election = None;
+        // The flush timer died with the crash; drop the unflooded batch
+        // (post-restart resync re-derives the topology authoritatively).
+        self.pending_patch.clear();
+        self.patch_flush_armed = false;
         if self.discovery.as_ref().is_some_and(|d| !d.is_done()) {
             // Resume the probe pump; outstanding probes will expire and
             // retry through the normal backoff path.

@@ -13,7 +13,7 @@
 use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use dumbnet_packet::control::LinkEvent;
+use dumbnet_packet::control::{LinkEvent, PatchBatch, PatchEntry};
 use dumbnet_packet::{ControlMessage, Packet, Payload};
 use dumbnet_sim::{Ctx, Node};
 use dumbnet_telemetry::{Counter, Histogram, NodeKind, Telemetry};
@@ -160,6 +160,13 @@ pub struct AgentStats {
     /// term below the highest this host has seen (a fenced stale leader
     /// still flooding from its side of a partition).
     pub stale_ctrl_updates: u64,
+    /// Topology patches discarded because their version/epoch was at or
+    /// below the table version this host already holds (a redundant
+    /// flood round or a jitter-reordered older patch arriving after a
+    /// newer one — applying it would clobber the newer table).
+    pub stale_patch_dropped: u64,
+    /// Patch-batch epochs applied atomically by the coalescing writer.
+    pub patch_batches_applied: u64,
 }
 
 /// Live telemetry handles backing the scalar half of [`AgentStats`].
@@ -172,6 +179,11 @@ struct AgentCounters {
     floods_rebroadcast: Counter,
     ecn_echoes: Counter,
     stale_ctrl_updates: Counter,
+    stale_patch_dropped: Counter,
+    patch_batches_applied: Counter,
+    /// Partially assembled multi-segment batches discarded because a
+    /// newer epoch superseded them before completion.
+    coalesce_aborted: Counter,
     /// Totals over [`AgentStats::delivered`], synced in
     /// `publish_telemetry` so workload aggregation can read snapshots.
     delivered_packets: Counter,
@@ -179,6 +191,9 @@ struct AgentCounters {
     /// Completed RTT samples, in nanoseconds (1 µs first bucket,
     /// doubling out to ~33 ms).
     rtt_ns: Histogram,
+    /// Patch entries applied per coalesced epoch (batch-size visibility
+    /// on the receive side).
+    patch_batch_entries: Histogram,
 }
 
 impl Default for AgentCounters {
@@ -191,9 +206,13 @@ impl Default for AgentCounters {
             floods_rebroadcast: Counter::new(),
             ecn_echoes: Counter::new(),
             stale_ctrl_updates: Counter::new(),
+            stale_patch_dropped: Counter::new(),
+            patch_batches_applied: Counter::new(),
+            coalesce_aborted: Counter::new(),
             delivered_packets: Counter::new(),
             delivered_bytes: Counter::new(),
             rtt_ns: Histogram::doubling(1_024, 16),
+            patch_batch_entries: Histogram::doubling(1, 8),
         }
     }
 }
@@ -209,12 +228,21 @@ impl AgentCounters {
             ("floods_rebroadcast", &self.floods_rebroadcast),
             ("ecn_echoes", &self.ecn_echoes),
             ("stale_ctrl_updates", &self.stale_ctrl_updates),
+            ("stale_patch_dropped", &self.stale_patch_dropped),
+            ("patch_batches_applied", &self.patch_batches_applied),
+            ("coalesce_aborted", &self.coalesce_aborted),
             ("delivered_packets", &self.delivered_packets),
             ("delivered_bytes", &self.delivered_bytes),
         ] {
             telemetry.register_counter(NodeKind::Host, node, name, c);
         }
         telemetry.register_histogram(NodeKind::Host, node, "rtt_ns", &self.rtt_ns);
+        telemetry.register_histogram(
+            NodeKind::Host,
+            node,
+            "patch_batch_entries",
+            &self.patch_batch_entries,
+        );
     }
 }
 
@@ -253,6 +281,10 @@ pub struct HostAgent {
     flood_backlog: Vec<(LinkEvent, u32)>,
     /// Whether the flood-repeat timer is armed.
     flood_armed: bool,
+    /// Multi-segment patch batch under assembly by the coalescing
+    /// writer. Only the newest epoch is kept; entries apply atomically
+    /// once every segment has arrived.
+    patch_assembly: Option<PatchAssembly>,
     /// Measurement series (scalar counters live in `counters`).
     stats: AgentStats,
     /// Telemetry handles for the scalar counters.
@@ -262,6 +294,18 @@ pub struct HostAgent {
 #[derive(Debug, Clone, Copy)]
 struct ActionProgress {
     remaining: u64,
+}
+
+/// Segments of one multi-frame [`PatchBatch`] epoch, buffered until the
+/// set is complete so the table never reflects half a batch.
+#[derive(Debug, Clone)]
+struct PatchAssembly {
+    epoch: u64,
+    term: u64,
+    /// Per-segment entry lists, indexed by segment number.
+    parts: Vec<Option<Vec<PatchEntry>>>,
+    /// Segments received so far.
+    got: usize,
 }
 
 impl HostAgent {
@@ -309,6 +353,7 @@ impl HostAgent {
             retry_armed: false,
             flood_backlog: Vec::new(),
             flood_armed: false,
+            patch_assembly: None,
             stats: AgentStats::default(),
             counters: AgentCounters::default(),
         }
@@ -326,6 +371,8 @@ impl HostAgent {
         stats.floods_rebroadcast = self.counters.floods_rebroadcast.get();
         stats.ecn_echoes = self.counters.ecn_echoes.get();
         stats.stale_ctrl_updates = self.counters.stale_ctrl_updates.get();
+        stats.stale_patch_dropped = self.counters.stale_patch_dropped.get();
+        stats.patch_batches_applied = self.counters.patch_batches_applied.get();
         stats
     }
 
@@ -598,6 +645,121 @@ impl HostAgent {
         self.pathtable.destinations()
     }
 
+    /// The coalescing writer (§4.2 stage 2, receive side): accepts a
+    /// topology patch batch and applies it **atomically** at its epoch
+    /// boundary.
+    ///
+    /// Acceptance rules, in order:
+    /// 1. Term fencing — a batch from a fenced stale leader is dropped
+    ///    (`stale_ctrl_updates`), exactly like every other controller
+    ///    update.
+    /// 2. Monotone epochs — a batch whose epoch is at or below the table
+    ///    version this host already holds is a redundant flood round or
+    ///    a jitter-reordered older patch; applying it would clobber the
+    ///    newer table, so it is dropped (`stale_patch_dropped`).
+    /// 3. Multi-segment batches buffer in [`PatchAssembly`] until every
+    ///    segment has arrived; only the newest epoch is kept under
+    ///    assembly (`coalesce_aborted` counts superseded partials). The
+    ///    table moves from its previous version to `epoch` in one step —
+    ///    it never reflects half a batch.
+    fn handle_patch_batch(&mut self, ctx: &mut Ctx<'_>, batch: PatchBatch) {
+        if batch.term < self.leader_term {
+            // A fenced stale leader is still flooding patches from its
+            // side of a partition; its topology view no longer
+            // sequences ours.
+            self.counters.stale_ctrl_updates.inc();
+            return;
+        }
+        self.leader_term = batch.term;
+        if batch.epoch <= self.topocache.topo_version {
+            self.counters.stale_patch_dropped.inc();
+            return;
+        }
+        let segs = usize::from(batch.segs.max(1));
+        if segs == 1 {
+            self.apply_patch_epoch(ctx, batch.epoch, batch.entries);
+            return;
+        }
+        let seg = usize::from(batch.seg);
+        if seg >= segs {
+            return; // Malformed segment index (codec rejects on the wire).
+        }
+        match &self.patch_assembly {
+            Some(asm) if asm.epoch > batch.epoch => {
+                // A newer epoch is already assembling; this segment is a
+                // straggler of an epoch it supersedes.
+                self.counters.stale_patch_dropped.inc();
+                return;
+            }
+            Some(asm)
+                if asm.epoch < batch.epoch || asm.term != batch.term || asm.parts.len() != segs =>
+            {
+                // Superseded (or inconsistently framed) partial: drop it
+                // and start over on the incoming epoch.
+                self.counters.coalesce_aborted.inc();
+                self.patch_assembly = None;
+            }
+            _ => {}
+        }
+        let asm = self.patch_assembly.get_or_insert_with(|| PatchAssembly {
+            epoch: batch.epoch,
+            term: batch.term,
+            parts: vec![None; segs],
+            got: 0,
+        });
+        if asm.parts[seg].is_none() {
+            asm.parts[seg] = Some(batch.entries);
+            asm.got += 1;
+        }
+        if asm.got < segs {
+            return; // Keep buffering; the table stays untouched.
+        }
+        let asm = self.patch_assembly.take().expect("assembly just filled");
+        let entries: Vec<PatchEntry> = asm.parts.into_iter().flatten().flatten().collect();
+        self.apply_patch_epoch(ctx, asm.epoch, entries);
+    }
+
+    /// Applies one complete batch epoch to the two-level cache. Entries
+    /// at or below the current table version are skipped — re-applying
+    /// them could resurrect link state a version between them and the
+    /// table has since overwritten.
+    fn apply_patch_epoch(&mut self, ctx: &mut Ctx<'_>, epoch: u64, mut entries: Vec<PatchEntry>) {
+        // A partial assembly at or below this epoch can never complete
+        // usefully — its stragglers will fail the monotone-epoch check.
+        if self
+            .patch_assembly
+            .as_ref()
+            .is_some_and(|a| a.epoch <= epoch)
+        {
+            self.counters.coalesce_aborted.inc();
+            self.patch_assembly = None;
+        }
+        let from = self.topocache.topo_version;
+        entries.sort_by_key(|e| e.version);
+        let mut applied = 0u64;
+        for e in entries {
+            if e.version <= from {
+                continue;
+            }
+            // Stamp the *software-visible* arrival of each version the
+            // batch carried us through (the fig11 stage-2 series).
+            self.stats
+                .patch_arrivals
+                .push((e.version, ctx.now() + self.config.stack_delay));
+            for (a, b) in e.delta.down {
+                self.topocache.mark_down(a, b);
+                self.pathtable.invalidate_edge(a, b);
+            }
+            for (pa, pb) in e.delta.up {
+                self.topocache.mark_up(pa.switch, pb.switch);
+            }
+            applied += 1;
+        }
+        self.topocache.topo_version = epoch;
+        self.counters.patch_batches_applied.inc();
+        self.counters.patch_batch_entries.observe(applied);
+    }
+
     fn handle_control(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -651,27 +813,13 @@ impl HostAgent {
                 delta,
                 term,
             } => {
-                if term < self.leader_term {
-                    // A fenced stale leader is still flooding patches
-                    // from its side of a partition; its topology view
-                    // no longer sequences ours.
-                    self.counters.stale_ctrl_updates.inc();
-                    return;
-                }
-                self.leader_term = term;
-                self.stats
-                    .patch_arrivals
-                    .push((version, ctx.now() + self.config.stack_delay));
-                if version > self.topocache.topo_version {
-                    self.topocache.topo_version = version;
-                }
-                for (a, b) in delta.down {
-                    self.topocache.mark_down(a, b);
-                    self.pathtable.invalidate_edge(a, b);
-                }
-                for (pa, pb) in delta.up {
-                    self.topocache.mark_up(pa.switch, pb.switch);
-                }
+                // The legacy per-entry patch is, by definition, a
+                // complete single-entry batch (the singleton equivalence
+                // law the codec property tests pin).
+                self.handle_patch_batch(ctx, PatchBatch::singleton(version, *delta, term));
+            }
+            ControlMessage::TopologyPatchBatch(batch) => {
+                self.handle_patch_batch(ctx, batch);
             }
             ControlMessage::ControllerHello {
                 controller,

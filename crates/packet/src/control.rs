@@ -22,7 +22,7 @@
 use serde::{Deserialize, Serialize};
 
 use dumbnet_topology::PathGraph;
-use dumbnet_types::{MacAddr, Path, PortId, PortNo, SimTime, SwitchId};
+use dumbnet_types::{DumbNetError, MacAddr, Path, PortId, PortNo, Result, SimTime, SwitchId};
 
 /// A link state change, as carried by notifications and patches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -52,6 +52,223 @@ impl TopoDelta {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.down.is_empty() && self.up.is_empty()
+    }
+}
+
+/// One versioned topology change inside a [`PatchBatch`]: the delta that
+/// took the controller's topology from `version - 1` to `version`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PatchEntry {
+    /// Topology version after applying this entry's delta.
+    pub version: u64,
+    /// The changes.
+    pub delta: TopoDelta,
+}
+
+/// Version byte of the batched-patch wire encoding.
+const PATCH_BATCH_WIRE_V1: u8 = 0x01;
+
+/// Fixed header bytes of the batched-patch encoding: format byte, epoch,
+/// term, segment index/total, entry count.
+const PATCH_BATCH_HEADER: usize = 1 + 8 + 8 + 2 + 2 + 2;
+
+/// Per-entry fixed bytes: version plus the two item counts.
+const PATCH_ENTRY_HEADER: usize = 8 + 2 + 2;
+
+/// A batched stage-2 topology patch: many versioned deltas packed under a
+/// single epoch header, so one flood round (and one stage-2 processing
+/// delay) covers every event the controller learned in the window.
+///
+/// Large batches are split into `segs` segment frames that all carry the
+/// same `(epoch, term)`; receivers coalesce the segments and apply the
+/// union of entries **atomically** — a host either observes its table at
+/// the previous version or at `epoch`, never in between (DESIGN.md §9).
+///
+/// The emulator keeps payloads structured; [`PatchBatch::to_wire`] /
+/// [`PatchBatch::from_wire`] are the byte-level demonstration codec the
+/// property tests and the data-plane fuzzer exercise.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PatchBatch {
+    /// Topology version after applying every entry of the whole batch
+    /// (all segments). Receivers with a table at or past `epoch` drop the
+    /// batch as stale.
+    pub epoch: u64,
+    /// Leadership term of the flooding controller (same fencing rules as
+    /// [`ControlMessage::TopologyPatch`]).
+    pub term: u64,
+    /// Zero-based index of this segment frame.
+    pub seg: u16,
+    /// Total segment frames in the batch (≥ 1).
+    pub segs: u16,
+    /// The entries carried by this segment, in ascending version order.
+    pub entries: Vec<PatchEntry>,
+}
+
+impl PatchBatch {
+    /// Wraps a single legacy-style patch as a one-segment, one-entry
+    /// batch. The equivalence law (enforced by property tests and the
+    /// host agent): a receiver treats `singleton(v, d, t)` exactly like
+    /// `TopologyPatch { version: v, delta: d, term: t }`.
+    #[must_use]
+    pub fn singleton(version: u64, delta: TopoDelta, term: u64) -> PatchBatch {
+        PatchBatch {
+            epoch: version,
+            term,
+            seg: 0,
+            segs: 1,
+            entries: vec![PatchEntry { version, delta }],
+        }
+    }
+
+    /// The legacy triple this batch is equivalent to, when it is a
+    /// complete single-entry batch.
+    #[must_use]
+    pub fn as_singleton(&self) -> Option<(u64, &TopoDelta, u64)> {
+        match self.entries.as_slice() {
+            [e] if self.segs == 1 && self.seg == 0 && e.version == self.epoch => {
+                Some((e.version, &e.delta, self.term))
+            }
+            _ => None,
+        }
+    }
+
+    /// Serialized size in bytes (what [`PatchBatch::to_wire`] emits).
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        PATCH_BATCH_HEADER
+            + self
+                .entries
+                .iter()
+                .map(|e| PATCH_ENTRY_HEADER + e.delta.down.len() * 16 + e.delta.up.len() * 18)
+                .sum::<usize>()
+    }
+
+    /// Serializes the batch to its compact big-endian wire form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an item count exceeds `u16::MAX` — the controller caps
+    /// segments far below that (`patch_batch_max`).
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        let count = |n: usize, what: &str| -> [u8; 2] {
+            u16::try_from(n)
+                .unwrap_or_else(|_| panic!("{what} count {n} exceeds the u16 wire field"))
+                .to_be_bytes()
+        };
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.push(PATCH_BATCH_WIRE_V1);
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&self.term.to_be_bytes());
+        out.extend_from_slice(&self.seg.to_be_bytes());
+        out.extend_from_slice(&self.segs.to_be_bytes());
+        out.extend_from_slice(&count(self.entries.len(), "entry"));
+        for e in &self.entries {
+            out.extend_from_slice(&e.version.to_be_bytes());
+            out.extend_from_slice(&count(e.delta.down.len(), "down"));
+            out.extend_from_slice(&count(e.delta.up.len(), "up"));
+            for (a, b) in &e.delta.down {
+                out.extend_from_slice(&a.0.to_be_bytes());
+                out.extend_from_slice(&b.0.to_be_bytes());
+            }
+            for (pa, pb) in &e.delta.up {
+                for p in [pa, pb] {
+                    out.extend_from_slice(&p.switch.0.to_be_bytes());
+                    out.push(p.port.get());
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.wire_len());
+        out
+    }
+
+    /// Parses a batch from its wire form, validating structure, port
+    /// domains, segment bounds, and exact length consumption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DumbNetError::MalformedFrame`] for a wrong format byte,
+    /// truncated or oversized input, reserved port values, a zero segment
+    /// total, or a segment index at or past the total.
+    pub fn from_wire(bytes: &[u8]) -> Result<PatchBatch> {
+        struct Rd<'a>(&'a [u8], usize);
+        impl Rd<'_> {
+            fn take<const N: usize>(&mut self) -> Result<[u8; N]> {
+                let end = self.1 + N;
+                let slice = self
+                    .0
+                    .get(self.1..end)
+                    .ok_or_else(|| DumbNetError::MalformedFrame("truncated patch batch".into()))?;
+                self.1 = end;
+                Ok(slice.try_into().expect("length checked"))
+            }
+            fn u64(&mut self) -> Result<u64> {
+                Ok(u64::from_be_bytes(self.take()?))
+            }
+            fn u16(&mut self) -> Result<u16> {
+                Ok(u16::from_be_bytes(self.take()?))
+            }
+            fn u8(&mut self) -> Result<u8> {
+                Ok(self.take::<1>()?[0])
+            }
+        }
+        let mut rd = Rd(bytes, 0);
+        let fmt = rd.u8()?;
+        if fmt != PATCH_BATCH_WIRE_V1 {
+            return Err(DumbNetError::MalformedFrame(format!(
+                "unknown patch-batch format byte {fmt:#04x}"
+            )));
+        }
+        let epoch = rd.u64()?;
+        let term = rd.u64()?;
+        let seg = rd.u16()?;
+        let segs = rd.u16()?;
+        if segs == 0 {
+            return Err(DumbNetError::MalformedFrame(
+                "patch batch with zero segments".into(),
+            ));
+        }
+        if seg >= segs {
+            return Err(DumbNetError::MalformedFrame(format!(
+                "patch segment {seg} out of range (of {segs})"
+            )));
+        }
+        let n_entries = rd.u16()?;
+        let mut entries = Vec::with_capacity(usize::from(n_entries).min(1024));
+        for _ in 0..n_entries {
+            let version = rd.u64()?;
+            let n_down = rd.u16()?;
+            let n_up = rd.u16()?;
+            let mut delta = TopoDelta::default();
+            for _ in 0..n_down {
+                delta.down.push((SwitchId(rd.u64()?), SwitchId(rd.u64()?)));
+            }
+            for _ in 0..n_up {
+                let mut port = || -> Result<PortId> {
+                    let sw = SwitchId(rd.u64()?);
+                    let p = PortNo::try_new(rd.u8()?)
+                        .map_err(|e| DumbNetError::MalformedFrame(e.to_string()))?;
+                    Ok(PortId::new(sw, p))
+                };
+                let pa = port()?;
+                let pb = port()?;
+                delta.up.push((pa, pb));
+            }
+            entries.push(PatchEntry { version, delta });
+        }
+        if rd.1 != bytes.len() {
+            return Err(DumbNetError::MalformedFrame(format!(
+                "{} trailing bytes after patch batch",
+                bytes.len() - rd.1
+            )));
+        }
+        Ok(PatchBatch {
+            epoch,
+            term,
+            seg,
+            segs,
+            entries,
+        })
     }
 }
 
@@ -141,13 +358,21 @@ pub enum ControlMessage {
     TopologyPatch {
         /// Monotonic topology version after applying the delta.
         version: u64,
-        /// The changes.
-        delta: TopoDelta,
+        /// The changes (boxed: deltas ride in every packet-sized enum
+        /// slot, and the fat variants would otherwise double the memcpy
+        /// bill of the probe-dominated hot path).
+        delta: Box<TopoDelta>,
         /// Leadership term of the flooding controller. Hosts discard
         /// patches from a fenced stale leader (lower term than the
         /// highest they have seen).
         term: u64,
     },
+    /// Controller stage-2 flood, batched: many versioned deltas under one
+    /// epoch header, possibly split across segment frames. Replaces the
+    /// per-entry [`ControlMessage::TopologyPatch`] on the controller's
+    /// flood path; receivers coalesce segments and apply the batch
+    /// atomically at the epoch boundary.
+    TopologyPatchBatch(PatchBatch),
     /// Bootstrap message from the controller to a host: "you exist, here
     /// is how to reach me".
     ControllerHello {
@@ -173,8 +398,9 @@ pub enum ControlMessage {
         index: u64,
         /// Topology version after this entry.
         version: u64,
-        /// The change being replicated.
-        delta: TopoDelta,
+        /// The change being replicated (boxed, as in
+        /// [`ControlMessage::TopologyPatch`]).
+        delta: Box<TopoDelta>,
         /// The leader's identity.
         leader: MacAddr,
         /// The leader's term. Replicas reject lower-term appends; a
@@ -324,6 +550,7 @@ impl ControlMessage {
             ControlMessage::TopologyPatch { delta, .. } => {
                 1 + 8 + 8 + delta.down.len() * 16 + delta.up.len() * 18
             }
+            ControlMessage::TopologyPatchBatch(batch) => 1 + batch.wire_len(),
             ControlMessage::ControllerHello {
                 path_to_controller, ..
             } => 1 + 6 + path_to_controller.len() + 1 + 8 + 8,
@@ -389,5 +616,82 @@ mod tests {
             up: vec![],
         };
         assert!(!d.is_empty());
+    }
+
+    fn sample_batch() -> PatchBatch {
+        let p = |s: u64, n: u8| PortId::new(SwitchId(s), PortNo::new(n).unwrap());
+        PatchBatch {
+            epoch: 7,
+            term: 3,
+            seg: 1,
+            segs: 2,
+            entries: vec![
+                PatchEntry {
+                    version: 6,
+                    delta: TopoDelta {
+                        down: vec![(SwitchId(1), SwitchId(2))],
+                        up: vec![],
+                    },
+                },
+                PatchEntry {
+                    version: 7,
+                    delta: TopoDelta {
+                        down: vec![],
+                        up: vec![(p(1, 4), p(2, 9))],
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn patch_batch_round_trips_and_sizes_agree() {
+        let batch = sample_batch();
+        let wire = batch.to_wire();
+        assert_eq!(wire.len(), batch.wire_len());
+        let parsed = PatchBatch::from_wire(&wire).unwrap();
+        assert_eq!(parsed, batch);
+        // The structured message charges the codec size plus the
+        // discriminant, like every other control message.
+        let msg = ControlMessage::TopologyPatchBatch(batch.clone());
+        assert_eq!(msg.wire_size(), 1 + batch.wire_len());
+    }
+
+    #[test]
+    fn patch_batch_rejects_malformed_wire() {
+        let batch = sample_batch();
+        let wire = batch.to_wire();
+        // Truncation at every prefix length must fail, never panic.
+        for cut in 0..wire.len() {
+            assert!(PatchBatch::from_wire(&wire[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage is rejected (exact-consumption rule).
+        let mut long = wire.clone();
+        long.push(0);
+        assert!(PatchBatch::from_wire(&long).is_err());
+        // Wrong format byte.
+        let mut bad = wire.clone();
+        bad[0] = 0x7F;
+        assert!(PatchBatch::from_wire(&bad).is_err());
+        // Segment index out of range.
+        let out_of_range = PatchBatch {
+            seg: 2,
+            ..sample_batch()
+        };
+        assert!(PatchBatch::from_wire(&out_of_range.to_wire()).is_err());
+    }
+
+    #[test]
+    fn singleton_batch_matches_legacy_patch() {
+        let delta = TopoDelta {
+            down: vec![(SwitchId(4), SwitchId(5))],
+            up: vec![],
+        };
+        let batch = PatchBatch::singleton(9, delta.clone(), 2);
+        let (version, d, term) = batch.as_singleton().unwrap();
+        assert_eq!((version, term), (9, 2));
+        assert_eq!(d, &delta);
+        // Multi-entry or multi-segment batches are not singletons.
+        assert!(sample_batch().as_singleton().is_none());
     }
 }

@@ -7,9 +7,12 @@
 //!
 //! Handlers receive a [`Ctx`] through which they read the clock, send
 //! packets, arm timers, inspect their own wiring, and draw deterministic
-//! randomness. Sends and timers are buffered and applied by the engine
-//! after the handler returns, which keeps the core loop free of aliasing
-//! and the execution order well-defined.
+//! randomness. The dispatched node is moved out of the node table for
+//! the duration of its handler, so the [`Ctx`] can borrow the rest of
+//! the engine ([`Core`](World)) mutably and apply sends and timers
+//! immediately — a packet goes straight from the handler onto the wire
+//! with no intermediate action buffer, in exactly the order the handler
+//! emitted it.
 
 use std::any::Any;
 
@@ -203,18 +206,6 @@ enum Event {
     Restart(NodeAddr),
 }
 
-enum Action {
-    Send {
-        port: PortNo,
-        pkt: Packet,
-        delay: SimDuration,
-    },
-    Timer {
-        delay: SimDuration,
-        token: u64,
-    },
-}
-
 /// Counters the engine keeps while running.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct WorldStats {
@@ -373,13 +364,19 @@ impl LinkCounters {
 }
 
 /// The handler-side view of the world.
+///
+/// The dispatched node is out of the node table while its handler runs,
+/// so the context can hold the rest of the engine mutably and a
+/// [`Ctx::send`] goes straight onto the wire — same observable order as
+/// the old buffered-action design, without copying each packet through
+/// an intermediate queue.
 pub struct Ctx<'a> {
     now: SimTime,
     addr: NodeAddr,
-    wiring: &'a Wiring,
-    rng: &'a mut StdRng,
-    telemetry: &'a Telemetry,
-    actions: Vec<Action>,
+    /// This node's crash epoch at dispatch time (it cannot change while
+    /// the handler runs; crashes are events themselves).
+    epoch: u32,
+    core: &'a mut Core,
 }
 
 impl Ctx<'_> {
@@ -395,33 +392,46 @@ impl Ctx<'_> {
         self.addr
     }
 
-    /// Queues `pkt` for transmission out of `port`. Dropped silently (and
+    /// Puts `pkt` on the wire out of `port`. Dropped silently (and
     /// counted) if the port is unwired or its wire is down — exactly like
     /// pushing bytes into a dead NIC.
     pub fn send(&mut self, port: PortNo, pkt: Packet) {
-        self.actions.push(Action::Send {
-            port,
-            pkt,
-            delay: SimDuration::ZERO,
-        });
+        self.core.transmit(self.addr, port, pkt);
     }
 
     /// Like [`Ctx::send`], but the packet reaches the wire only after
     /// `delay` — used to model host-stack traversal time before the NIC.
     pub fn send_after(&mut self, delay: SimDuration, port: PortNo, pkt: Packet) {
-        self.actions.push(Action::Send { port, pkt, delay });
+        let at = self.now + delay;
+        self.core.queue.push(
+            at,
+            Event::Egress {
+                node: self.addr,
+                port,
+                pkt,
+            },
+        );
     }
 
     /// Arms a one-shot timer; `token` comes back in
     /// [`Node::on_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        self.actions.push(Action::Timer { delay, token });
+        let at = self.now + delay;
+        self.core.queue.push(
+            at,
+            Event::Timer {
+                node: self.addr,
+                token,
+                epoch: self.epoch,
+            },
+        );
     }
 
     /// The ports of this node that are wired, in ascending order.
     #[must_use]
     pub fn wired_ports(&self) -> Vec<PortNo> {
-        self.wiring
+        self.core
+            .wiring
             .port_map
             .get(self.addr.0)
             .map(|ports| {
@@ -438,22 +448,23 @@ impl Ctx<'_> {
     /// Whether `port` currently has an up wire.
     #[must_use]
     pub fn link_up(&self, port: PortNo) -> bool {
-        self.wiring
+        self.core
+            .wiring
             .at(self.addr, port)
-            .map(|w| self.wiring.wires[w.0].up)
+            .map(|w| self.core.wiring.wires[w.0].up)
             .unwrap_or(false)
     }
 
     /// Deterministic per-world randomness.
     pub fn rng(&mut self) -> &mut StdRng {
-        self.rng
+        &mut self.core.rng
     }
 
     /// The world's telemetry registry: nodes register metric handles
     /// here (typically in [`Node::on_start`]) and emit trace events.
     #[must_use]
     pub fn telemetry(&self) -> &Telemetry {
-        self.telemetry
+        &self.core.telemetry
     }
 
     /// Convenience: appends a trace event stamped with the current sim
@@ -466,16 +477,33 @@ impl Ctx<'_> {
         node: u64,
         detail: impl FnOnce() -> String,
     ) {
-        if self.telemetry.trace_enabled() {
-            self.telemetry
+        if self.core.telemetry.trace_enabled() {
+            self.core
+                .telemetry
                 .emit(self.now, category, kind, node, detail());
         }
     }
 }
 
 /// The simulation world.
+///
+/// Internally split in two: the node table, and everything else
+/// ([`Core`]). Dispatch takes the target node out of the table and hands
+/// its handler a [`Ctx`] borrowing the core mutably, so handler side
+/// effects (sends, timers) apply immediately with no buffering. `World`
+/// derefs to its core, so engine state reads the same either way.
 pub struct World {
     nodes: Vec<Option<Box<dyn Node>>>,
+    core: Core,
+}
+
+/// Everything in a [`World`] except the nodes themselves: wiring, the
+/// event queue, the clock, RNG streams, and counters.
+///
+/// Public only because [`World`] derefs to it; the fields stay private
+/// and no constructor is exported, so it cannot be built outside this
+/// module.
+pub struct Core {
     crashed: Vec<bool>,
     /// Bumped on every crash; invalidates timers armed before it.
     epoch: Vec<u32>,
@@ -491,9 +519,20 @@ pub struct World {
     telemetry: Telemetry,
     stats: WorldCounters,
     started: bool,
-    /// Reusable action buffer for [`World::with_node`], so dispatching
-    /// an event does not allocate when the handler emits few actions.
-    scratch: Vec<Action>,
+}
+
+impl std::ops::Deref for World {
+    type Target = Core;
+
+    fn deref(&self) -> &Core {
+        &self.core
+    }
+}
+
+impl std::ops::DerefMut for World {
+    fn deref_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
 }
 
 /// Default fault-RNG domain separator (XORed with the world seed).
@@ -507,19 +546,20 @@ impl World {
         let stats = WorldCounters::registered(&telemetry);
         World {
             nodes: Vec::new(),
-            crashed: Vec::new(),
-            epoch: Vec::new(),
-            wiring: Wiring::default(),
-            faults: Vec::new(),
-            link_stats: Vec::new(),
-            queue: EventQueue::new(),
-            now: SimTime::ZERO,
-            rng: StdRng::seed_from_u64(seed),
-            fault_rng: StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
-            telemetry,
-            stats,
-            started: false,
-            scratch: Vec::new(),
+            core: Core {
+                crashed: Vec::new(),
+                epoch: Vec::new(),
+                wiring: Wiring::default(),
+                faults: Vec::new(),
+                link_stats: Vec::new(),
+                queue: EventQueue::new(),
+                now: SimTime::ZERO,
+                rng: StdRng::seed_from_u64(seed),
+                fault_rng: StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
+                telemetry,
+                stats,
+                started: false,
+            },
         }
     }
 
@@ -591,8 +631,8 @@ impl World {
             busy: [SimTime::ZERO; 2],
         });
         self.faults.push(None);
-        self.link_stats
-            .push(LinkCounters::registered(&self.telemetry, id));
+        let counters = LinkCounters::registered(&self.core.telemetry, id);
+        self.core.link_stats.push(counters);
         self.wiring.map_port(a, pa, id);
         self.wiring.map_port(b, pb, id);
         Ok(id)
@@ -767,7 +807,8 @@ impl World {
         if !self.started {
             self.started = true;
             for ix in 0..self.nodes.len() {
-                self.queue.push(self.now, Event::Start(NodeAddr(ix)));
+                let at = self.core.now;
+                self.core.queue.push(at, Event::Start(NodeAddr(ix)));
             }
         }
     }
@@ -896,7 +937,7 @@ impl World {
     }
 
     fn with_node<F: FnOnce(&mut Box<dyn Node>, &mut Ctx<'_>)>(&mut self, addr: NodeAddr, f: F) {
-        if self.crashed.get(addr.0).copied().unwrap_or(false) {
+        if self.core.crashed.get(addr.0).copied().unwrap_or(false) {
             return;
         }
         let Some(slot) = self.nodes.get_mut(addr.0) else {
@@ -905,60 +946,21 @@ impl World {
         let Some(mut node) = slot.take() else {
             return;
         };
-        // The scratch buffer keeps its allocation across events; taking
-        // it leaves an empty Vec behind for re-entrant dispatches (a
-        // handler's actions can trigger further handlers via `apply`).
+        // With the node out of the table, the context can borrow the
+        // whole core: handler side effects apply immediately, in emit
+        // order — the same order the old action buffer replayed them in.
         let mut ctx = Ctx {
-            now: self.now,
+            now: self.core.now,
             addr,
-            wiring: &self.wiring,
-            rng: &mut self.rng,
-            telemetry: &self.telemetry,
-            actions: std::mem::take(&mut self.scratch),
+            epoch: self.core.epoch.get(addr.0).copied().unwrap_or(0),
+            core: &mut self.core,
         };
         f(&mut node, &mut ctx);
-        let mut actions = ctx.actions;
         self.nodes[addr.0] = Some(node);
-        for action in actions.drain(..) {
-            self.apply(addr, action);
-        }
-        // Hand the (now empty) buffer back unless a nested dispatch
-        // already replaced it with a bigger one.
-        if actions.capacity() > self.scratch.capacity() {
-            self.scratch = actions;
-        }
     }
+}
 
-    fn apply(&mut self, from: NodeAddr, action: Action) {
-        match action {
-            Action::Timer { delay, token } => {
-                let epoch = self.epoch.get(from.0).copied().unwrap_or(0);
-                self.queue.push(
-                    self.now + delay,
-                    Event::Timer {
-                        node: from,
-                        token,
-                        epoch,
-                    },
-                );
-            }
-            Action::Send { port, pkt, delay } => {
-                if delay == SimDuration::ZERO {
-                    self.transmit(from, port, pkt);
-                } else {
-                    self.queue.push(
-                        self.now + delay,
-                        Event::Egress {
-                            node: from,
-                            port,
-                            pkt,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
+impl Core {
     /// Puts a packet onto the wire at `(from, port)` at the current time.
     fn transmit(&mut self, from: NodeAddr, port: PortNo, mut pkt: Packet) {
         let Some(wid) = self.wiring.at(from, port) else {

@@ -15,6 +15,14 @@
 //! go to the overflow heap; `pop` compares the wheel head against the
 //! overflow head by `(time, seq)`, so the total order is exactly the
 //! one the old pure-heap implementation produced.
+//!
+//! Payloads live in a slab and the wheel/heap carry `(time, seq, slot)`
+//! triples: sorting, mid-bucket inserts, and heap sift operations move
+//! 24-byte entries instead of whole events (a `Packet`-carrying event
+//! is ~10× that). The slab recycles slots through a free list, so the
+//! queue stops allocating once it has seen its high-water mark — this
+//! is what keeps burst workloads (pipelined discovery, patch floods)
+//! from going quadratic on same-bucket memmoves.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -37,54 +45,27 @@ const WHEEL: usize = 1 << WHEEL_BITS;
 /// far and a time ≥ now. (A descending layout puts exactly those pushes
 /// at the *front*, an O(n) memmove that goes quadratic on same-instant
 /// bursts — the fig10 all-pairs ping pattern.)
-#[derive(Debug)]
-struct Bucket<E> {
-    items: VecDeque<(SimTime, u64, E)>,
+#[derive(Debug, Default)]
+struct Bucket {
+    items: VecDeque<(SimTime, u64, u32)>,
     sorted: bool,
-}
-
-impl<E> Default for Bucket<E> {
-    fn default() -> Bucket<E> {
-        Bucket {
-            items: VecDeque::new(),
-            sorted: false,
-        }
-    }
 }
 
 /// A time-ordered, insertion-stable event queue.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    wheel: Vec<Bucket<E>>,
+    wheel: Vec<Bucket>,
     /// Virtual index (`nanos >> BUCKET_SHIFT`, unwrapped) of the bucket
     /// the cursor is on; the wheel window is `[base_vb, base_vb+WHEEL)`.
     base_vb: u64,
     /// Events pending inside the wheel window.
     wheel_len: usize,
-    overflow: BinaryHeap<Reverse<(SimTime, u64, OrdIgnored<E>)>>,
+    overflow: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
     seq: u64,
-}
-
-/// Wrapper that always compares equal so the payload never participates
-/// in heap ordering (the `(time, seq)` prefix is already total).
-#[derive(Debug)]
-struct OrdIgnored<E>(E);
-
-impl<E> PartialEq for OrdIgnored<E> {
-    fn eq(&self, _: &Self) -> bool {
-        true
-    }
-}
-impl<E> Eq for OrdIgnored<E> {}
-impl<E> PartialOrd for OrdIgnored<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for OrdIgnored<E> {
-    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
-    }
+    /// Event payloads, indexed by the slot carried in wheel/overflow
+    /// entries. `None` slots are free and listed in `free`.
+    slab: Vec<Option<E>>,
+    free: Vec<u32>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -95,6 +76,8 @@ impl<E> Default for EventQueue<E> {
             wheel_len: 0,
             overflow: BinaryHeap::new(),
             seq: 0,
+            slab: Vec::new(),
+            free: Vec::new(),
         }
     }
 }
@@ -114,10 +97,28 @@ impl<E> EventQueue<E> {
         EventQueue::default()
     }
 
+    fn store(&mut self, event: E) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.slab[slot as usize] = Some(event);
+            slot
+        } else {
+            let slot = u32::try_from(self.slab.len()).expect("slab outgrew u32 slots");
+            self.slab.push(Some(event));
+            slot
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> E {
+        let e = self.slab[slot as usize].take().expect("occupied slot");
+        self.free.push(slot);
+        e
+    }
+
     /// Schedules `event` at `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
+        let slot = self.store(event);
         let vb = vb_of(at);
         if self.wheel_len == 0 {
             // Empty wheel: the window can be repositioned freely (pop
@@ -133,20 +134,20 @@ impl<E> EventQueue<E> {
                 // is a plain O(1) tail append.
                 let back = bucket.items.back().expect("non-empty sorted bucket");
                 if (at, seq) >= (back.0, back.1) {
-                    bucket.items.push_back((at, seq, event));
+                    bucket.items.push_back((at, seq, slot));
                 } else {
                     let pos = bucket.items.partition_point(|e| (e.0, e.1) < (at, seq));
-                    bucket.items.insert(pos, (at, seq, event));
+                    bucket.items.insert(pos, (at, seq, slot));
                 }
             } else {
                 bucket.sorted = false;
-                bucket.items.push_back((at, seq, event));
+                bucket.items.push_back((at, seq, slot));
             }
             self.wheel_len += 1;
         } else {
             // Beyond the horizon, or behind a cursor that advanced past
             // this bucket while an earlier overflow event was popping.
-            self.overflow.push(Reverse((at, seq, OrdIgnored(event))));
+            self.overflow.push(Reverse((at, seq, slot)));
         }
     }
 
@@ -171,14 +172,14 @@ impl<E> EventQueue<E> {
 
     fn pop_wheel(&mut self) -> (SimTime, E) {
         let bucket = &mut self.wheel[slot_of(self.base_vb)];
-        let (t, _, e) = bucket.items.pop_front().expect("non-empty bucket");
+        let (t, _, slot) = bucket.items.pop_front().expect("non-empty bucket");
         self.wheel_len -= 1;
-        (t, e)
+        (t, self.take(slot))
     }
 
     fn pop_overflow(&mut self) -> (SimTime, E) {
-        let Reverse((t, _, e)) = self.overflow.pop().expect("non-empty overflow");
-        (t, e.0)
+        let Reverse((t, _, slot)) = self.overflow.pop().expect("non-empty overflow");
+        (t, self.take(slot))
     }
 
     /// Pops the earliest event, if any.
@@ -305,6 +306,25 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slab_slots_recycle() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        // Steady-state churn: capacity must stop growing once the
+        // high-water mark (2 pending) is reached.
+        for i in 0..1_000u64 {
+            q.push(t(i), i);
+            q.push(t(i), i + 1);
+            assert_eq!(q.pop().map(|(_, e)| e), Some(i));
+            assert_eq!(q.pop().map(|(_, e)| e), Some(i + 1));
+        }
+        assert!(
+            q.slab.len() <= 2,
+            "slab grew past high-water: {}",
+            q.slab.len()
+        );
     }
 
     #[test]

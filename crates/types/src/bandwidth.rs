@@ -63,9 +63,14 @@ impl Bandwidth {
         if self.0 == 0 {
             return SimDuration(u64::MAX);
         }
-        let bits = bytes as u128 * 8;
-        // ns = bits / (bits/s) * 1e9, computed in u128 to avoid overflow.
-        let ns = bits * 1_000_000_000 / u128::from(self.0);
+        // ns = bits / (bits/s) * 1e9. Real frames stay far below the
+        // u64 overflow bound (~2.3 GB), and that division runs once per
+        // transmit — keep it native. Larger requests take the slow
+        // u128 path instead of overflowing.
+        if let Some(scaled) = (bytes as u64).checked_mul(8_000_000_000) {
+            return SimDuration(scaled / self.0);
+        }
+        let ns = bytes as u128 * 8_000_000_000 / u128::from(self.0);
         SimDuration(u64::try_from(ns).unwrap_or(u64::MAX))
     }
 

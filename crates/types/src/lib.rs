@@ -24,6 +24,7 @@
 pub mod addr;
 pub mod bandwidth;
 pub mod error;
+pub mod fasthash;
 pub mod ids;
 pub mod path;
 pub mod tag;
@@ -32,6 +33,7 @@ pub mod time;
 pub use addr::MacAddr;
 pub use bandwidth::Bandwidth;
 pub use error::{DumbNetError, Result};
+pub use fasthash::{FastHashMap, FastHashSet};
 pub use ids::{HostId, LinkId, PortId, PortNo, SwitchId};
 pub use path::Path;
 pub use tag::Tag;

@@ -6,11 +6,38 @@
 //! `Path::from_ports([2, 3, 5])` and the ø appears only in the serialized
 //! header.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DumbNetError;
 use crate::ids::PortNo;
 use crate::tag::Tag;
+
+/// Semantic capacity; re-exported as [`Path::MAX_LEN`].
+const MAX: usize = 64;
+
+/// Inline small-buffer capacity. 22 one-byte tags keep the whole `Path`
+/// at 32 bytes (the size of the spilled variant's `Vec` plus cursor),
+/// and no practical topology needs more: a fat-tree traversal plus the
+/// discovery framing tags stays under a dozen. Longer paths — legal up
+/// to [`Path::MAX_LEN`] — spill to the heap.
+const INLINE: usize = 22;
+
+/// Backing store: a small inline buffer for the common case, a heap
+/// vector for the rare long path. Both keep a head cursor so the
+/// per-hop pop is an increment, never a shift or reallocation.
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        tags: [Tag; INLINE],
+        /// Number of initialized entries in `tags`.
+        len: u8,
+        /// Index of the first not-yet-consumed tag.
+        head: u8,
+    },
+    Spill {
+        tags: Vec<Tag>,
+        /// Index of the first not-yet-consumed tag.
+        head: u8,
+    },
+}
 
 /// An ordered sequence of routing tags describing a route through the
 /// fabric.
@@ -19,12 +46,18 @@ use crate::tag::Tag;
 /// topology-discovery probes insert them to ask a mid-path switch for its
 /// identity (§4.1).
 ///
-/// Internally the tags live in one buffer with a head cursor:
-/// [`Path::pop_front`] (the per-hop operation every switch performs)
-/// advances the cursor instead of reallocating the remainder, so a packet
-/// crosses the whole fabric on the single tag buffer it was sent with.
-/// Every observable view — length, equality, hashing, display, iteration,
-/// the wire encoding — covers only the remaining tags.
+/// Internally the tags live in a 22-byte inline buffer with a head
+/// cursor: [`Path::pop_front`] (the per-hop operation every switch
+/// performs) advances the cursor, so a packet crosses the whole fabric
+/// on the buffer it was sent with, and building, cloning, or reversing
+/// a practical path never touches the allocator. Paths longer than the
+/// inline buffer — up to [`Path::MAX_LEN`] — transparently spill to a
+/// heap vector. The inline capacity is deliberately small: a `Path` is
+/// embedded in every packet and every packet is copied through the
+/// event queue's slab twice per hop, so path bytes are the simulator's
+/// single largest memcpy bill. Every observable view — length,
+/// equality, hashing, display, iteration, the wire encoding — covers
+/// only the remaining tags and never betrays the representation.
 ///
 /// # Examples
 ///
@@ -39,11 +72,15 @@ use crate::tag::Tag;
 /// assert_eq!(path.pop_front(), Some(Tag(2)));
 /// assert_eq!(path.to_string(), "3-5-ø");
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Path {
-    tags: Vec<Tag>,
-    /// Index of the first not-yet-consumed tag.
-    head: usize,
+    repr: Repr,
+}
+
+impl Default for Path {
+    fn default() -> Path {
+        Path::empty()
+    }
 }
 
 impl Path {
@@ -53,15 +90,42 @@ impl Path {
     /// (more than four times the diameter of any practical DCN topology);
     /// the MPLS encoding is the binding constraint in practice and also
     /// fits 64 labels within a 1450-byte MTU reservation.
-    pub const MAX_LEN: usize = 64;
+    pub const MAX_LEN: usize = MAX;
 
     /// The empty path (source and destination on the same switch port —
     /// only meaningful for loopback probes).
     #[must_use]
     pub fn empty() -> Path {
         Path {
-            tags: Vec::new(),
-            head: 0,
+            repr: Repr::Inline {
+                tags: [Tag(0); INLINE],
+                len: 0,
+                head: 0,
+            },
+        }
+    }
+
+    /// Builds a path from a validated slice (caller guarantees the
+    /// length bound; tags are assumed routable).
+    fn from_slice(tags: &[Tag]) -> Path {
+        debug_assert!(tags.len() <= MAX);
+        if tags.len() <= INLINE {
+            let mut buf = [Tag(0); INLINE];
+            buf[..tags.len()].copy_from_slice(tags);
+            Path {
+                repr: Repr::Inline {
+                    tags: buf,
+                    len: tags.len() as u8,
+                    head: 0,
+                },
+            }
+        } else {
+            Path {
+                repr: Repr::Spill {
+                    tags: tags.to_vec(),
+                    head: 0,
+                },
+            }
         }
     }
 
@@ -74,14 +138,39 @@ impl Path {
     /// [`DumbNetError::InvalidTagInPath`] if any value is the ø marker
     /// (ø is a framing detail, not a routable tag).
     pub fn from_tags<I: IntoIterator<Item = Tag>>(tags: I) -> Result<Path, DumbNetError> {
-        let tags: Vec<Tag> = tags.into_iter().collect();
-        if tags.len() > Path::MAX_LEN {
-            return Err(DumbNetError::PathTooLong(tags.len()));
+        let mut path = Path::empty();
+        let mut iter = tags.into_iter();
+        for tag in iter.by_ref() {
+            if tag.is_end() {
+                return Err(DumbNetError::InvalidTagInPath(tag.byte()));
+            }
+            match &mut path.repr {
+                Repr::Inline { tags, len, .. } if (*len as usize) < INLINE => {
+                    tags[*len as usize] = tag;
+                    *len += 1;
+                }
+                Repr::Inline { tags, .. } => {
+                    // Inline buffer exhausted mid-build: spill and keep
+                    // going (the path is still legal up to MAX).
+                    let mut spilled = Vec::with_capacity(MAX);
+                    spilled.extend_from_slice(&tags[..INLINE]);
+                    spilled.push(tag);
+                    path.repr = Repr::Spill {
+                        tags: spilled,
+                        head: 0,
+                    };
+                }
+                Repr::Spill { tags, .. } => {
+                    if tags.len() == MAX {
+                        // Report the full supplied length, like the old
+                        // collect-then-check implementation did.
+                        return Err(DumbNetError::PathTooLong(MAX + 1 + iter.count()));
+                    }
+                    tags.push(tag);
+                }
+            }
         }
-        if let Some(bad) = tags.iter().find(|t| t.is_end()) {
-            return Err(DumbNetError::InvalidTagInPath(bad.byte()));
-        }
-        Ok(Path { tags, head: 0 })
+        Ok(path)
     }
 
     /// Builds a path of plain output-port tags.
@@ -91,11 +180,16 @@ impl Path {
     /// Returns [`DumbNetError::InvalidPort`] for port values `0` or `255`,
     /// or [`DumbNetError::PathTooLong`] for oversized paths.
     pub fn from_ports<I: IntoIterator<Item = u8>>(ports: I) -> Result<Path, DumbNetError> {
-        let tags = ports
-            .into_iter()
-            .map(Tag::port)
-            .collect::<Result<Vec<_>, _>>()?;
-        Path::from_tags(tags)
+        let mut checked = Ok(());
+        let path = Path::from_tags(ports.into_iter().map_while(|p| match Tag::port(p) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                checked = Err(e);
+                None
+            }
+        }));
+        checked?;
+        path
     }
 
     /// Builds a path from validated port numbers (infallible except for
@@ -111,13 +205,16 @@ impl Path {
     /// Number of (remaining) tags in the path.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.tags.len() - self.head
+        match &self.repr {
+            Repr::Inline { len, head, .. } => usize::from(len - head),
+            Repr::Spill { tags, head } => tags.len() - usize::from(*head),
+        }
     }
 
     /// Returns `true` when no tags remain.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.head >= self.tags.len()
+        self.len() == 0
     }
 
     /// Number of *forwarding* hops, i.e. port tags (ID-query tags consume
@@ -130,31 +227,40 @@ impl Path {
     /// The remaining tags, in forwarding order.
     #[must_use]
     pub fn tags(&self) -> &[Tag] {
-        &self.tags[self.head..]
+        match &self.repr {
+            Repr::Inline { tags, len, head } => &tags[usize::from(*head)..usize::from(*len)],
+            Repr::Spill { tags, head } => &tags[usize::from(*head)..],
+        }
     }
 
     /// Consumes and returns the first tag, advancing the head cursor —
-    /// the per-hop operation of a dumb switch. O(1), no reallocation.
+    /// the per-hop operation of a dumb switch. O(1), no copying.
     pub fn pop_front(&mut self) -> Option<Tag> {
-        let &tag = self.tags.get(self.head)?;
-        self.head += 1;
-        Some(tag)
+        match &mut self.repr {
+            Repr::Inline { tags, len, head } => {
+                if head >= len {
+                    return None;
+                }
+                let tag = tags[usize::from(*head)];
+                *head += 1;
+                Some(tag)
+            }
+            Repr::Spill { tags, head } => {
+                let tag = *tags.get(usize::from(*head))?;
+                *head += 1;
+                Some(tag)
+            }
+        }
     }
 
     /// First tag plus the remainder of the path, as a switch sees it.
     ///
-    /// Prefer [`Path::pop_front`] on owned paths; this clones the
+    /// Prefer [`Path::pop_front`] on owned paths; this copies the
     /// remainder for callers that must keep the original intact.
     #[must_use]
     pub fn split_first(&self) -> Option<(Tag, Path)> {
         let (&head, rest) = self.tags().split_first()?;
-        Some((
-            head,
-            Path {
-                tags: rest.to_vec(),
-                head: 0,
-            },
-        ))
+        Some((head, Path::from_slice(rest)))
     }
 
     /// Appends a tag, consuming and returning the path (builder style).
@@ -166,10 +272,34 @@ impl Path {
         if tag.is_end() {
             return Err(DumbNetError::InvalidTagInPath(tag.byte()));
         }
-        if self.len() >= Path::MAX_LEN {
+        if self.len() >= MAX {
             return Err(DumbNetError::PathTooLong(self.len() + 1));
         }
-        self.tags.push(tag);
+        match &mut self.repr {
+            Repr::Inline { tags, len, head } => {
+                if (usize::from(*len)) == INLINE && *head > 0 {
+                    // The buffer is full but the head cursor has
+                    // advanced: compact the live view to make room.
+                    tags.copy_within(usize::from(*head)..INLINE, 0);
+                    *len -= *head;
+                    *head = 0;
+                }
+                if (usize::from(*len)) < INLINE {
+                    tags[usize::from(*len)] = tag;
+                    *len += 1;
+                } else {
+                    // Inline capacity genuinely exhausted: spill.
+                    let mut spilled = Vec::with_capacity(INLINE + INLINE / 2);
+                    spilled.extend_from_slice(&tags[..INLINE]);
+                    spilled.push(tag);
+                    self.repr = Repr::Spill {
+                        tags: spilled,
+                        head: 0,
+                    };
+                }
+            }
+            Repr::Spill { tags, .. } => tags.push(tag),
+        }
         Ok(self)
     }
 
@@ -182,13 +312,31 @@ impl Path {
     /// [`Path::MAX_LEN`].
     pub fn concat(&self, other: &Path) -> Result<Path, DumbNetError> {
         let total = self.len() + other.len();
-        if total > Path::MAX_LEN {
+        if total > MAX {
             return Err(DumbNetError::PathTooLong(total));
         }
-        let mut tags = Vec::with_capacity(total);
-        tags.extend_from_slice(self.tags());
-        tags.extend_from_slice(other.tags());
-        Ok(Path { tags, head: 0 })
+        if total <= INLINE {
+            let mut buf = [Tag(0); INLINE];
+            buf[..self.len()].copy_from_slice(self.tags());
+            buf[self.len()..total].copy_from_slice(other.tags());
+            Ok(Path {
+                repr: Repr::Inline {
+                    tags: buf,
+                    len: total as u8,
+                    head: 0,
+                },
+            })
+        } else {
+            let mut joined = Vec::with_capacity(total);
+            joined.extend_from_slice(self.tags());
+            joined.extend_from_slice(other.tags());
+            Ok(Path {
+                repr: Repr::Spill {
+                    tags: joined,
+                    head: 0,
+                },
+            })
+        }
     }
 
     /// The paper's probe construction: the reverse of a port-tag path.
@@ -200,9 +348,26 @@ impl Path {
     /// (e.g. loopback bounce probes).
     #[must_use]
     pub fn reversed(&self) -> Path {
-        Path {
-            tags: self.tags().iter().rev().copied().collect(),
-            head: 0,
+        let n = self.len();
+        if n <= INLINE {
+            let mut buf = [Tag(0); INLINE];
+            for (i, &t) in self.tags().iter().rev().enumerate() {
+                buf[i] = t;
+            }
+            Path {
+                repr: Repr::Inline {
+                    tags: buf,
+                    len: n as u8,
+                    head: 0,
+                },
+            }
+        } else {
+            Path {
+                repr: Repr::Spill {
+                    tags: self.tags().iter().rev().copied().collect(),
+                    head: 0,
+                },
+            }
         }
     }
 
@@ -231,7 +396,7 @@ impl Path {
     /// [`DumbNetError::InvalidTagInPath`] is unreachable here because
     /// every pre-terminator byte is by construction not ø.
     pub fn from_wire(bytes: &[u8]) -> Result<(Path, usize), DumbNetError> {
-        let window = &bytes[..bytes.len().min(Path::MAX_LEN + 1)];
+        let window = &bytes[..bytes.len().min(MAX + 1)];
         let end = window
             .iter()
             .position(|&b| b == Tag::END.byte())
@@ -242,7 +407,8 @@ impl Path {
 }
 
 /// Equality covers the remaining view only: a path that was popped twice
-/// equals a freshly built path of the same remaining tags.
+/// equals a freshly built path of the same remaining tags, regardless of
+/// which representation either uses.
 impl PartialEq for Path {
     fn eq(&self, other: &Path) -> bool {
         self.tags() == other.tags()
@@ -254,6 +420,12 @@ impl Eq for Path {}
 impl std::hash::Hash for Path {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.tags().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Path").field("tags", &self.tags()).finish()
     }
 }
 
@@ -277,6 +449,18 @@ impl std::ops::Index<usize> for Path {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn path_stays_pointer_sized_times_four() {
+        // A Path rides inside every packet, and every packet is copied
+        // through the event queue's slab twice per hop: its size is a
+        // simulator-wide memcpy multiplier. Catch accidental growth.
+        assert!(
+            std::mem::size_of::<Path>() <= 32,
+            "Path grew to {} bytes",
+            std::mem::size_of::<Path>()
+        );
+    }
 
     #[test]
     fn wire_round_trip() {
@@ -349,6 +533,25 @@ mod tests {
     }
 
     #[test]
+    fn oversize_error_reports_full_supplied_length() {
+        let n = Path::MAX_LEN + 7;
+        match Path::from_ports(std::iter::repeat_n(1, n)) {
+            Err(DumbNetError::PathTooLong(got)) => assert_eq!(got, n),
+            other => panic!("expected PathTooLong, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_port_beats_length_in_from_ports() {
+        // A bad port value early in an oversized list reports the port
+        // error, mirroring the item-by-item validation order.
+        assert!(matches!(
+            Path::from_ports([1, 0, 2]),
+            Err(DumbNetError::InvalidPort(0))
+        ));
+    }
+
+    #[test]
     fn concat_and_reverse() {
         let a = Path::from_ports([1, 2]).unwrap();
         let b = Path::from_ports([3]).unwrap();
@@ -402,5 +605,65 @@ mod tests {
         let joined = p.concat(&Path::from_ports([8]).unwrap()).unwrap();
         assert_eq!(joined.to_string(), "2-3-8-ø");
         assert_eq!(p.reversed().to_string(), "3-2-ø");
+    }
+
+    #[test]
+    fn push_compacts_a_popped_full_buffer() {
+        // Fill to capacity, consume a tag, then push: the remaining view
+        // is MAX_LEN - 1 long, so the push must succeed even though the
+        // physical buffer was full.
+        let mut p = Path::from_ports(std::iter::repeat_n(1, Path::MAX_LEN)).unwrap();
+        assert!(p.pop_front().is_some());
+        let p = p.push(Tag(9)).unwrap();
+        assert_eq!(p.len(), Path::MAX_LEN);
+        assert_eq!(p[Path::MAX_LEN - 1], Tag(9));
+    }
+
+    #[test]
+    fn spilled_and_inline_paths_are_indistinguishable() {
+        // Build past the inline buffer, then pop back down to a short
+        // remaining view: it must equal (and hash like) a fresh inline
+        // path of the same tags.
+        let long: Vec<u8> = (0..40u8).map(|i| 1 + (i % 200)).collect();
+        let mut spilled = Path::from_ports(long.clone()).unwrap();
+        for _ in 0..38 {
+            spilled.pop_front();
+        }
+        let fresh = Path::from_ports(long[38..].iter().copied()).unwrap();
+        assert_eq!(spilled, fresh);
+        assert_eq!(spilled.len(), 2);
+        assert_eq!(spilled.to_string(), fresh.to_string());
+        let hash = |path: &Path| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            path.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&spilled), hash(&fresh));
+    }
+
+    #[test]
+    fn push_promotes_across_the_inline_boundary() {
+        // Grow one tag at a time through the spill threshold: every
+        // intermediate view must match the equivalent from_ports path.
+        let mut p = Path::empty();
+        for i in 0..Path::MAX_LEN {
+            p = p.push(Tag(1 + (i % 200) as u8)).unwrap();
+            let want: Vec<u8> = (0..=i).map(|j| 1 + (j % 200) as u8).collect();
+            assert_eq!(p, Path::from_ports(want).unwrap(), "at length {}", i + 1);
+        }
+        assert!(p.push(Tag(9)).is_err());
+    }
+
+    #[test]
+    fn long_path_pops_through_the_spill() {
+        let ports: Vec<u8> = (0..Path::MAX_LEN as u8).map(|i| 1 + i).collect();
+        let mut p = Path::from_ports(ports.clone()).unwrap();
+        for (i, &want) in ports.iter().enumerate() {
+            assert_eq!(p.len(), Path::MAX_LEN - i);
+            assert_eq!(p.pop_front(), Some(Tag(want)));
+        }
+        assert_eq!(p.pop_front(), None);
+        assert!(p.is_empty());
     }
 }
