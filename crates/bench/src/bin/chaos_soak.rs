@@ -5,17 +5,25 @@
 //! three-controller testbed fabric, then checks the leadership
 //! invariants (at most one leader per term, term-monotone logs,
 //! post-heal log convergence) and that the cluster settles on exactly
-//! one live leader. Exits non-zero on the first violation, so CI can
-//! gate on it — and dumps the telemetry snapshot diff (baseline vs.
-//! post-run) plus the tail of the structured trace ring, so a red run
-//! carries its own forensics instead of a bare exit code.
+//! one live leader. Every seed runs twice: once as before, and once as
+//! a **gray row** — detection enabled, two hosts streaming, and a gray
+//! fault (silent loss, link stays up) injected on the trunk one
+//! stream's bound path crosses, overlapping the crash/partition
+//! schedule. Gray rows additionally check the DESIGN.md §10 invariants
+//! mid-fault (no blackhole while a healthy path exists, bounded flaps)
+//! and post-heal (quarantine convergence). Exits non-zero on the first
+//! violation, so CI can gate on it — and dumps the telemetry snapshot
+//! diff (baseline vs. post-run) plus the tail of the structured trace
+//! ring, so a red run carries its own forensics instead of a bare exit
+//! code.
 //!
 //! Usage: `chaos_soak [--seeds N]` (default 8).
 
-use dumbnet_controller::{Controller, ControllerConfig};
-use dumbnet_core::{check_invariants, Fabric, FabricConfig};
-use dumbnet_host::HostAgent;
-use dumbnet_sim::{ChaosPlan, CrashSchedule, NodeAddr, PartitionSchedule};
+use dumbnet_controller::{Controller, ControllerConfig, GrayFaultConfig};
+use dumbnet_core::{check_gray_invariants, check_invariants, Fabric, FabricConfig};
+use dumbnet_host::agent::AppAction;
+use dumbnet_host::{GrayDetectConfig, HostAgent};
+use dumbnet_sim::{ChaosPlan, CrashSchedule, FaultProfile, NodeAddr, PartitionSchedule};
 use dumbnet_switch::DumbSwitchConfig;
 use dumbnet_topology::generators;
 use dumbnet_types::{HostId, MacAddr, SimDuration, SimTime};
@@ -26,10 +34,14 @@ fn at_ms(ms: u64) -> SimTime {
     SimTime::ZERO + SimDuration::from_millis(ms)
 }
 
-fn build_fabric() -> Fabric {
+/// The two streaming hosts of the gray rows and their destinations
+/// (far leaves, so the streams cross spine trunks).
+const GRAY_STREAMS: [(u64, u64); 2] = [(2, 26), (3, 17)];
+
+fn build_fabric(gray: bool) -> Fabric {
     let g = generators::testbed();
     let peers: Vec<MacAddr> = CONTROLLERS.iter().map(|&h| MacAddr::for_host(h)).collect();
-    let cfg = FabricConfig {
+    let mut cfg = FabricConfig {
         controllers: CONTROLLERS.iter().map(|&h| HostId(h)).collect(),
         controller: ControllerConfig {
             peers,
@@ -52,10 +64,36 @@ fn build_fabric() -> Fabric {
         },
         ..FabricConfig::default()
     };
-    Fabric::build_full(g.topology, cfg, HostAgent::new, |id, mut ccfg| {
-        ccfg.is_leader = id == HostId(CONTROLLERS[0]);
-        Controller::new(id, ccfg)
-    })
+    if gray {
+        cfg.host.gray_detect = Some(GrayDetectConfig::default());
+        cfg.controller.gray = Some(GrayFaultConfig::default());
+    }
+    Fabric::build_full(
+        g.topology,
+        cfg,
+        move |id, mut hc| {
+            if gray {
+                if let Some(&(_, dst)) = GRAY_STREAMS.iter().find(|&&(h, _)| h == id.get()) {
+                    // Light long-lived streams: enough traffic to keep
+                    // paths cached and probed through the whole fault
+                    // window, far below the trunk capacity.
+                    hc.actions = vec![AppAction::DataStream {
+                        at: SimDuration::from_millis(10),
+                        dst: MacAddr::for_host(dst),
+                        flow: 7,
+                        packets: 1_400,
+                        bytes: 400,
+                        interval: SimDuration::from_micros(500),
+                    }];
+                }
+            }
+            HostAgent::new(id, hc)
+        },
+        |id, mut ccfg| {
+            ccfg.is_leader = id == HostId(CONTROLLERS[0]);
+            Controller::new(id, ccfg)
+        },
+    )
     .expect("fabric builds")
 }
 
@@ -84,8 +122,12 @@ fn violation_dump(fabric: &mut Fabric, baseline: &dumbnet_telemetry::TelemetrySn
 }
 
 /// Runs one seeded scenario; returns a violation description, if any.
-fn soak_one(seed: u64) -> Result<String, String> {
-    let mut fabric = build_fabric();
+/// With `gray`, a silent-loss fault overlaps the crash/partition
+/// schedule and the gray invariants are checked mid-fault and
+/// post-heal.
+fn soak_one(seed: u64, gray: bool) -> Result<String, String> {
+    let mode = if gray { "gray" } else { "base" };
+    let mut fabric = build_fabric(gray);
     let baseline = fabric.telemetry_snapshot();
 
     // Seed-derived interleaving: one controller crashes and restarts,
@@ -121,19 +163,94 @@ fn soak_one(seed: u64) -> Result<String, String> {
             start: at_ms(cut_at),
             heal_after: SimDuration::from_millis(heal_after),
         });
-    let last = plan
+    let mut last = plan
         .last_scheduled_event()
         .map_or(0, |t| t.since(SimTime::ZERO).as_millis_f64() as u64);
     plan.apply(&mut fabric.world);
+
+    if gray {
+        // Warm up until the first stream's path is cached and its flow
+        // bound (the crash/partition schedule starts at ≥100 ms), then
+        // poison the trunk that bound path actually crosses — mirroring
+        // the PathTable's `hash(flow) % k` binding so the fault is
+        // guaranteed to hit live traffic. Even seeds black-hole the
+        // trunk entirely; odd seeds leave it limping at 60 % loss.
+        fabric.run_until(at_ms(60));
+        let src = HostId(GRAY_STREAMS[0].0);
+        let dst = MacAddr::for_host(GRAY_STREAMS[0].1);
+        let leaf = fabric
+            .topology
+            .host(src)
+            .expect("stream source exists")
+            .attached
+            .switch;
+        let spine = {
+            let agent = fabric.host(src).expect("stream source is a host");
+            let entry = agent
+                .pathtable
+                .entry(dst)
+                .expect("stream path cached after warmup");
+            let ix = 7usize.wrapping_mul(0x9E37_79B9) % entry.paths.len().max(1);
+            let bound = entry.paths[ix].clone();
+            fabric
+                .topology
+                .links()
+                .map(|l| {
+                    if l.a.switch == leaf {
+                        l.b.switch
+                    } else {
+                        l.a.switch
+                    }
+                })
+                .find(|&s| bound.uses_edge(leaf, s))
+                .expect("bound path crosses a trunk")
+        };
+        let wire = fabric.trunk_wire(leaf, spine).expect("trunk exists");
+        let rate = if seed % 2 == 0 { 1.0 } else { 0.6 };
+        let gray_at = 150 + (seed % 3) * 40;
+        let gray_heal = gray_at + 230 + (seed % 4) * 30;
+        fabric
+            .world
+            .schedule_fault_profile(at_ms(gray_at), wire, FaultProfile::lossy(rate));
+        fabric
+            .world
+            .schedule_fault_profile(at_ms(gray_heal), wire, FaultProfile::default());
+        last = last.max(gray_heal);
+
+        // Mid-fault: detection has had ≥200 ms — nobody may be
+        // black-holed while a healthy path exists, and quarantine must
+        // not be flapping.
+        fabric.run_until(at_ms(gray_heal - 10));
+        let mid = check_gray_invariants(&fabric, 4, false);
+        if !mid.ok() {
+            let dump = violation_dump(&mut fabric, &baseline);
+            return Err(format!(
+                "seed {seed} ({mode}): mid-fault gray invariants violated: \
+                 {mid:?}\n{dump}"
+            ));
+        }
+    }
+
     // Generous settle window after the last disruption: elections,
     // step-downs and resyncs must all have quiesced.
     fabric.run_until(at_ms(last + 800));
+
+    if gray {
+        let after = check_gray_invariants(&fabric, 4, true);
+        if !after.ok() {
+            let dump = violation_dump(&mut fabric, &baseline);
+            return Err(format!(
+                "seed {seed} ({mode}): post-heal gray invariants violated: \
+                 {after:?}\n{dump}"
+            ));
+        }
+    }
 
     let report = check_invariants(&fabric);
     if !report.dataplane_ok() {
         let dump = violation_dump(&mut fabric, &baseline);
         return Err(format!(
-            "seed {seed}: data-plane divergence from reference model: \
+            "seed {seed} ({mode}): data-plane divergence from reference model: \
              {:?} (switch id, divergence count)\n{dump}",
             report.dataplane_divergence,
         ));
@@ -141,7 +258,7 @@ fn soak_one(seed: u64) -> Result<String, String> {
     if !report.leadership_ok() {
         let dump = violation_dump(&mut fabric, &baseline);
         return Err(format!(
-            "seed {seed}: leadership invariants violated: \
+            "seed {seed} ({mode}): leadership invariants violated: \
              duplicate_term_leaders={:?} nonmonotone_logs={:?} \
              divergent_log_pairs={:?}\n{dump}",
             report.duplicate_term_leaders, report.nonmonotone_logs, report.divergent_log_pairs,
@@ -159,7 +276,7 @@ fn soak_one(seed: u64) -> Result<String, String> {
     if leaders.len() != 1 {
         let dump = violation_dump(&mut fabric, &baseline);
         return Err(format!(
-            "seed {seed}: expected exactly one settled leader, got {leaders:?}\n{dump}"
+            "seed {seed} ({mode}): expected exactly one settled leader, got {leaders:?}\n{dump}"
         ));
     }
     let (elections, step_downs): (u64, u64) = CONTROLLERS
@@ -169,7 +286,7 @@ fn soak_one(seed: u64) -> Result<String, String> {
             (e + c.stats().elections_started, s + c.stats().step_downs)
         });
     Ok(format!(
-        "seed {seed}: crash={crash_victim}@{crash_at}ms(+{restart_after}ms) \
+        "seed {seed} ({mode}): crash={crash_victim}@{crash_at}ms(+{restart_after}ms) \
          cut={cut_victim}@{cut_at}ms(+{heal_after}ms) leader={} \
          elections={elections} step_downs={step_downs} ok",
         leaders[0]
@@ -189,16 +306,18 @@ fn main() {
     }
     let mut failed = false;
     for seed in 0..seeds {
-        match soak_one(seed) {
-            Ok(line) => println!("{line}"),
-            Err(violation) => {
-                eprintln!("FAIL {violation}");
-                failed = true;
+        for gray in [false, true] {
+            match soak_one(seed, gray) {
+                Ok(line) => println!("{line}"),
+                Err(violation) => {
+                    eprintln!("FAIL {violation}");
+                    failed = true;
+                }
             }
         }
     }
     if failed {
         std::process::exit(1);
     }
-    println!("chaos soak passed: {seeds} seeds, zero invariant violations");
+    println!("chaos soak passed: {seeds} seeds x {{base, gray}}, zero invariant violations");
 }

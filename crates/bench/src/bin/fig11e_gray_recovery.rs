@@ -1,0 +1,35 @@
+//! Regenerates Figure 11(e) (gray-failure recovery: binary timeout vs.
+//! EWMA gray detection) as a JSON document on stdout.
+//!
+//! ```text
+//! fig11e_gray_recovery [--quick] [--json FILE] [--expect CHECKSUM]
+//! ```
+//!
+//! With `--expect`, exits non-zero unless the run's checksum matches —
+//! the CI determinism gate.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|ix| args.get(ix + 1))
+            .cloned()
+    };
+    let fig = dumbnet_bench::fig11e::sweep(quick);
+    println!("{}", fig.to_json());
+    if let Some(path) = flag_value("--json") {
+        std::fs::write(&path, format!("{}\n", fig.to_json()))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+    if let Some(expect) = flag_value("--expect") {
+        let expect: u64 = expect.parse().expect("--expect takes a number");
+        let got = fig.checksum();
+        if got != expect {
+            eprintln!("fig11e checksum mismatch: expected {expect}, got {got}");
+            std::process::exit(1);
+        }
+        eprintln!("fig11e checksum ok ({got})");
+    }
+}

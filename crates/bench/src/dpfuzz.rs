@@ -688,6 +688,18 @@ fn gen_patch_batch(rng: &mut StdRng) -> PatchBatch {
             }
             delta.up.push((ends[0], ends[1]));
         }
+        for _ in 0..rng.gen_range(0..=2usize) {
+            delta.quarantine.push((
+                SwitchId(rng.gen_range(0..64u64)),
+                SwitchId(rng.gen_range(0..64u64)),
+            ));
+        }
+        for _ in 0..rng.gen_range(0..=2usize) {
+            delta.unquarantine.push((
+                SwitchId(rng.gen_range(0..64u64)),
+                SwitchId(rng.gen_range(0..64u64)),
+            ));
+        }
         version += rng.gen_range(1..=3u64);
         entries.push(PatchEntry { version, delta });
     }
@@ -701,14 +713,17 @@ fn gen_patch_batch(rng: &mut StdRng) -> PatchBatch {
 }
 
 /// Scenario names, in census order.
-const SCENARIOS: [&str; 6] = ["clean", "bitflip", "fcsfix", "truncate", "edge", "ctlbatch"];
+const SCENARIOS: [&str; 7] = [
+    "clean", "bitflip", "fcsfix", "truncate", "edge", "ctlbatch", "graywin",
+];
 
 /// Runs one `(seed, case)` and appends any divergences found.
 #[allow(clippy::too_many_lines)]
 fn run_case(cfg: &FuzzConfig, case: u64, report: &mut FuzzReport) -> usize {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ GOLDEN.wrapping_mul(case + 1));
     let scenario_ix = match rng.gen_range(0..100u32) {
-        0..=49 => 0,  // clean
+        0..=44 => 0,  // clean
+        45..=49 => 6, // graywin
         50..=54 => 5, // ctlbatch
         55..=69 => 1, // bitflip
         70..=84 => 2, // fcsfix
@@ -870,6 +885,47 @@ fn run_case(cfg: &FuzzConfig, case: u64, report: &mut FuzzReport) -> usize {
             }
             if let Some((kind, detail)) = byte_diff(&wire) {
                 record(report, kind, detail, wire);
+            }
+        }
+        6 => {
+            // Gray window: the byte-level shadow of an intermittently
+            // corrupting link (`sim::faults` corrupt windows). A burst
+            // of frames shares one path; each independently arrives
+            // clean, bit-flipped (the FCS must make both sides reject),
+            // or damaged-then-FCS-repaired (both sides must take the
+            // same decision about the damaged frame). However the gray
+            // link interleaves good and bad frames, the oracles must
+            // never diverge on any frame of the window.
+            let burst = rng.gen_range(3..=6u32);
+            for _ in 0..burst {
+                let mut wire = if rng.gen_bool(0.5) {
+                    native.clone()
+                } else {
+                    mpls.clone()
+                };
+                let roll = rng.gen_range(0..10u32);
+                if (4..7).contains(&roll) {
+                    let bit = rng.gen_range(0..wire.len() * 8);
+                    wire[bit / 8] ^= 1 << (bit % 8);
+                } else if roll >= 7 {
+                    for _ in 0..rng.gen_range(1..=2u32) {
+                        let at = rng.gen_range(0..wire.len() - 4);
+                        wire[at] ^= rng.gen_range(1..=255u8);
+                    }
+                    let body_len = wire.len() - 4;
+                    let fcs = crc32(&wire[..body_len]);
+                    wire[body_len..].copy_from_slice(&fcs.to_be_bytes());
+                }
+                report.frames += 1;
+                match ref_decision(&wire) {
+                    Decision::Forward { .. } => report.decisions.forward += 1,
+                    Decision::IdQuery { .. } => report.decisions.id_query += 1,
+                    Decision::Exhausted => report.decisions.exhausted += 1,
+                    Decision::Reject => report.decisions.reject += 1,
+                }
+                if let Some((kind, detail)) = byte_diff(&wire) {
+                    record(report, kind, detail, wire);
+                }
             }
         }
         _ => {

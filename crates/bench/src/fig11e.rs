@@ -1,0 +1,414 @@
+//! Figure 11(e) (extension): gray-failure recovery — binary-timeout
+//! baseline vs. EWMA gray detection.
+//!
+//! Figure 11(b)/(c) recover from *clean* link failures: the switch sees
+//! the port drop and floods a notification. A gray failure never trips
+//! that wire: the trunk stays link-up while silently dropping some
+//! fraction of the packets crossing it. This experiment injects such a
+//! fault under a saturating stream and compares two host-side
+//! detectors on identical fabrics:
+//!
+//! * **binary** — a coarse keepalive timeout: slow probe cadence and a
+//!   near-1.0 loss threshold, so only a total blackhole is ever
+//!   declared dead (the classic dead-peer detector).
+//! * **gray** — the DESIGN.md §10 detector: fast probes, EWMA loss
+//!   tracking, and a sensitive suspicion threshold that catches
+//!   partial loss, triggering an immediate local failover to the
+//!   cached backup before any controller round-trip.
+//!
+//! Recovery is measured from the receiver's goodput bins: the time from
+//! fault injection to the first of two consecutive bins back at ≥95 %
+//! of the pre-fault rate. The 95 % bar (vs. the 80 % used for hard
+//! failures) matters because a partially lossy path still delivers
+//! most of the stream — the point of gray detection is closing that
+//! last degraded fraction.
+//!
+//! Output is JSON with a deterministic work checksum pinned in CI.
+
+use dumbnet_controller::GrayFaultConfig;
+use dumbnet_core::{Fabric, FabricConfig};
+use dumbnet_host::agent::AppAction;
+use dumbnet_host::{GrayDetectConfig, HostAgent};
+use dumbnet_sim::{FaultProfile, LinkParams};
+use dumbnet_topology::generators;
+use dumbnet_types::{Bandwidth, HostId, MacAddr, SimDuration, SimTime};
+
+/// The sensitive detector: EWMA threshold low enough to catch ≥10 %
+/// injected loss (probe-level loss at 10 % wire loss is 0.1–0.19
+/// depending on whether the reply path also crosses the trunk).
+fn gray_detector() -> GrayDetectConfig {
+    GrayDetectConfig {
+        suspect_threshold: 0.08,
+        ..GrayDetectConfig::default()
+    }
+}
+
+/// The binary-timeout baseline: 4× slower probes, eight-sample warmup,
+/// and a 0.95 threshold only a full blackhole can reach.
+fn binary_detector() -> GrayDetectConfig {
+    GrayDetectConfig {
+        probe_interval: SimDuration::from_millis(20),
+        suspect_threshold: 0.95,
+        min_samples: 8,
+        ..GrayDetectConfig::default()
+    }
+}
+
+/// One measured run of the gray-recovery experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayRecoveryPoint {
+    /// Injected per-packet drop probability on the gray trunk.
+    pub loss: f64,
+    /// `"binary"` or `"gray"`.
+    pub detector: &'static str,
+    /// Fault → first of two consecutive bins at ≥95 % of the pre-fault
+    /// goodput; `None` if the stream never got back inside the window.
+    pub recovery: Option<SimDuration>,
+    /// Mean goodput over the last five pre-fault bins, Mbps.
+    pub baseline_mbps: f64,
+    /// Mean goodput over the three bins right after the fault, Mbps.
+    pub degraded_mbps: f64,
+    /// Total stream bytes delivered to both receivers.
+    pub delivered_bytes: u64,
+    /// Path probes sent by the two monitored senders.
+    pub probes: u64,
+    /// `LinkSuspect` reports sent by the two monitored senders.
+    pub suspects: u64,
+    /// Local gray failovers performed by the two monitored senders.
+    pub failovers: u64,
+    /// Edges the controller quarantined.
+    pub quarantines: u64,
+}
+
+/// Fault → recovery, defined as the first of two consecutive bins back
+/// at ≥95 % of the pre-fault mean. Stricter than
+/// [`crate::fig11::outage_from_bins`]'s 80 % bar: a 10 %-lossy path
+/// still clears 80 %, and a single lucky bin under random loss must not
+/// count as recovered.
+fn recovery_from_bins(
+    bins: &[f64],
+    bin_width: SimDuration,
+    t_fail: SimTime,
+) -> Option<SimDuration> {
+    let fail_bin = (t_fail.nanos() / bin_width.nanos()) as usize;
+    let pre: Vec<f64> = bins[..fail_bin.min(bins.len())]
+        .iter()
+        .rev()
+        .take(5)
+        .copied()
+        .collect();
+    if pre.is_empty() {
+        return None;
+    }
+    let base = pre.iter().sum::<f64>() / pre.len() as f64;
+    for ix in (fail_bin + 1)..bins.len().saturating_sub(1) {
+        if bins[ix] >= 0.95 * base && bins[ix + 1] >= 0.95 * base {
+            let t = (ix as u64) * bin_width.nanos();
+            return Some(SimDuration::from_nanos(t.saturating_sub(t_fail.nanos())));
+        }
+    }
+    None
+}
+
+/// Runs one point: a 480 Mbps stream plus a light corroborating stream
+/// from a second sender, gray loss `p` injected at 200 ms on the trunk
+/// the main stream's bound path crosses. Deterministic per `(p, gray)`.
+#[must_use]
+pub fn gray_recovery_point(p: f64, gray: bool) -> GrayRecoveryPoint {
+    let bin_width = SimDuration::from_millis(10);
+    let t_fail = SimTime::ZERO + SimDuration::from_millis(200);
+    let trunk = LinkParams {
+        latency: SimDuration::from_micros(1),
+        bandwidth: Bandwidth::mbps(500),
+        max_queue: SimDuration::from_millis(5),
+        ecn_threshold: None,
+    };
+    let g = generators::testbed();
+    let leaf = g.group("leaf")[0];
+    let spines = g.group("spine").to_vec();
+    let mut cfg = FabricConfig {
+        trunk,
+        ..FabricConfig::default()
+    };
+    cfg.host.gray_detect = Some(if gray {
+        gray_detector()
+    } else {
+        binary_detector()
+    });
+    cfg.controller.gray = Some(GrayFaultConfig::default());
+    // Host 1 is the measured 480 Mbps stream; host 2 runs a light
+    // side stream to a different far leaf so the controller can
+    // corroborate suspicion across reporters (quorum 2).
+    let mut fabric = Fabric::build_with(g.topology, cfg, |id, mut hc| {
+        match id.get() {
+            1 => {
+                hc.actions = vec![AppAction::DataStream {
+                    at: SimDuration::from_millis(20),
+                    dst: MacAddr::for_host(26),
+                    flow: 7,
+                    packets: 30_000,
+                    bytes: 1_200,
+                    interval: SimDuration::from_micros(20),
+                }];
+            }
+            2 => {
+                hc.actions = vec![AppAction::DataStream {
+                    at: SimDuration::from_millis(20),
+                    dst: MacAddr::for_host(16),
+                    flow: 7,
+                    packets: 2_000,
+                    bytes: 200,
+                    interval: SimDuration::from_micros(250),
+                }];
+            }
+            _ => {}
+        }
+        HostAgent::new(id, hc)
+    })
+    .expect("fabric builds");
+
+    // Warm up until the stream's path is cached and its flow bound,
+    // then poison the trunk that bound path actually crosses — the
+    // PathTable binds a fresh flow by `hash(flow) % k`, mirrored here
+    // so the fault is guaranteed to hit the measured stream.
+    fabric.run_until(SimTime::ZERO + SimDuration::from_millis(100));
+    let spine = {
+        let a = fabric.host(HostId(1)).expect("host 1");
+        let entry = a
+            .pathtable
+            .entry(MacAddr::for_host(26))
+            .expect("stream path cached after warmup");
+        let ix = 7usize.wrapping_mul(0x9E37_79B9) % entry.paths.len().max(1);
+        let bound = &entry.paths[ix];
+        *spines
+            .iter()
+            .find(|&&s| bound.uses_edge(leaf, s))
+            .expect("bound path crosses a spine trunk")
+    };
+    let wire = fabric.trunk_wire(leaf, spine).expect("trunk exists");
+    fabric
+        .world
+        .schedule_fault_profile(t_fail, wire, FaultProfile::lossy(p));
+
+    let horizon = SimTime::ZERO + SimDuration::from_millis(700);
+    let mut bins = Vec::new();
+    let mut last_bytes = 0u64;
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        t = t + bin_width;
+        fabric.run_until(t);
+        let total = fabric
+            .host(HostId(26))
+            .and_then(|a| a.stats().delivered.get(&7).copied())
+            .map_or(0, |(_, b)| b);
+        bins.push((total - last_bytes) as f64 * 8.0 / bin_width.as_secs_f64() / 1e6);
+        last_bytes = total;
+    }
+
+    let fail_bin = (t_fail.nanos() / bin_width.nanos()) as usize;
+    let pre: Vec<f64> = bins[..fail_bin].iter().rev().take(5).copied().collect();
+    let baseline_mbps = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
+    let post: Vec<f64> = bins[fail_bin + 1..].iter().take(3).copied().collect();
+    let degraded_mbps = post.iter().sum::<f64>() / post.len().max(1) as f64;
+    let delivered_bytes: u64 = [26u64, 16]
+        .iter()
+        .filter_map(|&h| fabric.host(HostId(h)))
+        .filter_map(|a| a.stats().delivered.get(&7).copied())
+        .map(|(_, b)| b)
+        .sum();
+    let (mut probes, mut suspects, mut failovers) = (0u64, 0u64, 0u64);
+    for h in [1u64, 2] {
+        if let Some(a) = fabric.host(HostId(h)) {
+            let s = a.stats();
+            probes += s.probes_sent;
+            suspects += s.link_suspects_sent;
+            failovers += s.gray_failovers;
+        }
+    }
+    let quarantines = fabric
+        .controller(HostId(0))
+        .map_or(0, |c| c.stats().quarantines);
+    GrayRecoveryPoint {
+        loss: p,
+        detector: if gray { "gray" } else { "binary" },
+        recovery: recovery_from_bins(&bins, bin_width, t_fail),
+        baseline_mbps,
+        degraded_mbps,
+        delivered_bytes,
+        probes,
+        suspects,
+        failovers,
+        quarantines,
+    }
+}
+
+/// The full sweep: every loss rate under both detectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11e {
+    /// All measured points, binary/gray interleaved per rate.
+    pub points: Vec<GrayRecoveryPoint>,
+}
+
+/// Runs the sweep. Quick mode keeps the endpoints (the CI gate).
+#[must_use]
+pub fn sweep(quick: bool) -> Fig11e {
+    let rates: &[f64] = if quick {
+        &[0.1, 1.0]
+    } else {
+        &[0.1, 0.3, 0.5, 1.0]
+    };
+    let mut points = Vec::new();
+    for &p in rates {
+        points.push(gray_recovery_point(p, false));
+        points.push(gray_recovery_point(p, true));
+    }
+    Fig11e { points }
+}
+
+fn point_json(pt: &GrayRecoveryPoint) -> String {
+    let recovery_ms = pt.recovery.map_or("null".to_string(), |o| {
+        format!("{:.3}", o.as_secs_f64() * 1e3)
+    });
+    format!(
+        concat!(
+            "{{\"loss\": {:.3}, \"detector\": \"{}\", ",
+            "\"recovery_ms\": {}, \"recovered\": {}, ",
+            "\"baseline_mbps\": {:.1}, \"degraded_mbps\": {:.1}, ",
+            "\"delivered_bytes\": {}, \"probes\": {}, \"suspects\": {}, ",
+            "\"failovers\": {}, \"quarantines\": {}}}"
+        ),
+        pt.loss,
+        pt.detector,
+        recovery_ms,
+        pt.recovery.is_some(),
+        pt.baseline_mbps,
+        pt.degraded_mbps,
+        pt.delivered_bytes,
+        pt.probes,
+        pt.suspects,
+        pt.failovers,
+        pt.quarantines,
+    )
+}
+
+impl Fig11e {
+    /// Deterministic work fingerprint: delivered bytes, probe/report/
+    /// failover/quarantine counts and the recovery bin of every point.
+    /// Same seed, same code ⇒ same checksum (the CI gate).
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        self.points
+            .iter()
+            .map(|pt| {
+                let recovered_ms = pt.recovery.map_or(0, |d| d.nanos() / 1_000_000 + 1);
+                pt.delivered_bytes
+                    .wrapping_add(pt.probes.wrapping_mul(3))
+                    .wrapping_add(pt.suspects.wrapping_mul(7))
+                    .wrapping_add(pt.failovers.wrapping_mul(31))
+                    .wrapping_add(pt.quarantines.wrapping_mul(127))
+                    .wrapping_add(recovered_ms)
+            })
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// The JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let series: Vec<String> = self
+            .points
+            .iter()
+            .map(|pt| format!("    {}", point_json(pt)))
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"figure\": \"11e\",\n",
+                "  \"title\": \"gray-failure recovery: binary timeout vs ",
+                "EWMA gray detection\",\n",
+                "  \"setup\": \"testbed, 480 Mbps stream, gray loss on the ",
+                "stream's trunk at 200 ms, recovery = 2 bins back at 95% of ",
+                "pre-fault goodput\",\n",
+                "  \"checksum\": {},\n",
+                "  \"series\": [\n{}\n  ]\n",
+                "}}"
+            ),
+            self.checksum(),
+            series.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ISSUE acceptance bar: at 10 % injected loss the gray
+    /// detector must recover strictly faster than the binary-timeout
+    /// baseline (which cannot see partial loss at all — its EWMA
+    /// converges near 0.1, far under the 0.95 bar).
+    #[test]
+    fn gray_strictly_faster_at_ten_percent_loss() {
+        let binary = gray_recovery_point(0.1, false);
+        let gray = gray_recovery_point(0.1, true);
+        let g = gray.recovery.expect("gray detection recovers at 10% loss");
+        match binary.recovery {
+            None => {}
+            Some(b) => assert!(g < b, "gray {g} not faster than binary {b}"),
+        }
+        assert!(gray.failovers > 0, "no local failover performed");
+        // Degradation is judged on the binary baseline: it cannot fail
+        // over at partial loss, so its post-fault window shows the raw
+        // damage. (The gray run recovers within the window — that is
+        // the point of the figure.)
+        assert!(
+            binary.degraded_mbps < 0.95 * binary.baseline_mbps,
+            "fault did not degrade the stream (degraded {} vs base {})",
+            binary.degraded_mbps,
+            binary.baseline_mbps
+        );
+    }
+
+    /// At total (blackhole) loss the binary detector does eventually
+    /// fire, but only after its long warmup — gray detection still wins
+    /// by a wide margin. Run the gray point twice for the same-seed
+    /// determinism regression.
+    #[test]
+    fn gray_beats_binary_at_full_loss_and_is_deterministic() {
+        let binary = gray_recovery_point(1.0, false);
+        let gray = gray_recovery_point(1.0, true);
+        let g = gray.recovery.expect("gray detection recovers a blackhole");
+        if let Some(b) = binary.recovery {
+            assert!(g < b, "gray {g} not faster than binary {b}");
+        }
+        let again = gray_recovery_point(1.0, true);
+        assert_eq!(gray, again, "same-seed runs diverged");
+        assert_eq!(
+            point_json(&gray),
+            point_json(&again),
+            "same-seed JSON diverged"
+        );
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let fig = Fig11e {
+            points: vec![GrayRecoveryPoint {
+                loss: 0.1,
+                detector: "gray",
+                recovery: Some(SimDuration::from_millis(30)),
+                baseline_mbps: 480.0,
+                degraded_mbps: 432.0,
+                delivered_bytes: 1_000,
+                probes: 10,
+                suspects: 2,
+                failovers: 1,
+                quarantines: 1,
+            }],
+        };
+        let doc = fig.to_json();
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        assert!(doc.contains("\"figure\": \"11e\""));
+        assert!(doc.contains("\"recovery_ms\": 30.000"));
+        assert!(doc.contains(&format!("\"checksum\": {}", fig.checksum())));
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`fig10`] | Figure 10 — all-pairs RTT CDF |
 //! | [`fig11`] | Figure 11(a)/(b) — failure notification and recovery |
 //! | [`fig11d`] | Figure 11(d) ext. — controller failover vs takeover timeout |
+//! | [`fig11e`] | Figure 11(e) ext. — gray-failure detection and recovery |
 //! | [`fig12`] | Figure 12 — path-graph size vs. ε |
 //! | [`fig13`] | Figure 13 — HiBench job durations |
 //! | [`table1`] | Table 1 — code-size breakdown |
@@ -33,6 +34,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig11c;
 pub mod fig11d;
+pub mod fig11e;
 pub mod fig12;
 pub mod fig13;
 pub mod perf;

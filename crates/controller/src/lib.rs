@@ -27,5 +27,5 @@ pub mod node;
 pub mod replication;
 
 pub use discovery::{DiscoveryConfig, DiscoveryState, ProbeOut};
-pub use node::{Controller, ControllerConfig, ControllerStats};
+pub use node::{Controller, ControllerConfig, ControllerStats, GrayFaultConfig};
 pub use replication::{ReplicaRole, ReplicatedLog};

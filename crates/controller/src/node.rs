@@ -7,12 +7,13 @@
 //! changes to standby controllers with heartbeat-based takeover.
 
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dumbnet_packet::control::{LinkEvent, PatchBatch, PatchEntry, TopoDelta};
+use dumbnet_packet::PathReplyItem;
 use dumbnet_packet::{ControlMessage, Packet, Payload};
 use dumbnet_sim::{Ctx, Node};
 use dumbnet_telemetry::{Counter, Gauge, Histogram, NodeKind, Telemetry, TraceCategory};
@@ -36,6 +37,8 @@ const T_HEARTBEAT: u64 = 2;
 const T_TAKEOVER: u64 = 3;
 const T_ELECTION: u64 = 4;
 const T_PATCH_FLUSH: u64 = 5;
+const T_PROBATION: u64 = 6;
+const T_REPLY_FLUSH: u64 = 7;
 
 /// Flood budget for election traffic sent before any topology is known
 /// (switches relay it hop-limited, like link notifications). Covers the
@@ -64,6 +67,92 @@ fn graph_build_seed(salt: u64, version: u64, src: MacAddr, dst: MacAddr) -> u64 
         u64::from_be_bytes([0, 0, o[0], o[1], o[2], o[3], o[4], o[5]])
     }
     mix(salt ^ mix(version) ^ mix(mac64(src) << 1 | 1) ^ mix(mac64(dst) << 1))
+}
+
+/// Normalizes an undirected switch edge to `a.0 <= b.0` order — the
+/// canonical key the suspicion scoreboard and quarantine set share with
+/// host-side gray state.
+fn norm_edge(a: SwitchId, b: SwitchId) -> (SwitchId, SwitchId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Gray-failure scoreboard and quarantine knobs (DESIGN.md §10).
+/// `ControllerConfig::gray = None` disables the subsystem entirely:
+/// `LinkSuspect` reports are dropped and no probation timer runs.
+#[derive(Debug, Clone)]
+pub struct GrayFaultConfig {
+    /// Distinct reporting hosts required to corroborate an edge before
+    /// it is quarantined.
+    pub quorum: usize,
+    /// A single report at or above this loss (permille) quarantines
+    /// immediately, without waiting for corroboration. Values above
+    /// 1000 disable the shortcut (the default): end-to-end probe
+    /// evidence attributes loss to whole paths, so a lone reporter's
+    /// total loss still smears across every edge its bad paths use —
+    /// only cross-host corroboration separates the truly gray edge.
+    pub solo_loss_permille: u16,
+    /// Reports at or below this loss (permille) count as clean
+    /// (exoneration evidence) rather than dirty.
+    pub clear_loss_permille: u16,
+    /// Consecutive clean reports required before a quarantined edge is
+    /// released — the hysteresis that prevents patch-storm oscillation.
+    pub clean_streak: u32,
+    /// Quarantine entries per edge before it is pinned sticky: no more
+    /// automatic release until a hard link event resets the edge.
+    pub max_flaps: u32,
+    /// Probation evaluation cadence (release decisions happen on this
+    /// timer, never inline with report arrival).
+    pub probation_interval: SimDuration,
+    /// How long a dirty report stays on the scoreboard without renewal.
+    /// A reporter whose witness paths all cross some *other* dead edge
+    /// can neither renew its accusation nor vouch clean — its stale
+    /// evidence must decay or the edge stays quarantined forever.
+    pub evidence_ttl: SimDuration,
+    /// While any edge is quarantined, the leader re-asserts the full
+    /// quarantine set as a fresh patch epoch at this cadence. Patch
+    /// floods are at-most-once and hosts skip missed epochs, so
+    /// quarantine is deliberately *soft state*: it must be refreshed or
+    /// the hosts let it decay ([`crate::GrayFaultConfig::evidence_ttl`]
+    /// is the scoreboard analog, `GrayDetectConfig::ctrl_quarantine_ttl`
+    /// the host side).
+    pub refresh_interval: SimDuration,
+}
+
+impl Default for GrayFaultConfig {
+    fn default() -> GrayFaultConfig {
+        GrayFaultConfig {
+            quorum: 2,
+            solo_loss_permille: 1001,
+            clear_loss_permille: 50,
+            clean_streak: 3,
+            max_flaps: 3,
+            probation_interval: SimDuration::from_millis(20),
+            evidence_ttl: SimDuration::from_millis(50),
+            refresh_interval: SimDuration::from_millis(60),
+        }
+    }
+}
+
+/// Suspicion scoreboard entry for one normalized switch edge.
+#[derive(Debug, Default, Clone)]
+struct EdgeSuspicion {
+    /// Latest dirty evidence per reporter: `(loss permille, when)`.
+    reporters: BTreeMap<MacAddr, (u16, SimTime)>,
+    /// Highest report sequence seen per reporter; stale or reordered
+    /// reports below the fence are ignored.
+    last_seq: BTreeMap<MacAddr, u64>,
+    /// Consecutive clean reports since the last dirty one, counted only
+    /// while no dirty evidence is outstanding.
+    clean_streak: u32,
+    /// Times this edge entered quarantine (flap audit).
+    flaps: u32,
+    /// Exceeded the flap budget: held in quarantine until a hard link
+    /// event resets the edge.
+    sticky: bool,
 }
 
 /// Controller configuration.
@@ -106,6 +195,13 @@ pub struct ControllerConfig {
     /// Max patch entries per flood frame; batches with more entries are
     /// split into segment frames receivers reassemble.
     pub patch_batch_max: usize,
+    /// Gray-failure detection: suspicion scoreboard, quarantine floods
+    /// and probation release. `None` (the default) disables it.
+    pub gray: Option<GrayFaultConfig>,
+    /// Coalesce path replies completing in the same service burst into
+    /// one `PathReplyBatch` frame per requester, instead of the legacy
+    /// per-request `PathReply` frames.
+    pub reply_batch: bool,
 }
 
 impl Default for ControllerConfig {
@@ -125,6 +221,8 @@ impl Default for ControllerConfig {
             patch_delay: SimDuration::from_millis(1),
             probe_window: 1,
             patch_batch_max: 32,
+            gray: None,
+            reply_batch: false,
         }
     }
 }
@@ -170,6 +268,12 @@ pub struct ControllerStats {
     /// Control messages dropped as malformed or fenced (stale term,
     /// unknown member, inconsistent payload) instead of being processed.
     pub dropped_malformed: u64,
+    /// `LinkSuspect` reports accepted into the scoreboard.
+    pub link_suspects_rx: u64,
+    /// Edges placed under quarantine (entries, not currently-held).
+    pub quarantines: u64,
+    /// Edges released from quarantine by probation.
+    pub unquarantines: u64,
 }
 
 /// Live telemetry handles backing the scalar half of
@@ -187,6 +291,9 @@ struct ControllerCounters {
     elections_started: Counter,
     step_downs: Counter,
     dropped_malformed: Counter,
+    link_suspects_rx: Counter,
+    quarantines: Counter,
+    unquarantines: Counter,
     /// 1 while this replica leads, 0 otherwise (synced in
     /// `publish_telemetry`).
     is_leader: Gauge,
@@ -201,6 +308,8 @@ struct ControllerCounters {
     probe_burst_size: Histogram,
     /// Patch entries coalesced per flood round.
     patch_batch_entries: Histogram,
+    /// Path replies coalesced per `PathReplyBatch` frame.
+    reply_batch_size: Histogram,
 }
 
 impl Default for ControllerCounters {
@@ -217,12 +326,16 @@ impl Default for ControllerCounters {
             elections_started: Counter::new(),
             step_downs: Counter::new(),
             dropped_malformed: Counter::new(),
+            link_suspects_rx: Counter::new(),
+            quarantines: Counter::new(),
+            unquarantines: Counter::new(),
             is_leader: Gauge::new(),
             term: Gauge::new(),
             route_cache_hits: Counter::new(),
             route_cache_misses: Counter::new(),
             probe_burst_size: Histogram::doubling(1, 8),
             patch_batch_entries: Histogram::doubling(1, 8),
+            reply_batch_size: Histogram::doubling(1, 8),
         }
     }
 }
@@ -242,6 +355,9 @@ impl ControllerCounters {
             ("elections_started", &self.elections_started),
             ("step_downs", &self.step_downs),
             ("dropped_malformed", &self.dropped_malformed),
+            ("link_suspects_rx", &self.link_suspects_rx),
+            ("quarantines", &self.quarantines),
+            ("unquarantines", &self.unquarantines),
             ("route_cache_hits", &self.route_cache_hits),
             ("route_cache_misses", &self.route_cache_misses),
         ] {
@@ -260,6 +376,12 @@ impl ControllerCounters {
             node,
             "patch_batch_entries",
             &self.patch_batch_entries,
+        );
+        telemetry.register_histogram(
+            NodeKind::Controller,
+            node,
+            "reply_batch_size",
+            &self.reply_batch_size,
         );
     }
 }
@@ -309,6 +431,24 @@ pub struct Controller {
     /// Memoized path graphs for the query service, validated per entry
     /// against the topology version they were built at.
     graph_cache: HashMap<(MacAddr, MacAddr), CachedGraph>,
+    /// Gray-failure suspicion scoreboard, keyed by normalized edge.
+    gray_board: BTreeMap<(SwitchId, SwitchId), EdgeSuspicion>,
+    /// Edges currently under quarantine: avoided by path builds, but
+    /// distinct from hard-down link state (the topology keeps them up).
+    /// Followers track this too via replicated deltas, so a promoted
+    /// leader inherits the quarantine view.
+    quarantined: BTreeSet<(SwitchId, SwitchId)>,
+    /// Path replies awaiting their service completion under
+    /// `reply_batch` coalescing: `(requester, done-at, item)`.
+    pending_replies: Vec<(MacAddr, SimTime, PathReplyItem)>,
+    /// Leader lease bookkeeping: when each peer replica was last heard
+    /// (acks, sync requests, heartbeat acks). Probation may only mutate
+    /// fabric state while a quorum is in recent contact — a partitioned
+    /// stale leader must not decay evidence into unquarantine appends
+    /// that diverge from the authoritative log.
+    peer_heard: BTreeMap<MacAddr, SimTime>,
+    /// When the quarantine set was last asserted as a patch epoch.
+    last_gray_refresh: SimTime,
     /// Measurement series (scalar counters live in `counters`).
     stats: ControllerStats,
     /// Telemetry handles for the scalar counters.
@@ -362,6 +502,11 @@ impl Controller {
             patch_flush_armed: false,
             route_cache: RouteCache::new(ROUTE_CACHE_SALT ^ id.get()),
             graph_cache: HashMap::new(),
+            gray_board: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+            pending_replies: Vec::new(),
+            peer_heard: BTreeMap::new(),
+            last_gray_refresh: SimTime::ZERO,
             stats,
             counters: ControllerCounters::default(),
             config,
@@ -384,7 +529,24 @@ impl Controller {
         stats.elections_started = self.counters.elections_started.get();
         stats.step_downs = self.counters.step_downs.get();
         stats.dropped_malformed = self.counters.dropped_malformed.get();
+        stats.link_suspects_rx = self.counters.link_suspects_rx.get();
+        stats.quarantines = self.counters.quarantines.get();
+        stats.unquarantines = self.counters.unquarantines.get();
         stats
+    }
+
+    /// Edges currently under quarantine (normalized order), for
+    /// invariant audits and benches.
+    #[must_use]
+    pub fn quarantined_edges(&self) -> Vec<(SwitchId, SwitchId)> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Per-edge quarantine flap counts from the scoreboard (the
+    /// bounded-flap invariant reads these).
+    #[must_use]
+    pub fn gray_flaps(&self) -> Vec<((SwitchId, SwitchId), u32)> {
+        self.gray_board.iter().map(|(e, b)| (*e, b.flaps)).collect()
     }
 
     /// The controller's MAC.
@@ -607,8 +769,8 @@ impl Controller {
     /// Path graphs are validated against `topo_version` per entry, so
     /// the version bump the caller performs retires them lazily.
     fn invalidate_caches(&mut self, delta: &TopoDelta) {
-        if delta.up.is_empty() {
-            for &(a, b) in &delta.down {
+        if delta.up.is_empty() && delta.unquarantine.is_empty() {
+            for &(a, b) in delta.down.iter().chain(&delta.quarantine) {
                 self.route_cache.invalidate_edge(a, b);
             }
         } else {
@@ -822,6 +984,29 @@ impl Controller {
         let Some(delta) = self.apply_event(event) else {
             return;
         };
+        // Hard state supersedes suspicion: a link that goes down (or
+        // comes back from down) sheds its quarantine and scoreboard
+        // entry — hosts drop their gray state for the edge on the same
+        // patch, so no unquarantine entry is needed.
+        for &(a, b) in &delta.down {
+            let e = norm_edge(a, b);
+            self.quarantined.remove(&e);
+            self.gray_board.remove(&e);
+        }
+        for &(pa, pb) in &delta.up {
+            let e = norm_edge(pa.switch, pb.switch);
+            self.quarantined.remove(&e);
+            self.gray_board.remove(&e);
+        }
+        self.commit_delta(ctx, delta);
+    }
+
+    /// Versions a topology delta, replicates it to the standby group,
+    /// and coalesces it into the pending patch flood. The flush timer
+    /// charges the stage-2 processing delay once per batch, not once
+    /// per event or recipient, and floods everything learned in the
+    /// window as one epoch.
+    fn commit_delta(&mut self, ctx: &mut Ctx<'_>, delta: TopoDelta) {
         self.invalidate_caches(&delta);
         self.topo_version += 1;
         if self.log.role() == ReplicaRole::Leader {
@@ -839,16 +1024,13 @@ impl Controller {
                             delta: Box::new(entry.delta.clone()),
                             leader: self.mac,
                             term: self.log.term(),
+                            entry_term: entry.term,
                             commit: self.log.committed(),
                         },
                     );
                 }
             }
         }
-        // Coalesce into the pending batch; the flush timer charges the
-        // stage-2 processing delay once per batch, not once per event or
-        // recipient, and floods everything learned in the window as one
-        // epoch.
         self.pending_patch.push(PatchEntry {
             version: self.topo_version,
             delta,
@@ -856,6 +1038,221 @@ impl Controller {
         if !self.patch_flush_armed {
             self.patch_flush_armed = true;
             ctx.set_timer(self.config.patch_delay, T_PATCH_FLUSH);
+        }
+    }
+
+    /// Quarantines (`enter`) or releases an edge: updates the local
+    /// set and floods a versioned quarantine delta through the same
+    /// log-append and patch-epoch machinery as hard link events.
+    fn push_quarantine_delta(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        edge: (SwitchId, SwitchId),
+        enter: bool,
+    ) {
+        let changed = if enter {
+            self.quarantined.insert(edge)
+        } else {
+            self.quarantined.remove(&edge)
+        };
+        if !changed {
+            return;
+        }
+        let mut delta = TopoDelta::default();
+        if enter {
+            delta.quarantine.push(edge);
+            self.counters.quarantines.inc();
+        } else {
+            delta.unquarantine.push(edge);
+            self.counters.unquarantines.inc();
+        }
+        ctx.trace(
+            TraceCategory::Route,
+            NodeKind::Controller,
+            self.id.get(),
+            || {
+                format!(
+                    "controller {} {} edge ({}, {})",
+                    self.id.get(),
+                    if enter { "quarantines" } else { "releases" },
+                    edge.0 .0,
+                    edge.1 .0,
+                )
+            },
+        );
+        self.commit_delta(ctx, delta);
+        self.last_gray_refresh = ctx.now();
+    }
+
+    /// Feeds one `LinkSuspect` report into the scoreboard and
+    /// quarantines the edge once the evidence corroborates: `quorum`
+    /// distinct dirty reporters, or one reporter above the solo
+    /// threshold. Clean reports retire the reporter's evidence and grow
+    /// the streak probation reads.
+    fn handle_link_suspect(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        reporter: MacAddr,
+        edge: (SwitchId, SwitchId),
+        loss_permille: u16,
+        seq: u64,
+    ) {
+        let Some(cfg) = self.config.gray.clone() else {
+            return;
+        };
+        if self.log.role() != ReplicaRole::Leader {
+            return;
+        }
+        let edge = norm_edge(edge.0, edge.1);
+        // Evidence about an unknown or hard-down link is dropped: the
+        // topology's hard state supersedes suspicion.
+        let Some(up) = self
+            .topology
+            .as_ref()
+            .and_then(|t| t.link_between(edge.0, edge.1))
+            .map(|l| l.up)
+        else {
+            self.counters.dropped_malformed.inc();
+            return;
+        };
+        if !up {
+            return;
+        }
+        let now = ctx.now();
+        // Evidence is always recorded, but a leader whose lease lapsed
+        // (no recent quorum contact) must not append: its view may be a
+        // partitioned minority's, and the log never truncates a
+        // divergent suffix.
+        let lease_ok = self.quorum_alive(now);
+        let board = self.gray_board.entry(edge).or_default();
+        let last = board.last_seq.entry(reporter).or_insert(0);
+        if seq <= *last {
+            return; // Replayed or reordered report.
+        }
+        *last = seq;
+        self.counters.link_suspects_rx.inc();
+        if loss_permille <= cfg.clear_loss_permille {
+            // Clean evidence retires the reporter's accusation; the
+            // streak itself grows on probation ticks, one per tick with
+            // no live accuser.
+            board.reporters.remove(&reporter);
+            return;
+        }
+        board.clean_streak = 0;
+        board.reporters.insert(reporter, (loss_permille, now));
+        let corroborated =
+            board.reporters.len() >= cfg.quorum || loss_permille >= cfg.solo_loss_permille;
+        if corroborated && lease_ok && !self.quarantined.contains(&edge) {
+            board.flaps += 1;
+            if board.flaps > cfg.max_flaps {
+                board.sticky = true;
+            }
+            self.push_quarantine_delta(ctx, edge, true);
+        }
+    }
+
+    /// Leader lease: counting ourselves, is a quorum of replicas in
+    /// recent contact? A single-member log is always in contact. The
+    /// window is generous (several heartbeats) — it only has to go
+    /// stale *eventually* on a partitioned leader, before its decayed
+    /// evidence turns into divergent unquarantine appends.
+    fn quorum_alive(&self, now: SimTime) -> bool {
+        let lease = SimDuration(self.config.heartbeat.0 * 4);
+        let heard = 1 + self
+            .peer_heard
+            .iter()
+            .filter(|&(peer, &at)| *peer != self.mac && now - at <= lease)
+            .count();
+        heard >= self.log.quorum()
+    }
+
+    /// Probation tick: decays stale dirty evidence, grows clean streaks
+    /// for quarantined edges with no live accuser, and releases the
+    /// edges whose streak cleared the hysteresis bar. Sticky edges
+    /// (flap budget exceeded) are held until a hard link event resets
+    /// them.
+    fn probation_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(cfg) = self.config.gray.clone() else {
+            return;
+        };
+        if self.log.role() == ReplicaRole::Leader && self.quorum_alive(ctx.now()) {
+            let now = ctx.now();
+            for board in self.gray_board.values_mut() {
+                board
+                    .reporters
+                    .retain(|_, &mut (_, at)| now - at <= cfg.evidence_ttl);
+            }
+            // Grow (or start) the clean streak of every quarantined edge
+            // with no live accuser. `entry` rather than lookup: a leader
+            // elected mid-quarantine inherits the mirrored `quarantined`
+            // set but an empty scoreboard, and probation must still be
+            // able to release what it inherited.
+            for &edge in &self.quarantined {
+                let board = self.gray_board.entry(edge).or_default();
+                if board.reporters.is_empty() {
+                    board.clean_streak = board.clean_streak.saturating_add(1);
+                } else {
+                    board.clean_streak = 0;
+                }
+            }
+            let releasable: Vec<(SwitchId, SwitchId)> = self
+                .quarantined
+                .iter()
+                .copied()
+                .filter(|e| {
+                    self.gray_board.get(e).is_some_and(|b| {
+                        !b.sticky && b.reporters.is_empty() && b.clean_streak >= cfg.clean_streak
+                    })
+                })
+                .collect();
+            for edge in releasable {
+                self.push_quarantine_delta(ctx, edge, false);
+                // Re-quarantining needs fresh corroboration; releasing
+                // again needs a fresh streak.
+                if let Some(b) = self.gray_board.get_mut(&edge) {
+                    b.clean_streak = 0;
+                }
+            }
+            // Quarantine is soft state: patch floods are at-most-once
+            // and hosts skip missed epochs, so a delta alone strands
+            // idle hosts on a stale view. While anything is quarantined
+            // the leader re-asserts the full set each refresh interval;
+            // hosts expire entries that stop being refreshed.
+            if !self.quarantined.is_empty() && now - self.last_gray_refresh >= cfg.refresh_interval
+            {
+                let delta = TopoDelta {
+                    quarantine: self.quarantined.iter().copied().collect(),
+                    ..TopoDelta::default()
+                };
+                self.commit_delta(ctx, delta);
+                self.last_gray_refresh = now;
+            }
+        }
+        ctx.set_timer(cfg.probation_interval, T_PROBATION);
+    }
+
+    /// Flushes every coalesced path reply whose service time has
+    /// completed, one `PathReplyBatch` frame per requester.
+    fn flush_replies(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let pending = std::mem::take(&mut self.pending_replies);
+        let mut later = Vec::new();
+        let mut by_host: BTreeMap<MacAddr, Vec<PathReplyItem>> = BTreeMap::new();
+        for (mac, done, item) in pending {
+            if done <= now {
+                by_host.entry(mac).or_default().push(item);
+            } else {
+                later.push((mac, done, item));
+            }
+        }
+        self.pending_replies = later;
+        for (mac, replies) in by_host {
+            let Some(path) = self.path_to(ctx, mac) else {
+                continue;
+            };
+            self.counters.reply_batch_size.observe(replies.len() as u64);
+            let msg = ControlMessage::PathReplyBatch { replies };
+            ctx.send(NIC, Packet::control(mac, self.mac, path, msg));
         }
     }
 
@@ -943,20 +1340,27 @@ impl Controller {
                 // requester receives does not depend on which queries the
                 // controller happened to serve earlier.
                 let seed = graph_build_seed(GRAPH_CACHE_SALT ^ self.id.get(), version, src, dst);
-                let built = (|| {
-                    let topo = self.topology.as_ref()?;
-                    let s = topo.host_by_mac(src)?.id;
-                    let d = topo.host_by_mac(dst)?.id;
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    pathgraph::build(topo, s, d, &self.config.pathgraph, &mut rng)
-                        .ok()
-                        .map(Box::new)
-                })();
+                let built = self.build_graph(seed, src, dst);
                 self.graph_cache
                     .insert((src, dst), (version, built.clone()));
                 built
             }
         };
+        if self.config.reply_batch {
+            // Coalesce: the reply rides a shared `PathReplyBatch` frame
+            // with every other reply completing by the same flush.
+            self.pending_replies.push((
+                src,
+                done,
+                PathReplyItem {
+                    request_id,
+                    graph,
+                    topo_version: self.topo_version,
+                },
+            ));
+            ctx.set_timer(delay, T_REPLY_FLUSH);
+            return;
+        }
         let reply = ControlMessage::PathReply {
             request_id,
             graph,
@@ -966,6 +1370,38 @@ impl Controller {
             let pkt = Packet::control(src, self.mac, path, reply);
             ctx.send_after(delay, NIC, pkt);
         }
+    }
+
+    /// Builds a path graph for `(src, dst)`, avoiding quarantined edges
+    /// when possible: the build runs over a filtered view with gray
+    /// links removed, and falls back to the full topology when the
+    /// filtered view cannot produce a graph (degraded beats blackhole —
+    /// the same rule hosts apply locally).
+    fn build_graph(&self, seed: u64, src: MacAddr, dst: MacAddr) -> Option<Box<PathGraph>> {
+        let topo = self.topology.as_ref()?;
+        let s = topo.host_by_mac(src)?.id;
+        let d = topo.host_by_mac(dst)?.id;
+        if !self.quarantined.is_empty() {
+            let mut filtered = topo.clone();
+            let mut any = false;
+            for &(a, b) in &self.quarantined {
+                if let Some(l) = filtered.link_between(a, b).map(|l| l.id) {
+                    if filtered.set_link_state(l, false).is_ok() {
+                        any = true;
+                    }
+                }
+            }
+            if any {
+                let mut rng = StdRng::seed_from_u64(seed);
+                if let Ok(g) = pathgraph::build(&filtered, s, d, &self.config.pathgraph, &mut rng) {
+                    return Some(Box::new(g));
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        pathgraph::build(topo, s, d, &self.config.pathgraph, &mut rng)
+            .ok()
+            .map(Box::new)
     }
 
     fn handle_control(
@@ -1027,12 +1463,23 @@ impl Controller {
             | ControlMessage::HostFlood { event, .. } => {
                 self.handle_link_event(ctx, event);
             }
+            ControlMessage::LinkSuspect {
+                reporter,
+                edge,
+                loss_permille,
+                window: _,
+                direction: _,
+                seq,
+            } => {
+                self.handle_link_suspect(ctx, reporter, edge, loss_permille, seq);
+            }
             ControlMessage::ReplAppend {
                 index,
                 version,
                 delta,
                 leader,
                 term,
+                entry_term,
                 commit,
             } => {
                 if term < self.log.term() {
@@ -1040,6 +1487,15 @@ impl Controller {
                     // without noticing the election it slept through).
                     self.counters.dropped_malformed.inc();
                     return;
+                }
+                if term > self.log.term() {
+                    // First contact from a new leader regime. Our
+                    // uncommitted suffix may be a fenced leader's
+                    // divergence (ours, or one we stored); the log never
+                    // truncates on conflict, so shed it now — before the
+                    // commit watermark can freeze it — and re-fetch the
+                    // authoritative entries via re-sync.
+                    self.log.truncate_uncommitted();
                 }
                 self.note_term(ctx, term);
                 if self.log.role() == ReplicaRole::Leader {
@@ -1059,12 +1515,27 @@ impl Controller {
                     if version > self.topo_version && self.log.role() == ReplicaRole::Follower {
                         self.request_resync(ctx, leader);
                     }
+                    // Heartbeat ack (index 0): the leader's lease — it
+                    // may only act on decayed gray evidence while it can
+                    // still hear a quorum.
+                    if let Some(path) = self.path_to(ctx, leader) {
+                        self.send_to(
+                            ctx,
+                            leader,
+                            path,
+                            ControlMessage::ReplAck {
+                                index: 0,
+                                replica: self.mac,
+                                term: self.log.term(),
+                            },
+                        );
+                    }
                 }
                 if index > 0 {
                     let new = self.log.store(LogEntry {
                         index,
                         version,
-                        term,
+                        term: entry_term,
                         delta: (*delta).clone(),
                     });
                     // After storing: the entry itself may complete the
@@ -1085,6 +1556,25 @@ impl Controller {
                                     let _ = topo.set_link_state(l, true);
                                 }
                             }
+                        }
+                        // Mirror the leader's quarantine view so a
+                        // promoted successor inherits it; hard link
+                        // transitions shed the gray state for the edge.
+                        for &(a, b) in &delta.down {
+                            let e = norm_edge(a, b);
+                            self.quarantined.remove(&e);
+                            self.gray_board.remove(&e);
+                        }
+                        for &(pa, pb) in &delta.up {
+                            let e = norm_edge(pa.switch, pb.switch);
+                            self.quarantined.remove(&e);
+                            self.gray_board.remove(&e);
+                        }
+                        for &(a, b) in &delta.quarantine {
+                            self.quarantined.insert(norm_edge(a, b));
+                        }
+                        for &(a, b) in &delta.unquarantine {
+                            self.quarantined.remove(&norm_edge(a, b));
                         }
                         self.invalidate_caches(&delta);
                         if version > self.topo_version {
@@ -1127,7 +1617,10 @@ impl Controller {
                     self.counters.dropped_malformed.inc();
                     return;
                 }
-                let _ = self.log.ack(index, replica);
+                self.peer_heard.insert(replica, ctx.now());
+                if index > 0 {
+                    let _ = self.log.ack(index, replica);
+                }
             }
             // Leader side: replay the requested suffix as ordinary
             // appends (bounded per request; the follower re-asks if it
@@ -1146,6 +1639,7 @@ impl Controller {
                 if self.log.role() != ReplicaRole::Leader {
                     return;
                 }
+                self.peer_heard.insert(replica, ctx.now());
                 let entries: Vec<LogEntry> = self
                     .log
                     .entries_after(after)
@@ -1165,6 +1659,7 @@ impl Controller {
                                 delta: Box::new(e.delta),
                                 leader: self.mac,
                                 term: self.log.term(),
+                                entry_term: e.term,
                                 commit: self.log.committed(),
                             },
                         );
@@ -1306,6 +1801,11 @@ impl Node for Controller {
                 ctx.set_timer(self.config.start_delay + self.config.heartbeat, T_PUMP);
             }
         }
+        // All replicas keep the probation clock running so a promoted
+        // leader evaluates releases without re-arming anything.
+        if let Some(g) = self.config.gray.as_ref() {
+            ctx.set_timer(g.probation_interval, T_PROBATION);
+        }
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _in_port: PortNo, pkt: Packet) {
@@ -1339,6 +1839,12 @@ impl Node for Controller {
             T_PATCH_FLUSH => {
                 self.flush_patches(ctx);
             }
+            T_PROBATION => {
+                self.probation_tick(ctx);
+            }
+            T_REPLY_FLUSH => {
+                self.flush_replies(ctx);
+            }
             T_HEARTBEAT if self.log.role() == ReplicaRole::Leader => {
                 let term = self.log.term();
                 let commit = self.log.committed();
@@ -1357,6 +1863,7 @@ impl Node for Controller {
                             delta: Box::default(),
                             leader: self.mac,
                             term,
+                            entry_term: term,
                             commit,
                         },
                     );
@@ -1379,6 +1886,7 @@ impl Node for Controller {
                                 delta: Box::new(e.delta),
                                 leader: self.mac,
                                 term,
+                                entry_term: e.term,
                                 commit,
                             },
                         );
@@ -1434,6 +1942,12 @@ impl Node for Controller {
         // (post-restart resync re-derives the topology authoritatively).
         self.pending_patch.clear();
         self.patch_flush_armed = false;
+        // Coalesced replies died with their flush timer too; requesters
+        // retry through the normal host-side timeout path.
+        self.pending_replies.clear();
+        if let Some(g) = self.config.gray.as_ref() {
+            ctx.set_timer(g.probation_interval, T_PROBATION);
+        }
         if self.discovery.as_ref().is_some_and(|d| !d.is_done()) {
             // Resume the probe pump; outstanding probes will expire and
             // retry through the normal backoff path.

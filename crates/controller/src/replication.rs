@@ -251,6 +251,20 @@ impl ReplicatedLog {
         }
     }
 
+    /// Follower: drops every entry above the committed watermark. Called
+    /// on first contact from a higher-term leader: the uncommitted
+    /// suffix may be a fenced leader's divergence, and `store`'s
+    /// replace-on-higher-term rule cannot repair an entry once the
+    /// commit watermark (advanced by that same leader's heartbeats)
+    /// passes it. Uncommitted entries are safe to shed — anything the
+    /// new regime committed is held by its leader (vote log-floor
+    /// condition) and comes back through re-sync.
+    pub fn truncate_uncommitted(&mut self) {
+        self.entries.retain(|&ix, _| ix <= self.committed);
+        self.acks.retain(|&ix, _| ix <= self.committed);
+        self.next_index = self.committed + 1;
+    }
+
     /// Follower: adopts the leader's commit index as carried by a
     /// `ReplAppend`/heartbeat, clamped to our contiguous prefix (an
     /// entry we do not hold cannot be considered committed here). This

@@ -35,7 +35,7 @@
 //! sides of a partitioned pair can legitimately claim the same term and
 //! diverge until heal. Groups of three or more always hold them.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 use dumbnet_types::{HostId, MacAddr, SwitchId};
 
@@ -294,6 +294,153 @@ pub fn check_invariants(fabric: &Fabric) -> InvariantReport {
     report
 }
 
+/// Outcome of the gray-failure invariant audit (DESIGN.md §10).
+///
+/// Three properties, layered on the binary-state audit above:
+///
+/// 1. **No persistent blackhole while a healthy path exists**: for any
+///    host with a cached destination, if the quarantine-free up-graph
+///    still connects the pair, the host must hold at least one cached
+///    path avoiding every edge it considers quarantined — steering has
+///    a clean option, so flows are not pinned to a gray edge.
+/// 2. **Quarantine convergence after heal**: once the gray faults end
+///    and probation has had time to run, no controller and no host
+///    still holds an edge under quarantine.
+/// 3. **Bounded quarantine flaps**: no edge's controller-side
+///    quarantine-entry count exceeds the bound — hysteresis prevents
+///    enter/release oscillation from amplifying into a patch storm.
+#[derive(Debug, Clone, Default)]
+pub struct GrayInvariantReport {
+    /// `(host, destination)` pairs where every cached path crosses a
+    /// host-quarantined edge even though the quarantine-free up-graph
+    /// still connects the pair.
+    pub blackholed_pairs: Vec<(HostId, MacAddr)>,
+    /// Edges still quarantined (controller- or host-side) although the
+    /// audit was told the fabric has healed and settled. Empty when the
+    /// audit runs with `expect_clear = false`.
+    pub residual_quarantine: Vec<(SwitchId, SwitchId)>,
+    /// Edges whose controller-side flap count exceeded the bound.
+    pub excess_flaps: Vec<((SwitchId, SwitchId), u32)>,
+    /// Ordinary hosts examined.
+    pub hosts_checked: usize,
+}
+
+impl GrayInvariantReport {
+    /// Whether every gray invariant holds.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.blackholed_pairs.is_empty()
+            && self.residual_quarantine.is_empty()
+            && self.excess_flaps.is_empty()
+    }
+}
+
+/// Audits `fabric` against the gray-failure invariants. `flap_bound` is
+/// the maximum tolerated quarantine entries per edge (normally the
+/// controller's `max_flaps` plus one — sticky pinning caps it there).
+/// Pass `expect_clear = true` only after the gray faults have ended and
+/// probation plus host exoneration have had time to run; mid-fault the
+/// quarantines are *supposed* to be held.
+#[must_use]
+pub fn check_gray_invariants(
+    fabric: &Fabric,
+    flap_bound: u32,
+    expect_clear: bool,
+) -> GrayInvariantReport {
+    let truth = &fabric.topology;
+    let up_edges: HashSet<(SwitchId, SwitchId)> = truth
+        .links()
+        .filter(|l| {
+            fabric
+                .trunk_wire(l.a.switch, l.b.switch)
+                .is_some_and(|w| fabric.world.wire_up(w))
+        })
+        .map(|l| edge(l.a.switch, l.b.switch))
+        .collect();
+    let mut report = GrayInvariantReport::default();
+
+    // 3: bounded flaps, plus the controller half of convergence.
+    let mut residual: BTreeSet<(SwitchId, SwitchId)> = BTreeSet::new();
+    for cid in fabric.controller_ids() {
+        let Some(ctrl) = fabric.controller(cid) else {
+            continue;
+        };
+        for (e, flaps) in ctrl.gray_flaps() {
+            if flaps > flap_bound {
+                report.excess_flaps.push((e, flaps));
+            }
+        }
+        if expect_clear {
+            residual.extend(ctrl.quarantined_edges());
+        }
+    }
+    report.excess_flaps.sort_unstable();
+    report.excess_flaps.dedup();
+
+    // 1 + host half of 2.
+    for h in truth.hosts() {
+        let Some(agent) = fabric.host(h.id) else {
+            continue; // Controller slot.
+        };
+        report.hosts_checked += 1;
+        let gray: BTreeSet<(SwitchId, SwitchId)> =
+            agent.pathtable.quarantined_edges().into_iter().collect();
+        if expect_clear {
+            residual.extend(gray.iter().copied());
+        }
+        if gray.is_empty() {
+            continue;
+        }
+        // Connectivity over the quarantine-free up-graph.
+        let clean_up: HashSet<(SwitchId, SwitchId)> = up_edges
+            .iter()
+            .filter(|e| !gray.contains(*e))
+            .copied()
+            .collect();
+        let mut adj: HashMap<SwitchId, Vec<SwitchId>> = HashMap::new();
+        for &(a, b) in &clean_up {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default().push(a);
+        }
+        let reachable_from = |start: SwitchId| -> HashSet<SwitchId> {
+            let mut seen = HashSet::from([start]);
+            let mut queue = VecDeque::from([start]);
+            while let Some(s) = queue.pop_front() {
+                for &n in adj.get(&s).into_iter().flatten() {
+                    if seen.insert(n) {
+                        queue.push_back(n);
+                    }
+                }
+            }
+            seen
+        };
+        let from_here = reachable_from(h.attached.switch);
+        for dst in agent.pathtable.destinations() {
+            let Some(entry) = agent.pathtable.entry(dst) else {
+                continue;
+            };
+            let Some(dst_sw) = truth.host_by_mac(dst).map(|d| d.attached.switch) else {
+                continue;
+            };
+            if !from_here.contains(&dst_sw) {
+                continue; // No healthy route exists; degraded is allowed.
+            }
+            let has_clean = entry.all_paths().any(|p| {
+                p.route
+                    .switches()
+                    .windows(2)
+                    .all(|w| !gray.contains(&edge(w[0], w[1])))
+            });
+            if !has_clean {
+                report.blackholed_pairs.push((h.id, dst));
+            }
+        }
+    }
+    report.blackholed_pairs.sort_unstable();
+    report.residual_quarantine = residual.into_iter().collect();
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +520,93 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The full gray-failure pipeline, end to end over the wire: a
+    /// trunk silently eats every packet while staying link-up, hosts
+    /// detect the loss from probe timeouts and fail over locally,
+    /// their `LinkSuspect` reports drive the controller scoreboard to
+    /// quarantine the edge fabric-wide, and after the fault heals the
+    /// probation machinery releases the quarantine everywhere.
+    #[test]
+    fn gray_fault_detected_quarantined_and_released() {
+        use dumbnet_host::agent::AppAction;
+        use dumbnet_host::{GrayDetectConfig, HostAgent};
+        use dumbnet_types::MacAddr;
+
+        let g = generators::testbed();
+        let spine = g.group("spine")[0];
+        let leaf = g.group("leaf")[0];
+        let mut cfg = FabricConfig::default();
+        cfg.host.gray_detect = Some(GrayDetectConfig::default());
+        cfg.controller.gray = Some(dumbnet_controller::GrayFaultConfig::default());
+        // Two senders on leaf 0 stream to destinations on *different*
+        // far leaves: their bad-path evidence then only overlaps on the
+        // shared gray trunk, so cross-host corroboration isolates it.
+        let mut fabric = Fabric::build_with(g.topology, cfg, |id, mut hc| {
+            if id == dumbnet_types::HostId(1) || id == dumbnet_types::HostId(2) {
+                let dst = if id.get() == 1 { 26 } else { 16 };
+                hc.actions = vec![AppAction::DataStream {
+                    at: SimDuration::from_millis(10),
+                    dst: MacAddr::for_host(dst),
+                    flow: 7,
+                    packets: 400,
+                    bytes: 1000,
+                    interval: SimDuration::from_micros(500),
+                }];
+            }
+            HostAgent::new(id, hc)
+        })
+        .unwrap();
+
+        // Gray fault at 50 ms: the trunk drops everything but never
+        // reports link-down. Heal at 300 ms — long enough for the
+        // reply-path smear transient (healthy paths whose probe replies
+        // died crossing the gray trunk) to exonerate and release.
+        let wire = fabric.trunk_wire(leaf, spine).expect("trunk exists");
+        fabric
+            .world
+            .schedule_fault_profile(t(50), wire, FaultProfile::lossy(1.0));
+        fabric
+            .world
+            .schedule_fault_profile(t(300), wire, FaultProfile::default());
+
+        // Mid-fault: the edge is quarantined and no host is blackholed.
+        fabric.run_until(t(280));
+        let e = if leaf <= spine {
+            (leaf, spine)
+        } else {
+            (spine, leaf)
+        };
+        let ctrl = fabric.controller(dumbnet_types::HostId(0)).unwrap();
+        assert_eq!(
+            ctrl.quarantined_edges(),
+            vec![e],
+            "controller never quarantined the gray trunk"
+        );
+        assert!(
+            ctrl.stats().link_suspects_rx > 0,
+            "no suspicion reports reached the controller"
+        );
+        let mid = check_gray_invariants(&fabric, 4, false);
+        assert!(mid.ok(), "mid-fault gray invariants violated: {mid:?}");
+        let failovers: u64 = (1..3)
+            .filter_map(|h| fabric.host(dumbnet_types::HostId(h)))
+            .map(|a| a.stats().gray_failovers)
+            .sum();
+        assert!(failovers > 0, "no host performed a local gray failover");
+
+        // Post-heal: probation releases the quarantine everywhere.
+        fabric.run_until(t(600));
+        let after = check_gray_invariants(&fabric, 4, true);
+        assert!(after.ok(), "post-heal gray invariants violated: {after:?}");
+        let ctrl = fabric.controller(dumbnet_types::HostId(0)).unwrap();
+        assert!(ctrl.stats().unquarantines > 0, "quarantine never released");
+        let audit = check_invariants(&fabric);
+        assert!(
+            audit.ok(),
+            "post-heal binary invariants violated: {audit:?}"
+        );
     }
 
     /// The ISSUE acceptance scenario: discovery under 5% uniform packet

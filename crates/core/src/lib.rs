@@ -19,5 +19,5 @@
 pub mod chaos;
 pub mod fabric;
 
-pub use chaos::{check_invariants, InvariantReport};
+pub use chaos::{check_gray_invariants, check_invariants, GrayInvariantReport, InvariantReport};
 pub use fabric::{Fabric, FabricConfig};

@@ -11,7 +11,7 @@
 //! flowlet-TE extension (§6.2) installs.
 
 use std::any::Any;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use dumbnet_packet::control::{LinkEvent, PatchBatch, PatchEntry};
 use dumbnet_packet::{ControlMessage, Packet, Payload};
@@ -88,6 +88,54 @@ pub enum AppAction {
     },
 }
 
+/// Gray-failure detection knobs (DESIGN.md §10). `None` in
+/// [`HostAgentConfig::gray_detect`] disables the whole machinery — no
+/// probes, no health state, no timers — so legacy runs stay
+/// byte-identical.
+#[derive(Debug, Clone)]
+pub struct GrayDetectConfig {
+    /// Gap between path-probe rounds (every round probes every cached
+    /// path of every destination, and sweeps the previous round's
+    /// timeouts).
+    pub probe_interval: SimDuration,
+    /// A probe unanswered for this long counts as a loss sample.
+    pub probe_timeout: SimDuration,
+    /// EWMA smoothing factor for per-path loss (sample weight).
+    pub ewma_alpha: f64,
+    /// EWMA loss at or above this suspects the path's distinct edges.
+    pub suspect_threshold: f64,
+    /// EWMA loss at or below this exonerates a locally quarantined
+    /// edge (hysteresis gap: clear < suspect, so health must really
+    /// recover before the edge is forgiven).
+    pub clear_threshold: f64,
+    /// Minimum samples before the EWMA is trusted either way.
+    pub min_samples: u32,
+    /// Minimum gap between successive [`ControlMessage::LinkSuspect`]
+    /// reports for the same edge (evidence refresh rate).
+    pub report_interval: SimDuration,
+    /// Controller-flooded quarantine entries not re-asserted within
+    /// this window expire locally. Quarantine is soft state: patch
+    /// floods are at-most-once and hosts skip missed epochs, so an
+    /// unquarantine delta can be lost forever — the leader re-asserts
+    /// the live set periodically and silence means release.
+    pub ctrl_quarantine_ttl: SimDuration,
+}
+
+impl Default for GrayDetectConfig {
+    fn default() -> GrayDetectConfig {
+        GrayDetectConfig {
+            probe_interval: SimDuration::from_millis(5),
+            probe_timeout: SimDuration::from_millis(4),
+            ewma_alpha: 0.4,
+            suspect_threshold: 0.3,
+            clear_threshold: 0.05,
+            min_samples: 4,
+            report_interval: SimDuration::from_millis(10),
+            ctrl_quarantine_ttl: SimDuration::from_millis(250),
+        }
+    }
+}
+
 /// Host agent configuration.
 #[derive(Debug, Clone)]
 pub struct HostAgentConfig {
@@ -107,6 +155,8 @@ pub struct HostAgentConfig {
     pub flood_repeats: u32,
     /// Spacing between redundant flood rounds.
     pub flood_gap: SimDuration,
+    /// Gray-failure detection; `None` (the default) disables it.
+    pub gray_detect: Option<GrayDetectConfig>,
     /// Scheduled application actions.
     pub actions: Vec<AppAction>,
 }
@@ -119,6 +169,7 @@ impl Default for HostAgentConfig {
             path_request_retry: SimDuration::from_millis(50),
             flood_repeats: 2,
             flood_gap: SimDuration::from_millis(1),
+            gray_detect: None,
             actions: Vec::new(),
         }
     }
@@ -167,6 +218,15 @@ pub struct AgentStats {
     pub stale_patch_dropped: u64,
     /// Patch-batch epochs applied atomically by the coalescing writer.
     pub patch_batches_applied: u64,
+    /// Path probes sent by the gray-failure detector.
+    pub probes_sent: u64,
+    /// Path probes that timed out (loss samples).
+    pub probe_losses: u64,
+    /// `LinkSuspect` evidence reports sent to the controller.
+    pub link_suspects_sent: u64,
+    /// Local gray failovers: edges this host quarantined on its own
+    /// evidence, before any controller round-trip.
+    pub gray_failovers: u64,
 }
 
 /// Live telemetry handles backing the scalar half of [`AgentStats`].
@@ -181,6 +241,10 @@ struct AgentCounters {
     stale_ctrl_updates: Counter,
     stale_patch_dropped: Counter,
     patch_batches_applied: Counter,
+    probes_sent: Counter,
+    probe_losses: Counter,
+    link_suspects_sent: Counter,
+    gray_failovers: Counter,
     /// Partially assembled multi-segment batches discarded because a
     /// newer epoch superseded them before completion.
     coalesce_aborted: Counter,
@@ -208,6 +272,10 @@ impl Default for AgentCounters {
             stale_ctrl_updates: Counter::new(),
             stale_patch_dropped: Counter::new(),
             patch_batches_applied: Counter::new(),
+            probes_sent: Counter::new(),
+            probe_losses: Counter::new(),
+            link_suspects_sent: Counter::new(),
+            gray_failovers: Counter::new(),
             coalesce_aborted: Counter::new(),
             delivered_packets: Counter::new(),
             delivered_bytes: Counter::new(),
@@ -230,6 +298,10 @@ impl AgentCounters {
             ("stale_ctrl_updates", &self.stale_ctrl_updates),
             ("stale_patch_dropped", &self.stale_patch_dropped),
             ("patch_batches_applied", &self.patch_batches_applied),
+            ("probes_sent", &self.probes_sent),
+            ("probe_losses", &self.probe_losses),
+            ("link_suspects_sent", &self.link_suspects_sent),
+            ("gray_failovers", &self.gray_failovers),
             ("coalesce_aborted", &self.coalesce_aborted),
             ("delivered_packets", &self.delivered_packets),
             ("delivered_bytes", &self.delivered_bytes),
@@ -285,6 +357,23 @@ pub struct HostAgent {
     /// writer. Only the newest epoch is kept; entries apply atomically
     /// once every segment has arrived.
     patch_assembly: Option<PatchAssembly>,
+    /// Gray detector: per-(destination, path index) loss EWMA.
+    path_health: HashMap<(MacAddr, usize), PathHealth>,
+    /// Outstanding path probes: probe id → (destination, path index,
+    /// sent time).
+    outstanding_probes: HashMap<u64, (MacAddr, usize, SimTime)>,
+    next_probe_id: u64,
+    /// Edges this host quarantined on its own evidence (local fast
+    /// reroute, before — or without — controller confirmation).
+    local_suspects: BTreeSet<(SwitchId, SwitchId)>,
+    /// Edges the controller has flooded as quarantined, by the time
+    /// the quarantine was last (re-)asserted; the host keeps probing
+    /// them and reports health so probation can clear them, and
+    /// expires entries the leader stops refreshing.
+    ctrl_quarantined: BTreeMap<(SwitchId, SwitchId), SimTime>,
+    /// Last `LinkSuspect` report time per edge (rate limiting).
+    last_report: BTreeMap<(SwitchId, SwitchId), SimTime>,
+    next_suspect_seq: u64,
     /// Measurement series (scalar counters live in `counters`).
     stats: AgentStats,
     /// Telemetry handles for the scalar counters.
@@ -294,6 +383,13 @@ pub struct HostAgent {
 #[derive(Debug, Clone, Copy)]
 struct ActionProgress {
     remaining: u64,
+}
+
+/// Per-path loss EWMA the gray detector maintains from probe outcomes.
+#[derive(Debug, Clone, Copy, Default)]
+struct PathHealth {
+    ewma_loss: f64,
+    samples: u32,
 }
 
 /// Segments of one multi-frame [`PatchBatch`] epoch, buffered until the
@@ -354,6 +450,13 @@ impl HostAgent {
             flood_backlog: Vec::new(),
             flood_armed: false,
             patch_assembly: None,
+            path_health: HashMap::new(),
+            outstanding_probes: HashMap::new(),
+            next_probe_id: 1,
+            local_suspects: BTreeSet::new(),
+            ctrl_quarantined: BTreeMap::new(),
+            last_report: BTreeMap::new(),
+            next_suspect_seq: 1,
             stats: AgentStats::default(),
             counters: AgentCounters::default(),
         }
@@ -373,6 +476,10 @@ impl HostAgent {
         stats.stale_ctrl_updates = self.counters.stale_ctrl_updates.get();
         stats.stale_patch_dropped = self.counters.stale_patch_dropped.get();
         stats.patch_batches_applied = self.counters.patch_batches_applied.get();
+        stats.probes_sent = self.counters.probes_sent.get();
+        stats.probe_losses = self.counters.probe_losses.get();
+        stats.link_suspects_sent = self.counters.link_suspects_sent.get();
+        stats.gray_failovers = self.counters.gray_failovers.get();
         stats
     }
 
@@ -562,6 +669,7 @@ impl HostAgent {
             if let Some((a, b)) = self.topocache.edge_of_port(event.switch, event.port) {
                 self.topocache.mark_down(a, b);
                 let orphaned = self.pathtable.invalidate_edge(a, b);
+                self.forget_gray_edge(a, b);
                 // Re-install surviving paths for destinations whose cache
                 // shrank, from the (now filtered) TopoCache.
                 for dst in self.topocache_destinations() {
@@ -569,6 +677,7 @@ impl HostAgent {
                     {
                         if !paths.is_empty() || backup.is_some() {
                             self.pathtable.install(dst, paths, backup);
+                            self.drop_health(dst);
                         }
                     }
                 }
@@ -643,6 +752,272 @@ impl HostAgent {
 
     fn topocache_destinations(&self) -> Vec<MacAddr> {
         self.pathtable.destinations()
+    }
+
+    /// Path-probe timer token (distinct from retry/flood/action tokens).
+    const PROBE_TOKEN: u64 = u64::MAX - 2;
+
+    /// Normalizes an undirected switch pair (same slotting as the
+    /// PathTable quarantine set and the controller scoreboard).
+    fn norm_edge(a: SwitchId, b: SwitchId) -> (SwitchId, SwitchId) {
+        if a.0 <= b.0 {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Folds one probe outcome into the per-path loss EWMA.
+    fn health_sample(&mut self, alpha: f64, dst: MacAddr, ix: usize, lost: bool) {
+        let h = self.path_health.entry((dst, ix)).or_default();
+        let sample = if lost { 1.0 } else { 0.0 };
+        h.ewma_loss = if h.samples == 0 {
+            sample
+        } else {
+            h.ewma_loss * (1.0 - alpha) + sample * alpha
+        };
+        h.samples = h.samples.saturating_add(1);
+    }
+
+    /// Drops gray-health state for `dst`: the path set (and hence the
+    /// index keying) just changed, so old samples would misattribute.
+    fn drop_health(&mut self, dst: MacAddr) {
+        if self.config.gray_detect.is_none() {
+            return;
+        }
+        self.path_health.retain(|&(d, _), _| d != dst);
+        self.outstanding_probes.retain(|_, &mut (d, _, _)| d != dst);
+    }
+
+    /// Hard link state supersedes gray suspicion for the edge.
+    fn forget_gray_edge(&mut self, a: SwitchId, b: SwitchId) {
+        let edge = Self::norm_edge(a, b);
+        self.local_suspects.remove(&edge);
+        self.ctrl_quarantined.remove(&edge);
+        self.last_report.remove(&edge);
+    }
+
+    /// One gray-detector round: sweep the previous round's timeouts into
+    /// loss samples, evaluate suspicion (failing over and reporting as
+    /// needed), then launch a fresh probe along every cached primary
+    /// path.
+    fn probe_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(cfg) = self.config.gray_detect.clone() else {
+            return;
+        };
+        let now = ctx.now();
+        // Expire controller quarantine the leader stopped refreshing
+        // (the release flood may have been lost; silence means pardon).
+        let lapsed: Vec<(SwitchId, SwitchId)> = self
+            .ctrl_quarantined
+            .iter()
+            .filter(|&(_, &at)| now - at > cfg.ctrl_quarantine_ttl)
+            .map(|(&edge, _)| edge)
+            .collect();
+        for edge in lapsed {
+            self.ctrl_quarantined.remove(&edge);
+            if !self.local_suspects.contains(&edge) {
+                self.pathtable.restore_edge(edge.0, edge.1);
+            }
+        }
+        let mut expired: Vec<u64> = self
+            .outstanding_probes
+            .iter()
+            .filter(|&(_, &(_, _, at))| now - at >= cfg.probe_timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        expired.sort_unstable(); // Hash order must not leak into sends.
+        for id in expired {
+            let (dst, ix, _) = self
+                .outstanding_probes
+                .remove(&id)
+                .expect("expired probe id");
+            self.counters.probe_losses.inc();
+            self.health_sample(cfg.ewma_alpha, dst, ix, true);
+        }
+        self.evaluate_suspicion(ctx, &cfg);
+        let mut round: Vec<(MacAddr, usize, Path)> = Vec::new();
+        for dst in self.pathtable.destinations() {
+            if dst == self.mac {
+                continue;
+            }
+            if let Some(entry) = self.pathtable.entry(dst) {
+                for (ix, p) in entry.paths.iter().enumerate() {
+                    round.push((dst, ix, p.tags.clone()));
+                }
+            }
+        }
+        for (dst, ix, tags) in round {
+            let probe_id = self.next_probe_id;
+            self.next_probe_id += 1;
+            self.outstanding_probes.insert(probe_id, (dst, ix, now));
+            self.counters.probes_sent.inc();
+            let msg = ControlMessage::PathProbe {
+                origin: self.mac,
+                probe_id,
+            };
+            let pkt = Packet::control(dst, self.mac, tags, msg);
+            self.transmit(ctx, pkt);
+        }
+        ctx.set_timer(cfg.probe_interval, Self::PROBE_TOKEN);
+    }
+
+    /// The suspicion threshold logic: a path whose loss EWMA crossed the
+    /// threshold implicates its edges, minus every edge a demonstrably
+    /// healthy path of the same destination also crosses — what remains
+    /// is quarantined locally (immediate failover, no controller
+    /// round-trip) and reported as `LinkSuspect` evidence. Edges held
+    /// quarantined (locally or by the controller) keep getting probed;
+    /// once their worst sampled EWMA drops under the clear threshold the
+    /// host restores them locally and reports the recovery so controller
+    /// probation can corroborate.
+    fn evaluate_suspicion(&mut self, ctx: &mut Ctx<'_>, cfg: &GrayDetectConfig) {
+        // Worst sampled EWMA per edge (exoneration evidence) and the
+        // suspect set (bad-path edges minus healthy-path edges, per
+        // destination). BTreeMaps: iteration order feeds sends.
+        let mut edge_worst: BTreeMap<(SwitchId, SwitchId), (f64, u32, u8)> = BTreeMap::new();
+        let mut suspects: BTreeMap<(SwitchId, SwitchId), (f64, u32, u8)> = BTreeMap::new();
+        for dst in self.pathtable.destinations() {
+            let Some(entry) = self.pathtable.entry(dst) else {
+                continue;
+            };
+            let mut good_edges: HashSet<(SwitchId, SwitchId)> = HashSet::new();
+            let mut bad: Vec<(usize, f64, u32)> = Vec::new();
+            for (ix, p) in entry.paths.iter().enumerate() {
+                let Some(h) = self.path_health.get(&(dst, ix)) else {
+                    continue;
+                };
+                if h.samples < cfg.min_samples {
+                    continue;
+                }
+                for w in p.route.switches().windows(2) {
+                    let key = Self::norm_edge(w[0], w[1]);
+                    let dir = u8::from(key != (w[0], w[1]));
+                    let slot = edge_worst
+                        .entry(key)
+                        .or_insert((h.ewma_loss, h.samples, dir));
+                    if h.ewma_loss > slot.0 {
+                        *slot = (h.ewma_loss, h.samples, dir);
+                    }
+                }
+                if h.ewma_loss >= cfg.suspect_threshold {
+                    bad.push((ix, h.ewma_loss, h.samples));
+                } else if h.ewma_loss <= cfg.clear_threshold {
+                    for w in p.route.switches().windows(2) {
+                        good_edges.insert(Self::norm_edge(w[0], w[1]));
+                    }
+                }
+            }
+            // Common-cause attribution: one gray edge poisons every
+            // path crossing it, so the edges shared by *all* bad paths
+            // are the suspects. Only when the bad paths share nothing
+            // usable (distinct causes, or the shared edges are all
+            // demonstrably healthy) fall back to the blunt union —
+            // never implicating a healthy path's edges either way.
+            let path_edges = |ix: usize| -> HashSet<(SwitchId, SwitchId)> {
+                entry.paths[ix]
+                    .route
+                    .switches()
+                    .windows(2)
+                    .map(|w| Self::norm_edge(w[0], w[1]))
+                    .collect()
+            };
+            let mut common: HashSet<(SwitchId, SwitchId)> = bad
+                .first()
+                .map(|&(ix, _, _)| path_edges(ix))
+                .unwrap_or_default();
+            for &(ix, _, _) in bad.iter().skip(1) {
+                let edges = path_edges(ix);
+                common.retain(|e| edges.contains(e));
+            }
+            let use_common = common.iter().any(|e| !good_edges.contains(e));
+            for (ix, loss, samples) in bad {
+                for w in entry.paths[ix].route.switches().windows(2) {
+                    let key = Self::norm_edge(w[0], w[1]);
+                    if good_edges.contains(&key) {
+                        continue;
+                    }
+                    if use_common && !common.contains(&key) {
+                        continue;
+                    }
+                    let dir = u8::from(key != (w[0], w[1]));
+                    let slot = suspects.entry(key).or_insert((loss, samples, dir));
+                    if loss > slot.0 {
+                        *slot = (loss, samples, dir);
+                    }
+                }
+            }
+        }
+        // Local fast reroute + dirty evidence reports.
+        for (&edge, &(loss, window, dir)) in &suspects.clone() {
+            if self.local_suspects.insert(edge) {
+                self.pathtable.quarantine_edge(edge.0, edge.1);
+                self.counters.gray_failovers.inc();
+            }
+            self.report_edge(ctx, cfg, edge, dir, loss, window);
+        }
+        // Exoneration of held edges whose evidence recovered.
+        let held: BTreeSet<(SwitchId, SwitchId)> = self
+            .local_suspects
+            .iter()
+            .copied()
+            .chain(self.ctrl_quarantined.keys().copied())
+            .collect();
+        for edge in held {
+            if suspects.contains_key(&edge) {
+                continue;
+            }
+            let Some(&(worst, window, dir)) = edge_worst.get(&edge) else {
+                continue;
+            };
+            if worst > cfg.clear_threshold {
+                continue;
+            }
+            if self.local_suspects.remove(&edge) && !self.ctrl_quarantined.contains_key(&edge) {
+                // Only a locally held quarantine lifts locally; a
+                // controller-flooded one waits for the unquarantine
+                // patch.
+                self.pathtable.restore_edge(edge.0, edge.1);
+            }
+            self.report_edge(ctx, cfg, edge, dir, worst, window);
+        }
+    }
+
+    /// Sends one rate-limited `LinkSuspect` evidence report.
+    fn report_edge(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        cfg: &GrayDetectConfig,
+        edge: (SwitchId, SwitchId),
+        direction: u8,
+        loss: f64,
+        window: u32,
+    ) {
+        let now = ctx.now();
+        if self
+            .last_report
+            .get(&edge)
+            .is_some_and(|&t| now - t < cfg.report_interval)
+        {
+            return;
+        }
+        let Some((ctrl_mac, ctrl_path)) = self.controller.clone() else {
+            return;
+        };
+        self.last_report.insert(edge, now);
+        let seq = self.next_suspect_seq;
+        self.next_suspect_seq += 1;
+        self.counters.link_suspects_sent.inc();
+        let msg = ControlMessage::LinkSuspect {
+            reporter: self.mac,
+            edge,
+            loss_permille: (loss * 1000.0).round().min(1000.0) as u16,
+            window,
+            direction,
+            seq,
+        };
+        let pkt = Packet::control(ctrl_mac, self.mac, ctrl_path, msg);
+        self.transmit(ctx, pkt);
     }
 
     /// The coalescing writer (§4.2 stage 2, receive side): accepts a
@@ -749,15 +1124,52 @@ impl HostAgent {
             for (a, b) in e.delta.down {
                 self.topocache.mark_down(a, b);
                 self.pathtable.invalidate_edge(a, b);
+                // Hard-down supersedes any gray suspicion on the edge.
+                self.forget_gray_edge(a, b);
             }
             for (pa, pb) in e.delta.up {
                 self.topocache.mark_up(pa.switch, pb.switch);
+            }
+            for (a, b) in e.delta.quarantine {
+                let edge = Self::norm_edge(a, b);
+                self.ctrl_quarantined.insert(edge, ctx.now());
+                self.pathtable.quarantine_edge(edge.0, edge.1);
+            }
+            for (a, b) in e.delta.unquarantine {
+                let edge = Self::norm_edge(a, b);
+                self.ctrl_quarantined.remove(&edge);
+                if !self.local_suspects.contains(&edge) {
+                    // Our own evidence may still hold the edge; if not,
+                    // the controller's pardon reopens it.
+                    self.pathtable.restore_edge(edge.0, edge.1);
+                }
             }
             applied += 1;
         }
         self.topocache.topo_version = epoch;
         self.counters.patch_batches_applied.inc();
         self.counters.patch_batch_entries.observe(applied);
+    }
+
+    /// Integrates one controller path answer (standalone or batched).
+    fn handle_path_reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        request_id: u64,
+        graph: Option<Box<dumbnet_topology::PathGraph>>,
+        topo_version: u64,
+    ) {
+        let Some((dst, _)) = self.outstanding.remove(&request_id) else {
+            return;
+        };
+        if let Some(graph) = graph {
+            self.topocache.integrate(dst, *graph, topo_version);
+            if let Some((paths, backup)) = self.topocache.k_paths(dst, self.config.k_paths) {
+                self.pathtable.install(dst, paths, backup);
+                self.drop_health(dst);
+            }
+        }
+        self.flush_pending(ctx, dst);
     }
 
     fn handle_control(
@@ -790,17 +1202,41 @@ impl HostAgent {
                 graph,
                 topo_version,
             } => {
-                let Some((dst, _)) = self.outstanding.remove(&request_id) else {
-                    return;
-                };
-                if let Some(graph) = graph {
-                    self.topocache.integrate(dst, *graph, topo_version);
-                    if let Some((paths, backup)) = self.topocache.k_paths(dst, self.config.k_paths)
-                    {
-                        self.pathtable.install(dst, paths, backup);
-                    }
+                self.handle_path_reply(ctx, request_id, graph, topo_version);
+            }
+            ControlMessage::PathReplyBatch { replies } => {
+                // One batched frame per request burst (ROADMAP item 3
+                // follow-up): each item is handled exactly like a
+                // standalone PathReply.
+                for item in replies {
+                    self.handle_path_reply(ctx, item.request_id, item.graph, item.topo_version);
                 }
-                self.flush_pending(ctx, dst);
+            }
+            ControlMessage::PathProbe { origin, probe_id } => {
+                // Gray-failure probe responder: answer over our own
+                // routed path (the forward path under test was consumed
+                // on the way here).
+                let reply = Packet {
+                    dst: origin,
+                    src: self.mac,
+                    path: Path::empty(),
+                    payload: Payload::Control(ControlMessage::PathProbeReply {
+                        responder: self.mac,
+                        probe_id,
+                    }),
+                    ecn: false,
+                };
+                self.send_routed(ctx, reply, FlowKey(probe_id ^ 0x9B0B_E000));
+            }
+            ControlMessage::PathProbeReply { probe_id, .. } => {
+                if let Some((dst, ix, _)) = self.outstanding_probes.remove(&probe_id) {
+                    let alpha = self
+                        .config
+                        .gray_detect
+                        .as_ref()
+                        .map_or(0.0, |c| c.ewma_alpha);
+                    self.health_sample(alpha, dst, ix, false);
+                }
             }
             ControlMessage::LinkNotification { event, .. } => {
                 self.handle_link_event(ctx, event, true);
@@ -880,6 +1316,7 @@ impl HostAgent {
             | ControlMessage::ProbeReply { .. }
             | ControlMessage::SwitchIdReply { .. }
             | ControlMessage::PathRequest { .. }
+            | ControlMessage::LinkSuspect { .. }
             | ControlMessage::ReplAppend { .. }
             | ControlMessage::ReplAck { .. }
             | ControlMessage::ReplSyncRequest { .. }
@@ -940,6 +1377,9 @@ impl Node for HostAgent {
                 AppAction::PingSeries { at, .. } | AppAction::DataStream { at, .. } => *at,
             };
             ctx.set_timer(at, ix as u64);
+        }
+        if let Some(cfg) = &self.config.gray_detect {
+            ctx.set_timer(cfg.probe_interval, Self::PROBE_TOKEN);
         }
     }
 
@@ -1007,6 +1447,10 @@ impl Node for HostAgent {
             backlog.retain(|&(_, remaining)| remaining > 0);
             self.flood_backlog = backlog;
             self.arm_flood(ctx);
+            return;
+        }
+        if token == Self::PROBE_TOKEN {
+            self.probe_tick(ctx);
             return;
         }
         if token == Self::RETRY_TOKEN {

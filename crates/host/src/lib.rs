@@ -24,7 +24,7 @@ pub mod datapath;
 pub mod pathtable;
 pub mod topocache;
 
-pub use agent::{AgentStats, HostAgent, HostAgentConfig, RoutingFn};
+pub use agent::{AgentStats, GrayDetectConfig, HostAgent, HostAgentConfig, RoutingFn};
 pub use datapath::{DatapathModel, DatapathVariant};
 pub use pathtable::{FlowKey, PathTable, PathTableEntry};
 pub use topocache::TopoCache;

@@ -24,14 +24,14 @@ fn port(sw: u64, p: u8) -> PortId {
 fn down(a: u64, b: u64) -> TopoDelta {
     TopoDelta {
         down: vec![(SwitchId(a), SwitchId(b))],
-        up: vec![],
+        ..TopoDelta::default()
     }
 }
 
 fn up(a: u64, b: u64) -> TopoDelta {
     TopoDelta {
-        down: vec![],
         up: vec![(port(a, 2), port(b, 3))],
+        ..TopoDelta::default()
     }
 }
 

@@ -45,13 +45,29 @@ pub struct TopoDelta {
     /// Newly verified links (with port detail so hosts can route over
     /// them immediately).
     pub up: Vec<(PortId, PortId)>,
+    /// Switch pairs placed under quarantine: the link still forwards,
+    /// but is suspected gray (partial loss / corruption) and must be
+    /// avoided by path computation until probation clears it.
+    pub quarantine: Vec<(SwitchId, SwitchId)>,
+    /// Switch pairs released from quarantine after passing probation.
+    pub unquarantine: Vec<(SwitchId, SwitchId)>,
 }
 
 impl TopoDelta {
     /// Returns `true` when the delta carries no changes.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.down.is_empty() && self.up.is_empty()
+        self.down.is_empty()
+            && self.up.is_empty()
+            && self.quarantine.is_empty()
+            && self.unquarantine.is_empty()
+    }
+
+    /// Whether the delta carries quarantine state (needs the V2 wire
+    /// encoding).
+    #[must_use]
+    pub fn has_quarantine(&self) -> bool {
+        !self.quarantine.is_empty() || !self.unquarantine.is_empty()
     }
 }
 
@@ -68,12 +84,22 @@ pub struct PatchEntry {
 /// Version byte of the batched-patch wire encoding.
 const PATCH_BATCH_WIRE_V1: u8 = 0x01;
 
+/// Version byte of the quarantine-aware batched-patch encoding: each
+/// entry carries two extra item counts (quarantine / unquarantine
+/// pairs). Emitted only when a batch actually carries quarantine state,
+/// so legacy batches stay byte-identical to V1.
+const PATCH_BATCH_WIRE_V2: u8 = 0x02;
+
 /// Fixed header bytes of the batched-patch encoding: format byte, epoch,
 /// term, segment index/total, entry count.
 const PATCH_BATCH_HEADER: usize = 1 + 8 + 8 + 2 + 2 + 2;
 
 /// Per-entry fixed bytes: version plus the two item counts.
 const PATCH_ENTRY_HEADER: usize = 8 + 2 + 2;
+
+/// Extra per-entry fixed bytes in the V2 encoding: the quarantine and
+/// unquarantine item counts.
+const PATCH_ENTRY_V2_EXTRA: usize = 2 + 2;
 
 /// A batched stage-2 topology patch: many versioned deltas packed under a
 /// single epoch header, so one flood round (and one stage-2 processing
@@ -132,14 +158,33 @@ impl PatchBatch {
         }
     }
 
+    /// Whether any entry carries quarantine state, forcing the V2 wire
+    /// encoding for the whole batch.
+    #[must_use]
+    fn needs_v2(&self) -> bool {
+        self.entries.iter().any(|e| e.delta.has_quarantine())
+    }
+
     /// Serialized size in bytes (what [`PatchBatch::to_wire`] emits).
     #[must_use]
     pub fn wire_len(&self) -> usize {
+        let extra = if self.needs_v2() {
+            PATCH_ENTRY_V2_EXTRA
+        } else {
+            0
+        };
         PATCH_BATCH_HEADER
             + self
                 .entries
                 .iter()
-                .map(|e| PATCH_ENTRY_HEADER + e.delta.down.len() * 16 + e.delta.up.len() * 18)
+                .map(|e| {
+                    PATCH_ENTRY_HEADER
+                        + extra
+                        + e.delta.down.len() * 16
+                        + e.delta.up.len() * 18
+                        + e.delta.quarantine.len() * 16
+                        + e.delta.unquarantine.len() * 16
+                })
                 .sum::<usize>()
     }
 
@@ -156,8 +201,13 @@ impl PatchBatch {
                 .unwrap_or_else(|_| panic!("{what} count {n} exceeds the u16 wire field"))
                 .to_be_bytes()
         };
+        let v2 = self.needs_v2();
         let mut out = Vec::with_capacity(self.wire_len());
-        out.push(PATCH_BATCH_WIRE_V1);
+        out.push(if v2 {
+            PATCH_BATCH_WIRE_V2
+        } else {
+            PATCH_BATCH_WIRE_V1
+        });
         out.extend_from_slice(&self.epoch.to_be_bytes());
         out.extend_from_slice(&self.term.to_be_bytes());
         out.extend_from_slice(&self.seg.to_be_bytes());
@@ -167,6 +217,10 @@ impl PatchBatch {
             out.extend_from_slice(&e.version.to_be_bytes());
             out.extend_from_slice(&count(e.delta.down.len(), "down"));
             out.extend_from_slice(&count(e.delta.up.len(), "up"));
+            if v2 {
+                out.extend_from_slice(&count(e.delta.quarantine.len(), "quarantine"));
+                out.extend_from_slice(&count(e.delta.unquarantine.len(), "unquarantine"));
+            }
             for (a, b) in &e.delta.down {
                 out.extend_from_slice(&a.0.to_be_bytes());
                 out.extend_from_slice(&b.0.to_be_bytes());
@@ -175,6 +229,12 @@ impl PatchBatch {
                 for p in [pa, pb] {
                     out.extend_from_slice(&p.switch.0.to_be_bytes());
                     out.push(p.port.get());
+                }
+            }
+            if v2 {
+                for (a, b) in e.delta.quarantine.iter().chain(&e.delta.unquarantine) {
+                    out.extend_from_slice(&a.0.to_be_bytes());
+                    out.extend_from_slice(&b.0.to_be_bytes());
                 }
             }
         }
@@ -214,11 +274,12 @@ impl PatchBatch {
         }
         let mut rd = Rd(bytes, 0);
         let fmt = rd.u8()?;
-        if fmt != PATCH_BATCH_WIRE_V1 {
+        if fmt != PATCH_BATCH_WIRE_V1 && fmt != PATCH_BATCH_WIRE_V2 {
             return Err(DumbNetError::MalformedFrame(format!(
                 "unknown patch-batch format byte {fmt:#04x}"
             )));
         }
+        let v2 = fmt == PATCH_BATCH_WIRE_V2;
         let epoch = rd.u64()?;
         let term = rd.u64()?;
         let seg = rd.u16()?;
@@ -239,6 +300,7 @@ impl PatchBatch {
             let version = rd.u64()?;
             let n_down = rd.u16()?;
             let n_up = rd.u16()?;
+            let (n_q, n_uq) = if v2 { (rd.u16()?, rd.u16()?) } else { (0, 0) };
             let mut delta = TopoDelta::default();
             for _ in 0..n_down {
                 delta.down.push((SwitchId(rd.u64()?), SwitchId(rd.u64()?)));
@@ -253,6 +315,16 @@ impl PatchBatch {
                 let pa = port()?;
                 let pb = port()?;
                 delta.up.push((pa, pb));
+            }
+            for _ in 0..n_q {
+                delta
+                    .quarantine
+                    .push((SwitchId(rd.u64()?), SwitchId(rd.u64()?)));
+            }
+            for _ in 0..n_uq {
+                delta
+                    .unquarantine
+                    .push((SwitchId(rd.u64()?), SwitchId(rd.u64()?)));
             }
             entries.push(PatchEntry { version, delta });
         }
@@ -269,6 +341,30 @@ impl PatchBatch {
             segs,
             entries,
         })
+    }
+}
+
+/// One coalesced path answer inside a [`ControlMessage::PathReplyBatch`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathReplyItem {
+    /// Echo of the request's correlation ID.
+    pub request_id: u64,
+    /// The cached subgraph, if the destination exists.
+    pub graph: Option<Box<PathGraph>>,
+    /// Topology version the graph was computed against.
+    pub topo_version: u64,
+}
+
+impl PathReplyItem {
+    /// Approximate serialized size (same accounting as
+    /// [`ControlMessage::PathReply`], minus the discriminant).
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        8 + 8
+            + self
+                .graph
+                .as_ref()
+                .map_or(0, |g| 32 + g.edge_count() * 12 + g.switch_count() * 8)
     }
 }
 
@@ -354,6 +450,52 @@ pub enum ControlMessage {
         /// Topology version the graph was computed against.
         topo_version: u64,
     },
+    /// The controller's batched answer to a burst of path requests from
+    /// one host: every graph computed in the service window rides in a
+    /// single frame (ROADMAP item 3 follow-up), amortising per-frame
+    /// overheads exactly like [`ControlMessage::TopologyPatchBatch`].
+    PathReplyBatch {
+        /// The coalesced replies, in request order.
+        replies: Vec<PathReplyItem>,
+    },
+    /// Host-originated lightweight probe sent along one specific cached
+    /// path to measure that path's health (gray-failure detection). The
+    /// responder answers with [`ControlMessage::PathProbeReply`] over
+    /// its own routed path.
+    PathProbe {
+        /// The probing host.
+        origin: MacAddr,
+        /// Correlation ID; the prober maps it back to (destination,
+        /// path index).
+        probe_id: u64,
+    },
+    /// Answer to a [`ControlMessage::PathProbe`].
+    PathProbeReply {
+        /// The replying host.
+        responder: MacAddr,
+        /// Echo of the probe's correlation ID.
+        probe_id: u64,
+    },
+    /// Host → controller gray-failure report: "this link is dropping my
+    /// traffic while nominally up". Carries the evidence the host's
+    /// per-path health tracker accumulated so the controller can
+    /// corroborate reports across hosts before quarantining.
+    LinkSuspect {
+        /// The reporting host.
+        reporter: MacAddr,
+        /// The suspected link (switch pair, as carried in patches).
+        edge: (SwitchId, SwitchId),
+        /// Observed loss rate over the evidence window, in permille
+        /// (0..=1000).
+        loss_permille: u16,
+        /// Number of probe/ack samples the evidence window held.
+        window: u32,
+        /// Direction the loss was observed in: 0 = a→b of `edge`,
+        /// 1 = b→a, 2 = unknown/both.
+        direction: u8,
+        /// Per-reporter sequence number for duplicate suppression.
+        seq: u64,
+    },
     /// Controller stage-2 flood: authoritative topology changes.
     TopologyPatch {
         /// Monotonic topology version after applying the delta.
@@ -406,6 +548,11 @@ pub enum ControlMessage {
         /// The leader's term. Replicas reject lower-term appends; a
         /// higher term steps a stale leader down.
         term: u64,
+        /// The term the entry was originally appended under. Equal to
+        /// `term` on a live append; on a re-sync replay it preserves
+        /// the historical term so the log-matching property (same
+        /// index + same term ⇒ same entry) survives leader changes.
+        entry_term: u64,
         /// The leader's commit index. Followers adopt it (clamped to
         /// their contiguous prefix) so their vote log-floor condition
         /// reflects real quorum commits rather than staying at zero.
@@ -548,14 +695,31 @@ impl ControlMessage {
                         .map_or(0, |g| 32 + g.edge_count() * 12 + g.switch_count() * 8)
             }
             ControlMessage::TopologyPatch { delta, .. } => {
-                1 + 8 + 8 + delta.down.len() * 16 + delta.up.len() * 18
+                1 + 8
+                    + 8
+                    + delta.down.len() * 16
+                    + delta.up.len() * 18
+                    + (delta.quarantine.len() + delta.unquarantine.len()) * 16
             }
             ControlMessage::TopologyPatchBatch(batch) => 1 + batch.wire_len(),
+            ControlMessage::PathReplyBatch { replies } => {
+                1 + 2 + replies.iter().map(PathReplyItem::wire_size).sum::<usize>()
+            }
+            ControlMessage::PathProbe { .. } | ControlMessage::PathProbeReply { .. } => 1 + 6 + 8,
+            ControlMessage::LinkSuspect { .. } => 1 + 6 + 16 + 2 + 4 + 1 + 8,
             ControlMessage::ControllerHello {
                 path_to_controller, ..
             } => 1 + 6 + path_to_controller.len() + 1 + 8 + 8,
             ControlMessage::ReplAppend { delta, .. } => {
-                1 + 8 + 8 + 8 + 8 + 6 + delta.down.len() * 16 + delta.up.len() * 18
+                1 + 8
+                    + 8
+                    + 8
+                    + 8
+                    + 8
+                    + 6
+                    + delta.down.len() * 16
+                    + delta.up.len() * 18
+                    + (delta.quarantine.len() + delta.unquarantine.len()) * 16
             }
             ControlMessage::ReplAck { .. } => 1 + 8 + 6 + 8,
             ControlMessage::ReplSyncRequest { .. } => 1 + 8 + 6 + 8,
@@ -613,9 +777,15 @@ mod tests {
         assert!(TopoDelta::default().is_empty());
         let d = TopoDelta {
             down: vec![(SwitchId(1), SwitchId(2))],
-            up: vec![],
+            ..TopoDelta::default()
         };
         assert!(!d.is_empty());
+        let q = TopoDelta {
+            quarantine: vec![(SwitchId(1), SwitchId(2))],
+            ..TopoDelta::default()
+        };
+        assert!(!q.is_empty());
+        assert!(q.has_quarantine());
     }
 
     fn sample_batch() -> PatchBatch {
@@ -630,14 +800,14 @@ mod tests {
                     version: 6,
                     delta: TopoDelta {
                         down: vec![(SwitchId(1), SwitchId(2))],
-                        up: vec![],
+                        ..TopoDelta::default()
                     },
                 },
                 PatchEntry {
                     version: 7,
                     delta: TopoDelta {
-                        down: vec![],
                         up: vec![(p(1, 4), p(2, 9))],
+                        ..TopoDelta::default()
                     },
                 },
             ],
@@ -682,10 +852,73 @@ mod tests {
     }
 
     #[test]
+    fn quarantine_batches_use_v2_and_round_trip() {
+        // Legacy batches keep the V1 format byte — byte-for-byte stable.
+        let legacy = sample_batch();
+        assert_eq!(legacy.to_wire()[0], 0x01);
+
+        let gray = PatchBatch {
+            epoch: 9,
+            term: 4,
+            seg: 0,
+            segs: 1,
+            entries: vec![PatchEntry {
+                version: 9,
+                delta: TopoDelta {
+                    quarantine: vec![(SwitchId(3), SwitchId(8))],
+                    unquarantine: vec![(SwitchId(5), SwitchId(6))],
+                    ..TopoDelta::default()
+                },
+            }],
+        };
+        let wire = gray.to_wire();
+        assert_eq!(wire[0], 0x02);
+        assert_eq!(wire.len(), gray.wire_len());
+        let parsed = PatchBatch::from_wire(&wire).unwrap();
+        assert_eq!(parsed, gray);
+        // Truncations of a V2 frame are rejected too.
+        for cut in 0..wire.len() {
+            assert!(PatchBatch::from_wire(&wire[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn gray_control_messages_have_sizes() {
+        let suspect = ControlMessage::LinkSuspect {
+            reporter: MacAddr::for_host(3),
+            edge: (SwitchId(1), SwitchId(2)),
+            loss_permille: 250,
+            window: 16,
+            direction: 0,
+            seq: 1,
+        };
+        assert_eq!(suspect.wire_size(), 1 + 6 + 16 + 2 + 4 + 1 + 8);
+        let probe = ControlMessage::PathProbe {
+            origin: MacAddr::for_host(3),
+            probe_id: 7,
+        };
+        let reply = ControlMessage::PathProbeReply {
+            responder: MacAddr::for_host(4),
+            probe_id: 7,
+        };
+        assert_eq!(probe.wire_size(), reply.wire_size());
+        // A reply batch charges the sum of its items plus framing.
+        let item = PathReplyItem {
+            request_id: 1,
+            graph: None,
+            topo_version: 5,
+        };
+        let batch = ControlMessage::PathReplyBatch {
+            replies: vec![item.clone(), item.clone()],
+        };
+        assert_eq!(batch.wire_size(), 1 + 2 + 2 * item.wire_size());
+    }
+
+    #[test]
     fn singleton_batch_matches_legacy_patch() {
         let delta = TopoDelta {
             down: vec![(SwitchId(4), SwitchId(5))],
-            up: vec![],
+            ..TopoDelta::default()
         };
         let batch = PatchBatch::singleton(9, delta.clone(), 2);
         let (version, d, term) = batch.as_singleton().unwrap();

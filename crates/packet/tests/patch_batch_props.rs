@@ -17,16 +17,28 @@ fn arb_port_id() -> impl Strategy<Value = PortId> {
         .prop_map(|(sw, p)| PortId::new(SwitchId(sw), PortNo::new(p).expect("1..=254 is valid")))
 }
 
+fn arb_switch_pairs() -> impl Strategy<Value = Vec<(SwitchId, SwitchId)>> {
+    proptest::collection::vec((any::<u64>(), any::<u64>()), 0..6).prop_map(|v| {
+        v.into_iter()
+            .map(|(a, b)| (SwitchId(a), SwitchId(b)))
+            .collect()
+    })
+}
+
 fn arb_delta() -> impl Strategy<Value = TopoDelta> {
     (
-        proptest::collection::vec((any::<u64>(), any::<u64>()), 0..6).prop_map(|v| {
-            v.into_iter()
-                .map(|(a, b)| (SwitchId(a), SwitchId(b)))
-                .collect()
-        }),
-        proptest::collection::vec((arb_port_id(), arb_port_id()), 0..6),
+        (
+            arb_switch_pairs(),
+            proptest::collection::vec((arb_port_id(), arb_port_id()), 0..6),
+        ),
+        (arb_switch_pairs(), arb_switch_pairs()),
     )
-        .prop_map(|(down, up)| TopoDelta { down, up })
+        .prop_map(|((down, up), (quarantine, unquarantine))| TopoDelta {
+            down,
+            up,
+            quarantine,
+            unquarantine,
+        })
 }
 
 fn arb_entry() -> impl Strategy<Value = PatchEntry> {
@@ -122,9 +134,10 @@ proptest! {
         prop_assert!(PatchBatch::from_wire(&wire).is_err());
     }
 
-    /// Any format byte other than the v1 marker is refused up front.
+    /// Any format byte other than the v1/v2 markers is refused up
+    /// front.
     #[test]
-    fn unknown_format_byte_is_rejected(batch in arb_batch(), fmt in 2u8..=255) {
+    fn unknown_format_byte_is_rejected(batch in arb_batch(), fmt in 3u8..=255) {
         let mut wire = batch.to_wire();
         wire[0] = fmt;
         prop_assert!(PatchBatch::from_wire(&wire).is_err());
@@ -155,11 +168,11 @@ fn segment_bounds_are_enforced_on_the_wire() {
 #[test]
 fn reserved_port_values_are_rejected() {
     let delta = TopoDelta {
-        down: vec![],
         up: vec![(
             PortId::new(SwitchId(1), PortNo::new(2).expect("valid")),
             PortId::new(SwitchId(3), PortNo::new(4).expect("valid")),
         )],
+        ..TopoDelta::default()
     };
     let good = PatchBatch::singleton(1, delta, 1).to_wire();
     for bad_port in [0u8, 0xFF] {

@@ -272,7 +272,7 @@ mod tests {
                     loss: 0.1,
                     corrupt: 0.05,
                     jitter: SimDuration::from_micros(50),
-                    bursts: vec![],
+                    ..FaultProfile::default()
                 },
             );
             let report = ChaosRunner::new(plan, t(50)).run(&mut w, |_| false);

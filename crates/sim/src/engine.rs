@@ -198,6 +198,12 @@ enum Event {
         wire: WireId,
         up: bool,
     },
+    /// A scheduled fault-profile replacement (gray faults healing or
+    /// worsening mid-run).
+    AdminFault {
+        wire: WireId,
+        profile: Box<FaultProfile>,
+    },
     /// The node dies: arrivals and timers are discarded until restart,
     /// and every incident wire goes down (neighbours see carrier loss).
     Crash(NodeAddr),
@@ -722,6 +728,21 @@ impl World {
         self.queue.push(at, Event::AdminLink { wire, up });
     }
 
+    /// Schedules `wire`'s fault profile to be replaced at `at` —
+    /// the mid-run half of [`World::set_fault_profile`], used by
+    /// [`ChaosPlan`](crate::faults::ChaosPlan) profile changes so gray
+    /// faults can heal or worsen while the world runs. No carrier
+    /// notification: the wire stays administratively up throughout.
+    pub fn schedule_fault_profile(&mut self, at: SimTime, wire: WireId, profile: FaultProfile) {
+        self.queue.push(
+            at,
+            Event::AdminFault {
+                wire,
+                profile: Box::new(profile),
+            },
+        );
+    }
+
     /// Injects a packet arrival at `(node, port)` at time `at`, as if it
     /// had come off a wire.
     pub fn inject(&mut self, at: SimTime, node: NodeAddr, port: PortNo, pkt: Packet) {
@@ -875,6 +896,25 @@ impl World {
                     self.with_node(b.0, |n, ctx| n.on_link_change(ctx, b.1, up));
                 }
             }
+            Event::AdminFault { wire, profile } => {
+                if self.telemetry.trace_enabled() {
+                    self.telemetry.emit(
+                        self.now,
+                        TraceCategory::Chaos,
+                        NodeKind::Link,
+                        wire.0 as u64,
+                        format!(
+                            "fault profile {}",
+                            if profile.is_benign() {
+                                "cleared"
+                            } else {
+                                "replaced"
+                            }
+                        ),
+                    );
+                }
+                self.set_fault_profile(wire, *profile);
+            }
             Event::Crash(addr) => {
                 if self.crashed.get(addr.0).copied().unwrap_or(true) {
                     return;
@@ -1023,7 +1063,12 @@ impl Core {
                 }
                 return;
             }
-            if profile.loss > 0.0 && self.fault_rng.gen_bool(profile.loss) {
+            // Direction- and time-aware rates: for profiles without
+            // gray shapes these reduce to the plain `loss`/`corrupt`
+            // fields, so the fault-RNG draw sequence (and every pinned
+            // checksum downstream of it) is unchanged.
+            let p_loss = profile.loss_at(departed, dir);
+            if p_loss > 0.0 && self.fault_rng.gen_bool(p_loss) {
                 self.stats.drops_loss.inc();
                 self.link_stats[wid.0].drops_loss.inc();
                 if self.telemetry.trace_enabled() {
@@ -1037,7 +1082,8 @@ impl Core {
                 }
                 return;
             }
-            if profile.corrupt > 0.0 && self.fault_rng.gen_bool(profile.corrupt) {
+            let p_corrupt = profile.corrupt_at(departed);
+            if p_corrupt > 0.0 && self.fault_rng.gen_bool(p_corrupt) {
                 self.stats.drops_corrupt.inc();
                 self.link_stats[wid.0].drops_corrupt.inc();
                 if self.telemetry.trace_enabled() {
@@ -1238,6 +1284,42 @@ mod tests {
         assert_eq!(w.stats().drops_down, 1);
         let watch = w.node::<Watch>(b).unwrap();
         assert_eq!(watch.changes, vec![(t_fail, false)]);
+    }
+
+    #[test]
+    fn scheduled_fault_profile_change_heals_wire() {
+        let mut w = World::new(0);
+        let a = w.add_node(Box::new(Echo::new(true)));
+        let sink = w.add_node(Box::new(Echo::new(false)));
+        let wid = w.wire(a, P1, sink, P1, LinkParams::ten_gig()).unwrap();
+        w.set_fault_profile(wid, FaultProfile::lossy(1.0));
+        let heal = SimTime::ZERO + SimDuration::from_millis(1);
+        w.schedule_fault_profile(heal, wid, FaultProfile::default());
+        // Echoed onto the wire pre-heal: eaten. Post-heal: delivered.
+        w.inject(SimTime::ZERO, a, P1, data(1, 100));
+        w.inject(heal + SimDuration::from_millis(1), a, P1, data(2, 100));
+        w.run_to_idle(100);
+        let recv = &w.node::<Echo>(sink).unwrap().received;
+        assert_eq!(recv.len(), 1);
+        assert_eq!(recv[0].1, 2);
+        assert_eq!(w.stats().drops_loss, 1);
+    }
+
+    #[test]
+    fn directional_loss_spares_reverse_direction() {
+        let mut w = World::new(0);
+        let a = w.add_node(Box::new(Echo::new(true)));
+        let b = w.add_node(Box::new(Echo::new(true)));
+        let wid = w.wire(a, P1, b, P1, LinkParams::ten_gig()).unwrap();
+        // Direction 0 is a→b in wire-endpoint order; kill it entirely.
+        w.set_fault_profile(wid, FaultProfile::lossy_dir(0, 1.0));
+        // b echoes toward a (direction 1, clean); a's echo back dies.
+        // b's count of 1 is the injected packet itself.
+        w.inject(SimTime::ZERO, b, P1, data(9, 100));
+        w.run_to_idle(100);
+        assert_eq!(w.node::<Echo>(a).unwrap().received.len(), 1);
+        assert_eq!(w.node::<Echo>(b).unwrap().received.len(), 1);
+        assert_eq!(w.stats().drops_loss, 1);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   corruption (dropped at delivery: the receiver's FCS check would
 //!   reject the mangled frame anyway), uniform delivery jitter (which
 //!   reorders packets), and bounded-burst drop windows during which the
-//!   wire blackholes everything.
+//!   wire blackholes everything. Gray-failure shapes extend the basic
+//!   probabilities: asymmetric per-direction loss ([`FaultProfile::
+//!   loss_dir`]), a [`LossRamp`] that degrades the wire progressively,
+//!   and [`CorruptWindow`]s of intermittent bit corruption.
 //! * [`FlapSchedule`] — periodic administrative link down/up cycles.
 //! * [`CrashSchedule`] — switch (or host) crash and optional restart.
 //! * [`PartitionSchedule`] — a network partition: named cells whose
@@ -45,6 +48,18 @@ pub struct FaultProfile {
     /// Absolute time windows during which the wire drops everything
     /// (models a flaky transceiver browning out in bursts).
     pub bursts: Vec<BurstWindow>,
+    /// Additional per-direction loss probability, indexed by the
+    /// engine's wire direction (0 = a→b, 1 = b→a). Models the common
+    /// gray failure where only one direction of an optic degrades;
+    /// added on top of `loss` for packets travelling that way.
+    pub loss_dir: [f64; 2],
+    /// Progressive degradation: loss ramping linearly over a window and
+    /// staying at the final rate afterwards. Added on top of `loss`.
+    pub ramp: Option<LossRamp>,
+    /// Intermittent corruption windows; while one is open its
+    /// probability is added on top of `corrupt` (models a marginal
+    /// transceiver flipping bits in episodes rather than uniformly).
+    pub corrupt_windows: Vec<CorruptWindow>,
 }
 
 impl FaultProfile {
@@ -57,6 +72,18 @@ impl FaultProfile {
         }
     }
 
+    /// A profile that loses packets in one direction only (the
+    /// asymmetric gray failure: dir 0 is a→b on the wire, 1 is b→a).
+    #[must_use]
+    pub fn lossy_dir(dir: usize, p: f64) -> FaultProfile {
+        let mut loss_dir = [0.0, 0.0];
+        loss_dir[dir.min(1)] = p;
+        FaultProfile {
+            loss_dir,
+            ..FaultProfile::default()
+        }
+    }
+
     /// Whether this profile can ever affect a packet.
     #[must_use]
     pub fn is_benign(&self) -> bool {
@@ -64,6 +91,10 @@ impl FaultProfile {
             && self.corrupt <= 0.0
             && self.jitter == SimDuration::ZERO
             && self.bursts.is_empty()
+            && self.loss_dir[0] <= 0.0
+            && self.loss_dir[1] <= 0.0
+            && self.ramp.is_none()
+            && self.corrupt_windows.is_empty()
     }
 
     /// Whether `t` falls inside any burst-drop window.
@@ -73,6 +104,78 @@ impl FaultProfile {
             .iter()
             .any(|b| t >= b.start && t < b.start.after(b.duration))
     }
+
+    /// Effective loss probability for a packet departing at `t` in wire
+    /// direction `dir`: the base rate plus the directional extra plus
+    /// the ramp contribution, clamped to `[0, 1]`. Exactly `loss` when
+    /// no gray shape is configured, so legacy profiles draw the same
+    /// RNG sequence they always did.
+    #[must_use]
+    pub fn loss_at(&self, t: SimTime, dir: usize) -> f64 {
+        let mut p = self.loss + self.loss_dir[dir.min(1)];
+        if let Some(r) = &self.ramp {
+            p += r.rate_at(t);
+        }
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Effective corruption probability at departure time `t`: the base
+    /// rate plus every open corruption window, clamped to `[0, 1]`.
+    /// Exactly `corrupt` when no window is configured.
+    #[must_use]
+    pub fn corrupt_at(&self, t: SimTime) -> f64 {
+        let mut p = self.corrupt;
+        for w in &self.corrupt_windows {
+            if t >= w.start && t < w.start.after(w.duration) {
+                p += w.probability;
+            }
+        }
+        p.clamp(0.0, 1.0)
+    }
+}
+
+/// A linear loss ramp: a link degrading progressively instead of
+/// failing outright. Before `start` it contributes nothing; during
+/// `[start, start + duration)` the contribution interpolates linearly
+/// from `from` to `to`; afterwards it stays at `to` (a degraded optic
+/// does not heal by itself — schedule a profile change to model repair).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossRamp {
+    /// When degradation begins.
+    pub start: SimTime,
+    /// How long the rate takes to reach `to`.
+    pub duration: SimDuration,
+    /// Loss contribution at `start`.
+    pub from: f64,
+    /// Loss contribution at `start + duration` and forever after.
+    pub to: f64,
+}
+
+impl LossRamp {
+    /// The ramp's loss contribution at time `t`.
+    #[must_use]
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        if t < self.start {
+            return 0.0;
+        }
+        let end = self.start.after(self.duration);
+        if t >= end || self.duration == SimDuration::ZERO {
+            return self.to;
+        }
+        let frac = (t - self.start).nanos() as f64 / self.duration.nanos() as f64;
+        self.from + (self.to - self.from) * frac
+    }
+}
+
+/// A bounded window of elevated bit corruption on one wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptWindow {
+    /// When the window opens.
+    pub start: SimTime,
+    /// How long it stays open.
+    pub duration: SimDuration,
+    /// Corruption probability added while open.
+    pub probability: f64,
 }
 
 /// A bounded window of total packet loss on one wire.
@@ -180,6 +283,11 @@ pub struct ChaosPlan {
     pub crashes: Vec<CrashSchedule>,
     /// Partition windows.
     pub partitions: Vec<PartitionSchedule>,
+    /// Scheduled mid-run fault-profile replacements: `(at, wire, new
+    /// profile)`. This is how gray faults heal (or worsen) while the
+    /// run is in flight — replacing the profile with a benign one at
+    /// `at` models the optic being reseated.
+    pub profile_changes: Vec<(SimTime, WireId, FaultProfile)>,
 }
 
 impl ChaosPlan {
@@ -217,6 +325,18 @@ impl ChaosPlan {
         self
     }
 
+    /// Schedules `wire`'s fault profile to be replaced with `profile`
+    /// at `at` (mid-run heal or degradation).
+    pub fn with_profile_change(
+        mut self,
+        at: SimTime,
+        wire: WireId,
+        profile: FaultProfile,
+    ) -> ChaosPlan {
+        self.profile_changes.push((at, wire, profile));
+        self
+    }
+
     /// Installs the whole plan into `world`: seeds the fault RNG, sets
     /// the per-wire profiles, and schedules every flap transition and
     /// crash/restart event.
@@ -245,6 +365,9 @@ impl ChaosPlan {
                 world.schedule_link_state(partition.start, wire, false);
                 world.schedule_link_state(partition.start.after(partition.heal_after), wire, true);
             }
+        }
+        for (at, wire, profile) in &self.profile_changes {
+            world.schedule_fault_profile(*at, *wire, profile.clone());
         }
     }
 
@@ -277,10 +400,24 @@ impl ChaosPlan {
                 None => update(crash.at),
             }
         }
-        for (_, profile) in &self.link_faults {
+        let profiles = self
+            .link_faults
+            .iter()
+            .map(|(_, p)| p)
+            .chain(self.profile_changes.iter().map(|(_, _, p)| p));
+        for profile in profiles {
             for b in &profile.bursts {
                 update(b.start.after(b.duration));
             }
+            if let Some(r) = &profile.ramp {
+                update(r.start.after(r.duration));
+            }
+            for w in &profile.corrupt_windows {
+                update(w.start.after(w.duration));
+            }
+        }
+        for (at, _, _) in &self.profile_changes {
+            update(*at);
         }
         for partition in &self.partitions {
             update(partition.start.after(partition.heal_after));
@@ -436,6 +573,87 @@ mod tests {
         assert!(w.wire_up(wires[2]), "intra-cell wire went down");
         w.run_until(t(31));
         assert!(w.wire_up(wires[1]), "cross-cell wire never healed");
+    }
+
+    #[test]
+    fn directional_loss_only_hits_one_direction() {
+        let p = FaultProfile::lossy_dir(1, 0.3);
+        assert!(!p.is_benign());
+        assert!((p.loss_at(t(0), 0) - 0.0).abs() < f64::EPSILON);
+        assert!((p.loss_at(t(0), 1) - 0.3).abs() < f64::EPSILON);
+        // Legacy uniform loss stays direction-independent.
+        let uniform = FaultProfile::lossy(0.2);
+        assert!((uniform.loss_at(t(5), 0) - 0.2).abs() < f64::EPSILON);
+        assert!((uniform.loss_at(t(5), 1) - 0.2).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn loss_ramp_interpolates_and_saturates() {
+        let p = FaultProfile {
+            ramp: Some(LossRamp {
+                start: t(100),
+                duration: SimDuration::from_millis(100),
+                from: 0.0,
+                to: 0.5,
+            }),
+            ..FaultProfile::default()
+        };
+        assert!(!p.is_benign());
+        assert!((p.loss_at(t(50), 0) - 0.0).abs() < f64::EPSILON);
+        assert!((p.loss_at(t(150), 0) - 0.25).abs() < 1e-9);
+        assert!((p.loss_at(t(200), 0) - 0.5).abs() < f64::EPSILON);
+        assert!((p.loss_at(t(900), 0) - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn corrupt_windows_open_and_close() {
+        let p = FaultProfile {
+            corrupt: 0.01,
+            corrupt_windows: vec![CorruptWindow {
+                start: t(10),
+                duration: SimDuration::from_millis(5),
+                probability: 0.4,
+            }],
+            ..FaultProfile::default()
+        };
+        assert!((p.corrupt_at(t(9)) - 0.01).abs() < f64::EPSILON);
+        assert!((p.corrupt_at(t(12)) - 0.41).abs() < 1e-9);
+        assert!((p.corrupt_at(t(15)) - 0.01).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn effective_rates_clamp_to_unit_interval() {
+        let p = FaultProfile {
+            loss: 0.8,
+            loss_dir: [0.8, 0.0],
+            ..FaultProfile::default()
+        };
+        assert!((p.loss_at(t(0), 0) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn last_scheduled_event_covers_gray_shapes() {
+        let w = WireId::from_raw(0);
+        let plan = ChaosPlan::seeded(1)
+            .with_link_fault(
+                w,
+                FaultProfile {
+                    ramp: Some(LossRamp {
+                        start: t(10),
+                        duration: SimDuration::from_millis(40),
+                        from: 0.0,
+                        to: 0.3,
+                    }),
+                    corrupt_windows: vec![CorruptWindow {
+                        start: t(20),
+                        duration: SimDuration::from_millis(15),
+                        probability: 0.2,
+                    }],
+                    ..FaultProfile::default()
+                },
+            )
+            .with_profile_change(t(120), w, FaultProfile::default());
+        assert_eq!(plan.last_scheduled_event(), Some(t(120)));
     }
 
     #[test]
