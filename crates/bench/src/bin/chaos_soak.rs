@@ -17,13 +17,18 @@
 //! ring, so a red run carries its own forensics instead of a bare exit
 //! code.
 //!
-//! Usage: `chaos_soak [--seeds N]` (default 8).
+//! Usage: `chaos_soak [--seeds N] [--shards N]` (defaults 8 and 1).
+//! With `--shards N > 1` the same matrix runs on the sharded
+//! multi-core PDES engine; every invariant and every counter is
+//! byte-identical to the single-world run by the engine's determinism
+//! contract, so a sharded soak row exercises the cross-shard window
+//! machinery under crash, partition, and gray faults.
 
 use dumbnet_controller::{Controller, ControllerConfig, GrayFaultConfig};
 use dumbnet_core::{check_gray_invariants, check_invariants, Fabric, FabricConfig};
 use dumbnet_host::agent::AppAction;
-use dumbnet_host::{GrayDetectConfig, HostAgent};
-use dumbnet_sim::{ChaosPlan, CrashSchedule, FaultProfile, NodeAddr, PartitionSchedule};
+use dumbnet_host::{GrayDetectConfig, HostAgent, HostAgentConfig};
+use dumbnet_sim::{ChaosPlan, CrashSchedule, Engine, FaultProfile, NodeAddr, PartitionSchedule};
 use dumbnet_switch::DumbSwitchConfig;
 use dumbnet_topology::generators;
 use dumbnet_types::{HostId, MacAddr, SimDuration, SimTime};
@@ -38,8 +43,8 @@ fn at_ms(ms: u64) -> SimTime {
 /// (far leaves, so the streams cross spine trunks).
 const GRAY_STREAMS: [(u64, u64); 2] = [(2, 26), (3, 17)];
 
-fn build_fabric(gray: bool) -> Fabric {
-    let g = generators::testbed();
+/// The soak's fabric configuration (shared by both engines).
+fn soak_config(gray: bool) -> FabricConfig {
     let peers: Vec<MacAddr> = CONTROLLERS.iter().map(|&h| MacAddr::for_host(h)).collect();
     let mut cfg = FabricConfig {
         controllers: CONTROLLERS.iter().map(|&h| HostId(h)).collect(),
@@ -68,33 +73,33 @@ fn build_fabric(gray: bool) -> Fabric {
         cfg.host.gray_detect = Some(GrayDetectConfig::default());
         cfg.controller.gray = Some(GrayFaultConfig::default());
     }
-    Fabric::build_full(
-        g.topology,
-        cfg,
-        move |id, mut hc| {
-            if gray {
-                if let Some(&(_, dst)) = GRAY_STREAMS.iter().find(|&&(h, _)| h == id.get()) {
-                    // Light long-lived streams: enough traffic to keep
-                    // paths cached and probed through the whole fault
-                    // window, far below the trunk capacity.
-                    hc.actions = vec![AppAction::DataStream {
-                        at: SimDuration::from_millis(10),
-                        dst: MacAddr::for_host(dst),
-                        flow: 7,
-                        packets: 1_400,
-                        bytes: 400,
-                        interval: SimDuration::from_micros(500),
-                    }];
-                }
+    cfg
+}
+
+/// Host-agent constructor: the gray rows run two light long-lived
+/// streams — enough traffic to keep paths cached and probed through
+/// the whole fault window, far below the trunk capacity.
+fn soak_host(gray: bool) -> impl FnMut(HostId, HostAgentConfig) -> HostAgent {
+    move |id, mut hc| {
+        if gray {
+            if let Some(&(_, dst)) = GRAY_STREAMS.iter().find(|&&(h, _)| h == id.get()) {
+                hc.actions = vec![AppAction::DataStream {
+                    at: SimDuration::from_millis(10),
+                    dst: MacAddr::for_host(dst),
+                    flow: 7,
+                    packets: 1_400,
+                    bytes: 400,
+                    interval: SimDuration::from_micros(500),
+                }];
             }
-            HostAgent::new(id, hc)
-        },
-        |id, mut ccfg| {
-            ccfg.is_leader = id == HostId(CONTROLLERS[0]);
-            Controller::new(id, ccfg)
-        },
-    )
-    .expect("fabric builds")
+        }
+        HostAgent::new(id, hc)
+    }
+}
+
+fn soak_controller(id: HostId, mut ccfg: ControllerConfig) -> Controller {
+    ccfg.is_leader = id == HostId(CONTROLLERS[0]);
+    Controller::new(id, ccfg)
 }
 
 /// Trace events printed with a violation dump.
@@ -102,11 +107,14 @@ const TRACE_TAIL: usize = 32;
 
 /// Renders the post-violation forensics: what changed since the
 /// baseline snapshot, and the last events on the trace ring.
-fn violation_dump(fabric: &mut Fabric, baseline: &dumbnet_telemetry::TelemetrySnapshot) -> String {
+fn violation_dump<W: Engine>(
+    fabric: &mut Fabric<W>,
+    baseline: &dumbnet_telemetry::TelemetrySnapshot,
+) -> String {
     use std::fmt::Write;
     let after = fabric.telemetry_snapshot();
     let diff = after.diff(baseline);
-    let (tail, older) = fabric.telemetry().trace_tail(TRACE_TAIL);
+    let (tail, older) = fabric.trace_tail(TRACE_TAIL);
     let mut out = String::new();
     let _ = writeln!(out, "--- telemetry diff (baseline -> violation) ---");
     let _ = write!(out, "{diff}");
@@ -125,9 +133,31 @@ fn violation_dump(fabric: &mut Fabric, baseline: &dumbnet_telemetry::TelemetrySn
 /// With `gray`, a silent-loss fault overlaps the crash/partition
 /// schedule and the gray invariants are checked mid-fault and
 /// post-heal.
-fn soak_one(seed: u64, gray: bool) -> Result<String, String> {
+fn soak_one(seed: u64, gray: bool, shards: u32) -> Result<String, String> {
+    let g = generators::testbed();
+    let cfg = soak_config(gray);
+    if shards <= 1 {
+        let fabric = Fabric::build_full(g.topology, cfg, soak_host(gray), soak_controller)
+            .expect("fabric builds");
+        run_soak(fabric, seed, gray)
+    } else {
+        let fabric = Fabric::build_sharded_full(
+            g.topology,
+            cfg,
+            &g.groups,
+            shards,
+            soak_host(gray),
+            soak_controller,
+        )
+        .expect("fabric builds");
+        run_soak(fabric, seed, gray)
+    }
+}
+
+/// The soak body, generic over the engine: inject the seed-derived
+/// schedule, then check every invariant family.
+fn run_soak<W: Engine>(mut fabric: Fabric<W>, seed: u64, gray: bool) -> Result<String, String> {
     let mode = if gray { "gray" } else { "base" };
-    let mut fabric = build_fabric(gray);
     let baseline = fabric.telemetry_snapshot();
 
     // Seed-derived interleaving: one controller crashes and restarts,
@@ -206,7 +236,7 @@ fn soak_one(seed: u64, gray: bool) -> Result<String, String> {
                 .expect("bound path crosses a trunk")
         };
         let wire = fabric.trunk_wire(leaf, spine).expect("trunk exists");
-        let rate = if seed % 2 == 0 { 1.0 } else { 0.6 };
+        let rate = if seed.is_multiple_of(2) { 1.0 } else { 0.6 };
         let gray_at = 150 + (seed % 3) * 40;
         let gray_heal = gray_at + 230 + (seed % 4) * 30;
         fabric
@@ -296,18 +326,24 @@ fn soak_one(seed: u64, gray: bool) -> Result<String, String> {
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut seeds = 8u64;
+    let mut shards = 1u32;
     while let Some(a) = args.next() {
-        if a == "--seeds" {
-            seeds = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("--seeds requires a number");
+        let numeric = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{flag} requires a number");
                 std::process::exit(2);
-            });
+            })
+        };
+        if a == "--seeds" {
+            seeds = numeric(&mut args, "--seeds");
+        } else if a == "--shards" {
+            shards = numeric(&mut args, "--shards") as u32;
         }
     }
     let mut failed = false;
     for seed in 0..seeds {
         for gray in [false, true] {
-            match soak_one(seed, gray) {
+            match soak_one(seed, gray, shards) {
                 Ok(line) => println!("{line}"),
                 Err(violation) => {
                     eprintln!("FAIL {violation}");
@@ -319,5 +355,8 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
-    println!("chaos soak passed: {seeds} seeds x {{base, gray}}, zero invariant violations");
+    println!(
+        "chaos soak passed: {seeds} seeds x {{base, gray}} on {shards} shard(s), \
+         zero invariant violations"
+    );
 }

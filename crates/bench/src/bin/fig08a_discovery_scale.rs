@@ -1,6 +1,13 @@
 //! Regenerates Figure 8(a) (discovery time vs. network size).
-//! Pass `--quick` for a reduced-scale run.
+//! Pass `--quick` for a reduced-scale run, `--shards N` to produce the
+//! (identical) figure on the sharded multi-core engine.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    println!("{}", dumbnet_bench::fig08::run_a(quick));
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let shards: u32 = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|ix| args.get(ix + 1))
+        .map_or(1, |v| v.parse().expect("--shards takes a number"));
+    println!("{}", dumbnet_bench::fig08::run_a_sharded(quick, shards));
 }

@@ -1,6 +1,14 @@
 //! Regenerates Figure 11(c) (failure recovery time vs. packet-loss
 //! rate) as a JSON document on stdout.
+//! Pass `--quick` for a reduced sweep, `--shards N` to produce the
+//! (identical) figure on the sharded multi-core engine.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    println!("{}", dumbnet_bench::fig11c::run_c(quick));
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let shards: u32 = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|ix| args.get(ix + 1))
+        .map_or(1, |v| v.parse().expect("--shards takes a number"));
+    println!("{}", dumbnet_bench::fig11c::run_c_sharded(quick, shards));
 }

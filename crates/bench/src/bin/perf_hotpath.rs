@@ -12,6 +12,11 @@
 //! the timing points: boots the testbed fabric twice with the same seed
 //! and exits non-zero unless the registry is populated and both runs
 //! serialize to byte-identical snapshot JSON.
+//!
+//! `--check-shards` runs the cross-shard determinism gate instead: the
+//! forward storm and a testbed fabric boot each run at 1 shard and at
+//! 8 shards, and the process exits non-zero unless the merged counters
+//! and telemetry snapshots are byte-identical across shard counts.
 
 use dumbnet_bench::perf;
 
@@ -26,6 +31,18 @@ fn main() {
             }
             Err(why) => {
                 eprintln!("telemetry determinism check failed: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--check-shards") {
+        match perf::shard_determinism_check() {
+            Ok(len) => {
+                eprintln!("1-shard and 8-shard runs byte-identical ({len} digest bytes)");
+                return;
+            }
+            Err(why) => {
+                eprintln!("cross-shard determinism check failed: {why}");
                 std::process::exit(1);
             }
         }

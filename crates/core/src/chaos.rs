@@ -39,6 +39,8 @@ use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 use dumbnet_types::{HostId, MacAddr, SwitchId};
 
+use dumbnet_sim::Engine;
+
 use crate::Fabric;
 
 /// Normalizes an undirected switch pair.
@@ -117,7 +119,7 @@ impl InvariantReport {
 /// (notifications flooded, patches applied) — mid-disruption the
 /// invariants are *expected* to be violated.
 #[must_use]
-pub fn check_invariants(fabric: &Fabric) -> InvariantReport {
+pub fn check_invariants<W: Engine>(fabric: &Fabric<W>) -> InvariantReport {
     let truth = &fabric.topology;
     // Physical ground truth is the *engine's* wire state — scheduled
     // failures and chaos flaps act on wires, not on the (static)
@@ -342,8 +344,8 @@ impl GrayInvariantReport {
 /// probation plus host exoneration have had time to run; mid-fault the
 /// quarantines are *supposed* to be held.
 #[must_use]
-pub fn check_gray_invariants(
-    fabric: &Fabric,
+pub fn check_gray_invariants<W: Engine>(
+    fabric: &Fabric<W>,
     flap_bound: u32,
     expect_clear: bool,
 ) -> GrayInvariantReport {

@@ -1,11 +1,13 @@
 //! Building and driving emulated DumbNet fabrics.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 use dumbnet_controller::{Controller, ControllerConfig};
 use dumbnet_host::{HostAgent, HostAgentConfig};
-use dumbnet_sim::{LinkParams, NodeAddr, WireId, World};
+use dumbnet_sim::{Engine, LinkParams, NodeAddr, ShardedWorld, WireId, World};
 use dumbnet_switch::{DumbSwitch, DumbSwitchConfig};
+use dumbnet_telemetry::TraceEvent;
+use dumbnet_topology::partition::{assign_cells, CellAssignment};
 use dumbnet_topology::Topology;
 use dumbnet_types::{DumbNetError, HostId, MacAddr, PortNo, Result, SimTime, SwitchId};
 
@@ -51,9 +53,14 @@ impl Default for FabricConfig {
 }
 
 /// A fully wired emulated deployment.
-pub struct Fabric {
+///
+/// Generic over the event [`Engine`]: `Fabric<World>` (the default) is
+/// the classic single-threaded deployment, `Fabric<ShardedWorld>` (via
+/// [`Fabric::build_sharded`]) partitions the topology into cells and
+/// executes them on the multi-core PDES engine with identical results.
+pub struct Fabric<W: Engine = World> {
     /// The discrete-event world. Exposed for advanced experiments.
-    pub world: World,
+    pub world: W,
     /// The ground-truth topology the fabric was built from.
     pub topology: Topology,
     switch_addr: Vec<NodeAddr>,
@@ -61,7 +68,7 @@ pub struct Fabric {
     controllers: HashSet<HostId>,
 }
 
-impl Fabric {
+impl Fabric<World> {
     /// Builds a fabric with default per-host agents.
     ///
     /// # Errors
@@ -94,33 +101,141 @@ impl Fabric {
     pub fn build_full<F, G>(
         topology: Topology,
         config: FabricConfig,
-        mut mk_host: F,
-        mut mk_controller: G,
+        mk_host: F,
+        mk_controller: G,
     ) -> Result<Fabric>
     where
         F: FnMut(HostId, HostAgentConfig) -> HostAgent,
         G: FnMut(HostId, ControllerConfig) -> Controller,
     {
-        let mut world = World::new(config.seed);
+        let world = World::new(config.seed);
+        Fabric::assemble(world, topology, config, mk_host, mk_controller, None)
+    }
+
+    /// The world's telemetry registry (trace ring access).
+    #[must_use]
+    pub fn telemetry(&self) -> &dumbnet_telemetry::Telemetry {
+        self.world.telemetry()
+    }
+}
+
+impl Fabric<ShardedWorld> {
+    /// Builds a fabric on the sharded multi-core engine.
+    ///
+    /// The topology is partitioned into `cells` cells with
+    /// [`assign_cells`] (pod-aware when `groups` has `"podN"` entries —
+    /// the fat-tree generator publishes them — balanced BFS otherwise)
+    /// and each cell becomes one shard. Results are byte-identical to
+    /// the equivalent `Fabric<World>` run at any cell count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wiring failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero.
+    pub fn build_sharded(
+        topology: Topology,
+        config: FabricConfig,
+        groups: &BTreeMap<String, Vec<SwitchId>>,
+        cells: u32,
+    ) -> Result<Fabric<ShardedWorld>> {
+        Fabric::build_sharded_with(topology, config, groups, cells, HostAgent::new)
+    }
+
+    /// [`Fabric::build_sharded`] with a custom host-agent constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wiring failures.
+    pub fn build_sharded_with<F>(
+        topology: Topology,
+        config: FabricConfig,
+        groups: &BTreeMap<String, Vec<SwitchId>>,
+        cells: u32,
+        mk_host: F,
+    ) -> Result<Fabric<ShardedWorld>>
+    where
+        F: FnMut(HostId, HostAgentConfig) -> HostAgent,
+    {
+        Fabric::build_sharded_full(topology, config, groups, cells, mk_host, Controller::new)
+    }
+
+    /// [`Fabric::build_sharded`] with full control over both host
+    /// agents and controllers — the sharded counterpart of
+    /// [`Fabric::build_full`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates wiring failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero.
+    pub fn build_sharded_full<F, G>(
+        topology: Topology,
+        config: FabricConfig,
+        groups: &BTreeMap<String, Vec<SwitchId>>,
+        cells: u32,
+        mk_host: F,
+        mk_controller: G,
+    ) -> Result<Fabric<ShardedWorld>>
+    where
+        F: FnMut(HostId, HostAgentConfig) -> HostAgent,
+        G: FnMut(HostId, ControllerConfig) -> Controller,
+    {
+        let assignment = assign_cells(&topology, groups, cells);
+        let world = ShardedWorld::new(config.seed, assignment.cells() as usize);
+        Fabric::assemble(
+            world,
+            topology,
+            config,
+            mk_host,
+            mk_controller,
+            Some(&assignment),
+        )
+    }
+}
+
+impl<W: Engine> Fabric<W> {
+    /// Places and wires every node of `topology` into `world`.
+    ///
+    /// `cells` maps switches and hosts onto engine cells; `None` puts
+    /// everything in cell 0 (the single-world case).
+    fn assemble<F, G>(
+        mut world: W,
+        topology: Topology,
+        config: FabricConfig,
+        mut mk_host: F,
+        mut mk_controller: G,
+        cells: Option<&CellAssignment>,
+    ) -> Result<Fabric<W>>
+    where
+        F: FnMut(HostId, HostAgentConfig) -> HostAgent,
+        G: FnMut(HostId, ControllerConfig) -> Controller,
+    {
         let controllers: HashSet<HostId> = config.controllers.iter().copied().collect();
 
         // Switches.
         let mut switch_addr = Vec::with_capacity(topology.switch_count());
         for sw in topology.switches() {
             let node = DumbSwitch::new(sw.id, sw.ports, config.switch);
-            switch_addr.push(world.add_node(Box::new(node)));
+            let cell = cells.map_or(0, |a| a.switch_cell(sw.id));
+            switch_addr.push(world.add_node_in_cell(Box::new(node), cell));
         }
         // Hosts (agents or controllers).
         let mut host_addr = Vec::with_capacity(topology.host_count());
         for h in topology.hosts() {
+            let cell = cells.map_or(0, |a| a.host_cell(h.id));
             let addr = if controllers.contains(&h.id) {
                 let mut ccfg = config.controller.clone();
                 if !ccfg.run_discovery && ccfg.preload.is_none() {
                     ccfg.preload = Some(topology.clone());
                 }
-                world.add_node(Box::new(mk_controller(h.id, ccfg)))
+                world.add_node_in_cell(Box::new(mk_controller(h.id, ccfg)), cell)
             } else {
-                world.add_node(Box::new(mk_host(h.id, config.host.clone())))
+                world.add_node_in_cell(Box::new(mk_host(h.id, config.host.clone())), cell)
             };
             host_addr.push(addr);
         }
@@ -280,10 +395,12 @@ impl Fabric {
         self.world.now()
     }
 
-    /// The world's telemetry registry (trace ring access).
+    /// The most recent `n` trace events and the count of older entries
+    /// dropped from the ring (merged across shards on a sharded
+    /// engine).
     #[must_use]
-    pub fn telemetry(&self) -> &dumbnet_telemetry::Telemetry {
-        self.world.telemetry()
+    pub fn trace_tail(&self, n: usize) -> (Vec<TraceEvent>, u64) {
+        self.world.trace_tail(n)
     }
 
     /// A deterministic snapshot of every registered metric in the
@@ -440,6 +557,56 @@ mod tests {
         // Other hosts learned too (flooding + broadcast).
         let bystander = fabric.host(HostId(20)).unwrap();
         assert!(!bystander.stats().notification_arrivals.is_empty());
+    }
+
+    #[test]
+    fn sharded_fabric_matches_single_world() {
+        // The strongest cross-layer determinism check we have: the full
+        // DumbNet stack (controller preload, hellos, pings, path
+        // requests) must produce byte-identical observables on the
+        // single-threaded world and on the sharded engine at several
+        // shard counts. The testbed has no pod groups, so this also
+        // exercises the BFS partition fallback.
+        fn actions(id: HostId, mut hc: HostAgentConfig) -> HostAgent {
+            if id.get() % 3 == 1 {
+                hc.actions = vec![AppAction::PingSeries {
+                    at: SimDuration::from_millis(15),
+                    dst: MacAddr::for_host((id.get() + 5) % 27),
+                    count: 3,
+                    interval: SimDuration::from_millis(2),
+                }];
+            }
+            HostAgent::new(id, hc)
+        }
+        fn digest<W: dumbnet_sim::Engine>(fabric: &mut Fabric<W>) -> String {
+            fabric.run_until(t(300));
+            let mut rtts = Vec::new();
+            for h in 0..27 {
+                if let Some(agent) = fabric.host(HostId(h)) {
+                    rtts.extend(agent.stats().rtts.iter().map(|r| (h, r.0, r.2)));
+                }
+            }
+            format!(
+                "{:?}|{rtts:?}|{}",
+                fabric.world.stats(),
+                fabric.telemetry_snapshot().to_json()
+            )
+        }
+        let g = generators::testbed();
+        let mut single =
+            Fabric::build_with(g.topology.clone(), FabricConfig::default(), actions).unwrap();
+        let want = digest(&mut single);
+        for cells in [1u32, 2, 4] {
+            let mut sharded = Fabric::build_sharded_with(
+                g.topology.clone(),
+                FabricConfig::default(),
+                &g.groups,
+                cells,
+                actions,
+            )
+            .unwrap();
+            assert_eq!(digest(&mut sharded), want, "{cells}-cell fabric diverged");
+        }
     }
 
     #[test]

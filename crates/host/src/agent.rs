@@ -30,7 +30,10 @@ pub const NIC: PortNo = match PortNo::new(1) {
 
 /// Pluggable routing decision: maps a packet's flow to one of the k
 /// cached paths. Returning `None` keeps the default sticky flow binding.
-pub trait RoutingFn {
+///
+/// `Send` because host agents live inside engine nodes, which may be
+/// executed by shard worker threads.
+pub trait RoutingFn: Send {
     /// Chooses a path index (modulo the number of cached paths) for this
     /// packet, or `None` for the sticky default.
     fn choose(

@@ -1,4 +1,4 @@
-//! Chaos scenario harness: drive a [`World`] under a [`ChaosPlan`]
+//! Chaos scenario harness: drive a [`World`](crate::World) under a [`ChaosPlan`]
 //! until a caller-supplied convergence predicate holds.
 //!
 //! The runner is protocol-agnostic — it knows nothing about DumbNet.
@@ -11,8 +11,9 @@
 
 use dumbnet_types::{SimDuration, SimTime};
 
-use crate::engine::{LinkStats, WireId, World, WorldStats};
+use crate::engine::{LinkStats, WireId, WorldStats};
 use crate::faults::ChaosPlan;
+use crate::shard::Engine;
 
 /// Outcome of a chaos run.
 #[derive(Debug, Clone)]
@@ -78,10 +79,12 @@ impl ChaosRunner {
     /// Applies the plan and runs `world` in `check_every` slices until
     /// `converged` returns `true` or the deadline passes. The predicate
     /// sees the world quiesced at a slice boundary (no handler is
-    /// mid-flight).
-    pub fn run<F>(&self, world: &mut World, mut converged: F) -> ChaosReport
+    /// mid-flight). Generic over [`Engine`], so the same scenario runs
+    /// on a single-threaded world or a sharded one.
+    pub fn run<E, F>(&self, world: &mut E, mut converged: F) -> ChaosReport
     where
-        F: FnMut(&World) -> bool,
+        E: Engine,
+        F: FnMut(&E) -> bool,
     {
         self.plan.apply(world);
         let mut converged_at = None;
@@ -125,7 +128,7 @@ mod tests {
     use dumbnet_packet::{Packet, Payload};
     use dumbnet_types::{Bandwidth, MacAddr, Path, PortNo};
 
-    use crate::engine::{Ctx, LinkParams, Node, NodeAddr};
+    use crate::engine::{Ctx, LinkParams, Node, NodeAddr, World};
     use crate::faults::{CrashSchedule, FaultProfile};
 
     const P1: PortNo = match PortNo::new(1) {
@@ -260,6 +263,21 @@ mod tests {
         let sender = w.node::<Chatter>(a).unwrap();
         assert_eq!(sender.sent, 200);
         assert!(recv.received < 200, "crash window lost packets");
+    }
+
+    #[test]
+    fn injected_loss_rate_tracks_probability() {
+        let (mut w, _a, _b, wid) = pair(10_000);
+        let plan = ChaosPlan::seeded(5).with_link_fault(wid, FaultProfile::lossy(0.05));
+        let report = ChaosRunner::new(plan, t(2_000)).run(&mut w, |_| false);
+        // 10 000 sends at 5 %: the drop count must track the configured
+        // probability, not just be nonzero (a regression here once hid
+        // behind weaker "> 0" assertions).
+        assert!(
+            (300..700).contains(&report.stats.drops_loss),
+            "5% of 10k sends should drop ~500, got {}",
+            report.stats.drops_loss
+        );
     }
 
     #[test]

@@ -13,6 +13,27 @@
 //! immediately — a packet goes straight from the handler onto the wire
 //! with no intermediate action buffer, in exactly the order the handler
 //! emitted it.
+//!
+//! # Canonical event order and shard invariance
+//!
+//! Every queued event carries a 64-bit ordering key derived from its
+//! *content*: `(origin + 1) << 32 | seq` where `origin` is the node
+//! whose handler caused the event and `seq` that node's emission
+//! counter, or origin 0 with a world-level counter for external
+//! scheduling (injections, chaos plans). Same-instant events fire in
+//! ascending key order, which depends only on *what was emitted*, never
+//! on which queue it was pushed into — so an N-shard
+//! [`ShardedWorld`](crate::ShardedWorld)(crate::shard::ShardedWorld) run pops the exact same
+//! per-node event sequence as a single `World`. For the same reason all
+//! randomness is decentralized: [`Ctx::rng`] draws from a per-node
+//! stream and fault coin-flips from a per-(wire, direction) stream,
+//! each derived from the world seed, so draw sequences are independent
+//! of global event interleaving.
+//!
+//! A `World` doubles as one shard of a [`ShardedWorld`](crate::ShardedWorld): it then holds
+//! the full node/wire tables but only its own cell's nodes, and
+//! cross-cell arrivals detour through an outbox exchanged at
+//! synchronization windows instead of the local queue.
 
 use std::any::Any;
 
@@ -78,7 +99,13 @@ impl LinkParams {
 }
 
 /// Behaviour plugged into the engine: a switch, host, or controller.
-pub trait Node {
+///
+/// `Send` is a supertrait so a node can live inside a
+/// [`ShardedWorld`](crate::ShardedWorld)(crate::shard::ShardedWorld) shard that executes on
+/// a worker thread. Nodes never share state across threads — each is
+/// owned by exactly one shard — so `Send` (not `Sync`) is all the
+/// engine asks for.
+pub trait Node: Send {
     /// Called once when the world starts running.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
@@ -197,19 +224,58 @@ enum Event {
     AdminLink {
         wire: WireId,
         up: bool,
+        /// Whether this shard counts/traces the event. A sharded run
+        /// mirrors admin events into every shard that owns an affected
+        /// endpoint; exactly one copy is `counted`, so the merged
+        /// `events` total matches the single-shard run.
+        counted: bool,
     },
     /// A scheduled fault-profile replacement (gray faults healing or
     /// worsening mid-run).
     AdminFault {
         wire: WireId,
         profile: Box<FaultProfile>,
+        counted: bool,
     },
     /// The node dies: arrivals and timers are discarded until restart,
     /// and every incident wire goes down (neighbours see carrier loss).
-    Crash(NodeAddr),
+    Crash {
+        node: NodeAddr,
+        counted: bool,
+    },
     /// The node comes back: incident wires return to service and the
     /// node's [`Node::on_restart`] hook runs.
-    Restart(NodeAddr),
+    Restart {
+        node: NodeAddr,
+        counted: bool,
+    },
+}
+
+impl Event {
+    /// Whether this event increments the world `events` counter (and
+    /// emits chaos traces). False only for uncounted admin mirrors in
+    /// sharded runs.
+    fn counted(&self) -> bool {
+        match self {
+            Event::AdminLink { counted, .. }
+            | Event::AdminFault { counted, .. }
+            | Event::Crash { counted, .. }
+            | Event::Restart { counted, .. } => *counted,
+            _ => true,
+        }
+    }
+}
+
+/// A packet arrival bound for another shard, buffered in the sending
+/// shard's outbox until the next synchronization-window exchange.
+#[derive(Debug)]
+pub(crate) struct Crossing {
+    pub(crate) at: SimTime,
+    pub(crate) key: u64,
+    pub(crate) node: NodeAddr,
+    pub(crate) port: PortNo,
+    pub(crate) pkt: Packet,
+    pub(crate) via: WireId,
 }
 
 /// Counters the engine keeps while running.
@@ -409,8 +475,10 @@ impl Ctx<'_> {
     /// `delay` — used to model host-stack traversal time before the NIC.
     pub fn send_after(&mut self, delay: SimDuration, port: PortNo, pkt: Packet) {
         let at = self.now + delay;
+        let key = self.core.next_key(self.addr);
         self.core.queue.push(
             at,
+            key,
             Event::Egress {
                 node: self.addr,
                 port,
@@ -423,8 +491,10 @@ impl Ctx<'_> {
     /// [`Node::on_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         let at = self.now + delay;
+        let key = self.core.next_key(self.addr);
         self.core.queue.push(
             at,
+            key,
             Event::Timer {
                 node: self.addr,
                 token,
@@ -461,9 +531,13 @@ impl Ctx<'_> {
             .unwrap_or(false)
     }
 
-    /// Deterministic per-world randomness.
+    /// Deterministic per-node randomness: each node draws from its own
+    /// stream (derived from the world seed and the node address), so
+    /// draw sequences do not depend on how events from *other* nodes
+    /// interleave — the property that keeps sharded runs byte-identical
+    /// to single-threaded ones.
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.core.rng
+        &mut self.core.node_rngs[self.addr.0]
     }
 
     /// The world's telemetry registry: nodes register metric handles
@@ -518,10 +592,32 @@ pub struct Core {
     link_stats: Vec<LinkCounters>,
     queue: EventQueue<Event>,
     now: SimTime,
-    rng: StdRng,
-    /// Fault coin flips draw from their own stream so a chaos plan
-    /// never perturbs application-visible randomness.
-    fault_rng: StdRng,
+    /// World seed; per-node RNG streams are derived from it.
+    seed: u64,
+    /// Per-node randomness streams ([`Ctx::rng`]); stream `i` depends
+    /// only on the seed and `i`, never on other nodes' draws.
+    node_rngs: Vec<StdRng>,
+    /// Per-node event emission counters; the low half of ordering keys.
+    emit_seq: Vec<u32>,
+    /// Emission counter for external (origin-0) events: injections and
+    /// chaos-plan scheduling.
+    ext_seq: u32,
+    /// Base seed for the per-(wire, direction) fault streams. Fault
+    /// coin flips never perturb application-visible randomness, and
+    /// each wire direction draws independently so chaos outcomes do not
+    /// depend on cross-wire event interleaving.
+    fault_seed: u64,
+    /// Fault streams, one pair (a→b, b→a) per wire.
+    fault_rngs: Vec<[StdRng; 2]>,
+    /// Cell (shard) assignment per node; all zeros standalone.
+    cells: Vec<u32>,
+    /// Which cell this world instance executes (0 standalone).
+    my_cell: u32,
+    /// True when this world is one shard of a `ShardedWorld`: arrivals
+    /// for foreign cells detour through `outbox`.
+    sharded: bool,
+    /// Cross-shard arrivals awaiting the next window exchange.
+    outbox: Vec<Crossing>,
     telemetry: Telemetry,
     stats: WorldCounters,
     started: bool,
@@ -544,10 +640,32 @@ impl std::ops::DerefMut for World {
 /// Default fault-RNG domain separator (XORed with the world seed).
 const FAULT_SEED_SALT: u64 = 0xC4A0_5F00_D15E_A5ED;
 
+/// SplitMix64 finalizer, used to derive independent sub-seeds (per
+/// node, per wire direction) from one world seed.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Sub-seed for stream `salt` of base seed `base`. Deterministic and
+/// shard-invariant: it depends only on the identities, never on run
+/// order.
+fn derive_seed(base: u64, salt: u64) -> u64 {
+    mix64(base ^ mix64(salt))
+}
+
 impl World {
     /// Creates an empty world with a deterministic seed.
     #[must_use]
     pub fn new(seed: u64) -> World {
+        World::new_cell(seed, 0, false)
+    }
+
+    /// Creates a world that executes cell `my_cell` of a sharded run
+    /// (`sharded` = false builds a plain standalone world).
+    pub(crate) fn new_cell(seed: u64, my_cell: u32, sharded: bool) -> World {
         let telemetry = Telemetry::default();
         let stats = WorldCounters::registered(&telemetry);
         World {
@@ -560,8 +678,16 @@ impl World {
                 link_stats: Vec::new(),
                 queue: EventQueue::new(),
                 now: SimTime::ZERO,
-                rng: StdRng::seed_from_u64(seed),
-                fault_rng: StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
+                seed,
+                node_rngs: Vec::new(),
+                emit_seq: Vec::new(),
+                ext_seq: 0,
+                fault_seed: seed ^ FAULT_SEED_SALT,
+                fault_rngs: Vec::new(),
+                cells: Vec::new(),
+                my_cell,
+                sharded,
+                outbox: Vec::new(),
                 telemetry,
                 stats,
                 started: false,
@@ -591,11 +717,42 @@ impl World {
 
     /// Adds a node and returns its address.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeAddr {
+        let cell = self.my_cell;
+        self.add_slot(Some(node), cell)
+    }
+
+    /// Adds a node recorded as belonging to `cell`. On a standalone
+    /// world the cell has no execution effect (everything runs here);
+    /// it exists so cell-partitioned construction code works against
+    /// [`Engine`](crate::shard::Engine) regardless of the engine.
+    pub fn add_node_in_cell(&mut self, node: Box<dyn Node>, cell: u32) -> NodeAddr {
+        self.add_slot(Some(node), cell)
+    }
+
+    /// Adds a node table slot assigned to `cell`. In a sharded run
+    /// every shard has the full table, but only the owning shard holds
+    /// the node itself (`Some`); foreign slots are `None` and dispatch
+    /// to them is a no-op. RNG streams and emission counters exist for
+    /// every slot so indices line up across shards.
+    pub(crate) fn add_slot(&mut self, node: Option<Box<dyn Node>>, cell: u32) -> NodeAddr {
         let addr = NodeAddr(self.nodes.len());
-        self.nodes.push(Some(node));
+        self.nodes.push(node);
         self.crashed.push(false);
         self.epoch.push(0);
+        let seed = self.seed;
+        self.core
+            .node_rngs
+            .push(StdRng::seed_from_u64(derive_seed(seed, addr.0 as u64 + 1)));
+        self.core.emit_seq.push(0);
+        self.core.cells.push(cell);
         addr
+    }
+
+    /// The cell a node was assigned to (0 for every node of a
+    /// standalone world).
+    #[must_use]
+    pub fn node_cell(&self, addr: NodeAddr) -> u32 {
+        self.cells.get(addr.0).copied().unwrap_or(0)
     }
 
     /// Number of nodes.
@@ -637,11 +794,34 @@ impl World {
             busy: [SimTime::ZERO; 2],
         });
         self.faults.push(None);
+        let fault_seed = self.core.fault_seed;
+        self.core
+            .fault_rngs
+            .push(Self::wire_fault_rngs(fault_seed, id));
         let counters = LinkCounters::registered(&self.core.telemetry, id);
         self.core.link_stats.push(counters);
         self.wiring.map_port(a, pa, id);
         self.wiring.map_port(b, pb, id);
         Ok(id)
+    }
+
+    /// The fault-stream pair for one wire: direction 0 (a→b) and 1.
+    fn wire_fault_rngs(fault_seed: u64, wire: WireId) -> [StdRng; 2] {
+        [
+            StdRng::seed_from_u64(derive_seed(fault_seed, (wire.0 as u64) * 2 + 1)),
+            StdRng::seed_from_u64(derive_seed(fault_seed, (wire.0 as u64) * 2 + 2)),
+        ]
+    }
+
+    /// Physical parameters of a wire (the sharded engine reads link
+    /// latencies from here to compute its lookahead bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range wire ID.
+    #[must_use]
+    pub fn wire_params(&self, wire: WireId) -> LinkParams {
+        self.wiring.wires[wire.0].params
     }
 
     /// Number of wires.
@@ -684,10 +864,14 @@ impl World {
         };
     }
 
-    /// Reseeds the fault RNG (normally done through
-    /// [`ChaosPlan::apply`](crate::faults::ChaosPlan::apply)).
+    /// Reseeds every per-(wire, direction) fault stream (normally done
+    /// through [`ChaosPlan::apply`](crate::faults::ChaosPlan::apply)).
+    /// Wires created later derive from the new seed too.
     pub fn set_fault_seed(&mut self, seed: u64) {
-        self.fault_rng = StdRng::seed_from_u64(seed);
+        self.fault_seed = seed;
+        for (ix, rngs) in self.core.fault_rngs.iter_mut().enumerate() {
+            *rngs = Self::wire_fault_rngs(seed, WireId(ix));
+        }
     }
 
     /// Per-wire counters accumulated so far.
@@ -702,12 +886,34 @@ impl World {
 
     /// Schedules `node` to crash at `at`.
     pub fn schedule_crash(&mut self, at: SimTime, node: NodeAddr) {
-        self.queue.push(at, Event::Crash(node));
+        let key = self.ext_key();
+        self.schedule_crash_keyed(at, node, key, true);
     }
 
     /// Schedules `node` to come back at `at` (no-op unless crashed).
     pub fn schedule_restart(&mut self, at: SimTime, node: NodeAddr) {
-        self.queue.push(at, Event::Restart(node));
+        let key = self.ext_key();
+        self.schedule_restart_keyed(at, node, key, true);
+    }
+
+    pub(crate) fn schedule_crash_keyed(
+        &mut self,
+        at: SimTime,
+        node: NodeAddr,
+        key: u64,
+        counted: bool,
+    ) {
+        self.queue.push(at, key, Event::Crash { node, counted });
+    }
+
+    pub(crate) fn schedule_restart_keyed(
+        &mut self,
+        at: SimTime,
+        node: NodeAddr,
+        key: u64,
+        counted: bool,
+    ) {
+        self.queue.push(at, key, Event::Restart { node, counted });
     }
 
     /// Whether `node` is currently crashed.
@@ -725,7 +931,20 @@ impl World {
     /// Schedules an administrative wire state change at `at` (both
     /// endpoint nodes get carrier notifications when it happens).
     pub fn schedule_link_state(&mut self, at: SimTime, wire: WireId, up: bool) {
-        self.queue.push(at, Event::AdminLink { wire, up });
+        let key = self.ext_key();
+        self.schedule_link_state_keyed(at, wire, up, key, true);
+    }
+
+    pub(crate) fn schedule_link_state_keyed(
+        &mut self,
+        at: SimTime,
+        wire: WireId,
+        up: bool,
+        key: u64,
+        counted: bool,
+    ) {
+        self.queue
+            .push(at, key, Event::AdminLink { wire, up, counted });
     }
 
     /// Schedules `wire`'s fault profile to be replaced at `at` —
@@ -734,11 +953,25 @@ impl World {
     /// faults can heal or worsen while the world runs. No carrier
     /// notification: the wire stays administratively up throughout.
     pub fn schedule_fault_profile(&mut self, at: SimTime, wire: WireId, profile: FaultProfile) {
+        let key = self.ext_key();
+        self.schedule_fault_profile_keyed(at, wire, profile, key, true);
+    }
+
+    pub(crate) fn schedule_fault_profile_keyed(
+        &mut self,
+        at: SimTime,
+        wire: WireId,
+        profile: FaultProfile,
+        key: u64,
+        counted: bool,
+    ) {
         self.queue.push(
             at,
+            key,
             Event::AdminFault {
                 wire,
                 profile: Box::new(profile),
+                counted,
             },
         );
     }
@@ -746,8 +979,21 @@ impl World {
     /// Injects a packet arrival at `(node, port)` at time `at`, as if it
     /// had come off a wire.
     pub fn inject(&mut self, at: SimTime, node: NodeAddr, port: PortNo, pkt: Packet) {
+        let key = self.ext_key();
+        self.inject_keyed(at, node, port, pkt, key);
+    }
+
+    pub(crate) fn inject_keyed(
+        &mut self,
+        at: SimTime,
+        node: NodeAddr,
+        port: PortNo,
+        pkt: Packet,
+        key: u64,
+    ) {
         self.queue.push(
             at,
+            key,
             Event::Arrive {
                 node,
                 port,
@@ -824,18 +1070,104 @@ impl World {
         self.queue.peek_time()
     }
 
-    fn ensure_started(&mut self) {
+    /// Runs every local event with a timestamp strictly before `end`
+    /// (one synchronization window) and returns how many fired. Events
+    /// at `end` or later stay queued: a cross-shard arrival generated
+    /// elsewhere during this window can land at `end` at the earliest,
+    /// and it must be merged (by key) before anything at that instant
+    /// runs.
+    pub(crate) fn run_window(&mut self, end: SimTime) -> u64 {
+        self.ensure_started();
+        let mut fired = 0;
+        while let Some((t, ev)) = self.queue.pop_strictly_before(end) {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatch(ev);
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Pops and dispatches the single earliest event, returning its
+    /// time, or `None` when idle. The zero-lookahead fallback uses this
+    /// to run an exact global `(time, key)` merge across shards, one
+    /// event at a time.
+    pub(crate) fn dispatch_head(&mut self) -> Option<SimTime> {
+        self.ensure_started();
+        let (t, ev) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        self.dispatch(ev);
+        Some(t)
+    }
+
+    /// `(time, key)` of this shard's earliest pending event.
+    pub(crate) fn peek_head(&self) -> Option<(SimTime, u64)> {
+        self.queue.peek_head()
+    }
+
+    /// Advances the clock to `t` (never backwards); called at window
+    /// barriers so every shard agrees on "now" between windows.
+    pub(crate) fn set_clock(&mut self, t: SimTime) {
+        if t > self.core.now {
+            self.core.now = t;
+        }
+    }
+
+    /// Drains the cross-shard arrivals generated since the last call.
+    pub(crate) fn take_outbox(&mut self) -> Vec<Crossing> {
+        std::mem::take(&mut self.core.outbox)
+    }
+
+    /// Earliest buffered cross-shard arrival, if any.
+    pub(crate) fn outbox_earliest(&self) -> Option<SimTime> {
+        self.core.outbox.iter().map(|c| c.at).min()
+    }
+
+    /// Enqueues an arrival received from another shard, preserving the
+    /// key its sender assigned.
+    pub(crate) fn push_crossing(&mut self, c: Crossing) {
+        self.core.queue.push(
+            c.at,
+            c.key,
+            Event::Arrive {
+                node: c.node,
+                port: c.port,
+                pkt: c.pkt,
+                via: Some(c.via),
+            },
+        );
+    }
+
+    /// Allocates the next external (origin-0) ordering key. The sharded
+    /// driver allocates external keys itself so mirrored copies of one
+    /// admin event share a key across shards.
+    pub(crate) fn alloc_ext_key(&mut self) -> u64 {
+        self.core.ext_key()
+    }
+
+    pub(crate) fn ensure_started(&mut self) {
         if !self.started {
             self.started = true;
             for ix in 0..self.nodes.len() {
+                // Only locally-owned nodes start here; in a sharded run
+                // each node's Start fires on exactly one shard. The key
+                // is the node's first emission either way, so the
+                // single-shard order (ascending address) is preserved.
+                if self.nodes[ix].is_none() {
+                    continue;
+                }
                 let at = self.core.now;
-                self.core.queue.push(at, Event::Start(NodeAddr(ix)));
+                let key = self.core.next_key(NodeAddr(ix));
+                self.core.queue.push(at, key, Event::Start(NodeAddr(ix)));
             }
         }
     }
 
     fn dispatch(&mut self, ev: Event) {
-        self.stats.events.inc();
+        if ev.counted() {
+            self.stats.events.inc();
+        }
         match ev {
             Event::Start(addr) => {
                 self.with_node(addr, |node, ctx| node.on_start(ctx));
@@ -875,7 +1207,7 @@ impl World {
                 }
                 self.with_node(node, |n, ctx| n.on_timer(ctx, token));
             }
-            Event::AdminLink { wire, up } => {
+            Event::AdminLink { wire, up, counted } => {
                 let (a, b, changed) = {
                     let w = &mut self.wiring.wires[wire.0];
                     let changed = w.up != up;
@@ -883,7 +1215,7 @@ impl World {
                     (w.a, w.b, changed)
                 };
                 if changed {
-                    if self.telemetry.trace_enabled() {
+                    if counted && self.telemetry.trace_enabled() {
                         self.telemetry.emit(
                             self.now,
                             TraceCategory::Chaos,
@@ -896,8 +1228,12 @@ impl World {
                     self.with_node(b.0, |n, ctx| n.on_link_change(ctx, b.1, up));
                 }
             }
-            Event::AdminFault { wire, profile } => {
-                if self.telemetry.trace_enabled() {
+            Event::AdminFault {
+                wire,
+                profile,
+                counted,
+            } => {
+                if counted && self.telemetry.trace_enabled() {
                     self.telemetry.emit(
                         self.now,
                         TraceCategory::Chaos,
@@ -915,13 +1251,16 @@ impl World {
                 }
                 self.set_fault_profile(wire, *profile);
             }
-            Event::Crash(addr) => {
+            Event::Crash {
+                node: addr,
+                counted,
+            } => {
                 if self.crashed.get(addr.0).copied().unwrap_or(true) {
                     return;
                 }
                 self.crashed[addr.0] = true;
                 self.epoch[addr.0] = self.epoch[addr.0].wrapping_add(1);
-                if self.telemetry.trace_enabled() {
+                if counted && self.telemetry.trace_enabled() {
                     self.telemetry.emit(
                         self.now,
                         TraceCategory::Chaos,
@@ -932,12 +1271,15 @@ impl World {
                 }
                 self.set_incident_wires(addr, false);
             }
-            Event::Restart(addr) => {
+            Event::Restart {
+                node: addr,
+                counted,
+            } => {
                 if !self.crashed.get(addr.0).copied().unwrap_or(false) {
                     return;
                 }
                 self.crashed[addr.0] = false;
-                if self.telemetry.trace_enabled() {
+                if counted && self.telemetry.trace_enabled() {
                     self.telemetry.emit(
                         self.now,
                         TraceCategory::Chaos,
@@ -1001,6 +1343,26 @@ impl World {
 }
 
 impl Core {
+    /// Ordering key for the next event caused by node `origin`:
+    /// `(origin + 1) << 32 | seq`. Content-based, so it is identical at
+    /// any shard count.
+    fn next_key(&mut self, origin: NodeAddr) -> u64 {
+        let seq = self.emit_seq[origin.0];
+        self.emit_seq[origin.0] = seq
+            .checked_add(1)
+            .expect("per-node emission counter overflow");
+        ((origin.0 as u64 + 1) << 32) | u64::from(seq)
+    }
+
+    /// Ordering key for the next externally scheduled event (origin 0):
+    /// sorts before every node-caused event at the same instant, like
+    /// the pre-scheduled externals always did.
+    fn ext_key(&mut self) -> u64 {
+        let seq = self.ext_seq;
+        self.ext_seq = seq.checked_add(1).expect("external event counter overflow");
+        u64::from(seq)
+    }
+
     /// Puts a packet onto the wire at `(from, port)` at the current time.
     fn transmit(&mut self, from: NodeAddr, port: PortNo, mut pkt: Packet) {
         let Some(wid) = self.wiring.at(from, port) else {
@@ -1048,7 +1410,11 @@ impl Core {
         self.link_stats[wid.0].sent.inc();
         if let Some(profile) = &self.faults[wid.0] {
             // Evaluated against departure time: the instant the bits
-            // actually hit the wire.
+            // actually hit the wire. Coin flips draw from this wire
+            // direction's own stream, so the outcome for the n-th
+            // packet down this direction is the same at any shard
+            // count.
+            let fault_rng = &mut self.fault_rngs[wid.0][dir];
             if profile.in_burst(departed) {
                 self.stats.drops_loss.inc();
                 self.link_stats[wid.0].drops_burst.inc();
@@ -1063,12 +1429,8 @@ impl Core {
                 }
                 return;
             }
-            // Direction- and time-aware rates: for profiles without
-            // gray shapes these reduce to the plain `loss`/`corrupt`
-            // fields, so the fault-RNG draw sequence (and every pinned
-            // checksum downstream of it) is unchanged.
             let p_loss = profile.loss_at(departed, dir);
-            if p_loss > 0.0 && self.fault_rng.gen_bool(p_loss) {
+            if p_loss > 0.0 && fault_rng.gen_bool(p_loss) {
                 self.stats.drops_loss.inc();
                 self.link_stats[wid.0].drops_loss.inc();
                 if self.telemetry.trace_enabled() {
@@ -1083,7 +1445,7 @@ impl Core {
                 return;
             }
             let p_corrupt = profile.corrupt_at(departed);
-            if p_corrupt > 0.0 && self.fault_rng.gen_bool(p_corrupt) {
+            if p_corrupt > 0.0 && fault_rng.gen_bool(p_corrupt) {
                 self.stats.drops_corrupt.inc();
                 self.link_stats[wid.0].drops_corrupt.inc();
                 if self.telemetry.trace_enabled() {
@@ -1098,15 +1460,32 @@ impl Core {
                 return;
             }
             if profile.jitter > SimDuration::ZERO {
-                let extra = self.fault_rng.gen_range(0..=profile.jitter.nanos());
+                let extra = fault_rng.gen_range(0..=profile.jitter.nanos());
                 if extra > 0 {
                     arrival = arrival + SimDuration::from_nanos(extra);
                     self.link_stats[wid.0].jittered.inc();
                 }
             }
         }
+        let key = self.next_key(from);
+        if self.sharded && self.cells[dest.0 .0] != self.my_cell {
+            // Destination lives on another shard: buffer the arrival
+            // for the window-barrier exchange. The key travels with it,
+            // so the receiving shard merges it into exactly the slot a
+            // single-world run would have used.
+            self.outbox.push(Crossing {
+                at: arrival,
+                key,
+                node: dest.0,
+                port: dest.1,
+                pkt,
+                via: wid,
+            });
+            return;
+        }
         self.queue.push(
             arrival,
+            key,
             Event::Arrive {
                 node: dest.0,
                 port: dest.1,

@@ -1,9 +1,15 @@
 //! The deterministic event queue.
 //!
 //! A calendar queue (bucketed time-wheel) with a binary-heap overflow,
-//! ordered by `(time, seq)`, where `seq` is a monotonically increasing
-//! insertion counter: events at the same virtual instant fire in
-//! insertion order, making runs bit-for-bit reproducible.
+//! ordered by `(time, key)`, where `key` is a caller-supplied 64-bit
+//! ordering key. The engine derives keys from event *content* — the
+//! causing node and a per-node emission counter — rather than global
+//! insertion order, so the relative order of two same-instant events
+//! does not depend on which shard pushed first. That property is what
+//! lets the sharded PDES engine replay the exact same-seed event order
+//! at any shard count. Keys must be unique per instant (the engine
+//! guarantees this by construction); ties would otherwise fire in an
+//! unspecified but deterministic order.
 //!
 //! Near-future events — the overwhelming majority in a packet-level
 //! simulation, where wire latencies and serialization delays are
@@ -13,10 +19,10 @@
 //! reaches it) and then pops from its tail. Events beyond the wheel
 //! horizon, or behind the cursor after it advanced past their bucket,
 //! go to the overflow heap; `pop` compares the wheel head against the
-//! overflow head by `(time, seq)`, so the total order is exactly the
-//! one the old pure-heap implementation produced.
+//! overflow head by `(time, key)`, so the total order is exactly the
+//! one a pure-heap implementation would produce.
 //!
-//! Payloads live in a slab and the wheel/heap carry `(time, seq, slot)`
+//! Payloads live in a slab and the wheel/heap carry `(time, key, slot)`
 //! triples: sorting, mid-bucket inserts, and heap sift operations move
 //! 24-byte entries instead of whole events (a `Packet`-carrying event
 //! is ~10× that). The slab recycles slots through a free list, so the
@@ -38,13 +44,14 @@ const WHEEL_BITS: u32 = 10;
 const WHEEL: usize = 1 << WHEEL_BITS;
 
 /// One wheel slot. `sorted` buckets hold items in *ascending*
-/// `(time, seq)` order; the earliest event pops off the front in O(1).
-/// Ascending order makes the hot burst case — a handler scheduling
+/// `(time, key)` order; the earliest event pops off the front in O(1).
+/// Ascending order keeps the hot burst case — a handler scheduling
 /// follow-up events into the bucket the cursor is draining — an O(1)
-/// tail append, because a fresh push carries the largest `seq` seen so
-/// far and a time ≥ now. (A descending layout puts exactly those pushes
-/// at the *front*, an O(n) memmove that goes quadratic on same-instant
-/// bursts — the fig10 all-pairs ping pattern.)
+/// tail append in the common case, because per-node emission counters
+/// grow monotonically and a handler usually schedules at times ≥ now.
+/// (A descending layout puts exactly those pushes at the *front*, an
+/// O(n) memmove that goes quadratic on same-instant bursts — the fig10
+/// all-pairs ping pattern.)
 #[derive(Debug, Default)]
 struct Bucket {
     items: VecDeque<(SimTime, u64, u32)>,
@@ -61,7 +68,6 @@ pub struct EventQueue<E> {
     /// Events pending inside the wheel window.
     wheel_len: usize,
     overflow: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
-    seq: u64,
     /// Event payloads, indexed by the slot carried in wheel/overflow
     /// entries. `None` slots are free and listed in `free`.
     slab: Vec<Option<E>>,
@@ -75,7 +81,6 @@ impl<E> Default for EventQueue<E> {
             base_vb: 0,
             wheel_len: 0,
             overflow: BinaryHeap::new(),
-            seq: 0,
             slab: Vec::new(),
             free: Vec::new(),
         }
@@ -114,10 +119,9 @@ impl<E> EventQueue<E> {
         e
     }
 
-    /// Schedules `event` at `at`.
-    pub fn push(&mut self, at: SimTime, event: E) {
-        let seq = self.seq;
-        self.seq += 1;
+    /// Schedules `event` at `at` with ordering key `key`. Same-instant
+    /// events fire in ascending key order regardless of push order.
+    pub fn push(&mut self, at: SimTime, key: u64, event: E) {
         let slot = self.store(event);
         let vb = vb_of(at);
         if self.wheel_len == 0 {
@@ -129,30 +133,31 @@ impl<E> EventQueue<E> {
             let bucket = &mut self.wheel[slot_of(vb)];
             if bucket.sorted && !bucket.items.is_empty() {
                 // The cursor already sorted this bucket (ascending);
-                // keep the invariant. A fresh push carries the largest
-                // seq, so unless its time precedes a queued item this
-                // is a plain O(1) tail append.
+                // keep the invariant. A fresh push usually carries the
+                // largest key at its instant (per-node counters grow
+                // monotonically), so this is typically an O(1) tail
+                // append.
                 let back = bucket.items.back().expect("non-empty sorted bucket");
-                if (at, seq) >= (back.0, back.1) {
-                    bucket.items.push_back((at, seq, slot));
+                if (at, key) >= (back.0, back.1) {
+                    bucket.items.push_back((at, key, slot));
                 } else {
-                    let pos = bucket.items.partition_point(|e| (e.0, e.1) < (at, seq));
-                    bucket.items.insert(pos, (at, seq, slot));
+                    let pos = bucket.items.partition_point(|e| (e.0, e.1) < (at, key));
+                    bucket.items.insert(pos, (at, key, slot));
                 }
             } else {
                 bucket.sorted = false;
-                bucket.items.push_back((at, seq, slot));
+                bucket.items.push_back((at, key, slot));
             }
             self.wheel_len += 1;
         } else {
             // Beyond the horizon, or behind a cursor that advanced past
             // this bucket while an earlier overflow event was popping.
-            self.overflow.push(Reverse((at, seq, slot)));
+            self.overflow.push(Reverse((at, key, slot)));
         }
     }
 
     /// Advances the cursor to the first non-empty bucket and returns the
-    /// `(time, seq)` of its earliest event. Caller guarantees
+    /// `(time, key)` of its earliest event. Caller guarantees
     /// `wheel_len > 0`.
     fn wheel_head(&mut self) -> (SimTime, u64) {
         while self.wheel[slot_of(self.base_vb)].items.is_empty() {
@@ -229,6 +234,68 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Pops the earliest event only if its timestamp is strictly less
+    /// than `end`. This is the synchronization-window pop: a shard
+    /// drains everything in `[now, end)` and leaves events at `end` —
+    /// the earliest instant a not-yet-exchanged cross-shard arrival
+    /// could land on — untouched.
+    pub fn pop_strictly_before(&mut self, end: SimTime) -> Option<(SimTime, E)> {
+        let wheel = if self.wheel_len > 0 {
+            Some(self.wheel_head())
+        } else {
+            None
+        };
+        let over = self.overflow.peek().map(|Reverse((t, s, _))| (*t, *s));
+        let head = match (wheel, over) {
+            (None, None) => return None,
+            (Some(w), None) => w,
+            (None, Some(o)) => o,
+            (Some(w), Some(o)) => w.min(o),
+        };
+        if head.0 >= end {
+            return None;
+        }
+        if wheel == Some(head) {
+            Some(self.pop_wheel())
+        } else {
+            Some(self.pop_overflow())
+        }
+    }
+
+    /// The `(time, key)` of the earliest event without removing it.
+    /// Used by the zero-lookahead global merge, which must compare
+    /// heads *across* shard queues before popping.
+    #[must_use]
+    pub fn peek_head(&self) -> Option<(SimTime, u64)> {
+        let wheel_head = if self.wheel_len > 0 {
+            let mut vb = self.base_vb;
+            loop {
+                let bucket = &self.wheel[slot_of(vb)];
+                if !bucket.items.is_empty() {
+                    break Some(if bucket.sorted {
+                        let f = bucket.items.front().expect("non-empty");
+                        (f.0, f.1)
+                    } else {
+                        bucket
+                            .items
+                            .iter()
+                            .map(|e| (e.0, e.1))
+                            .min()
+                            .expect("non-empty")
+                    });
+                }
+                vb += 1;
+            }
+        } else {
+            None
+        };
+        let over_head = self.overflow.peek().map(|Reverse((t, s, _))| (*t, *s));
+        match (wheel_head, over_head) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (h, None) | (None, h) => h,
+        }
+    }
+
     /// The timestamp of the next event without removing it.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
@@ -277,10 +344,11 @@ mod tests {
     fn orders_by_time() {
         let mut q = EventQueue::new();
         let t = |n| SimTime::ZERO + SimDuration::from_nanos(n);
-        q.push(t(30), "c");
-        q.push(t(10), "a");
-        q.push(t(20), "b");
+        q.push(t(30), 0, "c");
+        q.push(t(10), 1, "a");
+        q.push(t(20), 2, "b");
         assert_eq!(q.peek_time(), Some(t(10)));
+        assert_eq!(q.peek_head(), Some((t(10), 1)));
         assert_eq!(q.pop(), Some((t(10), "a")));
         assert_eq!(q.pop(), Some((t(20), "b")));
         assert_eq!(q.pop(), Some((t(30), "c")));
@@ -288,10 +356,11 @@ mod tests {
     }
 
     #[test]
-    fn stable_at_equal_times() {
+    fn key_order_wins_at_equal_times_regardless_of_push_order() {
         let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(SimTime::ZERO, i);
+        // Push keys in a scrambled order; pops must come out by key.
+        for i in 0..100u64 {
+            q.push(SimTime::ZERO, (i * 37) % 100, (i * 37) % 100);
         }
         for i in 0..100 {
             assert_eq!(q.pop().unwrap().1, i);
@@ -302,7 +371,7 @@ mod tests {
     fn len_tracks() {
         let mut q: EventQueue<u8> = EventQueue::new();
         assert!(q.is_empty());
-        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 0, 1);
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
@@ -315,8 +384,8 @@ mod tests {
         // Steady-state churn: capacity must stop growing once the
         // high-water mark (2 pending) is reached.
         for i in 0..1_000u64 {
-            q.push(t(i), i);
-            q.push(t(i), i + 1);
+            q.push(t(i), i, i);
+            q.push(t(i), i + 1, i + 1);
             assert_eq!(q.pop().map(|(_, e)| e), Some(i));
             assert_eq!(q.pop().map(|(_, e)| e), Some(i + 1));
         }
@@ -332,9 +401,9 @@ mod tests {
         let mut q = EventQueue::new();
         let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
         // Anchor the window near zero, then push past the ~4 ms horizon.
-        q.push(t(3), "early");
-        q.push(t(50_000), "late");
-        q.push(t(20_000), "mid");
+        q.push(t(3), 0, "early");
+        q.push(t(50_000), 1, "late");
+        q.push(t(20_000), 2, "mid");
         assert!(!q.overflow.is_empty(), "horizon overflow expected");
         assert_eq!(q.pop(), Some((t(3), "early")));
         assert_eq!(q.pop(), Some((t(20_000), "mid")));
@@ -343,19 +412,20 @@ mod tests {
     }
 
     #[test]
-    fn equal_times_split_across_wheel_and_overflow_stay_stable() {
+    fn equal_times_split_across_wheel_and_overflow_stay_key_ordered() {
         let mut q = EventQueue::new();
         let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
         // Window anchored near zero; t=10 ms exceeds the horizon.
-        q.push(t(1), 100u32);
-        q.push(t(10_000), 0);
+        q.push(t(1), 100, 100u32);
+        q.push(t(10_000), 0, 0);
         assert!(!q.overflow.is_empty(), "horizon overflow expected");
         assert_eq!(q.pop(), Some((t(1), 100)));
         // Wheel now empty: this push reseats the window, so the same
         // instant lives in the wheel AND the overflow. The overflow
-        // event was pushed first and must still come out first.
-        q.push(t(10_000), 1);
+        // event carries the smaller key and must still come out first.
+        q.push(t(10_000), 1, 1);
         assert_eq!(q.wheel_len, 1, "reseated push should take the wheel");
+        assert_eq!(q.peek_head(), Some((t(10_000), 0)));
         assert_eq!(q.pop(), Some((t(10_000), 0)));
         assert_eq!(q.pop(), Some((t(10_000), 1)));
     }
@@ -364,17 +434,17 @@ mod tests {
     fn push_behind_cursor_still_delivered_in_order() {
         let mut q = EventQueue::new();
         let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
-        q.push(t(0), "first");
-        q.push(t(6_000), "ovf"); // Past the horizon → overflow.
+        q.push(t(0), 0, "first");
+        q.push(t(6_000), 1, "ovf"); // Past the horizon → overflow.
         assert_eq!(q.pop(), Some((t(0), "first")));
         // Wheel empty: this reseats the window at ~7 ms…
-        q.push(t(7_000), "wheel");
+        q.push(t(7_000), 2, "wheel");
         // …so the overflow event at 6 ms pops with the cursor already
         // parked *ahead* of it, on the 7 ms bucket.
         assert_eq!(q.pop(), Some((t(6_000), "ovf")));
         // A push between now (6 ms) and the cursor (7 ms) is perfectly
         // legal and must detour via overflow, not be lost or reordered.
-        q.push(t(6_500), "behind");
+        q.push(t(6_500), 3, "behind");
         assert_eq!(q.pop(), Some((t(6_500), "behind")));
         assert_eq!(q.pop(), Some((t(7_000), "wheel")));
         assert!(q.is_empty());
@@ -384,12 +454,26 @@ mod tests {
     fn pop_before_respects_bound() {
         let mut q = EventQueue::new();
         let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
-        q.push(t(10), "a");
-        q.push(t(30), "b");
+        q.push(t(10), 0, "a");
+        q.push(t(30), 1, "b");
         assert_eq!(q.pop_before(t(20)), Some((t(10), "a")));
         assert_eq!(q.pop_before(t(20)), None);
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop_before(t(30)), Some((t(30), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_strictly_before_excludes_the_bound() {
+        let mut q = EventQueue::new();
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        q.push(t(10), 0, "a");
+        q.push(t(20), 1, "b");
+        assert_eq!(q.pop_strictly_before(t(20)), Some((t(10), "a")));
+        // An event exactly at the window end stays queued.
+        assert_eq!(q.pop_strictly_before(t(20)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_strictly_before(t(21)), Some((t(20), "b")));
         assert!(q.is_empty());
     }
 
@@ -402,7 +486,7 @@ mod tests {
         let mut expect = Vec::new();
         for i in 0..1000u64 {
             let at = t(i * 97 % 100_000);
-            q.push(at, i);
+            q.push(at, i, i);
             expect.push((at, i));
         }
         expect.sort();

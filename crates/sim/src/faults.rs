@@ -20,7 +20,8 @@
 //! * [`PartitionSchedule`] — a network partition: named cells whose
 //!   cross-cell wires all go down for a window, then heal.
 //! * [`ChaosPlan`] — a seeded, fully deterministic bundle of all of the
-//!   above, applied to a [`World`](crate::World) in one call.
+//!   above, applied to any [`Engine`] (a [`World`](crate::World) or a
+//!   [`ShardedWorld`](crate::ShardedWorld)) in one call.
 //!
 //! Fault randomness draws from a dedicated RNG seeded from
 //! [`ChaosPlan::seed`], *separate* from the world's own RNG: the same
@@ -29,7 +30,8 @@
 
 use dumbnet_types::{SimDuration, SimTime};
 
-use crate::engine::{NodeAddr, WireId, World};
+use crate::engine::{NodeAddr, WireId};
+use crate::shard::Engine;
 
 /// Per-wire fault behaviour. The default profile is fault-free.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -191,7 +193,7 @@ pub struct BurstWindow {
 ///
 /// Cycle `i` takes the wire down at `first_down + i·period` and back up
 /// `down_for` later. Both endpoints get carrier notifications, exactly
-/// as with [`World::schedule_link_state`].
+/// as with [`World::schedule_link_state`](crate::World::schedule_link_state).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlapSchedule {
     /// The wire to flap.
@@ -255,7 +257,7 @@ impl PartitionSchedule {
     /// The wires this partition severs: every wire whose endpoints
     /// resolve to two different cells.
     #[must_use]
-    pub fn severed_wires(&self, world: &World) -> Vec<WireId> {
+    pub fn severed_wires<E: Engine>(&self, world: &E) -> Vec<WireId> {
         let mut cut = Vec::new();
         for ix in 0..world.wire_count() {
             let wire = WireId::from_raw(ix);
@@ -339,8 +341,11 @@ impl ChaosPlan {
 
     /// Installs the whole plan into `world`: seeds the fault RNG, sets
     /// the per-wire profiles, and schedules every flap transition and
-    /// crash/restart event.
-    pub fn apply(&self, world: &mut World) {
+    /// crash/restart event. Works on any [`Engine`] — on a sharded
+    /// world every scheduled disruption is mirrored into the affected
+    /// shards with a shared ordering key, so chaos semantics are
+    /// identical at any shard count.
+    pub fn apply<E: Engine>(&self, world: &mut E) {
         world.set_fault_seed(self.seed);
         for (wire, profile) in &self.link_faults {
             world.set_fault_profile(*wire, profile.clone());
@@ -429,6 +434,7 @@ impl ChaosPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::World;
 
     fn t(ms: u64) -> SimTime {
         SimTime::ZERO.after(SimDuration::from_millis(ms))

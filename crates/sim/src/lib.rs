@@ -26,6 +26,7 @@ pub mod engine;
 pub mod event;
 pub mod faults;
 pub mod flowsim;
+pub mod shard;
 
 pub use chaos::{ChaosReport, ChaosRunner};
 pub use engine::{Ctx, LinkParams, LinkStats, Node, NodeAddr, WireId, World, WorldStats};
@@ -33,3 +34,4 @@ pub use faults::{
     BurstWindow, ChaosPlan, CrashSchedule, FaultProfile, FlapSchedule, PartitionSchedule,
 };
 pub use flowsim::{EdgeId, FlowEvent, FlowId, FlowSim};
+pub use shard::{Engine, ShardedWorld};

@@ -1,0 +1,1192 @@
+//! Sharded multi-core execution: conservative-lookahead PDES on top of
+//! per-cell [`World`] instances.
+//!
+//! # Model
+//!
+//! A [`ShardedWorld`] partitions the node set into `cells` (typically
+//! one fat-tree pod per cell; see `dumbnet-topology`'s `partition`
+//! module) and runs one [`World`] per cell. Every shard holds the
+//! complete wiring table and node *slot* table, but only its own cell's
+//! node objects — foreign slots are `None`, so dispatching to them is a
+//! no-op. A packet whose destination lives on another shard detours
+//! through the sending shard's outbox and is merged into the owner's
+//! queue at the next synchronization barrier.
+//!
+//! # Conservative time windows
+//!
+//! Shards synchronize with the classic null-message/lookahead recipe:
+//! with `L` = the minimum latency over all inter-cell wires, a packet
+//! sent at time `t` cannot arrive on another shard before `t + L`
+//! (arrival = departure + serialization + latency ≥ send + L). So if
+//! the earliest pending event anywhere is at `m`, every shard can run
+//! `[m, m + L)` without receiving anything new from its peers. The
+//! window loop is:
+//!
+//! 1. route buffered crossings to their owner shards,
+//! 2. `m` ← min pending event time across shards and crossings,
+//! 3. every shard runs events with `t < min(m + L, horizon)` —
+//!    concurrently when worker threads are available,
+//! 4. repeat until idle or the horizon.
+//!
+//! Cross-shard arrivals always land at or after the current window end,
+//! so the barrier in step 1 never misses a merge. When `L` would be
+//! zero (a zero-latency inter-cell wire), the engine falls back to an
+//! exact global `(time, key)` lockstep merge: one event at a time,
+//! always the globally smallest, with crossings exchanged after every
+//! dispatch. Slow, but exactly equivalent — the lookahead floor never
+//! compromises correctness.
+//!
+//! # Determinism
+//!
+//! Identical results at any shard count follow from three invariants of
+//! the underlying engine (see `engine`'s module docs):
+//!
+//! * event ordering keys are content-based (origin node + per-origin
+//!   sequence number), so merged queues pop in the same order a single
+//!   world would;
+//! * application randomness is per-node and fault randomness is
+//!   per-(wire, direction), each stream consumed by exactly one shard;
+//! * admin events (crash, restart, link flips, fault-profile changes)
+//!   are mirrored into every shard under one shared key, with exactly
+//!   one copy marked `counted`, so wire state stays consistent
+//!   everywhere while merged counters match the single-world run.
+//!
+//! The [`Engine`] trait abstracts over [`World`] and [`ShardedWorld`]
+//! so fabrics, chaos plans and invariant checkers drive either engine
+//! unchanged; `shards = 1` is the degenerate case and behaves
+//! event-for-event like the legacy single world.
+
+use std::sync::mpsc;
+
+use dumbnet_packet::Packet;
+use dumbnet_telemetry::{TelemetrySnapshot, TraceEvent};
+use dumbnet_types::{PortNo, Result, SimDuration, SimTime};
+
+use crate::engine::{Crossing, LinkParams, LinkStats, Node, NodeAddr, WireId, World, WorldStats};
+use crate::faults::FaultProfile;
+
+/// Common driving surface of [`World`] and [`ShardedWorld`].
+///
+/// Everything the fabric builder, chaos harness and invariant checkers
+/// need: construction (nodes, wires), scheduling (injections, admin
+/// events), execution (windows of virtual time) and observation
+/// (stats, telemetry, traces). Code written against `Engine` runs
+/// unmodified on one core or many.
+pub trait Engine {
+    /// Adds a node to the default cell and returns its address.
+    fn add_node(&mut self, node: Box<dyn Node>) -> NodeAddr;
+
+    /// Adds a node assigned to `cell` and returns its address.
+    ///
+    /// On a plain [`World`] the cell is recorded but has no execution
+    /// effect; on a [`ShardedWorld`] it selects the owning shard, with
+    /// cells beyond the shard count wrapping round-robin onto shards
+    /// (`cell % shards`) so a topology partitioned into more cells than
+    /// the machine has cores still maps deterministically.
+    fn add_node_in_cell(&mut self, node: Box<dyn Node>, cell: u32) -> NodeAddr;
+
+    /// Wires `a:pa` to `b:pb`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a port is already wired or an address is unknown.
+    fn wire(
+        &mut self,
+        a: NodeAddr,
+        pa: PortNo,
+        b: NodeAddr,
+        pb: PortNo,
+        params: LinkParams,
+    ) -> Result<WireId>;
+
+    /// Immutable downcast access to a node's concrete type.
+    fn node<T: 'static>(&self, addr: NodeAddr) -> Option<&T>;
+
+    /// Mutable downcast access to a node's concrete type.
+    fn node_mut<T: 'static>(&mut self, addr: NodeAddr) -> Option<&mut T>;
+
+    /// Number of node slots.
+    fn node_count(&self) -> usize;
+
+    /// The cell a node was assigned to.
+    fn node_cell(&self, addr: NodeAddr) -> u32;
+
+    /// Number of cells this engine executes (1 for a plain world).
+    fn cell_count(&self) -> usize;
+
+    /// Number of wires.
+    fn wire_count(&self) -> usize;
+
+    /// The wire on `(node, port)`, if any.
+    fn wire_at(&self, node: NodeAddr, port: PortNo) -> Option<WireId>;
+
+    /// The two `(node, port)` endpoints of a wire.
+    fn wire_endpoints(&self, wire: WireId) -> ((NodeAddr, PortNo), (NodeAddr, PortNo));
+
+    /// Whether a wire is administratively up.
+    fn wire_up(&self, wire: WireId) -> bool;
+
+    /// Physical parameters of a wire.
+    fn wire_params(&self, wire: WireId) -> LinkParams;
+
+    /// Accumulated per-wire counters.
+    fn link_stats(&self, wire: WireId) -> LinkStats;
+
+    /// Whether `node` is currently crashed.
+    fn is_crashed(&self, node: NodeAddr) -> bool;
+
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+
+    /// Accumulated engine counters.
+    fn stats(&self) -> WorldStats;
+
+    /// Timestamp of the earliest pending event, if any.
+    fn next_event_time(&self) -> Option<SimTime>;
+
+    /// Runs all events with timestamps ≤ `until`, then sets the clock
+    /// to `until`.
+    fn run_until(&mut self, until: SimTime) -> WorldStats;
+
+    /// Runs until idle or roughly `max_events` dispatches.
+    ///
+    /// A sharded engine stops at the first synchronization barrier at
+    /// or past the budget, so it can overshoot a finite `max_events` by
+    /// up to one window; `u64::MAX` (run to completion) is exact on
+    /// every engine.
+    fn run_to_idle(&mut self, max_events: u64) -> WorldStats;
+
+    /// Injects a packet arrival at `(node, port)` at time `at`.
+    fn inject(&mut self, at: SimTime, node: NodeAddr, port: PortNo, pkt: Packet);
+
+    /// Schedules `node` to crash at `at`.
+    fn schedule_crash(&mut self, at: SimTime, node: NodeAddr);
+
+    /// Schedules `node` to restart at `at` (no-op unless crashed).
+    fn schedule_restart(&mut self, at: SimTime, node: NodeAddr);
+
+    /// Schedules an administrative wire state change at `at`.
+    fn schedule_link_state(&mut self, at: SimTime, wire: WireId, up: bool);
+
+    /// Schedules `wire`'s fault profile to be replaced at `at`.
+    fn schedule_fault_profile(&mut self, at: SimTime, wire: WireId, profile: FaultProfile);
+
+    /// Installs (or replaces) the fault profile of a wire immediately.
+    fn set_fault_profile(&mut self, wire: WireId, profile: FaultProfile);
+
+    /// Reseeds every per-(wire, direction) fault stream.
+    fn set_fault_seed(&mut self, seed: u64);
+
+    /// Deterministic snapshot of every registered metric, after a
+    /// publish pass over all nodes. On a sharded engine the per-shard
+    /// registries are merged key-wise; the result is byte-identical to
+    /// the single-world snapshot of the same run.
+    fn telemetry_snapshot(&mut self) -> TelemetrySnapshot;
+
+    /// The most recent `n` trace events and the count of older ones
+    /// dropped from the ring. A sharded engine merges per-shard rings
+    /// by timestamp; the interleaving of same-instant events across
+    /// shards is diagnostic-quality only (determinism guarantees cover
+    /// counters and snapshots, not trace interleavings).
+    fn trace_tail(&self, n: usize) -> (Vec<TraceEvent>, u64);
+}
+
+impl Engine for World {
+    fn add_node(&mut self, node: Box<dyn Node>) -> NodeAddr {
+        World::add_node(self, node)
+    }
+    fn add_node_in_cell(&mut self, node: Box<dyn Node>, cell: u32) -> NodeAddr {
+        World::add_node_in_cell(self, node, cell)
+    }
+    fn wire(
+        &mut self,
+        a: NodeAddr,
+        pa: PortNo,
+        b: NodeAddr,
+        pb: PortNo,
+        params: LinkParams,
+    ) -> Result<WireId> {
+        World::wire(self, a, pa, b, pb, params)
+    }
+    fn node<T: 'static>(&self, addr: NodeAddr) -> Option<&T> {
+        World::node(self, addr)
+    }
+    fn node_mut<T: 'static>(&mut self, addr: NodeAddr) -> Option<&mut T> {
+        World::node_mut(self, addr)
+    }
+    fn node_count(&self) -> usize {
+        World::node_count(self)
+    }
+    fn node_cell(&self, addr: NodeAddr) -> u32 {
+        World::node_cell(self, addr)
+    }
+    fn cell_count(&self) -> usize {
+        1
+    }
+    fn wire_count(&self) -> usize {
+        World::wire_count(self)
+    }
+    fn wire_at(&self, node: NodeAddr, port: PortNo) -> Option<WireId> {
+        World::wire_at(self, node, port)
+    }
+    fn wire_endpoints(&self, wire: WireId) -> ((NodeAddr, PortNo), (NodeAddr, PortNo)) {
+        World::wire_endpoints(self, wire)
+    }
+    fn wire_up(&self, wire: WireId) -> bool {
+        World::wire_up(self, wire)
+    }
+    fn wire_params(&self, wire: WireId) -> LinkParams {
+        World::wire_params(self, wire)
+    }
+    fn link_stats(&self, wire: WireId) -> LinkStats {
+        World::link_stats(self, wire)
+    }
+    fn is_crashed(&self, node: NodeAddr) -> bool {
+        World::is_crashed(self, node)
+    }
+    fn now(&self) -> SimTime {
+        World::now(self)
+    }
+    fn stats(&self) -> WorldStats {
+        World::stats(self)
+    }
+    fn next_event_time(&self) -> Option<SimTime> {
+        World::next_event_time(self)
+    }
+    fn run_until(&mut self, until: SimTime) -> WorldStats {
+        World::run_until(self, until)
+    }
+    fn run_to_idle(&mut self, max_events: u64) -> WorldStats {
+        World::run_to_idle(self, max_events)
+    }
+    fn inject(&mut self, at: SimTime, node: NodeAddr, port: PortNo, pkt: Packet) {
+        World::inject(self, at, node, port, pkt);
+    }
+    fn schedule_crash(&mut self, at: SimTime, node: NodeAddr) {
+        World::schedule_crash(self, at, node);
+    }
+    fn schedule_restart(&mut self, at: SimTime, node: NodeAddr) {
+        World::schedule_restart(self, at, node);
+    }
+    fn schedule_link_state(&mut self, at: SimTime, wire: WireId, up: bool) {
+        World::schedule_link_state(self, at, wire, up);
+    }
+    fn schedule_fault_profile(&mut self, at: SimTime, wire: WireId, profile: FaultProfile) {
+        World::schedule_fault_profile(self, at, wire, profile);
+    }
+    fn set_fault_profile(&mut self, wire: WireId, profile: FaultProfile) {
+        World::set_fault_profile(self, wire, profile);
+    }
+    fn set_fault_seed(&mut self, seed: u64) {
+        World::set_fault_seed(self, seed);
+    }
+    fn telemetry_snapshot(&mut self) -> TelemetrySnapshot {
+        World::telemetry_snapshot(self)
+    }
+    fn trace_tail(&self, n: usize) -> (Vec<TraceEvent>, u64) {
+        self.telemetry().trace_tail(n)
+    }
+}
+
+/// A world partitioned into cells, one [`World`] shard per cell,
+/// synchronized with conservative time windows.
+///
+/// Construction mirrors [`World`]: add nodes (with explicit cells),
+/// wire them, schedule work, run. Results — stats, link counters,
+/// telemetry snapshots, node state — are byte-identical to a
+/// single-world run of the same scenario at any shard count.
+pub struct ShardedWorld {
+    shards: Vec<World>,
+    /// Minimum latency over inter-cell wires (the PDES lookahead);
+    /// `None` until a cross-cell wire exists (independent shards).
+    lookahead: Option<SimDuration>,
+    /// `Some(true)` forces worker threads, `Some(false)` forces
+    /// sequential windows, `None` picks by available parallelism.
+    parallel: Option<bool>,
+}
+
+/// One synchronization-window command to a shard worker thread.
+enum WindowCmd {
+    /// Merge `crossings`, run the window ending at `end` (exclusive),
+    /// reply with `(shard, fired, outbox, next peek)`.
+    Run {
+        crossings: Vec<Crossing>,
+        end: SimTime,
+    },
+}
+
+/// A worker's reply after one window.
+type WindowReply = (usize, u64, Vec<Crossing>, Option<(SimTime, u64)>);
+
+impl ShardedWorld {
+    /// Creates an empty sharded world with `cells` shards (≥ 1), all
+    /// deriving their randomness from one `seed` exactly as a single
+    /// [`World::new`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cells` is zero.
+    #[must_use]
+    pub fn new(seed: u64, cells: usize) -> ShardedWorld {
+        assert!(cells > 0, "a sharded world needs at least one cell");
+        let cells_u32 = u32::try_from(cells).expect("cell count fits in u32");
+        ShardedWorld {
+            shards: (0..cells_u32)
+                .map(|c| World::new_cell(seed, c, true))
+                .collect(),
+            lookahead: None,
+            parallel: None,
+        }
+    }
+
+    /// Forces (`Some(true)`) or forbids (`Some(false)`) worker-thread
+    /// window execution; `None` (the default) uses threads when the
+    /// host has more than one core and there is more than one shard.
+    /// Threaded and sequential execution produce identical results —
+    /// this only selects how windows are driven.
+    pub fn set_parallel(&mut self, parallel: Option<bool>) {
+        self.parallel = parallel;
+    }
+
+    /// The PDES lookahead: minimum latency over inter-cell wires, or
+    /// `None` while the shards are not connected to each other.
+    #[must_use]
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
+    }
+
+    /// Read access to one shard's world (diagnostics and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range cell index.
+    #[must_use]
+    pub fn shard(&self, cell: usize) -> &World {
+        &self.shards[cell]
+    }
+
+    /// Per-shard dispatched-event counts, for load-balance diagnostics
+    /// (the parallel speedup bound is `total / max`).
+    #[must_use]
+    pub fn shard_event_counts(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.stats().events).collect()
+    }
+
+    fn owner(&self, node: NodeAddr) -> usize {
+        self.shards[0].node_cell(node) as usize
+    }
+
+    /// Routes every shard's buffered cross-shard arrivals to their
+    /// owners.
+    fn exchange(&mut self) {
+        for ix in 0..self.shards.len() {
+            let out = self.shards[ix].take_outbox();
+            for c in out {
+                let owner = self.owner(c.node);
+                self.shards[owner].push_crossing(c);
+            }
+        }
+    }
+
+    /// Whether window execution should use worker threads.
+    fn threaded(&self) -> bool {
+        if self.shards.len() < 2 {
+            return false;
+        }
+        self.parallel
+            .unwrap_or_else(|| std::thread::available_parallelism().is_ok_and(|p| p.get() > 1))
+    }
+
+    /// Runs conservative windows until the queues drain, the event
+    /// budget is spent, or (when `until` is set) no pending event is ≤
+    /// `until`.
+    fn run_windows(&mut self, until: Option<SimTime>, max_events: u64) {
+        for s in &mut self.shards {
+            s.ensure_started();
+        }
+        // The window for the earliest event at `m` is [m, m + L). The
+        // horizon caps it at `until + 1 ns` so events exactly at
+        // `until` still run (run_until is inclusive).
+        let horizon = until.map(|u| u.after(SimDuration::from_nanos(1)));
+        match self.lookahead {
+            _ if self.shards.len() == 1 => {
+                // Degenerate single shard: everything is local; drive
+                // the inner world directly (event-for-event the legacy
+                // engine).
+                let s = &mut self.shards[0];
+                match until {
+                    Some(u) => {
+                        s.run_until(u);
+                    }
+                    None => {
+                        s.run_to_idle(max_events);
+                    }
+                }
+            }
+            None => {
+                // No inter-cell wires: the shards are fully
+                // independent, so each can run to its own horizon.
+                let mut budget = max_events;
+                for s in &mut self.shards {
+                    match until {
+                        Some(u) => {
+                            s.run_until(u);
+                        }
+                        None => {
+                            let before = s.stats().events;
+                            s.run_to_idle(budget);
+                            budget = budget.saturating_sub(s.stats().events - before);
+                        }
+                    }
+                }
+            }
+            Some(l) if l == SimDuration::ZERO => self.run_lockstep(horizon, max_events),
+            Some(l) => {
+                if self.threaded() {
+                    self.run_windows_threaded(l, horizon, max_events);
+                } else {
+                    self.run_windows_sequential(l, horizon, max_events);
+                }
+            }
+        }
+    }
+
+    /// Sequential window loop (single-core hosts; also the reference
+    /// implementation the threaded loop mirrors).
+    fn run_windows_sequential(
+        &mut self,
+        lookahead: SimDuration,
+        horizon: Option<SimTime>,
+        max_events: u64,
+    ) {
+        let mut fired_total = 0u64;
+        loop {
+            self.exchange();
+            let Some((m, _)) = self.shards.iter().filter_map(World::peek_head).min() else {
+                break;
+            };
+            if horizon.is_some_and(|h| m >= h) || fired_total >= max_events {
+                break;
+            }
+            let mut end = m.after(lookahead);
+            if let Some(h) = horizon {
+                end = end.min(h);
+            }
+            for s in &mut self.shards {
+                fired_total += s.run_window(end);
+            }
+        }
+    }
+
+    /// Threaded window loop: one worker owns each shard for the
+    /// duration of the run; the coordinator computes window bounds and
+    /// routes crossings between barriers. Same window sequence — and
+    /// therefore byte-identical results — as the sequential loop.
+    fn run_windows_threaded(
+        &mut self,
+        lookahead: SimDuration,
+        horizon: Option<SimTime>,
+        max_events: u64,
+    ) {
+        // Crossings buffered from the previous window, per owner shard.
+        let mut pending: Vec<Vec<Crossing>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        // Seed the initial exchange + peeks from the coordinator side.
+        self.exchange();
+        let mut peeks: Vec<Option<(SimTime, u64)>> =
+            self.shards.iter().map(World::peek_head).collect();
+        let owner_of: Vec<u32> = (0..self.shards[0].node_count())
+            .map(|n| self.shards[0].node_cell(NodeAddr(n)))
+            .collect();
+        std::thread::scope(|scope| {
+            let (reply_tx, reply_rx) = mpsc::channel::<WindowReply>();
+            let mut cmd_txs = Vec::with_capacity(self.shards.len());
+            for (ix, shard) in self.shards.iter_mut().enumerate() {
+                let (tx, rx) = mpsc::channel::<WindowCmd>();
+                cmd_txs.push(tx);
+                let reply_tx = reply_tx.clone();
+                scope.spawn(move || {
+                    while let Ok(WindowCmd::Run { crossings, end }) = rx.recv() {
+                        for c in crossings {
+                            shard.push_crossing(c);
+                        }
+                        let fired = shard.run_window(end);
+                        let out = shard.take_outbox();
+                        let peek = shard.peek_head();
+                        if reply_tx.send((ix, fired, out, peek)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(reply_tx);
+            let mut fired_total = 0u64;
+            loop {
+                // Earliest pending work: local peeks plus undelivered
+                // crossings (a crossing can precede every local event).
+                let mut m = peeks.iter().flatten().map(|&(t, _)| t).min();
+                for q in &pending {
+                    for c in q {
+                        let at = c.at;
+                        m = Some(m.map_or(at, |cur: SimTime| cur.min(at)));
+                    }
+                }
+                let Some(m) = m else { break };
+                if horizon.is_some_and(|h| m >= h) || fired_total >= max_events {
+                    break;
+                }
+                let mut end = m.after(lookahead);
+                if let Some(h) = horizon {
+                    end = end.min(h);
+                }
+                for (ix, tx) in cmd_txs.iter().enumerate() {
+                    let crossings = std::mem::take(&mut pending[ix]);
+                    tx.send(WindowCmd::Run { crossings, end })
+                        .expect("shard worker alive");
+                }
+                for _ in 0..cmd_txs.len() {
+                    let (ix, fired, out, peek) = reply_rx.recv().expect("shard worker reply");
+                    fired_total += fired;
+                    peeks[ix] = peek;
+                    for c in out {
+                        pending[owner_of[c.node.0] as usize].push(c);
+                    }
+                }
+            }
+            drop(cmd_txs);
+        });
+        // Undelivered crossings (past the horizon) go back into owner
+        // queues so a later run resumes them.
+        for c in pending.into_iter().flatten() {
+            let owner = self.owner(c.node);
+            self.shards[owner].push_crossing(c);
+        }
+    }
+
+    /// Exact global `(time, key)` merge for zero lookahead: dispatch
+    /// the single globally-earliest event, exchange crossings, repeat.
+    /// Equivalent to a single world, one event at a time.
+    fn run_lockstep(&mut self, horizon: Option<SimTime>, max_events: u64) {
+        let mut fired_total = 0u64;
+        loop {
+            self.exchange();
+            let best = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter_map(|(ix, s)| s.peek_head().map(|hk| (hk, ix)))
+                .min();
+            let Some(((t, _), ix)) = best else { break };
+            if horizon.is_some_and(|h| t >= h) || fired_total >= max_events {
+                break;
+            }
+            self.shards[ix].dispatch_head();
+            fired_total += 1;
+        }
+    }
+
+    /// Sums a per-shard stats view into the merged totals.
+    fn merged_stats(&self) -> WorldStats {
+        let mut total = WorldStats::default();
+        for s in &self.shards {
+            let v = s.stats();
+            total.events += v.events;
+            total.packets_sent += v.packets_sent;
+            total.packets_delivered += v.packets_delivered;
+            total.drops_down += v.drops_down;
+            total.drops_queue += v.drops_queue;
+            total.drops_loss += v.drops_loss;
+            total.drops_corrupt += v.drops_corrupt;
+            total.drops_crashed += v.drops_crashed;
+            total.ecn_marked += v.ecn_marked;
+        }
+        total
+    }
+}
+
+impl Engine for ShardedWorld {
+    fn add_node(&mut self, node: Box<dyn Node>) -> NodeAddr {
+        self.add_node_in_cell(node, 0)
+    }
+
+    fn add_node_in_cell(&mut self, node: Box<dyn Node>, cell: u32) -> NodeAddr {
+        let cell = cell % u32::try_from(self.shards.len()).expect("shard count fits in u32");
+        let mut node = Some(node);
+        let mut addr = NodeAddr(0);
+        for (ix, shard) in self.shards.iter_mut().enumerate() {
+            let slot = if ix == cell as usize {
+                node.take()
+            } else {
+                None
+            };
+            addr = shard.add_slot(slot, cell);
+        }
+        addr
+    }
+
+    fn wire(
+        &mut self,
+        a: NodeAddr,
+        pa: PortNo,
+        b: NodeAddr,
+        pb: PortNo,
+        params: LinkParams,
+    ) -> Result<WireId> {
+        let mut id = WireId::from_raw(0);
+        for shard in &mut self.shards {
+            id = shard.wire(a, pa, b, pb, params)?;
+        }
+        if self.shards[0].node_cell(a) != self.shards[0].node_cell(b) {
+            self.lookahead = Some(match self.lookahead {
+                Some(l) => l.min(params.latency),
+                None => params.latency,
+            });
+        }
+        Ok(id)
+    }
+
+    fn node<T: 'static>(&self, addr: NodeAddr) -> Option<&T> {
+        self.shards[self.owner(addr)].node(addr)
+    }
+
+    fn node_mut<T: 'static>(&mut self, addr: NodeAddr) -> Option<&mut T> {
+        let owner = self.owner(addr);
+        self.shards[owner].node_mut(addr)
+    }
+
+    fn node_count(&self) -> usize {
+        self.shards[0].node_count()
+    }
+
+    fn node_cell(&self, addr: NodeAddr) -> u32 {
+        self.shards[0].node_cell(addr)
+    }
+
+    fn cell_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn wire_count(&self) -> usize {
+        self.shards[0].wire_count()
+    }
+
+    fn wire_at(&self, node: NodeAddr, port: PortNo) -> Option<WireId> {
+        self.shards[0].wire_at(node, port)
+    }
+
+    fn wire_endpoints(&self, wire: WireId) -> ((NodeAddr, PortNo), (NodeAddr, PortNo)) {
+        self.shards[0].wire_endpoints(wire)
+    }
+
+    fn wire_up(&self, wire: WireId) -> bool {
+        // Admin changes are mirrored everywhere, so every shard agrees.
+        self.shards[0].wire_up(wire)
+    }
+
+    fn wire_params(&self, wire: WireId) -> LinkParams {
+        self.shards[0].wire_params(wire)
+    }
+
+    fn link_stats(&self, wire: WireId) -> LinkStats {
+        // Direction counters accrue on the sending shard, delivery
+        // counters on the receiving one: the merged view is the sum.
+        let mut total = LinkStats::default();
+        for s in &self.shards {
+            let v = s.link_stats(wire);
+            total.sent += v.sent;
+            total.delivered += v.delivered;
+            total.drops_down += v.drops_down;
+            total.drops_queue += v.drops_queue;
+            total.drops_loss += v.drops_loss;
+            total.drops_corrupt += v.drops_corrupt;
+            total.drops_burst += v.drops_burst;
+            total.drops_crashed += v.drops_crashed;
+            total.ecn_marked += v.ecn_marked;
+            total.jittered += v.jittered;
+        }
+        total
+    }
+
+    fn is_crashed(&self, node: NodeAddr) -> bool {
+        self.shards[self.owner(node)].is_crashed(node)
+    }
+
+    fn now(&self) -> SimTime {
+        // Between runs all shards agree; mid-construction they are all
+        // at zero. Report the furthest clock.
+        self.shards
+            .iter()
+            .map(World::now)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    fn stats(&self) -> WorldStats {
+        self.merged_stats()
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        let local = self.shards.iter().filter_map(World::next_event_time).min();
+        // Outboxes are drained at barriers, so they are empty between
+        // runs; include them anyway for mid-run observers.
+        let crossing = self.shards.iter().filter_map(World::outbox_earliest).min();
+        match (local, crossing) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn run_until(&mut self, until: SimTime) -> WorldStats {
+        self.run_windows(Some(until), u64::MAX);
+        for s in &mut self.shards {
+            s.set_clock(until);
+        }
+        self.merged_stats()
+    }
+
+    fn run_to_idle(&mut self, max_events: u64) -> WorldStats {
+        self.run_windows(None, max_events);
+        // Settle every clock at the global maximum so `now` agrees.
+        let max_now = self
+            .shards
+            .iter()
+            .map(World::now)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        for s in &mut self.shards {
+            s.set_clock(max_now);
+        }
+        self.merged_stats()
+    }
+
+    fn inject(&mut self, at: SimTime, node: NodeAddr, port: PortNo, pkt: Packet) {
+        // External keys come from shard 0's counter so the sequence —
+        // and therefore the ordering key of the n-th external event —
+        // matches a single-world run exactly.
+        let key = self.shards[0].alloc_ext_key();
+        let owner = self.owner(node);
+        self.shards[owner].inject_keyed(at, node, port, pkt, key);
+    }
+
+    fn schedule_crash(&mut self, at: SimTime, node: NodeAddr) {
+        let key = self.shards[0].alloc_ext_key();
+        let owner = self.owner(node);
+        for (ix, shard) in self.shards.iter_mut().enumerate() {
+            shard.schedule_crash_keyed(at, node, key, ix == owner);
+        }
+    }
+
+    fn schedule_restart(&mut self, at: SimTime, node: NodeAddr) {
+        let key = self.shards[0].alloc_ext_key();
+        let owner = self.owner(node);
+        for (ix, shard) in self.shards.iter_mut().enumerate() {
+            shard.schedule_restart_keyed(at, node, key, ix == owner);
+        }
+    }
+
+    fn schedule_link_state(&mut self, at: SimTime, wire: WireId, up: bool) {
+        let key = self.shards[0].alloc_ext_key();
+        let ((a, _), _) = self.shards[0].wire_endpoints(wire);
+        let owner = self.owner(a);
+        for (ix, shard) in self.shards.iter_mut().enumerate() {
+            shard.schedule_link_state_keyed(at, wire, up, key, ix == owner);
+        }
+    }
+
+    fn schedule_fault_profile(&mut self, at: SimTime, wire: WireId, profile: FaultProfile) {
+        let key = self.shards[0].alloc_ext_key();
+        let ((a, _), _) = self.shards[0].wire_endpoints(wire);
+        let owner = self.owner(a);
+        for (ix, shard) in self.shards.iter_mut().enumerate() {
+            shard.schedule_fault_profile_keyed(at, wire, profile.clone(), key, ix == owner);
+        }
+    }
+
+    fn set_fault_profile(&mut self, wire: WireId, profile: FaultProfile) {
+        for shard in &mut self.shards {
+            shard.set_fault_profile(wire, profile.clone());
+        }
+    }
+
+    fn set_fault_seed(&mut self, seed: u64) {
+        for shard in &mut self.shards {
+            shard.set_fault_seed(seed);
+        }
+    }
+
+    fn telemetry_snapshot(&mut self) -> TelemetrySnapshot {
+        TelemetrySnapshot::merged(self.shards.iter_mut().map(World::telemetry_snapshot))
+    }
+
+    fn trace_tail(&self, n: usize) -> (Vec<TraceEvent>, u64) {
+        let mut merged: Vec<(SimTime, usize, TraceEvent)> = Vec::new();
+        let mut dropped = 0;
+        for (ix, s) in self.shards.iter().enumerate() {
+            let (tail, d) = s.telemetry().trace_tail(n);
+            dropped += d;
+            merged.extend(tail.into_iter().map(|e| (e.at, ix, e)));
+        }
+        merged.sort_by_key(|e| (e.0, e.1));
+        if merged.len() > n {
+            let cut = merged.len() - n;
+            dropped += cut as u64;
+            merged.drain(..cut);
+        }
+        (merged.into_iter().map(|(_, _, e)| e).collect(), dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    use dumbnet_packet::{Packet, Payload};
+    use dumbnet_types::{Bandwidth, MacAddr, Path};
+
+    use crate::engine::Ctx;
+    use crate::faults::{BurstWindow, ChaosPlan, CrashSchedule, FaultProfile, FlapSchedule};
+
+    const P1: PortNo = match PortNo::new(1) {
+        Some(p) => p,
+        None => unreachable!(),
+    };
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    fn t_us(n: u64) -> SimTime {
+        SimTime::ZERO.after(us(n))
+    }
+
+    fn port(n: u8) -> PortNo {
+        PortNo::new(n).expect("valid port")
+    }
+
+    /// Echoes every packet back out the port it came in on, recording
+    /// `(seq, arrival ns)`.
+    struct Hub {
+        received: Vec<(u64, u64)>,
+    }
+
+    impl Node for Hub {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: PortNo, pkt: Packet) {
+            if let Payload::Data { seq, .. } = pkt.payload {
+                self.received.push((seq, ctx.now().nanos()));
+            }
+            ctx.send(in_port, pkt);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Sends `total` packets on a timer, optionally jittering the
+    /// interval with its per-node RNG; records echo arrivals.
+    struct Pinger {
+        id: u64,
+        total: u64,
+        jitter: bool,
+        sent: u64,
+        echoes: Vec<(u64, u64)>,
+    }
+
+    impl Pinger {
+        fn new(id: u64, total: u64, jitter: bool) -> Pinger {
+            Pinger {
+                id,
+                total,
+                jitter,
+                sent: 0,
+                echoes: Vec::new(),
+            }
+        }
+    }
+
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(us(100), 0);
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: PortNo, pkt: Packet) {
+            if let Payload::Data { seq, .. } = pkt.payload {
+                self.echoes.push((seq, ctx.now().nanos()));
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            if self.sent >= self.total {
+                return;
+            }
+            let pkt = Packet::data(
+                MacAddr::for_host(self.id),
+                MacAddr::for_host(0),
+                Path::empty(),
+                self.id,
+                self.sent,
+                400,
+            );
+            self.sent += 1;
+            ctx.send(P1, pkt);
+            let extra = if self.jitter {
+                ctx.rng().gen_range(0..40)
+            } else {
+                0
+            };
+            ctx.set_timer(us(100 + extra), 0);
+        }
+        fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(us(100), 0);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// A hub in cell 0 wired to one pinger per further cell — the hub's
+    /// links span every cell of the engine (3+ cells for `cells ≥ 4`).
+    /// Returns `(hub, pingers, wires)`.
+    fn build_star<E: Engine>(
+        w: &mut E,
+        cells: u32,
+        latency: SimDuration,
+        jitter: bool,
+    ) -> (NodeAddr, Vec<NodeAddr>, Vec<WireId>) {
+        let params = LinkParams {
+            latency,
+            bandwidth: Bandwidth::gbps(10),
+            max_queue: SimDuration::from_millis(10),
+            ecn_threshold: None,
+        };
+        let hub = w.add_node_in_cell(
+            Box::new(Hub {
+                received: Vec::new(),
+            }),
+            0,
+        );
+        let mut pingers = Vec::new();
+        let mut wires = Vec::new();
+        for c in 0..cells {
+            let p = w.add_node_in_cell(Box::new(Pinger::new(u64::from(c) + 1, 40, jitter)), c);
+            let hub_port = port(u8::try_from(c).expect("cell fits") + 1);
+            wires.push(w.wire(p, P1, hub, hub_port, params).expect("wiring"));
+            pingers.push(p);
+        }
+        (hub, pingers, wires)
+    }
+
+    /// Runs the star scenario under `plan` and digests every observable
+    /// the determinism contract covers: merged stats, per-wire stats,
+    /// node-internal state and the full telemetry snapshot JSON.
+    fn fingerprint<E: Engine>(
+        mut w: E,
+        cells: u32,
+        latency: SimDuration,
+        jitter: bool,
+        plan: Option<&ChaosPlan>,
+        slices: bool,
+    ) -> String {
+        let (hub, pingers, wires) = build_star(&mut w, cells, latency, jitter);
+        if let Some(plan) = plan {
+            plan.apply(&mut w);
+        }
+        if slices {
+            // Chaos-runner style: many short run_until calls, so window
+            // state must survive re-entry.
+            let mut now = SimTime::ZERO;
+            for _ in 0..20 {
+                now = now.after(SimDuration::from_millis(1));
+                w.run_until(now);
+            }
+        } else {
+            w.run_until(SimTime::ZERO.after(SimDuration::from_millis(20)));
+        }
+        let mut out = format!("{:?}\n", w.stats());
+        for wire in wires {
+            out.push_str(&format!("{:?}\n", w.link_stats(wire)));
+        }
+        let hub_log = &w.node::<Hub>(hub).expect("hub").received;
+        out.push_str(&format!("hub {hub_log:?}\n"));
+        for p in pingers {
+            let p = w.node::<Pinger>(p).expect("pinger");
+            out.push_str(&format!(
+                "pinger {} sent {} echoes {:?}\n",
+                p.id, p.sent, p.echoes
+            ));
+        }
+        out.push_str(&w.telemetry_snapshot().to_json());
+        out
+    }
+
+    /// The chaos plan used by the boundary tests: loss on one wire, a
+    /// flap and a crash/restart, every admin instant landing exactly on
+    /// a `latency`-multiple — i.e. on synchronization-window boundaries.
+    fn boundary_plan(wires: &[WireId], victim: NodeAddr, latency_us: u64) -> ChaosPlan {
+        ChaosPlan::seeded(42)
+            .with_link_fault(
+                wires[0],
+                FaultProfile {
+                    loss: 0.2,
+                    bursts: vec![BurstWindow {
+                        start: t_us(latency_us * 50),
+                        duration: us(latency_us * 10),
+                    }],
+                    ..FaultProfile::default()
+                },
+            )
+            .with_flap(FlapSchedule {
+                wire: wires[1],
+                first_down: t_us(latency_us * 100),
+                down_for: us(latency_us * 20),
+                period: us(latency_us * 60),
+                cycles: 3,
+            })
+            .with_crash(CrashSchedule {
+                node: victim,
+                at: t_us(latency_us * 200),
+                restart_after: Some(us(latency_us * 80)),
+            })
+    }
+
+    /// Star wiring is identical on every engine, so the plan can be
+    /// described against a throwaway single world.
+    fn plan_for(cells: u32, latency: SimDuration, latency_us: u64) -> ChaosPlan {
+        let mut probe = World::new(11);
+        let (_, pingers, wires) = build_star(&mut probe, cells, latency, false);
+        boundary_plan(&wires, pingers[1], latency_us)
+    }
+
+    #[test]
+    fn single_shard_equals_legacy_world() {
+        let single = fingerprint(World::new(11), 3, us(5), true, None, false);
+        let sharded = fingerprint(ShardedWorld::new(11, 1), 3, us(5), true, None, false);
+        assert_eq!(single, sharded);
+    }
+
+    #[test]
+    fn shard_counts_are_observationally_identical() {
+        let single = fingerprint(World::new(11), 4, us(5), true, None, false);
+        for cells in [2usize, 4] {
+            let mut w = ShardedWorld::new(11, cells);
+            w.set_parallel(Some(false));
+            let got = fingerprint(w, 4, us(5), true, None, false);
+            assert_eq!(single, got, "sequential {cells}-shard run diverged");
+        }
+    }
+
+    #[test]
+    fn threaded_windows_match_sequential() {
+        let mut seq = ShardedWorld::new(7, 4);
+        seq.set_parallel(Some(false));
+        let mut thr = ShardedWorld::new(7, 4);
+        thr.set_parallel(Some(true));
+        let a = fingerprint(seq, 4, us(5), true, None, false);
+        let b = fingerprint(thr, 4, us(5), true, None, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_latency_cross_links_fall_back_to_lockstep() {
+        let single = fingerprint(World::new(3), 3, SimDuration::ZERO, true, None, false);
+        let w = ShardedWorld::new(3, 3);
+        let got = fingerprint(w, 3, SimDuration::ZERO, true, None, false);
+        assert_eq!(single, got);
+        // And the engine really did pick the degenerate lookahead.
+        let mut probe = ShardedWorld::new(3, 3);
+        build_star(&mut probe, 3, SimDuration::ZERO, false);
+        assert_eq!(probe.lookahead(), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn hub_links_spanning_many_cells_stay_consistent() {
+        // 6 cells: the hub's wires reach 5 foreign cells at once.
+        let single = fingerprint(World::new(19), 6, us(3), true, None, false);
+        let mut w = ShardedWorld::new(19, 6);
+        w.set_parallel(Some(false));
+        let got = fingerprint(w, 6, us(3), true, None, false);
+        assert_eq!(single, got);
+    }
+
+    #[test]
+    fn chaos_on_window_boundaries_is_shard_invariant() {
+        let lat_us = 5;
+        let plan = plan_for(4, us(lat_us), lat_us);
+        let single = fingerprint(World::new(11), 4, us(lat_us), false, Some(&plan), true);
+        for cells in [2usize, 4] {
+            let mut w = ShardedWorld::new(11, cells);
+            w.set_parallel(Some(false));
+            let got = fingerprint(w, 4, us(lat_us), false, Some(&plan), true);
+            assert_eq!(single, got, "chaos {cells}-shard run diverged");
+        }
+        // Threaded execution under chaos, too.
+        let mut w = ShardedWorld::new(11, 4);
+        w.set_parallel(Some(true));
+        let got = fingerprint(w, 4, us(lat_us), false, Some(&plan), true);
+        assert_eq!(single, got, "threaded chaos run diverged");
+    }
+
+    #[test]
+    fn run_to_idle_drains_across_shards() {
+        let mut w = ShardedWorld::new(5, 3);
+        w.set_parallel(Some(false));
+        let (hub, pingers, _) = build_star(&mut w, 3, us(5), false);
+        let stats = w.run_to_idle(u64::MAX);
+        assert!(stats.events > 0);
+        assert_eq!(w.node::<Hub>(hub).expect("hub").received.len(), 3 * 40);
+        for p in pingers {
+            assert_eq!(w.node::<Pinger>(p).expect("pinger").echoes.len(), 40);
+        }
+        assert_eq!(w.next_event_time(), None);
+    }
+
+    #[test]
+    fn independent_shards_run_without_lookahead() {
+        // No cross-cell wires at all: two disjoint pinger→hub pairs in
+        // separate cells. The lookahead stays `None` and each shard
+        // runs to its horizon independently.
+        fn pairs<E: Engine>(mut w: E) -> (String, E) {
+            let params = LinkParams {
+                latency: SimDuration::from_micros(2),
+                bandwidth: Bandwidth::gbps(10),
+                max_queue: SimDuration::from_millis(10),
+                ecn_threshold: None,
+            };
+            let a0 = w.add_node_in_cell(Box::new(Pinger::new(1, 10, true)), 0);
+            let a1 = w.add_node_in_cell(
+                Box::new(Hub {
+                    received: Vec::new(),
+                }),
+                0,
+            );
+            let b0 = w.add_node_in_cell(Box::new(Pinger::new(2, 10, true)), 1);
+            let b1 = w.add_node_in_cell(
+                Box::new(Hub {
+                    received: Vec::new(),
+                }),
+                1,
+            );
+            w.wire(a0, P1, a1, P1, params).expect("wire");
+            w.wire(b0, P1, b1, P1, params).expect("wire");
+            w.run_until(SimTime::ZERO.after(SimDuration::from_millis(10)));
+            let digest = format!(
+                "{:?} {:?} {:?}",
+                w.stats(),
+                w.node::<Hub>(a1).expect("hub a").received,
+                w.node::<Hub>(b1).expect("hub b").received,
+            );
+            (digest, w)
+        }
+        let (single, _) = pairs(World::new(9));
+        let (sharded, w) = pairs(ShardedWorld::new(9, 2));
+        assert_eq!(single, sharded);
+        assert_eq!(
+            w.lookahead(),
+            None,
+            "disjoint cells must not create lookahead"
+        );
+    }
+}

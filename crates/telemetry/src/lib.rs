@@ -14,9 +14,22 @@
 //! and *registered* into the world's [`Telemetry`] registry under a
 //! [`MetricKey`] of `(NodeKind, node id, metric name)`. The handle is
 //! the storage: the node increments through the handle on its hot path
-//! (one `Cell` write), and a [`TelemetrySnapshot`] reads the same cells
-//! through the registry. Registration is idempotent, so a node that is
-//! crash-restarted re-registers the same handles without losing counts.
+//! (one relaxed atomic add), and a [`TelemetrySnapshot`] reads the same
+//! storage through the registry. Registration is idempotent, so a node
+//! that is crash-restarted re-registers the same handles without losing
+//! counts.
+//!
+//! # Sharded worlds
+//!
+//! Handles and the registry are `Send + Sync` (`Arc` over atomics, a
+//! mutex for histograms and the registry map), so the sharded PDES
+//! engine gives every shard its *own* registry and merges at snapshot
+//! time with [`TelemetrySnapshot::absorb`]: counters and gauges sum,
+//! histograms sum bucket-wise. Each increment happens on exactly one
+//! shard (the one that owns the incrementing node, or the sending side
+//! of a wire), so the merged snapshot of an N-shard run equals the
+//! single-registry snapshot of the same seed — the cross-shard
+//! determinism gate in `perf_hotpath` pins this byte-for-byte.
 //!
 //! # Determinism rules
 //!
@@ -35,10 +48,10 @@
 //! tail on invariant violation, so a CI failure is diagnosable from
 //! its log alone.
 
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use dumbnet_types::SimTime;
 
@@ -115,11 +128,13 @@ impl fmt::Display for MetricKey {
 
 /// A monotonically increasing `u64` metric handle.
 ///
-/// Cloning shares the underlying cell; the registry holds one clone and
-/// the owning node another, so hot-path increments are a single
-/// `Cell::set` with no registry lookup.
+/// Cloning shares the underlying atomic; the registry holds one clone
+/// and the owning node another, so hot-path increments are a single
+/// relaxed atomic add with no registry lookup. Relaxed ordering is
+/// sufficient: within a shard all accesses are single-threaded, and
+/// across shards reads only happen at synchronization barriers.
 #[derive(Debug, Clone, Default)]
-pub struct Counter(Rc<Cell<u64>>);
+pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
     /// Creates a detached counter at zero.
@@ -137,7 +152,7 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.set(self.0.get().wrapping_add(n));
+        self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Overwrites the value. For totals maintained elsewhere and
@@ -145,21 +160,21 @@ impl Counter {
     /// prefer [`Counter::inc`] for live counters.
     #[inline]
     pub fn set(&self, v: u64) {
-        self.0.set(v);
+        self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     #[must_use]
     pub fn get(&self) -> u64 {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 }
 
 /// A signed, settable metric handle (levels: queue depths, leadership,
 /// version numbers).
 #[derive(Debug, Clone, Default)]
-pub struct Gauge(Rc<Cell<i64>>);
+pub struct Gauge(Arc<AtomicI64>);
 
 impl Gauge {
     /// Creates a detached gauge at zero.
@@ -171,20 +186,20 @@ impl Gauge {
     /// Sets the level.
     #[inline]
     pub fn set(&self, v: i64) {
-        self.0.set(v);
+        self.0.store(v, Ordering::Relaxed);
     }
 
     /// Adjusts the level by `d` (may be negative).
     #[inline]
     pub fn add(&self, d: i64) {
-        self.0.set(self.0.get().wrapping_add(d));
+        self.0.fetch_add(d, Ordering::Relaxed);
     }
 
     /// Current level.
     #[inline]
     #[must_use]
     pub fn get(&self) -> i64 {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 }
 
@@ -213,9 +228,11 @@ impl HistogramSnapshot {
 }
 
 /// A fixed-bucket histogram handle (see [`HistogramSnapshot`] for the
-/// bucket semantics). Cloning shares the underlying state.
+/// bucket semantics). Cloning shares the underlying state. Observations
+/// take a mutex, but within a shard the handle is only ever touched
+/// from that shard's thread, so the lock is uncontended.
 #[derive(Debug, Clone)]
-pub struct Histogram(Rc<RefCell<HistogramSnapshot>>);
+pub struct Histogram(Arc<Mutex<HistogramSnapshot>>);
 
 impl Histogram {
     /// Creates a histogram with the given inclusive upper `bounds`.
@@ -231,7 +248,7 @@ impl Histogram {
             "histogram bounds must be strictly increasing"
         );
         let counts = vec![0; bounds.len() + 1];
-        Histogram(Rc::new(RefCell::new(HistogramSnapshot {
+        Histogram(Arc::new(Mutex::new(HistogramSnapshot {
             bounds,
             counts,
             count: 0,
@@ -262,7 +279,7 @@ impl Histogram {
 
     /// Records one observation.
     pub fn observe(&self, v: u64) {
-        let mut h = self.0.borrow_mut();
+        let mut h = self.0.lock().expect("histogram lock");
         let ix = h.bucket_for(v);
         h.counts[ix] += 1;
         h.count += 1;
@@ -272,7 +289,7 @@ impl Histogram {
     /// A copy of the current state.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
-        self.0.borrow().clone()
+        self.0.lock().expect("histogram lock").clone()
     }
 }
 
@@ -408,12 +425,16 @@ struct Registry {
 
 /// The shared telemetry registry handle.
 ///
-/// One per [`World`](../dumbnet_sim/index.html); cloned into every
-/// `Ctx` so nodes register handles without manual plumbing. Cloning is
-/// cheap (an `Rc` bump) and all clones observe the same registry.
+/// One per world shard; cloned into every `Ctx` so nodes register
+/// handles without manual plumbing. Cloning is cheap (an `Arc` bump)
+/// and all clones observe the same registry. The handle is `Send`, so
+/// sharded worlds can carry their registries across worker threads;
+/// within a shard all access is single-threaded, so the internal mutex
+/// is uncontended.
 #[derive(Debug, Clone)]
 pub struct Telemetry {
-    inner: Rc<RefCell<Registry>>,
+    inner: Arc<Mutex<Registry>>,
+    trace_cap: usize,
 }
 
 /// Default trace ring capacity.
@@ -431,7 +452,7 @@ impl Telemetry {
     #[must_use]
     pub fn new(trace_cap: usize) -> Telemetry {
         Telemetry {
-            inner: Rc::new(RefCell::new(Registry {
+            inner: Arc::new(Mutex::new(Registry {
                 metrics: BTreeMap::new(),
                 trace: TraceRing {
                     cap: trace_cap,
@@ -439,6 +460,7 @@ impl Telemetry {
                     dropped: 0,
                 },
             })),
+            trace_cap,
         }
     }
 
@@ -448,7 +470,8 @@ impl Telemetry {
     /// old one.
     pub fn register_counter(&self, kind: NodeKind, node: u64, name: &'static str, c: &Counter) {
         self.inner
-            .borrow_mut()
+            .lock()
+            .expect("telemetry lock")
             .metrics
             .insert(MetricKey::new(kind, node, name), Handle::Counter(c.clone()));
     }
@@ -456,14 +479,15 @@ impl Telemetry {
     /// Registers (or re-registers) a gauge handle under `key`.
     pub fn register_gauge(&self, kind: NodeKind, node: u64, name: &'static str, g: &Gauge) {
         self.inner
-            .borrow_mut()
+            .lock()
+            .expect("telemetry lock")
             .metrics
             .insert(MetricKey::new(kind, node, name), Handle::Gauge(g.clone()));
     }
 
     /// Registers (or re-registers) a histogram handle under `key`.
     pub fn register_histogram(&self, kind: NodeKind, node: u64, name: &'static str, h: &Histogram) {
-        self.inner.borrow_mut().metrics.insert(
+        self.inner.lock().expect("telemetry lock").metrics.insert(
             MetricKey::new(kind, node, name),
             Handle::Histogram(h.clone()),
         );
@@ -472,25 +496,29 @@ impl Telemetry {
     /// Number of registered metrics.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.borrow().metrics.len()
+        self.inner.lock().expect("telemetry lock").metrics.len()
     }
 
     /// Whether no metrics are registered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().metrics.is_empty()
+        self.inner
+            .lock()
+            .expect("telemetry lock")
+            .metrics
+            .is_empty()
     }
 
     /// Whether trace events are being kept (capacity > 0). Callers can
     /// skip formatting details when tracing is disabled.
     #[must_use]
     pub fn trace_enabled(&self) -> bool {
-        self.inner.borrow().trace.cap > 0
+        self.trace_cap > 0
     }
 
     /// Appends a trace event to the ring.
     pub fn trace(&self, ev: TraceEvent) {
-        self.inner.borrow_mut().trace.push(ev);
+        self.inner.lock().expect("telemetry lock").trace.push(ev);
     }
 
     /// Convenience: builds and appends a trace event.
@@ -515,7 +543,7 @@ impl Telemetry {
     /// of older events the ring has already discarded.
     #[must_use]
     pub fn trace_tail(&self, n: usize) -> (Vec<TraceEvent>, u64) {
-        let reg = self.inner.borrow();
+        let reg = self.inner.lock().expect("telemetry lock");
         let skip = reg.trace.buf.len().saturating_sub(n);
         let tail: Vec<TraceEvent> = reg.trace.buf.iter().skip(skip).cloned().collect();
         (tail, reg.trace.dropped + skip as u64)
@@ -525,7 +553,7 @@ impl Telemetry {
     /// read: no counter is modified.
     #[must_use]
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let reg = self.inner.borrow();
+        let reg = self.inner.lock().expect("telemetry lock");
         TelemetrySnapshot {
             metrics: reg
                 .metrics
@@ -593,6 +621,68 @@ impl TelemetrySnapshot {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Folds another shard's snapshot into this one: counters and
+    /// gauges under the same key sum (wrapping), histograms with equal
+    /// bounds sum bucket-wise, and keys present in only one snapshot
+    /// carry over unchanged. This is the cross-shard merge rule — each
+    /// increment happens on exactly one shard, so summing per-shard
+    /// registries reconstructs the single-registry totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same key holds different metric types or
+    /// histograms with different bounds (impossible when the shards
+    /// were built from the same program).
+    pub fn absorb(&mut self, other: &TelemetrySnapshot) {
+        for (k, v) in &other.metrics {
+            match self.metrics.get_mut(k) {
+                None => {
+                    self.metrics.insert(k.clone(), v.clone());
+                }
+                Some(MetricValue::Counter(a)) => {
+                    if let MetricValue::Counter(b) = v {
+                        *a = a.wrapping_add(*b);
+                    } else {
+                        panic!("telemetry merge: {k} changed type across shards");
+                    }
+                }
+                Some(MetricValue::Gauge(a)) => {
+                    if let MetricValue::Gauge(b) = v {
+                        *a = a.wrapping_add(*b);
+                    } else {
+                        panic!("telemetry merge: {k} changed type across shards");
+                    }
+                }
+                Some(MetricValue::Histogram(a)) => {
+                    if let MetricValue::Histogram(b) = v {
+                        assert_eq!(
+                            a.bounds, b.bounds,
+                            "telemetry merge: {k} histogram bounds differ across shards"
+                        );
+                        for (ca, cb) in a.counts.iter_mut().zip(&b.counts) {
+                            *ca += cb;
+                        }
+                        a.count += b.count;
+                        a.sum = a.sum.wrapping_add(b.sum);
+                    } else {
+                        panic!("telemetry merge: {k} changed type across shards");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges an iterator of per-shard snapshots with
+    /// [`TelemetrySnapshot::absorb`].
+    #[must_use]
+    pub fn merged<I: IntoIterator<Item = TelemetrySnapshot>>(parts: I) -> TelemetrySnapshot {
+        let mut out = TelemetrySnapshot::default();
+        for p in parts {
+            out.absorb(&p);
+        }
+        out
     }
 
     /// Entries that changed (or appeared) relative to `before`, in key
@@ -874,6 +964,53 @@ mod tests {
         let (tail, dropped) = tele.trace_tail(10);
         assert!(tail.is_empty());
         assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn handles_and_registry_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Counter>();
+        assert_send::<Gauge>();
+        assert_send::<Histogram>();
+        assert_send::<Telemetry>();
+    }
+
+    #[test]
+    fn absorb_sums_counters_gauges_and_histograms() {
+        let mk = |c: u64, g: i64, hv: &[u64]| {
+            let tele = Telemetry::new(0);
+            let cnt = Counter::new();
+            cnt.add(c);
+            tele.register_counter(NodeKind::World, 0, "events", &cnt);
+            let gauge = Gauge::new();
+            gauge.set(g);
+            tele.register_gauge(NodeKind::Controller, 1, "is_leader", &gauge);
+            let h = Histogram::new(vec![10, 20]);
+            for &v in hv {
+                h.observe(v);
+            }
+            tele.register_histogram(NodeKind::Host, 2, "rtt", &h);
+            tele.snapshot()
+        };
+        let merged = TelemetrySnapshot::merged([mk(3, 1, &[5, 15]), mk(4, -1, &[25])]);
+        assert_eq!(merged.counter(NodeKind::World, 0, "events"), 7);
+        assert_eq!(merged.gauge(NodeKind::Controller, 1, "is_leader"), 0);
+        match merged.get(NodeKind::Host, 2, "rtt") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.counts, vec![1, 1, 1]);
+                assert_eq!(h.count, 3);
+                assert_eq!(h.sum, 45);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Keys present in only one shard carry over.
+        let solo = Telemetry::new(0);
+        let c = Counter::new();
+        c.add(9);
+        solo.register_counter(NodeKind::Switch, 7, "forwarded", &c);
+        let merged = TelemetrySnapshot::merged([merged, solo.snapshot()]);
+        assert_eq!(merged.counter(NodeKind::Switch, 7, "forwarded"), 9);
+        assert_eq!(merged.counter(NodeKind::World, 0, "events"), 7);
     }
 
     #[test]

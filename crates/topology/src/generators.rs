@@ -113,6 +113,7 @@ pub fn fat_tree(k: usize, hosts_per_edge: usize, ports: Option<u8>) -> Generated
     let cores: Vec<SwitchId> = (0..half * half).map(|_| topo.add_switch(radix)).collect();
     let mut aggs = Vec::with_capacity(k * half);
     let mut edges = Vec::with_capacity(k * half);
+    let mut pods: Vec<Vec<SwitchId>> = Vec::with_capacity(k);
     for _pod in 0..k {
         let pod_aggs: Vec<SwitchId> = (0..half).map(|_| topo.add_switch(radix)).collect();
         let pod_edges: Vec<SwitchId> = (0..half).map(|_| topo.add_switch(radix)).collect();
@@ -134,6 +135,9 @@ pub fn fat_tree(k: usize, hosts_per_edge: usize, ports: Option<u8>) -> Generated
                 topo.add_host_auto(e).expect("fat-tree host wiring");
             }
         }
+        let mut pod_members = pod_aggs.clone();
+        pod_members.extend_from_slice(&pod_edges);
+        pods.push(pod_members);
         aggs.extend(pod_aggs);
         edges.extend(pod_edges);
     }
@@ -141,6 +145,9 @@ pub fn fat_tree(k: usize, hosts_per_edge: usize, ports: Option<u8>) -> Generated
     groups.insert("core".to_owned(), cores);
     groups.insert("agg".to_owned(), aggs);
     groups.insert("edge".to_owned(), edges);
+    for (pod, members) in pods.into_iter().enumerate() {
+        groups.insert(format!("pod{pod}"), members);
+    }
     Generated {
         topology: topo,
         groups,

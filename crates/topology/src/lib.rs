@@ -17,6 +17,8 @@
 //! * [`pathgraph`] — the paper's Algorithm 1: primary path, `s`-step
 //!   ε-good local detours, and a backup path computed with inflated
 //!   primary-link costs.
+//! * [`partition`] — cell assignment (pod-aware for fat-trees, balanced
+//!   BFS for arbitrary graphs) for the sharded simulation engine.
 //! * [`route`] — switch-level routes and their conversion to port-tag
 //!   [`Path`](dumbnet_types::Path)s.
 //! * [`views`] — filtered per-tenant topology views for the network
@@ -28,6 +30,7 @@
 pub mod generators;
 pub mod graph;
 pub mod ksp;
+pub mod partition;
 pub mod pathcache;
 pub mod pathgraph;
 pub mod route;
@@ -36,6 +39,7 @@ pub mod views;
 
 pub use graph::{Attachment, HostInfo, Link, SwitchInfo, Topology};
 pub use ksp::k_shortest_routes;
+pub use partition::{assign_cells, CellAssignment};
 pub use pathcache::{RouteCache, RouteCacheStats};
 pub use pathgraph::{PathGraph, PathGraphParams};
 pub use route::Route;
