@@ -17,21 +17,30 @@
 //! ring, so a red run carries its own forensics instead of a bare exit
 //! code.
 //!
-//! Usage: `chaos_soak [--seeds N] [--shards N]` (defaults 8 and 1).
-//! With `--shards N > 1` the same matrix runs on the sharded
-//! multi-core PDES engine; every invariant and every counter is
+//! Usage: `chaos_soak [--seeds N] [--shards N] [--hybrid]` (defaults
+//! 8, 1, off). With `--shards N > 1` the same matrix runs on the
+//! sharded multi-core PDES engine; every invariant and every counter is
 //! byte-identical to the single-world run by the engine's determinism
 //! contract, so a sharded soak row exercises the cross-shard window
-//! machinery under crash, partition, and gray faults.
+//! machinery under crash, partition, and gray faults. With `--hybrid`
+//! the matrix runs on the hybrid flow/packet engine instead: two
+//! flow-plane elephants cross spine trunks for the whole soak,
+//! controller quarantine is mirrored into the flow plane at every
+//! settle checkpoint, and each row additionally asserts that boundary
+//! cap events reached the flow plane and that no elephant is left
+//! starved after the faults heal.
 
 use dumbnet_controller::{Controller, ControllerConfig, GrayFaultConfig};
 use dumbnet_core::{check_gray_invariants, check_invariants, Fabric, FabricConfig};
 use dumbnet_host::agent::AppAction;
 use dumbnet_host::{GrayDetectConfig, HostAgent, HostAgentConfig};
-use dumbnet_sim::{ChaosPlan, CrashSchedule, Engine, FaultProfile, NodeAddr, PartitionSchedule};
+use dumbnet_sim::{
+    ChaosPlan, CrashSchedule, Engine, FaultProfile, FlowId, HybridWorld, NodeAddr,
+    PartitionSchedule,
+};
 use dumbnet_switch::DumbSwitchConfig;
-use dumbnet_topology::generators;
-use dumbnet_types::{HostId, MacAddr, SimDuration, SimTime};
+use dumbnet_topology::{generators, Route};
+use dumbnet_types::{HostId, MacAddr, SimDuration, SimTime, SwitchId};
 
 const CONTROLLERS: [u64; 3] = [0, 13, 25];
 
@@ -102,6 +111,100 @@ fn soak_controller(id: HostId, mut ccfg: ControllerConfig) -> Controller {
     Controller::new(id, ccfg)
 }
 
+/// Engine-specific soak extensions. The default hooks do nothing; the
+/// hybrid rows use them to run a flow plane alongside the packet soak.
+trait PlaneHooks<W: Engine> {
+    /// Called once after the fabric is built, before the chaos plan.
+    fn start(&mut self, _fabric: &mut Fabric<W>) {}
+    /// Called at every settle checkpoint (~100 ms of virtual time).
+    fn tick(&mut self, _fabric: &mut Fabric<W>) {}
+    /// Called after the standard invariant checks pass; returns a
+    /// summary fragment for the per-seed line, or a violation.
+    fn check(&mut self, _fabric: &mut Fabric<W>) -> Result<String, String> {
+        Ok(String::new())
+    }
+}
+
+/// The packet-only rows: no extensions.
+struct PacketOnly;
+impl<W: Engine> PlaneHooks<W> for PacketOnly {}
+
+/// Elephant size for the hybrid rows: large enough that both flows
+/// outlive the soak, so post-heal starvation is observable as a zero
+/// rate rather than a completed flow.
+const ELEPHANT_BYTES: u64 = 10_000_000_000;
+
+/// The hybrid rows' flow plane: one elephant per gray stream pair,
+/// each pinned to a different spine, so flow paths cross the trunks
+/// the chaos schedule (and the gray fault) disturb.
+#[derive(Default)]
+struct HybridPlane {
+    elephants: Vec<FlowId>,
+}
+
+impl PlaneHooks<HybridWorld> for HybridPlane {
+    fn start(&mut self, fabric: &mut Fabric<HybridWorld>) {
+        let spines: Vec<SwitchId> = fabric
+            .topology
+            .switches()
+            .filter(|s| fabric.topology.hosts_on(s.id).next().is_none())
+            .map(|s| s.id)
+            .collect();
+        for (i, &(src, dst)) in GRAY_STREAMS.iter().enumerate() {
+            let (src, dst) = (HostId(src), HostId(dst));
+            let a = fabric
+                .topology
+                .host(src)
+                .expect("elephant src")
+                .attached
+                .switch;
+            let b = fabric
+                .topology
+                .host(dst)
+                .expect("elephant dst")
+                .attached
+                .switch;
+            let spine = spines[i % spines.len()];
+            let route = Route::new(vec![a, spine, b]).expect("leaf-spine-leaf route");
+            let path = fabric
+                .flow_path(src, dst, &route)
+                .expect("route maps onto flow edges");
+            self.elephants
+                .push(fabric.world.start_elephant(path, ELEPHANT_BYTES));
+        }
+    }
+
+    fn tick(&mut self, fabric: &mut Fabric<HybridWorld>) {
+        fabric.sync_quarantine();
+    }
+
+    fn check(&mut self, fabric: &mut Fabric<HybridWorld>) -> Result<String, String> {
+        let stats = fabric.world.hybrid_stats();
+        if stats.cap_events == 0 {
+            return Err(
+                "no boundary cap event reached the flow plane (crash/restart and \
+                 fault windows must all cross the hybrid boundary)"
+                    .to_owned(),
+            );
+        }
+        let mut mbps = Vec::new();
+        for &f in &self.elephants {
+            let bps = fabric.world.elephant_rate(f).bits_per_sec();
+            if bps == 0 {
+                return Err(format!(
+                    "elephant {f:?} starved after heal (rate 0; quarantine or a \
+                     fault scale was never released into the flow plane)"
+                ));
+            }
+            mbps.push(bps / 1_000_000);
+        }
+        Ok(format!(
+            " caps={} q_flips={} eleph_mbps={mbps:?}",
+            stats.cap_events, stats.quarantine_flips
+        ))
+    }
+}
+
 /// Trace events printed with a violation dump.
 const TRACE_TAIL: usize = 32;
 
@@ -133,13 +236,17 @@ fn violation_dump<W: Engine>(
 /// With `gray`, a silent-loss fault overlaps the crash/partition
 /// schedule and the gray invariants are checked mid-fault and
 /// post-heal.
-fn soak_one(seed: u64, gray: bool, shards: u32) -> Result<String, String> {
+fn soak_one(seed: u64, gray: bool, shards: u32, hybrid: bool) -> Result<String, String> {
     let g = generators::testbed();
     let cfg = soak_config(gray);
-    if shards <= 1 {
+    if hybrid {
+        let fabric = Fabric::build_hybrid_full(g.topology, cfg, soak_host(gray), soak_controller)
+            .expect("fabric builds");
+        run_soak(fabric, seed, gray, "hybrid-", HybridPlane::default())
+    } else if shards <= 1 {
         let fabric = Fabric::build_full(g.topology, cfg, soak_host(gray), soak_controller)
             .expect("fabric builds");
-        run_soak(fabric, seed, gray)
+        run_soak(fabric, seed, gray, "", PacketOnly)
     } else {
         let fabric = Fabric::build_sharded_full(
             g.topology,
@@ -150,15 +257,22 @@ fn soak_one(seed: u64, gray: bool, shards: u32) -> Result<String, String> {
             soak_controller,
         )
         .expect("fabric builds");
-        run_soak(fabric, seed, gray)
+        run_soak(fabric, seed, gray, "", PacketOnly)
     }
 }
 
 /// The soak body, generic over the engine: inject the seed-derived
 /// schedule, then check every invariant family.
-fn run_soak<W: Engine>(mut fabric: Fabric<W>, seed: u64, gray: bool) -> Result<String, String> {
-    let mode = if gray { "gray" } else { "base" };
+fn run_soak<W: Engine>(
+    mut fabric: Fabric<W>,
+    seed: u64,
+    gray: bool,
+    plane: &str,
+    mut hooks: impl PlaneHooks<W>,
+) -> Result<String, String> {
+    let mode = format!("{plane}{}", if gray { "gray" } else { "base" });
     let baseline = fabric.telemetry_snapshot();
+    hooks.start(&mut fabric);
 
     // Seed-derived interleaving: one controller crashes and restarts,
     // another (always a different one) is partitioned off and healed.
@@ -251,6 +365,7 @@ fn run_soak<W: Engine>(mut fabric: Fabric<W>, seed: u64, gray: bool) -> Result<S
         // black-holed while a healthy path exists, and quarantine must
         // not be flapping.
         fabric.run_until(at_ms(gray_heal - 10));
+        hooks.tick(&mut fabric);
         let mid = check_gray_invariants(&fabric, 4, false);
         if !mid.ok() {
             let dump = violation_dump(&mut fabric, &baseline);
@@ -262,8 +377,16 @@ fn run_soak<W: Engine>(mut fabric: Fabric<W>, seed: u64, gray: bool) -> Result<S
     }
 
     // Generous settle window after the last disruption: elections,
-    // step-downs and resyncs must all have quiesced.
-    fabric.run_until(at_ms(last + 800));
+    // step-downs and resyncs must all have quiesced. Stepped in 100 ms
+    // checkpoints so engine-specific hooks (the hybrid quarantine
+    // mirror) run periodically rather than once at the end.
+    let settle_end = last + 800;
+    let mut checkpoint = fabric.now().since(SimTime::ZERO).as_millis_f64() as u64;
+    while checkpoint < settle_end {
+        checkpoint = (checkpoint + 100).min(settle_end);
+        fabric.run_until(at_ms(checkpoint));
+        hooks.tick(&mut fabric);
+    }
 
     if gray {
         let after = check_gray_invariants(&fabric, 4, true);
@@ -315,10 +438,17 @@ fn run_soak<W: Engine>(mut fabric: Fabric<W>, seed: u64, gray: bool) -> Result<S
         .fold((0, 0), |(e, s), c| {
             (e + c.stats().elections_started, s + c.stats().step_downs)
         });
+    let extra = match hooks.check(&mut fabric) {
+        Ok(extra) => extra,
+        Err(why) => {
+            let dump = violation_dump(&mut fabric, &baseline);
+            return Err(format!("seed {seed} ({mode}): {why}\n{dump}"));
+        }
+    };
     Ok(format!(
         "seed {seed} ({mode}): crash={crash_victim}@{crash_at}ms(+{restart_after}ms) \
          cut={cut_victim}@{cut_at}ms(+{heal_after}ms) leader={} \
-         elections={elections} step_downs={step_downs} ok",
+         elections={elections} step_downs={step_downs} ok{extra}",
         leaders[0]
     ))
 }
@@ -327,6 +457,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut seeds = 8u64;
     let mut shards = 1u32;
+    let mut hybrid = false;
     while let Some(a) = args.next() {
         let numeric = |args: &mut dyn Iterator<Item = String>, flag: &str| {
             args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -338,12 +469,18 @@ fn main() {
             seeds = numeric(&mut args, "--seeds");
         } else if a == "--shards" {
             shards = numeric(&mut args, "--shards") as u32;
+        } else if a == "--hybrid" {
+            hybrid = true;
         }
+    }
+    if hybrid && shards > 1 {
+        eprintln!("--hybrid runs single-cell; drop --shards");
+        std::process::exit(2);
     }
     let mut failed = false;
     for seed in 0..seeds {
         for gray in [false, true] {
-            match soak_one(seed, gray, shards) {
+            match soak_one(seed, gray, shards, hybrid) {
                 Ok(line) => println!("{line}"),
                 Err(violation) => {
                     eprintln!("FAIL {violation}");
@@ -355,8 +492,12 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
+    let engine = if hybrid {
+        "the hybrid flow/packet engine".to_owned()
+    } else {
+        format!("{shards} shard(s)")
+    };
     println!(
-        "chaos soak passed: {seeds} seeds x {{base, gray}} on {shards} shard(s), \
-         zero invariant violations"
+        "chaos soak passed: {seeds} seeds x {{base, gray}} on {engine}, zero invariant violations"
     );
 }

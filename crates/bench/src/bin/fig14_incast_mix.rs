@@ -1,0 +1,39 @@
+//! Regenerates Figure 14 (incast storms and elephant/mice mixes on the
+//! hybrid flow/packet engine) as a JSON document on stdout.
+//!
+//! ```text
+//! fig14_incast_mix [--quick] [--check-full-solve] [--json FILE]
+//!                  [--expect CHECKSUM]
+//! ```
+//!
+//! With `--expect`, exits non-zero unless the run's checksum matches —
+//! the CI determinism gate. `--check-full-solve` re-derives every
+//! incremental allocation with the O(F·E) reference solver and asserts
+//! bit-identical rates (slow; for debugging the solver, not CI).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check-full-solve");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|ix| args.get(ix + 1))
+            .cloned()
+    };
+    let fig = dumbnet_bench::fig14::sweep(quick, check);
+    println!("{}", fig.to_json());
+    if let Some(path) = flag_value("--json") {
+        std::fs::write(&path, format!("{}\n", fig.to_json()))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+    if let Some(expect) = flag_value("--expect") {
+        let expect: u64 = expect.parse().expect("--expect takes a number");
+        let got = fig.checksum();
+        if got != expect {
+            eprintln!("fig14 checksum mismatch: expected {expect}, got {got}");
+            std::process::exit(1);
+        }
+        eprintln!("fig14 checksum ok ({got})");
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`fig11e`] | Figure 11(e) ext. — gray-failure detection and recovery |
 //! | [`fig12`] | Figure 12 — path-graph size vs. ε |
 //! | [`fig13`] | Figure 13 — HiBench job durations |
+//! | [`fig14`] | Figure 14 ext. — incast + elephant/mice mixes (hybrid engine) |
 //! | [`table1`] | Table 1 — code-size breakdown |
 //! | [`table2`] | Table 2 — kernel-module function latency |
 
@@ -37,6 +38,7 @@ pub mod fig11d;
 pub mod fig11e;
 pub mod fig12;
 pub mod fig13;
+pub mod fig14;
 pub mod perf;
 pub mod report;
 pub mod table1;

@@ -17,17 +17,27 @@
 //!   path-graph construction and path queries on the controller.
 //! * `fig11c_chaos_p05` — the lossy-fabric recovery run: fault-RNG
 //!   draws, retries and failover on top of the data stream.
+//! * `flowsim_incremental` / `flowsim_full_resolve` — the same
+//!   pre-planned churn workload (thousands of active flows on a k=16
+//!   fat-tree with arrivals, completions, reroutes and trunk flaps)
+//!   solved incrementally and with the O(F·E) reference. Allocations
+//!   are bit-identical by the solver's determinism contract; the wall
+//!   ratio is the incremental solver's speedup.
 //!
 //! The `perf_hotpath` binary times the points and emits/merges the JSON.
 
 use std::time::Instant;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 use dumbnet_core::{Fabric, FabricConfig};
 use dumbnet_host::DatapathVariant;
-use dumbnet_sim::{Ctx, Engine, LinkParams, Node, ShardedWorld, World};
+use dumbnet_sim::{Ctx, Engine, FlowId, FlowSim, LinkParams, Node, ShardedWorld, World};
 use dumbnet_switch::{DumbSwitch, DumbSwitchConfig};
-use dumbnet_topology::generators;
-use dumbnet_types::{HostId, MacAddr, Path, PortNo, SimTime, SwitchId};
+use dumbnet_topology::{generators, spath, Route, Topology};
+use dumbnet_types::{Bandwidth, HostId, MacAddr, Path, PortNo, SimTime, SwitchId};
+use dumbnet_workload::FlowMap;
 
 use crate::fig08;
 use crate::fig08c;
@@ -161,6 +171,133 @@ fn forward_storm_mt(packets: u64, shards: usize) -> (Option<u64>, u64, f64) {
     (events, delivered, parallelism)
 }
 
+/// Seed for the flow-solver churn plan's ECMP route draws.
+const CHURN_SEED: u64 = 0xF10C;
+
+/// Pre-planned flow-solver churn workload: host pairs with a primary and
+/// an alternate ECMP path each, plus the trunk whose capacity flaps
+/// mid-run. Planned once and replayed identically under both solver
+/// modes, so any wall-clock difference is the solver's alone.
+struct ChurnPlan {
+    topo: Topology,
+    /// `(primary, alternate)` edge paths per flow slot, in start order.
+    /// Slot `i` is `FlowId(i)` in the replay — flows start in slot order.
+    paths: Vec<(Vec<dumbnet_sim::EdgeId>, Vec<dumbnet_sim::EdgeId>)>,
+    /// Trunk whose capacity flaps during churn.
+    flap: (SwitchId, SwitchId),
+    /// Flows started before the churn loop.
+    initial: usize,
+    /// Churn operations (each followed by a full rate query).
+    ops: usize,
+}
+
+/// Plans the churn workload on a k=16 fat-tree (1024 hosts): `initial`
+/// flows up front plus spare slots for mid-churn arrivals, each slot
+/// with two independently drawn ECMP shortest paths.
+fn churn_plan(initial: usize, ops: usize) -> ChurnPlan {
+    let g = generators::fat_tree(16, 8, None);
+    let topo = g.topology;
+    let mut probe = FlowSim::new();
+    // Edge enumeration is a function of the topology alone, so paths
+    // planned against this probe instance are valid in the replays.
+    let map = FlowMap::build(&mut probe, &topo, Bandwidth::gbps(10), Bandwidth::gbps(10));
+    let mut rng = StdRng::seed_from_u64(CHURN_SEED);
+    let hosts = topo.host_count() as u64;
+    let slots = initial + ops.div_ceil(4) + 1;
+    let mut paths = Vec::with_capacity(slots);
+    for i in 0..slots as u64 {
+        let src = HostId(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % hosts);
+        let mut dst = HostId(i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1) % hosts);
+        if dst == src {
+            dst = HostId((dst.0 + 1) % hosts);
+        }
+        let a = topo.host(src).expect("src host").attached.switch;
+        let b = topo.host(dst).expect("dst host").attached.switch;
+        let mut route = || {
+            if a == b {
+                Route::new(vec![a]).expect("trivial route")
+            } else {
+                spath::shortest_route(&topo, a, b, &mut rng).expect("fat-tree is connected")
+            }
+        };
+        let (r1, r2) = (route(), route());
+        let p1 = map.path(src, dst, &r1).expect("primary path");
+        let p2 = map.path(src, dst, &r2).expect("alternate path");
+        paths.push((p1, p2));
+    }
+    let flap = map
+        .edge_map()
+        .trunks()
+        .next()
+        .expect("fat-tree has trunks")
+        .0;
+    ChurnPlan {
+        topo,
+        paths,
+        flap,
+        initial,
+        ops,
+    }
+}
+
+/// Replays the churn plan under one solver mode. Every operation is
+/// followed by an aggregate rate query (the solve trigger). Returns the
+/// solve count as `events` and a checksum folding every queried
+/// aggregate rate plus the completion count — bit-identical rates make
+/// it identical across modes.
+fn flowsim_churn(plan: &ChurnPlan, force_full: bool) -> (Option<u64>, u64) {
+    let mut fs = FlowSim::new();
+    let map = FlowMap::build(
+        &mut fs,
+        &plan.topo,
+        Bandwidth::gbps(10),
+        Bandwidth::gbps(10),
+    );
+    fs.set_force_full_solve(force_full);
+    let bytes = |slot: usize| 20_000_000 + (slot as u64).wrapping_mul(9_973) % 80_000_000;
+    let mut ids: Vec<FlowId> = Vec::new();
+    for slot in 0..plan.initial {
+        ids.push(fs.start_flow(plan.paths[slot].0.clone(), bytes(slot)));
+    }
+    let mut next_slot = plan.initial;
+    let mut checksum: u64 = 0;
+    for op in 0..plan.ops {
+        match op % 4 {
+            0 => {
+                if let Some(t) = fs.next_completion_time() {
+                    fs.advance_to(t);
+                }
+            }
+            1 => {
+                ids.push(fs.start_flow(plan.paths[next_slot].0.clone(), bytes(next_slot)));
+                next_slot += 1;
+            }
+            2 => {
+                let slot = op.wrapping_mul(7_919) % ids.len();
+                let path = if op % 8 == 2 {
+                    &plan.paths[slot].1
+                } else {
+                    &plan.paths[slot].0
+                };
+                fs.reroute(ids[slot], path.clone());
+            }
+            _ => {
+                if op % 8 == 3 {
+                    map.fail_link(&mut fs, plan.flap.0, plan.flap.1);
+                } else {
+                    map.restore_link(&mut fs, plan.flap.0, plan.flap.1, Bandwidth::gbps(10));
+                }
+            }
+        }
+        checksum = checksum.wrapping_add(fs.aggregate_rate(&ids).bits_per_sec());
+    }
+    let finished = ids.iter().filter(|&&f| fs.finished_at(f).is_some()).count() as u64;
+    (
+        Some(fs.solver_stats().solves),
+        checksum ^ finished.rotate_left(32),
+    )
+}
+
 /// Runs every hot-path scenario. `quick` trims the discovery point to
 /// fat-tree k=8 and shrinks the storm so CI can smoke-run it.
 #[must_use]
@@ -223,6 +360,27 @@ pub fn run(quick: bool) -> Vec<PerfPoint> {
         let pt = fig11c::chaos_recovery_point(0.05);
         (None, pt.drops_loss)
     }));
+
+    // Incremental max-min vs the O(F·E) reference solver on one shared
+    // churn plan. Full scale is the acceptance scenario (10k active
+    // flows); quick shrinks the flow count so CI can smoke-run the
+    // reference mode, which pays the full-resolve cost per query.
+    let (churn_flows, churn_ops) = if quick { (2_000, 60) } else { (10_000, 100) };
+    let plan = churn_plan(churn_flows, churn_ops);
+    points.push(time("flowsim_incremental", || flowsim_churn(&plan, false)));
+    points.push(time("flowsim_full_resolve", || flowsim_churn(&plan, true)));
+    {
+        let inc = &points[points.len() - 2];
+        let full = &points[points.len() - 1];
+        assert_eq!(
+            inc.checksum, full.checksum,
+            "incremental and full-resolve allocations diverged"
+        );
+        assert_eq!(
+            inc.events, full.events,
+            "incremental and full-resolve solve counts diverged"
+        );
+    }
 
     points
 }
@@ -445,6 +603,16 @@ mod tests {
             get("fig11c_chaos_p05").checksum,
             7_168,
             "chaos drop count changed"
+        );
+        let inc = get("flowsim_incremental");
+        assert_eq!(
+            inc.checksum,
+            get("flowsim_full_resolve").checksum,
+            "solver modes diverged"
+        );
+        assert_eq!(
+            inc.checksum, 350_028_950_212_709,
+            "flow-solver churn checksum changed"
         );
     }
 

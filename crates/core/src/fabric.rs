@@ -1,14 +1,14 @@
 //! Building and driving emulated DumbNet fabrics.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use dumbnet_controller::{Controller, ControllerConfig};
 use dumbnet_host::{HostAgent, HostAgentConfig};
-use dumbnet_sim::{Engine, LinkParams, NodeAddr, ShardedWorld, WireId, World};
+use dumbnet_sim::{EdgeId, Engine, HybridWorld, LinkParams, NodeAddr, ShardedWorld, WireId, World};
 use dumbnet_switch::{DumbSwitch, DumbSwitchConfig};
 use dumbnet_telemetry::TraceEvent;
 use dumbnet_topology::partition::{assign_cells, CellAssignment};
-use dumbnet_topology::Topology;
+use dumbnet_topology::{EdgeKind, EdgeMap, Route, Topology};
 use dumbnet_types::{DumbNetError, HostId, MacAddr, PortNo, Result, SimTime, SwitchId};
 
 /// The host agent's NIC port inside the engine.
@@ -66,6 +66,8 @@ pub struct Fabric<W: Engine = World> {
     switch_addr: Vec<NodeAddr>,
     host_addr: Vec<NodeAddr>,
     controllers: HashSet<HostId>,
+    /// The shared wire↔edge mapping; populated on hybrid fabrics only.
+    edge_map: Option<EdgeMap>,
 }
 
 impl Fabric<World> {
@@ -198,6 +200,138 @@ impl Fabric<ShardedWorld> {
     }
 }
 
+impl Fabric<HybridWorld> {
+    /// Builds a fabric on the hybrid flow/packet engine: the packet
+    /// plane is assembled exactly as [`Fabric::build`] would, then every
+    /// directed edge of the shared wire↔edge mapping is bound to its
+    /// wire direction so elephants can run flow-level over the same
+    /// fabric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wiring failures.
+    pub fn build_hybrid(topology: Topology, config: FabricConfig) -> Result<Fabric<HybridWorld>> {
+        Fabric::build_hybrid_with(topology, config, HostAgent::new)
+    }
+
+    /// [`Fabric::build_hybrid`] with a custom host-agent constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wiring failures.
+    pub fn build_hybrid_with<F>(
+        topology: Topology,
+        config: FabricConfig,
+        mk_host: F,
+    ) -> Result<Fabric<HybridWorld>>
+    where
+        F: FnMut(HostId, HostAgentConfig) -> HostAgent,
+    {
+        Fabric::build_hybrid_full(topology, config, mk_host, Controller::new)
+    }
+
+    /// [`Fabric::build_hybrid`] with full control over both host agents
+    /// and controllers — the hybrid counterpart of
+    /// [`Fabric::build_full`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates wiring failures.
+    pub fn build_hybrid_full<F, G>(
+        topology: Topology,
+        config: FabricConfig,
+        mk_host: F,
+        mk_controller: G,
+    ) -> Result<Fabric<HybridWorld>>
+    where
+        F: FnMut(HostId, HostAgentConfig) -> HostAgent,
+        G: FnMut(HostId, ControllerConfig) -> Controller,
+    {
+        let world = HybridWorld::new(config.seed);
+        let mut fabric = Fabric::assemble(world, topology, config, mk_host, mk_controller, None)?;
+        fabric.bind_flow_edges();
+        Ok(fabric)
+    }
+
+    /// Binds every edge of the canonical enumeration to the wire
+    /// direction it models. Must run after `assemble` (the wires exist)
+    /// and before any flows start (edge ids are dense from zero).
+    fn bind_flow_edges(&mut self) {
+        let map = EdgeMap::build(&self.topology);
+        for (ix, kind) in map.edges() {
+            let (wire, dir) = match kind {
+                EdgeKind::Trunk { from, to } => {
+                    let wire = self
+                        .trunk_wire(from, to)
+                        .expect("enumerated trunk has a wire");
+                    // Trunk wires are created with `link.a` as the
+                    // a-side; dir 0 is a→b.
+                    let ((a_addr, _), _) = self.world.wire_endpoints(wire);
+                    let dir = usize::from(a_addr != self.switch_addr[from.get() as usize]);
+                    (wire, dir)
+                }
+                // Access wires are created host-side first, so dir 0 is
+                // host → switch (the uplink).
+                EdgeKind::HostUp(h) => {
+                    (self.access_wire(h).expect("enumerated host has a wire"), 0)
+                }
+                EdgeKind::HostDown(h) => {
+                    (self.access_wire(h).expect("enumerated host has a wire"), 1)
+                }
+            };
+            let nominal = self.world.wire_params(wire).bandwidth;
+            let id = self.world.bind_edge(Some(wire), dir, nominal);
+            assert_eq!(id.0, ix.0, "flow edges must mirror the enumeration");
+        }
+        self.edge_map = Some(map);
+    }
+
+    /// The shared wire↔edge mapping this fabric was bound with.
+    ///
+    /// # Panics
+    ///
+    /// Never — hybrid fabrics always carry a map.
+    #[must_use]
+    pub fn edge_map(&self) -> &EdgeMap {
+        self.edge_map
+            .as_ref()
+            .expect("hybrid fabrics always carry an edge map")
+    }
+
+    /// The flow-plane edge path a `src` → `dst` flow takes along
+    /// `route`, ready to hand to
+    /// [`HybridWorld::start_elephant`](dumbnet_sim::HybridWorld::start_elephant).
+    #[must_use]
+    pub fn flow_path(&self, src: HostId, dst: HostId, route: &Route) -> Option<Vec<EdgeId>> {
+        let path = self.edge_map().route_path(src, dst, route)?;
+        Some(path.into_iter().map(|ix| EdgeId(ix.0)).collect())
+    }
+
+    /// Mirrors the union of all live controllers' quarantine sets into
+    /// the flow plane (each quarantined switch pair covers both directed
+    /// trunk edges). Idempotent; call after running the world far enough
+    /// for gray-failure detection to act, or periodically from a soak
+    /// loop.
+    pub fn sync_quarantine(&mut self) {
+        let mut ids: Vec<HostId> = self.controllers.iter().copied().collect();
+        ids.sort_unstable();
+        let mut quarantined = BTreeSet::new();
+        for id in ids {
+            let Some(ctrl) = self.controller(id) else {
+                continue;
+            };
+            for (a, b) in ctrl.quarantined_edges() {
+                for (from, to) in [(a, b), (b, a)] {
+                    if let Some(ix) = self.edge_map().trunk(from, to) {
+                        quarantined.insert(EdgeId(ix.0));
+                    }
+                }
+            }
+        }
+        self.world.set_quarantined(&quarantined);
+    }
+}
+
 impl<W: Engine> Fabric<W> {
     /// Places and wires every node of `topology` into `world`.
     ///
@@ -265,6 +399,7 @@ impl<W: Engine> Fabric<W> {
             switch_addr,
             host_addr,
             controllers,
+            edge_map: None,
         })
     }
 
@@ -607,6 +742,53 @@ mod tests {
             .unwrap();
             assert_eq!(digest(&mut sharded), want, "{cells}-cell fabric diverged");
         }
+    }
+
+    #[test]
+    fn hybrid_fabric_binds_every_edge() {
+        let g = generators::testbed();
+        let fabric = Fabric::build_hybrid(g.topology, FabricConfig::default()).unwrap();
+        let map = fabric.edge_map();
+        assert!(!map.is_empty());
+        assert_eq!(fabric.world.flow_edge_count(), map.len());
+        // Full DumbNet stack still boots on the hybrid engine.
+        assert!(fabric.controller(HostId(0)).is_some());
+    }
+
+    #[test]
+    fn hybrid_elephant_tracks_fabric_faults() {
+        let g = generators::testbed();
+        let spine = g.group("spine")[0];
+        let mut fabric = Fabric::build_hybrid(g.topology, FabricConfig::default()).unwrap();
+        let src = fabric.topology.hosts().next().unwrap().id;
+        let dst = fabric.topology.hosts().last().unwrap().id;
+        let leaf_a = fabric.topology.host(src).unwrap().attached.switch;
+        let leaf_b = fabric.topology.host(dst).unwrap().attached.switch;
+        let route = Route::new(vec![leaf_a, spine, leaf_b]).unwrap();
+        let path = fabric.flow_path(src, dst, &route).unwrap();
+        assert_eq!(path.len(), 4);
+        let flow = fabric.world.start_elephant(path, u64::MAX / 16);
+        assert_eq!(
+            fabric.world.elephant_rate(flow).bits_per_sec(),
+            10_000_000_000
+        );
+        // A packet-plane link failure on the elephant's spine hop must
+        // starve the flow plane; recovery must restore it.
+        fabric.schedule_link_failure(t(10), leaf_a, spine).unwrap();
+        fabric.run_until(t(20));
+        assert_eq!(fabric.world.elephant_rate(flow).bits_per_sec(), 0);
+        fabric.schedule_link_recovery(t(30), leaf_a, spine).unwrap();
+        fabric.run_until(t(40));
+        assert_eq!(
+            fabric.world.elephant_rate(flow).bits_per_sec(),
+            10_000_000_000
+        );
+        // No controllers have quarantined anything; syncing is a no-op.
+        fabric.sync_quarantine();
+        assert_eq!(
+            fabric.world.elephant_rate(flow).bits_per_sec(),
+            10_000_000_000
+        );
     }
 
     #[test]

@@ -609,6 +609,11 @@ pub struct Core {
     fault_seed: u64,
     /// Fault streams, one pair (a→b, b→a) per wire.
     fault_rngs: Vec<[StdRng; 2]>,
+    /// Externally asserted congestion per (wire, direction): while set,
+    /// every packet entering that direction is ECN-marked regardless of
+    /// queue depth. The hybrid engine drives this from flow-plane edge
+    /// utilization so packet-plane endpoints see elephant congestion.
+    ext_congestion: Vec<[bool; 2]>,
     /// Cell (shard) assignment per node; all zeros standalone.
     cells: Vec<u32>,
     /// Which cell this world instance executes (0 standalone).
@@ -684,6 +689,7 @@ impl World {
                 ext_seq: 0,
                 fault_seed: seed ^ FAULT_SEED_SALT,
                 fault_rngs: Vec::new(),
+                ext_congestion: Vec::new(),
                 cells: Vec::new(),
                 my_cell,
                 sharded,
@@ -800,9 +806,24 @@ impl World {
             .push(Self::wire_fault_rngs(fault_seed, id));
         let counters = LinkCounters::registered(&self.core.telemetry, id);
         self.core.link_stats.push(counters);
+        self.core.ext_congestion.push([false, false]);
         self.wiring.map_port(a, pa, id);
         self.wiring.map_port(b, pb, id);
         Ok(id)
+    }
+
+    /// Externally asserts or clears congestion on one direction of a
+    /// wire (direction 0 is a→b, 1 is b→a). While asserted, every
+    /// packet entering that direction is ECN-marked regardless of queue
+    /// depth — the hybrid engine's handle for making flow-plane
+    /// (elephant) congestion visible to packet-plane endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range wire ID or direction.
+    pub fn set_external_congestion(&mut self, wire: WireId, dir: usize, congested: bool) {
+        assert!(dir < 2, "wire direction must be 0 (a→b) or 1 (b→a)");
+        self.core.ext_congestion[wire.0][dir] = congested;
     }
 
     /// The fault-stream pair for one wire: direction 0 (a→b) and 1.
@@ -1387,12 +1408,14 @@ impl Core {
             self.link_stats[wid.0].drops_queue.inc();
             return;
         }
-        if let Some(threshold) = wire.params.ecn_threshold {
-            if queue_delay > threshold {
-                pkt.ecn = true;
-                self.stats.ecn_marked.inc();
-                self.link_stats[wid.0].ecn_marked.inc();
-            }
+        let queue_congested = wire
+            .params
+            .ecn_threshold
+            .is_some_and(|threshold| queue_delay > threshold);
+        if queue_congested || self.ext_congestion[wid.0][dir] {
+            pkt.ecn = true;
+            self.stats.ecn_marked.inc();
+            self.link_stats[wid.0].ecn_marked.inc();
         }
         let ser = wire.params.bandwidth.serialization_delay(pkt.wire_len());
         let departed = depart_start + ser;

@@ -1,4 +1,4 @@
-//! Flow-level network simulation with max-min fair bandwidth sharing.
+//! Flow-level network simulation with incremental max-min fair sharing.
 //!
 //! Packet-level simulation of a multi-minute HiBench job would burn hours
 //! of real time without changing the conclusion, so throughput-oriented
@@ -11,6 +11,35 @@
 //! flows, advance virtual time, observe completions, and may change edge
 //! capacities mid-run (failure injection) or start dependent flows when
 //! earlier ones complete (shuffle stages, flowlet re-routing).
+//!
+//! # Incremental re-solve
+//!
+//! A naive solver re-runs progressive filling over *every* flow on every
+//! arrival, departure, re-route or capacity change — O(F·E) per event,
+//! which dominates wall time once tens of thousands of flows are active.
+//! This implementation instead maintains per-edge active-flow sets and a
+//! dirty-edge set, and on each query re-solves only the **saturation
+//! component** reachable from the dirty edges: the transitive closure of
+//! "shares an edge with" over the flow↔edge incidence graph. Flows in
+//! other components provably keep their previous max-min rates (the
+//! allocation of one component never depends on another), so their stored
+//! values stay exact.
+//!
+//! Within a component the filling itself uses a lazy min-heap keyed on
+//! `(fair-share, edge index)` plus incrementally maintained unfixed
+//! counts, replacing the reference solver's per-round full rescans. The
+//! floating-point operations — bottleneck selection with
+//! lowest-index-wins tie-breaks, freeze order, per-edge capacity
+//! subtraction order — are performed in exactly the reference order, so
+//! the incremental rates are **bit-identical** to a from-scratch solve,
+//! not merely close. [`FlowSim::set_check_full_solve`] turns on a debug
+//! mode that asserts this equivalence after every re-solve, and
+//! [`FlowSim::set_force_full_solve`] pins the solver to the O(F·E)
+//! reference path (the baseline for the `flowsim_incremental` perf
+//! entries).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use dumbnet_types::{Bandwidth, SimDuration, SimTime};
 
@@ -31,9 +60,33 @@ pub struct FlowEvent {
     pub at: SimTime,
 }
 
-#[derive(Debug, Clone)]
+/// Counters describing the solver's work since creation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Rate re-solves performed (incremental or forced-full).
+    pub solves: u64,
+    /// Re-solves that took the O(F·E) reference path (forced mode).
+    pub full_solves: u64,
+    /// Total flows whose rates were recomputed, across all solves.
+    pub flows_resolved: u64,
+    /// Total edge participations in re-solved components.
+    pub edges_resolved: u64,
+    /// Largest single saturation component (in flows) seen so far.
+    pub max_component_flows: u64,
+}
+
+/// Rate an empty-path (unconstrained) flow is assigned: effectively
+/// infinite, so it completes on the next advance.
+const UNCONSTRAINED_BPS: f64 = f64::MAX / 4.0;
+
+#[derive(Debug, Clone, Default)]
 struct Edge {
     capacity_bps: f64,
+    /// Active flows crossing this edge → path multiplicity.
+    members: BTreeMap<u32, u32>,
+    /// Σ rate × multiplicity over members; refreshed when the edge's
+    /// component is re-solved.
+    load_bps: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -45,13 +98,48 @@ struct Flow {
     finished: Option<SimTime>,
 }
 
+/// Reusable solver scratch space (per-edge/per-flow arrays stamped with
+/// a solve epoch instead of being cleared, so a small component's solve
+/// touches only the component).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Remaining capacity per edge, valid for the current component.
+    rem: Vec<f64>,
+    /// Unfixed path-occurrence count per edge, ditto.
+    count: Vec<u32>,
+    /// BFS visit stamp per edge.
+    edge_seen: Vec<u64>,
+    /// BFS visit stamp per flow.
+    flow_seen: Vec<u64>,
+    /// "Rate frozen in this solve" stamp per flow.
+    flow_fixed: Vec<u64>,
+    /// Per-round "already queued for re-push" stamp per edge.
+    edge_touched: Vec<u64>,
+    /// Current solve epoch (bumped per solve).
+    epoch: u64,
+    /// Current round epoch (bumped per filling round).
+    round: u64,
+    /// Lazy bottleneck heap: `(fair-share bits, edge index)`, min-first.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
 /// The flow-level simulator.
 #[derive(Debug, Default)]
 pub struct FlowSim {
     edges: Vec<Edge>,
     flows: Vec<Flow>,
+    /// Unfinished flows, ascending.
+    active: BTreeSet<u32>,
+    /// Edges whose constraint set changed since the last solve.
+    dirty: BTreeSet<u32>,
+    /// Edges whose load was recomputed since the last
+    /// [`FlowSim::take_changed_edges`] drain.
+    changed: BTreeSet<u32>,
     now: SimTime,
-    rates_valid: bool,
+    force_full: bool,
+    check_full: bool,
+    stats: SolverStats,
+    scratch: Scratch,
 }
 
 impl FlowSim {
@@ -66,8 +154,16 @@ impl FlowSim {
         let id = EdgeId(self.edges.len());
         self.edges.push(Edge {
             capacity_bps: capacity.bits_per_sec() as f64,
+            members: BTreeMap::new(),
+            load_bps: 0.0,
         });
         id
+    }
+
+    /// Number of edges created so far.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
     }
 
     /// Changes an edge's capacity (e.g. a failed link drops to zero).
@@ -79,7 +175,39 @@ impl FlowSim {
     /// so an out-of-range ID is a caller bug.
     pub fn set_capacity(&mut self, edge: EdgeId, capacity: Bandwidth) {
         self.edges[edge.0].capacity_bps = capacity.bits_per_sec() as f64;
-        self.rates_valid = false;
+        self.dirty.insert(edge.0 as u32);
+    }
+
+    /// An edge's configured capacity in bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown edge.
+    #[must_use]
+    pub fn edge_capacity_bps(&self, edge: EdgeId) -> f64 {
+        self.edges[edge.0].capacity_bps
+    }
+
+    /// Pins the solver to the O(F·E) from-scratch reference path. Used
+    /// as the perf baseline; rates are identical either way.
+    pub fn set_force_full_solve(&mut self, on: bool) {
+        self.force_full = on;
+        // Conservatively invalidate everything on a mode switch.
+        for e in 0..self.edges.len() {
+            self.dirty.insert(e as u32);
+        }
+    }
+
+    /// Debug mode: after every incremental re-solve, recompute all rates
+    /// with the reference solver and assert bit-identical results.
+    pub fn set_check_full_solve(&mut self, on: bool) {
+        self.check_full = on;
+    }
+
+    /// Counters describing the solver's work so far.
+    #[must_use]
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats
     }
 
     /// Current virtual time.
@@ -93,27 +221,52 @@ impl FlowSim {
     /// An empty path means both endpoints share an uncontended segment;
     /// such flows complete instantly on the next advance.
     pub fn start_flow(&mut self, path: Vec<EdgeId>, bytes: u64) -> FlowId {
-        let id = FlowId(self.flows.len());
+        let ix = self.flows.len() as u32;
+        let rate = if path.is_empty() {
+            UNCONSTRAINED_BPS
+        } else {
+            0.0
+        };
+        for e in &path {
+            *self.edges[e.0].members.entry(ix).or_insert(0) += 1;
+            self.dirty.insert(e.0 as u32);
+        }
         self.flows.push(Flow {
             path,
             remaining_bits: bytes as f64 * 8.0,
-            rate_bps: 0.0,
+            rate_bps: rate,
             started: self.now,
             finished: None,
         });
-        self.rates_valid = false;
-        id
+        self.active.insert(ix);
+        FlowId(ix as usize)
     }
 
     /// Re-routes an active flow onto a new path (flowlet switching /
     /// failover). No-op for finished flows.
     pub fn reroute(&mut self, flow: FlowId, path: Vec<EdgeId>) {
-        if let Some(f) = self.flows.get_mut(flow.0) {
-            if f.finished.is_none() {
-                f.path = path;
-                self.rates_valid = false;
-            }
+        let ix = flow.0 as u32;
+        let Some(f) = self.flows.get(flow.0) else {
+            return;
+        };
+        if f.finished.is_some() {
+            return;
         }
+        let old = std::mem::take(&mut self.flows[flow.0].path);
+        for e in &old {
+            self.edges[e.0].members.remove(&ix);
+            self.dirty.insert(e.0 as u32);
+        }
+        for e in &path {
+            *self.edges[e.0].members.entry(ix).or_insert(0) += 1;
+            self.dirty.insert(e.0 as u32);
+        }
+        self.flows[flow.0].rate_bps = if path.is_empty() {
+            UNCONSTRAINED_BPS
+        } else {
+            0.0
+        };
+        self.flows[flow.0].path = path;
     }
 
     /// The flow's current max-min rate.
@@ -144,7 +297,83 @@ impl FlowSim {
     /// Number of unfinished flows.
     #[must_use]
     pub fn active_flows(&self) -> usize {
-        self.flows.iter().filter(|f| f.finished.is_none()).count()
+        self.active.len()
+    }
+
+    /// Total offered load currently allocated across `edge`
+    /// (Σ rate × path multiplicity over the flows crossing it), in bits
+    /// per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown edge.
+    pub fn edge_load_bps(&mut self, edge: EdgeId) -> f64 {
+        self.ensure_rates();
+        self.edges[edge.0].load_bps
+    }
+
+    /// Fraction of `edge`'s capacity currently allocated (0 when the
+    /// capacity is zero: a dead link carries nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown edge.
+    pub fn edge_utilization(&mut self, edge: EdgeId) -> f64 {
+        self.ensure_rates();
+        let e = &self.edges[edge.0];
+        if e.capacity_bps > 0.0 {
+            e.load_bps / e.capacity_bps
+        } else {
+            0.0
+        }
+    }
+
+    /// Drains the set of edges whose allocated load changed since the
+    /// last drain (ascending). The hybrid engine uses this to refresh
+    /// only the congestion marks that could have moved.
+    pub fn take_changed_edges(&mut self) -> Vec<EdgeId> {
+        self.ensure_rates();
+        let drained: Vec<EdgeId> = self.changed.iter().map(|&e| EdgeId(e as usize)).collect();
+        self.changed.clear();
+        drained
+    }
+
+    /// The instant the next completion would occur if nothing else
+    /// changes (the same horizon [`FlowSim::advance_to`] steps to),
+    /// or `None` when no active flow is progressing.
+    pub fn next_completion_time(&mut self) -> Option<SimTime> {
+        self.ensure_rates();
+        let next = self.next_completion_secs();
+        if next.is_finite() {
+            Some(
+                self.now
+                    + SimDuration::from_secs_f64(next).saturating_add(SimDuration::from_nanos(1)),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// Seconds until the next completion among active flows (the
+    /// reference fold order: ascending flow index, `f64::min`).
+    fn next_completion_secs(&self) -> f64 {
+        self.active
+            .iter()
+            .filter_map(|&ix| {
+                let f = &self.flows[ix as usize];
+                if f.rate_bps <= 0.0 {
+                    // Starved flow (all paths at zero capacity): never
+                    // completes on its own.
+                    if f.remaining_bits <= 0.0 {
+                        Some(0.0)
+                    } else {
+                        None
+                    }
+                } else {
+                    Some(f.remaining_bits / f.rate_bps)
+                }
+            })
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Advances virtual time to `until`, returning every completion that
@@ -153,25 +382,7 @@ impl FlowSim {
         let mut events = Vec::new();
         while self.now < until {
             self.ensure_rates();
-            // Next completion among active flows.
-            let next = self
-                .flows
-                .iter()
-                .filter(|f| f.finished.is_none())
-                .filter_map(|f| {
-                    if f.rate_bps <= 0.0 {
-                        // Starved flow (all paths at zero capacity):
-                        // never completes on its own.
-                        if f.remaining_bits <= 0.0 {
-                            Some(0.0)
-                        } else {
-                            None
-                        }
-                    } else {
-                        Some(f.remaining_bits / f.rate_bps)
-                    }
-                })
-                .fold(f64::INFINITY, f64::min);
+            let next = self.next_completion_secs();
             let step_end = if next.is_finite() {
                 // Round the completion horizon *up* to a whole nanosecond
                 // so virtual time always advances (sub-ns remainders are
@@ -188,39 +399,55 @@ impl FlowSim {
                 until
             };
             let dt = (step_end - self.now).as_secs_f64();
-            for f in &mut self.flows {
-                if f.finished.is_none() {
+            {
+                let flows = &mut self.flows;
+                for &ix in &self.active {
+                    let f = &mut flows[ix as usize];
                     f.remaining_bits -= f.rate_bps * dt;
                 }
             }
             self.now = step_end;
             // Mark completions: exactly drained, or less than one
             // nanosecond of transmission left (the progress guarantee).
-            let mut completed_any = false;
-            for (ix, f) in self.flows.iter_mut().enumerate() {
-                if f.finished.is_none()
-                    && (f.remaining_bits <= 0.5 || f.remaining_bits <= f.rate_bps * 1e-9)
-                {
-                    f.finished = Some(self.now);
-                    f.remaining_bits = 0.0;
-                    f.rate_bps = 0.0;
-                    completed_any = true;
-                    events.push(FlowEvent {
-                        flow: FlowId(ix),
-                        at: self.now,
-                    });
-                }
+            let done: Vec<u32> = self
+                .active
+                .iter()
+                .copied()
+                .filter(|&ix| {
+                    let f = &self.flows[ix as usize];
+                    f.remaining_bits <= 0.5 || f.remaining_bits <= f.rate_bps * 1e-9
+                })
+                .collect();
+            for &ix in &done {
+                self.finish_flow(ix);
+                events.push(FlowEvent {
+                    flow: FlowId(ix as usize),
+                    at: self.now,
+                });
             }
-            if completed_any {
-                self.rates_valid = false;
-            }
-            if !next.is_finite() && !completed_any {
+            if !next.is_finite() && done.is_empty() {
                 // Nothing will change before `until`.
                 self.now = until;
                 break;
             }
         }
         events
+    }
+
+    /// Retires a completed flow: releases its edge memberships and marks
+    /// the edges dirty so the freed bandwidth is re-shared.
+    fn finish_flow(&mut self, ix: u32) {
+        let f = &mut self.flows[ix as usize];
+        f.finished = Some(self.now);
+        f.remaining_bits = 0.0;
+        f.rate_bps = 0.0;
+        let path = std::mem::take(&mut self.flows[ix as usize].path);
+        for e in &path {
+            self.edges[e.0].members.remove(&ix);
+            self.dirty.insert(e.0 as u32);
+        }
+        self.flows[ix as usize].path = path;
+        self.active.remove(&ix);
     }
 
     /// Runs until every flow completes or stalls (zero rate). Returns all
@@ -234,9 +461,10 @@ impl FlowSim {
         loop {
             self.ensure_rates();
             let next = self
-                .flows
+                .active
                 .iter()
-                .filter(|f| f.finished.is_none() && f.rate_bps > 0.0)
+                .map(|&ix| &self.flows[ix as usize])
+                .filter(|f| f.rate_bps > 0.0)
                 .map(|f| f.remaining_bits / f.rate_bps)
                 .fold(f64::INFINITY, f64::min);
             if !next.is_finite() {
@@ -265,13 +493,192 @@ impl FlowSim {
         Bandwidth::bps(sum as u64)
     }
 
-    /// Recomputes max-min fair rates by progressive filling.
+    /// Brings every stored rate up to date, re-solving only the
+    /// saturation components reachable from dirty edges.
     fn ensure_rates(&mut self) {
-        if self.rates_valid {
+        if self.dirty.is_empty() {
             return;
         }
+        self.stats.solves += 1;
+        if self.force_full {
+            self.stats.full_solves += 1;
+            self.stats.flows_resolved += self.active.len() as u64;
+            self.stats.edges_resolved += self.edges.len() as u64;
+            let rates = self.solve_full_rates();
+            for &ix in &self.active {
+                self.flows[ix as usize].rate_bps = rates[ix as usize];
+            }
+            for e in 0..self.edges.len() {
+                self.refresh_edge_load(e);
+                self.changed.insert(e as u32);
+            }
+            self.dirty.clear();
+            return;
+        }
+        self.solve_incremental();
+        if self.check_full {
+            self.stats.full_solves += 1;
+            self.assert_matches_reference();
+        }
+    }
+
+    /// The incremental path: component discovery from the dirty edges,
+    /// then heap-driven progressive filling restricted to the component.
+    /// Performs the reference solver's floating-point operations in the
+    /// reference order, so results are bit-identical to a full solve.
+    fn solve_incremental(&mut self) {
         let n_edges = self.edges.len();
-        // Active flows and their paths.
+        let n_flows = self.flows.len();
+        let sc = &mut self.scratch;
+        sc.rem.resize(n_edges, 0.0);
+        sc.count.resize(n_edges, 0);
+        sc.edge_seen.resize(n_edges, 0);
+        sc.edge_touched.resize(n_edges, 0);
+        sc.flow_seen.resize(n_flows, 0);
+        sc.flow_fixed.resize(n_flows, 0);
+        sc.epoch += 1;
+        let epoch = sc.epoch;
+
+        // --- Component discovery: BFS over flow↔edge incidence from the
+        // dirty edges. Only flows transitively sharing an edge with a
+        // dirty edge can see their max-min rate change.
+        let mut comp_edges: Vec<u32> = Vec::new();
+        let mut comp_flows: Vec<u32> = Vec::new();
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for &e in &self.dirty {
+            if self.edges[e as usize].members.is_empty() {
+                // No active flows cross it: its load is zero and nothing
+                // else depends on it.
+                if self.edges[e as usize].load_bps != 0.0 {
+                    self.edges[e as usize].load_bps = 0.0;
+                }
+                self.changed.insert(e);
+            } else if sc.edge_seen[e as usize] != epoch {
+                sc.edge_seen[e as usize] = epoch;
+                comp_edges.push(e);
+                queue.push_back(e);
+            }
+        }
+        self.dirty.clear();
+        while let Some(e) = queue.pop_front() {
+            for &fx in self.edges[e as usize].members.keys() {
+                if sc.flow_seen[fx as usize] == epoch {
+                    continue;
+                }
+                sc.flow_seen[fx as usize] = epoch;
+                comp_flows.push(fx);
+                for pe in &self.flows[fx as usize].path {
+                    let pe = pe.0 as u32;
+                    if sc.edge_seen[pe as usize] != epoch {
+                        sc.edge_seen[pe as usize] = epoch;
+                        comp_edges.push(pe);
+                        queue.push_back(pe);
+                    }
+                }
+            }
+        }
+        self.stats.flows_resolved += comp_flows.len() as u64;
+        self.stats.edges_resolved += comp_edges.len() as u64;
+        self.stats.max_component_flows =
+            self.stats.max_component_flows.max(comp_flows.len() as u64);
+
+        // --- Fresh waterfilling state for the component (identical to
+        // the reference solver's initial state restricted to it).
+        for &e in &comp_edges {
+            sc.rem[e as usize] = self.edges[e as usize].capacity_bps;
+            sc.count[e as usize] = 0;
+        }
+        for &fx in &comp_flows {
+            for pe in &self.flows[fx as usize].path {
+                sc.count[pe.0] += 1;
+            }
+        }
+        sc.heap.clear();
+        for &e in &comp_edges {
+            let count = sc.count[e as usize];
+            if count > 0 {
+                let fair = sc.rem[e as usize].max(0.0) / f64::from(count);
+                sc.heap.push(Reverse((fair.to_bits(), e)));
+            }
+        }
+
+        // --- Progressive filling. Each round pops the bottleneck (the
+        // loaded edge with the minimal fair share, lowest index on
+        // ties — exactly the reference scan's pick), freezes its unfixed
+        // flows in ascending flow order, and charges each frozen flow's
+        // rate along its path in path order. Stale heap entries are
+        // skipped by recomputing the popped edge's current fair share;
+        // every loaded edge always has an entry for its current value,
+        // so the first valid pop is the true minimum.
+        let mut unfixed = comp_flows.len();
+        let mut freeze_buf: Vec<u32> = Vec::new();
+        let mut touched: Vec<u32> = Vec::new();
+        while let Some(Reverse((bits, e))) = sc.heap.pop() {
+            let count = sc.count[e as usize];
+            if count == 0 {
+                continue;
+            }
+            let fair = sc.rem[e as usize].max(0.0) / f64::from(count);
+            if fair.to_bits() != bits {
+                continue; // Stale entry; the current one is still queued.
+            }
+            sc.round += 1;
+            let round = sc.round;
+            freeze_buf.clear();
+            freeze_buf.extend(
+                self.edges[e as usize]
+                    .members
+                    .keys()
+                    .copied()
+                    .filter(|&fx| sc.flow_fixed[fx as usize] != epoch),
+            );
+            touched.clear();
+            for &fx in &freeze_buf {
+                sc.flow_fixed[fx as usize] = epoch;
+                self.flows[fx as usize].rate_bps = fair;
+                unfixed -= 1;
+                for pe in &self.flows[fx as usize].path {
+                    let pe = pe.0;
+                    sc.rem[pe] -= fair;
+                    sc.count[pe] -= 1;
+                    if sc.edge_touched[pe] != round {
+                        sc.edge_touched[pe] = round;
+                        touched.push(pe as u32);
+                    }
+                }
+            }
+            for &pe in &touched {
+                let count = sc.count[pe as usize];
+                if count > 0 {
+                    let fair = sc.rem[pe as usize].max(0.0) / f64::from(count);
+                    sc.heap.push(Reverse((fair.to_bits(), pe)));
+                }
+            }
+        }
+        debug_assert_eq!(unfixed, 0, "progressive filling left unfixed flows");
+
+        for &e in &comp_edges {
+            self.refresh_edge_load(e as usize);
+            self.changed.insert(e);
+        }
+    }
+
+    /// Recomputes an edge's allocated load from its member set
+    /// (ascending flow order — a stable accumulation order).
+    fn refresh_edge_load(&mut self, e: usize) {
+        let mut sum = 0.0;
+        for (&fx, &mult) in &self.edges[e].members {
+            sum += self.flows[fx as usize].rate_bps * f64::from(mult);
+        }
+        self.edges[e].load_bps = sum;
+    }
+
+    /// The O(F·E) reference: from-scratch progressive filling over every
+    /// active flow, exactly as the pre-incremental solver computed it.
+    /// Returns the rate for every flow slot (finished slots stay 0).
+    fn solve_full_rates(&self) -> Vec<f64> {
+        let n_edges = self.edges.len();
+        let mut rates: Vec<f64> = vec![0.0; self.flows.len()];
         let active: Vec<usize> = self
             .flows
             .iter()
@@ -280,15 +687,11 @@ impl FlowSim {
             .map(|(ix, _)| ix)
             .collect();
         let mut fixed: Vec<bool> = vec![false; self.flows.len()];
-        // Start everyone at zero.
-        for &ix in &active {
-            self.flows[ix].rate_bps = 0.0;
-        }
         // Flows with empty paths are unconstrained: give them an
         // effectively infinite rate so they complete immediately.
         for &ix in &active {
             if self.flows[ix].path.is_empty() {
-                self.flows[ix].rate_bps = f64::MAX / 4.0;
+                rates[ix] = UNCONSTRAINED_BPS;
                 fixed[ix] = true;
             }
         }
@@ -320,7 +723,7 @@ impl FlowSim {
             // fair share; charge their rate to all their edges.
             for &ix in &active {
                 if !fixed[ix] && self.flows[ix].path.contains(&EdgeId(bottleneck)) {
-                    self.flows[ix].rate_bps = fair;
+                    rates[ix] = fair;
                     fixed[ix] = true;
                     for e in &self.flows[ix].path {
                         remaining_cap[e.0] -= fair;
@@ -328,7 +731,27 @@ impl FlowSim {
                 }
             }
         }
-        self.rates_valid = true;
+        rates
+    }
+
+    /// Debug gate: every active flow's incremental rate must equal the
+    /// reference solver's, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first divergence (a solver bug by definition).
+    fn assert_matches_reference(&self) {
+        let reference = self.solve_full_rates();
+        for &ix in &self.active {
+            let got = self.flows[ix as usize].rate_bps;
+            let want = reference[ix as usize];
+            assert!(
+                got.to_bits() == want.to_bits(),
+                "incremental solver diverged on flow {ix}: got {got} ({:#x}), reference {want} ({:#x})",
+                got.to_bits(),
+                want.to_bits(),
+            );
+        }
     }
 }
 
@@ -512,5 +935,121 @@ mod tests {
         let f1 = s.start_flow(vec![e1], u64::MAX / 16);
         let f2 = s.start_flow(vec![e2], u64::MAX / 16);
         assert_eq!(s.aggregate_rate(&[f1, f2]).bits_per_sec(), 2_000_000_000);
+    }
+
+    #[test]
+    fn incremental_matches_reference_under_churn() {
+        // Exercise arrivals, departures, re-routes and capacity changes
+        // with the divergence gate armed: any drift from the reference
+        // solver panics inside ensure_rates.
+        let mut s = FlowSim::new();
+        s.set_check_full_solve(true);
+        let edges: Vec<EdgeId> = (0..8)
+            .map(|i| s.add_edge(Bandwidth::mbps(100 + 50 * i)))
+            .collect();
+        let mut flows = Vec::new();
+        for i in 0..24usize {
+            let a = edges[i % 8];
+            let b = edges[(i * 3 + 1) % 8];
+            let f = s.start_flow(vec![a, b], 40_000_000 + (i as u64) * 1_000_000);
+            flows.push(f);
+            let _ = s.flow_rate(f);
+        }
+        s.advance_to(t(0.5));
+        s.set_capacity(edges[2], Bandwidth::mbps(10));
+        let _ = s.flow_rate(flows[2]);
+        s.reroute(flows[5], vec![edges[0], edges[7]]);
+        s.advance_to(t(1.5));
+        s.set_capacity(edges[2], Bandwidth::ZERO);
+        s.advance_to(t(2.0));
+        s.set_capacity(edges[2], Bandwidth::mbps(400));
+        let done = s.run_until_idle();
+        assert_eq!(done.len() + s.active_flows(), 24);
+        assert_eq!(s.active_flows(), 0, "no flow should starve here");
+    }
+
+    #[test]
+    fn forced_full_solve_matches_incremental() {
+        // Same scripted run under both solver modes: identical rates and
+        // identical completion times, bit for bit.
+        let script = |s: &mut FlowSim| {
+            let e1 = s.add_edge(Bandwidth::gbps(1));
+            let e2 = s.add_edge(Bandwidth::mbps(300));
+            let e3 = s.add_edge(Bandwidth::mbps(700));
+            let a = s.start_flow(vec![e1, e2], 30_000_000);
+            let b = s.start_flow(vec![e2, e3], 50_000_000);
+            let c = s.start_flow(vec![e1, e3], 70_000_000);
+            s.advance_to(t(0.3));
+            s.set_capacity(e2, Bandwidth::mbps(150));
+            s.run_until_idle();
+            [a, b, c].map(|f| s.finished_at(f).unwrap())
+        };
+        let mut inc = FlowSim::new();
+        let mut full = FlowSim::new();
+        full.set_force_full_solve(true);
+        assert_eq!(script(&mut inc), script(&mut full));
+        assert_eq!(full.solver_stats().full_solves, full.solver_stats().solves);
+        assert_eq!(inc.solver_stats().full_solves, 0);
+    }
+
+    #[test]
+    fn disjoint_components_solve_independently() {
+        // Two flows on unrelated edges: churn on one must not re-solve
+        // the other (that is the whole point of incrementality).
+        let mut s = FlowSim::new();
+        let e1 = s.add_edge(Bandwidth::gbps(1));
+        let e2 = s.add_edge(Bandwidth::gbps(1));
+        let f1 = s.start_flow(vec![e1], u64::MAX / 16);
+        let f2 = s.start_flow(vec![e2], u64::MAX / 16);
+        let _ = s.flow_rate(f1);
+        let base = s.solver_stats().flows_resolved;
+        // Touch only e2's component.
+        s.set_capacity(e2, Bandwidth::mbps(500));
+        let _ = s.flow_rate(f2);
+        let delta = s.solver_stats().flows_resolved - base;
+        assert_eq!(delta, 1, "only f2's component should re-solve");
+        assert_eq!(s.flow_rate(f1).bits_per_sec(), 1_000_000_000);
+        assert_eq!(s.flow_rate(f2).bits_per_sec(), 500_000_000);
+    }
+
+    #[test]
+    fn edge_load_and_utilization_track_allocations() {
+        let mut s = FlowSim::new();
+        let shared = s.add_edge(Bandwidth::gbps(1));
+        let spur = s.add_edge(Bandwidth::gbps(2));
+        let _f1 = s.start_flow(vec![shared], u64::MAX / 16);
+        let _f2 = s.start_flow(vec![shared, spur], u64::MAX / 16);
+        assert!((s.edge_load_bps(shared) - 1e9).abs() < 1.0);
+        assert!((s.edge_utilization(shared) - 1.0).abs() < 1e-9);
+        assert!((s.edge_utilization(spur) - 0.25).abs() < 1e-9);
+        // Dead edge carries nothing.
+        s.set_capacity(spur, Bandwidth::ZERO);
+        assert_eq!(s.edge_utilization(spur), 0.0);
+    }
+
+    #[test]
+    fn changed_edges_drain_reports_touched_components() {
+        let mut s = FlowSim::new();
+        let e1 = s.add_edge(Bandwidth::gbps(1));
+        let e2 = s.add_edge(Bandwidth::gbps(1));
+        let f1 = s.start_flow(vec![e1], u64::MAX / 16);
+        let _f2 = s.start_flow(vec![e2], u64::MAX / 16);
+        assert_eq!(s.take_changed_edges(), vec![e1, e2]);
+        assert!(s.take_changed_edges().is_empty(), "drain clears the set");
+        s.reroute(f1, vec![e2]);
+        assert_eq!(s.take_changed_edges(), vec![e1, e2]);
+    }
+
+    #[test]
+    fn next_completion_time_matches_advance() {
+        let mut s = FlowSim::new();
+        let e = s.add_edge(Bandwidth::gbps(1));
+        let f = s.start_flow(vec![e], 125_000_000); // 1 s of work.
+        let horizon = s.next_completion_time().unwrap();
+        let events = s.advance_to(horizon);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].flow, f);
+        assert_eq!(events[0].at, horizon);
+        assert!(s.next_completion_time().is_none());
     }
 }

@@ -1,0 +1,700 @@
+//! The hybrid flow/packet engine: one fabric, two coupled planes.
+//!
+//! [`HybridWorld`] wraps a packet-level [`World`] and a flow-level
+//! [`FlowSim`] over the *same* fabric: every directed flow edge is bound
+//! to (one direction of) a packet-plane wire through the shared
+//! wire↔edge mapping (`dumbnet_topology::EdgeMap`, materialized by the
+//! fabric builder). Long-lived elephants run in the flow plane at
+//! max-min rates; mice and control frames stay packet-level. The planes
+//! advance in lockstep and are coupled at the boundary:
+//!
+//! * **Faults flow downward.** Administrative link changes, crash and
+//!   restart events, and fault-profile installs scheduled through the
+//!   [`Engine`] surface are mirrored into flow-edge capacities: a down
+//!   wire (or crashed endpoint) zeroes its edges, a lossy profile scales
+//!   them by the expected goodput `(1−loss)·(1−corrupt)` sampled at the
+//!   instant the profile lands (piecewise-constant approximation of
+//!   time-varying ramps). Controller quarantine patches arrive through
+//!   [`HybridWorld::set_quarantined`] and also zero their edges, so
+//!   chaos hits both planes consistently.
+//! * **Congestion flows upward.** Whenever a re-solve changes an edge's
+//!   allocated load, edges whose utilization crosses the configured
+//!   threshold assert external ECN on their wire direction
+//!   ([`World::set_external_congestion`]): packet-plane mice crossing an
+//!   elephant-saturated link get ECN-marked, their receivers echo the
+//!   marks, and `ext::ecn`-style routing functions reroute them — the
+//!   flow plane steering the packet plane without simulating a single
+//!   elephant packet.
+//!
+//! Determinism: both planes are seeded and event-ordered; capacity
+//! events apply in `(time, registration order)`; flow completions are
+//! surfaced in flow-index order. Same seed ⇒ byte-identical results.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use dumbnet_packet::Packet;
+use dumbnet_telemetry::{TelemetrySnapshot, TraceEvent};
+use dumbnet_types::{Bandwidth, PortNo, Result, SimTime};
+
+use crate::engine::{LinkParams, LinkStats, Node, NodeAddr, WireId, World, WorldStats};
+use crate::faults::FaultProfile;
+use crate::flowsim::{EdgeId, FlowEvent, FlowId, FlowSim, SolverStats};
+use crate::shard::Engine;
+
+/// Counters describing boundary-coupling activity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HybridStats {
+    /// Capacity updates applied to flow edges (faults, link state,
+    /// crashes, quarantine).
+    pub cap_events: u64,
+    /// Quarantine state transitions applied to flow edges.
+    pub quarantine_flips: u64,
+    /// External ECN mark assertions/clears pushed to the packet plane.
+    pub ecn_mark_flips: u64,
+    /// Flow-plane completions observed.
+    pub completions: u64,
+}
+
+/// Per-edge bookkeeping: where the edge maps and why its capacity is
+/// what it is. Effective capacity =
+/// `admin_up && endpoints alive && !quarantined ? nominal × fault_scale : 0`.
+#[derive(Debug, Clone)]
+struct EdgeBinding {
+    /// The packet-plane wire this edge models, if bound.
+    wire: Option<WireId>,
+    /// Which direction of the wire (0 = a→b).
+    dir: usize,
+    /// Healthy-link capacity.
+    nominal: Bandwidth,
+    /// Administrative wire state (mirrors `World::wire_up`).
+    admin_up: bool,
+    /// True while either wire endpoint is crashed.
+    endpoint_down: bool,
+    /// Goodput scale from the installed fault profile.
+    fault_scale: f64,
+    /// True while a controller quarantine covers this edge.
+    quarantined: bool,
+    /// True while this edge asserts external ECN on its wire.
+    marked: bool,
+}
+
+/// A deferred flow-plane capacity update, applied when both planes
+/// reach its timestamp.
+#[derive(Debug, Clone)]
+enum CapEvent {
+    /// Re-read the administrative state of one wire.
+    WireSync(WireId),
+    /// Re-read the crash state of all wires touching one node.
+    NodeSync(NodeAddr),
+    /// Install a goodput scale pair (dir 0, dir 1) on a wire's edges.
+    FaultScale(WireId, [f64; 2]),
+}
+
+/// The hybrid engine. Implements [`Engine`], so fabric construction,
+/// chaos plans and invariant checkers drive it unmodified.
+pub struct HybridWorld {
+    world: World,
+    flow: FlowSim,
+    edges: Vec<EdgeBinding>,
+    /// Wire → flow edges bound to it.
+    wire_edges: BTreeMap<WireId, Vec<usize>>,
+    /// Deferred capacity events, time-ordered (same-instant events
+    /// apply in registration order).
+    pending_caps: BTreeMap<SimTime, Vec<CapEvent>>,
+    /// Flow completions not yet drained by the caller.
+    pending_events: Vec<FlowEvent>,
+    /// Utilization at or above which an edge asserts external ECN on
+    /// its wire; `None` disables the upward coupling.
+    ecn_util_threshold: Option<f64>,
+    stats: HybridStats,
+}
+
+impl HybridWorld {
+    /// Fraction of capacity an elephant-loaded edge must reach before
+    /// its wire starts ECN-marking packet-plane traffic.
+    pub const DEFAULT_ECN_UTILIZATION: f64 = 0.95;
+
+    /// Creates a hybrid world with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> HybridWorld {
+        HybridWorld {
+            world: World::new(seed),
+            flow: FlowSim::new(),
+            edges: Vec::new(),
+            wire_edges: BTreeMap::new(),
+            pending_caps: BTreeMap::new(),
+            pending_events: Vec::new(),
+            ecn_util_threshold: Some(HybridWorld::DEFAULT_ECN_UTILIZATION),
+            stats: HybridStats::default(),
+        }
+    }
+
+    /// Creates a flow edge bound to direction `dir` (0 = a→b) of
+    /// `wire`, or an unbound edge (`None` — a purely logical segment).
+    /// Edges must be created in the shared enumeration order; the
+    /// returned id is dense from zero.
+    pub fn bind_edge(&mut self, wire: Option<WireId>, dir: usize, nominal: Bandwidth) -> EdgeId {
+        assert!(dir < 2, "wire direction must be 0 (a→b) or 1 (b→a)");
+        let id = self.flow.add_edge(nominal);
+        self.edges.push(EdgeBinding {
+            wire,
+            dir,
+            nominal,
+            admin_up: true,
+            endpoint_down: false,
+            fault_scale: 1.0,
+            quarantined: false,
+            marked: false,
+        });
+        if let Some(w) = wire {
+            self.wire_edges.entry(w).or_default().push(id.0);
+        }
+        id
+    }
+
+    /// The packet plane (a plain [`World`]); all [`Engine`] methods
+    /// delegate here, so this is only needed for world-specific extras.
+    #[must_use]
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable packet-plane access.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The flow plane. Capacities of bound edges are owned by the
+    /// hybrid coupling (faults, quarantine) — callers should treat this
+    /// as read/query access plus solver configuration
+    /// ([`FlowSim::set_check_full_solve`]), not set capacities directly.
+    pub fn flow_mut(&mut self) -> &mut FlowSim {
+        &mut self.flow
+    }
+
+    /// Number of bound flow edges.
+    #[must_use]
+    pub fn flow_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Boundary-coupling counters.
+    #[must_use]
+    pub fn hybrid_stats(&self) -> HybridStats {
+        self.stats
+    }
+
+    /// Flow-plane solver counters.
+    #[must_use]
+    pub fn solver_stats(&self) -> SolverStats {
+        self.flow.solver_stats()
+    }
+
+    /// Sets (or disables) the utilization threshold for upward ECN
+    /// coupling.
+    pub fn set_ecn_utilization_threshold(&mut self, threshold: Option<f64>) {
+        self.ecn_util_threshold = threshold;
+    }
+
+    /// Starts an elephant of `bytes` along `path` (shared-enumeration
+    /// edge ids) at the current time.
+    pub fn start_elephant(&mut self, path: Vec<EdgeId>, bytes: u64) -> FlowId {
+        let now = self.world.now();
+        self.sync_flow_to(now);
+        let id = self.flow.start_flow(path, bytes);
+        self.refresh_marks();
+        id
+    }
+
+    /// Re-routes an active elephant (flowlet switching / failover).
+    pub fn reroute_elephant(&mut self, flow: FlowId, path: Vec<EdgeId>) {
+        let now = self.world.now();
+        self.sync_flow_to(now);
+        self.flow.reroute(flow, path);
+        self.refresh_marks();
+    }
+
+    /// The elephant's current max-min rate.
+    pub fn elephant_rate(&mut self, flow: FlowId) -> Bandwidth {
+        self.flow.flow_rate(flow)
+    }
+
+    /// When the elephant finished, if it has.
+    #[must_use]
+    pub fn finished_at(&self, flow: FlowId) -> Option<SimTime> {
+        self.flow.finished_at(flow)
+    }
+
+    /// Number of unfinished elephants.
+    #[must_use]
+    pub fn active_elephants(&self) -> usize {
+        self.flow.active_flows()
+    }
+
+    /// Drains buffered flow-plane completions (in completion order).
+    pub fn drain_flow_events(&mut self) -> Vec<FlowEvent> {
+        std::mem::take(&mut self.pending_events)
+    }
+
+    /// Fraction of an edge's effective capacity allocated to elephants.
+    pub fn edge_utilization(&mut self, edge: EdgeId) -> f64 {
+        self.flow.edge_utilization(edge)
+    }
+
+    /// The worst (maximum) edge utilization along a path — the signal
+    /// utilization-aware flowlet placement ranks candidate paths by.
+    pub fn path_utilization(&mut self, path: &[EdgeId]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for &e in path {
+            worst = worst.max(self.flow.edge_utilization(e));
+        }
+        worst
+    }
+
+    /// Replaces the set of quarantined flow edges (absolute, idempotent
+    /// — the caller derives it from controller state). Newly covered
+    /// edges drop to zero capacity; released edges return to their
+    /// fault- and link-state-derived capacity.
+    pub fn set_quarantined(&mut self, quarantined: &BTreeSet<EdgeId>) {
+        for ix in 0..self.edges.len() {
+            let want = quarantined.contains(&EdgeId(ix));
+            if self.edges[ix].quarantined != want {
+                self.edges[ix].quarantined = want;
+                self.stats.quarantine_flips += 1;
+                self.apply_effective_capacity(ix);
+            }
+        }
+        self.refresh_marks();
+    }
+
+    /// Advances both planes to `until`, stopping early at the first
+    /// flow-plane completion so the caller can react (start dependent
+    /// flows, re-route flowlets) with both planes paused at the same
+    /// instant. Returns the completions at the stopping point (empty
+    /// when `until` was reached without one).
+    pub fn advance(&mut self, until: SimTime) -> Vec<FlowEvent> {
+        loop {
+            let mut target = until;
+            if let Some((&t, _)) = self.pending_caps.iter().next() {
+                target = target.min(t);
+            }
+            if let Some(t) = self.flow.next_completion_time() {
+                target = target.min(t);
+            }
+            self.world.run_until(target);
+            self.sync_flow_to(target);
+            if !self.pending_events.is_empty() || target >= until {
+                return self.drain_flow_events();
+            }
+        }
+    }
+
+    /// Applies every capacity event due at or before `target`, advancing
+    /// the flow plane in step, then brings it to `target` exactly.
+    /// The packet plane must already have reached `target`.
+    fn sync_flow_to(&mut self, target: SimTime) {
+        while let Some((&t, _)) = self.pending_caps.iter().next() {
+            if t > target {
+                break;
+            }
+            let events = self.flow.advance_to(t);
+            self.buffer_events(events);
+            let batch = self.pending_caps.remove(&t).expect("peeked key exists");
+            for ev in batch {
+                self.apply_cap(&ev);
+            }
+        }
+        if self.flow.now() < target {
+            let events = self.flow.advance_to(target);
+            self.buffer_events(events);
+        }
+        self.refresh_marks();
+    }
+
+    fn buffer_events(&mut self, events: Vec<FlowEvent>) {
+        self.stats.completions += events.len() as u64;
+        self.pending_events.extend(events);
+    }
+
+    fn apply_cap(&mut self, ev: &CapEvent) {
+        match *ev {
+            CapEvent::WireSync(wire) => {
+                let up = self.world.wire_up(wire);
+                for ix in self.bound_edges(wire) {
+                    if self.edges[ix].admin_up != up {
+                        self.edges[ix].admin_up = up;
+                        self.apply_effective_capacity(ix);
+                    }
+                }
+            }
+            CapEvent::NodeSync(node) => {
+                // A crash forces incident wires down inside the packet
+                // engine without an admin event; re-read endpoint health
+                // for every edge whose wire touches the node.
+                for ix in 0..self.edges.len() {
+                    let Some(wire) = self.edges[ix].wire else {
+                        continue;
+                    };
+                    let ((a, _), (b, _)) = self.world.wire_endpoints(wire);
+                    if a != node && b != node {
+                        continue;
+                    }
+                    let down = self.world.is_crashed(a) || self.world.is_crashed(b);
+                    let up = self.world.wire_up(wire);
+                    let e = &mut self.edges[ix];
+                    if e.endpoint_down != down || e.admin_up != up {
+                        e.endpoint_down = down;
+                        e.admin_up = up;
+                        self.apply_effective_capacity(ix);
+                    }
+                }
+            }
+            CapEvent::FaultScale(wire, scales) => {
+                for ix in self.bound_edges(wire) {
+                    let scale = scales[self.edges[ix].dir];
+                    if (self.edges[ix].fault_scale - scale).abs() > f64::EPSILON {
+                        self.edges[ix].fault_scale = scale;
+                        self.apply_effective_capacity(ix);
+                    }
+                }
+            }
+        }
+    }
+
+    fn bound_edges(&self, wire: WireId) -> Vec<usize> {
+        self.wire_edges.get(&wire).cloned().unwrap_or_default()
+    }
+
+    /// Recomputes one edge's effective capacity and pushes it into the
+    /// flow plane.
+    fn apply_effective_capacity(&mut self, ix: usize) {
+        let e = &self.edges[ix];
+        let capacity = if e.admin_up && !e.endpoint_down && !e.quarantined {
+            Bandwidth::bps((e.nominal.bits_per_sec() as f64 * e.fault_scale) as u64)
+        } else {
+            Bandwidth::ZERO
+        };
+        self.flow.set_capacity(EdgeId(ix), capacity);
+        self.stats.cap_events += 1;
+    }
+
+    /// Pushes external ECN marks for every edge whose allocated load
+    /// changed since the last refresh.
+    fn refresh_marks(&mut self) {
+        let Some(threshold) = self.ecn_util_threshold else {
+            return;
+        };
+        for edge in self.flow.take_changed_edges() {
+            let util = self.flow.edge_utilization(edge);
+            let e = &mut self.edges[edge.0];
+            let want = util >= threshold;
+            if e.marked != want {
+                e.marked = want;
+                if let Some(wire) = e.wire {
+                    self.world.set_external_congestion(wire, e.dir, want);
+                    self.stats.ecn_mark_flips += 1;
+                }
+            }
+        }
+    }
+
+    /// The goodput scale a fault profile imposes on each wire
+    /// direction, sampled at `at`.
+    fn profile_scales(profile: &FaultProfile, at: SimTime) -> [f64; 2] {
+        let corrupt = profile.corrupt_at(at).clamp(0.0, 1.0);
+        let scale = |dir: usize| {
+            let loss = profile.loss_at(at, dir).clamp(0.0, 1.0);
+            (1.0 - loss) * (1.0 - corrupt)
+        };
+        [scale(0), scale(1)]
+    }
+
+    fn push_cap(&mut self, at: SimTime, ev: CapEvent) {
+        self.pending_caps.entry(at).or_default().push(ev);
+    }
+}
+
+impl Engine for HybridWorld {
+    fn add_node(&mut self, node: Box<dyn Node>) -> NodeAddr {
+        self.world.add_node(node)
+    }
+
+    fn add_node_in_cell(&mut self, node: Box<dyn Node>, cell: u32) -> NodeAddr {
+        self.world.add_node_in_cell(node, cell)
+    }
+
+    fn wire(
+        &mut self,
+        a: NodeAddr,
+        pa: PortNo,
+        b: NodeAddr,
+        pb: PortNo,
+        params: LinkParams,
+    ) -> Result<WireId> {
+        self.world.wire(a, pa, b, pb, params)
+    }
+
+    fn node<T: 'static>(&self, addr: NodeAddr) -> Option<&T> {
+        self.world.node(addr)
+    }
+
+    fn node_mut<T: 'static>(&mut self, addr: NodeAddr) -> Option<&mut T> {
+        self.world.node_mut(addr)
+    }
+
+    fn node_count(&self) -> usize {
+        self.world.node_count()
+    }
+
+    fn node_cell(&self, addr: NodeAddr) -> u32 {
+        self.world.node_cell(addr)
+    }
+
+    fn cell_count(&self) -> usize {
+        1
+    }
+
+    fn wire_count(&self) -> usize {
+        self.world.wire_count()
+    }
+
+    fn wire_at(&self, node: NodeAddr, port: PortNo) -> Option<WireId> {
+        self.world.wire_at(node, port)
+    }
+
+    fn wire_endpoints(&self, wire: WireId) -> ((NodeAddr, PortNo), (NodeAddr, PortNo)) {
+        self.world.wire_endpoints(wire)
+    }
+
+    fn wire_up(&self, wire: WireId) -> bool {
+        self.world.wire_up(wire)
+    }
+
+    fn wire_params(&self, wire: WireId) -> LinkParams {
+        self.world.wire_params(wire)
+    }
+
+    fn link_stats(&self, wire: WireId) -> LinkStats {
+        self.world.link_stats(wire)
+    }
+
+    fn is_crashed(&self, node: NodeAddr) -> bool {
+        self.world.is_crashed(node)
+    }
+
+    fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    fn stats(&self) -> WorldStats {
+        self.world.stats()
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.world.next_event_time()
+    }
+
+    fn run_until(&mut self, until: SimTime) -> WorldStats {
+        // Interleave: stop the packet plane at every pending capacity
+        // event so both planes see it at the same instant.
+        while let Some((&t, _)) = self.pending_caps.iter().next() {
+            if t > until {
+                break;
+            }
+            self.world.run_until(t);
+            self.sync_flow_to(t);
+        }
+        let stats = self.world.run_until(until);
+        self.sync_flow_to(until);
+        stats
+    }
+
+    fn run_to_idle(&mut self, max_events: u64) -> WorldStats {
+        let stats = self.world.run_to_idle(max_events);
+        let now = self.world.now();
+        self.sync_flow_to(now);
+        stats
+    }
+
+    fn inject(&mut self, at: SimTime, node: NodeAddr, port: PortNo, pkt: Packet) {
+        self.world.inject(at, node, port, pkt);
+    }
+
+    fn schedule_crash(&mut self, at: SimTime, node: NodeAddr) {
+        self.world.schedule_crash(at, node);
+        self.push_cap(at, CapEvent::NodeSync(node));
+    }
+
+    fn schedule_restart(&mut self, at: SimTime, node: NodeAddr) {
+        self.world.schedule_restart(at, node);
+        self.push_cap(at, CapEvent::NodeSync(node));
+    }
+
+    fn schedule_link_state(&mut self, at: SimTime, wire: WireId, up: bool) {
+        self.world.schedule_link_state(at, wire, up);
+        self.push_cap(at, CapEvent::WireSync(wire));
+    }
+
+    fn schedule_fault_profile(&mut self, at: SimTime, wire: WireId, profile: FaultProfile) {
+        let scales = HybridWorld::profile_scales(&profile, at);
+        self.world.schedule_fault_profile(at, wire, profile);
+        self.push_cap(at, CapEvent::FaultScale(wire, scales));
+    }
+
+    fn set_fault_profile(&mut self, wire: WireId, profile: FaultProfile) {
+        let now = self.world.now();
+        let scales = HybridWorld::profile_scales(&profile, now);
+        self.world.set_fault_profile(wire, profile);
+        self.sync_flow_to(now);
+        self.apply_cap(&CapEvent::FaultScale(wire, scales));
+        self.refresh_marks();
+    }
+
+    fn set_fault_seed(&mut self, seed: u64) {
+        self.world.set_fault_seed(seed);
+    }
+
+    fn telemetry_snapshot(&mut self) -> TelemetrySnapshot {
+        self.world.telemetry_snapshot()
+    }
+
+    fn trace_tail(&self, n: usize) -> (Vec<TraceEvent>, u64) {
+        Engine::trace_tail(&self.world, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dumbnet_types::SimDuration;
+    use std::any::Any;
+
+    /// A node that swallows everything (the packet plane is incidental
+    /// to these tests).
+    struct Sink;
+
+    impl Node for Sink {
+        fn on_packet(&mut self, _ctx: &mut crate::engine::Ctx<'_>, _in_port: PortNo, _pkt: Packet) {
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::ZERO.after(SimDuration::from_secs_f64(secs))
+    }
+
+    /// Two sinks joined by one wire; both directions bound as edges.
+    fn rig() -> (HybridWorld, WireId, EdgeId, EdgeId) {
+        let mut h = HybridWorld::new(7);
+        let a = h.add_node(Box::new(Sink));
+        let b = h.add_node(Box::new(Sink));
+        let p = PortNo::new(1).unwrap();
+        let wire = h.wire(a, p, b, p, LinkParams::ten_gig()).unwrap();
+        let e0 = h.bind_edge(Some(wire), 0, Bandwidth::gbps(10));
+        let e1 = h.bind_edge(Some(wire), 1, Bandwidth::gbps(10));
+        (h, wire, e0, e1)
+    }
+
+    #[test]
+    fn elephants_run_at_wire_capacity() {
+        let (mut h, _w, e0, _e1) = rig();
+        let f = h.start_elephant(vec![e0], 12_500_000_000); // 100 Gbit = 10 s.
+        assert_eq!(h.elephant_rate(f).bits_per_sec(), 10_000_000_000);
+        let events = h.advance(t(20.0));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].flow, f);
+        let done = h.finished_at(f).unwrap().as_secs_f64();
+        assert!((done - 10.0).abs() < 1e-6, "finished at {done}");
+        assert_eq!(h.now(), events[0].at, "planes stop together");
+    }
+
+    #[test]
+    fn scheduled_link_down_starves_the_flow_plane() {
+        let (mut h, w, e0, _e1) = rig();
+        let f = h.start_elephant(vec![e0], u64::MAX / 16);
+        h.schedule_link_state(t(1.0), w, false);
+        let events = h.advance(t(2.0));
+        assert!(events.is_empty());
+        assert_eq!(h.elephant_rate(f).bits_per_sec(), 0, "edge must be dead");
+        // Heal: capacity returns.
+        h.schedule_link_state(t(3.0), w, true);
+        h.advance(t(4.0));
+        assert_eq!(h.elephant_rate(f).bits_per_sec(), 10_000_000_000);
+        assert!(h.hybrid_stats().cap_events >= 2);
+    }
+
+    #[test]
+    fn crash_and_restart_reach_flow_capacity() {
+        let (mut h, _w, e0, _e1) = rig();
+        let victim = NodeAddr(0);
+        let f = h.start_elephant(vec![e0], u64::MAX / 16);
+        h.schedule_crash(t(1.0), victim);
+        h.run_until(t(2.0));
+        assert_eq!(h.elephant_rate(f).bits_per_sec(), 0);
+        h.schedule_restart(t(3.0), victim);
+        h.run_until(t(4.0));
+        assert_eq!(h.elephant_rate(f).bits_per_sec(), 10_000_000_000);
+    }
+
+    #[test]
+    fn lossy_profile_scales_capacity() {
+        let (mut h, w, e0, e1) = rig();
+        let f0 = h.start_elephant(vec![e0], u64::MAX / 16);
+        let f1 = h.start_elephant(vec![e1], u64::MAX / 16);
+        h.set_fault_profile(w, FaultProfile::lossy(0.25));
+        assert_eq!(h.elephant_rate(f0).bits_per_sec(), 7_500_000_000);
+        assert_eq!(h.elephant_rate(f1).bits_per_sec(), 7_500_000_000);
+        // Direction-selective loss only scales one edge.
+        h.set_fault_profile(w, FaultProfile::lossy_dir(1, 0.5));
+        assert_eq!(h.elephant_rate(f0).bits_per_sec(), 10_000_000_000);
+        assert_eq!(h.elephant_rate(f1).bits_per_sec(), 5_000_000_000);
+    }
+
+    #[test]
+    fn quarantine_zeroes_and_releases() {
+        let (mut h, _w, e0, _e1) = rig();
+        let f = h.start_elephant(vec![e0], u64::MAX / 16);
+        let mut q = BTreeSet::new();
+        q.insert(e0);
+        h.set_quarantined(&q);
+        assert_eq!(h.elephant_rate(f).bits_per_sec(), 0);
+        h.set_quarantined(&BTreeSet::new());
+        assert_eq!(h.elephant_rate(f).bits_per_sec(), 10_000_000_000);
+        assert_eq!(h.hybrid_stats().quarantine_flips, 2);
+    }
+
+    #[test]
+    fn saturated_edge_asserts_external_ecn() {
+        let (mut h, _w, e0, _e1) = rig();
+        assert_eq!(h.hybrid_stats().ecn_mark_flips, 0);
+        let f = h.start_elephant(vec![e0], u64::MAX / 16);
+        // One elephant saturates the edge → mark asserted.
+        assert_eq!(h.hybrid_stats().ecn_mark_flips, 1);
+        // Kill the elephant's edge → utilization collapses → mark clears.
+        let mut q = BTreeSet::new();
+        q.insert(e0);
+        h.set_quarantined(&q);
+        assert_eq!(h.hybrid_stats().ecn_mark_flips, 2);
+        let _ = f;
+    }
+
+    #[test]
+    fn run_until_buffers_completions() {
+        let (mut h, _w, e0, e1) = rig();
+        let a = h.start_elephant(vec![e0], 1_250_000_000); // 1 s.
+        let b = h.start_elephant(vec![e1], 2_500_000_000); // 2 s.
+        h.run_until(t(5.0));
+        let events = h.drain_flow_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].flow, a);
+        assert_eq!(events[1].flow, b);
+        assert!(events[0].at < events[1].at);
+        assert_eq!(h.hybrid_stats().completions, 2);
+    }
+}

@@ -14,6 +14,10 @@
 //! * [`flowsim`] — a flow-level max-min fair bandwidth solver for
 //!   long-running throughput experiments (aggregate throughput, HiBench
 //!   jobs) where packet-level simulation would be needlessly slow.
+//! * [`hybrid`] — the coupled flow/packet engine: elephants in the flow
+//!   plane, mice and control frames in the packet plane, faults and
+//!   quarantine mirrored downward and ECN pressure mirrored upward over
+//!   the shared wire↔edge mapping.
 //!
 //! Both engines are generic: they know nothing about DumbNet semantics,
 //! only about moving bytes.
@@ -26,6 +30,7 @@ pub mod engine;
 pub mod event;
 pub mod faults;
 pub mod flowsim;
+pub mod hybrid;
 pub mod shard;
 
 pub use chaos::{ChaosReport, ChaosRunner};
@@ -33,5 +38,6 @@ pub use engine::{Ctx, LinkParams, LinkStats, Node, NodeAddr, WireId, World, Worl
 pub use faults::{
     BurstWindow, ChaosPlan, CrashSchedule, FaultProfile, FlapSchedule, PartitionSchedule,
 };
-pub use flowsim::{EdgeId, FlowEvent, FlowId, FlowSim};
+pub use flowsim::{EdgeId, FlowEvent, FlowId, FlowSim, SolverStats};
+pub use hybrid::{HybridStats, HybridWorld};
 pub use shard::{Engine, ShardedWorld};

@@ -1,0 +1,220 @@
+//! Canonical enumeration of a fabric's directed flow-level edges.
+//!
+//! Both simulation planes model the same physical fabric: the packet
+//! engine as bidirectional wires with per-direction queues, the
+//! flow-level solver as directed capacitated edges. This module defines
+//! the *shared* wire↔edge mapping both sides index through — one
+//! directed edge per trunk-link direction plus one uplink and one
+//! downlink edge per host attachment — so a chaos injection or a
+//! controller quarantine patch aimed at a wire can be routed to exactly
+//! the flow edges that model it.
+//!
+//! The enumeration order is part of the determinism contract: edges are
+//! numbered by walking [`Topology::links`] in declaration order (the
+//! `a→b` direction before `b→a`), then hosts in id order (uplink before
+//! downlink). Flow-solver bottleneck tie-breaks resolve by edge index,
+//! so this order must stay stable for byte-identical reports.
+
+use std::collections::BTreeMap;
+
+use dumbnet_types::{HostId, SwitchId};
+
+use crate::graph::Topology;
+use crate::route::Route;
+
+/// Index of a directed flow-level edge in the canonical enumeration.
+///
+/// Dense, starting at zero; converts 1:1 to the flow simulator's edge
+/// ids when the edges are materialized in enumeration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeIx(pub usize);
+
+/// What a directed flow edge models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// One direction of a switch-to-switch trunk.
+    Trunk {
+        /// Transmitting switch.
+        from: SwitchId,
+        /// Receiving switch.
+        to: SwitchId,
+    },
+    /// A host's uplink (host → edge switch).
+    HostUp(HostId),
+    /// A host's downlink (edge switch → host).
+    HostDown(HostId),
+}
+
+/// The canonical wire↔edge mapping of one topology.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeMap {
+    /// Directed trunk edges: (from, to) → index.
+    trunk: BTreeMap<(SwitchId, SwitchId), EdgeIx>,
+    /// Host → uplink edge index.
+    host_up: BTreeMap<HostId, EdgeIx>,
+    /// Host → downlink edge index.
+    host_down: BTreeMap<HostId, EdgeIx>,
+    /// Reverse view: index → model element, in enumeration order.
+    kinds: Vec<EdgeKind>,
+}
+
+impl EdgeMap {
+    /// Enumerates the directed edges of `topo` (up links only — a link
+    /// administratively down at build time has no flow-level image;
+    /// runtime failures are modeled by zeroing capacity instead).
+    ///
+    /// Parallel links between the same switch pair merge into one edge
+    /// pair, mirroring the packet plane's single-wire-per-port model.
+    #[must_use]
+    pub fn build(topo: &Topology) -> EdgeMap {
+        let mut map = EdgeMap::default();
+        for link in topo.links().filter(|l| l.up) {
+            let (a, b) = (link.a.switch, link.b.switch);
+            map.intern_trunk(a, b);
+            map.intern_trunk(b, a);
+        }
+        for h in topo.hosts() {
+            let up = map.alloc(EdgeKind::HostUp(h.id));
+            map.host_up.insert(h.id, up);
+            let down = map.alloc(EdgeKind::HostDown(h.id));
+            map.host_down.insert(h.id, down);
+        }
+        map
+    }
+
+    fn alloc(&mut self, kind: EdgeKind) -> EdgeIx {
+        let ix = EdgeIx(self.kinds.len());
+        self.kinds.push(kind);
+        ix
+    }
+
+    fn intern_trunk(&mut self, from: SwitchId, to: SwitchId) {
+        if !self.trunk.contains_key(&(from, to)) {
+            let ix = self.alloc(EdgeKind::Trunk { from, to });
+            self.trunk.insert((from, to), ix);
+        }
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when the topology had no links or hosts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// What edge `ix` models.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    #[must_use]
+    pub fn kind(&self, ix: EdgeIx) -> EdgeKind {
+        self.kinds[ix.0]
+    }
+
+    /// The directed trunk edge `a → b`, if those switches are adjacent.
+    #[must_use]
+    pub fn trunk(&self, a: SwitchId, b: SwitchId) -> Option<EdgeIx> {
+        self.trunk.get(&(a, b)).copied()
+    }
+
+    /// A host's uplink (host → switch) edge.
+    #[must_use]
+    pub fn host_up(&self, h: HostId) -> Option<EdgeIx> {
+        self.host_up.get(&h).copied()
+    }
+
+    /// A host's downlink (switch → host) edge.
+    #[must_use]
+    pub fn host_down(&self, h: HostId) -> Option<EdgeIx> {
+        self.host_down.get(&h).copied()
+    }
+
+    /// All edges in enumeration order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeIx, EdgeKind)> + '_ {
+        self.kinds.iter().enumerate().map(|(i, &k)| (EdgeIx(i), k))
+    }
+
+    /// All directed trunk edges, ordered by (from, to).
+    pub fn trunks(&self) -> impl Iterator<Item = ((SwitchId, SwitchId), EdgeIx)> + '_ {
+        self.trunk.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The edge path a flow from `src` to `dst` takes along `route`
+    /// (access uplink, trunk hops, access downlink).
+    ///
+    /// Returns `None` when the route uses a switch pair with no edge
+    /// (a route that predates this map); a *failed* link still has its
+    /// edge — failures are expressed as zero capacity, not absence.
+    #[must_use]
+    pub fn route_path(&self, src: HostId, dst: HostId, route: &Route) -> Option<Vec<EdgeIx>> {
+        let mut edges = Vec::with_capacity(route.link_hops() + 2);
+        edges.push(self.host_up(src)?);
+        for w in route.switches().windows(2) {
+            edges.push(self.trunk(w[0], w[1])?);
+        }
+        edges.push(self.host_down(dst)?);
+        Some(edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn enumeration_covers_links_then_hosts() {
+        let g = generators::testbed();
+        let map = EdgeMap::build(&g.topology);
+        let links = g.topology.links().filter(|l| l.up).count();
+        let hosts = g.topology.host_count();
+        assert_eq!(map.len(), links * 2 + hosts * 2);
+        // Trunk directions come first, in link declaration order.
+        let first_link = g.topology.links().find(|l| l.up).unwrap();
+        let (a, b) = (first_link.a.switch, first_link.b.switch);
+        assert_eq!(map.trunk(a, b), Some(EdgeIx(0)));
+        assert_eq!(map.trunk(b, a), Some(EdgeIx(1)));
+        // Host edges follow, uplink before downlink, ascending host id.
+        let h0 = g.topology.hosts().next().unwrap().id;
+        assert_eq!(map.host_up(h0), Some(EdgeIx(links * 2)));
+        assert_eq!(map.host_down(h0), Some(EdgeIx(links * 2 + 1)));
+    }
+
+    #[test]
+    fn kinds_round_trip() {
+        let g = generators::testbed();
+        let map = EdgeMap::build(&g.topology);
+        for (ix, kind) in map.edges() {
+            match kind {
+                EdgeKind::Trunk { from, to } => assert_eq!(map.trunk(from, to), Some(ix)),
+                EdgeKind::HostUp(h) => assert_eq!(map.host_up(h), Some(ix)),
+                EdgeKind::HostDown(h) => assert_eq!(map.host_down(h), Some(ix)),
+            }
+        }
+    }
+
+    #[test]
+    fn route_path_walks_up_trunks_down() {
+        let g = generators::testbed();
+        let topo = &g.topology;
+        let map = EdgeMap::build(topo);
+        let src = topo.hosts().next().unwrap().id;
+        let dst = topo.hosts().last().unwrap().id;
+        let sa = topo.host(src).unwrap().attached.switch;
+        let sb = topo.host(dst).unwrap().attached.switch;
+        let spine = g.group("spine")[0];
+        let route = Route::new(vec![sa, spine, sb]).unwrap();
+        let path = map.route_path(src, dst, &route).unwrap();
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[0], map.host_up(src).unwrap());
+        assert_eq!(path[1], map.trunk(sa, spine).unwrap());
+        assert_eq!(path[2], map.trunk(spine, sb).unwrap());
+        assert_eq!(path[3], map.host_down(dst).unwrap());
+    }
+}

@@ -10,6 +10,8 @@
 //!   evaluation: the 2×5 leaf-spine testbed, fat-trees, k-ary n-cube
 //!   meshes (the "cube" of §7.2.1), and random regular graphs for
 //!   irregular-topology experiments.
+//! * [`edgemap`] — the canonical enumeration of directed flow-level
+//!   edges (the wire↔edge mapping shared by the packet and flow planes).
 //! * [`spath`] — BFS/Dijkstra shortest paths with randomized equal-cost
 //!   tie-breaking (§4.3: "randomizes the choice for equal cost links").
 //! * [`ksp`] — Yen's k-shortest loopless paths, used by the host
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod edgemap;
 pub mod generators;
 pub mod graph;
 pub mod ksp;
@@ -37,6 +40,7 @@ pub mod route;
 pub mod spath;
 pub mod views;
 
+pub use edgemap::{EdgeIx, EdgeKind, EdgeMap};
 pub use graph::{Attachment, HostInfo, Link, SwitchInfo, Topology};
 pub use ksp::k_shortest_routes;
 pub use partition::{assign_cells, CellAssignment};

@@ -1,15 +1,16 @@
 //! Mapping a [`Topology`] onto the flow-level simulator.
 //!
-//! The flow-level engine ([`FlowSim`]) knows only capacitated edges; this
-//! module materializes one directed edge per trunk-link direction and per
-//! host access-link direction, and converts switch-level [`Route`]s into
-//! the edge paths flows follow. Used by the throughput experiments
+//! The flow-level engine ([`FlowSim`]) knows only capacitated edges. The
+//! *enumeration* of those edges — one per trunk-link direction and per
+//! host access-link direction — is owned by the shared wire↔edge mapping
+//! ([`EdgeMap`] in `dumbnet-topology`), which the hybrid engine indexes
+//! through as well; this module merely materializes the enumerated edges
+//! into a `FlowSim` with capacities and converts switch-level [`Route`]s
+//! into the edge paths flows follow. Used by the throughput experiments
 //! (aggregate leaf throughput, Figure 11(b), Figure 13).
 
-use std::collections::HashMap;
-
 use dumbnet_sim::{EdgeId, FlowSim};
-use dumbnet_topology::{Route, Topology};
+use dumbnet_topology::{EdgeMap, Route, Topology};
 use dumbnet_types::{Bandwidth, HostId, SwitchId};
 
 /// The topology ↔ flow-simulator mapping.
@@ -19,17 +20,14 @@ use dumbnet_types::{Bandwidth, HostId, SwitchId};
 /// parallel trunks is ever used; the evaluation topologies have none).
 #[derive(Debug, Clone)]
 pub struct FlowMap {
-    /// Directed trunk edges: (from, to) → edge.
-    trunk: HashMap<(SwitchId, SwitchId), EdgeId>,
-    /// Host → uplink (host→switch) edge.
-    host_up: HashMap<HostId, EdgeId>,
-    /// Host → downlink (switch→host) edge.
-    host_down: HashMap<HostId, EdgeId>,
+    /// The shared canonical enumeration; flow-simulator edge `i` is
+    /// exactly enumeration index `i`.
+    map: EdgeMap,
 }
 
 impl FlowMap {
     /// Materializes edges for every up link and host attachment of
-    /// `topo` into `fs`.
+    /// `topo` into `fs`, in the shared enumeration order.
     #[must_use]
     pub fn build(
         fs: &mut FlowSim,
@@ -37,33 +35,31 @@ impl FlowMap {
         trunk_capacity: Bandwidth,
         access_capacity: Bandwidth,
     ) -> FlowMap {
-        let mut trunk = HashMap::new();
-        for link in topo.links().filter(|l| l.up) {
-            let (a, b) = (link.a.switch, link.b.switch);
-            trunk
-                .entry((a, b))
-                .or_insert_with(|| fs.add_edge(trunk_capacity));
-            trunk
-                .entry((b, a))
-                .or_insert_with(|| fs.add_edge(trunk_capacity));
+        let map = EdgeMap::build(topo);
+        for (ix, kind) in map.edges() {
+            let capacity = match kind {
+                dumbnet_topology::EdgeKind::Trunk { .. } => trunk_capacity,
+                _ => access_capacity,
+            };
+            let created = fs.add_edge(capacity);
+            assert_eq!(
+                created.0, ix.0,
+                "FlowMap expects a simulator whose edges mirror the enumeration"
+            );
         }
-        let mut host_up = HashMap::new();
-        let mut host_down = HashMap::new();
-        for h in topo.hosts() {
-            host_up.insert(h.id, fs.add_edge(access_capacity));
-            host_down.insert(h.id, fs.add_edge(access_capacity));
-        }
-        FlowMap {
-            trunk,
-            host_up,
-            host_down,
-        }
+        FlowMap { map }
+    }
+
+    /// The shared enumeration this map materialized.
+    #[must_use]
+    pub fn edge_map(&self) -> &EdgeMap {
+        &self.map
     }
 
     /// The directed trunk edge `a → b`, if those switches are adjacent.
     #[must_use]
     pub fn trunk_edge(&self, a: SwitchId, b: SwitchId) -> Option<EdgeId> {
-        self.trunk.get(&(a, b)).copied()
+        self.map.trunk(a, b).map(|ix| EdgeId(ix.0))
     }
 
     /// The edge path a flow from `src` to `dst` takes along `route`
@@ -75,20 +71,15 @@ impl FlowMap {
     /// the route predates the map).
     #[must_use]
     pub fn path(&self, src: HostId, dst: HostId, route: &Route) -> Option<Vec<EdgeId>> {
-        let mut edges = Vec::with_capacity(route.link_hops() + 2);
-        edges.push(*self.host_up.get(&src)?);
-        for w in route.switches().windows(2) {
-            edges.push(self.trunk_edge(w[0], w[1])?);
-        }
-        edges.push(*self.host_down.get(&dst)?);
-        Some(edges)
+        let path = self.map.route_path(src, dst, route)?;
+        Some(path.into_iter().map(|ix| EdgeId(ix.0)).collect())
     }
 
     /// Zeroes both directions of the `a`–`b` trunk (failure injection).
     pub fn fail_link(&self, fs: &mut FlowSim, a: SwitchId, b: SwitchId) {
         for key in [(a, b), (b, a)] {
-            if let Some(&e) = self.trunk.get(&key) {
-                fs.set_capacity(e, Bandwidth::ZERO);
+            if let Some(ix) = self.map.trunk(key.0, key.1) {
+                fs.set_capacity(EdgeId(ix.0), Bandwidth::ZERO);
             }
         }
     }
@@ -96,8 +87,8 @@ impl FlowMap {
     /// Restores both directions of the `a`–`b` trunk to `capacity`.
     pub fn restore_link(&self, fs: &mut FlowSim, a: SwitchId, b: SwitchId, capacity: Bandwidth) {
         for key in [(a, b), (b, a)] {
-            if let Some(&e) = self.trunk.get(&key) {
-                fs.set_capacity(e, capacity);
+            if let Some(ix) = self.map.trunk(key.0, key.1) {
+                fs.set_capacity(EdgeId(ix.0), capacity);
             }
         }
     }
@@ -105,9 +96,9 @@ impl FlowMap {
     /// Caps both directions of every trunk touching switch `s` (the
     /// Figure 13 setup limits the *spine switch ports* to 500 Mbps).
     pub fn cap_switch_ports(&self, fs: &mut FlowSim, s: SwitchId, capacity: Bandwidth) {
-        for (&(a, b), &e) in &self.trunk {
+        for ((a, b), ix) in self.map.trunks() {
             if a == s || b == s {
-                fs.set_capacity(e, capacity);
+                fs.set_capacity(EdgeId(ix.0), capacity);
             }
         }
     }
@@ -146,10 +137,10 @@ mod tests {
 
     #[test]
     fn edge_counts() {
-        let (_, map, topo) = setup();
-        // 10 links × 2 directions.
-        assert_eq!(map.trunk.len(), 20);
-        assert_eq!(map.host_up.len(), topo.host_count());
+        let (fs, map, topo) = setup();
+        // 10 links × 2 directions + 2 access edges per host.
+        assert_eq!(map.edge_map().len(), 20 + topo.host_count() * 2);
+        assert_eq!(fs.edge_count(), map.edge_map().len());
     }
 
     #[test]
